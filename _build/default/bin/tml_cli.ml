@@ -1,0 +1,498 @@
+(* tml — Trusted Machine Learning for Markov decision processes.
+
+   Subcommands:
+     check         verify a PCTL property of a DTMC model file
+     model-repair  minimally perturb controllable transitions to satisfy it
+     simulate      sample paths from a model
+     experiments   reproduce the paper's §V evaluation (E1–E6, F1)
+
+   Model files use the textual format of Dtmc_io (see --help of check). *)
+
+open Cmdliner
+
+let load_model path =
+  try Ok (Dtmc_io.of_file path) with
+  | Dtmc_io.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let load_property s =
+  try Ok (Pctl_parser.parse s)
+  with Pctl_parser.Parse_error msg ->
+    Error (Printf.sprintf "bad property %S: %s" s msg)
+
+let model_arg =
+  let doc = "Model file in the tml DTMC format." in
+  Arg.(required & opt (some file) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+
+let property_arg =
+  let doc = "PCTL property, e.g. \"P>=0.9 [ F goal ]\" or \"R<=40 [ F done ]\"." in
+  Arg.(required & opt (some string) None & info [ "p"; "prop" ] ~docv:"PCTL" ~doc)
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let exit_of_result = function
+  | Ok true -> 0
+  | Ok false -> 1
+  | Error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+(* ------------------------------- check ------------------------------- *)
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "On a violated P<=b [F ...] property, print a smallest \
+           counterexample (most probable violating paths).")
+
+let run_check model prop explain =
+  exit_of_result
+    (match (load_model model, load_property prop) with
+     | Error e, _ | _, Error e -> Error e
+     | Ok d, Ok phi ->
+       let v = Check_dtmc.check_verbose d phi in
+       Printf.printf "%s\n" (if v.Check_dtmc.holds then "HOLDS" else "VIOLATED");
+       (match v.Check_dtmc.value with
+        | Some value -> Printf.printf "value at initial state: %.10g\n" value
+        | None -> ());
+       if explain && not v.Check_dtmc.holds then
+         (match Counterexample.smallest_counterexample d phi with
+          | Some w ->
+            Printf.printf
+              "counterexample: %d path(s), total mass %.6g > bound %.6g\n"
+              (List.length w.Counterexample.paths)
+              w.Counterexample.total_mass w.Counterexample.bound;
+            List.iter
+              (fun (path, p) ->
+                 Printf.printf "  %.6g  %s\n" p
+                   (String.concat " -> " (List.map string_of_int path)))
+              w.Counterexample.paths
+          | None ->
+            Printf.printf "no counterexample found (not a P<=b [F ...] \
+                           violation, or search budget exhausted)\n"
+          | exception Invalid_argument msg ->
+            Printf.printf "cannot explain: %s\n" msg);
+       Ok v.Check_dtmc.holds)
+
+let check_cmd =
+  let doc = "model-check a PCTL property of a DTMC" in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(const run_check $ model_arg $ property_arg $ explain_arg)
+
+(* --------------------------- model-repair ----------------------------- *)
+
+let vars_arg =
+  let doc = "Perturbation variable with bounds, NAME:LO:HI (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "v"; "var" ] ~docv:"VAR" ~doc)
+
+let deltas_arg =
+  let doc =
+    "Edge perturbation SRC,DST,EXPR where EXPR is a signed linear \
+     combination of variables, e.g. \"0,1,+v\" and \"0,2,-v\" (repeatable; \
+     each row's deltas must cancel)."
+  in
+  Arg.(value & opt_all string [] & info [ "d"; "delta" ] ~docv:"DELTA" ~doc)
+
+let output_arg =
+  let doc = "Write the repaired model to this file." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let run_model_repair model prop vars deltas output =
+  exit_of_result
+    (match (load_model model, load_property prop) with
+     | Error e, _ | _, Error e -> Error e
+     | Ok d, Ok phi -> (
+         match
+           let spec =
+             {
+               Model_repair.variables = List.map Spec_io.parse_variable vars;
+               deltas = List.map Spec_io.parse_delta deltas;
+             }
+           in
+           Model_repair.repair d phi spec
+         with
+         | exception Spec_io.Parse_error msg -> Error msg
+         | exception Invalid_argument msg -> Error msg
+         | exception Pquery.Unsupported msg -> Error msg
+         | Model_repair.Already_satisfied v ->
+           Printf.printf "already satisfied%s\n"
+             (match v with
+              | Some v -> Printf.sprintf " (value %.10g)" v
+              | None -> "");
+           Ok true
+         | Model_repair.Infeasible { min_violation } ->
+           Printf.printf "INFEASIBLE (best constraint violation %.6g)\n"
+             min_violation;
+           Ok false
+         | Model_repair.Repaired r ->
+           Printf.printf "REPAIRED (cost %.6g, achieved value %.6g, verified %b)\n"
+             r.Model_repair.cost r.Model_repair.achieved_value
+             r.Model_repair.verified;
+           List.iter
+             (fun (name, v) -> Printf.printf "  %s = %.6g\n" name v)
+             r.Model_repair.assignment;
+           (match output with
+            | Some path ->
+              let oc = open_out path in
+              output_string oc (Dtmc_io.to_string r.Model_repair.dtmc);
+              close_out oc;
+              Printf.printf "repaired model written to %s\n" path
+            | None -> ());
+           Ok true))
+
+let model_repair_cmd =
+  let doc = "minimally perturb a DTMC so a PCTL property holds" in
+  Cmd.v
+    (Cmd.info "model-repair" ~doc)
+    Term.(
+      const run_model_repair $ model_arg $ property_arg $ vars_arg $ deltas_arg
+      $ output_arg)
+
+(* ----------------------------- data-repair ---------------------------- *)
+
+let traces_arg =
+  let doc = "Trace dataset file (see lib/io/trace_io.mli for the format)." in
+  Arg.(required & opt (some file) None & info [ "t"; "traces" ] ~docv:"FILE" ~doc)
+
+let states_arg =
+  let doc = "Number of model states." in
+  Arg.(required & opt (some int) None & info [ "states" ] ~docv:"N" ~doc)
+
+let init_arg =
+  let doc = "Initial state." in
+  Arg.(value & opt int 0 & info [ "init" ] ~docv:"S" ~doc)
+
+let labels_arg =
+  let doc = "Label definition NAME:S1:S2:... (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "l"; "label" ] ~docv:"LABEL" ~doc)
+
+let pinned_arg =
+  let doc = "Trace group that must be kept intact (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "pin" ] ~docv:"GROUP" ~doc)
+
+let parse_label_def s =
+  match String.split_on_char ':' s with
+  | name :: (_ :: _ as states) -> (
+      match List.map int_of_string_opt states with
+      | ids when List.for_all Option.is_some ids ->
+        Ok (name, List.map Option.get ids)
+      | _ -> Error (Printf.sprintf "bad label definition %S" s))
+  | _ -> Error (Printf.sprintf "bad label definition %S (want NAME:S1:S2...)" s)
+
+let run_data_repair traces_file states init labels pinned prop =
+  exit_of_result
+    (match load_property prop with
+     | Error e -> Error e
+     | Ok phi -> (
+         try
+           let groups = Trace_io.of_file traces_file in
+           let labels =
+             List.map
+               (fun s ->
+                  match parse_label_def s with
+                  | Ok l -> l
+                  | Error e -> failwith e)
+               labels
+           in
+           match
+             Data_repair.repair ~n:states ~init ~labels phi
+               (Data_repair.spec ~pinned groups)
+           with
+           | Data_repair.Already_satisfied v ->
+             Printf.printf "already satisfied%s\n"
+               (match v with
+                | Some v -> Printf.sprintf " (value %.10g)" v
+                | None -> "");
+             Ok true
+           | Data_repair.Infeasible { min_violation } ->
+             Printf.printf "INFEASIBLE (best constraint violation %.6g)\n"
+               min_violation;
+             Ok false
+           | Data_repair.Repaired r ->
+             Printf.printf
+               "REPAIRED (cost %.6g, achieved value %.6g, ~%.1f traces \
+                dropped, verified %b)\n"
+               r.Data_repair.cost r.Data_repair.achieved_value
+               r.Data_repair.dropped_traces r.Data_repair.verified;
+             List.iter
+               (fun (g, frac) -> Printf.printf "  drop(%s) = %.6g\n" g frac)
+               r.Data_repair.drop_fractions;
+             Ok true
+         with
+         | Trace_io.Parse_error msg -> Error msg
+         | Failure msg -> Error msg
+         | Invalid_argument msg -> Error msg
+         | Pquery.Unsupported msg -> Error msg))
+
+let data_repair_cmd =
+  let doc = "drop the fewest traces so the re-learned model satisfies a property" in
+  Cmd.v
+    (Cmd.info "data-repair" ~doc)
+    Term.(
+      const run_data_repair $ traces_arg $ states_arg $ init_arg $ labels_arg
+      $ pinned_arg $ property_arg)
+
+(* ---------------------------- reward-repair --------------------------- *)
+
+let mdp_arg =
+  let doc = "MDP file in the tml format (see lib/io/mdp_io.mli)." in
+  Arg.(required & opt (some file) None & info [ "m"; "mdp" ] ~docv:"FILE" ~doc)
+
+let theta_arg =
+  let doc = "Reward weight vector, colon-separated (e.g. 0.38:0.32:0.18)." in
+  Arg.(required & opt (some string) None & info [ "theta" ] ~docv:"THETA" ~doc)
+
+let q_constraints_arg =
+  let doc = "Q-value constraint STATE:BETTER:WORSE (repeatable)." in
+  Arg.(non_empty & opt_all string [] & info [ "c"; "constraint" ] ~docv:"QC" ~doc)
+
+let gamma_arg =
+  Arg.(value & opt float 0.9 & info [ "gamma" ] ~docv:"G" ~doc:"Discount factor.")
+
+let run_reward_repair mdp_file theta constraints gamma =
+  exit_of_result
+    (try
+       let m = Mdp_io.of_file mdp_file in
+       let theta =
+         String.split_on_char ':' theta
+         |> List.map (fun s ->
+             match float_of_string_opt s with
+             | Some f -> f
+             | None -> failwith (Printf.sprintf "bad theta component %S" s))
+         |> Array.of_list
+       in
+       let constraints =
+         List.map
+           (fun s ->
+              match String.split_on_char ':' s with
+              | [ st; better; worse ] -> (
+                  match int_of_string_opt st with
+                  | Some state ->
+                    { Reward_repair.state; better; worse; margin = 1e-4 }
+                  | None -> failwith (Printf.sprintf "bad constraint %S" s))
+              | _ ->
+                failwith
+                  (Printf.sprintf "bad constraint %S (want STATE:BETTER:WORSE)" s))
+           constraints
+       in
+       match Reward_repair.repair_q ~gamma m ~theta ~constraints with
+       | Reward_repair.Already_satisfied ->
+         Printf.printf "already satisfied\n";
+         Ok true
+       | Reward_repair.Infeasible { min_violation } ->
+         Printf.printf "INFEASIBLE (best violation %.6g)\n" min_violation;
+         Ok false
+       | Reward_repair.Repaired r ->
+         Printf.printf "REPAIRED (||dtheta||^2 = %.6g, verified %b)\n"
+           r.Reward_repair.cost r.Reward_repair.verified;
+         Printf.printf "theta' =";
+         Array.iter (fun v -> Printf.printf " %.6g" v) r.Reward_repair.theta;
+         print_newline ();
+         Printf.printf "optimal policy:";
+         Array.iteri (fun s a -> Printf.printf " (S%d,%s)" s a) r.Reward_repair.policy;
+         print_newline ();
+         Ok true
+     with
+     | Mdp_io.Parse_error msg -> Error msg
+     | Failure msg -> Error msg
+     | Invalid_argument msg -> Error msg
+     | Sys_error msg -> Error msg)
+
+let reward_repair_cmd =
+  let doc = "minimally change reward weights so unsafe actions lose their Q-advantage" in
+  Cmd.v
+    (Cmd.info "reward-repair" ~doc)
+    Term.(const run_reward_repair $ mdp_arg $ theta_arg $ q_constraints_arg $ gamma_arg)
+
+(* ------------------------------ pipeline ------------------------------ *)
+
+let run_pipeline traces_file states init labels pinned vars deltas prop =
+  exit_of_result
+    (match load_property prop with
+     | Error e -> Error e
+     | Ok phi -> (
+         try
+           let groups = Trace_io.of_file traces_file in
+           let labels =
+             List.map
+               (fun s ->
+                  match parse_label_def s with
+                  | Ok l -> l
+                  | Error e -> failwith e)
+               labels
+           in
+           let model_spec =
+             if vars = [] then None
+             else
+               Some
+                 {
+                   Model_repair.variables = List.map Spec_io.parse_variable vars;
+                   deltas = List.map Spec_io.parse_delta deltas;
+                 }
+           in
+           let data_spec =
+             if groups = [] then None
+             else Some (Data_repair.spec ~pinned groups)
+           in
+           let report =
+             Pipeline.run ~n:states ~init ~labels ?model_spec ?data_spec
+               ~groups phi
+           in
+           Format.printf "%a@?" Pipeline.pp_report report;
+           (match report.Pipeline.outcome with
+            | Pipeline.Unrepairable _ -> Ok false
+            | _ -> Ok true)
+         with
+         | Trace_io.Parse_error msg -> Error msg
+         | Spec_io.Parse_error msg -> Error msg
+         | Failure msg -> Error msg
+         | Invalid_argument msg -> Error msg
+         | Pquery.Unsupported msg -> Error msg))
+
+let pipeline_cmd =
+  let doc =
+    "the full TML pipeline: learn from traces, verify, try model repair, \
+     fall back to data repair"
+  in
+  Cmd.v
+    (Cmd.info "pipeline" ~doc)
+    Term.(
+      const run_pipeline $ traces_arg $ states_arg $ init_arg $ labels_arg
+      $ pinned_arg $ vars_arg $ deltas_arg $ property_arg)
+
+(* -------------------------------- smc --------------------------------- *)
+
+let samples_arg =
+  Arg.(value & opt int 10_000 & info [ "samples" ] ~docv:"K" ~doc:"Sample budget.")
+
+let run_smc model prop samples seed =
+  exit_of_result
+    (match (load_model model, load_property prop) with
+     | Error e, _ | _, Error e -> Error e
+     | Ok d, Ok phi -> (
+         try
+           let rng = Prng.create seed in
+           match phi with
+           | Pctl.Prob (_, _, psi) ->
+             let est = Smc.estimate ~samples rng d psi in
+             Printf.printf "estimate %.6g  (95%% CI [%.6g, %.6g], %d samples)\n"
+               est.Smc.probability est.Smc.ci_low est.Smc.ci_high est.Smc.samples;
+             let verdict, n = Smc.sprt ~max_samples:samples rng d phi in
+             Printf.printf "SPRT: %s after %d samples\n"
+               (match verdict with
+                | Smc.Accept -> "ACCEPT"
+                | Smc.Reject -> "REJECT"
+                | Smc.Undecided -> "UNDECIDED")
+               n;
+             Ok (verdict = Smc.Accept)
+           | _ -> Error "smc needs a top-level P property"
+         with Smc.Unsupported msg -> Error msg))
+
+let smc_cmd =
+  let doc = "statistical model checking (Monte Carlo + SPRT)" in
+  Cmd.v
+    (Cmd.info "smc" ~doc)
+    Term.(const run_smc $ model_arg $ property_arg $ samples_arg $ seed_arg)
+
+(* ------------------------------ quotient ------------------------------ *)
+
+let run_quotient model output =
+  exit_of_result
+    (match load_model model with
+     | Error e -> Error e
+     | Ok d ->
+       let q, part = Bisimulation.quotient d in
+       Printf.printf "%d states -> %d bisimulation classes\n"
+         (Dtmc.num_states d) (Bisimulation.num_blocks part);
+       (match output with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Dtmc_io.to_string q);
+          close_out oc;
+          Printf.printf "quotient written to %s\n" path
+        | None -> print_string (Dtmc_io.to_string q));
+       Ok true)
+
+let quotient_cmd =
+  let doc = "bisimulation-minimise a DTMC" in
+  Cmd.v
+    (Cmd.info "quotient" ~doc)
+    Term.(const run_quotient $ model_arg $ output_arg)
+
+(* ------------------------------ simulate ------------------------------ *)
+
+let steps_arg =
+  Arg.(value & opt int 50 & info [ "steps" ] ~docv:"N" ~doc:"Maximum path length.")
+
+let count_arg =
+  Arg.(value & opt int 1 & info [ "n"; "count" ] ~docv:"K" ~doc:"Number of paths.")
+
+let run_simulate model steps count seed =
+  exit_of_result
+    (match load_model model with
+     | Error e -> Error e
+     | Ok d ->
+       let rng = Prng.create seed in
+       for _ = 1 to count do
+         let path = Dtmc.simulate rng d ~max_steps:steps () in
+         print_endline (String.concat " " (List.map string_of_int path))
+       done;
+       Ok true)
+
+let simulate_cmd =
+  let doc = "sample paths from a DTMC" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const run_simulate $ model_arg $ steps_arg $ count_arg $ seed_arg)
+
+(* ----------------------------- experiments ---------------------------- *)
+
+let which_arg =
+  let doc = "Which experiment to run: e1..e6, f1 or all." in
+  Arg.(value & pos 0 string "all" & info [] ~docv:"WHICH" ~doc)
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads for E4/E6.")
+
+let run_experiments which quick =
+  let rows =
+    match String.lowercase_ascii which with
+    | "all" -> Some (Experiments.all ~quick ())
+    | "e1" -> Some [ Experiments.e1 () ]
+    | "e2" -> Some [ Experiments.e2 () ]
+    | "e3" -> Some [ Experiments.e3 () ]
+    | "e4" ->
+      Some [ Experiments.e4 ~observations:(if quick then 1200 else 3000) () ]
+    | "e5" -> Some [ Experiments.e5 () ]
+    | "e6" -> Some [ Experiments.e6 ~trajectories:(if quick then 120 else 300) () ]
+    | "f1" -> Some [ Experiments.f1 () ]
+    | _ -> None
+  in
+  match rows with
+  | None ->
+    Printf.eprintf "unknown experiment %S (want e1..e6, f1 or all)\n" which;
+    2
+  | Some rows ->
+    Format.printf "%a@?" Experiments.print_rows rows;
+    if List.for_all (fun r -> r.Experiments.ok) rows then 0 else 1
+
+let experiments_cmd =
+  let doc = "reproduce the paper's evaluation (DSN'18 §V)" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const run_experiments $ which_arg $ quick_arg)
+
+(* ------------------------------- main --------------------------------- *)
+
+let main_cmd =
+  let doc = "Trusted Machine Learning: model, data and reward repair for MDPs" in
+  Cmd.group
+    (Cmd.info "tml" ~version:"1.0.0" ~doc)
+    [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
+      pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/car_controller.ml: Array Car Format Irl List Mdp Prng Reward_repair Trace Trace_logic Value

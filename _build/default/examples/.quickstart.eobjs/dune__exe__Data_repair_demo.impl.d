@@ -1,0 +1,1 @@
+examples/data_repair_demo.ml: Check_dtmc Data_repair Dtmc Format List Mle Pctl Pctl_parser Ratfun Trace

@@ -1,0 +1,1 @@
+examples/data_repair_demo.mli:

@@ -1,0 +1,1 @@
+examples/hmm_monitoring.ml: Baum_welch Format Fun Hmm List Prng

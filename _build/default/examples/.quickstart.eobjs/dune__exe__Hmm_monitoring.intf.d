@@ -1,0 +1,1 @@
+examples/hmm_monitoring.mli:

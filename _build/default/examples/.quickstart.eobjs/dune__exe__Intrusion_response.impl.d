@@ -1,0 +1,1 @@
+examples/intrusion_response.ml: Array Check_dtmc Check_mdp Float Format Mdp Option Pctl_parser Reward_repair Rule_parser Trace_logic

@@ -1,0 +1,1 @@
+examples/intrusion_response.mli:

@@ -1,0 +1,1 @@
+examples/lane_change.ml: Check_dtmc Float Format Idtmc List Mle Model_repair Option Pctl Pctl_parser Prng Ratfun Robust Smc Trace

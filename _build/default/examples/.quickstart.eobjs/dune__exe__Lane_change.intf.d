@@ -1,0 +1,1 @@
+examples/lane_change.mli:

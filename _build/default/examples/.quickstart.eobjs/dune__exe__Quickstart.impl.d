@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check_dtmc Dtmc Format List Model_repair Pctl Pctl_parser Printf Ratfun

@@ -1,0 +1,1 @@
+examples/wsn_routing.ml: Array Check_dtmc Data_repair Dtmc Float Format List Model_repair Option Prng Ratio Wsn

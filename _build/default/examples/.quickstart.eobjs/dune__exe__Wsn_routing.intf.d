@@ -1,0 +1,1 @@
+examples/wsn_routing.mli:

@@ -1,0 +1,481 @@
+(* Sign-magnitude bignums, little-endian limbs in base 2^31.
+
+   Invariants: [mag] has no trailing (most-significant) zero limb; the value
+   zero is uniquely { sign = 0; mag = [||] }; sign is -1, 0 or 1.
+
+   Base 2^31 is the largest base for which Knuth's Algorithm D stays within
+   63-bit native ints: the worst intermediate, (B-1)*B + (B-1) = B^2 - 1
+   = 2^62 - 1, is exactly [max_int]. *)
+
+let base_bits = 31
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude helpers (arrays of limbs, unsigned)                       *)
+(* ------------------------------------------------------------------ *)
+
+let mag_normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = Stdlib.max la lb in
+  let r = Array.make (l + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  r.(l) <- !carry;
+  mag_normalize r
+
+(* Requires a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let s = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if s < 0 then begin r.(i) <- s + base; borrow := 1 end
+    else begin r.(i) <- s; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_normalize r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to lb - 1 do
+          let s = r.(i + j) + (ai * b.(j)) + !carry in
+          r.(i + j) <- s land mask;
+          carry := s lsr base_bits
+        done;
+        (* Propagate the final carry; it fits in one limb here but a
+           subsequent row may push it further. *)
+        let k = ref (i + lb) in
+        while !carry <> 0 do
+          let s = r.(!k) + !carry in
+          r.(!k) <- s land mask;
+          carry := s lsr base_bits;
+          incr k
+        done
+      end
+    done;
+    mag_normalize r
+  end
+
+let mag_mul_small a m =
+  (* 0 <= m < base *)
+  if m = 0 || Array.length a = 0 then [||]
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * m) + !carry in
+      r.(i) <- s land mask;
+      carry := s lsr base_bits
+    done;
+    r.(la) <- !carry;
+    mag_normalize r
+  end
+
+let mag_add_small a m =
+  (* 0 <= m < base *)
+  let la = Array.length a in
+  let r = Array.make (la + 1) 0 in
+  Array.blit a 0 r 0 la;
+  let carry = ref m in
+  let i = ref 0 in
+  while !carry <> 0 && !i <= la do
+    let s = r.(!i) + !carry in
+    r.(!i) <- s land mask;
+    carry := s lsr base_bits;
+    incr i
+  done;
+  mag_normalize r
+
+(* Divide by a single limb 0 < d < base; returns (quotient, remainder). *)
+let mag_divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_normalize q, !r)
+
+(* Shift magnitude left by s bits, 0 <= s < base_bits. Always returns
+   la + 1 limbs (top limb possibly 0): Algorithm D relies on the extra
+   high limb being present even when s = 0. *)
+let mag_shift_left_bits a s =
+  let la = Array.length a in
+  let r = Array.make (la + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to la - 1 do
+    let v = (a.(i) lsl s) lor !carry in
+    r.(i) <- v land mask;
+    carry := v lsr base_bits
+  done;
+  r.(la) <- !carry;
+  r
+
+let mag_shift_right_bits a s =
+  if s = 0 then Array.copy a
+  else begin
+    let la = Array.length a in
+    let r = Array.make la 0 in
+    for i = 0 to la - 1 do
+      let lo = a.(i) lsr s in
+      let hi = if i + 1 < la then (a.(i + 1) lsl (base_bits - s)) land mask else 0 in
+      r.(i) <- lo lor hi
+    done;
+    mag_normalize r
+  end
+
+(* Knuth Algorithm D (TAOCP vol.2, 4.3.1).  Requires |b| >= 2 limbs and
+   |a| >= |b|; returns (quotient, remainder) of magnitudes. *)
+let mag_divmod_knuth a b =
+  let n = Array.length b in
+  (* D1: normalize so that the top limb of v is >= base/2. *)
+  let s =
+    let top = b.(n - 1) in
+    let rec go s = if (top lsl s) land mask >= base / 2 then s else go Stdlib.(s + 1) in
+    go 0
+  in
+  let v = mag_shift_left_bits b s in
+  let v = Array.sub v 0 n in  (* top carry is zero since shift keeps width *)
+  let u = mag_shift_left_bits a s in
+  let m = Array.length u - n in (* u has length la+1 >= n+1 *)
+  let u = if m < 1 then Array.append u (Array.make (1 - m) 0) else u in
+  let m = Array.length u - n in
+  let q = Array.make m 0 in
+  let vtop = v.(n - 1) and vsec = if n >= 2 then v.(n - 2) else 0 in
+  for j = m - 1 downto 0 do
+    (* D3: estimate qhat. *)
+    let hi = u.(j + n) and lo = u.(j + n - 1) in
+    let num = (hi lsl base_bits) lor lo in
+    let qhat = ref (num / vtop) and rhat = ref (num mod vtop) in
+    if !qhat >= base then begin
+      rhat := !rhat + ((!qhat - (base - 1)) * vtop);
+      qhat := base - 1
+    end;
+    let continue = ref true in
+    while !continue && !rhat < base do
+      let u2 = if j + n - 2 >= 0 then u.(j + n - 2) else 0 in
+      if !qhat * vsec > (!rhat lsl base_bits) lor u2 then begin
+        decr qhat;
+        rhat := !rhat + vtop
+      end else continue := false
+    done;
+    (* D4: u[j .. j+n] -= qhat * v. *)
+    let borrow = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !borrow in
+      let t = u.(j + i) - (p land mask) in
+      if t < 0 then begin u.(j + i) <- t + base; borrow := (p lsr base_bits) + 1 end
+      else begin u.(j + i) <- t; borrow := p lsr base_bits end
+    done;
+    let t = u.(j + n) - !borrow in
+    if t < 0 then begin
+      (* D6: qhat was one too large; add v back. *)
+      u.(j + n) <- t + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s2 = u.(j + i) + v.(i) + !carry in
+        u.(j + i) <- s2 land mask;
+        carry := s2 lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end else u.(j + n) <- t;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right_bits (mag_normalize (Array.sub u 0 n)) s in
+  (mag_normalize q, r)
+
+let mag_divmod a b =
+  match Array.length b with
+  | 0 -> raise Division_by_zero
+  | _ when mag_compare a b < 0 -> ([||], Array.copy a)
+  | 1 ->
+    let q, r = mag_divmod_small a b.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> mag_divmod_knuth a b
+
+(* ------------------------------------------------------------------ *)
+(* Signed layer                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_normalize mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int i =
+  if i = 0 then zero
+  else begin
+    let sign = if i > 0 then 1 else -1 in
+    (* Avoid overflow on min_int by working with a non-negative value in
+       pieces: min_int magnitude still fits since we split into limbs. *)
+    let rec limbs acc v =
+      if v = 0 then List.rev acc
+      else limbs ((v land mask) :: acc) (v lsr base_bits)
+    in
+    let v = if i > 0 then i else begin
+        (* -min_int overflows; handle via lnot + 1 on the limb list *)
+        if i = min_int then min_int else -i
+      end
+    in
+    if i = min_int then
+      (* min_int = -(2^62); magnitude is 2^62 = limb pattern [0;0;1 lsl 0] in
+         base 2^31: 2^62 = (2^31)^2. *)
+      { sign = -1; mag = [| 0; 0; 1 |] }
+    else { sign; mag = Array.of_list (limbs [] v) }
+  end
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign t = t.sign
+let is_zero t = t.sign = 0
+let is_one t = t.sign = 1 && Array.length t.mag = 1 && t.mag.(0) = 1
+
+let equal a b = a.sign = b.sign && mag_compare a.mag b.mag = 0
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign >= 0 then mag_compare a.mag b.mag
+  else mag_compare b.mag a.mag
+
+let hash t =
+  Array.fold_left (fun h l -> (h * 65599) + l) t.sign t.mag
+
+let num_bits t =
+  let n = Array.length t.mag in
+  if n = 0 then 0
+  else begin
+    let top = t.mag.(n - 1) in
+    let rec bits b v = if v = 0 then b else bits Stdlib.(b + 1) (v lsr 1) in
+    ((n - 1) * base_bits) + bits 0 top
+  end
+
+let neg t = if t.sign = 0 then zero else { t with sign = -t.sign }
+let abs t = if t.sign < 0 then neg t else t
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else begin
+    let c = mag_compare a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let succ t = add t one
+let pred t = sub t one
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else begin
+    let qm, rm = mag_divmod a.mag b.mag in
+    let q = make (a.sign * b.sign) qm in
+    let r = make a.sign rm in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let ediv_rem a b =
+  let q, r = divmod a b in
+  if r.sign >= 0 then (q, r)
+  else if b.sign > 0 then (pred q, add r b)
+  else (succ q, sub r b)
+
+let rec gcd_mag a b = if b.sign = 0 then a else gcd_mag b (rem a b)
+
+let gcd a b = gcd_mag (abs a) (abs b)
+
+let lcm a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else abs (div (mul a b) (gcd a b))
+
+let pow b e =
+  if e < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go one b e
+
+let shift_left t k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let shifted = mag_shift_left_bits t.mag bits in
+    let mag = Array.append (Array.make limbs 0) shifted in
+    make t.sign mag
+  end
+
+let shift_right t k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  if t.sign = 0 || k = 0 then t
+  else begin
+    let limbs = k / base_bits and bits = k mod base_bits in
+    let n = Array.length t.mag in
+    if limbs >= n then zero
+    else begin
+      let dropped = Array.sub t.mag limbs (n - limbs) in
+      make t.sign (mag_shift_right_bits dropped bits)
+    end
+  end
+
+let mul_int t m =
+  if m = 0 || t.sign = 0 then zero
+  else begin
+    let am = Stdlib.abs m in
+    let s = if m > 0 then t.sign else -t.sign in
+    if am < base then make s (mag_mul_small t.mag am)
+    else mul t (of_int m)
+  end
+
+let add_int t m = add t (of_int m)
+
+let to_int_opt t =
+  if num_bits t <= 62 then begin
+    let v = Array.fold_right (fun l acc -> (acc lsl base_bits) lor l) t.mag 0 in
+    Some (if t.sign < 0 then -v else v)
+  end
+  else if t.sign < 0 && num_bits t = 63 && equal t (of_int min_int) then Some min_int
+  else None
+
+let to_int_exn t =
+  match to_int_opt t with
+  | Some i -> i
+  | None -> failwith "Bigint.to_int_exn: does not fit in int"
+
+let to_float t =
+  let f = Array.fold_right (fun l acc -> (acc *. 2147483648.0) +. float_of_int l) t.mag 0.0 in
+  if t.sign < 0 then -.f else f
+
+(* Decimal I/O via 10^9 chunks (10^9 < base). *)
+let chunk = 1_000_000_000
+
+let to_string t =
+  if t.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec go mag acc =
+      if Array.length mag = 0 then acc
+      else begin
+        let q, r = mag_divmod_small mag chunk in
+        go q (r :: acc)
+      end
+    in
+    let chunks = go t.mag [] in
+    if t.sign < 0 then Buffer.add_char buf '-';
+    (match chunks with
+     | [] -> assert false
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string_opt s =
+  let len = String.length s in
+  if len = 0 then None
+  else begin
+    let neg, start =
+      match s.[0] with
+      | '-' -> (true, 1)
+      | '+' -> (false, 1)
+      | _ -> (false, 0)
+    in
+    if start >= len then None
+    else begin
+      let mag = ref [||] in
+      let acc = ref 0 and acc_digits = ref 0 in
+      let ok = ref true in
+      String.iteri
+        (fun i c ->
+           if i >= start && !ok then begin
+             match c with
+             | '0' .. '9' ->
+               acc := (!acc * 10) + (Char.code c - Char.code '0');
+               incr acc_digits;
+               if !acc_digits = 9 then begin
+                 mag := mag_add_small (mag_mul_small !mag chunk) !acc;
+                 acc := 0;
+                 acc_digits := 0
+               end
+             | '_' -> ()
+             | _ -> ok := false
+           end)
+        s;
+      if not !ok then None
+      else begin
+        if !acc_digits > 0 then begin
+          let p = int_of_float (10.0 ** float_of_int !acc_digits) in
+          mag := mag_add_small (mag_mul_small !mag p) !acc
+        end;
+        let m = mag_normalize !mag in
+        if Array.length m = 0 then Some zero
+        else Some { sign = (if neg then -1 else 1); mag = m }
+      end
+    end
+  end
+
+let of_string s =
+  match of_string_opt s with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "Bigint.of_string: %S" s)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,96 @@
+(** Arbitrary-precision signed integers.
+
+    Implemented as sign-magnitude with little-endian limbs in base [2^31]
+    (safe on 63-bit native ints). Division uses Knuth's Algorithm D.
+
+    This module exists because the sealed build environment has no [zarith];
+    exact integer arithmetic is required by {!Tml_rational} and, through it,
+    by the parametric model-checking engine. *)
+
+type t
+
+(** {1 Constants and conversions} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt n] is [Some i] when [n] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal literal. Underscores are allowed as
+    digit separators. @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val to_float : t -> float
+(** Nearest float (may overflow to infinity). *)
+
+(** {1 Queries} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncation toward zero and
+    [sign r = sign a] (the convention of [Stdlib.( / )]).
+    @raise Division_by_zero when [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val ediv_rem : t -> t -> t * t
+(** Euclidean division: remainder is always non-negative. *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd zero zero = zero]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** [pow b e] for [e >= 0]. @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic shift on the magnitude (floor for negatives is not needed by
+    clients; this truncates the magnitude toward zero). *)
+
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+(** {1 Operators and printing} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/casestudies/car.ml: Array Fun List Mdp Reward_repair Trace Trace_logic

@@ -1,0 +1,1 @@
+lib/casestudies/car.mli: Mdp Reward_repair Trace Trace_logic

@@ -1,0 +1,1 @@
+lib/casestudies/experiments.ml: Array Car Check_dtmc Data_repair Float Format Fun Irl List Mdp Model_repair Option Printf Prng Ratio Reward_repair String Trace Trace_logic Value Wsn

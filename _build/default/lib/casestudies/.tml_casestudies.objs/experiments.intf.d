@@ -1,0 +1,1 @@
+lib/casestudies/experiments.mli: Format

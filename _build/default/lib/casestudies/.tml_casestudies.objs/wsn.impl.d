@@ -1,0 +1,1 @@
+lib/casestudies/wsn.ml: Array Check_dtmc Dtmc List Model_repair Pctl Printf Prng Ratfun Ratio Trace

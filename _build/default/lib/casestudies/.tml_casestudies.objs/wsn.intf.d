@@ -1,0 +1,1 @@
+lib/casestudies/wsn.mli: Dtmc Model_repair Pctl Prng Trace

@@ -1,0 +1,85 @@
+let collision_state = 2
+let offroad_state = 10
+let target_state = 4
+
+(* Grid geometry: right lane = row 0, columns 0..4 (S0..S4);
+   left lane = row 1, columns 0..4 (S5..S9); S10 off-road. *)
+let position s = if s <= 4 then (0, s) else (1, s - 5)
+
+let manhattan (r1, c1) (r2, c2) = abs (r1 - r2) + abs (c1 - c2)
+
+(* φ2: normalised distance to the nearest unsafe state (the van S2; the
+   off-road state has distance 0 to itself). *)
+let distance_feature s =
+  if s = offroad_state then 0.0
+  else
+    float_of_int (manhattan (position s) (position collision_state)) /. 3.0
+
+let features s =
+  let lane = if s = offroad_state then 0.0 else if s <= 4 then 1.0 else 0.0 in
+  let target = if s = target_state then 1.0 else 0.0 in
+  [| lane; distance_feature s; target |]
+
+let mdp () =
+  let fwd s =
+    if s <= 3 then s + 1 (* S1 fwd hits the van at S2; S3 fwd reaches S4 *)
+    else if s <= 8 then s + 1
+    else offroad_state (* S9: failed to return to the right lane *)
+  in
+  let actions =
+    List.concat_map
+      (fun s ->
+         if s = target_state || s = offroad_state then
+           [ (s, "stay", [ (s, 1.0) ]) ]
+         else if s <= 4 then
+           (* right lane: fwd, left (to s+5), right (off-road) *)
+           [ (s, "fwd", [ (fwd s, 1.0) ]);
+             (s, "left", [ (s + 5, 1.0) ]);
+             (s, "right", [ (offroad_state, 1.0) ]);
+           ]
+         else
+           (* left lane: fwd, right (back to s-5), left (off-road) *)
+           [ (s, "fwd", [ (fwd s, 1.0) ]);
+             (s, "right", [ (s - 5, 1.0) ]);
+             (s, "left", [ (offroad_state, 1.0) ]);
+           ])
+      (List.init 11 Fun.id)
+  in
+  Mdp.make ~n:11 ~init:0 ~actions
+    ~labels:
+      [ ("unsafe", [ collision_state; offroad_state ]);
+        ("target", [ target_state ]);
+        ("right_lane", [ 0; 1; 2; 3; 4 ]);
+        ("left_lane", [ 5; 6; 7; 8; 9 ]);
+      ]
+    ~features:(Array.init 11 features)
+    ()
+
+let expert_trace () =
+  Trace.make
+    [ (0, "fwd"); (1, "left"); (6, "fwd"); (7, "fwd"); (8, "right"); (3, "fwd") ]
+    4
+
+let expert_traces k = List.init k (fun _ -> expert_trace ())
+
+let safety_rule = Trace_logic.avoids_states [ collision_state; offroad_state ]
+
+let unsafe_q_constraint =
+  { Reward_repair.state = 1; better = "left"; worse = "fwd"; margin = 1e-4 }
+
+let paper_learned_theta = [| 0.38; 0.32; 0.18 |]
+
+let policy_visits_unsafe m policy =
+  let rec go s steps =
+    if s = collision_state || s = offroad_state then true
+    else if steps > 25 then false
+    else
+      match Mdp.find_action m s policy.(s) with
+      | None -> false
+      | Some a -> (
+          match a.Mdp.dist with
+          | [ (d, _) ] -> if d = s then false else go d (steps + 1)
+          | dist ->
+            List.exists (fun (d, p) -> p > 0.0 && go d (steps + 1)) dist)
+  in
+  go (Mdp.init_state m) 0

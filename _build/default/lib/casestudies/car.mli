@@ -1,0 +1,46 @@
+(** §V-B case study: obstacle avoidance controller (Fig. 1).
+
+    Eleven states. S0–S4 form the right lane (S4 = target sink, reached
+    after safely overtaking), S5–S9 the left lane, S2 is the van (collision,
+    unsafe), S10 is off-road / failed-to-return (unsafe sink). Actions:
+    ["fwd"] (action 0), ["left"] (action 1, S_i → S_{i+5}) and ["right"]
+    (action 2, S_j → S_{j−5}); all transitions deterministic.
+
+    Features (paper's φ1–φ3): lane indicator, normalised distance to the
+    nearest unsafe state, and target indicator. The expert demonstration
+    overtakes via the left lane:
+    (S0,fwd)(S1,left)(S6,fwd)(S7,fwd)(S8,right)(S3,fwd) → S4. *)
+
+val collision_state : int
+(** S2, the van. *)
+
+val offroad_state : int
+(** S10. *)
+
+val target_state : int
+(** S4. *)
+
+val mdp : unit -> Mdp.t
+(** Labels: ["unsafe"] = {S2, S10}, ["target"] = {S4}, ["left_lane"] =
+    {S5..S9}, ["right_lane"] = {S0..S4}. *)
+
+val expert_trace : unit -> Trace.t
+(** The paper's expert policy rollout. *)
+
+val expert_traces : int -> Trace.t list
+(** [expert_traces k] repeats the demonstration [k] times (IRL input). *)
+
+val safety_rule : Trace_logic.t
+(** "Never visit S2 or S10". *)
+
+val unsafe_q_constraint : Reward_repair.q_constraint
+(** The §V-B repair constraint [Q(S1, left) > Q(S1, fwd)] (avoid driving
+    into the van). *)
+
+val paper_learned_theta : float array
+(** θ = (0.38, 0.32, 0.18) as reported by the paper for MaxEnt IRL on the
+    expert demonstration — used as a reference point in benches. *)
+
+val policy_visits_unsafe : Mdp.t -> Mdp.policy -> bool
+(** Whether the deterministic rollout of the policy from S0 reaches an
+    unsafe state within 25 steps. *)

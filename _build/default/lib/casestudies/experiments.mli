@@ -1,0 +1,42 @@
+(** Reproduction driver for the paper's evaluation (§V) — one entry per
+    experiment in DESIGN.md's index. The same code backs the CLI's
+    [experiments] command and the benchmark harness, so EXPERIMENTS.md rows
+    are regenerated from a single source of truth. *)
+
+type row = {
+  id : string;  (** E1 .. E6, F1 *)
+  description : string;
+  paper : string;  (** what the paper reports *)
+  measured : string;  (** what this implementation measures *)
+  ok : bool;  (** whether the qualitative shape criterion holds *)
+}
+
+val e1 : unit -> row
+(** §V-A.1 "Model satisfies property": R ≤ 100 holds without repair. *)
+
+val e2 : unit -> row
+(** §V-A.1 "Model Repair gives feasible solution": X = 40. *)
+
+val e3 : unit -> row
+(** §V-A.1 "Model Repair gives infeasible solution": X = 19. *)
+
+val e4 : ?observations:int -> ?seed:int -> unit -> row
+(** §V-A.2 Data Repair: X = 19 via drop fractions (default 3000
+    observations, seed 42). *)
+
+val e5 : unit -> row
+(** §V-B Reward Repair: IRL → unsafe optimal policy → repaired θ → safe
+    policy. *)
+
+val e6 : ?trajectories:int -> ?seed:int -> unit -> row
+(** Prop. 4 projection: violating-trajectory mass → 0, satisfying ratios
+    preserved. *)
+
+val f1 : unit -> row
+(** Fig. 1 structural reproduction of the car MDP. *)
+
+val all : ?quick:bool -> unit -> row list
+(** Every experiment; [quick] shrinks E4/E6 workloads. *)
+
+val print_rows : Format.formatter -> row list -> unit
+(** Render as an aligned paper-vs-measured table. *)

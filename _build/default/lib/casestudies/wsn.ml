@@ -1,0 +1,131 @@
+type params = {
+  n : int;
+  ignore_field_station : float;
+  ignore_other : float;
+}
+
+(* Calibrated so that E[attempts] ≈ 47 for the 3×3 grid: R<=100 holds,
+   R<=40 is repairable by lowering ignore probabilities within [0, 0.1],
+   and R<=19 is not (the best reachable value is ≈ 21.4). *)
+let default_params =
+  { n = 3; ignore_field_station = 0.895; ignore_other = 0.94 }
+
+let validate p =
+  if p.n < 2 then invalid_arg "Wsn: grid side must be >= 2";
+  let ok g = g >= 0.0 && g < 1.0 in
+  if not (ok p.ignore_field_station && ok p.ignore_other) then
+    invalid_arg "Wsn: ignore probabilities must lie in [0, 1)"
+
+let node_id p row col =
+  if row < 1 || row > p.n || col < 1 || col > p.n then
+    invalid_arg (Printf.sprintf "Wsn.node_id: (%d,%d) outside %dx%d" row col p.n p.n);
+  ((row - 1) * p.n) + (col - 1)
+
+let is_field_station_row p row = row = 1 || row = p.n
+
+let coords p id = ((id / p.n) + 1, (id mod p.n) + 1)
+
+let ignore_prob p id =
+  let row, _ = coords p id in
+  if is_field_station_row p row then p.ignore_field_station else p.ignore_other
+
+(* Neighbours one step closer to the station corner (1,1). *)
+let targets p id =
+  let row, col = coords p id in
+  let up = if row > 1 then [ node_id p (row - 1) col ] else [] in
+  let left = if col > 1 then [ node_id p row (col - 1) ] else [] in
+  up @ left
+
+let delivered_state = 0 (* node_id p 1 1 *)
+
+let transitions p =
+  validate p;
+  let states = p.n * p.n in
+  List.concat
+    (List.init states (fun id ->
+         if id = delivered_state then [ (id, id, 1.0) ]
+         else begin
+           let ts = targets p id in
+           let w = 1.0 /. float_of_int (List.length ts) in
+           let moves =
+             List.map (fun t -> (id, t, w *. (1.0 -. ignore_prob p t))) ts
+           in
+           let stay =
+             List.fold_left (fun acc t -> acc +. (w *. ignore_prob p t)) 0.0 ts
+           in
+           if stay > 0.0 then (id, id, stay) :: moves else moves
+         end))
+
+let chain p =
+  let states = p.n * p.n in
+  let rewards =
+    Array.init states (fun id -> if id = delivered_state then 0.0 else 1.0)
+  in
+  Dtmc.make ~n:states
+    ~init:(node_id p p.n p.n)
+    ~transitions:(transitions p)
+    ~labels:[ ("delivered", [ delivered_state ]) ]
+    ~rewards ()
+
+let expected_attempts p =
+  Check_dtmc.reachability_reward_from_init (chain p) (Prop "delivered")
+
+let property x = Pctl.Reward (Pctl.Le, float_of_int x, Pctl.Prop "delivered")
+
+let class_var p id =
+  let row, _ = coords p id in
+  if is_field_station_row p row then "p" else "q"
+
+let repair_spec ?(bound = 0.1) p =
+  validate p;
+  if bound <= 0.0 then invalid_arg "Wsn.repair_spec: bound must be positive";
+  let deltas =
+    List.concat
+      (List.init (p.n * p.n) (fun id ->
+           if id = delivered_state then []
+           else begin
+             let ts = targets p id in
+             let w = Ratio.of_ints 1 (List.length ts) in
+             let per_target =
+               List.map
+                 (fun t ->
+                    (* success probability w·(1-g(t)) gains w·v_class(t) *)
+                    (id, t, Ratfun.mul (Ratfun.const w) (Ratfun.var (class_var p t))))
+                 ts
+             in
+             let self_delta =
+               List.fold_left
+                 (fun acc (_, _, f) -> Ratfun.sub acc f)
+                 Ratfun.zero per_target
+             in
+             (id, id, self_delta) :: per_target
+           end))
+  in
+  {
+    Model_repair.variables = [ ("p", 0.0, bound); ("q", 0.0, bound) ];
+    deltas;
+  }
+
+let observation_groups rng p ~count =
+  validate p;
+  let states = p.n * p.n in
+  let success = ref [] and fail_fs = ref [] and fail_other = ref [] in
+  for _ = 1 to count do
+    (* uniform random non-delivered position *)
+    let id = 1 + Prng.int rng (states - 1) in
+    let ts = targets p id in
+    let t = List.nth ts (Prng.int rng (List.length ts)) in
+    let g = ignore_prob p t in
+    if Prng.float rng < g then begin
+      (* ignored: message stays *)
+      let tr = Trace.of_states [ id; id ] in
+      let row, _ = coords p t in
+      if is_field_station_row p row then fail_fs := tr :: !fail_fs
+      else fail_other := tr :: !fail_other
+    end
+    else success := Trace.of_states [ id; t ] :: !success
+  done;
+  [ ("success", !success);
+    ("fail_field_station", !fail_fs);
+    ("fail_other", !fail_other);
+  ]

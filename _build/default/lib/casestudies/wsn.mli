@@ -1,0 +1,61 @@
+(** §V-A case study: query-routing controller in a wireless sensor network.
+
+    An n×n grid of nodes; a query injected at the far field corner [n_nn]
+    must reach the station corner [n_11] by peer-to-peer forwarding. Each
+    forwarding attempt targets a neighbour one step closer to the station
+    (chosen uniformly when two are available); the receiving node {e ignores}
+    the message with a node-class-dependent probability, in which case the
+    holder retries. The model tracks the message's location — the
+    "message-location chain" induced by the paper's composed node MDPs —
+    with reward 1 per attempt, so
+    [R{attempts} ≤ X \[F delivered\]] is the paper's property.
+
+    Node classes mirror the paper's repair parameterisation: {e field/station
+    nodes} (first and last grid rows — the paper's controllable class with
+    correction [p]) and {e other nodes} (correction [q]). *)
+
+type params = {
+  n : int;  (** grid side, ≥ 2 *)
+  ignore_field_station : float;  (** ignore probability, first/last rows *)
+  ignore_other : float;  (** ignore probability, middle rows *)
+}
+
+val default_params : params
+(** n = 3 with ignore probabilities calibrated so the §V-A experiments
+    reproduce: [R ≤ 100] holds, [R ≤ 40] needs (and admits) Model Repair
+    within the correction bounds, [R ≤ 19] is infeasible. *)
+
+val node_id : params -> int -> int -> int
+(** [node_id p row col] with 1-based coordinates, row-major. *)
+
+val is_field_station_row : params -> int -> bool
+(** Whether a 1-based row index belongs to the field/station class. *)
+
+val chain : params -> Dtmc.t
+(** The message-location chain. State [node_id p 1 1] is labelled
+    ["delivered"] (absorbing); every other state has reward 1 (one
+    forwarding attempt per step). The initial state is the far corner. *)
+
+val expected_attempts : params -> float
+(** Expected number of attempts to deliver — the checked value of
+    [R \[F delivered\]]. *)
+
+val property : int -> Pctl.state_formula
+(** [property x] = [R <= x \[F delivered\]]. *)
+
+val repair_spec : ?bound:float -> params -> Model_repair.spec
+(** The §V-A.1 parameterisation: correction variable [p] lowers the ignore
+    probability of field/station nodes, [q] of other nodes, both within
+    [\[0, bound\]] (default 0.1). Success edges gain [w·v], the matching
+    self-loop loses it, keeping rows stochastic. *)
+
+val observation_groups :
+  Prng.t -> params -> count:int -> (string * Trace.t list) list
+(** Single-transition observation traces (the §V-A.2 "data traces of message
+    forwarding / query dropping"), sampled by the true two-stage process
+    (uniform position, uniform neighbour target, Bernoulli ignore) and
+    partitioned into the §V-A.2 groups: ["success"] (forward succeeded),
+    ["fail_field_station"] (ignored by a field/station node) and
+    ["fail_other"]. Dropping failure observations raises the learned
+    per-attempt success probabilities, which is what makes the [R ≤ 19]
+    property reachable by Data Repair when Model Repair is not enough. *)

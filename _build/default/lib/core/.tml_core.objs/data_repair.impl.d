@@ -1,0 +1,1 @@
+lib/core/data_repair.ml: Array Check_dtmc Dtmc List Mle Nlp Option Pdtmc Pquery Printf Ratfun Ratio Trace

@@ -1,0 +1,1 @@
+lib/core/data_repair.mli: Dtmc Nlp Pctl Ratfun Ratio Trace

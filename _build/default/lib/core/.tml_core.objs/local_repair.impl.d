@@ -1,0 +1,1 @@
+lib/core/local_repair.ml: Array Bisimulation Check_dtmc Float List Model_repair Pdtmc Pquery Printf Ratfun Ratio

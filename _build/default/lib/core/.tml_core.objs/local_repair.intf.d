@@ -1,0 +1,1 @@
+lib/core/local_repair.mli: Dtmc Model_repair Pctl

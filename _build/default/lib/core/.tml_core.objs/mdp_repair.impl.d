@@ -1,0 +1,1 @@
+lib/core/mdp_repair.ml: Array Check_mdp List Mdp Nlp Pdtmc Pquery Printf Ratfun Ratio String

@@ -1,0 +1,1 @@
+lib/core/mdp_repair.mli: Mdp Nlp Pctl Ratfun

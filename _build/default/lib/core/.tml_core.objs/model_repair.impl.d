@@ -1,0 +1,1 @@
+lib/core/model_repair.ml: Array Bisimulation Check_dtmc Dtmc List Nlp Option Pdtmc Pquery Printf Ratfun Ratio String

@@ -1,0 +1,1 @@
+lib/core/model_repair.mli: Dtmc Nlp Pctl Pdtmc Ratfun

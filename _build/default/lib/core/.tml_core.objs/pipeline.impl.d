@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Check_dtmc Data_repair Format List Mle Model_repair Option Pctl Ratio

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Data_repair Format Model_repair Pctl Ratio Trace

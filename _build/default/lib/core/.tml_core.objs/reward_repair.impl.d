@@ -1,0 +1,1 @@
+lib/core/reward_repair.ml: Array Float Irl List Mdp Nlp Printf Prng Trace Trace_logic Value

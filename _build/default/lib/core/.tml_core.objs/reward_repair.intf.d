@@ -1,0 +1,1 @@
+lib/core/reward_repair.mli: Irl Mdp Prng Trace Trace_logic

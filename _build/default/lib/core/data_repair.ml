@@ -1,0 +1,100 @@
+type spec = {
+  groups : (string * Trace.t list) list;
+  max_drop : float;
+  pinned : string list;
+}
+
+let spec ?(max_drop = 0.999) ?(pinned = []) groups =
+  if max_drop <= 0.0 || max_drop >= 1.0 then
+    invalid_arg "Data_repair.spec: max_drop must lie in (0, 1)";
+  List.iter
+    (fun p ->
+       if not (List.mem_assoc p groups) then
+         invalid_arg (Printf.sprintf "Data_repair.spec: unknown pinned group %s" p))
+    pinned;
+  { groups; max_drop; pinned }
+
+type repaired = {
+  dtmc : Dtmc.t;
+  drop_fractions : (string * float) list;
+  cost : float;
+  achieved_value : float;
+  dropped_traces : float;
+  symbolic_constraint : Ratfun.t;
+  verified : bool;
+}
+
+type result =
+  | Already_satisfied of float option
+  | Repaired of repaired
+  | Infeasible of { min_violation : float }
+
+let default_cost x = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x
+
+let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
+    ?(starts = 12) ?(seed = 0) ?cost ?(force = false) phi sp =
+  if sp.groups = [] then invalid_arg "Data_repair: no trace groups";
+  (* Parametric re-learning: model as rational functions of drop vector. *)
+  let pmodel =
+    Mle.parametric_mle ~n ~init ~labels ?rewards ~groups:sp.groups ()
+  in
+  (* Step 1: the model learned from the unrepaired data (all x_g = 0). *)
+  let original_model = Pdtmc.instantiate pmodel (fun _ -> Ratio.zero) in
+  let original = Check_dtmc.check_verbose original_model phi in
+  if original.Check_dtmc.holds && not force then
+    Already_satisfied original.Check_dtmc.value
+  else begin
+    let query = Pquery.of_formula pmodel phi in
+    (* Only groups whose variable actually appears in f(x) need solving;
+       pinned groups are fixed at 0 via their bounds. *)
+    let var_names = List.map fst sp.groups in
+    let dim = List.length var_names in
+    let env_of x v =
+      let rec go i = function
+        | [] -> 0.0
+        | name :: rest -> if name = v then x.(i) else go (i + 1) rest
+      in
+      go 0 var_names
+    in
+    let lower = Array.make dim 0.0 in
+    let upper =
+      Array.of_list
+        (List.map
+           (fun name -> if List.mem name sp.pinned then 0.0 else sp.max_drop)
+           var_names)
+    in
+    (* interior margin: see Model_repair *)
+    let property_constraint =
+      ("property", fun x -> Pquery.constraint_violation ~margin:1e-6 query (env_of x))
+    in
+    let problem =
+      Nlp.problem ~dim
+        ~objective:(Option.value ~default:default_cost cost)
+        ~inequalities:[ property_constraint ]
+        ~lower ~upper ()
+    in
+    match Nlp.solve ~method_:solver ~starts ~seed problem with
+    | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
+    | Nlp.Feasible s ->
+      let drop_fractions = List.mapi (fun i g -> (g, s.Nlp.x.(i))) var_names in
+      let env v = Ratio.of_float (List.assoc v drop_fractions) in
+      let repaired_dtmc = Pdtmc.instantiate pmodel env in
+      let verdict = Check_dtmc.check_verbose repaired_dtmc phi in
+      let dropped_traces =
+        List.fold_left
+          (fun acc (g, frac) ->
+             acc
+             +. (frac *. float_of_int (List.length (List.assoc g sp.groups))))
+          0.0 drop_fractions
+      in
+      Repaired
+        {
+          dtmc = repaired_dtmc;
+          drop_fractions;
+          cost = s.Nlp.objective_value;
+          achieved_value = query.Pquery.eval (env_of s.Nlp.x);
+          dropped_traces;
+          symbolic_constraint = query.Pquery.value;
+          verified = verdict.Check_dtmc.holds;
+        }
+  end

@@ -1,0 +1,97 @@
+type result =
+  | Already_satisfied of float option
+  | Repaired of Model_repair.repaired
+  | Infeasible of { residual_violation : float }
+
+let edge_margin = 1e-9
+
+let repair ?(tol = 1e-9) ?(rounds = 4) ?(force = false) dtmc phi spec =
+  List.iter
+    (fun (name, lo, _) ->
+       if lo <> 0.0 then
+         invalid_arg
+           (Printf.sprintf
+              "Local_repair: variable %s must have lower bound 0 (got %g)" name lo))
+    spec.Model_repair.variables;
+  let original = Check_dtmc.check_verbose dtmc phi in
+  if original.Check_dtmc.holds && not force then
+    Already_satisfied original.Check_dtmc.value
+  else begin
+    let pmodel = Model_repair.parametric_model dtmc spec in
+    let query = Pquery.of_formula pmodel phi in
+    let var_names = List.map (fun (n, _, _) -> n) spec.Model_repair.variables in
+    let upper =
+      Array.of_list (List.map (fun (_, _, hi) -> hi) spec.Model_repair.variables)
+    in
+    let dim = Array.length upper in
+    let env_of x v =
+      let rec go i = function
+        | [] -> 0.0
+        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
+      in
+      go 0 var_names
+    in
+    (* feasibility = property constraint + perturbed edges stay in (0,1) *)
+    let perturbed_edges =
+      List.sort_uniq compare
+        (List.map (fun (s, d, _) -> (s, d)) spec.Model_repair.deltas)
+    in
+    let edge_fns =
+      List.map
+        (fun (s, d) -> Ratfun.compile (List.assoc d (Pdtmc.succ pmodel s)))
+        perturbed_edges
+    in
+    let feasible x =
+      Pquery.constraint_violation ~margin:1e-6 query (env_of x) <= 0.0
+      && List.for_all
+           (fun f ->
+              let v = f (env_of x) in
+              v > edge_margin && v < 1.0 -. edge_margin)
+           edge_fns
+    in
+    let scale t = Array.map (fun hi -> t *. hi) upper in
+    if not (feasible (scale 1.0)) then begin
+      let violation =
+        Float.max 0.0
+          (Pquery.constraint_violation ~margin:0.0 query (env_of (scale 1.0)))
+      in
+      Infeasible { residual_violation = violation }
+    end
+    else begin
+      (* 1. smallest diagonal scale that is feasible *)
+      let lo = ref 0.0 and hi = ref 1.0 in
+      while !hi -. !lo > tol do
+        let mid = (!lo +. !hi) /. 2.0 in
+        if feasible (scale mid) then hi := mid else lo := mid
+      done;
+      let x = scale !hi in
+      (* 2. coordinate descent: shrink one variable at a time *)
+      for _ = 1 to rounds do
+        for i = 0 to dim - 1 do
+          let orig = x.(i) in
+          let lo = ref 0.0 and hi = ref orig in
+          while !hi -. !lo > tol do
+            let mid = (!lo +. !hi) /. 2.0 in
+            x.(i) <- mid;
+            if feasible x then hi := mid else lo := mid
+          done;
+          x.(i) <- !hi;
+          if not (feasible x) then x.(i) <- orig
+        done
+      done;
+      let assignment = List.mapi (fun i n -> (n, x.(i))) var_names in
+      let env v = Ratio.of_float (List.assoc v assignment) in
+      let repaired_dtmc = Pdtmc.instantiate pmodel env in
+      let verdict = Check_dtmc.check_verbose repaired_dtmc phi in
+      Repaired
+        {
+          Model_repair.dtmc = repaired_dtmc;
+          assignment;
+          cost = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x;
+          achieved_value = query.Pquery.eval (env_of x);
+          symbolic_constraint = query.Pquery.value;
+          verified = verdict.Check_dtmc.holds;
+          epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;
+        }
+    end
+  end

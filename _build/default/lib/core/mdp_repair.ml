@@ -1,0 +1,217 @@
+type spec = {
+  variables : (string * float * float) list;
+  deltas : (int * string * int * Ratfun.t) list;
+}
+
+type repaired = {
+  mdp : Mdp.t;
+  assignment : (string * float) list;
+  cost : float;
+  constraints_checked : int;
+  verified : bool;
+}
+
+type result =
+  | Already_satisfied
+  | Repaired of repaired
+  | Infeasible of { min_violation : float }
+
+let enumerate_policies ?(cap = 512) m =
+  let n = Mdp.num_states m in
+  let choices = Array.init n (fun s -> Mdp.action_names m s) in
+  let total =
+    Array.fold_left (fun acc l -> acc * List.length l) 1 choices
+  in
+  if total > cap then
+    invalid_arg
+      (Printf.sprintf
+         "Mdp_repair: %d deterministic policies exceed the cap of %d" total cap);
+  let rec go s acc =
+    if s = n then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat_map (fun a -> go (s + 1) (a :: acc)) choices.(s)
+  in
+  go 0 []
+
+let validate_spec m spec =
+  let names = List.map (fun (n, _, _) -> n) spec.variables in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Mdp_repair: duplicate variable names";
+  List.iter
+    (fun (s, a, d, f) ->
+       (match Mdp.find_action m s a with
+        | None ->
+          invalid_arg (Printf.sprintf "Mdp_repair: no action %s in state %d" a s)
+        | Some act ->
+          if not (List.mem_assoc d act.Mdp.dist) then
+            invalid_arg
+              (Printf.sprintf
+                 "Mdp_repair: delta on non-existent edge %d/%s -> %d (Eq. 3)" s a d));
+       List.iter
+         (fun v ->
+            if not (List.mem v names) then
+              invalid_arg
+                (Printf.sprintf "Mdp_repair: undeclared variable %s" v))
+         (Ratfun.vars f))
+    spec.deltas
+
+(* The parametric chain induced by a fixed policy, with action-level
+   perturbations applied to the chosen actions. *)
+let induced_parametric m spec pi =
+  let n = Mdp.num_states m in
+  let delta s a d =
+    List.fold_left
+      (fun acc (s', a', d', f) ->
+         if s = s' && a = a' && d = d' then Ratfun.add acc f else acc)
+      Ratfun.zero spec.deltas
+  in
+  let transitions =
+    List.concat
+      (List.init n (fun s ->
+           let aname = pi.(s) in
+           match Mdp.find_action m s aname with
+           | None -> assert false (* policies come from enumerate_policies *)
+           | Some act ->
+             (* exact lift + exact row renormalisation: floats like
+                0.3 + 0.7 are not exactly 1 as dyadic rationals *)
+             let exact =
+               List.map (fun (d, p) -> (d, Ratio.of_float p)) act.Mdp.dist
+             in
+             let total =
+               List.fold_left (fun acc (_, q) -> Ratio.add acc q) Ratio.zero exact
+             in
+             List.map
+               (fun (d, q) ->
+                  ( s,
+                    d,
+                    Ratfun.add
+                      (Ratfun.const (Ratio.div q total))
+                      (delta s aname d) ))
+               exact))
+  in
+  let labels = List.map (fun l -> (l, Mdp.states_with_label m l)) (Mdp.labels m) in
+  let rewards =
+    Array.init n (fun s ->
+        let aname = pi.(s) in
+        let ar =
+          match Mdp.find_action m s aname with
+          | Some a -> a.Mdp.reward
+          | None -> 0.0
+        in
+        Ratfun.const (Ratio.of_float (Mdp.state_reward m s +. ar)))
+  in
+  Pdtmc.make ~n ~init:(Mdp.init_state m) ~transitions ~labels ~rewards ()
+
+let apply_solution m spec assignment =
+  let n = Mdp.num_states m in
+  let env v = List.assoc v assignment in
+  let delta s a d =
+    List.fold_left
+      (fun acc (s', a', d', f) ->
+         if s = s' && a = a' && d = d' then acc +. Ratfun.eval_float env f
+         else acc)
+      0.0 spec.deltas
+  in
+  let actions =
+    List.concat
+      (List.init n (fun s ->
+           List.map
+             (fun (a : Mdp.action) ->
+                ( s,
+                  a.Mdp.name,
+                  List.map (fun (d, p) -> (d, p +. delta s a.Mdp.name d)) a.Mdp.dist ))
+             (Mdp.actions_of m s)))
+  in
+  let labels = List.map (fun l -> (l, Mdp.states_with_label m l)) (Mdp.labels m) in
+  let action_rewards =
+    List.concat
+      (List.init n (fun s ->
+           List.map
+             (fun (a : Mdp.action) -> ((s, a.Mdp.name), a.Mdp.reward))
+             (Mdp.actions_of m s)))
+  in
+  let state_rewards = Array.init n (Mdp.state_reward m) in
+  let features =
+    if Mdp.feature_dim m = 0 then None
+    else Some (Array.init n (Mdp.features_of m))
+  in
+  Mdp.make ~n ~init:(Mdp.init_state m) ~actions ~action_rewards ~labels
+    ~state_rewards ?features ()
+
+let edge_margin = 1e-9
+let default_cost x = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x
+
+let repair ?(solver = Nlp.Penalty) ?(starts = 8) ?(seed = 0) ?policy_cap
+    ?(force = false) m phi spec =
+  validate_spec m spec;
+  if Check_mdp.check m phi && not force then Already_satisfied
+  else begin
+    let policies = enumerate_policies ?cap:policy_cap m in
+    let var_names = List.map (fun (n, _, _) -> n) spec.variables in
+    let dim = List.length var_names in
+    if dim = 0 then invalid_arg "Mdp_repair: no perturbation variables";
+    let env_of x v =
+      let rec go i = function
+        | [] -> 0.0
+        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
+      in
+      go 0 var_names
+    in
+    (* one symbolic constraint per policy *)
+    let policy_constraints =
+      List.mapi
+        (fun i pi ->
+           let pd = induced_parametric m spec pi in
+           let q = Pquery.of_formula pd phi in
+           ( Printf.sprintf "policy_%d" i,
+             fun x -> Pquery.constraint_violation ~margin:1e-6 q (env_of x) ))
+        policies
+    in
+    (* action-level edge bounds, policy independent *)
+    let perturbed =
+      List.sort_uniq compare
+        (List.map (fun (s, a, d, _) -> (s, a, d)) spec.deltas)
+    in
+    let edge_constraints =
+      List.concat_map
+        (fun (s, a, d) ->
+           let base =
+             match Mdp.find_action m s a with
+             | Some act -> List.assoc d act.Mdp.dist
+             | None -> assert false (* checked by validate_spec *)
+           in
+           let dsum =
+             List.fold_left
+               (fun acc (s', a', d', f) ->
+                  if s = s' && a = a' && d = d' then Ratfun.add acc f else acc)
+               Ratfun.zero spec.deltas
+           in
+           let f = Ratfun.compile dsum in
+           [ ( Printf.sprintf "edge_%d_%s_%d_pos" s a d,
+               fun x -> edge_margin -. (base +. f (env_of x)) );
+             ( Printf.sprintf "edge_%d_%s_%d_lt1" s a d,
+               fun x -> base +. f (env_of x) -. 1.0 +. edge_margin );
+           ])
+        perturbed
+    in
+    let lower = Array.of_list (List.map (fun (_, lo, _) -> lo) spec.variables) in
+    let upper = Array.of_list (List.map (fun (_, _, hi) -> hi) spec.variables) in
+    let problem =
+      Nlp.problem ~dim ~objective:default_cost
+        ~inequalities:(policy_constraints @ edge_constraints)
+        ~lower ~upper ()
+    in
+    match Nlp.solve ~method_:solver ~starts ~seed problem with
+    | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
+    | Nlp.Feasible s ->
+      let assignment = List.mapi (fun i n -> (n, s.Nlp.x.(i))) var_names in
+      let repaired_mdp = apply_solution m spec assignment in
+      Repaired
+        {
+          mdp = repaired_mdp;
+          assignment;
+          cost = s.Nlp.objective_value;
+          constraints_checked = List.length policies;
+          verified = Check_mdp.check repaired_mdp phi;
+        }
+  end

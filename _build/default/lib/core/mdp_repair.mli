@@ -1,0 +1,54 @@
+(** Model Repair for MDPs (Definition 1 in full generality).
+
+    The paper's Definition 1 perturbs an {e MDP}'s transition function
+    [P(s' | s, a)]. Under PRISM's universal semantics a property must hold
+    for {e every} scheduler, so the single symbolic constraint of the DTMC
+    case becomes one constraint per deterministic memoryless policy:
+    for [P >= b] the perturbed chain induced by each policy π must satisfy
+    [f_π(v) >= b]. Each [f_π] is produced by the same parametric
+    state-elimination engine; the NLP then minimises [‖v‖²] subject to all
+    of them plus the usual stochasticity bounds.
+
+    Policy enumeration is exponential in principle; repairs are rejected
+    beyond a configurable cap (the paper's case studies have one effective
+    scheduler — the WSN — or eleven states with three actions where repair
+    targets the reward instead). *)
+
+type spec = {
+  variables : (string * float * float) list;
+  deltas : (int * string * int * Ratfun.t) list;
+      (** [(state, action, target, Z-entry)]: added to
+          [P(target | state, action)]. The edge must exist, and each
+          (state, action) row's deltas must cancel. *)
+}
+
+type repaired = {
+  mdp : Mdp.t;
+  assignment : (string * float) list;
+  cost : float;
+  constraints_checked : int;  (** number of enumerated policies *)
+  verified : bool;  (** numeric re-check with {!Check_mdp.check} *)
+}
+
+type result =
+  | Already_satisfied
+  | Repaired of repaired
+  | Infeasible of { min_violation : float }
+
+val enumerate_policies : ?cap:int -> Mdp.t -> Mdp.policy list
+(** All deterministic memoryless policies, up to [cap] (default 512).
+    @raise Invalid_argument when the policy space exceeds the cap. *)
+
+val repair :
+  ?solver:Nlp.method_ ->
+  ?starts:int ->
+  ?seed:int ->
+  ?policy_cap:int ->
+  ?force:bool ->
+  Mdp.t ->
+  Pctl.state_formula ->
+  spec ->
+  result
+(** @raise Invalid_argument on malformed specs or a policy space larger
+    than [policy_cap]. @raise Pquery.Unsupported on properties outside the
+    parametric fragment. *)

@@ -1,0 +1,137 @@
+type spec = {
+  variables : (string * float * float) list;
+  deltas : (int * int * Ratfun.t) list;
+}
+
+type repaired = {
+  dtmc : Dtmc.t;
+  assignment : (string * float) list;
+  cost : float;
+  achieved_value : float;
+  symbolic_constraint : Ratfun.t;
+  verified : bool;
+  epsilon_bisimilarity : float;
+}
+
+type result =
+  | Already_satisfied of float option
+  | Repaired of repaired
+  | Infeasible of { min_violation : float }
+
+let validate_spec dtmc spec =
+  let names = List.map (fun (n, _, _) -> n) spec.variables in
+  if List.length (List.sort_uniq String.compare names) <> List.length names then
+    invalid_arg "Model_repair: duplicate variable names";
+  List.iter
+    (fun (n, lo, hi) ->
+       if lo > hi then
+         invalid_arg (Printf.sprintf "Model_repair: empty bounds for %s" n))
+    spec.variables;
+  List.iter
+    (fun (s, d, _) ->
+       if Dtmc.prob dtmc s d <= 0.0 then
+         invalid_arg
+           (Printf.sprintf
+              "Model_repair: delta on non-existent edge %d->%d (structure \
+               must be preserved, Eq. 3)"
+              s d))
+    spec.deltas;
+  (* all delta variables must be declared *)
+  List.iter
+    (fun (s, d, f) ->
+       List.iter
+         (fun v ->
+            if not (List.mem v names) then
+              invalid_arg
+                (Printf.sprintf
+                   "Model_repair: edge %d->%d uses undeclared variable %s" s d v))
+         (Ratfun.vars f))
+    spec.deltas
+
+let parametric_model dtmc spec =
+  validate_spec dtmc spec;
+  let delta s d =
+    List.fold_left
+      (fun acc (s', d', f) -> if s = s' && d = d' then Ratfun.add acc f else acc)
+      Ratfun.zero spec.deltas
+  in
+  let base = Pdtmc.of_dtmc dtmc in
+  (* Pdtmc.make re-validates symbolic row sums, enforcing that each row's
+     deltas cancel. *)
+  Pdtmc.map_transitions base (fun s d p -> Ratfun.add p (delta s d))
+
+let default_cost x = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x
+
+let edge_margin = 1e-9
+
+let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
+    ?(force = false) dtmc phi spec =
+  (* Step 1: verify the original model (§II pipeline). *)
+  let original = Check_dtmc.check_verbose dtmc phi in
+  if original.Check_dtmc.holds && not force then
+    Already_satisfied original.Check_dtmc.value
+  else begin
+    (* Step 2: parametric model + symbolic constraint f(v) ~ b. *)
+    let pmodel = parametric_model dtmc spec in
+    let query = Pquery.of_formula pmodel phi in
+    let var_names = List.map (fun (n, _, _) -> n) spec.variables in
+    let dim = List.length var_names in
+    if dim = 0 then invalid_arg "Model_repair: no perturbation variables";
+    let env_of x v =
+      let rec go i = function
+        | [] -> 0.0
+        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
+      in
+      go 0 var_names
+    in
+    (* Step 3: the NLP (Eqs. 4–6). *)
+    let lower = Array.of_list (List.map (fun (_, lo, _) -> lo) spec.variables) in
+    let upper = Array.of_list (List.map (fun (_, _, hi) -> hi) spec.variables) in
+    let perturbed_edges =
+      List.sort_uniq compare (List.map (fun (s, d, _) -> (s, d)) spec.deltas)
+    in
+    let pmodel_edge s d =
+      List.assoc d (Pdtmc.succ pmodel s)
+    in
+    let edge_constraints =
+      List.concat_map
+        (fun (s, d) ->
+           let f = Ratfun.compile (pmodel_edge s d) in
+           [ ( Printf.sprintf "edge_%d_%d_pos" s d,
+               fun x -> edge_margin -. f (env_of x) );
+             ( Printf.sprintf "edge_%d_%d_lt1" s d,
+               fun x -> f (env_of x) -. 1.0 +. edge_margin );
+           ])
+        perturbed_edges
+    in
+    (* a small interior margin keeps the optimum strictly inside the
+       feasible region so the repaired model re-verifies after float
+       round-off *)
+    let property_constraint =
+      ("property", fun x -> Pquery.constraint_violation ~margin:1e-6 query (env_of x))
+    in
+    let problem =
+      Nlp.problem ~dim
+        ~objective:(Option.value ~default:default_cost cost)
+        ~inequalities:(property_constraint :: edge_constraints)
+        ~lower ~upper ()
+    in
+    match Nlp.solve ~method_:solver ~starts ~seed problem with
+    | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
+    | Nlp.Feasible s ->
+      (* Step 4: instantiate and re-verify numerically. *)
+      let assignment = List.mapi (fun i n -> (n, s.Nlp.x.(i))) var_names in
+      let env v = Ratio.of_float (List.assoc v assignment) in
+      let repaired_dtmc = Pdtmc.instantiate pmodel env in
+      let verdict = Check_dtmc.check_verbose repaired_dtmc phi in
+      Repaired
+        {
+          dtmc = repaired_dtmc;
+          assignment;
+          cost = s.Nlp.objective_value;
+          achieved_value = query.Pquery.eval (env_of s.Nlp.x);
+          symbolic_constraint = query.Pquery.value;
+          verified = verdict.Check_dtmc.holds;
+          epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;
+        }
+  end

@@ -1,0 +1,1 @@
+lib/hmm/baum_welch.mli: Hmm

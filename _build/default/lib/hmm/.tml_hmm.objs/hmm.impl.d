@@ -1,0 +1,1 @@
+lib/hmm/hmm.ml: Array Float Format List Printf Prng String

@@ -1,0 +1,1 @@
+lib/hmm/hmm.mli: Format Prng

@@ -1,0 +1,64 @@
+type progress = {
+  iterations : int;
+  log_likelihoods : float list;
+}
+
+let m_step ~pseudo_count k m sequences stats_list =
+  let pi_acc = Array.make k pseudo_count in
+  let a_acc = Array.make_matrix k k pseudo_count in
+  let b_acc = Array.make_matrix k m pseudo_count in
+  List.iter2
+    (fun obs (stats : Hmm.stats) ->
+       let obs = Array.of_list obs in
+       Array.iteri
+         (fun i g -> pi_acc.(i) <- pi_acc.(i) +. g)
+         stats.Hmm.gamma.(0);
+       for i = 0 to k - 1 do
+         for j = 0 to k - 1 do
+           a_acc.(i).(j) <- a_acc.(i).(j) +. stats.Hmm.xi_sum.(i).(j)
+         done
+       done;
+       Array.iteri
+         (fun u row ->
+            Array.iteri
+              (fun i g -> b_acc.(i).(obs.(u)) <- b_acc.(i).(obs.(u)) +. g)
+              row)
+         stats.Hmm.gamma)
+    sequences stats_list;
+  let normalise row =
+    let total = Array.fold_left ( +. ) 0.0 row in
+    Array.map (fun v -> v /. total) row
+  in
+  Hmm.make ~initial:(normalise pi_acc)
+    ~transition:(Array.map normalise a_acc)
+    ~emission:(Array.map normalise b_acc)
+    ()
+
+let run ?(iterations = 100) ?(tol = 1e-6) ?(pseudo_count = 1e-6) ~forbidden
+    model sequences =
+  if sequences = [] then invalid_arg "Baum_welch: no training sequences";
+  let k = Hmm.num_states model and m = Hmm.num_symbols model in
+  let rec go it model lls =
+    let stats_list =
+      List.map (Hmm.expected_statistics ~forbidden model) sequences
+    in
+    let ll =
+      List.fold_left (fun acc (s : Hmm.stats) -> acc +. s.Hmm.loglik) 0.0 stats_list
+    in
+    let improved =
+      match lls with prev :: _ -> ll -. prev > tol | [] -> true
+    in
+    if it >= iterations || not improved then
+      (model, { iterations = it; log_likelihoods = List.rev (ll :: lls) })
+    else begin
+      let model' = m_step ~pseudo_count k m sequences stats_list in
+      go (it + 1) model' (ll :: lls)
+    end
+  in
+  go 0 model []
+
+let learn ?iterations ?tol ?pseudo_count model sequences =
+  run ?iterations ?tol ?pseudo_count ~forbidden:(fun _ -> false) model sequences
+
+let learn_constrained ?iterations ?tol ?pseudo_count ~forbidden model sequences =
+  run ?iterations ?tol ?pseudo_count ~forbidden model sequences

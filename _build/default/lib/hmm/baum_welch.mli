@@ -1,0 +1,38 @@
+(** Baum–Welch EM for HMMs, plain and constrained.
+
+    {!learn} is standard maximum-likelihood EM. {!learn_constrained}
+    implements the paper's §VII suggestion: the E-step posterior is
+    conditioned on hidden trajectories avoiding a forbidden state set, so
+    the M-step re-estimates parameters from constraint-respecting paths
+    only — driving transition mass away from forbidden states while still
+    explaining the observations. *)
+
+type progress = {
+  iterations : int;
+  log_likelihoods : float list;  (** per EM iteration, oldest first *)
+}
+
+val learn :
+  ?iterations:int ->
+  ?tol:float ->
+  ?pseudo_count:float ->
+  Hmm.t ->
+  int list list ->
+  Hmm.t * progress
+(** EM from the given starting model over observation sequences.
+    [pseudo_count] (default 1e-6) smooths the M-step so no probability
+    collapses to exactly 0. Log-likelihood is non-decreasing per iteration
+    (a property the test suite checks).
+    @raise Invalid_argument on empty input. *)
+
+val learn_constrained :
+  ?iterations:int ->
+  ?tol:float ->
+  ?pseudo_count:float ->
+  forbidden:(int -> bool) ->
+  Hmm.t ->
+  int list list ->
+  Hmm.t * progress
+(** As {!learn}, with the constrained E-step. The starting model must give
+    every sequence at least one allowed explanation.
+    @raise Invalid_argument otherwise. *)

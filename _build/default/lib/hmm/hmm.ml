@@ -1,0 +1,235 @@
+type t = {
+  k : int;
+  m : int;
+  pi : float array;
+  a : float array array; (* k x k *)
+  b : float array array; (* k x m *)
+}
+
+let normalise_row what row =
+  let total = Array.fold_left ( +. ) 0.0 row in
+  Array.iter
+    (fun p -> if p < 0.0 then invalid_arg (Printf.sprintf "Hmm: negative %s" what))
+    row;
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg (Printf.sprintf "Hmm: %s row sums to %g" what total);
+  Array.map (fun p -> p /. total) row
+
+let make ~initial ~transition ~emission () =
+  let k = Array.length initial in
+  if k = 0 then invalid_arg "Hmm: need at least one hidden state";
+  if Array.length transition <> k then invalid_arg "Hmm: transition height";
+  let m =
+    if Array.length emission <> k then invalid_arg "Hmm: emission height"
+    else if k > 0 then Array.length emission.(0)
+    else 0
+  in
+  if m = 0 then invalid_arg "Hmm: need at least one observation symbol";
+  Array.iter
+    (fun row -> if Array.length row <> k then invalid_arg "Hmm: transition width")
+    transition;
+  Array.iter
+    (fun row -> if Array.length row <> m then invalid_arg "Hmm: emission width")
+    emission;
+  {
+    k;
+    m;
+    pi = normalise_row "initial" initial;
+    a = Array.map (normalise_row "transition") transition;
+    b = Array.map (normalise_row "emission") emission;
+  }
+
+let num_states t = t.k
+let num_symbols t = t.m
+let initial t i = t.pi.(i)
+let transition t i j = t.a.(i).(j)
+let emission t i o = t.b.(i).(o)
+
+let simulate rng t ~len =
+  if len <= 0 then invalid_arg "Hmm.simulate: non-positive length";
+  let rec go state n hidden obs =
+    if n = 0 then (List.rev hidden, List.rev obs)
+    else begin
+      let o = Prng.categorical rng t.b.(state) in
+      let next = Prng.categorical rng t.a.(state) in
+      go next (n - 1) (state :: hidden) (o :: obs)
+    end
+  in
+  let s0 = Prng.categorical rng t.pi in
+  go s0 len [] []
+
+let check_obs t obs =
+  if obs = [] then invalid_arg "Hmm: empty observation sequence";
+  List.iter
+    (fun o ->
+       if o < 0 || o >= t.m then
+         invalid_arg (Printf.sprintf "Hmm: observation symbol %d out of range" o))
+    obs
+
+(* Scaled forward-backward with an optional mask on hidden states.
+   Returns (alphas, betas, scales, loglik). *)
+let forward_backward_masked t ~allowed obs =
+  check_obs t obs;
+  let obs = Array.of_list obs in
+  let len = Array.length obs in
+  let alpha = Array.make_matrix len t.k 0.0 in
+  let beta = Array.make_matrix len t.k 0.0 in
+  let scale = Array.make len 0.0 in
+  (* forward *)
+  for i = 0 to t.k - 1 do
+    if allowed i then alpha.(0).(i) <- t.pi.(i) *. t.b.(i).(obs.(0))
+  done;
+  let s0 = Array.fold_left ( +. ) 0.0 alpha.(0) in
+  if s0 <= 0.0 then
+    invalid_arg "Hmm: no allowed hidden path explains the sequence";
+  scale.(0) <- s0;
+  for i = 0 to t.k - 1 do
+    alpha.(0).(i) <- alpha.(0).(i) /. s0
+  done;
+  for u = 1 to len - 1 do
+    for j = 0 to t.k - 1 do
+      if allowed j then begin
+        let acc = ref 0.0 in
+        for i = 0 to t.k - 1 do
+          acc := !acc +. (alpha.(u - 1).(i) *. t.a.(i).(j))
+        done;
+        alpha.(u).(j) <- !acc *. t.b.(j).(obs.(u))
+      end
+    done;
+    let s = Array.fold_left ( +. ) 0.0 alpha.(u) in
+    if s <= 0.0 then
+      invalid_arg "Hmm: no allowed hidden path explains the sequence";
+    scale.(u) <- s;
+    for j = 0 to t.k - 1 do
+      alpha.(u).(j) <- alpha.(u).(j) /. s
+    done
+  done;
+  (* backward *)
+  for i = 0 to t.k - 1 do
+    beta.(len - 1).(i) <- (if allowed i then 1.0 else 0.0)
+  done;
+  for u = len - 2 downto 0 do
+    for i = 0 to t.k - 1 do
+      if allowed i then begin
+        let acc = ref 0.0 in
+        for j = 0 to t.k - 1 do
+          if allowed j then
+            acc :=
+              !acc +. (t.a.(i).(j) *. t.b.(j).(obs.(u + 1)) *. beta.(u + 1).(j))
+        done;
+        beta.(u).(i) <- !acc /. scale.(u + 1)
+      end
+    done
+  done;
+  let loglik = Array.fold_left (fun acc s -> acc +. log s) 0.0 scale in
+  (alpha, beta, scale, loglik, obs)
+
+let all_allowed _ = true
+
+let log_likelihood t obs =
+  let _, _, _, ll, _ = forward_backward_masked t ~allowed:all_allowed obs in
+  ll
+
+let gammas_of (alpha, beta, _scale, _ll, _obs) t len =
+  Array.init len (fun u ->
+      let row = Array.init t.k (fun i -> alpha.(u).(i) *. beta.(u).(i)) in
+      let total = Array.fold_left ( +. ) 0.0 row in
+      if total > 0.0 then Array.map (fun v -> v /. total) row else row)
+
+let forward_backward t obs =
+  let ((_, _, _, ll, o) as fb) = forward_backward_masked t ~allowed:all_allowed obs in
+  (gammas_of fb t (Array.length o), ll)
+
+let posterior_masked t ~forbidden obs =
+  let allowed i = not (forbidden i) in
+  let ((_, _, _, ll, o) as fb) = forward_backward_masked t ~allowed obs in
+  (gammas_of fb t (Array.length o), ll)
+
+type stats = {
+  gamma : float array array;
+  xi_sum : float array array;
+  loglik : float;
+}
+
+let expected_statistics ?(forbidden = fun _ -> false) t obs =
+  let allowed i = not (forbidden i) in
+  let ((alpha, beta, scale, loglik, o) as fb) =
+    forward_backward_masked t ~allowed obs
+  in
+  let len = Array.length o in
+  let gamma = gammas_of fb t len in
+  let xi_sum = Array.make_matrix t.k t.k 0.0 in
+  for u = 0 to len - 2 do
+    let total = ref 0.0 in
+    let cell = Array.make_matrix t.k t.k 0.0 in
+    for i = 0 to t.k - 1 do
+      if allowed i then
+        for j = 0 to t.k - 1 do
+          if allowed j then begin
+            let v =
+              alpha.(u).(i) *. t.a.(i).(j) *. t.b.(j).(o.(u + 1))
+              *. beta.(u + 1).(j) /. scale.(u + 1)
+            in
+            cell.(i).(j) <- v;
+            total := !total +. v
+          end
+        done
+    done;
+    if !total > 0.0 then
+      for i = 0 to t.k - 1 do
+        for j = 0 to t.k - 1 do
+          xi_sum.(i).(j) <- xi_sum.(i).(j) +. (cell.(i).(j) /. !total)
+        done
+      done
+  done;
+  { gamma; xi_sum; loglik }
+
+let viterbi t obs =
+  check_obs t obs;
+  let obs = Array.of_list obs in
+  let len = Array.length obs in
+  let delta = Array.make_matrix len t.k Float.neg_infinity in
+  let back = Array.make_matrix len t.k 0 in
+  let logz x = if x <= 0.0 then Float.neg_infinity else log x in
+  for i = 0 to t.k - 1 do
+    delta.(0).(i) <- logz t.pi.(i) +. logz t.b.(i).(obs.(0))
+  done;
+  for u = 1 to len - 1 do
+    for j = 0 to t.k - 1 do
+      let best = ref Float.neg_infinity and arg = ref 0 in
+      for i = 0 to t.k - 1 do
+        let v = delta.(u - 1).(i) +. logz t.a.(i).(j) in
+        if v > !best then begin
+          best := v;
+          arg := i
+        end
+      done;
+      delta.(u).(j) <- !best +. logz t.b.(j).(obs.(u));
+      back.(u).(j) <- !arg
+    done
+  done;
+  let last = ref 0 in
+  for i = 1 to t.k - 1 do
+    if delta.(len - 1).(i) > delta.(len - 1).(!last) then last := i
+  done;
+  let path = Array.make len 0 in
+  path.(len - 1) <- !last;
+  for u = len - 2 downto 0 do
+    path.(u) <- back.(u + 1).(path.(u + 1))
+  done;
+  Array.to_list path
+
+let pp fmt t =
+  Format.fprintf fmt "HMM(%d hidden states, %d symbols)@\n" t.k t.m;
+  Format.fprintf fmt "  pi = [%s]@\n"
+    (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") t.pi)));
+  Array.iteri
+    (fun i row ->
+       Format.fprintf fmt "  A[%d] = [%s]@\n" i
+         (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") row))))
+    t.a;
+  Array.iteri
+    (fun i row ->
+       Format.fprintf fmt "  B[%d] = [%s]@\n" i
+         (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") row))))
+    t.b

@@ -1,0 +1,62 @@
+(** Discrete hidden Markov models.
+
+    The paper's §VII points out that for models with hidden state (HMMs,
+    DBNs) the TML constraints move into the E-step of EM — this module and
+    {!Baum_welch} implement that programme for HMMs: scaled
+    forward–backward inference, Viterbi decoding, maximum-likelihood EM,
+    and a constrained E-step that conditions the posterior on hidden
+    trajectories staying outside a forbidden set. *)
+
+type t
+
+val make :
+  initial:float array ->
+  transition:float array array ->
+  emission:float array array ->
+  unit ->
+  t
+(** [make ~initial ~transition ~emission ()] with [k] hidden states and [m]
+    observation symbols: [initial] has length [k], [transition] is [k×k],
+    [emission] is [k×m]; all rows must sum to 1 (within 1e-9, re-normalised).
+    @raise Invalid_argument on malformed input. *)
+
+val num_states : t -> int
+val num_symbols : t -> int
+val initial : t -> int -> float
+val transition : t -> int -> int -> float
+val emission : t -> int -> int -> float
+
+val simulate : Prng.t -> t -> len:int -> int list * int list
+(** [(hidden, observations)], both of length [len]. *)
+
+val log_likelihood : t -> int list -> float
+(** Scaled-forward log-probability of an observation sequence.
+    @raise Invalid_argument on an empty sequence or an out-of-range
+    symbol. *)
+
+val forward_backward : t -> int list -> float array array * float
+(** [gammas, loglik]: [gammas.(t).(i) = P(hidden_t = i | observations)]. *)
+
+val viterbi : t -> int list -> int list
+(** Most likely hidden trajectory. *)
+
+val posterior_masked :
+  t -> forbidden:(int -> bool) -> int list -> float array array * float
+(** Forward–backward over hidden paths that avoid [forbidden] states —
+    the constrained E-step: [gammas] are posteriors conditioned on the
+    trajectory-level constraint "never visit a forbidden state", and the
+    returned log-likelihood is that of the constrained event.
+    @raise Invalid_argument when no allowed path explains the sequence. *)
+
+type stats = {
+  gamma : float array array;  (** per-position state posteriors *)
+  xi_sum : float array array;  (** expected transition counts, k×k *)
+  loglik : float;
+}
+
+val expected_statistics : ?forbidden:(int -> bool) -> t -> int list -> stats
+(** The E-step sufficient statistics for one sequence; with [forbidden],
+    posteriors are conditioned on avoiding those hidden states (the
+    constrained E-step of §VII). *)
+
+val pp : Format.formatter -> t -> unit

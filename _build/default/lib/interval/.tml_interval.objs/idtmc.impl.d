@@ -1,0 +1,1 @@
+lib/interval/idtmc.ml: Array Dtmc Float Int List Map Option Printf String

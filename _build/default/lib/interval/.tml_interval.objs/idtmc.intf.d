@@ -1,0 +1,1 @@
+lib/interval/idtmc.mli: Dtmc

@@ -1,0 +1,1 @@
+lib/interval/imdp.ml: Array Float Int List Map Mdp Option Printf String

@@ -1,0 +1,1 @@
+lib/interval/imdp.mli: Mdp

@@ -1,0 +1,1 @@
+lib/interval/robust.ml: Array Float Fun Idtmc Int List Pctl

@@ -1,0 +1,1 @@
+lib/interval/robust.mli: Idtmc Pctl

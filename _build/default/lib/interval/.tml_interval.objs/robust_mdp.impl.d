@@ -1,0 +1,1 @@
+lib/interval/robust_mdp.ml: Array Check_mdp Float Fun Imdp List Pctl Robust

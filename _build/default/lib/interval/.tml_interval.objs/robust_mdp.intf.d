@@ -1,0 +1,1 @@
+lib/interval/robust_mdp.mli: Check_mdp Imdp Pctl Robust

@@ -1,0 +1,129 @@
+module Smap = Map.Make (String)
+
+type t = {
+  n : int;
+  init : int;
+  rows : (int * float * float) array array; (* (target, lo, hi) *)
+  label_map : int list Smap.t;
+  rewards : float array;
+}
+
+let check_state n what s =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Idtmc: %s state %d out of range [0,%d)" what s n)
+
+let make ~n ~init ~transitions ?(labels = []) ?rewards () =
+  if n <= 0 then invalid_arg "Idtmc: need at least one state";
+  check_state n "initial" init;
+  let tbl = Array.make n [] in
+  List.iter
+    (fun (src, dst, lo, hi) ->
+       check_state n "source" src;
+       check_state n "target" dst;
+       if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+         invalid_arg
+           (Printf.sprintf "Idtmc: bad interval [%g, %g] on %d->%d" lo hi src dst);
+       if List.exists (fun (d, _, _) -> d = dst) tbl.(src) then
+         invalid_arg (Printf.sprintf "Idtmc: duplicate edge %d->%d" src dst);
+       if hi > 0.0 then tbl.(src) <- (dst, lo, hi) :: tbl.(src))
+    transitions;
+  let rows =
+    Array.mapi
+      (fun s entries ->
+         let lo_sum = List.fold_left (fun acc (_, lo, _) -> acc +. lo) 0.0 entries in
+         let hi_sum = List.fold_left (fun acc (_, _, hi) -> acc +. hi) 0.0 entries in
+         if lo_sum > 1.0 +. 1e-9 || hi_sum < 1.0 -. 1e-9 then
+           invalid_arg
+             (Printf.sprintf
+                "Idtmc: row %d infeasible (lo sum %g, hi sum %g)" s lo_sum hi_sum);
+         Array.of_list
+           (List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) entries))
+      tbl
+  in
+  Array.iteri
+    (fun s row ->
+       if Array.length row = 0 then
+         invalid_arg (Printf.sprintf "Idtmc: state %d has no outgoing edges" s))
+    rows;
+  let label_map =
+    List.fold_left
+      (fun acc (name, states) ->
+         List.iter (check_state n ("label " ^ name)) states;
+         let prev = Option.value ~default:[] (Smap.find_opt name acc) in
+         Smap.add name (List.sort_uniq Int.compare (states @ prev)) acc)
+      Smap.empty labels
+  in
+  let rewards =
+    match rewards with
+    | None -> Array.make n 0.0
+    | Some r ->
+      if Array.length r <> n then invalid_arg "Idtmc: reward array wrong length";
+      Array.copy r
+  in
+  { n; init; rows; label_map; rewards }
+
+let of_dtmc ~radius dtmc =
+  if radius < 0.0 then invalid_arg "Idtmc.of_dtmc: negative radius";
+  let n = Dtmc.num_states dtmc in
+  let transitions =
+    List.concat
+      (List.init n (fun s ->
+           List.map
+             (fun (d, p) ->
+                (s, d, Float.max 0.0 (p -. radius), Float.min 1.0 (p +. radius)))
+             (Dtmc.succ dtmc s)))
+  in
+  let labels =
+    List.map (fun l -> (l, Dtmc.states_with_label dtmc l)) (Dtmc.labels dtmc)
+  in
+  make ~n ~init:(Dtmc.init_state dtmc) ~transitions ~labels
+    ~rewards:(Dtmc.rewards dtmc) ()
+
+let num_states t = t.n
+let init_state t = t.init
+let edges t s = check_state t.n "query" s; Array.to_list t.rows.(s)
+let reward t s = check_state t.n "query" s; t.rewards.(s)
+
+let states_with_label t name =
+  Option.value ~default:[] (Smap.find_opt name t.label_map)
+
+let has_label t s name = List.mem s (states_with_label t name)
+
+let member t dtmc =
+  Dtmc.num_states dtmc = t.n
+  && Dtmc.init_state dtmc = t.init
+  &&
+  let ok = ref true in
+  for s = 0 to t.n - 1 do
+    let concrete = Dtmc.succ dtmc s in
+    (* every concrete edge inside its interval, and no extra edges *)
+    List.iter
+      (fun (d, p) ->
+         match Array.find_opt (fun (d', _, _) -> d' = d) t.rows.(s) with
+         | Some (_, lo, hi) -> if p < lo -. 1e-12 || p > hi +. 1e-12 then ok := false
+         | None -> ok := false)
+      concrete;
+    Array.iter
+      (fun (d, lo, _) ->
+         if lo > 1e-12 && not (List.mem_assoc d concrete) then ok := false)
+      t.rows.(s)
+  done;
+  !ok
+
+let midpoint t =
+  let transitions =
+    List.concat
+      (List.init t.n (fun s ->
+           let mids =
+             Array.to_list
+               (Array.map (fun (d, lo, hi) -> (d, (lo +. hi) /. 2.0)) t.rows.(s))
+           in
+           let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 mids in
+           List.filter_map
+             (fun (d, p) ->
+                let p = p /. total in
+                if p > 0.0 then Some (s, d, p) else None)
+             mids))
+  in
+  let labels = Smap.bindings t.label_map in
+  Dtmc.make ~n:t.n ~init:t.init ~transitions ~labels ~rewards:t.rewards ()

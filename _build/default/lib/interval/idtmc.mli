@@ -1,0 +1,41 @@
+(** Interval DTMCs: transition probabilities known only up to intervals.
+
+    This is the uncertainty model of the convex-MDP verification line the
+    paper builds on (Puggelli et al., CAV'13; Sen et al., TACAS'06): each
+    edge carries a probability interval [\[lo, hi\]], and "nature"
+    adversarially (or cooperatively) resolves the uncertainty. A learned
+    model with confidence intervals on its estimates is exactly such an
+    object, so robust checking tells you whether a property holds for
+    {e every} chain consistent with the data. *)
+
+type t
+
+val make :
+  n:int ->
+  init:int ->
+  transitions:(int * int * float * float) list ->
+  ?labels:(string * int list) list ->
+  ?rewards:float array ->
+  unit ->
+  t
+(** [transitions] lists [(src, dst, lo, hi)]. Row feasibility requires
+    [Σ lo <= 1 <= Σ hi] and [0 <= lo <= hi <= 1] per edge.
+    @raise Invalid_argument on malformed input. *)
+
+val of_dtmc : radius:float -> Dtmc.t -> t
+(** Inflate every edge of a concrete chain by ±[radius] (clipped to
+    [\[0,1\]]) — e.g. a learning-error ball around an MLE estimate. *)
+
+val num_states : t -> int
+val init_state : t -> int
+val edges : t -> int -> (int * float * float) list
+val reward : t -> int -> float
+val states_with_label : t -> string -> int list
+val has_label : t -> int -> string -> bool
+
+val member : t -> Dtmc.t -> bool
+(** Whether a concrete chain resolves this interval chain (same structure,
+    every probability inside its interval). *)
+
+val midpoint : t -> Dtmc.t
+(** The concrete chain using interval midpoints, re-normalised. *)

@@ -1,0 +1,94 @@
+module Smap = Map.Make (String)
+
+type t = {
+  n : int;
+  init : int;
+  acts : (string * (int * float * float) list) list array;
+  label_map : int list Smap.t;
+  rewards : float array;
+}
+
+let check_state n what s =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Imdp: %s state %d out of range [0,%d)" what s n)
+
+let validate_row ~state ~aname row =
+  let lo_sum = List.fold_left (fun acc (_, lo, _) -> acc +. lo) 0.0 row in
+  let hi_sum = List.fold_left (fun acc (_, _, hi) -> acc +. hi) 0.0 row in
+  List.iter
+    (fun (_, lo, hi) ->
+       if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+         invalid_arg
+           (Printf.sprintf "Imdp: bad interval [%g, %g] in %d/%s" lo hi state aname))
+    row;
+  if lo_sum > 1.0 +. 1e-9 || hi_sum < 1.0 -. 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Imdp: infeasible distribution for %d/%s (lo %g, hi %g)"
+         state aname lo_sum hi_sum)
+
+let make ~n ~init ~actions ?(labels = []) ?rewards () =
+  if n <= 0 then invalid_arg "Imdp: need at least one state";
+  check_state n "initial" init;
+  let acts = Array.make n [] in
+  List.iter
+    (fun (s, aname, row) ->
+       check_state n "action source" s;
+       List.iter (fun (d, _, _) -> check_state n "target" d) row;
+       if List.mem_assoc aname acts.(s) then
+         invalid_arg (Printf.sprintf "Imdp: duplicate action %s in state %d" aname s);
+       validate_row ~state:s ~aname row;
+       acts.(s) <- (aname, row) :: acts.(s))
+    actions;
+  Array.iteri
+    (fun s l ->
+       if l = [] then invalid_arg (Printf.sprintf "Imdp: state %d has no actions" s))
+    acts;
+  let acts = Array.map List.rev acts in
+  let label_map =
+    List.fold_left
+      (fun acc (name, states) ->
+         List.iter (check_state n ("label " ^ name)) states;
+         let prev = Option.value ~default:[] (Smap.find_opt name acc) in
+         Smap.add name (List.sort_uniq Int.compare (states @ prev)) acc)
+      Smap.empty labels
+  in
+  let rewards =
+    match rewards with
+    | None -> Array.make n 0.0
+    | Some r ->
+      if Array.length r <> n then invalid_arg "Imdp: reward array wrong length";
+      Array.copy r
+  in
+  { n; init; acts; label_map; rewards }
+
+let of_mdp ~radius mdp =
+  if radius < 0.0 then invalid_arg "Imdp.of_mdp: negative radius";
+  let n = Mdp.num_states mdp in
+  let actions =
+    List.concat
+      (List.init n (fun s ->
+           List.map
+             (fun (a : Mdp.action) ->
+                ( s,
+                  a.Mdp.name,
+                  List.map
+                    (fun (d, p) ->
+                       (d, Float.max 0.0 (p -. radius), Float.min 1.0 (p +. radius)))
+                    a.Mdp.dist ))
+             (Mdp.actions_of mdp s)))
+  in
+  let labels =
+    List.map (fun l -> (l, Mdp.states_with_label mdp l)) (Mdp.labels mdp)
+  in
+  let rewards = Array.init n (Mdp.state_reward mdp) in
+  make ~n ~init:(Mdp.init_state mdp) ~actions ~labels ~rewards ()
+
+let num_states t = t.n
+let init_state t = t.init
+let actions_of t s = check_state t.n "query" s; t.acts.(s)
+let reward t s = check_state t.n "query" s; t.rewards.(s)
+
+let states_with_label t name =
+  Option.value ~default:[] (Smap.find_opt name t.label_map)
+
+let has_label t s name = List.mem s (states_with_label t name)

@@ -1,0 +1,32 @@
+(** Interval MDPs: controller nondeterminism (actions) {e and} uncertainty
+    intervals on every action's distribution — the full convex-MDP model of
+    Puggelli et al. (CAV'13) that the paper's related work builds on.
+
+    Verification resolves the two kinds of nondeterminism with opposite
+    polarities: the controller optimises its objective while nature
+    adversarially resolves the intervals (or cooperatively, under
+    optimistic semantics). *)
+
+type t
+
+val make :
+  n:int ->
+  init:int ->
+  actions:(int * string * (int * float * float) list) list ->
+  ?labels:(string * int list) list ->
+  ?rewards:float array ->
+  unit ->
+  t
+(** [actions] lists [(state, action, [(target, lo, hi); ...])]; every state
+    needs at least one action; each interval row must be feasible
+    ([Σ lo <= 1 <= Σ hi]). @raise Invalid_argument on malformed input. *)
+
+val of_mdp : radius:float -> Mdp.t -> t
+(** Inflate every action distribution of a concrete MDP by ±[radius]. *)
+
+val num_states : t -> int
+val init_state : t -> int
+val actions_of : t -> int -> (string * (int * float * float) list) list
+val reward : t -> int -> float
+val states_with_label : t -> string -> int list
+val has_label : t -> int -> string -> bool

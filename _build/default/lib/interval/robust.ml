@@ -1,0 +1,134 @@
+type semantics = Pessimistic | Optimistic
+
+(* Nature's inner optimisation: choose p in the row polytope
+   { lo <= p <= hi, Σ p = 1 } extremising Σ p·x(target). Greedy: start all
+   edges at their lower bounds, then pour the remaining mass into targets
+   in value order (best-first to maximise, worst-first to minimise). *)
+let resolve_extremal ~maximise edges x =
+  let base = List.fold_left (fun acc (_, lo, _) -> acc +. lo) 0.0 edges in
+  let remaining = ref (1.0 -. base) in
+  let order =
+    List.sort
+      (fun (d1, _, _) (d2, _, _) ->
+         let c = Float.compare x.(d1) x.(d2) in
+         if maximise then -c else c)
+      edges
+  in
+  List.map
+    (fun (d, lo, hi) ->
+       let extra = Float.min (hi -. lo) (Float.max 0.0 !remaining) in
+       remaining := !remaining -. extra;
+       (d, lo +. extra))
+    order
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let resolve_row sem edges x =
+  resolve_extremal ~maximise:(sem = Optimistic) edges x
+
+(* Value iteration for reachability probabilities. Pessimistic = nature
+   minimises the probability (worst case for "the target is reached"). *)
+let reachability ?(max_iter = 100_000) ?(tol = 1e-12) sem idtmc ~target =
+  let n = Idtmc.num_states idtmc in
+  let is_target = Array.make n false in
+  List.iter (fun s -> is_target.(s) <- true) target;
+  let maximise = sem = Optimistic in
+  let x = Array.init n (fun s -> if is_target.(s) then 1.0 else 0.0) in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        if not is_target.(s) then begin
+          let p = resolve_extremal ~maximise (Idtmc.edges idtmc s) x in
+          let v = List.fold_left (fun acc (d, q) -> acc +. (q *. x.(d))) 0.0 p in
+          delta := Float.max !delta (Float.abs (v -. x.(s)));
+          x.(s) <- v
+        end
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  x
+
+(* Expected accumulated reward until the target. Pessimistic = nature
+   maximises the cost (worst case for "the cost stays low"); finiteness
+   requires reaching the target almost surely under that same nature, which
+   is detected through the corresponding reachability probabilities. *)
+let expected_reward ?(max_iter = 100_000) ?(tol = 1e-9) sem idtmc ~target =
+  let n = Idtmc.num_states idtmc in
+  let is_target = Array.make n false in
+  List.iter (fun s -> is_target.(s) <- true) target;
+  (* cost-maximising nature also minimises reach probability, and vice
+     versa *)
+  let reach_sem = sem in
+  let reach = reachability reach_sem idtmc ~target in
+  let finite = Array.init n (fun s -> reach.(s) > 1.0 -. 1e-9) in
+  let maximise_cost = sem = Pessimistic in
+  let x = Array.make n 0.0 in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        if finite.(s) && not is_target.(s) then begin
+          let p = resolve_extremal ~maximise:maximise_cost (Idtmc.edges idtmc s) x in
+          let v =
+            Idtmc.reward idtmc s
+            +. List.fold_left
+                 (fun acc (d, q) ->
+                    acc +. (q *. (if Float.is_finite x.(d) then x.(d) else 0.0)))
+                 0.0 p
+          in
+          delta := Float.max !delta (Float.abs (v -. x.(s)));
+          x.(s) <- v
+        end
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  Array.init n (fun s ->
+      if is_target.(s) then 0.0
+      else if finite.(s) then x.(s)
+      else Float.infinity)
+
+let target_of_prop idtmc (f : Pctl.state_formula) =
+  let rec sat s = function
+    | Pctl.True -> true
+    | Pctl.False -> false
+    | Pctl.Prop p -> Idtmc.has_label idtmc s p
+    | Pctl.Not g -> not (sat s g)
+    | Pctl.And (a, b) -> sat s a && sat s b
+    | Pctl.Or (a, b) -> sat s a || sat s b
+    | Pctl.Implies (a, b) -> (not (sat s a)) || sat s b
+    | Pctl.Prob _ | Pctl.Reward _ ->
+      invalid_arg "Robust.check: nested P/R operators are not supported"
+  in
+  List.filter
+    (fun s -> sat s f)
+    (List.init (Idtmc.num_states idtmc) Fun.id)
+
+let check idtmc (phi : Pctl.state_formula) =
+  match phi with
+  | Prob (cmp, bound, Eventually f) ->
+    let target = target_of_prop idtmc f in
+    let sem =
+      match cmp with
+      | Pctl.Ge | Pctl.Gt -> Pessimistic
+      | Pctl.Le | Pctl.Lt -> Optimistic
+    in
+    let p = (reachability sem idtmc ~target).(Idtmc.init_state idtmc) in
+    Pctl.compare_with cmp p bound
+  | Reward (cmp, bound, f) ->
+    let target = target_of_prop idtmc f in
+    let sem =
+      match cmp with
+      | Pctl.Le | Pctl.Lt -> Pessimistic (* worst case = maximal cost *)
+      | Pctl.Ge | Pctl.Gt -> Optimistic
+    in
+    let r = (expected_reward sem idtmc ~target).(Idtmc.init_state idtmc) in
+    Pctl.compare_with cmp r bound
+  | _ ->
+    invalid_arg
+      "Robust.check: only P~b[F prop] and R~r[F prop] formulas are supported"

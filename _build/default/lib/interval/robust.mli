@@ -1,0 +1,35 @@
+(** Robust verification of interval DTMCs.
+
+    At every state, "nature" resolves the probability intervals to a
+    distribution in the row's transportation polytope; {!Pessimistic}
+    semantics lets nature work against the property, {!Optimistic} with it.
+    The inner optimisation (maximise/minimise [Σ p·x] over the polytope)
+    is solved exactly by the classic greedy order-statistics argument, so
+    the whole analysis is a value iteration — the polynomial-time algorithm
+    of the convex-MDP verification line (Puggelli et al.). *)
+
+type semantics = Pessimistic | Optimistic
+
+val resolve_row :
+  semantics -> (int * float * float) list -> float array -> (int * float) list
+(** [resolve_row sem edges x] — nature's distribution over the given
+    interval edges that minimises (pessimistic) or maximises (optimistic)
+    [Σ p·x.(target)]. Exposed for tests. *)
+
+val reachability :
+  ?max_iter:int -> ?tol:float -> semantics -> Idtmc.t -> target:int list -> float array
+(** Worst-case (or best-case) probability of eventually reaching the
+    target set, per state. *)
+
+val expected_reward :
+  ?max_iter:int -> ?tol:float -> semantics -> Idtmc.t -> target:int list -> float array
+(** Worst/best-case expected accumulated state reward until reaching the
+    target; [infinity] where the target can be avoided with positive
+    probability forever under the chosen semantics. *)
+
+val check : Idtmc.t -> Pctl.state_formula -> bool
+(** Robust PCTL checking at the initial state for top-level [P]/[R] with
+    reachability ([F]) path formulas: [>=]/[>] bounds are checked against
+    the pessimistic value, [<=]/[<] against the optimistic one, so a [true]
+    answer holds for {e every} chain in the interval family.
+    @raise Invalid_argument on other formula shapes. *)

@@ -1,0 +1,85 @@
+let nature_value ~nature edges x =
+  let p = Robust.resolve_row nature edges x in
+  List.fold_left (fun acc (d, q) -> acc +. (q *. x.(d))) 0.0 p
+
+let controller_fold (quant : Check_mdp.quant) =
+  match quant with
+  | Check_mdp.Max -> (Float.max, Float.neg_infinity)
+  | Check_mdp.Min -> (Float.min, Float.infinity)
+
+let reachability ?(max_iter = 100_000) ?(tol = 1e-12) ~controller ~nature imdp
+    ~target =
+  let n = Imdp.num_states imdp in
+  let is_target = Array.make n false in
+  List.iter (fun s -> is_target.(s) <- true) target;
+  let fold, worst = controller_fold controller in
+  let x = Array.init n (fun s -> if is_target.(s) then 1.0 else 0.0) in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        if not is_target.(s) then begin
+          let best =
+            List.fold_left
+              (fun acc (_, edges) -> fold acc (nature_value ~nature edges x))
+              worst (Imdp.actions_of imdp s)
+          in
+          delta := Float.max !delta (Float.abs (best -. x.(s)));
+          x.(s) <- best
+        end
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  x
+
+let robust_policy ?max_iter ?tol ~controller ~nature imdp ~target =
+  let x = reachability ?max_iter ?tol ~controller ~nature imdp ~target in
+  Array.init (Imdp.num_states imdp) (fun s ->
+      match Imdp.actions_of imdp s with
+      | [] -> assert false (* Imdp.make guarantees at least one action *)
+      | (first, first_edges) :: rest ->
+        let better a b =
+          match controller with
+          | Check_mdp.Max -> a > b
+          | Check_mdp.Min -> a < b
+        in
+        let best_name, _ =
+          List.fold_left
+            (fun (bn, bv) (name, edges) ->
+               let v = nature_value ~nature edges x in
+               if better v bv then (name, v) else (bn, bv))
+            (first, nature_value ~nature first_edges x)
+            rest
+        in
+        best_name)
+
+let target_of_prop imdp (f : Pctl.state_formula) =
+  let rec sat s = function
+    | Pctl.True -> true
+    | Pctl.False -> false
+    | Pctl.Prop p -> Imdp.has_label imdp s p
+    | Pctl.Not g -> not (sat s g)
+    | Pctl.And (a, b) -> sat s a && sat s b
+    | Pctl.Or (a, b) -> sat s a || sat s b
+    | Pctl.Implies (a, b) -> (not (sat s a)) || sat s b
+    | Pctl.Prob _ | Pctl.Reward _ ->
+      invalid_arg "Robust_mdp.check: nested P/R operators are not supported"
+  in
+  List.filter (fun s -> sat s f) (List.init (Imdp.num_states imdp) Fun.id)
+
+let check imdp (phi : Pctl.state_formula) =
+  match phi with
+  | Prob (cmp, bound, Eventually f) ->
+    let target = target_of_prop imdp f in
+    let controller, nature =
+      match cmp with
+      | Pctl.Ge | Pctl.Gt -> (Check_mdp.Min, Robust.Pessimistic)
+      | Pctl.Le | Pctl.Lt -> (Check_mdp.Max, Robust.Optimistic)
+    in
+    let p = (reachability ~controller ~nature imdp ~target).(Imdp.init_state imdp) in
+    Pctl.compare_with cmp p bound
+  | _ ->
+    invalid_arg "Robust_mdp.check: only P~b[F prop] formulas are supported"

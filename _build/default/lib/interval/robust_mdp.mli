@@ -1,0 +1,40 @@
+(** Robust verification of interval MDPs: the controller optimises, nature
+    resolves the intervals with the chosen polarity. The inner nature
+    problem is the same greedy order-statistics LP as {!Robust}; the outer
+    problem is a max/min over actions — together a polynomial-time value
+    iteration (Puggelli et al., CAV'13). *)
+
+val reachability :
+  ?max_iter:int ->
+  ?tol:float ->
+  controller:Check_mdp.quant ->
+  nature:Robust.semantics ->
+  Imdp.t ->
+  target:int list ->
+  float array
+(** Per-state probability of eventually reaching the target when the
+    controller maximises/minimises and nature is pessimistic (minimises
+    the same quantity) or optimistic. [controller:Max, nature:Pessimistic]
+    is the classic "best controller against worst-case uncertainty". *)
+
+val robust_policy :
+  ?max_iter:int ->
+  ?tol:float ->
+  controller:Check_mdp.quant ->
+  nature:Robust.semantics ->
+  Imdp.t ->
+  target:int list ->
+  string array
+(** The controller policy attaining the {!reachability} value (greedy in
+    the converged value function). *)
+
+val check : Imdp.t -> Pctl.state_formula -> bool
+(** Robust PCTL for [P ~ b \[F prop\]]: [>=]/[>] bounds quantify
+    universally over nature and existentially over the controller is NOT
+    what universal semantics wants — following PRISM's convention for
+    MDPs, [>=]/[>] requires even the {e minimising} controller under
+    {e pessimistic} nature to meet the bound, and [<=]/[<] requires the
+    {e maximising} controller under {e optimistic} nature to stay below
+    it; a [true] verdict therefore holds for every policy and every
+    interval resolution.
+    @raise Invalid_argument on other formula shapes. *)

@@ -1,0 +1,1 @@
+lib/io/dtmc_io.ml: Array Buffer Dtmc List Printf String

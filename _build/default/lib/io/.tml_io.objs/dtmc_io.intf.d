@@ -1,0 +1,1 @@
+lib/io/dtmc_io.mli: Dtmc

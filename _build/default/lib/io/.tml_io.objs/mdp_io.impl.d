@@ -1,0 +1,1 @@
+lib/io/mdp_io.ml: Array Buffer List Mdp Option Printf String

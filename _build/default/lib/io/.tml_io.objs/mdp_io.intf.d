@@ -1,0 +1,1 @@
+lib/io/mdp_io.mli: Mdp

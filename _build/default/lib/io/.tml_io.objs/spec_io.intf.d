@@ -1,0 +1,1 @@
+lib/io/spec_io.mli: Ratfun

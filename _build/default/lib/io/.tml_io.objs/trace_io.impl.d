@@ -1,0 +1,1 @@
+lib/io/trace_io.ml: Buffer List Printf String Trace

@@ -1,0 +1,112 @@
+exception Parse_error of string
+
+let fail lineno msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun t -> t <> "")
+
+type builder = {
+  mutable n : int option;
+  mutable init : int option;
+  mutable transitions : (int * int * float) list;
+  mutable labels : (string * int list) list;
+  mutable rewards : (int * float) list;
+}
+
+let parse_int lineno what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail lineno (Printf.sprintf "expected an integer %s, got %S" what s)
+
+let parse_float lineno what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail lineno (Printf.sprintf "expected a number %s, got %S" what s)
+
+(* A transition line looks like "0 -> 1 : 0.3". *)
+let parse_transition b lineno tokens =
+  match tokens with
+  | [ src; "->"; dst; ":"; prob ] ->
+    b.transitions <-
+      ( parse_int lineno "source" src,
+        parse_int lineno "target" dst,
+        parse_float lineno "probability" prob )
+      :: b.transitions
+  | _ -> fail lineno "expected \"SRC -> DST : PROB\""
+
+let parse_line b lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_ws line with
+  | [] -> ()
+  | [ "dtmc" ] -> ()
+  | [ "states"; k ] -> b.n <- Some (parse_int lineno "state count" k)
+  | [ "init"; s ] -> b.init <- Some (parse_int lineno "initial state" s)
+  | "label" :: name :: "=" :: states when states <> [] ->
+    b.labels <-
+      (name, List.map (parse_int lineno "label state") states) :: b.labels
+  | [ "reward"; s; "="; r ] ->
+    b.rewards <-
+      (parse_int lineno "reward state" s, parse_float lineno "reward" r)
+      :: b.rewards
+  | tokens when List.mem "->" tokens -> parse_transition b lineno tokens
+  | tok :: _ -> fail lineno (Printf.sprintf "unrecognised directive %S" tok)
+
+let parse text =
+  let b = { n = None; init = None; transitions = []; labels = []; rewards = [] } in
+  List.iteri
+    (fun i line -> parse_line b (i + 1) line)
+    (String.split_on_char '\n' text);
+  let n = match b.n with Some n -> n | None -> raise (Parse_error "missing \"states N\"") in
+  let init = match b.init with Some i -> i | None -> raise (Parse_error "missing \"init S\"") in
+  let rewards = Array.make (max n 1) 0.0 in
+  List.iter
+    (fun (s, r) ->
+       if s < 0 || s >= n then
+         raise (Parse_error (Printf.sprintf "reward state %d out of range" s));
+       rewards.(s) <- r)
+    b.rewards;
+  match
+    Dtmc.make ~n ~init ~transitions:(List.rev b.transitions) ~labels:b.labels
+      ~rewards ()
+  with
+  | d -> d
+  | exception Invalid_argument msg -> raise (Parse_error msg)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string d =
+  let buf = Buffer.create 256 in
+  let n = Dtmc.num_states d in
+  Buffer.add_string buf "dtmc\n";
+  Buffer.add_string buf (Printf.sprintf "states %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "init %d\n" (Dtmc.init_state d));
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (t, p) -> Buffer.add_string buf (Printf.sprintf "%d -> %d : %.17g\n" s t p))
+      (Dtmc.succ d s)
+  done;
+  List.iter
+    (fun l ->
+       Buffer.add_string buf
+         (Printf.sprintf "label %s = %s\n" l
+            (String.concat " "
+               (List.map string_of_int (Dtmc.states_with_label d l)))))
+    (Dtmc.labels d);
+  for s = 0 to n - 1 do
+    let r = Dtmc.reward d s in
+    if r <> 0.0 then Buffer.add_string buf (Printf.sprintf "reward %d = %.17g\n" s r)
+  done;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** A small textual format for DTMCs, so models can be checked and repaired
+    from the command line.
+
+    {v
+    dtmc
+    states 3
+    init 0
+    0 -> 1 : 0.3
+    0 -> 2 : 0.7
+    1 -> 1 : 1.0
+    2 -> 2 : 1.0
+    label goal = 1
+    label fail = 2
+    reward 0 = 1.0
+    v}
+
+    Blank lines and [#]-comments are ignored. [label] lines may list several
+    states separated by spaces or commas; [reward] sets a state reward
+    (default 0). *)
+
+exception Parse_error of string
+
+val parse : string -> Dtmc.t
+(** @raise Parse_error on malformed input (including the underlying
+    validation errors of {!Dtmc.make}, re-raised with line context). *)
+
+val of_file : string -> Dtmc.t
+(** @raise Parse_error as {!parse}; @raise Sys_error on IO failure. *)
+
+val to_string : Dtmc.t -> string
+(** Render in the same format; [parse (to_string d)] reconstructs [d]. *)

@@ -1,0 +1,184 @@
+exception Parse_error of string
+
+let fail lineno msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char ',')
+  |> List.filter (fun t -> t <> "")
+
+type builder = {
+  mutable n : int option;
+  mutable init : int option;
+  mutable dists : ((int * string) * (int * float) list) list;
+  mutable labels : (string * int list) list;
+  mutable state_rewards : (int * float) list;
+  mutable action_rewards : ((int * string) * float) list;
+  mutable features : (int * float array) list;
+}
+
+let parse_int lineno what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail lineno (Printf.sprintf "expected an integer %s, got %S" what s)
+
+let parse_float lineno what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail lineno (Printf.sprintf "expected a number %s, got %S" what s)
+
+let add_dist b lineno src act dst prob =
+  let key = (src, act) in
+  let cur = Option.value ~default:[] (List.assoc_opt key b.dists) in
+  if List.mem_assoc dst cur then
+    fail lineno (Printf.sprintf "duplicate target %d for %d/%s" dst src act);
+  b.dists <- (key, (dst, prob) :: cur) :: List.remove_assoc key b.dists
+
+let parse_line b lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match split_ws line with
+  | [] -> ()
+  | [ "mdp" ] -> ()
+  | [ "states"; k ] -> b.n <- Some (parse_int lineno "state count" k)
+  | [ "init"; s ] -> b.init <- Some (parse_int lineno "initial state" s)
+  | "label" :: name :: "=" :: states when states <> [] ->
+    b.labels <-
+      (name, List.map (parse_int lineno "label state") states) :: b.labels
+  | [ "reward"; s; "="; r ] ->
+    b.state_rewards <-
+      (parse_int lineno "reward state" s, parse_float lineno "reward" r)
+      :: b.state_rewards
+  | [ "action-reward"; s; a; "="; r ] ->
+    b.action_rewards <-
+      ( (parse_int lineno "reward state" s, a),
+        parse_float lineno "action reward" r )
+      :: b.action_rewards
+  | "feature" :: s :: "=" :: values when values <> [] ->
+    b.features <-
+      ( parse_int lineno "feature state" s,
+        Array.of_list (List.map (parse_float lineno "feature value") values) )
+      :: b.features
+  | [ src; act; "->"; dst; ":"; prob ] ->
+    add_dist b lineno
+      (parse_int lineno "source" src)
+      act
+      (parse_int lineno "target" dst)
+      (parse_float lineno "probability" prob)
+  | tok :: _ -> fail lineno (Printf.sprintf "unrecognised directive %S" tok)
+
+let parse text =
+  let b =
+    {
+      n = None;
+      init = None;
+      dists = [];
+      labels = [];
+      state_rewards = [];
+      action_rewards = [];
+      features = [];
+    }
+  in
+  List.iteri (fun i line -> parse_line b (i + 1) line) (String.split_on_char '\n' text);
+  let n =
+    match b.n with Some n -> n | None -> raise (Parse_error "missing \"states N\"")
+  in
+  let init =
+    match b.init with Some i -> i | None -> raise (Parse_error "missing \"init S\"")
+  in
+  let actions =
+    List.map (fun ((s, a), dist) -> (s, a, List.rev dist)) b.dists
+  in
+  let state_rewards = Array.make (max n 1) 0.0 in
+  List.iter
+    (fun (s, r) ->
+       if s < 0 || s >= n then
+         raise (Parse_error (Printf.sprintf "reward state %d out of range" s));
+       state_rewards.(s) <- r)
+    b.state_rewards;
+  let features =
+    match b.features with
+    | [] -> None
+    | entries ->
+      let arity = Array.length (snd (List.hd entries)) in
+      let f = Array.make n [||] in
+      List.iter
+        (fun (s, row) ->
+           if s < 0 || s >= n then
+             raise (Parse_error (Printf.sprintf "feature state %d out of range" s));
+           if Array.length row <> arity then
+             raise (Parse_error "inconsistent feature arity");
+           f.(s) <- row)
+        entries;
+      Array.iteri
+        (fun s row ->
+           if Array.length row = 0 then
+             raise (Parse_error (Printf.sprintf "state %d is missing features" s)))
+        f;
+      Some f
+  in
+  match
+    Mdp.make ~n ~init ~actions ~action_rewards:b.action_rewards ~labels:b.labels
+      ~state_rewards ?features ()
+  with
+  | m -> m
+  | exception Invalid_argument msg -> raise (Parse_error msg)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string m =
+  let buf = Buffer.create 512 in
+  let n = Mdp.num_states m in
+  Buffer.add_string buf "mdp\n";
+  Buffer.add_string buf (Printf.sprintf "states %d\n" n);
+  Buffer.add_string buf (Printf.sprintf "init %d\n" (Mdp.init_state m));
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (a : Mdp.action) ->
+         List.iter
+           (fun (d, p) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%d %s -> %d : %.17g\n" s a.Mdp.name d p))
+           a.Mdp.dist)
+      (Mdp.actions_of m s)
+  done;
+  List.iter
+    (fun l ->
+       Buffer.add_string buf
+         (Printf.sprintf "label %s = %s\n" l
+            (String.concat " "
+               (List.map string_of_int (Mdp.states_with_label m l)))))
+    (Mdp.labels m);
+  for s = 0 to n - 1 do
+    let r = Mdp.state_reward m s in
+    if r <> 0.0 then
+      Buffer.add_string buf (Printf.sprintf "reward %d = %.17g\n" s r)
+  done;
+  for s = 0 to n - 1 do
+    List.iter
+      (fun (a : Mdp.action) ->
+         if a.Mdp.reward <> 0.0 then
+           Buffer.add_string buf
+             (Printf.sprintf "action-reward %d %s = %.17g\n" s a.Mdp.name
+                a.Mdp.reward))
+      (Mdp.actions_of m s)
+  done;
+  if Mdp.feature_dim m > 0 then
+    for s = 0 to n - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "feature %d = %s\n" s
+           (String.concat " "
+              (Array.to_list
+                 (Array.map (Printf.sprintf "%.17g") (Mdp.features_of m s)))))
+    done;
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** A textual format for MDPs, mirroring {!Dtmc_io}:
+
+    {v
+    mdp
+    states 3
+    init 0
+    0 go -> 1 : 0.8
+    0 go -> 2 : 0.2
+    0 wait -> 0 : 1.0
+    1 stay -> 1 : 1.0
+    2 stay -> 2 : 1.0
+    label goal = 1
+    reward 1 = 5.0
+    action-reward 0 go = -1.0
+    feature 0 = 1.0 0.5
+    feature 1 = 0.0 1.0
+    feature 2 = 0.0 0.0
+    v}
+
+    Transition lines for the same (state, action) pair accumulate into one
+    distribution. [feature] lines, if present, must cover every state with
+    equal arity. *)
+
+exception Parse_error of string
+
+val parse : string -> Mdp.t
+val of_file : string -> Mdp.t
+val to_string : Mdp.t -> string
+(** [parse (to_string m)] reconstructs [m]. *)

@@ -1,0 +1,87 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_variable s =
+  match String.split_on_char ':' s with
+  | [ name; lo; hi ] -> (
+      match (float_of_string_opt lo, float_of_string_opt hi) with
+      | Some lo, Some hi when name <> "" -> (name, lo, hi)
+      | _ -> fail "bad variable spec %S (want NAME:LO:HI)" s)
+  | _ -> fail "bad variable spec %S (want NAME:LO:HI)" s
+
+(* A signed linear combination: [+|-] term { (+|-) term } where
+   term := [FLOAT *] IDENT | FLOAT. *)
+let parse_linear expr =
+  let n = String.length expr in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some expr.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (expr.[!pos] = ' ' || expr.[!pos] = '\t') do incr pos done
+  in
+  let read_while pred =
+    let start = !pos in
+    while !pos < n && pred expr.[!pos] do incr pos done;
+    String.sub expr start (!pos - start)
+  in
+  let is_digit c = (c >= '0' && c <= '9') || c = '.' in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let term sign =
+    skip_ws ();
+    match peek () with
+    | Some c when is_digit c ->
+      let lit = read_while is_digit in
+      let coef =
+        match float_of_string_opt lit with
+        | Some f -> f
+        | None -> fail "bad coefficient %S in %S" lit expr
+      in
+      skip_ws ();
+      let base =
+        match peek () with
+        | Some '*' ->
+          incr pos;
+          skip_ws ();
+          (match peek () with
+           | Some c when is_ident_start c -> Ratfun.var (read_while is_ident)
+           | _ -> fail "expected a variable after '*' in %S" expr)
+        | _ -> Ratfun.one
+      in
+      Ratfun.mul (Ratfun.const (Ratio.of_float (sign *. coef))) base
+    | Some c when is_ident_start c ->
+      let v = Ratfun.var (read_while is_ident) in
+      if sign < 0.0 then Ratfun.neg v else v
+    | _ -> fail "expected a term in %S" expr
+  in
+  let rec rest acc =
+    skip_ws ();
+    match peek () with
+    | None -> acc
+    | Some '+' ->
+      incr pos;
+      rest (Ratfun.add acc (term 1.0))
+    | Some '-' ->
+      incr pos;
+      rest (Ratfun.add acc (term (-1.0)))
+    | Some c -> fail "unexpected character %C in %S" c expr
+  in
+  skip_ws ();
+  let first =
+    match peek () with
+    | Some '+' -> incr pos; term 1.0
+    | Some '-' -> incr pos; term (-1.0)
+    | _ -> term 1.0
+  in
+  rest first
+
+let parse_delta s =
+  match String.split_on_char ',' s with
+  | [ src; dst; expr ] -> (
+      match (int_of_string_opt (String.trim src), int_of_string_opt (String.trim dst)) with
+      | Some src, Some dst -> (src, dst, parse_linear expr)
+      | _ -> fail "bad delta %S (want SRC,DST,EXPR)" s)
+  | _ -> fail "bad delta %S (want SRC,DST,EXPR)" s

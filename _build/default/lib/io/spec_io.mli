@@ -1,0 +1,12 @@
+(** Command-line syntax for Model-Repair specifications. *)
+
+exception Parse_error of string
+
+val parse_variable : string -> string * float * float
+(** ["v:0:0.5"] — name, lower bound, upper bound.
+    @raise Parse_error on malformed input. *)
+
+val parse_delta : string -> int * int * Ratfun.t
+(** ["0,1,+v"], ["0,2,-v"], ["3,4,0.5*v"], ["1,1,-v-0.5*w"] — an edge
+    perturbation: source, target, and a signed linear combination of
+    variables. @raise Parse_error on malformed input. *)

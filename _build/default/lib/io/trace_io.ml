@@ -1,0 +1,90 @@
+exception Parse_error of string
+
+let fail lineno msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+
+let parse_token lineno tok =
+  match String.split_on_char ',' tok with
+  | [ s ] -> (
+      match int_of_string_opt s with
+      | Some v -> (v, "")
+      | None -> fail lineno (Printf.sprintf "expected a state, got %S" s))
+  | [ s; a ] -> (
+      match int_of_string_opt s with
+      | Some v when a <> "" -> (v, a)
+      | _ -> fail lineno (Printf.sprintf "bad state,action token %S" tok))
+  | _ -> fail lineno (Printf.sprintf "bad token %S" tok)
+
+let parse_trace lineno tokens =
+  let pairs = List.map (parse_token lineno) tokens in
+  match List.rev pairs with
+  | [] -> fail lineno "empty trace"
+  | (final, final_action) :: rev_steps ->
+    if final_action <> "" then
+      fail lineno "the final state must not carry an action";
+    Trace.make (List.rev rev_steps) final
+
+let parse text =
+  let groups : (string * Trace.t list ref) list ref = ref [ ("", ref []) ] in
+  let current = ref (List.assoc "" !groups) in
+  List.iteri
+    (fun i line ->
+       let lineno = i + 1 in
+       let line =
+         match String.index_opt line '#' with
+         | Some j -> String.sub line 0 j
+         | None -> line
+       in
+       let tokens =
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.filter (fun t -> t <> "")
+       in
+       match tokens with
+       | [] -> ()
+       | [ "group"; name ] ->
+         (match List.assoc_opt name !groups with
+          | Some r -> current := r
+          | None ->
+            let r = ref [] in
+            groups := !groups @ [ (name, r) ];
+            current := r)
+       | "group" :: _ -> fail lineno "group takes exactly one name"
+       | tokens -> !current := parse_trace lineno tokens :: !(!current))
+    (String.split_on_char '\n' text);
+  !groups
+  |> List.filter_map (fun (name, r) ->
+      match List.rev !r with
+      | [] when name = "" -> None (* drop an unused default group *)
+      | traces -> Some (name, traces))
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse text
+
+let to_string groups =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, traces) ->
+       if name <> "" then Buffer.add_string buf (Printf.sprintf "group %s\n" name);
+       List.iter
+         (fun tr ->
+            let steps =
+              List.map
+                (fun (s, a) ->
+                   if a = "" then string_of_int s else Printf.sprintf "%d,%s" s a)
+                (Trace.state_actions tr)
+            in
+            let final =
+              match List.rev (Trace.states tr) with
+              | last :: _ -> string_of_int last
+              | [] -> assert false
+            in
+            Buffer.add_string buf (String.concat " " (steps @ [ final ]));
+            Buffer.add_char buf '\n')
+         traces)
+    groups;
+  Buffer.contents buf

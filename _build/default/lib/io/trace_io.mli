@@ -1,0 +1,27 @@
+(** Textual format for trace datasets, optionally partitioned into named
+    groups (the unit Data Repair drops by).
+
+    {v
+    # a comment
+    group clean
+    0 1 2
+    0,go 1,stop 2          # state,action pairs; the last token is the
+                           # final state
+    group field
+    0 2
+    v}
+
+    Lines before any [group] directive land in the default group [""].
+    A bare state sequence is an action-less path; mixing the two styles on
+    one line is allowed (missing actions default to [""]). *)
+
+exception Parse_error of string
+
+val parse : string -> (string * Trace.t list) list
+(** Groups in order of first appearance; each group's traces in file
+    order. @raise Parse_error on malformed lines. *)
+
+val of_file : string -> (string * Trace.t list) list
+
+val to_string : (string * Trace.t list) list -> string
+(** [parse (to_string groups)] reconstructs the groups. *)

@@ -1,0 +1,1 @@
+lib/learn/irl.ml: Array Float List Mdp Stdlib Trace

@@ -1,0 +1,1 @@
+lib/learn/irl.mli: Mdp Trace

@@ -1,0 +1,1 @@
+lib/learn/mle.ml: Array Dtmc Fun Hashtbl List Mdp Option Pdtmc Printf Ratfun Ratio String Trace

@@ -1,0 +1,1 @@
+lib/learn/mle.mli: Dtmc Mdp Pdtmc Ratio Trace

@@ -1,0 +1,144 @@
+type options = {
+  horizon : int;
+  learning_rate : float;
+  iterations : int;
+  l2_projection : bool;
+}
+
+let default_options =
+  { horizon = 0; learning_rate = 0.1; iterations = 400; l2_projection = true }
+
+let feature_dim_exn m =
+  let k = Mdp.feature_dim m in
+  if k = 0 then invalid_arg "Irl: MDP has no state features";
+  k
+
+let empirical_feature_expectations m weighted =
+  let k = feature_dim_exn m in
+  let acc = Array.make k 0.0 in
+  let total_w = ref 0.0 in
+  List.iter
+    (fun (tr, w) ->
+       if w < 0.0 then invalid_arg "Irl: negative trajectory weight";
+       if w > 0.0 then begin
+         total_w := !total_w +. w;
+         List.iter
+           (fun s ->
+              let f = Mdp.features_of m s in
+              Array.iteri (fun i fi -> acc.(i) <- acc.(i) +. (w *. fi)) f)
+           (Trace.states tr)
+       end)
+    weighted;
+  if !total_w <= 0.0 then invalid_arg "Irl: zero total trajectory weight";
+  Array.map (fun v -> v /. !total_w) acc
+
+let logsumexp xs =
+  let m = List.fold_left Float.max Float.neg_infinity xs in
+  if m = Float.neg_infinity then Float.neg_infinity
+  else m +. log (List.fold_left (fun acc x -> acc +. exp (x -. m)) 0.0 xs)
+
+let reward_vector m theta =
+  Array.init (Mdp.num_states m) (fun s ->
+      let f = Mdp.features_of m s in
+      let acc = ref 0.0 in
+      Array.iteri (fun i fi -> acc := !acc +. (theta.(i) *. fi)) f;
+      !acc)
+
+let soft_policy m ~theta ~horizon =
+  let n = Mdp.num_states m in
+  let r = reward_vector m theta in
+  (* soft backward recursion *)
+  let v = Array.make n 0.0 in
+  for _ = 1 to horizon do
+    let v' =
+      Array.init n (fun s ->
+          let qs =
+            List.map
+              (fun (a : Mdp.action) ->
+                 r.(s) +. a.Mdp.reward
+                 +. List.fold_left (fun acc (t, p) -> acc +. (p *. v.(t))) 0.0 a.Mdp.dist)
+              (Mdp.actions_of m s)
+          in
+          logsumexp qs)
+    in
+    Array.blit v' 0 v 0 n
+  done;
+  Array.init n (fun s ->
+      let acts = Mdp.actions_of m s in
+      let qs =
+        List.map
+          (fun (a : Mdp.action) ->
+             ( a.Mdp.name,
+               r.(s) +. a.Mdp.reward
+               +. List.fold_left (fun acc (t, p) -> acc +. (p *. v.(t))) 0.0 a.Mdp.dist ))
+          acts
+      in
+      let z = logsumexp (List.map snd qs) in
+      List.map (fun (name, q) -> (name, exp (q -. z))) qs)
+
+let expected_state_frequencies m ~policy ~horizon =
+  let n = Mdp.num_states m in
+  let d = Array.make n 0.0 in
+  let cur = Array.make n 0.0 in
+  cur.(Mdp.init_state m) <- 1.0;
+  for _ = 0 to horizon - 1 do
+    Array.iteri (fun s mass -> d.(s) <- d.(s) +. mass) cur;
+    let next = Array.make n 0.0 in
+    Array.iteri
+      (fun s mass ->
+         if mass > 0.0 then
+           List.iter
+             (fun (aname, pa) ->
+                match Mdp.find_action m s aname with
+                | None -> ()
+                | Some a ->
+                  List.iter
+                    (fun (t, p) -> next.(t) <- next.(t) +. (mass *. pa *. p))
+                    a.Mdp.dist)
+             policy.(s))
+      cur;
+    Array.blit next 0 cur 0 n
+  done;
+  Array.iteri (fun s mass -> d.(s) <- d.(s) +. mass) cur;
+  d
+
+let project_l2 theta =
+  let norm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 theta) in
+  if norm > 1.0 then Array.map (fun v -> v /. norm) theta else theta
+
+let learn_weighted ?(options = default_options) ?theta0 m weighted =
+  let k = feature_dim_exn m in
+  let horizon =
+    if options.horizon > 0 then options.horizon
+    else
+      List.fold_left (fun acc (tr, _) -> Stdlib.max acc (Trace.length tr)) 1 weighted
+  in
+  let emp = empirical_feature_expectations m weighted in
+  let theta =
+    match theta0 with
+    | Some t ->
+      if Array.length t <> k then invalid_arg "Irl: theta0 has wrong dimension";
+      ref (Array.copy t)
+    | None -> ref (Array.make k 0.0)
+  in
+  for it = 1 to options.iterations do
+    let policy = soft_policy m ~theta:!theta ~horizon in
+    let freq = expected_state_frequencies m ~policy ~horizon in
+    (* Normalise model visitation mass to trajectory scale (horizon+1
+       state visits per trajectory, matching the empirical sum). *)
+    let expected = Array.make k 0.0 in
+    Array.iteri
+      (fun s mass ->
+         let f = Mdp.features_of m s in
+         Array.iteri (fun i fi -> expected.(i) <- expected.(i) +. (mass *. fi)) f)
+      freq;
+    let lr = options.learning_rate /. sqrt (float_of_int it) in
+    let t' = Array.mapi (fun i v -> v +. (lr *. (emp.(i) -. expected.(i)))) !theta in
+    theta := if options.l2_projection then project_l2 t' else t'
+  done;
+  !theta
+
+let learn ?options ?theta0 m traces =
+  learn_weighted ?options ?theta0 m (List.map (fun tr -> (tr, 1.0)) traces)
+
+let apply_reward m theta = Mdp.with_state_rewards m (reward_vector m theta)

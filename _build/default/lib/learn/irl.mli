@@ -1,0 +1,54 @@
+(** Maximum-entropy inverse reinforcement learning (Ziebart et al. 2008) —
+    the paper's learning procedure for reward functions (§IV-C, Eq. 16).
+
+    The reward is linear in per-state features, [reward(s) = θᵀ f_s], and
+    trajectory probability is proportional to
+    [exp(Σ_i θᵀ f_{s_i}) · Π_i P(s_{i+1} | s_i, a_i)]. Learning maximises
+    trace likelihood by matching expected feature counts: the gradient is
+    (empirical feature expectations) − (feature expectations under the
+    current soft policy). Supports weighted trajectories, which is how
+    Reward Repair re-estimates θ from the projected distribution [Q]
+    (Prop. 4). *)
+
+type options = {
+  horizon : int;  (** forward-pass length; default: longest trace *)
+  learning_rate : float;
+  iterations : int;
+  l2_projection : bool;  (** project θ onto the unit L2 ball (‖θ‖₂ ≤ 1),
+                             the paper's normalisation *)
+}
+
+val default_options : options
+
+val empirical_feature_expectations : Mdp.t -> (Trace.t * float) list -> float array
+(** Weighted mean over trajectories of summed state features (weights are
+    normalised internally).
+    @raise Invalid_argument when the MDP has no features or weights are all
+    zero. *)
+
+val soft_policy :
+  Mdp.t -> theta:float array -> horizon:int -> (string * float) list array
+(** The maximum-entropy stochastic policy [π(a|s) ∝ exp Q_soft(s,a)] under
+    the reward [θᵀ f], computed by soft value iteration over the given
+    horizon. *)
+
+val expected_state_frequencies :
+  Mdp.t -> policy:(string * float) list array -> horizon:int -> float array
+(** Expected discounted-free visitation counts [D(s)] over the horizon,
+    starting from the initial state. *)
+
+val learn :
+  ?options:options -> ?theta0:float array -> Mdp.t -> Trace.t list -> float array
+(** Learned weight vector θ.
+    @raise Invalid_argument when the MDP carries no features. *)
+
+val learn_weighted :
+  ?options:options -> ?theta0:float array -> Mdp.t -> (Trace.t * float) list -> float array
+(** As {!learn}, but each trajectory carries a non-negative weight — used
+    by Reward Repair to fit θ to the rule-projected distribution Q. *)
+
+val reward_vector : Mdp.t -> float array -> float array
+(** [reward_vector m θ] = per-state rewards [θᵀ f_s]. *)
+
+val apply_reward : Mdp.t -> float array -> Mdp.t
+(** Replace the MDP's state rewards by [θᵀ f_s]. *)

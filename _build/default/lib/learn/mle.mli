@@ -1,0 +1,55 @@
+(** Maximum-likelihood estimation of Markov-chain / MDP transition
+    probabilities from traces — the paper's learning procedure [ML(D)] for
+    the transition function [P] (§II).
+
+    The parametric variant is the machinery behind Data Repair
+    (Prop. 3): traces are partitioned into groups, each group [g] gets a
+    drop-fraction parameter [x_g ∈ \[0,1)], and the ML estimates become
+    rational functions of those parameters — keeping a group's weight at
+    [1 - x_g]. Parametric model checking of the resulting {!Pdtmc} then
+    yields the closed-form constraint of Eq. 15. *)
+
+(** {1 Concrete estimation} *)
+
+val transition_counts : n:int -> Trace.t list -> float array array
+(** [counts.(s).(d)] = number of observed [s -> d] steps (actions ignored).
+    @raise Invalid_argument when a trace mentions a state outside
+    [0 .. n-1]. *)
+
+val learn_dtmc :
+  n:int ->
+  init:int ->
+  ?labels:(string * int list) list ->
+  ?rewards:float array ->
+  ?smoothing:float ->
+  ?support:(int * int) list ->
+  Trace.t list ->
+  Dtmc.t
+(** Row-normalised counts. [smoothing] adds Laplace mass α to every edge of
+    the [support] (default: the edges observed anywhere in the data).
+    States never visited as sources become absorbing self-loops.
+    @raise Invalid_argument on empty data with no support, or bad states. *)
+
+val learn_mdp_dists :
+  Mdp.t -> ?smoothing:float -> Trace.t list -> Mdp.t
+(** Re-estimates every action distribution of the given MDP from
+    state/action traces, keeping its structure (support = the existing
+    edges); (s, a) pairs never observed keep their current distribution. *)
+
+(** {1 Parametric estimation (Data Repair substrate)} *)
+
+val parametric_mle :
+  n:int ->
+  init:int ->
+  ?labels:(string * int list) list ->
+  ?rewards:Ratio.t array ->
+  groups:(string * Trace.t list) list ->
+  unit ->
+  Pdtmc.t
+(** Group [g]'s traces are kept with symbolic weight [1 - g]; transition
+    probabilities become
+    [P(s,d) = Σ_g (1-g)·c_g(s,d) / Σ_g (1-g)·c_g(s,·)] — rational functions
+    of the drop fractions. A group name appearing as a variable must
+    therefore be a valid identifier. States never observed as sources
+    become absorbing.
+    @raise Invalid_argument on duplicate group names or bad states. *)

@@ -1,0 +1,219 @@
+module Vec = struct
+  type t = float array
+
+  let make n v : t = Array.make n v
+  let init n f : t = Array.init n f
+  let copy = Array.copy
+  let dim (v : t) = Array.length v
+
+  let check_dim a b =
+    if Array.length a <> Array.length b then
+      invalid_arg "Linalg.Vec: dimension mismatch"
+
+  let map2 f a b =
+    check_dim a b;
+    Array.init (Array.length a) (fun i -> f a.(i) b.(i))
+
+  let add a b = map2 ( +. ) a b
+  let sub a b = map2 ( -. ) a b
+  let scale k v = Array.map (fun x -> k *. x) v
+  let axpy k x y = map2 (fun xi yi -> (k *. xi) +. yi) x y
+
+  let dot a b =
+    check_dim a b;
+    let s = ref 0.0 in
+    for i = 0 to Array.length a - 1 do
+      s := !s +. (a.(i) *. b.(i))
+    done;
+    !s
+
+  let norm2 v = sqrt (dot v v)
+
+  let norm_inf v =
+    Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) 0.0 v
+
+  let dist_inf a b = norm_inf (sub a b)
+
+  let pp fmt v =
+    Format.fprintf fmt "[@[%a@]]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ";@ ")
+         (fun f x -> Format.fprintf f "%g" x))
+      (Array.to_list v)
+end
+
+module Mat = struct
+  type t = { rows : int; cols : int; data : float array }
+
+  let make rows cols v = { rows; cols; data = Array.make (rows * cols) v }
+
+  let init rows cols f =
+    { rows; cols; data = Array.init (rows * cols) (fun k -> f (k / cols) (k mod cols)) }
+
+  let identity n = init n n (fun i j -> if i = j then 1.0 else 0.0)
+
+  let of_rows rows_arr =
+    let rows = Array.length rows_arr in
+    if rows = 0 then make 0 0 0.0
+    else begin
+      let cols = Array.length rows_arr.(0) in
+      Array.iter
+        (fun r ->
+           if Array.length r <> cols then
+             invalid_arg "Linalg.Mat.of_rows: ragged rows")
+        rows_arr;
+      init rows cols (fun i j -> rows_arr.(i).(j))
+    end
+
+  let rows m = m.rows
+  let cols m = m.cols
+  let get m i j = m.data.((i * m.cols) + j)
+  let set m i j v = m.data.((i * m.cols) + j) <- v
+  let copy m = { m with data = Array.copy m.data }
+  let transpose m = init m.cols m.rows (fun i j -> get m j i)
+
+  let mul a b =
+    if a.cols <> b.rows then invalid_arg "Linalg.Mat.mul: dimension mismatch";
+    init a.rows b.cols (fun i j ->
+        let s = ref 0.0 in
+        for k = 0 to a.cols - 1 do
+          s := !s +. (get a i k *. get b k j)
+        done;
+        !s)
+
+  let mul_vec m v =
+    if m.cols <> Array.length v then
+      invalid_arg "Linalg.Mat.mul_vec: dimension mismatch";
+    Array.init m.rows (fun i ->
+        let s = ref 0.0 in
+        for j = 0 to m.cols - 1 do
+          s := !s +. (get m i j *. v.(j))
+        done;
+        !s)
+
+  let add a b =
+    if a.rows <> b.rows || a.cols <> b.cols then
+      invalid_arg "Linalg.Mat.add: dimension mismatch";
+    { a with data = Array.init (Array.length a.data) (fun k -> a.data.(k) +. b.data.(k)) }
+
+  let scale k m = { m with data = Array.map (fun x -> k *. x) m.data }
+
+  let row m i = Array.init m.cols (fun j -> get m i j)
+
+  let pp fmt m =
+    for i = 0 to m.rows - 1 do
+      Format.fprintf fmt "|";
+      for j = 0 to m.cols - 1 do
+        Format.fprintf fmt " %8.4f" (get m i j)
+      done;
+      Format.fprintf fmt " |@\n"
+    done
+end
+
+exception Singular
+
+let pivot_eps = 1e-12
+
+(* In-place LU with partial pivoting on a copy; returns (lu, perm). *)
+let lu_factor a =
+  let n = Mat.rows a in
+  if Mat.cols a <> n then invalid_arg "Linalg.lu_solve: non-square matrix";
+  let lu = Mat.copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* find pivot *)
+    let best = ref k and best_v = ref (Float.abs (Mat.get lu k k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs (Mat.get lu i k) in
+      if v > !best_v then begin
+        best := i;
+        best_v := v
+      end
+    done;
+    if !best_v < pivot_eps then raise Singular;
+    if !best <> k then begin
+      (* swap rows k and best *)
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !best j);
+        Mat.set lu !best j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!best);
+      perm.(!best) <- t
+    end;
+    let pivot = Mat.get lu k k in
+    for i = k + 1 to n - 1 do
+      let f = Mat.get lu i k /. pivot in
+      Mat.set lu i k f;
+      for j = k + 1 to n - 1 do
+        Mat.set lu i j (Mat.get lu i j -. (f *. Mat.get lu k j))
+      done
+    done
+  done;
+  (lu, perm)
+
+let lu_backsolve (lu, perm) b =
+  let n = Mat.rows lu in
+  if Array.length b <> n then invalid_arg "Linalg.lu_solve: rhs dimension";
+  let y = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let s = ref b.(perm.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get lu i j *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get lu i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get lu i i
+  done;
+  x
+
+let lu_solve a b = lu_backsolve (lu_factor a) b
+
+let lu_solve_many a bs =
+  let f = lu_factor a in
+  List.map (lu_backsolve f) bs
+
+let gauss_seidel ?(max_iter = 10_000) ?(tol = 1e-12) a b x0 =
+  let n = Mat.rows a in
+  if Mat.cols a <> n || Array.length b <> n || Array.length x0 <> n then
+    invalid_arg "Linalg.gauss_seidel: dimension mismatch";
+  let x = Array.copy x0 in
+  let rec iterate k =
+    if k >= max_iter then x
+    else begin
+      let delta = ref 0.0 in
+      for i = 0 to n - 1 do
+        let s = ref b.(i) in
+        for j = 0 to n - 1 do
+          if j <> i then s := !s -. (Mat.get a i j *. x.(j))
+        done;
+        let xi = !s /. Mat.get a i i in
+        delta := Float.max !delta (Float.abs (xi -. x.(i)));
+        x.(i) <- xi
+      done;
+      if !delta < tol then x else iterate (k + 1)
+    end
+  in
+  iterate 0
+
+let lstsq a b =
+  let at = Mat.transpose a in
+  let ata = Mat.mul at a in
+  let atb = Mat.mul_vec at b in
+  lu_solve ata atb
+
+let inverse a =
+  let n = Mat.rows a in
+  let f = lu_factor a in
+  let cols =
+    List.init n (fun j ->
+        lu_backsolve f (Array.init n (fun i -> if i = j then 1.0 else 0.0)))
+  in
+  Mat.init n n (fun i j -> (List.nth cols j).(i))

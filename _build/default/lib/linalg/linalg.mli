@@ -1,0 +1,72 @@
+(** Small dense linear-algebra toolkit over floats.
+
+    Backs the numeric PCTL engine (reachability probabilities and expected
+    rewards are solutions of linear systems) and the IRL / optimisation
+    layers (least squares, norms). *)
+
+module Vec : sig
+  type t = float array
+
+  val make : int -> float -> t
+  val init : int -> (int -> float) -> t
+  val copy : t -> t
+  val dim : t -> int
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : float -> t -> t
+  val dot : t -> t -> float
+  val axpy : float -> t -> t -> t
+  (** [axpy a x y] is [a*x + y]. *)
+
+  val norm2 : t -> float
+  val norm_inf : t -> float
+  val dist_inf : t -> t -> float
+  val map2 : (float -> float -> float) -> t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Mat : sig
+  type t
+
+  val make : int -> int -> float -> t
+  val init : int -> int -> (int -> int -> float) -> t
+  val identity : int -> t
+  val of_rows : float array array -> t
+  val rows : t -> int
+  val cols : t -> int
+  val get : t -> int -> int -> float
+  val set : t -> int -> int -> float -> unit
+  val copy : t -> t
+  val transpose : t -> t
+  val mul : t -> t -> t
+  val mul_vec : t -> Vec.t -> Vec.t
+  val add : t -> t -> t
+  val scale : float -> t -> t
+  val row : t -> int -> Vec.t
+  val pp : Format.formatter -> t -> unit
+end
+
+exception Singular
+(** Raised by direct solvers on (numerically) singular systems. *)
+
+val lu_solve : Mat.t -> Vec.t -> Vec.t
+(** Solve [A x = b] by LU decomposition with partial pivoting.
+    @raise Singular if a pivot is smaller than 1e-12 in magnitude.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val lu_solve_many : Mat.t -> Vec.t list -> Vec.t list
+(** Factorise once, solve several right-hand sides. *)
+
+val gauss_seidel :
+  ?max_iter:int -> ?tol:float -> Mat.t -> Vec.t -> Vec.t -> Vec.t
+(** [gauss_seidel a b x0] iterates to a fixed point of [A x = b]; suitable
+    for the diagonally-dominant systems arising from Markov chains.
+    Returns the final iterate (converged or at [max_iter]). *)
+
+val lstsq : Mat.t -> Vec.t -> Vec.t
+(** Least-squares solution of an overdetermined [A x ~ b] via the normal
+    equations (fine at the small sizes used here).
+    @raise Singular when [A^T A] is singular. *)
+
+val inverse : Mat.t -> Mat.t
+(** @raise Singular on singular input. *)

@@ -1,0 +1,1 @@
+lib/logic/pctl.ml: Format List Printf String

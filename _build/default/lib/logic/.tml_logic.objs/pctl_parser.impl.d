@@ -1,0 +1,1 @@
+lib/logic/pctl_parser.ml: List Pctl Printf String

@@ -1,0 +1,1 @@
+lib/logic/pctl_parser.mli: Pctl

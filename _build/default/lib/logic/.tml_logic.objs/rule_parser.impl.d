@@ -1,0 +1,1 @@
+lib/logic/rule_parser.ml: List Printf String Trace_logic

@@ -1,0 +1,1 @@
+lib/logic/rule_parser.mli: Trace_logic

@@ -1,0 +1,1 @@
+lib/logic/trace_logic.mli: Format Trace

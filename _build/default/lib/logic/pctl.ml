@@ -1,0 +1,96 @@
+type cmp = Lt | Le | Gt | Ge
+
+type state_formula =
+  | True
+  | False
+  | Prop of string
+  | Not of state_formula
+  | And of state_formula * state_formula
+  | Or of state_formula * state_formula
+  | Implies of state_formula * state_formula
+  | Prob of cmp * float * path_formula
+  | Reward of cmp * float * state_formula
+
+and path_formula =
+  | Next of state_formula
+  | Until of state_formula * state_formula
+  | Bounded_until of state_formula * state_formula * int
+  | Eventually of state_formula
+  | Bounded_eventually of state_formula * int
+  | Globally of state_formula
+  | Bounded_globally of state_formula * int
+
+let compare_with op value bound =
+  match op with
+  | Lt -> value < bound
+  | Le -> value <= bound
+  | Gt -> value > bound
+  | Ge -> value >= bound
+
+let negate_cmp = function Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+let flip_cmp = function Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le
+
+let cmp_to_string = function Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec collect_props acc = function
+  | True | False -> acc
+  | Prop p -> p :: acc
+  | Not f -> collect_props acc f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+    collect_props (collect_props acc a) b
+  | Prob (_, _, psi) -> collect_path acc psi
+  | Reward (_, _, f) -> collect_props acc f
+
+and collect_path acc = function
+  | Next f | Eventually f | Bounded_eventually (f, _)
+  | Globally f | Bounded_globally (f, _) ->
+    collect_props acc f
+  | Until (a, b) | Bounded_until (a, b, _) ->
+    collect_props (collect_props acc a) b
+
+let atomic_props f = List.sort_uniq String.compare (collect_props [] f)
+
+let rec is_probabilistic = function
+  | True | False | Prop _ -> false
+  | Not f -> is_probabilistic f
+  | And (a, b) | Or (a, b) | Implies (a, b) ->
+    is_probabilistic a || is_probabilistic b
+  | Prob _ | Reward _ -> true
+
+(* Shortest decimal form that parses back to the same float. *)
+let float_to_string f =
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+(* Printing with minimal parentheses: ! binds tightest, then &, |, =>. *)
+let rec to_string_prec prec f =
+  let wrap p s = if prec > p then "(" ^ s ^ ")" else s in
+  match f with
+  | True -> "true"
+  | False -> "false"
+  | Prop p -> p
+  | Not g -> "!" ^ to_string_prec 3 g
+  (* & and | parse left-associatively, so the right operand is printed one
+     precedence level up to re-parenthesise right-nested trees. *)
+  | And (a, b) -> wrap 2 (to_string_prec 2 a ^ " & " ^ to_string_prec 3 b)
+  | Or (a, b) -> wrap 1 (to_string_prec 1 a ^ " | " ^ to_string_prec 2 b)
+  | Implies (a, b) -> wrap 0 (to_string_prec 1 a ^ " => " ^ to_string_prec 0 b)
+  | Prob (op, b, psi) ->
+    Printf.sprintf "P%s%s [ %s ]" (cmp_to_string op) (float_to_string b)
+      (path_to_string psi)
+  | Reward (op, r, f) ->
+    Printf.sprintf "R%s%s [ F %s ]" (cmp_to_string op) (float_to_string r)
+      (to_string_prec 3 f)
+
+and path_to_string = function
+  | Next f -> "X " ^ to_string_prec 3 f
+  | Until (a, b) -> to_string_prec 3 a ^ " U " ^ to_string_prec 3 b
+  | Bounded_until (a, b, h) ->
+    Printf.sprintf "%s U<=%d %s" (to_string_prec 3 a) h (to_string_prec 3 b)
+  | Eventually f -> "F " ^ to_string_prec 3 f
+  | Bounded_eventually (f, h) -> Printf.sprintf "F<=%d %s" h (to_string_prec 3 f)
+  | Globally f -> "G " ^ to_string_prec 3 f
+  | Bounded_globally (f, h) -> Printf.sprintf "G<=%d %s" h (to_string_prec 3 f)
+
+let to_string f = to_string_prec 0 f
+let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -1,0 +1,56 @@
+(** Probabilistic Computation Tree Logic (PCTL) with reachability rewards.
+
+    The property language of the paper: state formulas
+    [P ~ b \[ψ\]] bound the probability of path formulas, and
+    [R ~ r \[F φ\]] bounds the expected accumulated reward until reaching
+    [φ]-states (PRISM's [R{"..."} ~ r \[F φ\]] operator, which the WSN case
+    study uses as "number of forwarding attempts"). *)
+
+type cmp = Lt | Le | Gt | Ge
+
+type state_formula =
+  | True
+  | False
+  | Prop of string  (** atomic proposition = model label *)
+  | Not of state_formula
+  | And of state_formula * state_formula
+  | Or of state_formula * state_formula
+  | Implies of state_formula * state_formula
+  | Prob of cmp * float * path_formula
+      (** [P ~ b \[ψ\]] with [b] in [0, 1] *)
+  | Reward of cmp * float * state_formula
+      (** [R ~ r \[F φ\]]: expected cumulated state reward until first
+          reaching a [φ]-state *)
+
+and path_formula =
+  | Next of state_formula
+  | Until of state_formula * state_formula
+  | Bounded_until of state_formula * state_formula * int
+  | Eventually of state_formula  (** [F φ ≡ true U φ] *)
+  | Bounded_eventually of state_formula * int
+  | Globally of state_formula  (** [G φ ≡ ¬F¬φ] *)
+  | Bounded_globally of state_formula * int
+
+(** {1 Helpers} *)
+
+val compare_with : cmp -> float -> float -> bool
+(** [compare_with op value bound] — e.g. [compare_with Ge p b] is [p >= b]. *)
+
+val negate_cmp : cmp -> cmp
+(** [negate_cmp Ge = Lt] etc. — the comparison for the complement event. *)
+
+val flip_cmp : cmp -> cmp
+(** [flip_cmp Ge = Le] — mirrors the comparison across equality, used when
+    rewriting [P~b\[G φ\]] to [1 - P~'\[F ¬φ\]]. *)
+
+val cmp_to_string : cmp -> string
+
+val atomic_props : state_formula -> string list
+(** Sorted, without duplicates. *)
+
+val is_probabilistic : state_formula -> bool
+(** Whether the formula contains a [P] or [R] operator. *)
+
+val to_string : state_formula -> string
+val path_to_string : path_formula -> string
+val pp : Format.formatter -> state_formula -> unit

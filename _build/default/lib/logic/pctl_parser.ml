@@ -1,0 +1,308 @@
+exception Parse_error of string
+
+type token =
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | NUM of float
+  | P_OP
+  | R_OP
+  | X_OP
+  | U_OP
+  | F_OP
+  | G_OP
+  | LT
+  | LE
+  | GT
+  | GE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | AND
+  | OR
+  | NOT
+  | IMPLIES
+  | EOF
+
+let token_to_string = function
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | NUM f -> Printf.sprintf "number %g" f
+  | P_OP -> "P"
+  | R_OP -> "R"
+  | X_OP -> "X"
+  | U_OP -> "U"
+  | F_OP -> "F"
+  | G_OP -> "G"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | AND -> "&"
+  | OR -> "|"
+  | NOT -> "!"
+  | IMPLIES -> "=>"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let fail i msg =
+    raise (Parse_error (Printf.sprintf "at offset %d: %s" i msg))
+  in
+  let rec go i =
+    if i >= n then List.rev (EOF :: !tokens)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '[' -> tokens := LBRACKET :: !tokens; go (i + 1)
+      | ']' -> tokens := RBRACKET :: !tokens; go (i + 1)
+      | '(' -> tokens := LPAREN :: !tokens; go (i + 1)
+      | ')' -> tokens := RPAREN :: !tokens; go (i + 1)
+      | '&' -> tokens := AND :: !tokens; go (i + 1)
+      | '|' -> tokens := OR :: !tokens; go (i + 1)
+      | '!' -> tokens := NOT :: !tokens; go (i + 1)
+      | '=' ->
+        if i + 1 < n && s.[i + 1] = '>' then begin
+          tokens := IMPLIES :: !tokens;
+          go (i + 2)
+        end
+        else fail i "expected => after ="
+      | '<' ->
+        if i + 1 < n && s.[i + 1] = '=' then begin
+          tokens := LE :: !tokens;
+          go (i + 2)
+        end
+        else begin tokens := LT :: !tokens; go (i + 1) end
+      | '>' ->
+        if i + 1 < n && s.[i + 1] = '=' then begin
+          tokens := GE :: !tokens;
+          go (i + 2)
+        end
+        else begin tokens := GT :: !tokens; go (i + 1) end
+      | c when is_digit c ->
+        let j = ref i in
+        while !j < n && (is_digit s.[!j] || s.[!j] = '.') do incr j done;
+        (* optional exponent, e.g. 1e-05 as printed by %g *)
+        if
+          !j < n
+          && (s.[!j] = 'e' || s.[!j] = 'E')
+          && !j + 1 < n
+          && (is_digit s.[!j + 1]
+              || ((s.[!j + 1] = '+' || s.[!j + 1] = '-')
+                  && !j + 2 < n
+                  && is_digit s.[!j + 2]))
+        then begin
+          incr j;
+          if s.[!j] = '+' || s.[!j] = '-' then incr j;
+          while !j < n && is_digit s.[!j] do incr j done
+        end;
+        let lit = String.sub s i (!j - i) in
+        (match float_of_string_opt lit with
+         | Some f -> tokens := NUM f :: !tokens; go !j
+         | None -> fail i (Printf.sprintf "bad number %S" lit))
+      | c when is_ident_start c ->
+        let j = ref i in
+        while !j < n && is_ident_char s.[!j] do incr j done;
+        let word = String.sub s i (!j - i) in
+        let tok =
+          match word with
+          | "true" -> TRUE
+          | "false" -> FALSE
+          | "P" -> P_OP
+          | "R" -> R_OP
+          | "X" -> X_OP
+          | "U" -> U_OP
+          | "F" -> F_OP
+          | "G" -> G_OP
+          | _ -> IDENT word
+        in
+        tokens := tok :: !tokens;
+        go !j
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0
+
+(* Recursive-descent parser over the token list. *)
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+            (token_to_string got)))
+
+let parse_cmp st =
+  match peek st with
+  | LT -> advance st; Pctl.Lt
+  | LE -> advance st; Pctl.Le
+  | GT -> advance st; Pctl.Gt
+  | GE -> advance st; Pctl.Ge
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a comparison (<, <=, >, >=) but found %s"
+            (token_to_string t)))
+
+let parse_num st =
+  match peek st with
+  | NUM f -> advance st; f
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a number but found %s" (token_to_string t)))
+
+let parse_int st =
+  let f = parse_num st in
+  let i = int_of_float f in
+  if float_of_int i <> f || i < 0 then
+    raise (Parse_error (Printf.sprintf "expected a non-negative integer, got %g" f));
+  i
+
+(* optional step bound "<= k" after F/G/U *)
+let parse_bound_opt st =
+  match peek st with
+  | LE ->
+    advance st;
+    Some (parse_int st)
+  | _ -> None
+
+let rec parse_formula st = parse_implies st
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | IMPLIES ->
+    advance st;
+    let rhs = parse_implies st in
+    Pctl.Implies (lhs, rhs)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go acc =
+    match peek st with
+    | OR ->
+      advance st;
+      go (Pctl.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec go acc =
+    match peek st with
+    | AND ->
+      advance st;
+      go (Pctl.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | NOT ->
+    advance st;
+    Pctl.Not (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | TRUE -> advance st; Pctl.True
+  | FALSE -> advance st; Pctl.False
+  | IDENT name -> advance st; Pctl.Prop name
+  | LPAREN ->
+    advance st;
+    let f = parse_formula st in
+    expect st RPAREN;
+    f
+  | P_OP ->
+    advance st;
+    let op = parse_cmp st in
+    let b = parse_num st in
+    if b < 0.0 || b > 1.0 then
+      raise (Parse_error (Printf.sprintf "probability bound %g outside [0,1]" b));
+    expect st LBRACKET;
+    let psi = parse_path st in
+    expect st RBRACKET;
+    Pctl.Prob (op, b, psi)
+  | R_OP ->
+    advance st;
+    let op = parse_cmp st in
+    let r = parse_num st in
+    expect st LBRACKET;
+    expect st F_OP;
+    let f = parse_unary st in
+    expect st RBRACKET;
+    Pctl.Reward (op, r, f)
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a formula but found %s" (token_to_string t)))
+
+and parse_path st =
+  match peek st with
+  | X_OP ->
+    advance st;
+    Pctl.Next (parse_unary_full st)
+  | F_OP ->
+    advance st;
+    (match parse_bound_opt st with
+     | Some h -> Pctl.Bounded_eventually (parse_unary_full st, h)
+     | None -> Pctl.Eventually (parse_unary_full st))
+  | G_OP ->
+    advance st;
+    (match parse_bound_opt st with
+     | Some h -> Pctl.Bounded_globally (parse_unary_full st, h)
+     | None -> Pctl.Globally (parse_unary_full st))
+  | _ ->
+    let lhs = parse_unary_full st in
+    expect st U_OP;
+    (match parse_bound_opt st with
+     | Some h -> Pctl.Bounded_until (lhs, parse_unary_full st, h)
+     | None -> Pctl.Until (lhs, parse_unary_full st))
+
+(* Inside a path operator the operand may be a full boolean combination,
+   e.g. [F changedLane | reducedSpeed]. We parse up to (but excluding) U so
+   that "a | b U c" groups as "(a|b) U c" is *not* silently produced —
+   instead the left operand of U stops at the first U. To keep the grammar
+   predictable we allow or/and/implies combinations here. *)
+and parse_unary_full st =
+  let lhs = parse_or st in
+  match peek st with
+  | IMPLIES ->
+    advance st;
+    Pctl.Implies (lhs, parse_unary_full st)
+  | _ -> lhs
+
+let parse s =
+  let st = { toks = tokenize s } in
+  let f = parse_formula st in
+  (match peek st with
+   | EOF -> ()
+   | t ->
+     raise
+       (Parse_error
+          (Printf.sprintf "trailing input starting with %s" (token_to_string t))));
+  f
+
+let parse_opt s = match parse s with f -> Some f | exception Parse_error _ -> None

@@ -1,0 +1,25 @@
+(** Concrete syntax for PCTL formulas.
+
+    Grammar (PRISM-flavoured):
+    {v
+      phi  ::= true | false | ident | ! phi | phi & phi | phi "|" phi
+             | phi => phi | ( phi )
+             | P cmp num [ psi ]          probability operator
+             | R cmp num [ F phi ]        reachability reward
+      psi  ::= X phi | F phi | G phi | phi U phi
+             | F<=k phi | G<=k phi | phi U<=k phi
+      cmp  ::= < | <= | > | >=
+    v}
+    Operator precedence: [!] binds tightest, then [&], then [|], then [=>]
+    (right-associative). Examples accepted:
+    - ["P>=0.99 [ F changedLane | reducedSpeed ]"]
+    - ["R<=40 [ F delivered ]"]
+    - ["P<0.05 [ !safe U<=10 crash ]"] *)
+
+exception Parse_error of string
+(** Carries a human-readable message with the offending position. *)
+
+val parse : string -> Pctl.state_formula
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Pctl.state_formula option

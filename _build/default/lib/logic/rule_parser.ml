@@ -1,0 +1,249 @@
+exception Parse_error of string
+
+type token =
+  | TRUE
+  | FALSE
+  | LABEL of string
+  | STATE_IS of int
+  | ACTION_IS of string
+  | STEP of int * string
+  | NOT
+  | AND
+  | OR
+  | IMPLIES
+  | NEXT
+  | ALWAYS
+  | EVENTUALLY
+  | UNTIL
+  | LPAREN
+  | RPAREN
+  | EOF
+
+let token_to_string = function
+  | TRUE -> "true"
+  | FALSE -> "false"
+  | LABEL l -> Printf.sprintf "label %S" l
+  | STATE_IS s -> Printf.sprintf "state=%d" s
+  | ACTION_IS a -> Printf.sprintf "action=%s" a
+  | STEP (s, a) -> Printf.sprintf "(state=%d,action=%s)" s a
+  | NOT -> "!"
+  | AND -> "&"
+  | OR -> "|"
+  | IMPLIES -> "=>"
+  | NEXT -> "X"
+  | ALWAYS -> "G"
+  | EVENTUALLY -> "F"
+  | UNTIL -> "U"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let fail i msg = raise (Parse_error (Printf.sprintf "at offset %d: %s" i msg)) in
+  let read_ident i =
+    let j = ref i in
+    while !j < n && is_ident_char s.[!j] do incr j done;
+    (String.sub s i (!j - i), !j)
+  in
+  let read_int i =
+    let j = ref i in
+    while !j < n && is_digit s.[!j] do incr j done;
+    if !j = i then fail i "expected a number";
+    (int_of_string (String.sub s i (!j - i)), !j)
+  in
+  (* "state=N" / "action=NAME" possibly inside "(state=N, action=NAME)" *)
+  let read_keyed i word =
+    match word with
+    | "state" ->
+      if i < n && s.[i] = '=' then begin
+        let v, j = read_int (i + 1) in
+        (`State v, j)
+      end
+      else fail i "expected = after state"
+    | "action" ->
+      if i < n && s.[i] = '=' then begin
+        let name, j = read_ident (i + 1) in
+        if name = "" then fail i "expected an action name";
+        (`Action name, j)
+      end
+      else fail i "expected = after action"
+    | _ -> (`Label word, i)
+  in
+  let tokens = ref [] in
+  let rec go i =
+    if i >= n then List.rev (EOF :: !tokens)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' -> go (i + 1)
+      | '!' -> tokens := NOT :: !tokens; go (i + 1)
+      | '&' -> tokens := AND :: !tokens; go (i + 1)
+      | '|' -> tokens := OR :: !tokens; go (i + 1)
+      | ')' -> tokens := RPAREN :: !tokens; go (i + 1)
+      | '=' ->
+        if i + 1 < n && s.[i + 1] = '>' then begin
+          tokens := IMPLIES :: !tokens;
+          go (i + 2)
+        end
+        else fail i "expected =>"
+      | '(' ->
+        (* Either a grouping paren or a "(state=N, action=NAME)" step atom.
+           Try the step pattern with full lookahead; fall back to a plain
+           LPAREN if it doesn't match completely. *)
+        let try_step () =
+          let j = ref (i + 1) in
+          while !j < n && s.[!j] = ' ' do incr j done;
+          if !j < n && is_ident_start s.[!j] then begin
+            let word, k = read_ident !j in
+            if word <> "state" then None
+            else
+              match read_keyed k word with
+              | `State v, k ->
+                let k = ref k in
+                let skipped_sep = ref false in
+                while !k < n && (s.[!k] = ' ' || s.[!k] = ',') do
+                  if s.[!k] = ',' then skipped_sep := true;
+                  incr k
+                done;
+                if (not !skipped_sep) || !k >= n || not (is_ident_start s.[!k])
+                then None
+                else begin
+                  let word2, k2 = read_ident !k in
+                  if word2 <> "action" then None
+                  else
+                    match read_keyed k2 word2 with
+                    | `Action a, k3 ->
+                      let k3 = ref k3 in
+                      while !k3 < n && s.[!k3] = ' ' do incr k3 done;
+                      if !k3 < n && s.[!k3] = ')' then Some (v, a, !k3 + 1)
+                      else None
+                    | _ -> None
+                end
+              | _ -> None
+          end
+          else None
+        in
+        (match try_step () with
+         | exception Parse_error _ ->
+           tokens := LPAREN :: !tokens;
+           go (i + 1)
+         | Some (v, a, next) ->
+           tokens := STEP (v, a) :: !tokens;
+           go next
+         | None ->
+           tokens := LPAREN :: !tokens;
+           go (i + 1))
+      | c when is_ident_start c ->
+        let word, j = read_ident i in
+        (match word with
+         | "true" -> tokens := TRUE :: !tokens; go j
+         | "false" -> tokens := FALSE :: !tokens; go j
+         | "X" -> tokens := NEXT :: !tokens; go j
+         | "G" -> tokens := ALWAYS :: !tokens; go j
+         | "F" -> tokens := EVENTUALLY :: !tokens; go j
+         | "U" -> tokens := UNTIL :: !tokens; go j
+         | _ ->
+           (match read_keyed j word with
+            | `State v, j -> tokens := STATE_IS v :: !tokens; go j
+            | `Action a, j -> tokens := ACTION_IS a :: !tokens; go j
+            | `Label l, j -> tokens := LABEL l :: !tokens; go j))
+      | c -> fail i (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok =
+  let got = peek st in
+  if got = tok then advance st
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+            (token_to_string got)))
+
+(* precedence: unary (!, X, G, F) > & > | > => > U *)
+let rec parse_until st =
+  let lhs = parse_implies st in
+  match peek st with
+  | UNTIL ->
+    advance st;
+    let rhs = parse_until st in
+    Trace_logic.Until (lhs, rhs)
+  | _ -> lhs
+
+and parse_implies st =
+  let lhs = parse_or st in
+  match peek st with
+  | IMPLIES ->
+    advance st;
+    Trace_logic.Implies (lhs, parse_implies st)
+  | _ -> lhs
+
+and parse_or st =
+  let lhs = parse_and st in
+  let rec go acc =
+    match peek st with
+    | OR ->
+      advance st;
+      go (Trace_logic.Or (acc, parse_and st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_and st =
+  let lhs = parse_unary st in
+  let rec go acc =
+    match peek st with
+    | AND ->
+      advance st;
+      go (Trace_logic.And (acc, parse_unary st))
+    | _ -> acc
+  in
+  go lhs
+
+and parse_unary st =
+  match peek st with
+  | NOT -> advance st; Trace_logic.Not (parse_unary st)
+  | NEXT -> advance st; Trace_logic.Next (parse_unary st)
+  | ALWAYS -> advance st; Trace_logic.Always (parse_unary st)
+  | EVENTUALLY -> advance st; Trace_logic.Eventually (parse_unary st)
+  | _ -> parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | TRUE -> advance st; Trace_logic.True
+  | FALSE -> advance st; Trace_logic.False
+  | LABEL l -> advance st; Trace_logic.Atom (Trace_logic.Label l)
+  | STATE_IS v -> advance st; Trace_logic.Atom (Trace_logic.State_is v)
+  | ACTION_IS a -> advance st; Trace_logic.Atom (Trace_logic.Action_is a)
+  | STEP (v, a) -> advance st; Trace_logic.Atom (Trace_logic.Step (v, a))
+  | LPAREN ->
+    advance st;
+    let f = parse_until st in
+    expect st RPAREN;
+    f
+  | t ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected a rule but found %s" (token_to_string t)))
+
+let parse s =
+  let st = { toks = tokenize s } in
+  let f = parse_until st in
+  (match peek st with
+   | EOF -> ()
+   | t ->
+     raise
+       (Parse_error
+          (Printf.sprintf "trailing input starting with %s" (token_to_string t))));
+  f
+
+let parse_opt s = match parse s with f -> Some f | exception Parse_error _ -> None

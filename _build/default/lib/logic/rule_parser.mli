@@ -1,0 +1,18 @@
+(** Concrete syntax for trajectory rules ({!Trace_logic}).
+
+    {v
+      rule ::= true | false | atom | ! rule | rule & rule | rule "|" rule
+             | rule => rule | X rule | G rule | F rule | rule U rule
+             | ( rule )
+      atom ::= state=N | action=NAME | (state=N, action=NAME) | NAME
+    v}
+    A bare identifier is a model-label atom. Precedence: [!]/[X]/[G]/[F]
+    bind tightest, then [&], [|], [=>], and [U] loosest. [parse] is a left
+    inverse of {!Trace_logic.to_string} (property-tested). *)
+
+exception Parse_error of string
+
+val parse : string -> Trace_logic.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_opt : string -> Trace_logic.t option

@@ -1,0 +1,114 @@
+type atom =
+  | State_is of int
+  | Label of string
+  | Action_is of string
+  | Step of int * string
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t
+  | Always of t
+  | Eventually of t
+  | Until of t * t
+
+let never f = Always (Not f)
+let avoids_state s = never (Atom (State_is s))
+
+let avoids_states = function
+  | [] -> True
+  | s :: rest ->
+    never
+      (List.fold_left (fun acc s -> Or (acc, Atom (State_is s)))
+         (Atom (State_is s)) rest)
+
+let takes_action_in s a =
+  Always (Implies (Atom (State_is s), Atom (Action_is a)))
+
+(* Positions: 0 .. len where len = Trace.length t. Position len is the
+   final state (no action). *)
+
+let state_at tr i =
+  match Trace.nth_state tr i with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Trace_logic: position %d out of range" i)
+
+let action_at tr i = Trace.nth_action tr i
+
+let eval_atom ~labels tr i = function
+  | State_is s -> state_at tr i = s
+  | Label name -> labels (state_at tr i) name
+  | Action_is a -> (match action_at tr i with Some a' -> a' = a | None -> false)
+  | Step (s, a) ->
+    state_at tr i = s
+    && (match action_at tr i with Some a' -> a' = a | None -> false)
+
+let rec eval_at ~labels tr i f =
+  let len = Trace.length tr in
+  if i < 0 || i > len then
+    invalid_arg (Printf.sprintf "Trace_logic: position %d out of range" i);
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> eval_atom ~labels tr i a
+  | Not g -> not (eval_at ~labels tr i g)
+  | And (a, b) -> eval_at ~labels tr i a && eval_at ~labels tr i b
+  | Or (a, b) -> eval_at ~labels tr i a || eval_at ~labels tr i b
+  | Implies (a, b) -> (not (eval_at ~labels tr i a)) || eval_at ~labels tr i b
+  | Next g -> i < len && eval_at ~labels tr (i + 1) g
+  | Always g ->
+    let rec go j = j > len || (eval_at ~labels tr j g && go (j + 1)) in
+    go i
+  | Eventually g ->
+    let rec go j = j <= len && (eval_at ~labels tr j g || go (j + 1)) in
+    go i
+  | Until (a, b) ->
+    let rec go j =
+      j <= len
+      && (eval_at ~labels tr j b
+          || (eval_at ~labels tr j a && go (j + 1)))
+    in
+    go i
+
+let eval ~labels tr f = eval_at ~labels tr 0 f
+
+let indicator ~labels tr f = if eval ~labels tr f then 1.0 else 0.0
+
+let violation_count ~labels tr f =
+  let len = Trace.length tr in
+  let count = ref 0 in
+  for i = 0 to len do
+    if not (eval_at ~labels tr i f) then incr count
+  done;
+  !count
+
+let atom_to_string = function
+  | State_is s -> Printf.sprintf "state=%d" s
+  | Label l -> l
+  | Action_is a -> Printf.sprintf "action=%s" a
+  | Step (s, a) -> Printf.sprintf "(state=%d,action=%s)" s a
+
+let rec to_string_prec prec f =
+  let wrap p s = if prec > p then "(" ^ s ^ ")" else s in
+  match f with
+  | True -> "true"
+  | False -> "false"
+  | Atom a -> atom_to_string a
+  | Not g -> "!" ^ to_string_prec 4 g
+  (* & and | parse left-associatively: print the right operand one level
+     up so right-nested trees re-parenthesise *)
+  | And (a, b) -> wrap 3 (to_string_prec 3 a ^ " & " ^ to_string_prec 4 b)
+  | Or (a, b) -> wrap 2 (to_string_prec 2 a ^ " | " ^ to_string_prec 3 b)
+  | Implies (a, b) -> wrap 1 (to_string_prec 2 a ^ " => " ^ to_string_prec 1 b)
+  | Next g -> "X " ^ to_string_prec 4 g
+  | Always g -> "G " ^ to_string_prec 4 g
+  | Eventually g -> "F " ^ to_string_prec 4 g
+  | Until (a, b) -> wrap 0 (to_string_prec 4 a ^ " U " ^ to_string_prec 4 b)
+
+let to_string f = to_string_prec 0 f
+let pp fmt f = Format.pp_print_string fmt (to_string f)

@@ -1,0 +1,61 @@
+(** Trajectory rules: linear-temporal formulas interpreted over finite
+    state/action traces (LTL over finite traces, "LTLf").
+
+    These are the rules [φ_l(U)] of the paper's Reward Repair formulation
+    (§IV-C): they can be propositional ("never visit S2"), first-order-ish
+    via label atoms, or temporal ("whenever in the left lane, eventually
+    return right"). The paper notes rules may be "in any logic that can be
+    interpreted over a trajectory" — this module is that interpreter, and
+    also covers the LTL extension mentioned in §VII. *)
+
+type atom =
+  | State_is of int  (** current state equals the given id *)
+  | Label of string  (** current state carries the given model label *)
+  | Action_is of string
+      (** the action taken at the current step; always false at the final
+          position, where no action is taken *)
+  | Step of int * string  (** state [s] together with action [a] *)
+
+type t =
+  | True
+  | False
+  | Atom of atom
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Implies of t * t
+  | Next of t  (** strong next: false at the final position *)
+  | Always of t
+  | Eventually of t
+  | Until of t * t
+
+(** {1 Convenience constructors} *)
+
+val never : t -> t
+(** [never f = Always (Not f)] — e.g. "never reach the collision state". *)
+
+val avoids_state : int -> t
+val avoids_states : int list -> t
+val takes_action_in : int -> string -> t
+(** [takes_action_in s a]: globally, being in state [s] implies taking
+    action [a]. *)
+
+(** {1 Evaluation} *)
+
+val eval : labels:(int -> string -> bool) -> Trace.t -> t -> bool
+(** Satisfaction at the first position. [labels s name] tells whether model
+    state [s] carries [name] (use [Mdp.has_label] / [Dtmc.has_label]). *)
+
+val eval_at : labels:(int -> string -> bool) -> Trace.t -> int -> t -> bool
+(** Satisfaction at position [i] (0-based; position [length t] is the final
+    state). @raise Invalid_argument when [i] is outside the trace. *)
+
+val indicator : labels:(int -> string -> bool) -> Trace.t -> t -> float
+(** 1.0 when satisfied, else 0.0 — the [φ_l,g_l(U)] of Eq. 18. *)
+
+val violation_count : labels:(int -> string -> bool) -> Trace.t -> t -> int
+(** Number of positions at which the formula fails — a finer-grained
+    violation degree used to shape the posterior-regularisation penalty. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mdp/bisimulation.ml: Array Dtmc Float Hashtbl Int List Option Stdlib

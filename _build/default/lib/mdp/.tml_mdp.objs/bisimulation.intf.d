@@ -1,0 +1,1 @@
+lib/mdp/bisimulation.mli: Dtmc

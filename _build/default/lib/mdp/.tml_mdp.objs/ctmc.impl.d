@@ -1,0 +1,1 @@
+lib/mdp/ctmc.ml: Array Dtmc Float Int List Map Option Printf Prng String

@@ -1,0 +1,1 @@
+lib/mdp/ctmc.mli: Dtmc Prng

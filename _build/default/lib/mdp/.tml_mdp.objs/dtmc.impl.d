@@ -1,0 +1,1 @@
+lib/mdp/dtmc.ml: Array Float Format Hashtbl Int Linalg List Map Option Printf Prng String

@@ -1,0 +1,1 @@
+lib/mdp/dtmc.mli: Format Linalg Prng

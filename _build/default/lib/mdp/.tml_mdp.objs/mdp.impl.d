@@ -1,0 +1,1 @@
+lib/mdp/mdp.ml: Array Dtmc Float Format Hashtbl Int List Map Option Printf Prng String

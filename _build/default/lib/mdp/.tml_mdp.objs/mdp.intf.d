@@ -1,0 +1,1 @@
+lib/mdp/mdp.mli: Dtmc Format Prng

@@ -1,0 +1,1 @@
+lib/mdp/trace.ml: Float Format List Mdp Option

@@ -1,0 +1,1 @@
+lib/mdp/trace.mli: Format Mdp

@@ -1,0 +1,1 @@
+lib/mdp/value.ml: Array Float List Mdp Printf

@@ -1,0 +1,1 @@
+lib/mdp/value.mli: Mdp

@@ -1,0 +1,135 @@
+let epsilon_bound a b =
+  let n = Dtmc.num_states a in
+  if Dtmc.num_states b <> n then Float.infinity
+  else begin
+    let worst = ref 0.0 in
+    (try
+       for s = 0 to n - 1 do
+         let ra = Dtmc.succ a s and rb = Dtmc.succ b s in
+         if List.map fst ra <> List.map fst rb then raise Exit;
+         List.iter2
+           (fun (_, pa) (_, pb) ->
+              worst := Float.max !worst (Float.abs (pa -. pb)))
+           ra rb
+       done;
+       !worst
+     with Exit -> Float.infinity)
+  end
+
+let epsilon_bisimilar ~epsilon a b = epsilon_bound a b <= epsilon
+
+type partition = int array
+
+let num_blocks (p : partition) =
+  Array.fold_left (fun acc b -> Stdlib.max acc (b + 1)) 0 p
+
+(* Partition refinement: start from (labels, reward)-equality, then split
+   blocks whose members give different probability vectors over current
+   blocks, until stable.  O(iterations * n * edges) — fine at our sizes. *)
+let bisimulation_classes d =
+  let n = Dtmc.num_states d in
+  let signature_init s =
+    (List.sort compare
+       (List.filter (fun l -> Dtmc.has_label d s l) (Dtmc.labels d)),
+     Dtmc.reward d s)
+  in
+  let block = Array.make n 0 in
+  (* initial blocks by (labels, reward) *)
+  let tbl = Hashtbl.create 16 in
+  let next = ref 0 in
+  for s = 0 to n - 1 do
+    let key = signature_init s in
+    match Hashtbl.find_opt tbl key with
+    | Some b -> block.(s) <- b
+    | None ->
+      Hashtbl.add tbl key !next;
+      block.(s) <- !next;
+      incr next
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* refine: signature of s = (current block, sorted probability mass per
+       successor block) *)
+    let sig_tbl = Hashtbl.create 16 in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for s = 0 to n - 1 do
+      let mass = Hashtbl.create 4 in
+      List.iter
+        (fun (t, p) ->
+           let b = block.(t) in
+           Hashtbl.replace mass b
+             (Option.value ~default:0.0 (Hashtbl.find_opt mass b) +. p))
+        (Dtmc.succ d s);
+      let profile =
+        Hashtbl.fold (fun b p acc -> (b, p) :: acc) mass []
+        |> List.sort compare
+        (* round to kill float noise from summation order *)
+        |> List.map (fun (b, p) -> (b, Float.round (p *. 1e12)))
+      in
+      let key = (block.(s), profile) in
+      match Hashtbl.find_opt sig_tbl key with
+      | Some b -> new_block.(s) <- b
+      | None ->
+        Hashtbl.add sig_tbl key !next;
+        new_block.(s) <- !next;
+        incr next
+    done;
+    if new_block <> block then begin
+      Array.blit new_block 0 block 0 n;
+      changed := true
+    end
+  done;
+  (* renumber blocks densely in order of first occurrence *)
+  let remap = Hashtbl.create 16 in
+  let next = ref 0 in
+  Array.map
+    (fun b ->
+       match Hashtbl.find_opt remap b with
+       | Some b' -> b'
+       | None ->
+         Hashtbl.add remap b !next;
+         let b' = !next in
+         incr next;
+         b')
+    block
+
+let quotient d =
+  let part = bisimulation_classes d in
+  let k = num_blocks part in
+  let n = Dtmc.num_states d in
+  (* representative state per block (first occurrence) *)
+  let rep = Array.make k (-1) in
+  for s = n - 1 downto 0 do
+    rep.(part.(s)) <- s
+  done;
+  let transitions =
+    List.concat
+      (List.init k (fun b ->
+           let s = rep.(b) in
+           let mass = Hashtbl.create 4 in
+           List.iter
+             (fun (t, p) ->
+                let bt = part.(t) in
+                Hashtbl.replace mass bt
+                  (Option.value ~default:0.0 (Hashtbl.find_opt mass bt) +. p))
+             (Dtmc.succ d s);
+           Hashtbl.fold (fun bt p acc -> (b, bt, p) :: acc) mass []))
+  in
+  let labels =
+    List.map
+      (fun l ->
+         ( l,
+           Dtmc.states_with_label d l
+           |> List.map (fun s -> part.(s))
+           |> List.sort_uniq Int.compare ))
+      (Dtmc.labels d)
+  in
+  let rewards = Array.init k (fun b -> Dtmc.reward d rep.(b)) in
+  let q =
+    Dtmc.make ~n:k
+      ~init:(part.(Dtmc.init_state d))
+      ~transitions ~labels ~rewards ()
+  in
+  (q, part)

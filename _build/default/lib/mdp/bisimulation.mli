@@ -1,0 +1,39 @@
+(** Probabilistic bisimulation for DTMCs.
+
+    Two uses in this library:
+
+    - {b Proposition 1} of the paper: a repaired chain [M_Z] (same structure,
+      perturbed probabilities) is ε-bisimilar to the original [M], where ε is
+      bounded by the largest entry of the perturbation matrix [Z].
+      {!epsilon_bound} computes the tightest such ε for two same-structure
+      chains, and {!epsilon_bisimilar} checks a given tolerance.
+
+    - Exact (strong) probabilistic bisimulation minimisation
+      (Larsen–Skou / Kanellakis–Smolka partition refinement): states are
+      equivalent iff they carry the same labels and give equal probability
+      to every equivalence class. {!quotient} builds the minimised chain —
+      useful before expensive parametric elimination. *)
+
+val epsilon_bound : Dtmc.t -> Dtmc.t -> float
+(** The largest absolute difference between corresponding transition
+    probabilities (∞ when the two chains have different state counts or
+    edge structure). For a Model-Repair output this equals
+    [max_ij |Z(i,j)|], the ε of Proposition 1. *)
+
+val epsilon_bisimilar : epsilon:float -> Dtmc.t -> Dtmc.t -> bool
+(** [epsilon_bound a b <= epsilon] (and same structure). *)
+
+type partition = int array
+(** [partition.(s)] is the block id of state [s]; blocks are numbered
+    [0 .. num_blocks - 1]. *)
+
+val bisimulation_classes : Dtmc.t -> partition
+(** Coarsest strong probabilistic bisimulation respecting the labelling
+    {e and} state rewards. *)
+
+val num_blocks : partition -> int
+
+val quotient : Dtmc.t -> Dtmc.t * partition
+(** The quotient chain (one state per class, transition probability =
+    summed probability into the class) together with the partition.
+    Satisfies the same PCTL formulas as the original. *)

@@ -1,0 +1,172 @@
+module Smap = Map.Make (String)
+
+type t = {
+  n : int;
+  init : int;
+  rows : (int * float) array array; (* rows.(s) = outgoing (target, rate) *)
+  exit : float array;
+  label_map : int list Smap.t;
+}
+
+let check_state n what s =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Ctmc: %s state %d out of range [0,%d)" what s n)
+
+let make ~n ~init ~rates ?(labels = []) () =
+  if n <= 0 then invalid_arg "Ctmc: need at least one state";
+  check_state n "initial" init;
+  let tbl = Array.make n [] in
+  List.iter
+    (fun (src, dst, r) ->
+       check_state n "source" src;
+       check_state n "target" dst;
+       if src = dst then
+         invalid_arg (Printf.sprintf "Ctmc: self-rate on state %d" src);
+       if r <= 0.0 then
+         invalid_arg (Printf.sprintf "Ctmc: non-positive rate %g on %d->%d" r src dst);
+       if List.mem_assoc dst tbl.(src) then
+         invalid_arg (Printf.sprintf "Ctmc: duplicate rate %d->%d" src dst);
+       tbl.(src) <- (dst, r) :: tbl.(src))
+    rates;
+  let rows =
+    Array.map
+      (fun l ->
+         Array.of_list (List.sort (fun (a, _) (b, _) -> Int.compare a b) l))
+      tbl
+  in
+  let exit =
+    Array.map (Array.fold_left (fun acc (_, r) -> acc +. r) 0.0) rows
+  in
+  let label_map =
+    List.fold_left
+      (fun acc (name, states) ->
+         List.iter (check_state n ("label " ^ name)) states;
+         let prev = Option.value ~default:[] (Smap.find_opt name acc) in
+         Smap.add name (List.sort_uniq Int.compare (states @ prev)) acc)
+      Smap.empty labels
+  in
+  { n; init; rows; exit; label_map }
+
+let num_states t = t.n
+let init_state t = t.init
+let exit_rate t s = check_state t.n "query" s; t.exit.(s)
+
+let rate t s d =
+  check_state t.n "query" s;
+  check_state t.n "query" d;
+  match Array.find_opt (fun (d', _) -> d' = d) t.rows.(s) with
+  | Some (_, r) -> r
+  | None -> 0.0
+
+let is_absorbing t s = exit_rate t s = 0.0
+
+let states_with_label t name =
+  Option.value ~default:[] (Smap.find_opt name t.label_map)
+
+let labels_assoc t = Smap.bindings t.label_map
+
+let embedded t =
+  let transitions =
+    List.concat
+      (List.init t.n (fun s ->
+           if t.exit.(s) = 0.0 then [ (s, s, 1.0) ]
+           else
+             Array.to_list
+               (Array.map (fun (d, r) -> (s, d, r /. t.exit.(s))) t.rows.(s))))
+  in
+  Dtmc.make ~n:t.n ~init:t.init ~transitions ~labels:(labels_assoc t) ()
+
+let uniformized ?rate:q t =
+  let max_exit = Array.fold_left Float.max 0.0 t.exit in
+  let q =
+    match q with
+    | Some q ->
+      if q < max_exit then
+        invalid_arg
+          (Printf.sprintf
+             "Ctmc.uniformized: rate %g below the maximal exit rate %g" q max_exit);
+      q
+    | None -> if max_exit = 0.0 then 1.0 else 1.05 *. max_exit
+  in
+  let transitions =
+    List.concat
+      (List.init t.n (fun s ->
+           let self = 1.0 -. (t.exit.(s) /. q) in
+           let moves =
+             Array.to_list (Array.map (fun (d, r) -> (s, d, r /. q)) t.rows.(s))
+           in
+           if self > 0.0 then (s, s, self) :: moves else moves))
+  in
+  (q, Dtmc.make ~n:t.n ~init:t.init ~transitions ~labels:(labels_assoc t) ())
+
+let transient_distribution ?(epsilon = 1e-12) t ~time =
+  if time < 0.0 then invalid_arg "Ctmc.transient_distribution: negative time";
+  let q, chain = uniformized t in
+  let lambda = q *. time in
+  (* iterate the uniformised chain, accumulating Poisson(lambda) weights *)
+  let dist = Array.make t.n 0.0 in
+  let cur = Array.make t.n 0.0 in
+  cur.(t.init) <- 1.0;
+  let poisson = ref (exp (-.lambda)) in
+  let accumulated = ref 0.0 in
+  let k = ref 0 in
+  (* guard: for large lambda, exp(-lambda) underflows; iterate far enough
+     that the remaining mass is < epsilon using the running sum *)
+  let max_k = int_of_float (lambda +. (10.0 *. sqrt (lambda +. 10.0)) +. 50.0) in
+  while !accumulated < 1.0 -. epsilon && !k <= max_k do
+    Array.iteri (fun s p -> dist.(s) <- dist.(s) +. (!poisson *. p)) cur;
+    accumulated := !accumulated +. !poisson;
+    (* advance chain one step *)
+    let next = Array.make t.n 0.0 in
+    Array.iteri
+      (fun s p ->
+         if p > 0.0 then
+           List.iter
+             (fun (d, pr) -> next.(d) <- next.(d) +. (p *. pr))
+             (Dtmc.succ chain s))
+      cur;
+    Array.blit next 0 cur 0 t.n;
+    incr k;
+    poisson := !poisson *. lambda /. float_of_int !k
+  done;
+  (* renormalise away the truncated tail *)
+  let total = Array.fold_left ( +. ) 0.0 dist in
+  if total > 0.0 then Array.map (fun p -> p /. total) dist else dist
+
+let time_bounded_reachability ?epsilon t ~target ~time =
+  List.iter (check_state t.n "target") target;
+  if target = [] then invalid_arg "Ctmc.time_bounded_reachability: empty target";
+  let is_target = Array.make t.n false in
+  List.iter (fun s -> is_target.(s) <- true) target;
+  if is_target.(t.init) then 1.0
+  else begin
+    (* make the target absorbing, then ask for its transient mass *)
+    let rates =
+      List.concat
+        (List.init t.n (fun s ->
+             if is_target.(s) then []
+             else Array.to_list (Array.map (fun (d, r) -> (s, d, r)) t.rows.(s))))
+    in
+    let absorbed = make ~n:t.n ~init:t.init ~rates () in
+    let dist = transient_distribution ?epsilon absorbed ~time in
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun s p -> if is_target.(s) then p else 0.0) dist)
+  end
+
+let simulate rng t ~max_time =
+  if max_time <= 0.0 then invalid_arg "Ctmc.simulate: non-positive horizon";
+  let rec go s elapsed acc =
+    if is_absorbing t s then List.rev ((s, Float.infinity) :: acc)
+    else begin
+      let rate = t.exit.(s) in
+      let sojourn = -.log (1.0 -. Prng.float rng) /. rate in
+      if elapsed +. sojourn >= max_time then
+        List.rev ((s, max_time -. elapsed) :: acc)
+      else begin
+        let row = t.rows.(s) in
+        let i = Prng.categorical rng (Array.map snd row) in
+        go (fst row.(i)) (elapsed +. sojourn) ((s, sojourn) :: acc)
+      end
+    end
+  in
+  go t.init 0.0 []

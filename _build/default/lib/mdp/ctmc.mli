@@ -1,0 +1,55 @@
+(** Continuous-time Markov chains — the paper's §VII "other types of
+    dynamic models can also be handled by our approach".
+
+    A CTMC is given by transition {e rates}; analysis goes through two
+    classic reductions to DTMCs, both provided here:
+    - the {e embedded} jump chain (for probabilities of event orderings —
+      repairable with the ordinary Model Repair machinery), and
+    - the {e uniformised} chain with Poisson time-weighting (for transient
+      distributions and time-bounded reachability). *)
+
+type t
+
+val make :
+  n:int ->
+  init:int ->
+  rates:(int * int * float) list ->
+  ?labels:(string * int list) list ->
+  unit ->
+  t
+(** [rates] lists [(src, dst, rate)] with [rate > 0] and [src <> dst];
+    states with no outgoing rate are absorbing.
+    @raise Invalid_argument on malformed input. *)
+
+val num_states : t -> int
+val init_state : t -> int
+val exit_rate : t -> int -> float
+val rate : t -> int -> int -> float
+val is_absorbing : t -> int -> bool
+val states_with_label : t -> string -> int list
+
+val embedded : t -> Dtmc.t
+(** The jump chain: [P(s -> d) = rate(s,d) / exit_rate(s)]; absorbing
+    states become self-loops. Labels carry over. *)
+
+val uniformized : ?rate:float -> t -> float * Dtmc.t
+(** [(q, chain)]: the uniformised DTMC at uniformisation rate [q]
+    (default: 1.05 × the maximal exit rate). Transient behaviour of the
+    CTMC at time [t] equals the chain's behaviour after a
+    Poisson([q·t])-distributed number of steps. *)
+
+val transient_distribution : ?epsilon:float -> t -> time:float -> float array
+(** State distribution at the given time, by uniformisation with Poisson
+    term truncation at total mass error [epsilon] (default 1e-12). *)
+
+val time_bounded_reachability :
+  ?epsilon:float -> t -> target:int list -> time:float -> float
+(** [Pr(reach the target within the given time)] from the initial state —
+    the CSL formula [P [ F<=t target ]] — computed on the chain with the
+    target made absorbing. *)
+
+val simulate :
+  Prng.t -> t -> max_time:float -> (int * float) list
+(** A sampled timed path [(state, sojourn) list]; the final sojourn is
+    truncated at [max_time] (or infinite residence in an absorbing
+    state). *)

@@ -1,0 +1,155 @@
+module Smap = Map.Make (String)
+
+type t = {
+  n : int;
+  init : int;
+  rows : (int * float) array array; (* rows.(s) = outgoing (target, prob) *)
+  preds : int list array;
+  label_map : int list Smap.t; (* label -> sorted states *)
+  state_labels : string list array;
+  rewards : float array;
+}
+
+let check_state n what s =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Dtmc: %s state %d out of range [0,%d)" what s n)
+
+let build_rows ~n transitions =
+  let tbl = Array.make n [] in
+  List.iter
+    (fun (src, dst, p) ->
+       check_state n "source" src;
+       check_state n "target" dst;
+       if p < 0.0 then
+         invalid_arg (Printf.sprintf "Dtmc: negative probability %g on %d->%d" p src dst);
+       if p > 0.0 then tbl.(src) <- (dst, p) :: tbl.(src))
+    transitions;
+  Array.mapi
+    (fun s entries ->
+       (* merge duplicate targets *)
+       let merged = Hashtbl.create 8 in
+       List.iter
+         (fun (d, p) ->
+            let cur = Option.value ~default:0.0 (Hashtbl.find_opt merged d) in
+            Hashtbl.replace merged d (cur +. p))
+         entries;
+       let row =
+         Hashtbl.fold (fun d p acc -> (d, p) :: acc) merged []
+         |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+       in
+       let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 row in
+       if Float.abs (total -. 1.0) > 1e-9 then
+         invalid_arg
+           (Printf.sprintf "Dtmc: row %d sums to %.12g, expected 1" s total);
+       (* renormalise exactly so downstream numeric code sees clean rows *)
+       Array.of_list (List.map (fun (d, p) -> (d, p /. total)) row))
+    tbl
+
+let make ~n ~init ~transitions ?(labels = []) ?rewards () =
+  if n <= 0 then invalid_arg "Dtmc: need at least one state";
+  check_state n "initial" init;
+  let rows = build_rows ~n transitions in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun s row -> Array.iter (fun (d, _) -> preds.(d) <- s :: preds.(d)) row)
+    rows;
+  let preds = Array.map (fun l -> List.sort_uniq Int.compare l) preds in
+  let label_map =
+    List.fold_left
+      (fun acc (name, states) ->
+         List.iter (check_state n ("label " ^ name)) states;
+         let prev = Option.value ~default:[] (Smap.find_opt name acc) in
+         Smap.add name (List.sort_uniq Int.compare (states @ prev)) acc)
+      Smap.empty labels
+  in
+  let state_labels = Array.make n [] in
+  Smap.iter
+    (fun name states ->
+       List.iter (fun s -> state_labels.(s) <- name :: state_labels.(s)) states)
+    label_map;
+  let rewards =
+    match rewards with
+    | None -> Array.make n 0.0
+    | Some r ->
+      if Array.length r <> n then
+        invalid_arg
+          (Printf.sprintf "Dtmc: reward array has length %d, expected %d"
+             (Array.length r) n);
+      Array.copy r
+  in
+  { n; init; rows; preds; label_map; state_labels; rewards }
+
+let num_states t = t.n
+let init_state t = t.init
+let succ t s = check_state t.n "query" s; Array.to_list t.rows.(s)
+
+let prob t s d =
+  check_state t.n "query" s;
+  check_state t.n "query" d;
+  match Array.find_opt (fun (d', _) -> d' = d) t.rows.(s) with
+  | Some (_, p) -> p
+  | None -> 0.0
+
+let pred t s = check_state t.n "query" s; t.preds.(s)
+let reward t s = check_state t.n "query" s; t.rewards.(s)
+let rewards t = Array.copy t.rewards
+let labels t = List.map fst (Smap.bindings t.label_map)
+let has_label t s name = List.mem name t.state_labels.(s)
+
+let states_with_label t name =
+  Option.value ~default:[] (Smap.find_opt name t.label_map)
+
+let is_absorbing t s =
+  match t.rows.(s) with
+  | [| (d, p) |] -> d = s && Float.abs (p -. 1.0) < 1e-12
+  | _ -> false
+
+let transition_matrix t =
+  let m = Linalg.Mat.make t.n t.n 0.0 in
+  Array.iteri
+    (fun s row -> Array.iter (fun (d, p) -> Linalg.Mat.set m s d p) row)
+    t.rows;
+  m
+
+let raw_transitions t =
+  Array.to_list
+    (Array.mapi
+       (fun s row -> Array.to_list (Array.map (fun (d, p) -> (s, d, p)) row))
+       t.rows)
+  |> List.concat
+
+let with_rewards t r =
+  if Array.length r <> t.n then invalid_arg "Dtmc.with_rewards: wrong length";
+  { t with rewards = Array.copy r }
+
+let with_transitions t transitions =
+  let rows = build_rows ~n:t.n transitions in
+  let preds = Array.make t.n [] in
+  Array.iteri
+    (fun s row -> Array.iter (fun (d, _) -> preds.(d) <- s :: preds.(d)) row)
+    rows;
+  { t with rows; preds = Array.map (List.sort_uniq Int.compare) preds }
+
+let simulate rng t ~max_steps ?(stop = fun _ -> false) () =
+  let rec go s steps acc =
+    if steps >= max_steps || stop s || is_absorbing t s then List.rev (s :: acc)
+    else begin
+      let row = t.rows.(s) in
+      let weights = Array.map snd row in
+      let i = Prng.categorical rng weights in
+      go (fst row.(i)) (steps + 1) (s :: acc)
+    end
+  in
+  go t.init 0 []
+
+let pp fmt t =
+  Format.fprintf fmt "DTMC(%d states, init %d)@\n" t.n t.init;
+  Array.iteri
+    (fun s row ->
+       Format.fprintf fmt "  %d:" s;
+       Array.iter (fun (d, p) -> Format.fprintf fmt " ->%d:%g" d p) row;
+       let ls = t.state_labels.(s) in
+       if ls <> [] then Format.fprintf fmt "  {%s}" (String.concat "," ls);
+       if t.rewards.(s) <> 0.0 then Format.fprintf fmt "  r=%g" t.rewards.(s);
+       Format.fprintf fmt "@\n")
+    t.rows

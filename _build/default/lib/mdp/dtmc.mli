@@ -1,0 +1,69 @@
+(** Discrete-time Markov chains with labelled states and rewards.
+
+    States are integers [0 .. num_states - 1]. Rows of the transition matrix
+    must sum to 1 (within a small tolerance, re-normalised on construction).
+    Labels are the atomic propositions PCTL formulas refer to. *)
+
+type t
+
+val make :
+  n:int ->
+  init:int ->
+  transitions:(int * int * float) list ->
+  ?labels:(string * int list) list ->
+  ?rewards:float array ->
+  unit ->
+  t
+(** [make ~n ~init ~transitions ()] builds a chain with [n] states.
+    [transitions] lists [(src, dst, prob)] triples; duplicate [(src, dst)]
+    pairs are summed. Every state must have outgoing probability 1 (within
+    [1e-9], after which the row is re-normalised exactly). [rewards] are
+    per-state rewards, defaulting to all zeros.
+    @raise Invalid_argument on malformed input (bad indices, negative
+    probabilities, rows not summing to 1, reward array of wrong length). *)
+
+val num_states : t -> int
+val init_state : t -> int
+
+val succ : t -> int -> (int * float) list
+(** Outgoing edges [(target, prob)], probabilities strictly positive. *)
+
+val prob : t -> int -> int -> float
+(** Transition probability (0 when there is no edge). *)
+
+val pred : t -> int -> int list
+(** States with an edge into the given state. *)
+
+val reward : t -> int -> float
+val rewards : t -> float array
+
+val labels : t -> string list
+(** All label names, sorted. *)
+
+val has_label : t -> int -> string -> bool
+
+val states_with_label : t -> string -> int list
+(** Empty when the label is unknown — PCTL treats unknown propositions as
+    false everywhere. *)
+
+val is_absorbing : t -> int -> bool
+(** True when the state's only transition is the self-loop with
+    probability 1. *)
+
+val transition_matrix : t -> Linalg.Mat.t
+
+val raw_transitions : t -> (int * int * float) list
+(** All edges as [(src, dst, prob)] triples, suitable for feeding back into
+    {!make} or {!with_transitions} after perturbation. *)
+
+val with_rewards : t -> float array -> t
+val with_transitions : t -> (int * int * float) list -> t
+(** Rebuild with the same labels/rewards but new transitions. *)
+
+val simulate :
+  Prng.t -> t -> max_steps:int -> ?stop:(int -> bool) -> unit -> int list
+(** One sampled path from the initial state: list of visited states,
+    beginning with [init_state]. Stops after [max_steps] transitions or upon
+    entering a state satisfying [stop]. *)
+
+val pp : Format.formatter -> t -> unit

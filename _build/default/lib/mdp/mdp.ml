@@ -1,0 +1,228 @@
+module Smap = Map.Make (String)
+
+type action = {
+  name : string;
+  dist : (int * float) list;
+  reward : float;
+}
+
+type t = {
+  n : int;
+  init : int;
+  acts : action array array; (* acts.(s) = available actions, name-sorted *)
+  label_map : int list Smap.t;
+  state_labels : string list array;
+  state_rewards : float array;
+  features : float array array; (* n x k; k = 0 when absent *)
+}
+
+let check_state n what s =
+  if s < 0 || s >= n then
+    invalid_arg (Printf.sprintf "Mdp: %s state %d out of range [0,%d)" what s n)
+
+let normalise_dist ~n ~state ~aname dist =
+  let merged = Hashtbl.create 8 in
+  List.iter
+    (fun (d, p) ->
+       check_state n (Printf.sprintf "target of %d/%s" state aname) d;
+       if p < 0.0 then
+         invalid_arg
+           (Printf.sprintf "Mdp: negative probability %g in %d/%s" p state aname);
+       if p > 0.0 then begin
+         let cur = Option.value ~default:0.0 (Hashtbl.find_opt merged d) in
+         Hashtbl.replace merged d (cur +. p)
+       end)
+    dist;
+  let row =
+    Hashtbl.fold (fun d p acc -> (d, p) :: acc) merged []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let total = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 row in
+  if Float.abs (total -. 1.0) > 1e-9 then
+    invalid_arg
+      (Printf.sprintf "Mdp: distribution of %d/%s sums to %.12g" state aname total);
+  List.map (fun (d, p) -> (d, p /. total)) row
+
+let make ~n ~init ~actions ?(action_rewards = []) ?(labels = [])
+    ?state_rewards ?features () =
+  if n <= 0 then invalid_arg "Mdp: need at least one state";
+  check_state n "initial" init;
+  let reward_of s a =
+    Option.value ~default:0.0 (List.assoc_opt (s, a) action_rewards)
+  in
+  let per_state = Array.make n [] in
+  List.iter
+    (fun (s, aname, dist) ->
+       check_state n "action source" s;
+       if List.exists (fun a -> a.name = aname) per_state.(s) then
+         invalid_arg (Printf.sprintf "Mdp: duplicate action %s in state %d" aname s);
+       let dist = normalise_dist ~n ~state:s ~aname dist in
+       per_state.(s) <-
+         { name = aname; dist; reward = reward_of s aname } :: per_state.(s))
+    actions;
+  Array.iteri
+    (fun s acts ->
+       if acts = [] then
+         invalid_arg (Printf.sprintf "Mdp: state %d has no actions" s))
+    per_state;
+  let acts =
+    Array.map
+      (fun l ->
+         Array.of_list (List.sort (fun a b -> String.compare a.name b.name) l))
+      per_state
+  in
+  let label_map =
+    List.fold_left
+      (fun acc (name, states) ->
+         List.iter (check_state n ("label " ^ name)) states;
+         let prev = Option.value ~default:[] (Smap.find_opt name acc) in
+         Smap.add name (List.sort_uniq Int.compare (states @ prev)) acc)
+      Smap.empty labels
+  in
+  let state_labels = Array.make n [] in
+  Smap.iter
+    (fun name states ->
+       List.iter (fun s -> state_labels.(s) <- name :: state_labels.(s)) states)
+    label_map;
+  let state_rewards =
+    match state_rewards with
+    | None -> Array.make n 0.0
+    | Some r ->
+      if Array.length r <> n then
+        invalid_arg "Mdp: state reward array has wrong length";
+      Array.copy r
+  in
+  let features =
+    match features with
+    | None -> Array.make n [||]
+    | Some f ->
+      if Array.length f <> n then invalid_arg "Mdp: feature matrix wrong height";
+      let k = if n = 0 then 0 else Array.length f.(0) in
+      Array.iter
+        (fun row ->
+           if Array.length row <> k then invalid_arg "Mdp: ragged feature matrix")
+        f;
+      Array.map Array.copy f
+  in
+  { n; init; acts; label_map; state_labels; state_rewards; features }
+
+let num_states t = t.n
+let init_state t = t.init
+
+let actions_of t s =
+  check_state t.n "query" s;
+  Array.to_list t.acts.(s)
+
+let action_names t s = List.map (fun a -> a.name) (actions_of t s)
+
+let find_action t s name =
+  check_state t.n "query" s;
+  Array.find_opt (fun a -> a.name = name) t.acts.(s)
+
+let num_actions_total t =
+  Array.fold_left (fun acc a -> acc + Array.length a) 0 t.acts
+
+let labels t = List.map fst (Smap.bindings t.label_map)
+let has_label t s name = List.mem name t.state_labels.(s)
+
+let states_with_label t name =
+  Option.value ~default:[] (Smap.find_opt name t.label_map)
+
+let state_reward t s = check_state t.n "query" s; t.state_rewards.(s)
+
+let feature_dim t =
+  if t.n = 0 then 0 else Array.length t.features.(0)
+
+let features_of t s = check_state t.n "query" s; Array.copy t.features.(s)
+
+let with_state_rewards t r =
+  if Array.length r <> t.n then invalid_arg "Mdp.with_state_rewards: wrong length";
+  { t with state_rewards = Array.copy r }
+
+type policy = string array
+
+let validate_policy t pi =
+  if Array.length pi <> t.n then
+    Error
+      (Printf.sprintf "policy has length %d, expected %d" (Array.length pi) t.n)
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun s aname ->
+         if !bad = None && find_action t s aname = None then
+           bad := Some (s, aname))
+      pi;
+    match !bad with
+    | None -> Ok ()
+    | Some (s, aname) ->
+      Error (Printf.sprintf "state %d has no action named %S" s aname)
+  end
+
+let chosen t pi s =
+  match find_action t s pi.(s) with
+  | Some a -> a
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Mdp: policy names missing action %S in state %d" pi.(s) s)
+
+let labels_assoc t =
+  Smap.bindings t.label_map
+
+let induced_dtmc t pi =
+  (match validate_policy t pi with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Mdp.induced_dtmc: " ^ msg));
+  let transitions =
+    List.concat
+      (List.init t.n (fun s ->
+           let a = chosen t pi s in
+           List.map (fun (d, p) -> (s, d, p)) a.dist))
+  in
+  let rewards =
+    Array.init t.n (fun s -> t.state_rewards.(s) +. (chosen t pi s).reward)
+  in
+  Dtmc.make ~n:t.n ~init:t.init ~transitions ~labels:(labels_assoc t) ~rewards ()
+
+let uniform_random_dtmc t =
+  let transitions =
+    List.concat
+      (List.init t.n (fun s ->
+           let acts = t.acts.(s) in
+           let w = 1.0 /. float_of_int (Array.length acts) in
+           Array.to_list acts
+           |> List.concat_map (fun a ->
+               List.map (fun (d, p) -> (s, d, w *. p)) a.dist)))
+  in
+  Dtmc.make ~n:t.n ~init:t.init ~transitions ~labels:(labels_assoc t)
+    ~rewards:t.state_rewards ()
+
+let simulate rng t pi ~max_steps ?(stop = fun _ -> false) () =
+  let self_loop a s =
+    match a.dist with [ (d, p) ] -> d = s && p > 1.0 -. 1e-12 | _ -> false
+  in
+  let rec go s steps acc =
+    if steps >= max_steps || stop s then (List.rev acc, s)
+    else begin
+      let a = chosen t pi s in
+      if self_loop a s then (List.rev acc, s)
+      else begin
+        let arr = Array.of_list a.dist in
+        let i = Prng.categorical rng (Array.map snd arr) in
+        go (fst arr.(i)) (steps + 1) ((s, a.name) :: acc)
+      end
+    end
+  in
+  go t.init 0 []
+
+let pp fmt t =
+  Format.fprintf fmt "MDP(%d states, init %d)@\n" t.n t.init;
+  Array.iteri
+    (fun s acts ->
+       Array.iter
+         (fun a ->
+            Format.fprintf fmt "  %d/%s:" s a.name;
+            List.iter (fun (d, p) -> Format.fprintf fmt " ->%d:%g" d p) a.dist;
+            if a.reward <> 0.0 then Format.fprintf fmt "  r=%g" a.reward;
+            Format.fprintf fmt "@\n")
+         acts)
+    t.acts

@@ -1,0 +1,86 @@
+(** Markov decision processes with labelled states, state features and
+    rewards, in the style of the paper's tuple (S, A, R, P, L).
+
+    States are integers [0 .. num_states - 1]. Each state has one or more
+    named actions, each with a probability distribution over successor
+    states. Rewards can live on states and on (state, action) pairs.
+    States may additionally carry a feature vector — the paper's [f_s] —
+    used by inverse reinforcement learning (reward = θᵀ f). *)
+
+type t
+
+type action = {
+  name : string;
+  dist : (int * float) list; (** (target, prob), probabilities sum to 1 *)
+  reward : float; (** action reward, added to the state reward *)
+}
+
+val make :
+  n:int ->
+  init:int ->
+  actions:(int * string * (int * float) list) list ->
+  ?action_rewards:((int * string) * float) list ->
+  ?labels:(string * int list) list ->
+  ?state_rewards:float array ->
+  ?features:float array array ->
+  unit ->
+  t
+(** [actions] lists [(state, action_name, distribution)]. Every state needs
+    at least one action; action names must be unique per state; each
+    distribution must sum to 1 (within [1e-9]).
+    [features] is an [n × k] matrix of per-state feature vectors.
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Structure} *)
+
+val num_states : t -> int
+val init_state : t -> int
+val actions_of : t -> int -> action list
+val action_names : t -> int -> string list
+val find_action : t -> int -> string -> action option
+val num_actions_total : t -> int
+
+val labels : t -> string list
+val has_label : t -> int -> string -> bool
+val states_with_label : t -> string -> int list
+
+val state_reward : t -> int -> float
+val feature_dim : t -> int
+val features_of : t -> int -> float array
+(** Zero-length array when the MDP was built without features. *)
+
+val with_state_rewards : t -> float array -> t
+(** Replace per-state rewards (used by reward repair / IRL). *)
+
+(** {1 Policies} *)
+
+type policy = string array
+(** [policy.(s)] is the action name chosen in state [s] (deterministic
+    memoryless policies, as in the paper's case studies). *)
+
+val validate_policy : t -> policy -> (unit, string) result
+
+val induced_dtmc : t -> policy -> Dtmc.t
+(** The Markov chain obtained by fixing the policy. State rewards of the
+    chain are [state_reward s + action_reward (s, policy s)].
+    @raise Invalid_argument if the policy names a missing action. *)
+
+val uniform_random_dtmc : t -> Dtmc.t
+(** The chain that picks among available actions uniformly at random
+    (the "unresolved" behaviour used when learning from undirected traces). *)
+
+(** {1 Simulation} *)
+
+val simulate :
+  Prng.t ->
+  t ->
+  policy ->
+  max_steps:int ->
+  ?stop:(int -> bool) ->
+  unit ->
+  (int * string) list * int
+(** Sampled trajectory [(state, action) list, final_state] under the policy
+    from the initial state. Stops at [max_steps], at a [stop] state, or in a
+    state whose chosen action self-loops with probability 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type step = { state : int; action : string }
+type t = { steps : step list; final : int }
+
+let make pairs final =
+  { steps = List.map (fun (state, action) -> { state; action }) pairs; final }
+
+let of_states = function
+  | [] -> invalid_arg "Trace.of_states: empty path"
+  | states ->
+    let rec go acc = function
+      | [ last ] -> { steps = List.rev acc; final = last }
+      | s :: rest -> go ({ state = s; action = "" } :: acc) rest
+      | [] -> assert false
+    in
+    go [] states
+
+let length t = List.length t.steps
+let states t = List.map (fun s -> s.state) t.steps @ [ t.final ]
+let state_actions t = List.map (fun s -> (s.state, s.action)) t.steps
+let visits_state t s = List.mem s (states t)
+let visits_action t a = List.exists (fun st -> st.action = a) t.steps
+let nth_state t i = List.nth_opt (states t) i
+let nth_action t i = Option.map (fun s -> s.action) (List.nth_opt t.steps i)
+
+let log_probability m t =
+  let rec go acc = function
+    | [] -> acc
+    | [ last ] -> step_prob acc last.state last.action t.final
+    | a :: (b :: _ as rest) -> go (step_prob acc a.state a.action b.state) rest
+  and step_prob acc s a d =
+    match Mdp.find_action m s a with
+    | None -> Float.neg_infinity
+    | Some act ->
+      (match List.assoc_opt d act.Mdp.dist with
+       | Some p when p > 0.0 -> acc +. log p
+       | _ -> Float.neg_infinity)
+  in
+  go 0.0 t.steps
+
+let pp fmt t =
+  List.iter
+    (fun s ->
+       if s.action = "" then Format.fprintf fmt "%d " s.state
+       else Format.fprintf fmt "(%d,%s) " s.state s.action)
+    t.steps;
+  Format.fprintf fmt "%d" t.final

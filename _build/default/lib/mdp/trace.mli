@@ -1,0 +1,30 @@
+(** Finite state/action trajectories — the data that models are learned
+    from, and the objects the paper's trajectory rules (§IV-C) judge. *)
+
+type step = { state : int; action : string }
+
+type t = { steps : step list; final : int }
+(** A trajectory [(s_0, a_0) (s_1, a_1) ... (s_{k-1}, a_{k-1}) s_k]. *)
+
+val make : (int * string) list -> int -> t
+val of_states : int list -> t
+(** A pure state path (every action named [""]).
+    @raise Invalid_argument on an empty list. *)
+
+val length : t -> int
+(** Number of transitions. *)
+
+val states : t -> int list
+(** All visited states in order, including the final one. *)
+
+val state_actions : t -> (int * string) list
+val visits_state : t -> int -> bool
+val visits_action : t -> string -> bool
+val nth_state : t -> int -> int option
+val nth_action : t -> int -> string option
+
+val log_probability : Mdp.t -> t -> float
+(** Σ log P(s' | s, a) over the trajectory; [neg_infinity] when a step is
+    impossible in the given MDP. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,102 @@
+type q_table = (string * float) list array
+
+let check_gamma gamma =
+  if gamma <= 0.0 || gamma > 1.0 then
+    invalid_arg (Printf.sprintf "Value: gamma %g outside (0, 1]" gamma)
+
+let q_of_action ~gamma m v s (a : Mdp.action) =
+  let future =
+    List.fold_left (fun acc (d, p) -> acc +. (p *. v.(d))) 0.0 a.Mdp.dist
+  in
+  Mdp.state_reward m s +. a.Mdp.reward +. (gamma *. future)
+
+let value_iteration ?(max_iter = 100_000) ?(tol = 1e-10) ~gamma m =
+  check_gamma gamma;
+  let n = Mdp.num_states m in
+  let v = Array.make n 0.0 in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        let best =
+          List.fold_left
+            (fun acc a -> Float.max acc (q_of_action ~gamma m v s a))
+            Float.neg_infinity (Mdp.actions_of m s)
+        in
+        delta := Float.max !delta (Float.abs (best -. v.(s)));
+        v.(s) <- best
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  v
+
+let q_from_values ~gamma m v =
+  check_gamma gamma;
+  Array.init (Mdp.num_states m) (fun s ->
+      List.map
+        (fun (a : Mdp.action) -> (a.Mdp.name, q_of_action ~gamma m v s a))
+        (Mdp.actions_of m s))
+
+let q_values ?max_iter ?tol ~gamma m =
+  q_from_values ~gamma m (value_iteration ?max_iter ?tol ~gamma m)
+
+let greedy_policy m q =
+  Array.init (Mdp.num_states m) (fun s ->
+      match q.(s) with
+      | [] -> invalid_arg "Value.greedy_policy: state without actions"
+      | (first, fq) :: rest ->
+        let best, _ =
+          List.fold_left
+            (fun (bn, bq) (n, v) -> if v > bq then (n, v) else (bn, bq))
+            (first, fq) rest
+        in
+        best)
+
+let optimal_policy ?max_iter ?tol ~gamma m =
+  let v = value_iteration ?max_iter ?tol ~gamma m in
+  (greedy_policy m (q_from_values ~gamma m v), v)
+
+let rec policy_iteration_from ?max_iter ?tol ~gamma m pi rounds =
+  let v = policy_evaluation ?max_iter ?tol ~gamma m pi in
+  let pi' = greedy_policy m (q_from_values ~gamma m v) in
+  if pi' = pi then (pi, v, rounds)
+  else policy_iteration_from ?max_iter ?tol ~gamma m pi' (rounds + 1)
+
+and policy_iteration ?max_iter ?tol ~gamma m =
+  check_gamma gamma;
+  (* start from the name-first policy (deterministic) *)
+  let pi0 =
+    Array.init (Mdp.num_states m) (fun s ->
+        match Mdp.actions_of m s with
+        | a :: _ -> a.Mdp.name
+        | [] -> invalid_arg "Value.policy_iteration: state without actions")
+  in
+  policy_iteration_from ?max_iter ?tol ~gamma m pi0 0
+
+and policy_evaluation ?(max_iter = 100_000) ?(tol = 1e-10) ~gamma m pi =
+  check_gamma gamma;
+  (match Mdp.validate_policy m pi with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Value.policy_evaluation: " ^ msg));
+  let n = Mdp.num_states m in
+  let v = Array.make n 0.0 in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        match Mdp.find_action m s pi.(s) with
+        | None -> assert false
+        | Some a ->
+          let nv = q_of_action ~gamma m v s a in
+          delta := Float.max !delta (Float.abs (nv -. v.(s)));
+          v.(s) <- nv
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  v

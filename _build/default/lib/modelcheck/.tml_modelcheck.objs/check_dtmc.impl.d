@@ -1,0 +1,1 @@
+lib/modelcheck/check_dtmc.ml: Array Dtmc Float Graph_analysis Linalg List Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/check_dtmc.mli: Dtmc Pctl

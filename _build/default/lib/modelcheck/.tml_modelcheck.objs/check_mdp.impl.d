@@ -1,0 +1,1 @@
+lib/modelcheck/check_mdp.ml: Array Float List Mdp Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/check_mdp.mli: Mdp Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/counterexample.ml: Array Check_dtmc Dtmc List Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/counterexample.mli: Dtmc Pctl

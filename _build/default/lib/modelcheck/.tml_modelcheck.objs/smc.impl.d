@@ -1,0 +1,1 @@
+lib/modelcheck/smc.ml: Array Dtmc Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/smc.mli: Dtmc Pctl Prng

@@ -1,0 +1,1 @@
+lib/modelcheck/steady_state.ml: Array Check_dtmc Dtmc Hashtbl Int Linalg List Pctl

@@ -1,0 +1,1 @@
+lib/modelcheck/steady_state.mli: Dtmc Pctl

@@ -1,0 +1,215 @@
+type quant = Min | Max
+
+let opt = function Min -> Float.min | Max -> Float.max
+let worst = function Min -> Float.infinity | Max -> Float.neg_infinity
+
+let action_value x (a : Mdp.action) =
+  List.fold_left (fun acc (t, p) -> acc +. (p *. x.(t))) 0.0 a.Mdp.dist
+
+(* Least-fixed-point value iteration for until probabilities. *)
+let until_probabilities ?(max_iter = 100_000) ?(tol = 1e-12) quant m phi1 phi2 =
+  let n = Mdp.num_states m in
+  let x = Array.init n (fun s -> if phi2.(s) then 1.0 else 0.0) in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        if (not phi2.(s)) && phi1.(s) then begin
+          let best =
+            List.fold_left
+              (fun acc a -> opt quant acc (action_value x a))
+              (worst quant) (Mdp.actions_of m s)
+          in
+          delta := Float.max !delta (Float.abs (best -. x.(s)));
+          x.(s) <- best
+        end
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  x
+
+let bounded_until_probabilities quant m phi1 phi2 h =
+  let n = Mdp.num_states m in
+  let x = ref (Array.init n (fun s -> if phi2.(s) then 1.0 else 0.0)) in
+  for _ = 1 to h do
+    x :=
+      Array.init n (fun s ->
+          if phi2.(s) then 1.0
+          else if not phi1.(s) then 0.0
+          else
+            List.fold_left
+              (fun acc a -> opt quant acc (action_value !x a))
+              (worst quant) (Mdp.actions_of m s))
+  done;
+  !x
+
+let next_probabilities quant m phi =
+  let n = Mdp.num_states m in
+  let ind = Array.init n (fun s -> if phi.(s) then 1.0 else 0.0) in
+  Array.init n (fun s ->
+      List.fold_left
+        (fun acc a -> opt quant acc (action_value ind a))
+        (worst quant) (Mdp.actions_of m s))
+
+let all_true n = Array.make n true
+
+(* Expected total reward until reaching the target.
+
+   Finiteness is decided by graph/probability analysis first: with
+   non-negative rewards, Rmax(s) is finite iff every scheduler reaches the
+   target almost surely from s (Pmin(F target) = 1), and Rmin(s) is finite
+   iff some scheduler does (Pmax(F target) = 1). Value iteration then runs
+   on the finite region only; for Min, actions that leave the finite region
+   are excluded (they would have infinite value). *)
+let reward_values ?(max_iter = 100_000) ?(tol = 1e-9) quant m target =
+  let n = Mdp.num_states m in
+  let phi1 = Array.make n true in
+  let reach_quant = match quant with Max -> Min | Min -> Max in
+  let reach = until_probabilities ~tol:1e-12 reach_quant m phi1 target in
+  let finite = Array.init n (fun s -> reach.(s) > 1.0 -. 1e-9) in
+  let x = Array.make n 0.0 in
+  let usable_actions s =
+    let acts = Mdp.actions_of m s in
+    match quant with
+    | Max -> acts
+    | Min ->
+      List.filter
+        (fun (a : Mdp.action) ->
+           List.for_all (fun (t, _) -> finite.(t)) a.Mdp.dist)
+        acts
+  in
+  let rec iterate k =
+    if k >= max_iter then ()
+    else begin
+      let delta = ref 0.0 in
+      for s = 0 to n - 1 do
+        if finite.(s) && not target.(s) then begin
+          let best =
+            List.fold_left
+              (fun acc a ->
+                 opt quant acc
+                   (Mdp.state_reward m s +. a.Mdp.reward +. action_value x a))
+              (worst quant) (usable_actions s)
+          in
+          delta := Float.max !delta (Float.abs (best -. x.(s)));
+          x.(s) <- best
+        end
+      done;
+      if !delta >= tol then iterate (k + 1)
+    end
+  in
+  iterate 0;
+  Array.init n (fun s ->
+      if target.(s) then 0.0
+      else if finite.(s) then x.(s)
+      else Float.infinity)
+
+let rec path_probabilities ?max_iter ?tol quant m psi =
+  let n = Mdp.num_states m in
+  match (psi : Pctl.path_formula) with
+  | Next f -> next_probabilities quant m (sat m f)
+  | Until (f1, f2) ->
+    until_probabilities ?max_iter ?tol quant m (sat m f1) (sat m f2)
+  | Bounded_until (f1, f2, h) ->
+    bounded_until_probabilities quant m (sat m f1) (sat m f2) h
+  | Eventually f ->
+    until_probabilities ?max_iter ?tol quant m (all_true n) (sat m f)
+  | Bounded_eventually (f, h) ->
+    bounded_until_probabilities quant m (all_true n) (sat m f) h
+  | Globally f ->
+    (* opt Pr(G φ) = 1 - opposite-opt Pr(F ¬φ) *)
+    let other = match quant with Min -> Max | Max -> Min in
+    let notf = Array.map not (sat m f) in
+    Array.map
+      (fun p -> 1.0 -. p)
+      (until_probabilities ?max_iter ?tol other m (all_true n) notf)
+  | Bounded_globally (f, h) ->
+    let other = match quant with Min -> Max | Max -> Min in
+    let notf = Array.map not (sat m f) in
+    Array.map (fun p -> 1.0 -. p)
+      (bounded_until_probabilities other m (all_true n) notf h)
+
+and reachability_reward ?max_iter ?tol quant m f =
+  reward_values ?max_iter ?tol quant m (sat m f)
+
+and sat m (f : Pctl.state_formula) : bool array =
+  let n = Mdp.num_states m in
+  match f with
+  | True -> all_true n
+  | False -> Array.make n false
+  | Prop p ->
+    let marked = Array.make n false in
+    List.iter (fun s -> marked.(s) <- true) (Mdp.states_with_label m p);
+    marked
+  | Not g -> Array.map not (sat m g)
+  | And (g1, g2) ->
+    let a = sat m g1 and b = sat m g2 in
+    Array.init n (fun s -> a.(s) && b.(s))
+  | Or (g1, g2) ->
+    let a = sat m g1 and b = sat m g2 in
+    Array.init n (fun s -> a.(s) || b.(s))
+  | Implies (g1, g2) ->
+    let a = sat m g1 and b = sat m g2 in
+    Array.init n (fun s -> (not a.(s)) || b.(s))
+  | Prob (op, bound, psi) ->
+    let quant = match op with Pctl.Ge | Pctl.Gt -> Min | Pctl.Le | Pctl.Lt -> Max in
+    let probs = path_probabilities quant m psi in
+    Array.map (fun p -> Pctl.compare_with op p bound) probs
+  | Reward (op, bound, g) ->
+    let quant = match op with Pctl.Ge | Pctl.Gt -> Min | Pctl.Le | Pctl.Lt -> Max in
+    let rewards = reachability_reward quant m g in
+    Array.map (fun r -> Pctl.compare_with op r bound) rewards
+
+let path_probability ?max_iter ?tol quant m psi =
+  (path_probabilities ?max_iter ?tol quant m psi).(Mdp.init_state m)
+
+let reachability_reward_from_init ?max_iter ?tol quant m f =
+  (reachability_reward ?max_iter ?tol quant m f).(Mdp.init_state m)
+
+let optimal_reachability_policy ?max_iter ?tol quant m f =
+  let target = sat m f in
+  let x = reward_values ?max_iter ?tol quant m target in
+  Array.init (Mdp.num_states m) (fun s ->
+      let acts = Mdp.actions_of m s in
+      match acts with
+      | [] -> assert false (* Mdp.make guarantees at least one action *)
+      | first :: _ ->
+        if target.(s) then first.Mdp.name
+        else begin
+          let value a =
+            Mdp.state_reward m s +. a.Mdp.reward
+            +. List.fold_left
+                 (fun acc (t, p) ->
+                    acc
+                    +. p *. (if Float.is_finite x.(t) then x.(t) else 1e18))
+                 0.0 a.Mdp.dist
+          in
+          let better a b =
+            match quant with Min -> value a < value b | Max -> value a > value b
+          in
+          let best =
+            List.fold_left (fun acc a -> if better a acc then a else acc) first acts
+          in
+          best.Mdp.name
+        end)
+
+let check m f = (sat m f).(Mdp.init_state m)
+
+type verdict = { holds : bool; value : float option }
+
+let check_verbose m f =
+  let holds = check m f in
+  let value =
+    match (f : Pctl.state_formula) with
+    | Prob (op, _, psi) ->
+      let quant = match op with Pctl.Ge | Pctl.Gt -> Min | Pctl.Le | Pctl.Lt -> Max in
+      Some (path_probability quant m psi)
+    | Reward (op, _, g) ->
+      let quant = match op with Pctl.Ge | Pctl.Gt -> Min | Pctl.Le | Pctl.Lt -> Max in
+      Some (reachability_reward_from_init quant m g)
+    | _ -> None
+  in
+  { holds; value }

@@ -1,0 +1,44 @@
+(** PCTL model checking for MDPs.
+
+    Path probabilities and expected rewards are optimised over all
+    (deterministic memoryless) schedulers by value iteration. Following
+    PRISM's semantics for universally-quantified properties:
+    - [P >= b] / [P > b] holds when even the {e minimising} scheduler meets
+      the bound;
+    - [P <= b] / [P < b] holds when even the {e maximising} scheduler does;
+    - [R <= r] bounds the maximal, [R >= r] the minimal expected reward. *)
+
+type quant = Min | Max
+
+val path_probabilities :
+  ?max_iter:int -> ?tol:float -> quant -> Mdp.t -> Pctl.path_formula -> float array
+
+val path_probability :
+  ?max_iter:int -> ?tol:float -> quant -> Mdp.t -> Pctl.path_formula -> float
+(** From the initial state. *)
+
+val reachability_reward :
+  ?max_iter:int -> ?tol:float -> quant -> Mdp.t -> Pctl.state_formula -> float array
+(** Expected total reward (state reward + chosen action reward per step)
+    accumulated until first reaching a [φ]-state. Divergent values (target
+    not reached almost surely under the optimising scheduler) are reported
+    as [infinity]. *)
+
+val reachability_reward_from_init :
+  ?max_iter:int -> ?tol:float -> quant -> Mdp.t -> Pctl.state_formula -> float
+
+val optimal_reachability_policy :
+  ?max_iter:int -> ?tol:float -> quant -> Mdp.t -> Pctl.state_formula -> Mdp.policy
+(** The scheduler attaining the optimal reachability reward (greedy w.r.t.
+    the converged value function; arbitrary-but-deterministic in states
+    where the target is unreachable). *)
+
+val sat : Mdp.t -> Pctl.state_formula -> bool array
+val check : Mdp.t -> Pctl.state_formula -> bool
+
+type verdict = { holds : bool; value : float option }
+
+val check_verbose : Mdp.t -> Pctl.state_formula -> verdict
+(** [value] is the optimised probability / expected reward at the initial
+    state for a top-level [P]/[R] formula (using the quantifier implied by
+    the comparison, per the module-level semantics). *)

@@ -1,0 +1,148 @@
+(* Best-first path enumeration: a priority queue of path prefixes ordered
+   by probability; popping always yields the globally most probable
+   unexplored prefix, so target hits come out in probability order. *)
+
+module Pq = struct
+  (* simple binary max-heap on (priority, value) *)
+  type 'a t = { mutable data : (float * 'a) array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h p v =
+    if Array.length h.data = 0 then h.data <- Array.make 64 (p, v)
+    else if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) h.data.(0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- (p, v);
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) < fst h.data.(!i) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let largest = ref !i in
+        if l < h.size && fst h.data.(l) > fst h.data.(!largest) then largest := l;
+        if r < h.size && fst h.data.(r) > fst h.data.(!largest) then largest := r;
+        if !largest <> !i then begin
+          swap h !i !largest;
+          i := !largest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let most_probable_paths ?(max_len = 200) dtmc ~target ~k =
+  if k <= 0 then []
+  else begin
+    let queue = Pq.create () in
+    (* value: reversed path *)
+    Pq.push queue 1.0 [ Dtmc.init_state dtmc ];
+    let found = ref [] in
+    let found_count = ref 0 in
+    (* Cap explored prefixes so pathological chains terminate. *)
+    let budget = ref (1_000_000 : int) in
+    let rec loop () =
+      if !found_count >= k || !budget <= 0 then ()
+      else
+        match Pq.pop queue with
+        | None -> ()
+        | Some (p, rev_path) ->
+          decr budget;
+          let s = List.hd rev_path in
+          if target s then begin
+            found := (List.rev rev_path, p) :: !found;
+            incr found_count
+          end
+          else if List.length rev_path <= max_len then
+            List.iter
+              (fun (t, q) ->
+                 if q > 0.0 then Pq.push queue (p *. q) (t :: rev_path))
+              (Dtmc.succ dtmc s);
+          loop ()
+    in
+    loop ();
+    List.rev !found
+  end
+
+type witness = {
+  paths : (int list * float) list;
+  total_mass : float;
+  bound : float;
+}
+
+let smallest_counterexample ?(max_paths = 10_000) ?(max_len = 200) dtmc phi =
+  let bound, target_formula =
+    match (phi : Pctl.state_formula) with
+    | Prob (Pctl.Le, b, Eventually f) | Prob (Pctl.Lt, b, Eventually f) ->
+      (b, f)
+    | _ ->
+      invalid_arg
+        "Counterexample: need an upper-bounded reachability formula P<=b [F φ]"
+  in
+  let n = Dtmc.num_states dtmc in
+  let rec sat s (f : Pctl.state_formula) =
+    match f with
+    | True -> true
+    | False -> false
+    | Prop p -> Dtmc.has_label dtmc s p
+    | Not g -> not (sat s g)
+    | And (a, b) -> sat s a && sat s b
+    | Or (a, b) -> sat s a || sat s b
+    | Implies (a, b) -> (not (sat s a)) || sat s b
+    | Prob _ | Reward _ ->
+      invalid_arg "Counterexample: nested P/R operators are not supported"
+  in
+  let target = Array.init n (fun s -> sat s target_formula) in
+  if Check_dtmc.check dtmc phi then None
+  else begin
+    (* accumulate most-probable target paths until the mass passes the
+       bound *)
+    let queue = Pq.create () in
+    Pq.push queue 1.0 [ Dtmc.init_state dtmc ];
+    let acc = ref [] in
+    let mass = ref 0.0 in
+    let popped = ref 0 in
+    let rec loop () =
+      if !mass > bound || !popped >= max_paths then ()
+      else
+        match Pq.pop queue with
+        | None -> ()
+        | Some (p, rev_path) ->
+          incr popped;
+          let s = List.hd rev_path in
+          if target.(s) then begin
+            acc := (List.rev rev_path, p) :: !acc;
+            mass := !mass +. p
+          end
+          else if List.length rev_path <= max_len then
+            List.iter
+              (fun (t, q) ->
+                 if q > 0.0 then Pq.push queue (p *. q) (t :: rev_path))
+              (Dtmc.succ dtmc s);
+          loop ()
+    in
+    loop ();
+    if !mass > bound then
+      Some { paths = List.rev !acc; total_mass = !mass; bound }
+    else None
+  end

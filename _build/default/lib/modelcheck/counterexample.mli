@@ -1,0 +1,30 @@
+(** Counterexample generation for violated reachability bounds.
+
+    A violated [P <= b \[F φ\]] is witnessed by a finite set of paths into
+    [φ] whose probabilities sum past [b] (Han–Katoen "smallest
+    counterexamples"). Paths are enumerated most-probable-first by
+    best-first search over path probability; this also gives useful
+    "why did this happen" diagnostics for repair users. *)
+
+val most_probable_paths :
+  ?max_len:int -> Dtmc.t -> target:(int -> bool) -> k:int -> (int list * float) list
+(** The [k] highest-probability paths from the initial state to a target
+    state (loop-free prefixes are not required — cyclic paths are
+    enumerated in probability order too, bounded by [max_len], default
+    200). Each returned path ends at its first target visit. Fewer than
+    [k] paths are returned when the search space is exhausted. *)
+
+type witness = {
+  paths : (int list * float) list;  (** most probable first *)
+  total_mass : float;
+  bound : float;
+}
+
+val smallest_counterexample :
+  ?max_paths:int -> ?max_len:int -> Dtmc.t -> Pctl.state_formula -> witness option
+(** For a formula [P <= b \[F φ\]] (or [P < b]) that the chain violates:
+    the shortest most-probable-first list of paths whose mass exceeds [b].
+    [None] when the property actually holds, cannot be witnessed within
+    [max_paths] (default 10_000) / [max_len], or has a different shape.
+    @raise Invalid_argument when the formula is not an upper-bounded
+    reachability probability over a propositional target. *)

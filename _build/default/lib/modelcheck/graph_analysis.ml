@@ -1,0 +1,62 @@
+let backward_reachable ~n ~pred ?allowed from =
+  if Array.length from <> n then
+    invalid_arg "Graph_analysis.backward_reachable: bad dimension";
+  let mark = Array.make n false in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun s b ->
+       if b then begin
+         mark.(s) <- true;
+         Queue.add s queue
+       end)
+    from;
+  let allowed_state s =
+    match allowed with None -> true | Some a -> a.(s)
+  in
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun p ->
+         if (not mark.(p)) && allowed_state p then begin
+           mark.(p) <- true;
+           Queue.add p queue
+         end)
+      (pred s)
+  done;
+  mark
+
+let prob0 ~dtmc ~phi1 ~phi2 =
+  let n = Dtmc.num_states dtmc in
+  (* can_reach = states with Pr(φ1 U φ2) > 0: reach φ2 via φ1-states *)
+  let allowed = Array.init n (fun s -> phi1.(s) && not phi2.(s)) in
+  let can_reach =
+    backward_reachable ~n ~pred:(Dtmc.pred dtmc) ~allowed phi2
+  in
+  Array.init n (fun s -> not can_reach.(s))
+
+let prob1 ~dtmc ~phi1 ~phi2 =
+  let n = Dtmc.num_states dtmc in
+  let s0 = prob0 ~dtmc ~phi1 ~phi2 in
+  (* A state fails to have probability 1 iff it can reach a prob0 state
+     while staying inside φ1 ∧ ¬φ2. *)
+  let allowed = Array.init n (fun s -> phi1.(s) && not phi2.(s)) in
+  let bad = backward_reachable ~n ~pred:(Dtmc.pred dtmc) ~allowed s0 in
+  Array.init n (fun s -> not bad.(s))
+
+let forward_reachable dtmc =
+  let n = Dtmc.num_states dtmc in
+  let mark = Array.make n false in
+  let queue = Queue.create () in
+  mark.(Dtmc.init_state dtmc) <- true;
+  Queue.add (Dtmc.init_state dtmc) queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun (d, _) ->
+         if not mark.(d) then begin
+           mark.(d) <- true;
+           Queue.add d queue
+         end)
+      (Dtmc.succ dtmc s)
+  done;
+  mark

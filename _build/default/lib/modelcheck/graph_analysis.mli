@@ -1,0 +1,22 @@
+(** Graph precomputations for probabilistic model checking
+    (the prob0 / prob1 analyses of Baier–Katoen, ch. 10). *)
+
+val backward_reachable :
+  n:int -> pred:(int -> int list) -> ?allowed:bool array -> bool array -> bool array
+(** [backward_reachable ~n ~pred from] marks every state from which some
+    [from]-state is reachable going forward (computed by BFS over
+    predecessors). With [allowed], intermediate states outside [allowed] are
+    not traversed — a [from]-state is always marked, but paths may only pass
+    through allowed states. *)
+
+val prob0 :
+  dtmc:Dtmc.t -> phi1:bool array -> phi2:bool array -> bool array
+(** States where [Pr(φ1 U φ2) = 0]: those that cannot reach a [φ2]-state via
+    [φ1]-states. *)
+
+val prob1 :
+  dtmc:Dtmc.t -> phi1:bool array -> phi2:bool array -> bool array
+(** States where [Pr(φ1 U φ2) = 1]. *)
+
+val forward_reachable : Dtmc.t -> bool array
+(** States reachable from the initial state. *)

@@ -1,0 +1,125 @@
+exception Unsupported of string
+
+let rec sat_prop d s (f : Pctl.state_formula) =
+  match f with
+  | True -> true
+  | False -> false
+  | Prop p -> Dtmc.has_label d s p
+  | Not g -> not (sat_prop d s g)
+  | And (a, b) -> sat_prop d s a && sat_prop d s b
+  | Or (a, b) -> sat_prop d s a || sat_prop d s b
+  | Implies (a, b) -> (not (sat_prop d s a)) || sat_prop d s b
+  | Prob _ | Reward _ ->
+    raise (Unsupported "statistical checking of nested P/R operators")
+
+(* The final path state repeats forever (sampled paths stop in absorbing
+   states); [at i] therefore clamps. *)
+let holds_on_path d path psi =
+  let arr = Array.of_list path in
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Smc.holds_on_path: empty path";
+  let at i = arr.(if i >= n then n - 1 else i) in
+  let rec eventually_from i limit f =
+    match limit with
+    | Some k when i > k -> false
+    | _ ->
+      if i >= n then sat_prop d (at i) f
+      else sat_prop d (at i) f || eventually_from (i + 1) limit f
+  in
+  let rec until_from i limit f1 f2 =
+    match limit with
+    | Some k when i > k -> false
+    | _ ->
+      if sat_prop d (at i) f2 then true
+      else if not (sat_prop d (at i) f1) then false
+      else if i >= n then false (* f1 forever without f2 in the loop state *)
+      else until_from (i + 1) limit f1 f2
+  in
+  let globally_within limit f =
+    let rec go i =
+      match limit with
+      | Some k when i > k -> true
+      | _ ->
+        if i >= n then sat_prop d (at i) f
+        else sat_prop d (at i) f && go (i + 1)
+    in
+    go 0
+  in
+  match (psi : Pctl.path_formula) with
+  | Next f -> sat_prop d (at 1) f
+  | Eventually f -> eventually_from 0 None f
+  | Bounded_eventually (f, k) -> eventually_from 0 (Some k) f
+  | Until (f1, f2) -> until_from 0 None f1 f2
+  | Bounded_until (f1, f2, k) -> until_from 0 (Some k) f1 f2
+  | Globally f -> globally_within None f
+  | Bounded_globally (f, k) -> globally_within (Some k) f
+
+type estimate = {
+  probability : float;
+  samples : int;
+  ci_low : float;
+  ci_high : float;
+}
+
+let wilson ~successes ~samples =
+  let n = float_of_int samples and k = float_of_int successes in
+  if samples = 0 then (0.0, 1.0)
+  else begin
+    let z = 1.959963984540054 (* 95% *) in
+    let p = k /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let centre = p +. (z2 /. (2.0 *. n)) in
+    let spread = z *. sqrt ((p *. (1.0 -. p) /. n) +. (z2 /. (4.0 *. n *. n))) in
+    ((centre -. spread) /. denom, (centre +. spread) /. denom)
+  end
+
+let estimate ?(samples = 10_000) ?(max_steps = 10_000) rng d psi =
+  let successes = ref 0 in
+  for _ = 1 to samples do
+    let path = Dtmc.simulate rng d ~max_steps () in
+    if holds_on_path d path psi then incr successes
+  done;
+  let p = float_of_int !successes /. float_of_int samples in
+  let lo, hi = wilson ~successes:!successes ~samples in
+  { probability = p; samples; ci_low = lo; ci_high = hi }
+
+type sprt_verdict = Accept | Reject | Undecided
+
+let sprt ?(alpha = 0.01) ?(beta = 0.01) ?(delta = 0.01) ?(max_samples = 1_000_000)
+    ?(max_steps = 10_000) rng d phi =
+  let cmp, bound, psi =
+    match (phi : Pctl.state_formula) with
+    | Prob (cmp, bound, psi) -> (cmp, bound, psi)
+    | _ -> raise (Unsupported "SPRT needs a top-level P operator")
+  in
+  (* Test H0: p >= p1 = b + delta against H1: p <= p0 = b - delta, then
+     translate back through the comparison direction. *)
+  let p0 = bound -. delta and p1 = bound +. delta in
+  if p0 <= 0.0 || p1 >= 1.0 then
+    raise (Unsupported "SPRT bound too close to 0 or 1 for the given delta");
+  let log_a = log ((1.0 -. beta) /. alpha) in
+  let log_b = log (beta /. (1.0 -. alpha)) in
+  let llr = ref 0.0 in
+  let samples = ref 0 in
+  let verdict = ref Undecided in
+  while !verdict = Undecided && !samples < max_samples do
+    incr samples;
+    let path = Dtmc.simulate rng d ~max_steps () in
+    let x = holds_on_path d path psi in
+    (* log-likelihood ratio of H1 (p = p1) vs H0 (p = p0) *)
+    llr :=
+      !llr +. (if x then log (p1 /. p0) else log ((1.0 -. p1) /. (1.0 -. p0)));
+    if !llr >= log_a then verdict := Accept (* evidence for p >= p1 *)
+    else if !llr <= log_b then verdict := Reject (* evidence for p <= p0 *)
+  done;
+  (* [Accept] above means "the path probability is high"; align with the
+     comparison direction of the formula. *)
+  let aligned =
+    match (cmp, !verdict) with
+    | (Pctl.Ge | Pctl.Gt), v -> v
+    | (Pctl.Le | Pctl.Lt), Accept -> Reject
+    | (Pctl.Le | Pctl.Lt), Reject -> Accept
+    | (Pctl.Le | Pctl.Lt), Undecided -> Undecided
+  in
+  (aligned, !samples)

@@ -1,0 +1,56 @@
+(** Statistical model checking for DTMCs: Monte-Carlo estimation of path
+    probabilities with confidence intervals, and Wald's sequential
+    probability ratio test (SPRT) for [P ~ b \[ψ\]] hypotheses.
+
+    Complements the exact engine in {!Check_dtmc}: useful as an independent
+    cross-check (several tests in this repository validate the numeric
+    engine against it) and on models too large for the linear-system
+    route. Path formulas are evaluated on sampled finite paths; unbounded
+    operators are truncated at [max_steps], which is sound whenever
+    sampled paths reach absorbing states first (as in all the paper's
+    models). Nested probabilistic operators are not supported. *)
+
+exception Unsupported of string
+
+type estimate = {
+  probability : float;
+  samples : int;
+  ci_low : float;  (** Wilson 95% confidence interval *)
+  ci_high : float;
+}
+
+val holds_on_path : Dtmc.t -> int list -> Pctl.path_formula -> bool
+(** Evaluate the path formula on one concrete path (labels taken from the
+    chain). The final path state is treated as repeating forever.
+    @raise Unsupported on nested [P]/[R]; @raise Invalid_argument on an
+    empty path. *)
+
+val estimate :
+  ?samples:int ->
+  ?max_steps:int ->
+  Prng.t ->
+  Dtmc.t ->
+  Pctl.path_formula ->
+  estimate
+(** Monte-Carlo estimation (default 10_000 samples, 10_000 step cap). *)
+
+type sprt_verdict =
+  | Accept  (** the bound holds at the requested error levels *)
+  | Reject
+  | Undecided  (** sample budget exhausted inside the indifference region *)
+
+val sprt :
+  ?alpha:float ->
+  ?beta:float ->
+  ?delta:float ->
+  ?max_samples:int ->
+  ?max_steps:int ->
+  Prng.t ->
+  Dtmc.t ->
+  Pctl.state_formula ->
+  sprt_verdict * int
+(** [sprt rng chain (P ~ b \[ψ\])] — Wald's SPRT with type-I/II error
+    bounds [alpha]/[beta] (default 0.01) and indifference half-width
+    [delta] (default 0.01); also returns the number of samples drawn.
+    @raise Unsupported when the formula is not a top-level [P] operator or
+    the bound ± delta leaves (0, 1). *)

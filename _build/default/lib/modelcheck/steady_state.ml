@@ -1,0 +1,126 @@
+(* Tarjan's SCC algorithm, then keep components with no outgoing edges. *)
+let sccs dtmc =
+  let n = Dtmc.num_states dtmc in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let components = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun (w, _) ->
+         if index.(w) = -1 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      (Dtmc.succ dtmc v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      components := List.sort Int.compare (pop []) :: !components
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.rev !components
+
+let bsccs dtmc =
+  let components = sccs dtmc in
+  List.filter
+    (fun comp ->
+       List.for_all
+         (fun s ->
+            List.for_all (fun (t, _) -> List.mem t comp) (Dtmc.succ dtmc s))
+         comp)
+    components
+
+let stationary_of_irreducible dtmc comp =
+  let closed =
+    List.for_all
+      (fun s -> List.for_all (fun (t, _) -> List.mem t comp) (Dtmc.succ dtmc s))
+      comp
+  in
+  if not closed then
+    invalid_arg "Steady_state: the given states are not a closed component";
+  let k = List.length comp in
+  let arr = Array.of_list comp in
+  let index = Hashtbl.create k in
+  Array.iteri (fun i s -> Hashtbl.add index s i) arr;
+  (* Solve (P^T - I) π = 0 with Σ π = 1: replace the last equation by the
+     normalisation row. *)
+  let a = Linalg.Mat.make k k 0.0 in
+  for j = 0 to k - 1 do
+    (* column j: contributions into state arr.(j) *)
+    List.iter
+      (fun (t, p) ->
+         match Hashtbl.find_opt index t with
+         | Some ti -> Linalg.Mat.set a ti j (Linalg.Mat.get a ti j +. p)
+         | None -> assert false (* closedness checked above *))
+      (Dtmc.succ dtmc arr.(j));
+    Linalg.Mat.set a j j (Linalg.Mat.get a j j -. 1.0)
+  done;
+  (* overwrite the last row with 1s *)
+  for j = 0 to k - 1 do
+    Linalg.Mat.set a (k - 1) j 1.0
+  done;
+  let b = Array.init k (fun i -> if i = k - 1 then 1.0 else 0.0) in
+  (* The matrix built column-wise above is (P^T - I) acting on π as a
+     column vector: entry (i, j) must be P(j -> i) - δ. Rebuild correctly:
+     we filled a.(ti).(j) += P(arr.(j) -> arr.(ti)) which is exactly
+     (P^T).(ti).(j). Good. *)
+  let pi = Linalg.lu_solve a b in
+  let full = Array.make (Dtmc.num_states dtmc) 0.0 in
+  Array.iteri (fun i s -> full.(s) <- pi.(i)) arr;
+  full
+
+let long_run_distribution dtmc =
+  let n = Dtmc.num_states dtmc in
+  let components = bsccs dtmc in
+  let result = Array.make n 0.0 in
+  List.iter
+    (fun comp ->
+       let mask = Array.make n false in
+       List.iter (fun s -> mask.(s) <- true) comp;
+       let probs = Check_dtmc.reach_probabilities dtmc mask in
+       let weight = probs.(Dtmc.init_state dtmc) in
+       if weight > 0.0 then begin
+         let pi = stationary_of_irreducible dtmc comp in
+         Array.iteri (fun s p -> result.(s) <- result.(s) +. (weight *. p)) pi
+       end)
+    components;
+  result
+
+let long_run_probability dtmc phi =
+  let n = Dtmc.num_states dtmc in
+  let rec sat s (f : Pctl.state_formula) =
+    match f with
+    | True -> true
+    | False -> false
+    | Prop p -> Dtmc.has_label dtmc s p
+    | Not g -> not (sat s g)
+    | And (a, b) -> sat s a && sat s b
+    | Or (a, b) -> sat s a || sat s b
+    | Implies (a, b) -> (not (sat s a)) || sat s b
+    | Prob _ | Reward _ ->
+      invalid_arg "Steady_state: nested P/R operators are not supported"
+  in
+  let dist = long_run_distribution dtmc in
+  let acc = ref 0.0 in
+  for s = 0 to n - 1 do
+    if sat s phi then acc := !acc +. dist.(s)
+  done;
+  !acc

@@ -1,0 +1,26 @@
+(** Long-run (steady-state) analysis of DTMCs.
+
+    For an irreducible chain the stationary distribution π solves
+    [π P = π, Σ π = 1]; for general chains the long-run distribution is
+    computed per bottom strongly-connected component (BSCC), weighted by
+    the probability of absorption into each BSCC from the initial state.
+    This backs PRISM-style [S ~ b \[φ\]] steady-state queries. *)
+
+val bsccs : Dtmc.t -> int list list
+(** Bottom strongly-connected components (Tarjan + bottom filter), each
+    sorted, in discovery order. *)
+
+val stationary_of_irreducible : Dtmc.t -> int list -> float array
+(** The stationary distribution of a single BSCC (entries indexed by the
+    full state space; zero outside the component).
+    @raise Invalid_argument when the given states do not form a closed
+    component. *)
+
+val long_run_distribution : Dtmc.t -> float array
+(** Long-run fraction of time in each state from the initial state:
+    [Σ_B Pr(absorb into B) · π_B]. *)
+
+val long_run_probability : Dtmc.t -> Pctl.state_formula -> float
+(** Long-run probability of being in a [φ]-state (propositional [φ]) —
+    the value of [S \[φ\]]. @raise Pquery-style [Invalid_argument] on
+    probabilistic subformulas. *)

@@ -1,0 +1,1 @@
+lib/optimize/gradient.mli:

@@ -1,0 +1,1 @@
+lib/optimize/nelder_mead.ml: Array Float Fun

@@ -1,0 +1,1 @@
+lib/optimize/nelder_mead.mli:

@@ -1,0 +1,1 @@
+lib/optimize/nlp.ml: Array Float List Nelder_mead Option Printf Prng

@@ -1,0 +1,1 @@
+lib/optimize/scalar.mli:

@@ -1,0 +1,60 @@
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  converged : bool;
+}
+
+let numeric_gradient ?(h = 1e-6) f x =
+  let n = Array.length x in
+  Array.init n (fun i ->
+      let save = x.(i) in
+      x.(i) <- save +. h;
+      let fp = f x in
+      x.(i) <- save -. h;
+      let fm = f x in
+      x.(i) <- save;
+      (fp -. fm) /. (2.0 *. h))
+
+let project ?lower ?upper x =
+  Array.mapi
+    (fun i v ->
+       let v = match lower with Some lo -> Float.max lo.(i) v | None -> v in
+       match upper with Some hi -> Float.min hi.(i) v | None -> v)
+    x
+
+let minimize ?(max_iter = 2000) ?(tol = 1e-10) ?lower ?upper f x0 =
+  let x = ref (project ?lower ?upper (Array.copy x0)) in
+  let fx = ref (f !x) in
+  let iter = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !iter < max_iter do
+    let g = numeric_gradient f !x in
+    let gnorm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 g) in
+    if gnorm < tol then converged := true
+    else begin
+      (* backtracking line search with Armijo condition *)
+      let step = ref 1.0 in
+      let improved = ref false in
+      while (not !improved) && !step > 1e-14 do
+        let cand =
+          project ?lower ?upper
+            (Array.mapi (fun i v -> v -. (!step *. g.(i))) !x)
+        in
+        let fc = f cand in
+        if fc < !fx -. (1e-4 *. !step *. gnorm *. gnorm) then begin
+          x := cand;
+          fx := fc;
+          improved := true
+        end
+        else step := !step /. 2.0
+      done;
+      if not !improved then converged := true
+    end;
+    incr iter
+  done;
+  { x = !x; f = !fx; iterations = !iter; converged = !converged }
+
+let maximize ?max_iter ?tol ?lower ?upper f x0 =
+  let r = minimize ?max_iter ?tol ?lower ?upper (fun x -> -.f x) x0 in
+  { r with f = -.r.f }

@@ -1,0 +1,33 @@
+(** Numeric-gradient descent with backtracking line search and box
+    projection. Used where the objective is smooth (e.g. the IRL likelihood
+    surface); the repair NLPs prefer {!Nlp}'s derivative-free path. *)
+
+val numeric_gradient : ?h:float -> (float array -> float) -> float array -> float array
+(** Central differences. *)
+
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  converged : bool;
+}
+
+val minimize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?lower:float array ->
+  ?upper:float array ->
+  (float array -> float) ->
+  float array ->
+  result
+(** Projected gradient descent from [x0]. The box is unbounded when
+    [lower]/[upper] are omitted. *)
+
+val maximize :
+  ?max_iter:int ->
+  ?tol:float ->
+  ?lower:float array ->
+  ?upper:float array ->
+  (float array -> float) ->
+  float array ->
+  result

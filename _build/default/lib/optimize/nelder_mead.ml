@@ -1,0 +1,115 @@
+type result = {
+  x : float array;
+  f : float;
+  iterations : int;
+  converged : bool;
+}
+
+(* Standard coefficients: reflection 1, expansion 2, contraction 1/2,
+   shrink 1/2. *)
+let alpha = 1.0
+let gamma = 2.0
+let rho = 0.5
+let sigma = 0.5
+
+let minimize ?(max_iter = 5000) ?(tol = 1e-12) ?(initial_step = 0.1) f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty start point";
+  (* n+1 vertices *)
+  let vertex i =
+    if i = 0 then Array.copy x0
+    else begin
+      let v = Array.copy x0 in
+      let j = i - 1 in
+      let step =
+        if Float.abs v.(j) > 1.0 then initial_step *. Float.abs v.(j)
+        else initial_step
+      in
+      v.(j) <- v.(j) +. step;
+      v
+    end
+  in
+  let simplex = Array.init (n + 1) vertex in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) Fun.id in
+    Array.sort (fun i j -> Float.compare values.(i) values.(j)) idx;
+    let s2 = Array.map (fun i -> simplex.(i)) idx in
+    let v2 = Array.map (fun i -> values.(i)) idx in
+    Array.blit s2 0 simplex 0 (n + 1);
+    Array.blit v2 0 values 0 (n + 1)
+  in
+  let centroid () =
+    (* of all but the worst vertex *)
+    let c = Array.make n 0.0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        c.(j) <- c.(j) +. (simplex.(i).(j) /. float_of_int n)
+      done
+    done;
+    c
+  in
+  let combine c w coeff =
+    Array.init n (fun j -> c.(j) +. (coeff *. (c.(j) -. w.(j))))
+  in
+  let iter = ref 0 in
+  let converged = ref false in
+  order ();
+  while (not !converged) && !iter < max_iter do
+    let spread = Float.abs (values.(n) -. values.(0)) in
+    let size =
+      let acc = ref 0.0 in
+      for j = 0 to n - 1 do
+        acc := Float.max !acc (Float.abs (simplex.(n).(j) -. simplex.(0).(j)))
+      done;
+      !acc
+    in
+    if spread < tol && size < sqrt tol then converged := true
+    else begin
+      let c = centroid () in
+      let worst = simplex.(n) in
+      let xr = combine c worst alpha in
+      let fr = f xr in
+      if fr < values.(0) then begin
+        (* try expansion *)
+        let xe = combine c worst gamma in
+        let fe = f xe in
+        if fe < fr then begin
+          simplex.(n) <- xe;
+          values.(n) <- fe
+        end
+        else begin
+          simplex.(n) <- xr;
+          values.(n) <- fr
+        end
+      end
+      else if fr < values.(n - 1) then begin
+        simplex.(n) <- xr;
+        values.(n) <- fr
+      end
+      else begin
+        (* contraction (outside if fr better than worst, else inside) *)
+        let xc =
+          if fr < values.(n) then combine c worst (alpha *. rho)
+          else combine c worst (-.rho)
+        in
+        let fc = f xc in
+        if fc < Float.min fr values.(n) then begin
+          simplex.(n) <- xc;
+          values.(n) <- fc
+        end
+        else begin
+          (* shrink toward the best vertex *)
+          for i = 1 to n do
+            simplex.(i) <-
+              Array.init n (fun j ->
+                  simplex.(0).(j) +. (sigma *. (simplex.(i).(j) -. simplex.(0).(j))));
+            values.(i) <- f simplex.(i)
+          done
+        end
+      end;
+      order ();
+      incr iter
+    end
+  done;
+  { x = Array.copy simplex.(0); f = values.(0); iterations = !iter; converged = !converged }

@@ -1,0 +1,142 @@
+type problem = {
+  dim : int;
+  objective : float array -> float;
+  inequalities : (string * (float array -> float)) list;
+  lower : float array;
+  upper : float array;
+}
+
+let problem ~dim ~objective ?(inequalities = []) ?lower ?upper () =
+  if dim <= 0 then invalid_arg "Nlp.problem: dim must be positive";
+  let lower = Option.value ~default:(Array.make dim (-1e3)) lower in
+  let upper = Option.value ~default:(Array.make dim 1e3) upper in
+  if Array.length lower <> dim || Array.length upper <> dim then
+    invalid_arg "Nlp.problem: bound arrays must have length dim";
+  Array.iteri
+    (fun i lo ->
+       if lo > upper.(i) then
+         invalid_arg (Printf.sprintf "Nlp.problem: empty box in dimension %d" i))
+    lower;
+  { dim; objective; inequalities; lower; upper }
+
+type solution = {
+  x : float array;
+  objective_value : float;
+  max_violation : float;
+  violated : (string * float) list;
+}
+
+type outcome = Feasible of solution | Infeasible of solution
+
+type method_ = Penalty | Augmented_lagrangian
+
+let clamp p x =
+  Array.mapi (fun i v -> Float.min p.upper.(i) (Float.max p.lower.(i) v)) x
+
+let violations p x =
+  List.map (fun (name, g) -> (name, Float.max 0.0 (g x))) p.inequalities
+
+let max_violation p x =
+  List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 (violations p x)
+
+let is_feasible ?(feas_tol = 1e-7) p x = max_violation p x <= feas_tol
+
+let guard v = if Float.is_nan v then infinity else v
+
+(* One penalty pass: escalate μ, warm-starting each round. *)
+let solve_penalty ~max_iter p x0 =
+  let x = ref (clamp p x0) in
+  let mus = [ 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ] in
+  List.iter
+    (fun mu ->
+       let f y =
+         let y = clamp p y in
+         let base = guard (p.objective y) in
+         let pen =
+           List.fold_left
+             (fun acc (_, g) ->
+                let v = Float.max 0.0 (guard (g y)) in
+                acc +. (v *. v))
+             0.0 p.inequalities
+         in
+         base +. (mu *. pen)
+       in
+       let r = Nelder_mead.minimize ~max_iter f !x in
+       x := clamp p r.Nelder_mead.x)
+    mus;
+  !x
+
+(* Augmented Lagrangian with multiplier updates. *)
+let solve_auglag ~max_iter p x0 =
+  let k = List.length p.inequalities in
+  let lambda = Array.make k 0.0 in
+  let mu = ref 10.0 in
+  let x = ref (clamp p x0) in
+  for _ = 1 to 8 do
+    let f y =
+      let y = clamp p y in
+      let base = guard (p.objective y) in
+      let pen = ref 0.0 in
+      List.iteri
+        (fun i (_, g) ->
+           let gv = guard (g y) in
+           (* max(0, λ + μ g)² − λ² over 2μ (Rockafellar) *)
+           let t = Float.max 0.0 (lambda.(i) +. (!mu *. gv)) in
+           pen := !pen +. (((t *. t) -. (lambda.(i) *. lambda.(i))) /. (2.0 *. !mu)))
+        p.inequalities;
+      base +. !pen
+    in
+    let r = Nelder_mead.minimize ~max_iter f !x in
+    x := clamp p r.Nelder_mead.x;
+    List.iteri
+      (fun i (_, g) ->
+         lambda.(i) <- Float.max 0.0 (lambda.(i) +. (!mu *. guard (g !x))))
+      p.inequalities;
+    mu := !mu *. 4.0
+  done;
+  !x
+
+let start_points ~starts ~seed p =
+  let rng = Prng.create seed in
+  List.init starts (fun i ->
+      if i = 0 then
+        (* centre of the box, a good deterministic first start *)
+        Array.init p.dim (fun j -> (p.lower.(j) +. p.upper.(j)) /. 2.0)
+      else
+        Array.init p.dim (fun j -> Prng.uniform rng p.lower.(j) p.upper.(j)))
+
+let mk_solution ~feas_tol p x =
+  let vs = violations p x in
+  {
+    x;
+    objective_value = p.objective x;
+    max_violation = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 vs;
+    violated = List.filter (fun (_, v) -> v > feas_tol) vs;
+  }
+
+let solve ?(method_ = Penalty) ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
+    ?(max_iter = 4000) p =
+  let run =
+    match method_ with
+    | Penalty -> solve_penalty ~max_iter p
+    | Augmented_lagrangian -> solve_auglag ~max_iter p
+  in
+  let candidates = List.map run (start_points ~starts ~seed p) in
+  let solutions = List.map (mk_solution ~feas_tol p) candidates in
+  let feasible = List.filter (fun s -> s.max_violation <= feas_tol) solutions in
+  match feasible with
+  | [] ->
+    let best =
+      List.fold_left
+        (fun acc s -> if s.max_violation < acc.max_violation then s else acc)
+        (List.hd solutions) (List.tl solutions)
+    in
+    Infeasible best
+  | s :: rest ->
+    let best =
+      List.fold_left
+        (fun acc s ->
+           if s.objective_value < acc.objective_value then s else acc)
+        s rest
+    in
+    Feasible best

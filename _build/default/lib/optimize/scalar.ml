@@ -1,0 +1,70 @@
+let invphi = (sqrt 5.0 -. 1.0) /. 2.0
+
+let golden_section ?(tol = 1e-10) ?(max_iter = 200) f lo hi =
+  if lo > hi then invalid_arg "Scalar.golden_section: lo > hi";
+  let a = ref lo and c = ref hi in
+  let b = ref (!c -. (invphi *. (!c -. !a))) in
+  let d = ref (!a +. (invphi *. (!c -. !a))) in
+  let fb = ref (f !b) and fd = ref (f !d) in
+  let k = ref 0 in
+  while !k < max_iter && !c -. !a > tol do
+    if !fb < !fd then begin
+      c := !d;
+      d := !b;
+      fd := !fb;
+      b := !c -. (invphi *. (!c -. !a));
+      fb := f !b
+    end
+    else begin
+      a := !b;
+      b := !d;
+      fb := !fd;
+      d := !a +. (invphi *. (!c -. !a));
+      fd := f !d
+    end;
+    incr k
+  done;
+  (!a +. !c) /. 2.0
+
+let bisect ?(tol = 1e-12) ?(max_iter = 200) f lo hi =
+  let flo = f lo and fhi = f hi in
+  if flo = 0.0 then lo
+  else if fhi = 0.0 then hi
+  else begin
+    if (flo > 0.0) = (fhi > 0.0) then
+      invalid_arg "Scalar.bisect: f(lo) and f(hi) have the same sign";
+    let a = ref lo and b = ref hi and fa = ref flo in
+    let k = ref 0 in
+    while !k < max_iter && !b -. !a > tol do
+      let m = (!a +. !b) /. 2.0 in
+      let fm = f m in
+      if fm = 0.0 then begin
+        a := m;
+        b := m
+      end
+      else if (fm > 0.0) = (!fa > 0.0) then begin
+        a := m;
+        fa := fm
+      end
+      else b := m;
+      incr k
+    done;
+    (!a +. !b) /. 2.0
+  end
+
+let minimize_scan ?(points = 64) f lo hi =
+  if lo > hi then invalid_arg "Scalar.minimize_scan: lo > hi";
+  if points < 2 then invalid_arg "Scalar.minimize_scan: need at least 2 points";
+  let best_i = ref 0 and best_v = ref infinity in
+  for i = 0 to points - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (points - 1)) in
+    let v = f x in
+    if v < !best_v then begin
+      best_v := v;
+      best_i := i
+    end
+  done;
+  let cell = (hi -. lo) /. float_of_int (points - 1) in
+  let x = lo +. (cell *. float_of_int !best_i) in
+  let a = Float.max lo (x -. cell) and b = Float.min hi (x +. cell) in
+  golden_section f a b

@@ -1,0 +1,16 @@
+(** One-dimensional optimisation and root finding. *)
+
+val golden_section :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [golden_section f lo hi] minimises a unimodal [f] on [\[lo, hi\]];
+    returns the minimiser. @raise Invalid_argument when [lo > hi]. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> (float -> float) -> float -> float -> float
+(** [bisect f lo hi] finds a root of [f] given [f lo] and [f hi] of opposite
+    sign. @raise Invalid_argument when the signs agree. *)
+
+val minimize_scan :
+  ?points:int -> (float -> float) -> float -> float -> float
+(** Coarse grid scan followed by golden-section refinement around the best
+    cell — robust for non-unimodal 1-D objectives. *)

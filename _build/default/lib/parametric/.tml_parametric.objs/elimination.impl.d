@@ -1,0 +1,1 @@
+lib/parametric/elimination.ml: Array Fun Int List Map Option Pdtmc Printf Queue Ratfun Set

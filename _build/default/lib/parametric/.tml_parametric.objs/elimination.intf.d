@@ -1,0 +1,1 @@
+lib/parametric/elimination.mli: Pdtmc Ratfun

@@ -1,0 +1,1 @@
+lib/parametric/pdtmc.ml: Array Dtmc Format Int List Map Option Printf Ratfun Ratio Set String

@@ -1,0 +1,1 @@
+lib/parametric/pdtmc.mli: Dtmc Format Ratfun Ratio

@@ -1,0 +1,1 @@
+lib/parametric/pquery.ml: Array Elimination List Pctl Pdtmc Ratfun

@@ -1,0 +1,1 @@
+lib/parametric/pquery.mli: Pctl Pdtmc Ratfun

@@ -1,0 +1,236 @@
+module Imap = Map.Make (Int)
+module Iset = Set.Make (Int)
+
+type order = Min_degree | Ascending | Descending
+
+exception Not_almost_sure of int
+
+(* ------------------------------------------------------------------ *)
+(* Structural graph analyses (an edge exists iff its ratfun is not the  *)
+(* zero function)                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let forward_reachable rows init =
+  let n = Array.length rows in
+  let mark = Array.make n false in
+  let queue = Queue.create () in
+  mark.(init) <- true;
+  Queue.add init queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    Imap.iter
+      (fun d _ ->
+         if not mark.(d) then begin
+           mark.(d) <- true;
+           Queue.add d queue
+         end)
+      rows.(s)
+  done;
+  mark
+
+let backward_reachable rows from =
+  let n = Array.length rows in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun s row -> Imap.iter (fun d _ -> preds.(d) <- s :: preds.(d)) row)
+    rows;
+  let mark = Array.make n false in
+  let queue = Queue.create () in
+  Iset.iter
+    (fun s ->
+       mark.(s) <- true;
+       Queue.add s queue)
+    from;
+  while not (Queue.is_empty queue) do
+    let s = Queue.pop queue in
+    List.iter
+      (fun p ->
+         if not mark.(p) then begin
+           mark.(p) <- true;
+           Queue.add p queue
+         end)
+      preds.(s)
+  done;
+  mark
+
+(* ------------------------------------------------------------------ *)
+(* Core elimination: solve E(s) = r(s) + Σ_v p(s,v) E(v) on the states  *)
+(* in [active], all other E-values being 0.  Returns E(init).           *)
+(* ------------------------------------------------------------------ *)
+
+let solve ~order ~rows ~rew ~active ~init =
+  let n = Array.length rows in
+  (* Local mutable copies restricted to active states. *)
+  let p = Array.make n Imap.empty in
+  Array.iteri
+    (fun s row ->
+       if active.(s) then
+         p.(s) <- Imap.filter (fun d _ -> active.(d)) row)
+    rows;
+  let r = Array.copy rew in
+  let preds = Array.make n Iset.empty in
+  Array.iteri
+    (fun s row -> Imap.iter (fun d _ -> preds.(d) <- Iset.add s preds.(d)) row)
+    p;
+  let alive = Array.copy active in
+  let to_eliminate =
+    List.filter (fun s -> alive.(s) && s <> init) (List.init n Fun.id)
+  in
+  let degree s = Iset.cardinal preds.(s) * Imap.cardinal p.(s) in
+  let pick remaining =
+    match order with
+    | Ascending -> List.hd remaining
+    | Descending -> List.hd (List.rev remaining)
+    | Min_degree ->
+      List.fold_left
+        (fun best s -> if degree s < degree best then s else best)
+        (List.hd remaining) remaining
+  in
+  let eliminate s =
+    let self = Option.value ~default:Ratfun.zero (Imap.find_opt s p.(s)) in
+    let one_minus = Ratfun.sub Ratfun.one self in
+    if Ratfun.is_zero one_minus then begin
+      (* p(s,s) ≡ 1: a trap; passing through contributes nothing finite.
+         Structural pre-analysis removes such states from reward queries, so
+         here simply cut s out (its E-value is 0 in probability queries). *)
+      Iset.iter
+        (fun u -> if u <> s then p.(u) <- Imap.remove s p.(u))
+        preds.(s);
+      Imap.iter (fun d _ -> preds.(d) <- Iset.remove s preds.(d)) p.(s);
+      p.(s) <- Imap.empty;
+      alive.(s) <- false
+    end
+    else begin
+      let factor = Ratfun.inv one_minus in
+      let out = Imap.remove s p.(s) in
+      let r_s = Ratfun.mul factor r.(s) in
+      let scaled_out = Imap.map (fun f -> Ratfun.mul factor f) out in
+      Iset.iter
+        (fun u ->
+           if u <> s then begin
+             match Imap.find_opt s p.(u) with
+             | None -> ()
+             | Some p_us ->
+               r.(u) <- Ratfun.add r.(u) (Ratfun.mul p_us r_s);
+               Imap.iter
+                 (fun v f ->
+                    let contrib = Ratfun.mul p_us f in
+                    p.(u) <-
+                      Imap.update v
+                        (function
+                          | None -> Some contrib
+                          | Some g ->
+                            let sum = Ratfun.add g contrib in
+                            if Ratfun.is_zero sum then None else Some sum)
+                        p.(u);
+                    preds.(v) <- Iset.add u preds.(v))
+                 scaled_out;
+               p.(u) <- Imap.remove s p.(u)
+           end)
+        preds.(s);
+      Imap.iter (fun d _ -> preds.(d) <- Iset.remove s preds.(d)) p.(s);
+      preds.(s) <- Iset.empty;
+      p.(s) <- Imap.empty;
+      alive.(s) <- false
+    end
+  in
+  let rec loop remaining =
+    match remaining with
+    | [] -> ()
+    | _ ->
+      let s = pick remaining in
+      eliminate s;
+      loop (List.filter (fun x -> x <> s) remaining)
+  in
+  loop to_eliminate;
+  (* E(init) = r(init) / (1 - p(init,init)) *)
+  let self = Option.value ~default:Ratfun.zero (Imap.find_opt init p.(init)) in
+  let one_minus = Ratfun.sub Ratfun.one self in
+  if Ratfun.is_zero one_minus then Ratfun.zero
+  else Ratfun.mul (Ratfun.inv one_minus) r.(init)
+
+(* ------------------------------------------------------------------ *)
+
+let rows_of pdtmc =
+  Array.init (Pdtmc.num_states pdtmc) (fun s ->
+      List.fold_left
+        (fun acc (d, f) -> Imap.add d f acc)
+        Imap.empty (Pdtmc.succ pdtmc s))
+
+let check_target n target =
+  List.iter
+    (fun s ->
+       if s < 0 || s >= n then
+         invalid_arg (Printf.sprintf "Elimination: target state %d out of range" s))
+    target;
+  if target = [] then invalid_arg "Elimination: empty target set"
+
+let reachability_probability ?(order = Min_degree) pdtmc ~target =
+  let n = Pdtmc.num_states pdtmc in
+  check_target n target;
+  let init = Pdtmc.init_state pdtmc in
+  let tset = Iset.of_list target in
+  if Iset.mem init tset then Ratfun.one
+  else begin
+    let rows = rows_of pdtmc in
+    let reach = forward_reachable rows init in
+    let can_reach_target = backward_reachable rows tset in
+    if not can_reach_target.(init) then Ratfun.zero
+    else begin
+      (* maybe-states: reachable, can reach target, not target *)
+      let active =
+        Array.init n (fun s ->
+            reach.(s) && can_reach_target.(s) && not (Iset.mem s tset))
+      in
+      (* r(s) = direct mass into the target set *)
+      let rew =
+        Array.init n (fun s ->
+            if not active.(s) then Ratfun.zero
+            else
+              Imap.fold
+                (fun d f acc ->
+                   if Iset.mem d tset then Ratfun.add acc f else acc)
+                rows.(s) Ratfun.zero)
+      in
+      solve ~order ~rows ~rew ~active ~init
+    end
+  end
+
+let expected_reward ?(order = Min_degree) pdtmc ~target =
+  let n = Pdtmc.num_states pdtmc in
+  check_target n target;
+  let init = Pdtmc.init_state pdtmc in
+  let tset = Iset.of_list target in
+  if Iset.mem init tset then Ratfun.zero
+  else begin
+    let rows = rows_of pdtmc in
+    let reach = forward_reachable rows init in
+    let can_reach_target = backward_reachable rows tset in
+    (* Structural almost-sure check: from every reachable state the target
+       must remain reachable (for generic parameter values this implies
+       probability-1 reachability on finite chains iff no reachable trap
+       avoids the target). *)
+    Array.iteri
+      (fun s r -> if r && not can_reach_target.(s) then raise (Not_almost_sure s))
+      reach;
+    let active = Array.init n (fun s -> reach.(s) && not (Iset.mem s tset)) in
+    let rew =
+      Array.init n (fun s ->
+          if active.(s) then Pdtmc.reward pdtmc s else Ratfun.zero)
+    in
+    solve ~order ~rows ~rew ~active ~init
+  end
+
+let eliminated_states pdtmc ~target =
+  let n = Pdtmc.num_states pdtmc in
+  check_target n target;
+  let init = Pdtmc.init_state pdtmc in
+  let tset = Iset.of_list target in
+  let rows = rows_of pdtmc in
+  let reach = forward_reachable rows init in
+  let can = backward_reachable rows tset in
+  let count = ref 0 in
+  for s = 0 to n - 1 do
+    if reach.(s) && can.(s) && (not (Iset.mem s tset)) && s <> init then incr count
+  done;
+  !count

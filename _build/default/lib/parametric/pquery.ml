@@ -1,0 +1,130 @@
+type query = {
+  value : Ratfun.t;
+  cmp : Pctl.cmp;
+  bound : float;
+  eval : (string -> float) -> float;
+}
+
+exception Unsupported of string
+
+let rec propositional_sat pdtmc (f : Pctl.state_formula) =
+  let n = Pdtmc.num_states pdtmc in
+  match f with
+  | True -> Array.make n true
+  | False -> Array.make n false
+  | Prop p ->
+    let marked = Array.make n false in
+    List.iter (fun s -> marked.(s) <- true) (Pdtmc.states_with_label pdtmc p);
+    marked
+  | Not g -> Array.map not (propositional_sat pdtmc g)
+  | And (a, b) ->
+    let sa = propositional_sat pdtmc a and sb = propositional_sat pdtmc b in
+    Array.init n (fun s -> sa.(s) && sb.(s))
+  | Or (a, b) ->
+    let sa = propositional_sat pdtmc a and sb = propositional_sat pdtmc b in
+    Array.init n (fun s -> sa.(s) || sb.(s))
+  | Implies (a, b) ->
+    let sa = propositional_sat pdtmc a and sb = propositional_sat pdtmc b in
+    Array.init n (fun s -> (not sa.(s)) || sb.(s))
+  | Prob _ | Reward _ ->
+    raise
+      (Unsupported
+         "nested P/R operators cannot appear inside a parametric query")
+
+let states_of mask =
+  let acc = ref [] in
+  Array.iteri (fun s b -> if b then acc := s :: !acc) mask;
+  List.rev !acc
+
+(* Rebuild the chain with the given states turned into absorbing
+   self-loops (used to encode Until as reachability). *)
+let make_absorbing pdtmc mask =
+  let n = Pdtmc.num_states pdtmc in
+  let transitions =
+    List.concat
+      (List.init n (fun s ->
+           if mask.(s) then [ (s, s, Ratfun.one) ]
+           else List.map (fun (d, f) -> (s, d, f)) (Pdtmc.succ pdtmc s)))
+  in
+  Pdtmc.make ~n ~init:(Pdtmc.init_state pdtmc) ~transitions ()
+
+(* Symbolic h-step iteration for bounded operators. *)
+let bounded_iteration pdtmc ~allowed ~target h =
+  let n = Pdtmc.num_states pdtmc in
+  let x =
+    ref (Array.init n (fun s -> if target.(s) then Ratfun.one else Ratfun.zero))
+  in
+  for _ = 1 to h do
+    x :=
+      Array.init n (fun s ->
+          if target.(s) then Ratfun.one
+          else if not allowed.(s) then Ratfun.zero
+          else
+            List.fold_left
+              (fun acc (d, p) -> Ratfun.add acc (Ratfun.mul p !x.(d)))
+              Ratfun.zero (Pdtmc.succ pdtmc s))
+  done;
+  !x.(Pdtmc.init_state pdtmc)
+
+let rec path_probability pdtmc (psi : Pctl.path_formula) =
+  let n = Pdtmc.num_states pdtmc in
+  let all = Array.make n true in
+  match psi with
+  | Next f ->
+    let target = propositional_sat pdtmc f in
+    List.fold_left
+      (fun acc (d, p) -> if target.(d) then Ratfun.add acc p else acc)
+      Ratfun.zero
+      (Pdtmc.succ pdtmc (Pdtmc.init_state pdtmc))
+  | Eventually f ->
+    let target = states_of (propositional_sat pdtmc f) in
+    if target = [] then Ratfun.zero
+    else Elimination.reachability_probability pdtmc ~target
+  | Until (f1, f2) ->
+    let s1 = propositional_sat pdtmc f1 and s2 = propositional_sat pdtmc f2 in
+    let dead = Array.init n (fun s -> (not s1.(s)) && not s2.(s)) in
+    let chain = make_absorbing pdtmc dead in
+    let target = states_of s2 in
+    if target = [] then Ratfun.zero
+    else Elimination.reachability_probability chain ~target
+  | Bounded_eventually (f, h) ->
+    bounded_iteration pdtmc ~allowed:all ~target:(propositional_sat pdtmc f) h
+  | Bounded_until (f1, f2, h) ->
+    bounded_iteration pdtmc
+      ~allowed:(propositional_sat pdtmc f1)
+      ~target:(propositional_sat pdtmc f2)
+      h
+  | Globally f ->
+    Ratfun.sub Ratfun.one (path_probability pdtmc (Eventually (Pctl.Not f)))
+  | Bounded_globally (f, h) ->
+    Ratfun.sub Ratfun.one
+      (path_probability pdtmc (Bounded_eventually (Pctl.Not f, h)))
+
+let reachability_reward pdtmc f =
+  let target = states_of (propositional_sat pdtmc f) in
+  if target = [] then
+    raise (Unsupported "reward query with empty target set is infinite")
+  else Elimination.expected_reward pdtmc ~target
+
+let make_query value cmp bound =
+  { value; cmp; bound; eval = Ratfun.compile value }
+
+let of_formula pdtmc (f : Pctl.state_formula) =
+  match f with
+  | Prob (cmp, bound, psi) -> make_query (path_probability pdtmc psi) cmp bound
+  | Reward (cmp, bound, g) -> make_query (reachability_reward pdtmc g) cmp bound
+  | _ ->
+    raise
+      (Unsupported
+         "repairable properties must be a single top-level P[...] or R[...] \
+          operator")
+
+let strict_margin = 1e-9
+
+let constraint_violation ?(margin = 0.0) q env =
+  let v = q.eval env in
+  match q.cmp with
+  | Pctl.Le -> v -. q.bound +. margin
+  | Pctl.Lt -> v -. q.bound +. margin +. strict_margin
+  | Pctl.Ge -> q.bound -. v +. margin
+  | Pctl.Gt -> q.bound -. v +. margin +. strict_margin

@@ -1,0 +1,43 @@
+(** Symbolic PCTL queries over parametric chains.
+
+    Turns a top-level [P ~ b \[ψ\]] or [R ~ r \[F φ\]] formula into the
+    closed-form rational function [f(v)] of Proposition 2 / 3 — the thing
+    the repair NLP constrains against the bound. Inner state formulas must
+    be propositional (boolean combinations of labels); nested probabilistic
+    operators cannot be made parametric and are rejected. *)
+
+type query = {
+  value : Ratfun.t;  (** the symbolic probability / expected reward *)
+  cmp : Pctl.cmp;
+  bound : float;
+  eval : (string -> float) -> float;
+      (** compiled fast evaluation of [value] (see {!Ratfun.compile}) *)
+}
+
+exception Unsupported of string
+
+val propositional_sat : Pdtmc.t -> Pctl.state_formula -> bool array
+(** Satisfaction of a propositional formula per state.
+    @raise Unsupported on [P]/[R] operators. *)
+
+val path_probability : Pdtmc.t -> Pctl.path_formula -> Ratfun.t
+(** Symbolic [Pr(init ⊨ ψ)]. Supports X, U, F, G and their step-bounded
+    forms (bounded operators by symbolic vector iteration — keep the bound
+    modest). @raise Unsupported on nested probabilistic operators. *)
+
+val reachability_reward : Pdtmc.t -> Pctl.state_formula -> Ratfun.t
+(** Symbolic [E\[reward until F φ\]].
+    @raise Elimination.Not_almost_sure when the target is not almost-surely
+    reached. @raise Unsupported on non-propositional [φ]. *)
+
+val of_formula : Pdtmc.t -> Pctl.state_formula -> query
+(** Decomposes a top-level [Prob]/[Reward] formula.
+    @raise Unsupported for formulas whose top level is not a single [P]/[R]
+    operator. *)
+
+val constraint_violation : ?margin:float -> query -> (string -> float) -> float
+(** [<= 0] iff the (strict or non-strict) comparison holds at the given
+    parameter valuation with slack [margin] (default 0) — the inequality
+    handed to the NLP solver. A small positive [margin] keeps solutions in
+    the strict interior so that the repaired model still verifies after
+    float round-off. Strict comparisons get an additional tiny margin. *)

@@ -1,0 +1,1 @@
+lib/polynomial/poly.ml: Array Buffer Float Format Int List Map Printf Ratio Set Stdlib String

@@ -1,0 +1,1 @@
+lib/polynomial/poly.mli: Format Ratio

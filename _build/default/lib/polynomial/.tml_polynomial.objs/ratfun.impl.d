@@ -1,0 +1,1 @@
+lib/polynomial/ratfun.ml: Array Format Poly Printf Ratio Set Stdlib String

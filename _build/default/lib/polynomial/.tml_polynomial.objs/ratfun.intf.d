@@ -1,0 +1,1 @@
+lib/polynomial/ratfun.mli: Format Poly Ratio

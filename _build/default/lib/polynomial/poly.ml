@@ -1,0 +1,279 @@
+(* Sparse multivariate polynomials over Ratio.
+
+   A monomial is a map variable -> exponent (exponents strictly positive);
+   a polynomial maps monomials to non-zero coefficients. Both invariants are
+   maintained by the smart constructors below. *)
+
+module Q = Ratio
+module Vmap = Map.Make (String)
+
+module Mono = struct
+  type t = int Vmap.t
+
+  let unit : t = Vmap.empty
+  let is_unit (m : t) = Vmap.is_empty m
+  let compare (a : t) (b : t) = Vmap.compare Int.compare a b
+  let mul (a : t) (b : t) : t =
+    Vmap.union (fun _ e1 e2 -> Some (e1 + e2)) a b
+
+  let degree (m : t) = Vmap.fold (fun _ e acc -> e + acc) m 0
+  let degree_in x (m : t) = match Vmap.find_opt x m with Some e -> e | None -> 0
+
+  let to_string (m : t) =
+    if is_unit m then "1"
+    else
+      Vmap.bindings m
+      |> List.map (fun (v, e) -> if e = 1 then v else Printf.sprintf "%s^%d" v e)
+      |> String.concat "*"
+end
+
+module Mmap = Map.Make (Mono)
+
+type t = Q.t Mmap.t
+
+let zero : t = Mmap.empty
+
+let const c : t = if Q.is_zero c then zero else Mmap.singleton Mono.unit c
+let one = const Q.one
+let of_int i = const (Q.of_int i)
+let var x : t = Mmap.singleton (Vmap.singleton x 1) Q.one
+
+let is_zero (p : t) = Mmap.is_empty p
+
+let add_term (m : Mono.t) (c : Q.t) (p : t) : t =
+  if Q.is_zero c then p
+  else
+    Mmap.update m
+      (function
+        | None -> Some c
+        | Some c0 ->
+          let s = Q.add c0 c in
+          if Q.is_zero s then None else Some s)
+      p
+
+let add (a : t) (b : t) : t = Mmap.fold add_term b a
+
+let neg (p : t) : t = Mmap.map Q.neg p
+let sub a b = add a (neg b)
+
+let scale k (p : t) : t =
+  if Q.is_zero k then zero else Mmap.map (Q.mul k) p
+
+let mul (a : t) (b : t) : t =
+  Mmap.fold
+    (fun ma ca acc ->
+       Mmap.fold
+         (fun mb cb acc -> add_term (Mono.mul ma mb) (Q.mul ca cb) acc)
+         b acc)
+    a zero
+
+let pow p e =
+  if e < 0 then invalid_arg "Poly.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else go (if e land 1 = 1 then mul acc b else acc) (mul b b) (e lsr 1)
+  in
+  go one p e
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+
+let is_const (p : t) =
+  Mmap.for_all (fun m _ -> Mono.is_unit m) p
+
+let to_const_opt (p : t) =
+  if is_zero p then Some Q.zero
+  else if Mmap.cardinal p = 1 then
+    match Mmap.min_binding_opt p with
+    | Some (m, c) when Mono.is_unit m -> Some c
+    | _ -> None
+  else None
+
+let coeff_of_const (p : t) =
+  match Mmap.find_opt Mono.unit p with Some c -> c | None -> Q.zero
+
+let equal (a : t) (b : t) = Mmap.equal Q.equal a b
+let compare (a : t) (b : t) = Mmap.compare Q.compare a b
+
+let degree (p : t) =
+  if is_zero p then -1
+  else Mmap.fold (fun m _ acc -> Stdlib.max (Mono.degree m) acc) p 0
+
+let degree_in x (p : t) =
+  Mmap.fold (fun m _ acc -> Stdlib.max (Mono.degree_in x m) acc) p 0
+
+let vars (p : t) =
+  let module Sset = Set.Make (String) in
+  Mmap.fold
+    (fun m _ acc -> Vmap.fold (fun v _ acc -> Sset.add v acc) m acc)
+    p Sset.empty
+  |> Sset.elements
+
+let num_terms = Mmap.cardinal
+
+let eval env (p : t) =
+  Mmap.fold
+    (fun m c acc ->
+       let term =
+         Vmap.fold (fun v e acc -> Q.mul acc (Q.pow (env v) e)) m c
+       in
+       Q.add acc term)
+    p Q.zero
+
+let eval_float env (p : t) =
+  Mmap.fold
+    (fun m c acc ->
+       let term =
+         Vmap.fold
+           (fun v e acc -> acc *. (Float.pow (env v) (float_of_int e)))
+           m (Q.to_float c)
+       in
+       acc +. term)
+    p 0.0
+
+(* Compilation strategy: resolve variables to indices once, record each
+   term as (float coeff, packed var-index/exponent pairs), and at
+   evaluation time precompute one power table per variable up to its
+   maximal exponent — a term is then a few table lookups, independent of
+   its degree. *)
+let compile (p : t) =
+  let var_names = Array.of_list (vars p) in
+  let nvars = Array.length var_names in
+  let var_index v =
+    let rec go i = if var_names.(i) = v then i else go (Stdlib.( + ) i 1) in
+    go 0
+  in
+  let max_exp = Array.make nvars 0 in
+  let terms =
+    Mmap.bindings p
+    |> List.map (fun (m, c) ->
+        let packed =
+          Vmap.bindings m
+          |> List.map (fun (v, e) ->
+              let i = var_index v in
+              max_exp.(i) <- Stdlib.max max_exp.(i) e;
+              (i, e))
+          |> Array.of_list
+        in
+        (Q.to_float c, packed))
+    |> Array.of_list
+  in
+  let tables = Array.init nvars (fun i -> Array.make (Stdlib.( + ) max_exp.(i) 1) 1.0) in
+  (* Flatten into parallel arrays for a cache-friendly inner loop:
+     coeffs.(t) and, per term, a [len; i1; e1; i2; e2; ...] slice of
+     [layout]. *)
+  let nterms = Array.length terms in
+  let coeffs = Array.map fst terms in
+  let layout =
+    let open Stdlib in
+    let buf = ref [] in
+    Array.iter
+      (fun (_, packed) ->
+         buf := Array.length packed :: !buf;
+         Array.iter (fun (i, e) -> buf := e :: i :: !buf) packed)
+      terms;
+    Array.of_list (List.rev !buf)
+  in
+  fun env ->
+    let open Stdlib in
+    for i = 0 to nvars - 1 do
+      let x = env var_names.(i) in
+      let tbl = tables.(i) in
+      for e = 1 to Array.length tbl - 1 do
+        tbl.(e) <- tbl.(e - 1) *. x
+      done
+    done;
+    let acc = ref 0.0 in
+    let pos = ref 0 in
+    for t = 0 to nterms - 1 do
+      let len = layout.(!pos) in
+      incr pos;
+      let term = ref (Array.unsafe_get coeffs t) in
+      for _ = 1 to len do
+        let i = layout.(!pos) and e = layout.(!pos + 1) in
+        pos := !pos + 2;
+        term := !term *. Array.unsafe_get (Array.unsafe_get tables i) e
+      done;
+      acc := !acc +. !term
+    done;
+    !acc
+
+let subst x p (q : t) : t =
+  Mmap.fold
+    (fun m c acc ->
+       match Vmap.find_opt x m with
+       | None -> add_term m c acc
+       | Some e ->
+         let rest = Vmap.remove x m in
+         let base : t = Mmap.singleton rest c in
+         add acc (mul base (pow p e)))
+    q zero
+
+let derivative x (p : t) : t =
+  Mmap.fold
+    (fun m c acc ->
+       match Vmap.find_opt x m with
+       | None -> acc
+       | Some e ->
+         let m' =
+           if e = 1 then Vmap.remove x m else Vmap.add x (Stdlib.( - ) e 1) m
+         in
+         add_term m' (Q.mul c (Q.of_int e)) acc)
+    p zero
+
+let to_univariate_opt (p : t) =
+  match vars p with
+  | [] -> Some ("", [| coeff_of_const p |])
+  | [ x ] ->
+    let d = degree_in x p in
+    let coeffs = Array.make (Stdlib.( + ) d 1) Q.zero in
+    Mmap.iter (fun m c -> coeffs.(Mono.degree_in x m) <- c) p;
+    Some (x, coeffs)
+  | _ -> None
+
+let of_univariate x coeffs =
+  let acc = ref zero in
+  Array.iteri
+    (fun e c ->
+       if not (Q.is_zero c) then
+         acc :=
+           add_term
+             (if e = 0 then Mono.unit else Vmap.singleton x e)
+             c !acc)
+    coeffs;
+  !acc
+
+let to_string (p : t) =
+  if is_zero p then "0"
+  else begin
+    let term_str first m c =
+      let mono = Mono.to_string m in
+      let coeff_part =
+        if Mono.is_unit m then Q.to_string (Q.abs c)
+        else if Q.equal (Q.abs c) Q.one then mono
+        else Q.to_string (Q.abs c) ^ "*" ^ mono
+      in
+      if first then (if Stdlib.( < ) (Q.sign c) 0 then "-" ^ coeff_part else coeff_part)
+      else if Stdlib.( < ) (Q.sign c) 0 then " - " ^ coeff_part
+      else " + " ^ coeff_part
+    in
+    let buf = Buffer.create 64 in
+    let first = ref true in
+    (* Print higher-degree terms first for readability. *)
+    let terms =
+      Mmap.bindings p
+      |> List.sort (fun (m1, _) (m2, _) ->
+          match Stdlib.compare (Mono.degree m2) (Mono.degree m1) with
+          | 0 -> Mono.compare m1 m2
+          | c -> c)
+    in
+    List.iter
+      (fun (m, c) ->
+         Buffer.add_string buf (term_str !first m c);
+         first := false)
+      terms;
+    Buffer.contents buf
+  end
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

@@ -1,0 +1,85 @@
+(** Rational functions: quotients of multivariate polynomials over ℚ.
+
+    This is the value domain of parametric model checking — the reachability
+    probability (or expected reward) of a parametric Markov chain is a
+    rational function of the chain's parameters (Daws 2004; Hahn et al.
+    2010), and it is what PRISM's parametric engine emits.
+
+    Values are kept in a normal form: the denominator's leading coefficient
+    is 1, constant denominators are folded into the numerator, and common
+    univariate factors are cancelled by a polynomial GCD. Full multivariate
+    GCD is deliberately not implemented (the repair problems in the paper use
+    1–3 parameters, where the univariate and content reductions suffice);
+    equality is decided by cross-multiplication and is exact regardless. *)
+
+type t
+
+(** {1 Construction} *)
+
+val zero : t
+val one : t
+val const : Ratio.t -> t
+val of_int : int -> t
+val of_poly : Poly.t -> t
+val var : string -> t
+
+val make : Poly.t -> Poly.t -> t
+(** [make num den]. @raise Division_by_zero when [den] is the zero
+    polynomial. *)
+
+(** {1 Access} *)
+
+val num : t -> Poly.t
+val den : t -> Poly.t
+val is_zero : t -> bool
+val is_const : t -> bool
+val to_const_opt : t -> Ratio.t option
+val vars : t -> string list
+
+(** {1 Algebra} *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when dividing by zero. *)
+
+val pow : t -> int -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+
+(** {1 Equality} *)
+
+val equal : t -> t -> bool
+(** Semantic equality, by cross-multiplication. *)
+
+(** {1 Evaluation, substitution, calculus} *)
+
+val eval : (string -> Ratio.t) -> t -> Ratio.t
+(** @raise Division_by_zero when the denominator vanishes at the point. *)
+
+val eval_float : (string -> float) -> t -> float
+(** IEEE semantics: a vanishing denominator yields [inf]/[nan] rather than
+    raising, which is what the penalty-based optimizer wants. *)
+
+val compile : t -> (string -> float) -> float
+(** Precompiled float evaluation (see {!Poly.compile}); same IEEE semantics
+    as {!eval_float} but orders of magnitude faster in inner loops. *)
+
+val subst : string -> t -> t -> t
+(** [subst x r f] substitutes the rational function [r] for variable [x]. *)
+
+val derivative : string -> t -> t
+(** Quotient rule. *)
+
+(** {1 Printing} *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/prob/prng.mli:

@@ -1,0 +1,71 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): tiny state, good quality,
+   trivially splittable — ideal for reproducible simulations. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = bits64 t }
+let copy t = { state = t.state }
+
+let float t =
+  (* 53 high-quality bits -> [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform t lo hi = lo +. ((hi -. lo) *. float t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* rejection-free for our purposes: modulo bias is negligible for n << 2^64 *)
+  let v = Int64.rem (Int64.shift_right_logical (bits64 t) 1) (Int64.of_int n) in
+  Int64.to_int v
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = float t in
+    if u <= 1e-300 then draw () else u
+  in
+  let u1 = draw () and u2 = float t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let categorical t weights =
+  let total =
+    Array.fold_left
+      (fun acc w ->
+         if w < 0.0 then invalid_arg "Prng.categorical: negative weight";
+         acc +. w)
+      0.0 weights
+  in
+  if total <= 0.0 then invalid_arg "Prng.categorical: zero total weight";
+  let target = float t *. total in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i = n - 1 then i
+    else begin
+      let acc = acc +. weights.(i) in
+      if target < acc then i else go (i + 1) acc
+    end
+  in
+  go 0 0.0
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

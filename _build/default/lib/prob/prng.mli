@@ -1,0 +1,40 @@
+(** Deterministic, seedable pseudo-random numbers (SplitMix64).
+
+    All stochastic components of the library (trace generation, simulation,
+    multistart optimisation) draw from this module so that every experiment
+    is reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] — a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** An independent generator derived from (and advancing) the parent. *)
+
+val copy : t -> t
+
+(** {1 Draws} *)
+
+val bits64 : t -> int64
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val uniform : t -> float -> float -> float
+(** Uniform in [[lo, hi)]. *)
+
+val int : t -> int -> int
+(** [int t n] uniform in [[0, n)]. @raise Invalid_argument when [n <= 0]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> float
+(** Standard normal (Box–Muller). *)
+
+val categorical : t -> float array -> int
+(** Index drawn proportionally to the given non-negative weights.
+    @raise Invalid_argument if the weights are all zero or any is
+    negative. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

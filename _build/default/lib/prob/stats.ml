@@ -1,0 +1,83 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty input")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Stats.variance" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    s /. float_of_int (n - 1)
+  end
+
+let stddev xs = sqrt (variance xs)
+
+let quantile q xs =
+  check_nonempty "Stats.quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let histogram ~bins xs =
+  check_nonempty "Stats.histogram" xs;
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let lo = Array.fold_left Float.min xs.(0) xs in
+  let hi = Array.fold_left Float.max xs.(0) xs in
+  let width = if hi = lo then 1.0 else (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+       let b = int_of_float ((x -. lo) /. width) in
+       let b = if b >= bins then bins - 1 else b in
+       counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (lo +. (float_of_int i *. width), c)) counts
+
+let normalise name xs =
+  check_nonempty name xs;
+  let total =
+    Array.fold_left
+      (fun acc x ->
+         if x < 0.0 then invalid_arg (name ^ ": negative entry");
+         acc +. x)
+      0.0 xs
+  in
+  if total <= 0.0 then invalid_arg (name ^ ": zero mass");
+  Array.map (fun x -> x /. total) xs
+
+let kl_divergence p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Stats.kl_divergence: length mismatch";
+  let p = normalise "Stats.kl_divergence" p in
+  let q = normalise "Stats.kl_divergence" q in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+       if pi > 0.0 then
+         if q.(i) <= 0.0 then acc := Float.infinity
+         else acc := !acc +. (pi *. log (pi /. q.(i))))
+    p;
+  !acc
+
+let total_variation p q =
+  if Array.length p <> Array.length q then
+    invalid_arg "Stats.total_variation: length mismatch";
+  let p = normalise "Stats.total_variation" p in
+  let q = normalise "Stats.total_variation" q in
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  0.5 *. !acc

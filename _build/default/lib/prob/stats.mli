@@ -1,0 +1,27 @@
+(** Small descriptive-statistics helpers used by benchmarks and tests. *)
+
+val mean : float array -> float
+(** @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; 0 for singletons.
+    @raise Invalid_argument on empty input. *)
+
+val stddev : float array -> float
+
+val quantile : float -> float array -> float
+(** [quantile q xs] for [0 <= q <= 1], linear interpolation on sorted data.
+    @raise Invalid_argument on empty input or q outside [0,1]. *)
+
+val histogram : bins:int -> float array -> (float * int) array
+(** Equal-width bins over the data range; returns (bin lower edge, count).
+    @raise Invalid_argument when [bins <= 0] or input is empty. *)
+
+val kl_divergence : float array -> float array -> float
+(** [kl_divergence p q] = Σ p_i log(p_i/q_i); distributions must have equal
+    length; zero entries of [p] contribute 0; a zero entry of [q] with
+    non-zero [p] yields [infinity]. Inputs are normalised internally.
+    @raise Invalid_argument on length mismatch or empty/negative input. *)
+
+val total_variation : float array -> float array -> float
+(** Half the L1 distance between normalised distributions. *)

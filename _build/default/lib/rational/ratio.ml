@@ -1,0 +1,129 @@
+(* Normalised rationals: den > 0, gcd(num, den) = 1, zero is 0/1. *)
+
+module B = Bigint
+
+type t = { num : B.t; den : B.t }
+
+let normalize num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { num = B.zero; den = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { num; den }
+    else { num = B.div num g; den = B.div den g }
+  end
+
+let make num den = normalize num den
+let of_bigint n = { num = n; den = B.one }
+let of_int i = of_bigint (B.of_int i)
+let of_ints n d = normalize (B.of_int n) (B.of_int d)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+
+let num t = t.num
+let den t = t.den
+let sign t = B.sign t.num
+let is_zero t = B.is_zero t.num
+let is_integer t = B.is_one t.den
+
+let neg t = { t with num = B.neg t.num }
+let abs t = { t with num = B.abs t.num }
+
+let inv t =
+  if is_zero t then raise Division_by_zero
+  else if B.sign t.num > 0 then { num = t.den; den = t.num }
+  else { num = B.neg t.den; den = B.neg t.num }
+
+let add a b =
+  normalize
+    (B.add (B.mul a.num b.den) (B.mul b.num a.den))
+    (B.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+let div a b = mul a (inv b)
+
+let pow t e =
+  if e >= 0 then { num = B.pow t.num e; den = B.pow t.den e }
+  else inv { num = B.pow t.num (-e); den = B.pow t.den (-e) }
+
+let equal a b = B.equal a.num b.num && B.equal a.den b.den
+
+let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+
+let to_float t = B.to_float t.num /. B.to_float t.den
+
+let to_string t =
+  if is_integer t then B.to_string t.num
+  else B.to_string t.num ^ "/" ^ B.to_string t.den
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let hash t = Stdlib.( + ) (B.hash t.num) (Stdlib.( * ) 31 (B.hash t.den))
+
+let floor t =
+  let q, r = B.divmod t.num t.den in
+  if Stdlib.( < ) (B.sign r) 0 then B.pred q else q
+
+let ceil t =
+  let q, r = B.divmod t.num t.den in
+  if Stdlib.( > ) (B.sign r) 0 then B.succ q else q
+
+let of_float f =
+  if Float.is_nan f || Float.is_integer f && Float.abs f = Float.infinity then
+    invalid_arg "Ratio.of_float: not finite";
+  if not (Float.is_finite f) then invalid_arg "Ratio.of_float: not finite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* f = m * 2^e with 0.5 <= |m| < 1; m * 2^53 is an exact integer. *)
+    let mant = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let e = Stdlib.( - ) e 53 in
+    let n = B.of_int mant in
+    if Stdlib.( >= ) e 0 then of_bigint (B.shift_left n e)
+    else make n (B.shift_left B.one (Stdlib.( ~- ) e))
+  end
+
+let of_decimal_string s =
+  let fail () = invalid_arg (Printf.sprintf "Ratio.of_decimal_string: %S" s) in
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = String.sub s 0 i
+    and d = String.sub s Stdlib.(i + 1) Stdlib.(String.length s - i - 1) in
+    (match (B.of_string_opt n, B.of_string_opt d) with
+     | Some n, Some d when not (B.is_zero d) -> make n d
+     | _ -> fail ())
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> (match B.of_string_opt s with Some n -> of_bigint n | None -> fail ())
+     | Some i ->
+       let int_part = String.sub s 0 i
+       and frac = String.sub s Stdlib.(i + 1) Stdlib.(String.length s - i - 1) in
+       if String.length frac = 0 then fail ();
+       let sign_neg = Stdlib.( > ) (String.length int_part) 0 && int_part.[0] = '-' in
+       let int_part = if int_part = "" || int_part = "-" || int_part = "+" then "0" else int_part in
+       (match (B.of_string_opt int_part, B.of_string_opt frac) with
+        | Some ip, Some fp when Stdlib.( >= ) (B.sign fp) 0 ->
+          let scale = B.pow (B.of_int 10) (String.length frac) in
+          let mag = B.add (B.mul (B.abs ip) scale) fp in
+          let mag = if sign_neg || Stdlib.( < ) (B.sign ip) 0 then B.neg mag else mag in
+          make mag scale
+        | _ -> fail ()))

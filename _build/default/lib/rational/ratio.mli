@@ -1,0 +1,86 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalised: the denominator is positive and
+    [gcd num den = 1]. Used throughout the parametric model-checking engine,
+    where exactness (not floats) is what keeps state elimination sound. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val half : t
+
+(** {1 Construction} *)
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den]. @raise Division_by_zero when [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints num den]. @raise Division_by_zero when [den = 0]. *)
+
+val of_float : float -> t
+(** Exact dyadic rational equal to the given float.
+    @raise Invalid_argument on NaN or infinities. *)
+
+val of_decimal_string : string -> t
+(** Parses ["3.25"], ["-0.045"], ["7"], ["1/3"], ["-2/7"].
+    @raise Invalid_argument on malformed input. *)
+
+(** {1 Access} *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero when the divisor is zero. *)
+
+val pow : t -> int -> t
+(** Integer power; negative exponents invert. @raise Division_by_zero when
+    raising zero to a negative power. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Comparison} *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+(** {1 Operators} *)
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+
+(** {1 Conversion and printing} *)
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val hash : t -> int
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t

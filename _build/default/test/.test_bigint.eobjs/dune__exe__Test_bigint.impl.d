@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint List Option Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_bisim.ml: Alcotest Array Bisimulation Check_dtmc Dtmc Float Format List Model_repair Pctl Pctl_parser Prng QCheck2 QCheck_alcotest Ratfun

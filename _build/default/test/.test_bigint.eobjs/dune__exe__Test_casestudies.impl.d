@@ -1,0 +1,1 @@
+test/test_casestudies.ml: Alcotest Array Car Check_dtmc Data_repair Dtmc Float Fun Irl List Mdp Mle Model_repair Printf Prng Ratio Reward_repair Trace Trace_logic Value Wsn

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Data_repair Dtmc Format Irl List Mdp Mdp_repair Model_repair Pctl_parser Pipeline Pquery Prng Ratfun Reward_repair String Trace Trace_logic Value

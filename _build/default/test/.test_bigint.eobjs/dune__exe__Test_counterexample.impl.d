@@ -1,0 +1,1 @@
+test/test_counterexample.ml: Alcotest Counterexample Dtmc List Local_repair Model_repair Pctl_parser Ratfun Wsn

@@ -1,0 +1,1 @@
+test/test_ctmc.ml: Alcotest Array Check_dtmc Ctmc Dtmc Float List Printf Prng QCheck2 QCheck_alcotest

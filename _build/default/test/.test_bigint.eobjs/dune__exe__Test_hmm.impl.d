@@ -1,0 +1,1 @@
+test/test_hmm.ml: Alcotest Array Baum_welch Float Hmm List Printf Prng String

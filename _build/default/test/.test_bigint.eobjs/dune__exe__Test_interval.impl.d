@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Array Check_dtmc Check_mdp Dtmc Float Idtmc Imdp List Mdp Pctl_parser Printf QCheck2 QCheck_alcotest Robust Robust_mdp

@@ -1,0 +1,1 @@
+test/test_io.ml: Alcotest Car Dtmc Dtmc_io Filename List Mdp Mdp_io Printf Ratfun Ratio Spec_io Sys Trace Trace_io

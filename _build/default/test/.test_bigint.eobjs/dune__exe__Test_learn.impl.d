@@ -1,0 +1,1 @@
+test/test_learn.ml: Alcotest Array Dtmc Float Irl List Mdp Mle Pdtmc Printf Prng QCheck2 QCheck_alcotest Ratfun Ratio Trace Value

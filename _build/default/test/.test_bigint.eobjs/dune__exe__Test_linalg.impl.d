@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Linalg Printf Prng QCheck2 QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Format List Pctl Pctl_parser Printf QCheck2 QCheck_alcotest Rule_parser Trace Trace_logic

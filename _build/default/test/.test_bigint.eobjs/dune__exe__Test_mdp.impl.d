@@ -1,0 +1,1 @@
+test/test_mdp.ml: Alcotest Array Dtmc Float Format Int Linalg List Mdp Printf Prng QCheck2 QCheck_alcotest Trace Value

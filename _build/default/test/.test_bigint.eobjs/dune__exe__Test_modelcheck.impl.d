@@ -1,0 +1,1 @@
+test/test_modelcheck.ml: Alcotest Array Check_dtmc Check_mdp Dtmc Float Format Graph_analysis List Mdp Pctl_parser Prng QCheck2 QCheck_alcotest

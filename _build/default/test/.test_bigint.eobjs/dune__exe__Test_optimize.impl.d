@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Array Float Fun Gradient List Nelder_mead Nlp Printf QCheck2 QCheck_alcotest Scalar

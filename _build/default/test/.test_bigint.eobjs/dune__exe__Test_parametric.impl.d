@@ -1,0 +1,1 @@
+test/test_parametric.ml: Alcotest Check_dtmc Dtmc Elimination Float Pdtmc Poly Printf QCheck2 QCheck_alcotest Ratfun Ratio

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Float List Option Poly Printf QCheck2 QCheck_alcotest Ratfun Ratio

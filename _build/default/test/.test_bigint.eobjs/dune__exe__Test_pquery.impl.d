@@ -1,0 +1,1 @@
+test/test_pquery.ml: Alcotest Check_dtmc Float List Pctl Pctl_parser Pdtmc Pquery Printf QCheck2 QCheck_alcotest Ratfun Ratio

@@ -1,0 +1,1 @@
+test/test_ratio.ml: Alcotest Bigint Float Printf QCheck2 QCheck_alcotest Ratio Stdlib

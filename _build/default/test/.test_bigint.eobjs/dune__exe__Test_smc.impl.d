@@ -1,0 +1,1 @@
+test/test_smc.ml: Alcotest Check_dtmc Dtmc Float Format Pctl Pctl_parser Prng QCheck2 QCheck_alcotest Smc

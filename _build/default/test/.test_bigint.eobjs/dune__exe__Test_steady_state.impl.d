@@ -1,0 +1,1 @@
+test/test_steady_state.ml: Alcotest Array Dtmc Experiments Format List Pctl_parser Prng Steady_state String

@@ -1,0 +1,227 @@
+(* Unit and property tests for Tml_bigint.Bigint. *)
+
+module B = Bigint
+
+let b = B.of_string
+let check_b msg expected actual =
+  Alcotest.(check string) msg expected (B.to_string actual)
+
+(* -------------------------------------------------------------- *)
+(* Unit tests                                                      *)
+(* -------------------------------------------------------------- *)
+
+let test_constants () =
+  check_b "zero" "0" B.zero;
+  check_b "one" "1" B.one;
+  check_b "minus_one" "-1" B.minus_one;
+  Alcotest.(check bool) "is_zero" true (B.is_zero B.zero);
+  Alcotest.(check bool) "is_one" true (B.is_one B.one);
+  Alcotest.(check bool) "one not zero" false (B.is_zero B.one)
+
+let test_of_int_extremes () =
+  check_b "max_int" (string_of_int max_int) (B.of_int max_int);
+  check_b "min_int" (string_of_int min_int) (B.of_int min_int);
+  Alcotest.(check (option int)) "roundtrip max" (Some max_int)
+    (B.to_int_opt (B.of_int max_int));
+  Alcotest.(check (option int)) "roundtrip min" (Some min_int)
+    (B.to_int_opt (B.of_int min_int));
+  Alcotest.(check (option int)) "too big" None
+    (B.to_int_opt (B.mul (B.of_int max_int) (B.of_int 4)))
+
+let test_string_roundtrip () =
+  let cases =
+    [ "0"; "1"; "-1"; "42"; "-42"; "1000000000"; "999999999999999999999999";
+      "-123456789012345678901234567890"; "2147483648"; "4611686018427387904" ]
+  in
+  List.iter (fun s -> check_b s s (b s)) cases;
+  check_b "underscores" "1234567" (b "1_234_567");
+  check_b "plus sign" "17" (b "+17");
+  Alcotest.(check (option string)) "garbage" None
+    (Option.map B.to_string (B.of_string_opt "12x4"));
+  Alcotest.(check (option string)) "empty" None
+    (Option.map B.to_string (B.of_string_opt ""))
+
+let test_add_sub () =
+  check_b "carry chain" "10000000000000000000000"
+    (B.add (b "9999999999999999999999") B.one);
+  check_b "borrow chain" "9999999999999999999999"
+    (B.sub (b "10000000000000000000000") B.one);
+  check_b "mixed signs" "-5" (B.add (b "-10") (b "5"));
+  check_b "a - a" "0" (B.sub (b "123456789123456789") (b "123456789123456789"))
+
+let test_mul () =
+  check_b "square" "15241578753238836750495351562536198787501905199875019052100"
+    (B.mul (b "123456789012345678901234567890") (b "123456789012345678901234567890"));
+  check_b "sign" "-6" (B.mul (b "2") (b "-3"));
+  check_b "by zero" "0" (B.mul (b "-3") B.zero);
+  check_b "mul_int" "999999999000000000"
+    (B.mul_int (b "999999999") 1_000_000_000)
+
+let test_divmod () =
+  let q, r = B.divmod (b "1000000000000000000000") (b "7") in
+  check_b "q" "142857142857142857142" q;
+  check_b "r" "6" r;
+  (* Truncation-toward-zero convention, like Stdlib. *)
+  let q, r = B.divmod (b "-7") (b "2") in
+  check_b "neg q" "-3" q;
+  check_b "neg r" "-1" r;
+  let q, r = B.ediv_rem (b "-7") (b "2") in
+  check_b "euclid q" "-4" q;
+  check_b "euclid r" "1" r;
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (B.divmod B.one B.zero))
+
+let test_divmod_multi_limb () =
+  (* Exercises Algorithm D with multi-limb divisors. *)
+  let a = b "340282366920938463463374607431768211456" (* 2^128 *) in
+  let d = b "18446744073709551617" (* 2^64 + 1 *) in
+  let q, r = B.divmod a d in
+  check_b "q128" "18446744073709551615" q;
+  check_b "r128" "1" r;
+  Alcotest.(check bool) "identity" true B.(equal a (add (mul q d) r))
+
+let test_gcd_lcm () =
+  check_b "gcd" "12" (B.gcd (b "48") (b "36"));
+  check_b "gcd neg" "12" (B.gcd (b "-48") (b "36"));
+  check_b "gcd zero" "5" (B.gcd B.zero (b "5"));
+  check_b "gcd both zero" "0" (B.gcd B.zero B.zero);
+  check_b "lcm" "144" (B.lcm (b "48") (b "36"));
+  check_b "big gcd" "998244353"
+    (B.gcd (B.mul (b "998244353") (b "1000000007"))
+       (B.mul (b "998244353") (b "1000000009")))
+
+let test_pow () =
+  check_b "2^100" "1267650600228229401496703205376" (B.pow B.two 100);
+  check_b "x^0" "1" (B.pow (b "999") 0);
+  check_b "(-2)^3" "-8" (B.pow (b "-2") 3);
+  Alcotest.check_raises "neg exp" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (B.pow B.two (-1)))
+
+let test_shifts () =
+  check_b "shl" "1267650600228229401496703205376" (B.shift_left B.one 100);
+  check_b "shr" "1" (B.shift_right (B.shift_left B.one 100) 100);
+  check_b "shr to zero" "0" (B.shift_right (b "12345") 64);
+  check_b "shl neg" "-4" (B.shift_left (b "-1") 2)
+
+let test_compare () =
+  Alcotest.(check int) "lt" (-1) (B.compare (b "-5") (b "3"));
+  Alcotest.(check int) "gt" 1 (B.compare (b "30000000000000000000") (b "3"));
+  Alcotest.(check int) "eq" 0 (B.compare (b "42") (b "42"));
+  Alcotest.(check int) "neg order" (-1) (B.compare (b "-10") (b "-5"));
+  Alcotest.(check int) "sign" (-1) (B.sign (b "-9"));
+  Alcotest.(check int) "num_bits 0" 0 (B.num_bits B.zero);
+  Alcotest.(check int) "num_bits 1" 1 (B.num_bits B.one);
+  Alcotest.(check int) "num_bits 2^100" 101 (B.num_bits (B.shift_left B.one 100))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "small" 42.0 (B.to_float (b "42"));
+  Alcotest.(check (float 1e6)) "2^62" 4.611686018427387904e18
+    (B.to_float (B.shift_left B.one 62));
+  Alcotest.(check (float 1e-6)) "neg" (-17.0) (B.to_float (b "-17"))
+
+(* -------------------------------------------------------------- *)
+(* Property tests                                                  *)
+(* -------------------------------------------------------------- *)
+
+let gen_bigint =
+  (* Build numbers of up to ~8 limbs with FULL-RANGE limbs in base 2^31.
+     Folding with a sub-2^30 multiplier would almost never produce a top
+     limb >= 2^30, which is exactly the "already normalised divisor" branch
+     of Algorithm D — a truncated-quotient bug hid there once. *)
+  let open QCheck2.Gen in
+  let* parts = list_size (int_range 1 8) (int_range 0 ((1 lsl 31) - 1)) in
+  let* negate = bool in
+  let base = B.of_int (1 lsl 31) in
+  let v =
+    List.fold_left
+      (fun acc p -> B.add (B.mul acc base) (B.of_int p))
+      B.zero parts
+  in
+  return (if negate then B.neg v else v)
+
+let qtest name ?(count = 300) ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let pr2 (a, b) = Printf.sprintf "(%s, %s)" (B.to_string a) (B.to_string b)
+let pr3 (a, b, c) =
+  Printf.sprintf "(%s, %s, %s)" (B.to_string a) (B.to_string b) (B.to_string c)
+
+let props =
+  [ qtest "add commutes" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) -> B.equal (B.add a c) (B.add c a));
+    qtest "add associates"
+      ~print:pr3 QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+      (fun (a, c, d) ->
+         B.equal (B.add a (B.add c d)) (B.add (B.add a c) d));
+    qtest "mul commutes" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) -> B.equal (B.mul a c) (B.mul c a));
+    qtest "mul associates"
+      ~print:pr3 QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+      (fun (a, c, d) ->
+         B.equal (B.mul a (B.mul c d)) (B.mul (B.mul a c) d));
+    qtest "distributivity"
+      ~print:pr3 QCheck2.Gen.(triple gen_bigint gen_bigint gen_bigint)
+      (fun (a, c, d) ->
+         B.equal (B.mul a (B.add c d)) (B.add (B.mul a c) (B.mul a d)));
+    qtest "sub inverse" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) -> B.equal (B.add (B.sub a c) c) a);
+    qtest "neg involutive" ~print:B.to_string gen_bigint (fun a -> B.equal (B.neg (B.neg a)) a);
+    qtest "divmod identity" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, d) ->
+         QCheck2.assume (not (B.is_zero d));
+         let q, r = B.divmod a d in
+         B.equal a (B.add (B.mul q d) r)
+         && B.compare (B.abs r) (B.abs d) < 0
+         && (B.is_zero r || B.sign r = B.sign a));
+    qtest "ediv_rem identity" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, d) ->
+         QCheck2.assume (not (B.is_zero d));
+         let q, r = B.ediv_rem a d in
+         B.equal a (B.add (B.mul q d) r)
+         && B.sign r >= 0
+         && B.compare r (B.abs d) < 0);
+    qtest "string roundtrip" ~print:B.to_string gen_bigint
+      (fun a -> B.equal a (B.of_string (B.to_string a)));
+    qtest "gcd divides" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) ->
+         QCheck2.assume (not (B.is_zero a) || not (B.is_zero c));
+         let g = B.gcd a c in
+         B.is_zero (B.rem a g) && B.is_zero (B.rem c g));
+    qtest "gcd linearity" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) ->
+         QCheck2.assume (not (B.is_zero c));
+         B.equal (B.gcd a c) (B.gcd c (B.rem a c)));
+    qtest "compare antisym" ~print:pr2 QCheck2.Gen.(pair gen_bigint gen_bigint)
+      (fun (a, c) -> B.compare a c = -B.compare c a);
+    qtest "shift mul agree" ~print:(fun (a, k) -> Printf.sprintf "(%s, %d)" (B.to_string a) k)
+      QCheck2.Gen.(pair gen_bigint (int_range 0 80))
+      (fun (a, k) -> B.equal (B.shift_left a k) (B.mul a (B.pow B.two k)));
+    qtest "int agreement"
+      ~print:(fun (x, y) -> Printf.sprintf "(%d, %d)" x y)
+      QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+      (fun (x, y) ->
+         B.equal (B.add (B.of_int x) (B.of_int y)) (B.of_int (x + y))
+         && B.equal (B.mul (B.of_int x) (B.of_int y)) (B.of_int (x * y))
+         && (y = 0
+             || (B.equal (B.div (B.of_int x) (B.of_int y)) (B.of_int (x / y))
+                 && B.equal (B.rem (B.of_int x) (B.of_int y)) (B.of_int (x mod y)))));
+  ]
+
+let () =
+  Alcotest.run "bigint"
+    [ ( "unit",
+        [ Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "of_int extremes" `Quick test_of_int_extremes;
+          Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+          Alcotest.test_case "add/sub" `Quick test_add_sub;
+          Alcotest.test_case "mul" `Quick test_mul;
+          Alcotest.test_case "divmod" `Quick test_divmod;
+          Alcotest.test_case "divmod multi-limb" `Quick test_divmod_multi_limb;
+          Alcotest.test_case "gcd/lcm" `Quick test_gcd_lcm;
+          Alcotest.test_case "pow" `Quick test_pow;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,145 @@
+(* Tests for Ctmc: embedded/uniformised reductions, transient analysis,
+   time-bounded reachability against closed forms, simulation. *)
+
+(* 0 --λ--> 1 (absorbing): P(reach 1 by t) = 1 - e^{-λt}. *)
+let two_state lambda =
+  Ctmc.make ~n:2 ~init:0 ~rates:[ (0, 1, lambda) ]
+    ~labels:[ ("done", [ 1 ]) ]
+    ()
+
+(* 0 --a--> 1 --b--> 2 (absorbing), plus 1 --c--> 0. *)
+let three_state ~a ~b ~c =
+  Ctmc.make ~n:3 ~init:0
+    ~rates:[ (0, 1, a); (1, 2, b); (1, 0, c) ]
+    ~labels:[ ("end", [ 2 ]) ]
+    ()
+
+let test_construction () =
+  let t = two_state 2.0 in
+  Alcotest.(check int) "n" 2 (Ctmc.num_states t);
+  Alcotest.(check (float 1e-12)) "exit rate" 2.0 (Ctmc.exit_rate t 0);
+  Alcotest.(check (float 1e-12)) "rate" 2.0 (Ctmc.rate t 0 1);
+  Alcotest.(check (float 1e-12)) "absent rate" 0.0 (Ctmc.rate t 1 0);
+  Alcotest.(check bool) "absorbing" true (Ctmc.is_absorbing t 1);
+  Alcotest.(check bool) "not absorbing" false (Ctmc.is_absorbing t 0);
+  Alcotest.(check (list int)) "labels" [ 1 ] (Ctmc.states_with_label t "done");
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "self rate" (fun () ->
+      Ctmc.make ~n:1 ~init:0 ~rates:[ (0, 0, 1.0) ] ());
+  expect_invalid "zero rate" (fun () ->
+      Ctmc.make ~n:2 ~init:0 ~rates:[ (0, 1, 0.0) ] ());
+  expect_invalid "duplicate" (fun () ->
+      Ctmc.make ~n:2 ~init:0 ~rates:[ (0, 1, 1.0); (0, 1, 2.0) ] ())
+
+let test_embedded () =
+  let t = three_state ~a:1.0 ~b:3.0 ~c:1.0 in
+  let d = Ctmc.embedded t in
+  Alcotest.(check (float 1e-12)) "jump prob 1->2" 0.75 (Dtmc.prob d 1 2);
+  Alcotest.(check (float 1e-12)) "jump prob 1->0" 0.25 (Dtmc.prob d 1 0);
+  Alcotest.(check (float 1e-12)) "deterministic jump" 1.0 (Dtmc.prob d 0 1);
+  Alcotest.(check bool) "absorbing self-loop" true (Dtmc.is_absorbing d 2);
+  (* eventual reachability of the CTMC = reachability of the jump chain *)
+  Alcotest.(check (float 1e-9)) "embedded reachability" 1.0
+    (Check_dtmc.path_probability d (Eventually (Prop "end")))
+
+let test_uniformized () =
+  let t = three_state ~a:1.0 ~b:3.0 ~c:1.0 in
+  let q, d = Ctmc.uniformized t in
+  Alcotest.(check bool) "q >= max exit" true (q >= 4.0);
+  (* uniformised rows are stochastic by construction (Dtmc.make validates) *)
+  Alcotest.(check (float 1e-12)) "move prob" (1.0 /. q) (Dtmc.prob d 0 1);
+  Alcotest.(check (float 1e-12)) "self prob" (1.0 -. (1.0 /. q)) (Dtmc.prob d 0 0);
+  (match Ctmc.uniformized ~rate:2.0 t with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "rate below max exit rejected");
+  let q2, _ = Ctmc.uniformized ~rate:10.0 t in
+  Alcotest.(check (float 1e-12)) "explicit rate" 10.0 q2
+
+let test_exponential_closed_form () =
+  let lambda = 2.0 in
+  let t = two_state lambda in
+  List.iter
+    (fun time ->
+       let expected = 1.0 -. exp (-.lambda *. time) in
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "1 - e^-λt at t=%g" time)
+         expected
+         (Ctmc.time_bounded_reachability t ~target:[ 1 ] ~time))
+    [ 0.0; 0.1; 0.5; 1.0; 3.0 ];
+  (* init in target *)
+  Alcotest.(check (float 0.0)) "trivial" 1.0
+    (Ctmc.time_bounded_reachability t ~target:[ 0 ] ~time:0.5)
+
+let test_transient_distribution () =
+  let lambda = 1.5 in
+  let t = two_state lambda in
+  let dist = Ctmc.transient_distribution t ~time:0.7 in
+  Alcotest.(check (float 1e-9)) "mass sums to 1" 1.0
+    (Array.fold_left ( +. ) 0.0 dist);
+  Alcotest.(check (float 1e-9)) "state 0" (exp (-.lambda *. 0.7)) dist.(0);
+  Alcotest.(check (float 1e-9)) "state 1" (1.0 -. exp (-.lambda *. 0.7)) dist.(1);
+  (* time 0: all mass at the initial state *)
+  let dist0 = Ctmc.transient_distribution t ~time:0.0 in
+  Alcotest.(check (float 1e-12)) "t=0" 1.0 dist0.(0);
+  (* long-run: everything absorbed *)
+  let dinf = Ctmc.transient_distribution t ~time:50.0 in
+  Alcotest.(check (float 1e-6)) "t=inf" 1.0 dinf.(1)
+
+let test_simulation_agrees () =
+  let lambda = 2.0 in
+  let t = two_state lambda in
+  let rng = Prng.create 7 in
+  let horizon = 0.6 in
+  let n = 20_000 in
+  let hits = ref 0 in
+  let mean_sojourn = ref 0.0 in
+  for _ = 1 to n do
+    let path = Ctmc.simulate rng t ~max_time:horizon in
+    (match path with
+     | (0, s) :: _ -> mean_sojourn := !mean_sojourn +. Float.min s horizon
+     | _ -> Alcotest.fail "path must start at 0");
+    if List.exists (fun (s, _) -> s = 1) path then incr hits
+  done;
+  let expected = 1.0 -. exp (-.lambda *. horizon) in
+  Alcotest.(check (float 0.02)) "empirical reach prob" expected
+    (float_of_int !hits /. float_of_int n);
+  (* E[min(Exp(λ), horizon)] = (1 - e^{-λh})/λ *)
+  Alcotest.(check (float 0.02)) "mean truncated sojourn"
+    ((1.0 -. exp (-.lambda *. horizon)) /. lambda)
+    (!mean_sojourn /. float_of_int n)
+
+(* property: uniformisation-based reachability is monotone in time and
+   bracketed by 0 and the embedded chain's eventual reachability *)
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"time-bounded reachability is monotone" ~count:40
+         ~print:(fun (a, b, c) -> Printf.sprintf "a=%g b=%g c=%g" a b c)
+         QCheck2.Gen.(
+           triple (float_range 0.2 3.0) (float_range 0.2 3.0) (float_range 0.2 3.0))
+         (fun (a, b, c) ->
+            let t = three_state ~a ~b ~c in
+            let p at = Ctmc.time_bounded_reachability t ~target:[ 2 ] ~time:at in
+            let p1 = p 0.5 and p2 = p 1.0 and p3 = p 2.0 in
+            0.0 <= p1 && p1 <= p2 +. 1e-9 && p2 <= p3 +. 1e-9 && p3 <= 1.0));
+  ]
+
+let () =
+  Alcotest.run "ctmc"
+    [ ( "structure",
+        [ Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "embedded chain" `Quick test_embedded;
+          Alcotest.test_case "uniformisation" `Quick test_uniformized;
+        ] );
+      ( "analysis",
+        [ Alcotest.test_case "exponential closed form" `Quick
+            test_exponential_closed_form;
+          Alcotest.test_case "transient distribution" `Quick
+            test_transient_distribution;
+          Alcotest.test_case "simulation agrees" `Quick test_simulation_agrees;
+        ] );
+      ("properties", props);
+    ]

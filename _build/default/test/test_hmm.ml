@@ -1,0 +1,203 @@
+(* Tests for Hmm and Baum_welch, including the constrained E-step (§VII). *)
+
+(* Two hidden states, two symbols; state 0 mostly emits 0, state 1 mostly
+   emits 1. *)
+let toy () =
+  Hmm.make
+    ~initial:[| 0.6; 0.4 |]
+    ~transition:[| [| 0.7; 0.3 |]; [| 0.4; 0.6 |] |]
+    ~emission:[| [| 0.9; 0.1 |]; [| 0.2; 0.8 |] |]
+    ()
+
+(* Reference P(obs): unscaled forward recursion (exact for short
+   sequences). *)
+let brute_likelihood h obs =
+  let k = Hmm.num_states h in
+  match obs with
+  | [] -> 1.0
+  | o0 :: rest ->
+    let cur =
+      ref (List.init k (fun s -> Hmm.initial h s *. Hmm.emission h s o0))
+    in
+    List.iter
+      (fun o ->
+         let prev = !cur in
+         cur :=
+           List.init k (fun s ->
+               let reach =
+                 List.fold_left
+                   (fun sum (s', p') -> sum +. (p' *. Hmm.transition h s' s))
+                   0.0
+                   (List.mapi (fun i p -> (i, p)) prev)
+               in
+               reach *. Hmm.emission h s o))
+      rest;
+    List.fold_left ( +. ) 0.0 !cur
+
+let test_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect_invalid "bad initial sum" (fun () ->
+      Hmm.make ~initial:[| 0.5; 0.2 |]
+        ~transition:[| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]
+        ~emission:[| [| 1.0 |]; [| 1.0 |] |] ());
+  expect_invalid "negative prob" (fun () ->
+      Hmm.make ~initial:[| 1.5; -0.5 |]
+        ~transition:[| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |]
+        ~emission:[| [| 1.0 |]; [| 1.0 |] |] ());
+  expect_invalid "ragged transition" (fun () ->
+      Hmm.make ~initial:[| 1.0 |] ~transition:[| [| 0.5; 0.5 |] |]
+        ~emission:[| [| 1.0 |] |] ());
+  let h = toy () in
+  Alcotest.(check int) "k" 2 (Hmm.num_states h);
+  Alcotest.(check int) "m" 2 (Hmm.num_symbols h);
+  Alcotest.(check (float 1e-12)) "access" 0.7 (Hmm.transition h 0 0)
+
+let test_likelihood_brute_force () =
+  let h = toy () in
+  List.iter
+    (fun obs ->
+       let exact = log (brute_likelihood h obs) in
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "loglik %s"
+            (String.concat "" (List.map string_of_int obs)))
+         exact (Hmm.log_likelihood h obs))
+    [ [ 0 ]; [ 1 ]; [ 0; 1 ]; [ 0; 0; 1; 1 ]; [ 1; 0; 1; 0; 0 ] ];
+  Alcotest.check_raises "empty" (Invalid_argument "Hmm: empty observation sequence")
+    (fun () -> ignore (Hmm.log_likelihood h []));
+  Alcotest.check_raises "bad symbol"
+    (Invalid_argument "Hmm: observation symbol 7 out of range") (fun () ->
+        ignore (Hmm.log_likelihood h [ 7 ]))
+
+let test_forward_backward () =
+  let h = toy () in
+  let gammas, ll = Hmm.forward_backward h [ 0; 1; 1 ] in
+  Alcotest.(check (float 1e-9)) "consistent loglik" (Hmm.log_likelihood h [ 0; 1; 1 ]) ll;
+  Array.iter
+    (fun row ->
+       Alcotest.(check (float 1e-9)) "gamma row sums to 1" 1.0
+         (Array.fold_left ( +. ) 0.0 row))
+    gammas;
+  (* observing 0 makes hidden state 0 more likely at that position *)
+  Alcotest.(check bool) "posterior leans correctly" true
+    (gammas.(0).(0) > 0.5 && gammas.(1).(1) > 0.5)
+
+let test_viterbi () =
+  let h = toy () in
+  let path = Hmm.viterbi h [ 0; 0; 1; 1 ] in
+  Alcotest.(check (list int)) "viterbi" [ 0; 0; 1; 1 ] path;
+  let path = Hmm.viterbi h [ 0 ] in
+  Alcotest.(check (list int)) "single" [ 0 ] path
+
+let test_simulate_statistics () =
+  let h = toy () in
+  let rng = Prng.create 9 in
+  let count0 = ref 0 and total = ref 0 in
+  for _ = 1 to 2000 do
+    let hidden, obs = Hmm.simulate rng h ~len:10 in
+    Alcotest.(check int) "lengths" (List.length hidden) (List.length obs);
+    List.iter2
+      (fun s o ->
+         incr total;
+         if s = 0 && o = 0 then incr count0)
+      hidden obs
+  done;
+  (* stationary-ish sanity: state-0/symbol-0 pairs are common *)
+  Alcotest.(check bool) "emission statistics plausible" true
+    (float_of_int !count0 /. float_of_int !total > 0.3)
+
+let test_baum_welch_improves () =
+  let truth = toy () in
+  let rng = Prng.create 21 in
+  let seqs = List.init 40 (fun _ -> snd (Hmm.simulate rng truth ~len:30)) in
+  (* a deliberately wrong starting point *)
+  let start =
+    Hmm.make
+      ~initial:[| 0.5; 0.5 |]
+      ~transition:[| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |]
+      ~emission:[| [| 0.6; 0.4 |]; [| 0.4; 0.6 |] |]
+      ()
+  in
+  let learned, progress = Baum_welch.learn ~iterations:50 start seqs in
+  (* monotone log-likelihood *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-9 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "loglik monotone" true (monotone progress.Baum_welch.log_likelihoods);
+  Alcotest.(check bool) "iterated" true (progress.Baum_welch.iterations > 1);
+  let ll_start =
+    List.fold_left (fun acc s -> acc +. Hmm.log_likelihood start s) 0.0 seqs
+  in
+  let ll_end =
+    List.fold_left (fun acc s -> acc +. Hmm.log_likelihood learned s) 0.0 seqs
+  in
+  Alcotest.(check bool) "improved" true (ll_end > ll_start +. 1.0);
+  (* learned emissions separate the symbols like the truth does (up to
+     state relabelling) *)
+  let e00 = Hmm.emission learned 0 0 and e10 = Hmm.emission learned 1 0 in
+  Alcotest.(check bool) "emissions separated" true (Float.abs (e00 -. e10) > 0.3)
+
+let test_constrained_estep () =
+  let h = toy () in
+  (* conditioning on never visiting hidden state 1 zeroes its posterior *)
+  let gammas, ll = Hmm.posterior_masked h ~forbidden:(fun s -> s = 1) [ 0; 0; 1 ] in
+  Array.iter
+    (fun row -> Alcotest.(check (float 1e-12)) "state 1 masked" 0.0 row.(1))
+    gammas;
+  (* constrained event is less likely than the unconstrained one *)
+  Alcotest.(check bool) "volume shrinks" true (ll < Hmm.log_likelihood h [ 0; 0; 1 ]);
+  (* the constrained likelihood equals P(obs, path avoids state 1):
+     brute force over allowed paths (only all-zeros path remains) *)
+  let expected =
+    0.6 *. 0.9 *. 0.7 *. 0.9 *. 0.7 *. 0.1
+  in
+  Alcotest.(check (float 1e-9)) "exact masked likelihood" (log expected) ll;
+  (* no allowed explanation -> error (state 0 forbidden, but observing
+     requires some state; forbid both) *)
+  match Hmm.posterior_masked h ~forbidden:(fun _ -> true) [ 0 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_constrained_em () =
+  let truth = toy () in
+  let rng = Prng.create 33 in
+  let seqs = List.init 30 (fun _ -> snd (Hmm.simulate rng truth ~len:20)) in
+  let start =
+    Hmm.make
+      ~initial:[| 0.5; 0.5 |]
+      ~transition:[| [| 0.5; 0.5 |]; [| 0.5; 0.5 |] |]
+      ~emission:[| [| 0.7; 0.3 |]; [| 0.3; 0.7 |] |]
+      ()
+  in
+  let constrained, _ =
+    Baum_welch.learn_constrained ~iterations:30 ~forbidden:(fun s -> s = 1)
+      start seqs
+  in
+  (* the re-estimated model starves the forbidden state *)
+  Alcotest.(check bool) "pi(1) ~ 0" true (Hmm.initial constrained 1 < 1e-3);
+  Alcotest.(check bool) "A(0,1) ~ 0" true (Hmm.transition constrained 0 1 < 1e-3);
+  (* and its Viterbi explanations avoid it *)
+  let path = Hmm.viterbi constrained (snd (Hmm.simulate rng truth ~len:15)) in
+  Alcotest.(check bool) "viterbi avoids forbidden" true
+    (List.for_all (fun s -> s = 0) path)
+
+let () =
+  Alcotest.run "hmm"
+    [ ( "model",
+        [ Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "likelihood vs brute force" `Quick
+            test_likelihood_brute_force;
+          Alcotest.test_case "forward-backward" `Quick test_forward_backward;
+          Alcotest.test_case "viterbi" `Quick test_viterbi;
+          Alcotest.test_case "simulate" `Quick test_simulate_statistics;
+        ] );
+      ( "em",
+        [ Alcotest.test_case "baum-welch improves" `Quick test_baum_welch_improves;
+          Alcotest.test_case "constrained E-step" `Quick test_constrained_estep;
+          Alcotest.test_case "constrained EM" `Quick test_constrained_em;
+        ] );
+    ]

@@ -1,0 +1,239 @@
+(* Tests for Dtmc_io and Spec_io. *)
+
+let sample =
+  "# a comment\n\
+   dtmc\n\
+   states 3\n\
+   init 0\n\
+   0 -> 1 : 0.3\n\
+   0 -> 2 : 0.7   # trailing comment\n\
+   1 -> 1 : 1.0\n\
+   2 -> 2 : 1.0\n\
+   label goal = 1\n\
+   label ends = 1 2\n\
+   reward 0 = 1.5\n"
+
+let test_parse () =
+  let d = Dtmc_io.parse sample in
+  Alcotest.(check int) "states" 3 (Dtmc.num_states d);
+  Alcotest.(check int) "init" 0 (Dtmc.init_state d);
+  Alcotest.(check (float 1e-12)) "prob" 0.3 (Dtmc.prob d 0 1);
+  Alcotest.(check bool) "label" true (Dtmc.has_label d 1 "goal");
+  Alcotest.(check (list int)) "multi-state label" [ 1; 2 ]
+    (Dtmc.states_with_label d "ends");
+  Alcotest.(check (float 1e-12)) "reward" 1.5 (Dtmc.reward d 0);
+  Alcotest.(check (float 1e-12)) "default reward" 0.0 (Dtmc.reward d 1)
+
+let test_parse_errors () =
+  let fails msg text =
+    match Dtmc_io.parse text with
+    | exception Dtmc_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  in
+  fails "missing states" "dtmc\ninit 0\n0 -> 0 : 1.0\n";
+  fails "missing init" "dtmc\nstates 1\n0 -> 0 : 1.0\n";
+  fails "bad transition" "states 1\ninit 0\n0 => 0 : 1.0\n";
+  fails "bad number" "states 1\ninit 0\n0 -> 0 : abc\n";
+  fails "bad directive" "states 1\ninit 0\nfrobnicate\n0 -> 0 : 1.0\n";
+  fails "row sum" "states 2\ninit 0\n0 -> 1 : 0.5\n1 -> 1 : 1.0\n";
+  fails "reward out of range" "states 1\ninit 0\n0 -> 0 : 1.0\nreward 7 = 1\n"
+
+let test_roundtrip () =
+  let d = Dtmc_io.parse sample in
+  let d2 = Dtmc_io.parse (Dtmc_io.to_string d) in
+  Alcotest.(check int) "states" (Dtmc.num_states d) (Dtmc.num_states d2);
+  for s = 0 to 2 do
+    for t = 0 to 2 do
+      Alcotest.(check (float 1e-15))
+        (Printf.sprintf "prob %d->%d" s t)
+        (Dtmc.prob d s t) (Dtmc.prob d2 s t)
+    done;
+    Alcotest.(check (float 1e-15)) "reward" (Dtmc.reward d s) (Dtmc.reward d2 s)
+  done;
+  Alcotest.(check (list string)) "labels" (Dtmc.labels d) (Dtmc.labels d2)
+
+let test_of_file () =
+  let path = Filename.temp_file "tml_test" ".dtmc" in
+  let oc = open_out path in
+  output_string oc sample;
+  close_out oc;
+  let d = Dtmc_io.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "states" 3 (Dtmc.num_states d)
+
+(* ---------------- Spec_io ---------------- *)
+
+let test_parse_variable () =
+  let name, lo, hi = Spec_io.parse_variable "v:0:0.5" in
+  Alcotest.(check string) "name" "v" name;
+  Alcotest.(check (float 0.0)) "lo" 0.0 lo;
+  Alcotest.(check (float 0.0)) "hi" 0.5 hi;
+  let _, lo, _ = Spec_io.parse_variable "w:-0.1:0.1" in
+  Alcotest.(check (float 0.0)) "negative lo" (-0.1) lo;
+  List.iter
+    (fun s ->
+       match Spec_io.parse_variable s with
+       | exception Spec_io.Parse_error _ -> ()
+       | _ -> Alcotest.failf "%S should not parse" s)
+    [ "v"; "v:0"; "v:a:b"; ":0:1" ]
+
+let rf_equal msg expected actual =
+  if not (Ratfun.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (Ratfun.to_string expected)
+      (Ratfun.to_string actual)
+
+let test_parse_delta () =
+  let v = Ratfun.var "v" and w = Ratfun.var "w" in
+  let s, d, f = Spec_io.parse_delta "0,1,+v" in
+  Alcotest.(check int) "src" 0 s;
+  Alcotest.(check int) "dst" 1 d;
+  rf_equal "+v" v f;
+  let _, _, f = Spec_io.parse_delta "0,2,-v" in
+  rf_equal "-v" (Ratfun.neg v) f;
+  let _, _, f = Spec_io.parse_delta "3,4,0.5*v" in
+  rf_equal "0.5v" (Ratfun.mul (Ratfun.const (Ratio.of_ints 1 2)) v) f;
+  let _, _, f = Spec_io.parse_delta "1,1,-v-0.5*w" in
+  rf_equal "-v-0.5w"
+    (Ratfun.sub (Ratfun.neg v) (Ratfun.mul (Ratfun.const (Ratio.of_ints 1 2)) w))
+    f;
+  let _, _, f = Spec_io.parse_delta "1,1, v + w " in
+  rf_equal "v+w with spaces" (Ratfun.add v w) f;
+  List.iter
+    (fun s ->
+       match Spec_io.parse_delta s with
+       | exception Spec_io.Parse_error _ -> ()
+       | _ -> Alcotest.failf "%S should not parse" s)
+    [ "0,1"; "a,1,v"; "0,1,"; "0,1,v+"; "0,1,2*"; "0,1,*v" ]
+
+(* ---------------- Mdp_io ---------------- *)
+
+let mdp_sample =
+  "mdp\n\
+   states 3\n\
+   init 0\n\
+   0 go -> 1 : 0.8\n\
+   0 go -> 2 : 0.2\n\
+   0 wait -> 0 : 1.0\n\
+   1 stay -> 1 : 1.0\n\
+   2 stay -> 2 : 1.0\n\
+   label goal = 1\n\
+   reward 1 = 5.0\n\
+   action-reward 0 go = -1.0\n\
+   feature 0 = 1.0 0.5\n\
+   feature 1 = 0.0 1.0\n\
+   feature 2 = 0.0 0.0\n"
+
+let test_mdp_parse () =
+  let m = Mdp_io.parse mdp_sample in
+  Alcotest.(check int) "states" 3 (Mdp.num_states m);
+  Alcotest.(check (list string)) "actions" [ "go"; "wait" ] (Mdp.action_names m 0);
+  (match Mdp.find_action m 0 "go" with
+   | Some a ->
+     Alcotest.(check (float 1e-12)) "accumulated dist" 0.8 (List.assoc 1 a.Mdp.dist);
+     Alcotest.(check (float 1e-12)) "action reward" (-1.0) a.Mdp.reward
+   | None -> Alcotest.fail "action lost");
+  Alcotest.(check (float 1e-12)) "state reward" 5.0 (Mdp.state_reward m 1);
+  Alcotest.(check int) "feature dim" 2 (Mdp.feature_dim m);
+  Alcotest.(check (array (float 0.0))) "features" [| 1.0; 0.5 |] (Mdp.features_of m 0)
+
+let test_mdp_errors () =
+  let fails msg text =
+    match Mdp_io.parse text with
+    | exception Mdp_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  in
+  fails "missing states" "mdp\ninit 0\n0 a -> 0 : 1.0\n";
+  fails "bad transition" "states 1\ninit 0\n0 a => 0 : 1.0\n";
+  fails "duplicate target" "states 1\ninit 0\n0 a -> 0 : 0.5\n0 a -> 0 : 0.5\n";
+  fails "dist sum" "states 2\ninit 0\n0 a -> 1 : 0.5\n1 b -> 1 : 1.0\n";
+  fails "ragged features"
+    "states 1\ninit 0\n0 a -> 0 : 1.0\nfeature 0 = 1 2\nfeature 0 = 1\n";
+  fails "missing features for a state"
+    "states 2\ninit 0\n0 a -> 0 : 1.0\n1 a -> 1 : 1.0\nfeature 0 = 1 2\n"
+
+let test_mdp_roundtrip () =
+  let m = Mdp_io.parse mdp_sample in
+  let m2 = Mdp_io.parse (Mdp_io.to_string m) in
+  Alcotest.(check int) "states" (Mdp.num_states m) (Mdp.num_states m2);
+  Alcotest.(check (list string)) "actions" (Mdp.action_names m 0) (Mdp.action_names m2 0);
+  (match (Mdp.find_action m 0 "go", Mdp.find_action m2 0 "go") with
+   | Some a, Some b ->
+     Alcotest.(check (float 1e-15)) "dist" (List.assoc 1 a.Mdp.dist)
+       (List.assoc 1 b.Mdp.dist);
+     Alcotest.(check (float 1e-15)) "reward" a.Mdp.reward b.Mdp.reward
+   | _ -> Alcotest.fail "action lost");
+  Alcotest.(check (array (float 0.0))) "features" (Mdp.features_of m 0)
+    (Mdp.features_of m2 0);
+  (* the paper's car MDP survives a roundtrip *)
+  let car = Car.mdp () in
+  let car2 = Mdp_io.parse (Mdp_io.to_string car) in
+  Alcotest.(check int) "car states" 11 (Mdp.num_states car2);
+  Alcotest.(check (list int)) "car labels" [ 2; 10 ]
+    (Mdp.states_with_label car2 "unsafe")
+
+(* ---------------- Trace_io ---------------- *)
+
+let traces_sample =
+  "# dataset\n\
+   0 1 2\n\
+   group clean\n\
+   0,go 1,stop 2\n\
+   0 2\n\
+   group field\n\
+   0 2\n"
+
+let test_traces_parse () =
+  let groups = Trace_io.parse traces_sample in
+  Alcotest.(check (list string)) "group order" [ ""; "clean"; "field" ]
+    (List.map fst groups);
+  let clean = List.assoc "clean" groups in
+  Alcotest.(check int) "clean size" 2 (List.length clean);
+  (match clean with
+   | tr :: _ ->
+     Alcotest.(check (list int)) "states" [ 0; 1; 2 ] (Trace.states tr);
+     Alcotest.(check (option string)) "action" (Some "go") (Trace.nth_action tr 0)
+   | [] -> Alcotest.fail "empty group");
+  let fails msg text =
+    match Trace_io.parse text with
+    | exception Trace_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  in
+  fails "final action" "0,go 1,stop\n";
+  fails "bad token" "0 x 2\n";
+  fails "group arity" "group a b\n"
+
+let test_traces_roundtrip () =
+  let groups = Trace_io.parse traces_sample in
+  let groups2 = Trace_io.parse (Trace_io.to_string groups) in
+  Alcotest.(check int) "same group count" (List.length groups) (List.length groups2);
+  List.iter2
+    (fun (n1, t1) (n2, t2) ->
+       Alcotest.(check string) "name" n1 n2;
+       List.iter2
+         (fun a b ->
+            Alcotest.(check (list int)) "states" (Trace.states a) (Trace.states b))
+         t1 t2)
+    groups groups2
+
+let () =
+  Alcotest.run "io"
+    [ ( "dtmc_io",
+        [ Alcotest.test_case "parse" `Quick test_parse;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "of_file" `Quick test_of_file;
+        ] );
+      ( "spec_io",
+        [ Alcotest.test_case "variables" `Quick test_parse_variable;
+          Alcotest.test_case "deltas" `Quick test_parse_delta;
+        ] );
+      ( "mdp_io",
+        [ Alcotest.test_case "parse" `Quick test_mdp_parse;
+          Alcotest.test_case "errors" `Quick test_mdp_errors;
+          Alcotest.test_case "roundtrip" `Quick test_mdp_roundtrip;
+        ] );
+      ( "trace_io",
+        [ Alcotest.test_case "parse" `Quick test_traces_parse;
+          Alcotest.test_case "roundtrip" `Quick test_traces_roundtrip;
+        ] );
+    ]

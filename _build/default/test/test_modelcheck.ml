@@ -1,0 +1,311 @@
+(* Tests for Graph_analysis, Check_dtmc, Check_mdp. *)
+
+let parse = Pctl_parser.parse
+
+(* Branching chain: 0 -> goal(1) 0.3 | fail(2) 0.7, both absorbing. *)
+let branch () =
+  Dtmc.make ~n:3 ~init:0
+    ~transitions:[ (0, 1, 0.3); (0, 2, 0.7); (1, 1, 1.0); (2, 2, 1.0) ]
+    ~labels:[ ("goal", [ 1 ]); ("fail", [ 2 ]) ]
+    ()
+
+(* Biased random walk on 0..4: absorbing at 0 ("ruin") and 4 ("win"),
+   p(up) = 0.6. Known: Pr(win | start 2) = (1-(q/p)^2)/(1-(q/p)^4). *)
+let walk () =
+  let p = 0.6 and q = 0.4 in
+  Dtmc.make ~n:5 ~init:2
+    ~transitions:
+      [ (0, 0, 1.0); (4, 4, 1.0);
+        (1, 2, p); (1, 0, q);
+        (2, 3, p); (2, 1, q);
+        (3, 4, p); (3, 2, q);
+      ]
+    ~labels:[ ("win", [ 4 ]); ("ruin", [ 0 ]) ]
+    ~rewards:[| 0.0; 1.0; 1.0; 1.0; 0.0 |]
+    ()
+
+(* Geometric chain: 0 stays with 0.5, reaches goal 1 with 0.5. *)
+let geometric () =
+  Dtmc.make ~n:2 ~init:0
+    ~transitions:[ (0, 0, 0.5); (0, 1, 0.5); (1, 1, 1.0) ]
+    ~labels:[ ("goal", [ 1 ]) ]
+    ~rewards:[| 1.0; 0.0 |]
+    ()
+
+let test_graph_prob0_prob1 () =
+  let d = branch () in
+  let phi2 = [| false; true; false |] in
+  let phi1 = [| true; true; true |] in
+  let s0 = Graph_analysis.prob0 ~dtmc:d ~phi1 ~phi2 in
+  Alcotest.(check (array bool)) "prob0" [| false; false; true |] s0;
+  let s1 = Graph_analysis.prob1 ~dtmc:d ~phi1 ~phi2 in
+  Alcotest.(check (array bool)) "prob1" [| false; true; false |] s1;
+  let fwd = Graph_analysis.forward_reachable d in
+  Alcotest.(check (array bool)) "forward" [| true; true; true |] fwd
+
+let test_dtmc_until () =
+  let d = branch () in
+  Alcotest.(check (float 1e-9)) "F goal" 0.3
+    (Check_dtmc.path_probability d (Eventually (Prop "goal")));
+  Alcotest.(check (float 1e-9)) "F fail" 0.7
+    (Check_dtmc.path_probability d (Eventually (Prop "fail")));
+  Alcotest.(check bool) "P>=0.25" true (Check_dtmc.check d (parse "P>=0.25 [ F goal ]"));
+  Alcotest.(check bool) "P>=0.35" false (Check_dtmc.check d (parse "P>=0.35 [ F goal ]"));
+  Alcotest.(check bool) "P<=0.75 fail" true
+    (Check_dtmc.check d (parse "P<=0.75 [ F fail ]"))
+
+let test_dtmc_walk_analytic () =
+  let d = walk () in
+  let r = 0.4 /. 0.6 in
+  let expected = (1.0 -. (r ** 2.0)) /. (1.0 -. (r ** 4.0)) in
+  Alcotest.(check (float 1e-9)) "gambler's ruin" expected
+    (Check_dtmc.path_probability d (Eventually (Prop "win")));
+  (* per-state vector *)
+  let ps = Check_dtmc.path_probabilities d (Eventually (Prop "win")) in
+  Alcotest.(check (float 1e-9)) "state 0" 0.0 ps.(0);
+  Alcotest.(check (float 1e-9)) "state 4" 1.0 ps.(4);
+  let e1 = (1.0 -. r) /. (1.0 -. (r ** 4.0)) in
+  Alcotest.(check (float 1e-9)) "state 1" e1 ps.(1)
+
+let test_dtmc_next_bounded () =
+  let d = geometric () in
+  Alcotest.(check (float 1e-9)) "X goal" 0.5
+    (Check_dtmc.path_probability d (Next (Prop "goal")));
+  Alcotest.(check (float 1e-9)) "F<=3 goal" (1.0 -. (0.5 ** 3.0))
+    (Check_dtmc.path_probability d (Bounded_eventually (Prop "goal", 3)));
+  Alcotest.(check (float 1e-9)) "F<=0 goal" 0.0
+    (Check_dtmc.path_probability d (Bounded_eventually (Prop "goal", 0)));
+  Alcotest.(check (float 1e-9)) "bounded until"
+    (1.0 -. (0.5 ** 2.0))
+    (Check_dtmc.path_probability d (Bounded_until (True, Prop "goal", 2)))
+
+let test_dtmc_globally () =
+  let d = branch () in
+  (* G !fail: survive forever without failing = reach goal = 0.3 *)
+  Alcotest.(check (float 1e-9)) "G !fail" 0.3
+    (Check_dtmc.path_probability d (Globally (Not (Prop "fail"))));
+  Alcotest.(check (float 1e-9)) "G<=1 !fail" 0.3
+    (Check_dtmc.path_probability d (Bounded_globally (Not (Prop "fail"), 1)));
+  Alcotest.(check bool) "check G" true
+    (Check_dtmc.check d (parse "P>=0.25 [ G !fail ]"))
+
+let test_dtmc_reward () =
+  let d = geometric () in
+  (* expected visits to state 0 before absorbing = 2, reward 1 each *)
+  Alcotest.(check (float 1e-9)) "geometric reward" 2.0
+    (Check_dtmc.reachability_reward_from_init d (Prop "goal"));
+  Alcotest.(check bool) "R<=2" true (Check_dtmc.check d (parse "R<=2 [ F goal ]"));
+  Alcotest.(check bool) "R<2" false (Check_dtmc.check d (parse "R<2 [ F goal ]"));
+  (* unreachable target -> infinite expected reward *)
+  let d2 = branch () in
+  let r = Check_dtmc.reachability_reward d2 (Prop "goal") in
+  Alcotest.(check bool) "inf from fail" true (r.(2) = Float.infinity);
+  Alcotest.(check bool) "inf from init (prob < 1)" true (r.(0) = Float.infinity);
+  Alcotest.(check (float 1e-9)) "zero at target" 0.0 r.(1);
+  (* symmetric walk expected absorption time: from state 2 of 0..4 walk with
+     p=q=1/2 it is i*(N-i) = 4; build it here *)
+  let sym =
+    Dtmc.make ~n:5 ~init:2
+      ~transitions:
+        [ (0, 0, 1.0); (4, 4, 1.0);
+          (1, 2, 0.5); (1, 0, 0.5);
+          (2, 3, 0.5); (2, 1, 0.5);
+          (3, 4, 0.5); (3, 2, 0.5);
+        ]
+      ~labels:[ ("absorbed", [ 0; 4 ]) ]
+      ~rewards:[| 0.0; 1.0; 1.0; 1.0; 0.0 |]
+      ()
+  in
+  Alcotest.(check (float 1e-9)) "symmetric walk steps" 4.0
+    (Check_dtmc.reachability_reward_from_init sym (Prop "absorbed"))
+
+let test_dtmc_nested () =
+  let d = branch () in
+  (* States satisfying P>=1 [ G goal ]: only state 1. Probability of
+     eventually reaching such a state = 0.3. *)
+  let f = parse "P>=0.25 [ F (P>=1 [ G goal ]) ]" in
+  Alcotest.(check bool) "nested" true (Check_dtmc.check d f);
+  let v = Check_dtmc.check_verbose d f in
+  Alcotest.(check bool) "verbose holds" true v.Check_dtmc.holds;
+  (match v.Check_dtmc.value with
+   | Some p -> Alcotest.(check (float 1e-9)) "verbose value" 0.3 p
+   | None -> Alcotest.fail "expected value");
+  (* propositional verdict has no value *)
+  let v2 = Check_dtmc.check_verbose d (parse "true") in
+  Alcotest.(check bool) "no value" true (v2.Check_dtmc.value = None)
+
+(* ---------------- MDP ---------------- *)
+
+let mdp_choice () =
+  (* 0: "safe" -> 1 (bad) surely; "risky" -> 2 (good) 0.8 / 1 (bad) 0.2 *)
+  Mdp.make ~n:3 ~init:0
+    ~actions:
+      [ (0, "safe", [ (1, 1.0) ]);
+        (0, "risky", [ (2, 0.8); (1, 0.2) ]);
+        (1, "stay", [ (1, 1.0) ]);
+        (2, "stay", [ (2, 1.0) ]);
+      ]
+    ~labels:[ ("good", [ 2 ]); ("bad", [ 1 ]) ]
+    ()
+
+let test_mdp_prob () =
+  let m = mdp_choice () in
+  Alcotest.(check (float 1e-9)) "Pmax F good" 0.8
+    (Check_mdp.path_probability Check_mdp.Max m (Eventually (Prop "good")));
+  Alcotest.(check (float 1e-9)) "Pmin F good" 0.0
+    (Check_mdp.path_probability Check_mdp.Min m (Eventually (Prop "good")));
+  (* universal semantics *)
+  Alcotest.(check bool) "P>=0.5 fails (min=0)" false
+    (Check_mdp.check m (parse "P>=0.5 [ F good ]"));
+  Alcotest.(check bool) "P<=0.9 holds (max=0.8)" true
+    (Check_mdp.check m (parse "P<=0.9 [ F good ]"));
+  Alcotest.(check bool) "P<=0.5 fails (max=0.8)" false
+    (Check_mdp.check m (parse "P<=0.5 [ F good ]"));
+  Alcotest.(check (float 1e-9)) "Pmax X good" 0.8
+    (Check_mdp.path_probability Check_mdp.Max m (Next (Prop "good")));
+  Alcotest.(check (float 1e-9)) "Pmax F<=1 good" 0.8
+    (Check_mdp.path_probability Check_mdp.Max m (Bounded_eventually (Prop "good", 1)));
+  Alcotest.(check (float 1e-9)) "Pmin G !good" 0.2
+    (Check_mdp.path_probability Check_mdp.Min m (Globally (Not (Prop "good"))))
+
+let mdp_cost () =
+  (* Reach goal 2 from 0: "direct" costs 10, "detour" 0 -> 1 -> 2 costs 2+2. *)
+  Mdp.make ~n:3 ~init:0
+    ~actions:
+      [ (0, "direct", [ (2, 1.0) ]);
+        (0, "detour", [ (1, 1.0) ]);
+        (1, "go", [ (2, 1.0) ]);
+        (2, "stay", [ (2, 1.0) ]);
+      ]
+    ~action_rewards:[ ((0, "direct"), 10.0); ((0, "detour"), 2.0); ((1, "go"), 2.0) ]
+    ~labels:[ ("goal", [ 2 ]) ]
+    ()
+
+let test_mdp_reward () =
+  let m = mdp_cost () in
+  Alcotest.(check (float 1e-6)) "Rmin" 4.0
+    (Check_mdp.reachability_reward_from_init Check_mdp.Min m (Prop "goal"));
+  Alcotest.(check (float 1e-6)) "Rmax" 10.0
+    (Check_mdp.reachability_reward_from_init Check_mdp.Max m (Prop "goal"));
+  Alcotest.(check bool) "R<=10" true (Check_mdp.check m (parse "R<=10 [ F goal ]"));
+  Alcotest.(check bool) "R<=9" false (Check_mdp.check m (parse "R<=9 [ F goal ]"));
+  Alcotest.(check bool) "R>=4" true (Check_mdp.check m (parse "R>=4 [ F goal ]"));
+  Alcotest.(check bool) "R>=5" false (Check_mdp.check m (parse "R>=5 [ F goal ]"));
+  let pi = Check_mdp.optimal_reachability_policy Check_mdp.Min m (Prop "goal") in
+  Alcotest.(check string) "min policy takes detour" "detour" pi.(0);
+  let pi = Check_mdp.optimal_reachability_policy Check_mdp.Max m (Prop "goal") in
+  Alcotest.(check string) "max policy goes direct" "direct" pi.(0);
+  let v = Check_mdp.check_verbose m (parse "R<=10 [ F goal ]") in
+  (match v.Check_mdp.value with
+   | Some r -> Alcotest.(check (float 1e-6)) "verbose Rmax" 10.0 r
+   | None -> Alcotest.fail "expected value")
+
+let test_mdp_divergence () =
+  (* A state that can never reach the goal makes Rmax infinite. *)
+  let m =
+    Mdp.make ~n:3 ~init:0
+      ~actions:
+        [ (0, "to_trap", [ (1, 1.0) ]);
+          (0, "to_goal", [ (2, 1.0) ]);
+          (1, "stay", [ (1, 1.0) ]);
+          (2, "stay", [ (2, 1.0) ]);
+        ]
+      ~action_rewards:[ ((0, "to_goal"), 1.0); ((1, "stay"), 1.0) ]
+      ~labels:[ ("goal", [ 2 ]) ]
+      ()
+  in
+  let rmax = Check_mdp.reachability_reward_from_init ~max_iter:200_000 Check_mdp.Max m (Prop "goal") in
+  Alcotest.(check bool) "Rmax diverges" true (rmax = Float.infinity);
+  Alcotest.(check (float 1e-6)) "Rmin fine" 1.0
+    (Check_mdp.reachability_reward_from_init Check_mdp.Min m (Prop "goal"))
+
+(* ---------------- Agreement properties ---------------- *)
+
+let qtest name ?(count = 30) ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let gen_absorbing_dtmc =
+  (* Random chains over n states where state n-1 is an absorbing "goal" and
+     every state has some path forward; used to compare checker vs
+     simulation. *)
+  let open QCheck2.Gen in
+  let* n = int_range 3 7 in
+  let* seed = int_range 0 1_000_000 in
+  let rng = Prng.create seed in
+  let transitions = ref [ (n - 1, n - 1, 1.0) ] in
+  for s = 0 to n - 2 do
+    (* two successors: one random, one strictly greater (ensures progress) *)
+    let fwd = s + 1 + Prng.int rng (n - s - 1) in
+    let other = Prng.int rng n in
+    let p = 0.3 +. (0.4 *. Prng.float rng) in
+    if other = fwd then transitions := (s, fwd, 1.0) :: !transitions
+    else transitions := (s, fwd, p) :: (s, other, 1.0 -. p) :: !transitions
+  done;
+  return
+    (Dtmc.make ~n ~init:0 ~transitions:!transitions
+       ~labels:[ ("goal", [ n - 1 ]) ]
+       ())
+
+let props =
+  [ qtest "checker agrees with simulation"
+      ~print:(fun d -> Format.asprintf "%a" Dtmc.pp d)
+      gen_absorbing_dtmc
+      (fun d ->
+         let exact = Check_dtmc.path_probability d (Eventually (Prop "goal")) in
+         let rng = Prng.create 123 in
+         let n = 4000 in
+         let hits = ref 0 in
+         for _ = 1 to n do
+           let path = Dtmc.simulate rng d ~max_steps:500 () in
+           let final = List.nth path (List.length path - 1) in
+           if Dtmc.has_label d final "goal" then incr hits
+         done;
+         let freq = float_of_int !hits /. float_of_int n in
+         Float.abs (freq -. exact) < 0.05);
+    qtest "single-action MDP agrees with DTMC checker"
+      ~print:(fun d -> Format.asprintf "%a" Dtmc.pp d)
+      gen_absorbing_dtmc
+      (fun d ->
+         let n = Dtmc.num_states d in
+         let actions =
+           List.concat
+             (List.init n (fun s ->
+                  [ (s, "only", Dtmc.succ d s) ]))
+         in
+         let m =
+           Mdp.make ~n ~init:0 ~actions ~labels:[ ("goal", [ n - 1 ]) ] ()
+         in
+         let pd = Check_dtmc.path_probability d (Eventually (Prop "goal")) in
+         let pmin = Check_mdp.path_probability Check_mdp.Min m (Eventually (Prop "goal")) in
+         let pmax = Check_mdp.path_probability Check_mdp.Max m (Eventually (Prop "goal")) in
+         Float.abs (pd -. pmin) < 1e-6 && Float.abs (pd -. pmax) < 1e-6);
+    qtest "bounded until converges to unbounded"
+      ~print:(fun d -> Format.asprintf "%a" Dtmc.pp d)
+      gen_absorbing_dtmc
+      (fun d ->
+         let unbounded = Check_dtmc.path_probability d (Eventually (Prop "goal")) in
+         let bounded =
+           Check_dtmc.path_probability d (Bounded_eventually (Prop "goal", 2000))
+         in
+         Float.abs (unbounded -. bounded) < 1e-6);
+  ]
+
+let () =
+  Alcotest.run "modelcheck"
+    [ ( "graph",
+        [ Alcotest.test_case "prob0/prob1" `Quick test_graph_prob0_prob1 ] );
+      ( "dtmc",
+        [ Alcotest.test_case "until" `Quick test_dtmc_until;
+          Alcotest.test_case "gambler analytic" `Quick test_dtmc_walk_analytic;
+          Alcotest.test_case "next/bounded" `Quick test_dtmc_next_bounded;
+          Alcotest.test_case "globally" `Quick test_dtmc_globally;
+          Alcotest.test_case "rewards" `Quick test_dtmc_reward;
+          Alcotest.test_case "nested/verbose" `Quick test_dtmc_nested;
+        ] );
+      ( "mdp",
+        [ Alcotest.test_case "probabilities" `Quick test_mdp_prob;
+          Alcotest.test_case "rewards" `Quick test_mdp_reward;
+          Alcotest.test_case "divergence" `Quick test_mdp_divergence;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,168 @@
+(* Tests for Scalar, Nelder_mead, Gradient and Nlp. *)
+
+let test_golden_section () =
+  let x = Scalar.golden_section (fun x -> (x -. 2.0) ** 2.0) 0.0 5.0 in
+  Alcotest.(check (float 1e-6)) "quadratic min" 2.0 x;
+  let x = Scalar.golden_section (fun x -> -.sin x) 0.0 Float.pi in
+  Alcotest.(check (float 1e-6)) "sin max" (Float.pi /. 2.0) x;
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Scalar.golden_section: lo > hi")
+    (fun () -> ignore (Scalar.golden_section Fun.id 1.0 0.0))
+
+let test_bisect () =
+  let x = Scalar.bisect (fun x -> (x *. x) -. 2.0) 0.0 2.0 in
+  Alcotest.(check (float 1e-9)) "sqrt 2" (sqrt 2.0) x;
+  let x = Scalar.bisect cos 0.0 3.0 in
+  Alcotest.(check (float 1e-9)) "cos root" (Float.pi /. 2.0) x;
+  Alcotest.check_raises "same sign"
+    (Invalid_argument "Scalar.bisect: f(lo) and f(hi) have the same sign")
+    (fun () -> ignore (Scalar.bisect (fun _ -> 1.0) 0.0 1.0))
+
+let test_minimize_scan () =
+  (* multimodal: global min of cos at pi within [0, 2pi] *)
+  let x = Scalar.minimize_scan cos 0.0 (2.0 *. Float.pi) in
+  Alcotest.(check (float 1e-4)) "cos global min" Float.pi x
+
+let test_nelder_mead_quadratic () =
+  let f x = ((x.(0) -. 1.0) ** 2.0) +. ((x.(1) +. 2.0) ** 2.0) in
+  let r = Nelder_mead.minimize f [| 0.0; 0.0 |] in
+  Alcotest.(check bool) "converged" true r.Nelder_mead.converged;
+  Alcotest.(check (float 1e-4)) "x0" 1.0 r.Nelder_mead.x.(0);
+  Alcotest.(check (float 1e-4)) "x1" (-2.0) r.Nelder_mead.x.(1);
+  Alcotest.(check (float 1e-8)) "f" 0.0 r.Nelder_mead.f
+
+let test_nelder_mead_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) and b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let r = Nelder_mead.minimize ~max_iter:20000 f [| -1.2; 1.0 |] in
+  Alcotest.(check (float 1e-3)) "rosenbrock x" 1.0 r.Nelder_mead.x.(0);
+  Alcotest.(check (float 1e-3)) "rosenbrock y" 1.0 r.Nelder_mead.x.(1)
+
+let test_gradient () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. (2.0 *. ((x.(1) -. 1.0) ** 2.0)) in
+  let g = Gradient.numeric_gradient f [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-4)) "dg0" (-6.0) g.(0);
+  Alcotest.(check (float 1e-4)) "dg1" (-4.0) g.(1);
+  let r = Gradient.minimize f [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-4)) "min x0" 3.0 r.Gradient.x.(0);
+  Alcotest.(check (float 1e-4)) "min x1" 1.0 r.Gradient.x.(1);
+  (* box-constrained: optimum clipped to boundary *)
+  let r =
+    Gradient.minimize ~lower:[| -1.0; -1.0 |] ~upper:[| 2.0; 2.0 |] f
+      [| 0.0; 0.0 |]
+  in
+  Alcotest.(check (float 1e-6)) "clipped" 2.0 r.Gradient.x.(0);
+  let r = Gradient.maximize (fun x -> -.f x) [| 0.0; 0.0 |] in
+  Alcotest.(check (float 1e-6)) "maximize" 0.0 r.Gradient.f
+
+let circle_problem () =
+  (* min x² + y² s.t. x + y >= 1, i.e. 1 - x - y <= 0.
+     Optimum: x = y = 1/2, objective 1/2. *)
+  Nlp.problem ~dim:2
+    ~objective:(fun x -> (x.(0) *. x.(0)) +. (x.(1) *. x.(1)))
+    ~inequalities:[ ("sum_ge_1", fun x -> 1.0 -. x.(0) -. x.(1)) ]
+    ~lower:[| -5.0; -5.0 |] ~upper:[| 5.0; 5.0 |] ()
+
+let test_nlp_feasible_penalty () =
+  match Nlp.solve ~method_:Nlp.Penalty (circle_problem ()) with
+  | Nlp.Feasible s ->
+    Alcotest.(check (float 2e-3)) "x" 0.5 s.Nlp.x.(0);
+    Alcotest.(check (float 2e-3)) "y" 0.5 s.Nlp.x.(1);
+    Alcotest.(check (float 5e-3)) "objective" 0.5 s.Nlp.objective_value;
+    Alcotest.(check bool) "no violations listed" true (s.Nlp.violated = [])
+  | Nlp.Infeasible _ -> Alcotest.fail "expected feasible"
+
+let test_nlp_feasible_auglag () =
+  match Nlp.solve ~method_:Nlp.Augmented_lagrangian (circle_problem ()) with
+  | Nlp.Feasible s ->
+    Alcotest.(check (float 2e-3)) "x" 0.5 s.Nlp.x.(0);
+    Alcotest.(check (float 5e-3)) "objective" 0.5 s.Nlp.objective_value
+  | Nlp.Infeasible _ -> Alcotest.fail "expected feasible"
+
+let test_nlp_infeasible () =
+  (* x <= -1 and x >= 1 cannot both hold. *)
+  let p =
+    Nlp.problem ~dim:1 ~objective:(fun x -> x.(0) *. x.(0))
+      ~inequalities:
+        [ ("le_minus1", fun x -> x.(0) +. 1.0); ("ge_1", fun x -> 1.0 -. x.(0)) ]
+      ~lower:[| -10.0 |] ~upper:[| 10.0 |] ()
+  in
+  match Nlp.solve p with
+  | Nlp.Feasible _ -> Alcotest.fail "expected infeasible"
+  | Nlp.Infeasible s ->
+    (* the least-violating point is x = 0 with violation 1 *)
+    Alcotest.(check bool) "violation ~ 1" true
+      (s.Nlp.max_violation > 0.5 && s.Nlp.max_violation < 1.5);
+    Alcotest.(check bool) "violations named" true
+      (List.length s.Nlp.violated >= 1)
+
+let test_nlp_bounds_only () =
+  (* unconstrained objective, box keeps solution inside *)
+  let p =
+    Nlp.problem ~dim:1
+      ~objective:(fun x -> (x.(0) -. 7.0) ** 2.0)
+      ~lower:[| 0.0 |] ~upper:[| 2.0 |] ()
+  in
+  (match Nlp.solve p with
+   | Nlp.Feasible s -> Alcotest.(check (float 1e-3)) "clipped to 2" 2.0 s.Nlp.x.(0)
+   | Nlp.Infeasible _ -> Alcotest.fail "expected feasible");
+  Alcotest.check_raises "bad dims" (Invalid_argument "Nlp.problem: dim must be positive")
+    (fun () -> ignore (Nlp.problem ~dim:0 ~objective:(fun _ -> 0.0) ()));
+  Alcotest.check_raises "empty box"
+    (Invalid_argument "Nlp.problem: empty box in dimension 0") (fun () ->
+        ignore
+          (Nlp.problem ~dim:1 ~objective:(fun _ -> 0.0) ~lower:[| 1.0 |]
+             ~upper:[| 0.0 |] ()))
+
+let test_nlp_determinism () =
+  let solve () =
+    match Nlp.solve ~seed:3 (circle_problem ()) with
+    | Nlp.Feasible s -> s.Nlp.x
+    | Nlp.Infeasible s -> s.Nlp.x
+  in
+  Alcotest.(check (array (float 0.0))) "same seed, same answer" (solve ()) (solve ())
+
+(* property: on random convex QPs with one active linear constraint the KKT
+   solution is recovered *)
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"random active linear constraint" ~count:25
+         ~print:(fun (a, b) -> Printf.sprintf "a=%g b=%g" a b)
+         QCheck2.Gen.(pair (float_range 0.5 2.0) (float_range 0.5 2.0))
+         (fun (a, b) ->
+            (* min ax² + by² s.t. x + y >= 1: optimum x* = b/(a+b). *)
+            let p =
+              Nlp.problem ~dim:2
+                ~objective:(fun x -> (a *. x.(0) *. x.(0)) +. (b *. x.(1) *. x.(1)))
+                ~inequalities:[ ("c", fun x -> 1.0 -. x.(0) -. x.(1)) ]
+                ~lower:[| -4.0; -4.0 |] ~upper:[| 4.0; 4.0 |] ()
+            in
+            match Nlp.solve p with
+            | Nlp.Feasible s ->
+              let expected = b /. (a +. b) in
+              Float.abs (s.Nlp.x.(0) -. expected) < 0.01
+            | Nlp.Infeasible _ -> false));
+  ]
+
+let () =
+  Alcotest.run "optimize"
+    [ ( "scalar",
+        [ Alcotest.test_case "golden section" `Quick test_golden_section;
+          Alcotest.test_case "bisect" `Quick test_bisect;
+          Alcotest.test_case "scan" `Quick test_minimize_scan;
+        ] );
+      ( "nelder-mead",
+        [ Alcotest.test_case "quadratic" `Quick test_nelder_mead_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_nelder_mead_rosenbrock;
+        ] );
+      ("gradient", [ Alcotest.test_case "descent" `Quick test_gradient ]);
+      ( "nlp",
+        [ Alcotest.test_case "feasible (penalty)" `Quick test_nlp_feasible_penalty;
+          Alcotest.test_case "feasible (auglag)" `Quick test_nlp_feasible_auglag;
+          Alcotest.test_case "infeasible" `Quick test_nlp_infeasible;
+          Alcotest.test_case "bounds only" `Quick test_nlp_bounds_only;
+          Alcotest.test_case "determinism" `Quick test_nlp_determinism;
+        ] );
+      ("properties", props);
+    ]

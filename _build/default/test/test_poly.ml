@@ -1,0 +1,242 @@
+(* Tests for Poly and Ratfun. *)
+
+module Q = Ratio
+module P = Poly
+module R = Ratfun
+
+let x = P.var "x"
+let y = P.var "y"
+let qi = Q.of_int
+
+let check_p msg expected actual =
+  Alcotest.(check string) msg expected (P.to_string actual)
+
+let check_r msg expected actual =
+  Alcotest.(check string) msg expected (R.to_string actual)
+
+(* ---------------- Poly unit tests ---------------- *)
+
+let test_poly_basics () =
+  check_p "zero" "0" P.zero;
+  check_p "one" "1" P.one;
+  check_p "var" "x" x;
+  check_p "x+x" "2*x" P.(x + x);
+  check_p "x-x" "0" P.(x - x);
+  check_p "x*y" "x*y" P.(x * y);
+  check_p "(x+1)^2" "x^2 + 2*x + 1" (P.pow P.(x + one) 2);
+  check_p "const fold" "3" P.(of_int 1 + of_int 2);
+  check_p "scale" "3/2*x" (P.scale (Q.of_ints 3 2) x);
+  check_p "neg" "-x + 1" P.(neg (x - one))
+
+let test_poly_queries () =
+  Alcotest.(check int) "degree x^2y" 3 (P.degree P.(x * x * y));
+  Alcotest.(check int) "degree zero" (-1) (P.degree P.zero);
+  Alcotest.(check int) "degree const" 0 (P.degree P.one);
+  Alcotest.(check int) "degree_in x" 2 (P.degree_in "x" P.(x * x * y));
+  Alcotest.(check int) "degree_in z" 0 (P.degree_in "z" P.(x * x * y));
+  Alcotest.(check (list string)) "vars" [ "x"; "y" ] (P.vars P.(x * y + x));
+  Alcotest.(check int) "num_terms" 3 (P.num_terms (P.pow P.(x + one) 2));
+  Alcotest.(check bool) "is_const" true (P.is_const (P.of_int 5));
+  Alcotest.(check bool) "not const" false (P.is_const x);
+  Alcotest.(check (option string)) "to_const_opt" (Some "5")
+    (Option.map Q.to_string (P.to_const_opt (P.of_int 5)));
+  Alcotest.(check (option string)) "to_const zero" (Some "0")
+    (Option.map Q.to_string (P.to_const_opt P.zero));
+  Alcotest.(check (option string)) "to_const none" None
+    (Option.map Q.to_string (P.to_const_opt x))
+
+let test_poly_eval () =
+  let p = P.(x * x + (of_int 2 * x * y) + one) in
+  let env = function "x" -> qi 3 | "y" -> qi (-1) | _ -> Q.zero in
+  Alcotest.(check string) "eval" "4" (Q.to_string (P.eval env p));
+  let fenv = function "x" -> 3.0 | "y" -> -1.0 | _ -> 0.0 in
+  Alcotest.(check (float 1e-9)) "eval_float" 4.0 (P.eval_float fenv p)
+
+let test_poly_subst () =
+  let p = P.(x * x + y) in
+  check_p "x := y+1" "y^2 + 3*y + 1" (P.subst "x" P.(y + one) p);
+  check_p "x := 0" "y" (P.subst "x" P.zero p);
+  check_p "z := 1 no-op" "x^2 + y" (P.subst "z" P.one p)
+
+let test_poly_derivative () =
+  let p = P.(x * x * y + (of_int 3 * x) + one) in
+  check_p "d/dx" "2*x*y + 3" (P.derivative "x" p);
+  check_p "d/dy" "x^2" (P.derivative "y" p);
+  check_p "d/dz" "0" (P.derivative "z" p)
+
+let test_poly_univariate () =
+  let p = P.(x * x - one) in
+  (match P.to_univariate_opt p with
+   | Some (v, coeffs) ->
+     Alcotest.(check string) "var" "x" v;
+     Alcotest.(check (list string)) "coeffs" [ "-1"; "0"; "1" ]
+       (Array.to_list (Array.map Q.to_string coeffs))
+   | None -> Alcotest.fail "expected univariate");
+  Alcotest.(check bool) "multivariate" true
+    (P.to_univariate_opt P.(x * y) = None);
+  check_p "of_univariate roundtrip" "x^2 - 1"
+    (P.of_univariate "x" [| qi (-1); Q.zero; qi 1 |])
+
+(* ---------------- Ratfun unit tests ---------------- *)
+
+let rx = R.var "x"
+let ry = R.var "y"
+
+let test_ratfun_basics () =
+  check_r "zero" "0" R.zero;
+  check_r "const den folded" "2*x" (R.make P.(x + x) P.one);
+  check_r "inverse" "(1) / (x)" (R.inv rx);
+  check_r "x/x" "1" R.(rx / rx);
+  check_r "(x^2-1)/(x-1) cancels" "x + 1"
+    (R.make P.(x * x - one) P.(x - one));
+  Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+      ignore (R.make P.one P.zero))
+
+let test_ratfun_arith () =
+  (* 1/x + 1/y = (x+y)/(xy) *)
+  let s = R.(inv rx + inv ry) in
+  Alcotest.(check bool) "sum equal" true
+    (R.equal s (R.make P.(x + y) P.(x * y)));
+  (* (x/(x+1)) * ((x+1)/x) = 1 *)
+  let a = R.make x P.(x + one) and b = R.make P.(x + one) x in
+  Alcotest.(check bool) "product one" true (R.equal R.one R.(a * b));
+  check_r "sub self" "0" R.(a - a);
+  Alcotest.(check bool) "pow" true
+    (R.equal (R.pow a 2) R.(a * a));
+  Alcotest.(check bool) "pow neg" true
+    (R.equal (R.pow a (-1)) (R.inv a))
+
+let test_ratfun_eval () =
+  let f = R.make P.(x + one) P.(x - one) in
+  let env v = if v = "x" then qi 3 else Q.zero in
+  Alcotest.(check string) "eval" "2" (Q.to_string (R.eval env f));
+  Alcotest.check_raises "pole" Division_by_zero (fun () ->
+      ignore (R.eval (fun _ -> Q.one) f));
+  let fenv v = if v = "x" then 3.0 else 0.0 in
+  Alcotest.(check (float 1e-9)) "eval_float" 2.0 (R.eval_float fenv f);
+  Alcotest.(check bool) "float pole is inf" true
+    (Float.is_integer (R.eval_float (fun _ -> 1.0) f) = false
+     || Float.abs (R.eval_float (fun _ -> 1.0) f) = Float.infinity)
+
+let test_ratfun_subst () =
+  (* f(x) = 1/(1-x); f(x := 1/(1+u)) = (1+u)/u *)
+  let f = R.make P.one P.(one - x) in
+  let r = R.make P.one P.(one + var "u") in
+  let g = R.subst "x" r f in
+  Alcotest.(check bool) "subst" true
+    (R.equal g (R.make P.(one + var "u") (P.var "u")));
+  (* substituting an absent variable is a no-op *)
+  Alcotest.(check bool) "no-op" true (R.equal f (R.subst "z" r f))
+
+let test_ratfun_derivative () =
+  (* d/dx (1/x) = -1/x^2 *)
+  let d = R.derivative "x" (R.inv rx) in
+  Alcotest.(check bool) "quotient rule" true
+    (R.equal d (R.make (P.of_int (-1)) P.(x * x)))
+
+(* ---------------- Properties ---------------- *)
+
+let gen_poly =
+  (* Random small polynomials in x and y. *)
+  let open QCheck2.Gen in
+  let* terms = list_size (int_range 0 5) (triple (int_range (-4) 4) (int_range 0 3) (int_range 0 2)) in
+  return
+    (List.fold_left
+       (fun acc (c, ex, ey) ->
+          P.add acc
+            (P.scale (qi c) (P.mul (P.pow x ex) (P.pow y ey))))
+       P.zero terms)
+
+let gen_ratfun =
+  let open QCheck2.Gen in
+  let* n = gen_poly in
+  let* d = gen_poly in
+  return (if P.is_zero d then R.of_poly n else R.make n d)
+
+let prp = P.to_string
+let prr = R.to_string
+
+let qtest name ?(count = 200) ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let props =
+  [ qtest "poly ring: distributivity"
+      ~print:(fun (a, b, c) -> Printf.sprintf "(%s | %s | %s)" (prp a) (prp b) (prp c))
+      QCheck2.Gen.(triple gen_poly gen_poly gen_poly)
+      (fun (a, b, c) -> P.equal P.(a * (b + c)) P.((a * b) + (a * c)));
+    qtest "poly eval homomorphism"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prp a) (prp b))
+      QCheck2.Gen.(pair gen_poly gen_poly)
+      (fun (a, b) ->
+         let env = function "x" -> Q.of_ints 2 3 | _ -> Q.of_ints (-1) 2 in
+         Q.equal (P.eval env (P.mul a b)) (Q.mul (P.eval env a) (P.eval env b))
+         && Q.equal (P.eval env (P.add a b)) (Q.add (P.eval env a) (P.eval env b)));
+    qtest "poly derivative is linear"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prp a) (prp b))
+      QCheck2.Gen.(pair gen_poly gen_poly)
+      (fun (a, b) ->
+         P.equal
+           (P.derivative "x" (P.add a b))
+           (P.add (P.derivative "x" a) (P.derivative "x" b)));
+    qtest "poly Leibniz rule"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prp a) (prp b))
+      QCheck2.Gen.(pair gen_poly gen_poly)
+      (fun (a, b) ->
+         P.equal
+           (P.derivative "x" (P.mul a b))
+           (P.add (P.mul (P.derivative "x" a) b) (P.mul a (P.derivative "x" b))));
+    qtest "poly subst eval commute" ~print:prp gen_poly
+      (fun p ->
+         (* eval(subst x:=y+1 p) at y=2 equals eval p at x=3, y=2 *)
+         let s = P.subst "x" P.(y + one) p in
+         let env_y = function "y" -> qi 2 | _ -> Q.zero in
+         let env_xy = function "x" -> qi 3 | "y" -> qi 2 | _ -> Q.zero in
+         Q.equal (P.eval env_y s) (P.eval env_xy p));
+    qtest "ratfun field: a * inv a = 1" ~print:prr gen_ratfun
+      (fun a ->
+         QCheck2.assume (not (R.is_zero a));
+         R.equal R.one R.(a * R.inv a));
+    qtest "ratfun add commutes"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prr a) (prr b))
+      QCheck2.Gen.(pair gen_ratfun gen_ratfun)
+      (fun (a, b) -> R.equal R.(a + b) R.(b + a));
+    qtest "ratfun eval homomorphism"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prr a) (prr b))
+      QCheck2.Gen.(pair gen_ratfun gen_ratfun)
+      (fun (a, b) ->
+         let env = function "x" -> Q.of_ints 3 7 | _ -> Q.of_ints 5 11 in
+         try
+           Q.equal (R.eval env (R.mul a b)) (Q.mul (R.eval env a) (R.eval env b))
+         with Division_by_zero -> QCheck2.assume_fail ());
+    qtest "ratfun normal form: eval agrees with raw quotient"
+      ~print:(fun (a, b) -> Printf.sprintf "(%s | %s)" (prp a) (prp b))
+      QCheck2.Gen.(pair gen_poly gen_poly)
+      (fun (n, d) ->
+         QCheck2.assume (not (P.is_zero d));
+         let f = R.make n d in
+         let env = function "x" -> Q.of_ints 1 3 | _ -> Q.of_ints 2 5 in
+         let dv = P.eval env d in
+         QCheck2.assume (not (Q.is_zero dv));
+         try Q.equal (R.eval env f) (Q.div (P.eval env n) dv)
+         with Division_by_zero -> QCheck2.assume_fail ());
+  ]
+
+let () =
+  Alcotest.run "poly"
+    [ ( "poly",
+        [ Alcotest.test_case "basics" `Quick test_poly_basics;
+          Alcotest.test_case "queries" `Quick test_poly_queries;
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "subst" `Quick test_poly_subst;
+          Alcotest.test_case "derivative" `Quick test_poly_derivative;
+          Alcotest.test_case "univariate" `Quick test_poly_univariate;
+        ] );
+      ( "ratfun",
+        [ Alcotest.test_case "basics" `Quick test_ratfun_basics;
+          Alcotest.test_case "arith" `Quick test_ratfun_arith;
+          Alcotest.test_case "eval" `Quick test_ratfun_eval;
+          Alcotest.test_case "subst" `Quick test_ratfun_subst;
+          Alcotest.test_case "derivative" `Quick test_ratfun_derivative;
+        ] );
+      ("properties", props);
+    ]

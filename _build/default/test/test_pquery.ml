@@ -1,0 +1,130 @@
+(* Direct tests for Pquery: symbolic PCTL queries over parametric chains,
+   cross-validated against the numeric engine at random valuations. *)
+
+module R = Ratfun
+module Q = Ratio
+
+let rp = R.var "p"
+
+(* 0 --p--> 1(goal), 0 --(1-p)--> 2(mid), 2 --1/2--> 1, 2 --1/2--> 3(fail);
+   1 and 3 absorbing. *)
+let chain () =
+  Pdtmc.make ~n:4 ~init:0
+    ~transitions:
+      [ (0, 1, rp);
+        (0, 2, R.sub R.one rp);
+        (2, 1, R.const Q.half);
+        (2, 3, R.const Q.half);
+        (1, 1, R.one);
+        (3, 3, R.one);
+      ]
+    ~labels:[ ("goal", [ 1 ]); ("mid", [ 2 ]); ("fail", [ 3 ]) ]
+    ()
+
+let check_rf msg expected actual =
+  if not (R.equal expected actual) then
+    Alcotest.failf "%s: expected %s, got %s" msg (R.to_string expected)
+      (R.to_string actual)
+
+let test_propositional_sat () =
+  let d = chain () in
+  let sat = Pquery.propositional_sat d (Pctl_parser.parse "goal | fail") in
+  Alcotest.(check (array bool)) "sat" [| false; true; false; true |] sat;
+  let sat = Pquery.propositional_sat d (Pctl_parser.parse "!mid & !goal") in
+  Alcotest.(check (array bool)) "neg" [| true; false; false; true |] sat;
+  match Pquery.propositional_sat d (Pctl_parser.parse "P>=1 [ X goal ]") with
+  | exception Pquery.Unsupported _ -> ()
+  | _ -> Alcotest.fail "nested P rejected"
+
+let test_symbolic_operators () =
+  let d = chain () in
+  (* Next: Pr(X goal) = p *)
+  check_rf "X goal" rp (Pquery.path_probability d (Next (Prop "goal")));
+  (* Eventually: p + (1-p)/2 = (1+p)/2 *)
+  check_rf "F goal"
+    (R.div (R.add R.one rp) (R.of_int 2))
+    (Pquery.path_probability d (Eventually (Prop "goal")));
+  (* Until with restriction: (!fail) U goal = same here *)
+  check_rf "U goal"
+    (R.div (R.add R.one rp) (R.of_int 2))
+    (Pquery.path_probability d (Until (Not (Prop "fail"), Prop "goal")));
+  (* Until restricted away from mid: only the direct edge counts *)
+  check_rf "restricted U" rp
+    (Pquery.path_probability d (Until (Not (Prop "mid"), Prop "goal")));
+  (* Globally: G !goal = 1 - F goal = (1-p)/2 *)
+  check_rf "G !goal"
+    (R.div (R.sub R.one rp) (R.of_int 2))
+    (Pquery.path_probability d (Globally (Not (Prop "goal"))));
+  (* Bounded eventually within 1 step sees only the direct edge *)
+  check_rf "F<=1" rp
+    (Pquery.path_probability d (Bounded_eventually (Prop "goal", 1)));
+  (* ... within 2 steps, the full mass *)
+  check_rf "F<=2"
+    (R.div (R.add R.one rp) (R.of_int 2))
+    (Pquery.path_probability d (Bounded_eventually (Prop "goal", 2)));
+  (* bounded globally *)
+  check_rf "G<=1 !goal" (R.sub R.one rp)
+    (Pquery.path_probability d (Bounded_globally (Not (Prop "goal"), 1)))
+
+let test_of_formula_and_violation () =
+  let d = chain () in
+  let q = Pquery.of_formula d (Pctl_parser.parse "P>=0.9 [ F goal ]") in
+  (* violation at p: 0.9 - (1+p)/2; feasible iff p >= 0.8 *)
+  Alcotest.(check (float 1e-12)) "violated at p=0.5" (0.9 -. 0.75)
+    (Pquery.constraint_violation q (fun _ -> 0.5));
+  Alcotest.(check bool) "satisfied at p=0.9" true
+    (Pquery.constraint_violation q (fun _ -> 0.9) <= 0.0);
+  Alcotest.(check bool) "margin shifts boundary" true
+    (Pquery.constraint_violation ~margin:0.2 q (fun _ -> 0.9) > 0.0);
+  (* compiled eval agrees with exact eval *)
+  Alcotest.(check (float 1e-12)) "eval agrees"
+    (Q.to_float (R.eval (fun _ -> Q.of_ints 1 3) q.Pquery.value))
+    (q.Pquery.eval (fun _ -> 1.0 /. 3.0));
+  (* non-P/R top level rejected *)
+  (match Pquery.of_formula d (Pctl_parser.parse "goal") with
+   | exception Pquery.Unsupported _ -> ()
+   | _ -> Alcotest.fail "expected Unsupported")
+
+(* cross-validation: every symbolic operator agrees with the numeric
+   checker at random p *)
+let props =
+  let operators =
+    [ ("X", Pctl.Next (Pctl.Prop "goal"));
+      ("F", Pctl.Eventually (Pctl.Prop "goal"));
+      ("U", Pctl.Until (Pctl.Not (Pctl.Prop "fail"), Pctl.Prop "goal"));
+      ("F<=2", Pctl.Bounded_eventually (Pctl.Prop "goal", 2));
+      ("U<=3", Pctl.Bounded_until (Pctl.True, Pctl.Prop "goal", 3));
+      ("G", Pctl.Globally (Pctl.Not (Pctl.Prop "fail")));
+      ("G<=2", Pctl.Bounded_globally (Pctl.Not (Pctl.Prop "fail"), 2));
+    ]
+  in
+  List.map
+    (fun (name, psi) ->
+       QCheck_alcotest.to_alcotest
+         (QCheck2.Test.make
+            ~name:(Printf.sprintf "symbolic %s = numeric" name)
+            ~count:40
+            ~print:(fun i -> Printf.sprintf "p=%d/100" i)
+            QCheck2.Gen.(int_range 1 99)
+            (fun i ->
+               let d = chain () in
+               let f = Pquery.path_probability d psi in
+               let pv = Q.of_ints i 100 in
+               let symbolic = Q.to_float (R.eval (fun _ -> pv) f) in
+               let numeric =
+                 Check_dtmc.path_probability
+                   (Pdtmc.instantiate d (fun _ -> pv))
+                   psi
+               in
+               Float.abs (symbolic -. numeric) < 1e-9)))
+    operators
+
+let () =
+  Alcotest.run "pquery"
+    [ ( "unit",
+        [ Alcotest.test_case "propositional sat" `Quick test_propositional_sat;
+          Alcotest.test_case "symbolic operators" `Quick test_symbolic_operators;
+          Alcotest.test_case "of_formula/violation" `Quick test_of_formula_and_violation;
+        ] );
+      ("cross-validation", props);
+    ]

@@ -1,0 +1,130 @@
+(* Unit and property tests for Ratio. *)
+
+module Q = Ratio
+module B = Bigint
+
+let q = Q.of_decimal_string
+let check_q msg expected actual =
+  Alcotest.(check string) msg expected (Q.to_string actual)
+
+let test_construction () =
+  check_q "normalised" "2/3" (Q.of_ints 4 6);
+  check_q "neg den" "-2/3" (Q.of_ints 4 (-6));
+  check_q "both neg" "2/3" (Q.of_ints (-4) (-6));
+  check_q "zero" "0" (Q.of_ints 0 17);
+  check_q "integer" "5" (Q.of_ints 10 2);
+  Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+      ignore (Q.of_ints 1 0))
+
+let test_decimal_parse () =
+  check_q "3.25" "13/4" (q "3.25");
+  check_q "-0.045" "-9/200" (q "-0.045");
+  check_q "plain int" "7" (q "7");
+  check_q "fraction" "1/3" (q "1/3");
+  check_q "neg fraction" "-2/7" (q "-2/7");
+  check_q "-0.5" "-1/2" (q "-0.5");
+  check_q "0.0" "0" (q "0.0");
+  Alcotest.check_raises "bad" (Invalid_argument "Ratio.of_decimal_string: \"a.b\"")
+    (fun () -> ignore (q "a.b"))
+
+let test_arith () =
+  check_q "add" "5/6" Q.(of_ints 1 2 + of_ints 1 3);
+  check_q "sub" "1/6" Q.(of_ints 1 2 - of_ints 1 3);
+  check_q "mul" "1/6" Q.(of_ints 1 2 * of_ints 1 3);
+  check_q "div" "3/2" Q.(of_ints 1 2 / of_ints 1 3);
+  check_q "inv" "-3/2" (Q.inv (Q.of_ints (-2) 3));
+  check_q "pow pos" "8/27" (Q.pow (Q.of_ints 2 3) 3);
+  check_q "pow neg" "27/8" (Q.pow (Q.of_ints 2 3) (-3));
+  check_q "pow zero" "1" (Q.pow (Q.of_ints 2 3) 0);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true Q.(of_ints 1 3 < of_ints 1 2);
+  Alcotest.(check bool) "-1/2 < 1/3" true Q.(of_ints (-1) 2 < of_ints 1 3);
+  Alcotest.(check bool) "eq" true (Q.equal (Q.of_ints 2 4) Q.half);
+  check_q "min" "1/3" (Q.min (Q.of_ints 1 3) Q.half);
+  check_q "max" "1/2" (Q.max (Q.of_ints 1 3) Q.half)
+
+let test_floor_ceil () =
+  Alcotest.(check string) "floor 7/2" "3" (B.to_string (Q.floor (Q.of_ints 7 2)));
+  Alcotest.(check string) "ceil 7/2" "4" (B.to_string (Q.ceil (Q.of_ints 7 2)));
+  Alcotest.(check string) "floor -7/2" "-4" (B.to_string (Q.floor (Q.of_ints (-7) 2)));
+  Alcotest.(check string) "ceil -7/2" "-3" (B.to_string (Q.ceil (Q.of_ints (-7) 2)));
+  Alcotest.(check string) "floor int" "5" (B.to_string (Q.floor (Q.of_int 5)))
+
+let test_of_float () =
+  check_q "0.5" "1/2" (Q.of_float 0.5);
+  check_q "0.25" "1/4" (Q.of_float 0.25);
+  check_q "-1.5" "-3/2" (Q.of_float (-1.5));
+  check_q "3.0" "3" (Q.of_float 3.0);
+  check_q "0.0" "0" (Q.of_float 0.0);
+  Alcotest.(check (float 0.0)) "exact roundtrip" 0.1 (Q.to_float (Q.of_float 0.1));
+  Alcotest.check_raises "nan" (Invalid_argument "Ratio.of_float: not finite")
+    (fun () -> ignore (Q.of_float Float.nan))
+
+let test_to_float () =
+  Alcotest.(check (float 1e-12)) "1/3" (1.0 /. 3.0) (Q.to_float (Q.of_ints 1 3));
+  Alcotest.(check (float 1e-12)) "neg" (-0.045) (Q.to_float (q "-0.045"))
+
+(* Properties *)
+
+let gen_ratio =
+  let open QCheck2.Gen in
+  let* n = int_range (-1_000_000) 1_000_000 in
+  let* d = int_range 1 1_000_000 in
+  return (Q.of_ints n d)
+
+let pr = Q.to_string
+let pr2 (a, b) = Printf.sprintf "(%s, %s)" (pr a) (pr b)
+let pr3 (a, b, c) = Printf.sprintf "(%s, %s, %s)" (pr a) (pr b) (pr c)
+
+let qtest name ?(count = 300) ~print gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count ~print gen f)
+
+let props =
+  [ qtest "field add inverse" ~print:pr gen_ratio
+      (fun a -> Q.is_zero Q.(a + neg a));
+    qtest "field mul inverse" ~print:pr gen_ratio
+      (fun a ->
+         QCheck2.assume (not (Q.is_zero a));
+         Q.equal Q.one Q.(a * inv a));
+    qtest "distributivity" ~print:pr3 QCheck2.Gen.(triple gen_ratio gen_ratio gen_ratio)
+      (fun (a, b, c) -> Q.equal Q.(a * (b + c)) Q.((a * b) + (a * c)));
+    qtest "add commutes" ~print:pr2 QCheck2.Gen.(pair gen_ratio gen_ratio)
+      (fun (a, b) -> Q.equal Q.(a + b) Q.(b + a));
+    qtest "normalised invariant" ~print:pr2 QCheck2.Gen.(pair gen_ratio gen_ratio)
+      (fun (a, b) ->
+         let c = Q.add a b in
+         B.sign (Q.den c) > 0 && B.is_one (B.gcd (Q.num c) (Q.den c)));
+    qtest "compare consistent with floats" ~print:pr2
+      QCheck2.Gen.(pair gen_ratio gen_ratio)
+      (fun (a, b) ->
+         let fc = Stdlib.compare (Q.to_float a) (Q.to_float b) in
+         (* floats can collapse close rationals to equality; only require
+            agreement when the floats differ *)
+         fc = 0 || Q.compare a b = fc);
+    qtest "of_float exact" ~print:string_of_float
+      QCheck2.Gen.(float_bound_inclusive 1000.0)
+      (fun f -> Q.to_float (Q.of_float f) = f);
+    qtest "string roundtrip" ~print:pr gen_ratio
+      (fun a -> Q.equal a (Q.of_decimal_string (Q.to_string a)));
+    qtest "floor <= x < floor+1" ~print:pr gen_ratio
+      (fun a ->
+         let fl = Q.of_bigint (Q.floor a) in
+         Q.(fl <= a) && Q.(a < fl + one));
+  ]
+
+let () =
+  Alcotest.run "ratio"
+    [ ( "unit",
+        [ Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "decimal parse" `Quick test_decimal_parse;
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+          Alcotest.test_case "of_float" `Quick test_of_float;
+          Alcotest.test_case "to_float" `Quick test_to_float;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,118 @@
+(* Tests for Smc (statistical model checking). *)
+
+let branch () =
+  Dtmc.make ~n:3 ~init:0
+    ~transitions:[ (0, 1, 0.3); (0, 2, 0.7); (1, 1, 1.0); (2, 2, 1.0) ]
+    ~labels:[ ("goal", [ 1 ]); ("fail", [ 2 ]) ]
+    ()
+
+let geometric () =
+  Dtmc.make ~n:2 ~init:0
+    ~transitions:[ (0, 0, 0.5); (0, 1, 0.5); (1, 1, 1.0) ]
+    ~labels:[ ("goal", [ 1 ]) ]
+    ()
+
+let test_holds_on_path () =
+  let d = branch () in
+  let check msg path psi expected =
+    Alcotest.(check bool) msg expected (Smc.holds_on_path d path psi)
+  in
+  check "F goal yes" [ 0; 1 ] (Eventually (Prop "goal")) true;
+  check "F goal no" [ 0; 2 ] (Eventually (Prop "goal")) false;
+  check "X goal" [ 0; 1 ] (Next (Prop "goal")) true;
+  check "X at absorbing end" [ 1 ] (Next (Prop "goal")) true;
+  check "G !fail on goal path" [ 0; 1 ] (Globally (Not (Prop "fail"))) true;
+  check "G !fail on fail path" [ 0; 2 ] (Globally (Not (Prop "fail"))) false;
+  check "bounded F in window" [ 0; 0; 1 ] (Bounded_eventually (Prop "goal", 2)) true;
+  check "bounded F outside" [ 0; 0; 1 ] (Bounded_eventually (Prop "goal", 1)) false;
+  check "until" [ 0; 1 ] (Until (Not (Prop "fail"), Prop "goal")) true;
+  check "until broken" [ 0; 2 ] (Until (Not (Prop "fail"), Prop "goal")) false;
+  Alcotest.check_raises "empty path"
+    (Invalid_argument "Smc.holds_on_path: empty path") (fun () ->
+        ignore (Smc.holds_on_path d [] (Eventually Pctl.True)));
+  (match Smc.holds_on_path d [ 0 ] (Eventually (Prob (Pctl.Ge, 0.5, Next Pctl.True))) with
+   | exception Smc.Unsupported _ -> ()
+   | _ -> Alcotest.fail "nested P should be unsupported")
+
+let test_estimate_matches_exact () =
+  let d = branch () in
+  let rng = Prng.create 11 in
+  let est = Smc.estimate ~samples:20_000 rng d (Eventually (Prop "goal")) in
+  Alcotest.(check (float 0.015)) "estimate ~ 0.3" 0.3 est.Smc.probability;
+  Alcotest.(check bool) "CI brackets truth" true
+    (est.Smc.ci_low <= 0.3 && 0.3 <= est.Smc.ci_high);
+  Alcotest.(check bool) "CI nontrivial" true
+    (est.Smc.ci_high -. est.Smc.ci_low < 0.05);
+  (* geometric chain: bounded eventually <=3 has probability 1 - 0.5^3 *)
+  let g = geometric () in
+  let est = Smc.estimate ~samples:20_000 rng g (Bounded_eventually (Prop "goal", 3)) in
+  Alcotest.(check (float 0.015)) "bounded" (1.0 -. 0.125) est.Smc.probability
+
+let test_sprt () =
+  let d = branch () in
+  let rng = Prng.create 3 in
+  let verdict, n1 =
+    Smc.sprt rng d (Pctl_parser.parse "P>=0.2 [ F goal ]")
+  in
+  Alcotest.(check bool) "P>=0.2 accepted" true (verdict = Smc.Accept);
+  let verdict, _ = Smc.sprt rng d (Pctl_parser.parse "P>=0.4 [ F goal ]") in
+  Alcotest.(check bool) "P>=0.4 rejected" true (verdict = Smc.Reject);
+  let verdict, _ = Smc.sprt rng d (Pctl_parser.parse "P<=0.4 [ F goal ]") in
+  Alcotest.(check bool) "P<=0.4 accepted" true (verdict = Smc.Accept);
+  let verdict, _ = Smc.sprt rng d (Pctl_parser.parse "P<=0.2 [ F goal ]") in
+  Alcotest.(check bool) "P<=0.2 rejected" true (verdict = Smc.Reject);
+  Alcotest.(check bool) "sample count reported" true (n1 > 0);
+  (* inside the indifference region the test may remain undecided *)
+  let verdict, n =
+    Smc.sprt ~delta:0.001 ~max_samples:200 rng d
+      (Pctl_parser.parse "P>=0.3 [ F goal ]")
+  in
+  Alcotest.(check bool) "tight bound, capped samples" true
+    (n <= 200 && (verdict = Smc.Undecided || verdict = Smc.Accept || verdict = Smc.Reject));
+  (match Smc.sprt rng d (Pctl_parser.parse "true") with
+   | exception Smc.Unsupported _ -> ()
+   | _ -> Alcotest.fail "non-P formula should be unsupported");
+  match Smc.sprt ~delta:0.2 rng d (Pctl_parser.parse "P>=0.1 [ F goal ]") with
+  | exception Smc.Unsupported _ -> ()
+  | _ -> Alcotest.fail "bound-delta <= 0 should be unsupported"
+
+(* property: SMC estimates agree with the exact engine on random chains *)
+let gen_chain =
+  let open QCheck2.Gen in
+  let* n = int_range 3 6 in
+  let* seed = int_range 0 100_000 in
+  let rng = Prng.create seed in
+  let transitions = ref [ (n - 1, n - 1, 1.0) ] in
+  for s = 0 to n - 2 do
+    let fwd = s + 1 + Prng.int rng (n - s - 1) in
+    let other = Prng.int rng n in
+    let p = 0.3 +. (0.4 *. Prng.float rng) in
+    if other = fwd then transitions := (s, fwd, 1.0) :: !transitions
+    else transitions := (s, fwd, p) :: (s, other, 1.0 -. p) :: !transitions
+  done;
+  return (Dtmc.make ~n ~init:0 ~transitions:!transitions
+            ~labels:[ ("goal", [ n - 1 ]) ] ())
+
+let props =
+  [ QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"smc agrees with exact engine" ~count:20
+         ~print:(fun d -> Format.asprintf "%a" Dtmc.pp d)
+         gen_chain
+         (fun d ->
+            let exact = Check_dtmc.path_probability d (Eventually (Prop "goal")) in
+            let rng = Prng.create 17 in
+            let est =
+              Smc.estimate ~samples:4000 ~max_steps:500 rng d
+                (Eventually (Prop "goal"))
+            in
+            Float.abs (est.Smc.probability -. exact) < 0.05));
+  ]
+
+let () =
+  Alcotest.run "smc"
+    [ ( "paths", [ Alcotest.test_case "holds_on_path" `Quick test_holds_on_path ] );
+      ( "estimation",
+        [ Alcotest.test_case "matches exact" `Quick test_estimate_matches_exact ] );
+      ("sprt", [ Alcotest.test_case "verdicts" `Quick test_sprt ]);
+      ("properties", props);
+    ]

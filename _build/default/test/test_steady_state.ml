@@ -1,0 +1,112 @@
+(* Tests for Steady_state (BSCCs, stationary distributions, long-run
+   probabilities) and the Experiments reproduction driver. *)
+
+(* Ergodic 2-state chain with known stationary distribution:
+   pi_0 = b/(a+b), pi_1 = a/(a+b) for flip rates a, b. *)
+let flip a b =
+  Dtmc.make ~n:2 ~init:0
+    ~transitions:[ (0, 1, a); (0, 0, 1.0 -. a); (1, 0, b); (1, 1, 1.0 -. b) ]
+    ~labels:[ ("up", [ 0 ]) ]
+    ()
+
+(* Transient start, two absorbing BSCCs. *)
+let split () =
+  Dtmc.make ~n:4 ~init:0
+    ~transitions:
+      [ (0, 1, 0.25); (0, 2, 0.75);
+        (1, 1, 1.0);
+        (2, 3, 1.0); (3, 2, 1.0) (* period-2 BSCC {2,3} *);
+      ]
+    ~labels:[ ("left", [ 1 ]); ("cycle", [ 2; 3 ]) ]
+    ()
+
+let test_bsccs () =
+  let d = split () in
+  let comps = Steady_state.bsccs d in
+  Alcotest.(check int) "two BSCCs" 2 (List.length comps);
+  Alcotest.(check bool) "{1} is a BSCC" true (List.mem [ 1 ] comps);
+  Alcotest.(check bool) "{2,3} is a BSCC" true (List.mem [ 2; 3 ] comps);
+  (* ergodic chain: the whole space is one BSCC *)
+  let e = flip 0.3 0.6 in
+  Alcotest.(check (list (list int))) "single BSCC" [ [ 0; 1 ] ]
+    (Steady_state.bsccs e)
+
+let test_stationary () =
+  let a = 0.3 and b = 0.6 in
+  let d = flip a b in
+  let pi = Steady_state.stationary_of_irreducible d [ 0; 1 ] in
+  Alcotest.(check (float 1e-9)) "pi_0" (b /. (a +. b)) pi.(0);
+  Alcotest.(check (float 1e-9)) "pi_1" (a /. (a +. b)) pi.(1);
+  (* periodic component still has a stationary distribution *)
+  let s = split () in
+  let pi = Steady_state.stationary_of_irreducible s [ 2; 3 ] in
+  Alcotest.(check (float 1e-9)) "period-2 half" 0.5 pi.(2);
+  Alcotest.(check (float 1e-9)) "period-2 half" 0.5 pi.(3);
+  (* non-closed set rejected *)
+  match Steady_state.stationary_of_irreducible s [ 0; 1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "open component accepted"
+
+let test_long_run () =
+  let d = split () in
+  let dist = Steady_state.long_run_distribution d in
+  Alcotest.(check (float 1e-9)) "left mass" 0.25 dist.(1);
+  Alcotest.(check (float 1e-9)) "cycle mass (2)" 0.375 dist.(2);
+  Alcotest.(check (float 1e-9)) "cycle mass (3)" 0.375 dist.(3);
+  Alcotest.(check (float 1e-9)) "transient state" 0.0 dist.(0);
+  Alcotest.(check (float 1e-9)) "total" 1.0 (Array.fold_left ( +. ) 0.0 dist);
+  Alcotest.(check (float 1e-9)) "S[cycle]" 0.75
+    (Steady_state.long_run_probability d (Pctl_parser.parse "cycle"));
+  Alcotest.(check (float 1e-9)) "S[left | cycle]" 1.0
+    (Steady_state.long_run_probability d (Pctl_parser.parse "left | cycle"));
+  (* ergodic case agrees with the stationary distribution *)
+  let e = flip 0.3 0.6 in
+  Alcotest.(check (float 1e-9)) "S[up]" (0.6 /. 0.9)
+    (Steady_state.long_run_probability e (Pctl_parser.parse "up"))
+
+let test_long_run_vs_simulation () =
+  let d = flip 0.2 0.5 in
+  let rng = Prng.create 17 in
+  (* empirical fraction of time in state 0 over a long run *)
+  let steps = 200_000 in
+  let count = ref 0 in
+  let s = ref 0 in
+  for _ = 1 to steps do
+    if !s = 0 then incr count;
+    let row = Array.of_list (Dtmc.succ d !s) in
+    let i = Prng.categorical rng (Array.map snd row) in
+    s := fst row.(i)
+  done;
+  let expected = Steady_state.long_run_probability d (Pctl_parser.parse "up") in
+  Alcotest.(check (float 0.01)) "simulation agrees" expected
+    (float_of_int !count /. float_of_int steps)
+
+(* ---------------- Experiments driver sanity ---------------- *)
+
+let test_experiment_rows () =
+  (* quick structural experiments only (the expensive ones are covered by
+     test_casestudies) *)
+  let f1 = Experiments.f1 () in
+  Alcotest.(check string) "id" "F1" f1.Experiments.id;
+  Alcotest.(check bool) "ok" true f1.Experiments.ok;
+  let e1 = Experiments.e1 () in
+  Alcotest.(check bool) "e1 ok" true e1.Experiments.ok;
+  let e3 = Experiments.e3 () in
+  Alcotest.(check bool) "e3 ok" true e3.Experiments.ok;
+  (* the table renders *)
+  let s = Format.asprintf "%a" Experiments.print_rows [ f1; e1; e3 ] in
+  Alcotest.(check bool) "renders" true (String.length s > 100)
+
+let () =
+  Alcotest.run "steady_state"
+    [ ( "structure",
+        [ Alcotest.test_case "bsccs" `Quick test_bsccs;
+          Alcotest.test_case "stationary" `Quick test_stationary;
+        ] );
+      ( "long run",
+        [ Alcotest.test_case "distribution" `Quick test_long_run;
+          Alcotest.test_case "vs simulation" `Quick test_long_run_vs_simulation;
+        ] );
+      ( "experiments driver",
+        [ Alcotest.test_case "rows" `Quick test_experiment_rows ] );
+    ]
