@@ -1,0 +1,13 @@
+.PHONY: all test bench clean
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec -- bench/main.exe
+
+clean:
+	dune clean

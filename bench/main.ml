@@ -294,6 +294,183 @@ let substrate_benches =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Runtime scaling: the concurrent job engine vs a naive sequential     *)
+(* loop on the same batch workload.                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Eight model-repair jobs against bounds the WSN chain violates
+   (E[attempts] ~ 47.1), so every job runs the full repair path.  They
+   share one parametric model, so the runtime's elimination cache turns
+   eight eliminations into one. *)
+let runtime_jobs () =
+  let chain = Lazy.force wsn_chain in
+  let spec = Wsn.repair_spec wsn_params in
+  List.map
+    (fun b -> Job.Model_repair { model = chain; phi = Wsn.property b; spec; starts = 4 })
+    [ 35; 36; 37; 38; 39; 40; 41; 42 ]
+
+type runtime_run = {
+  rname : string;
+  seconds : float;
+  identical : bool;  (** results byte-identical to the sequential loop *)
+}
+
+type runtime_report = {
+  cores : int;
+  runs : runtime_run list;
+  speedup : float;  (** naive sequential / cached runtime, 1 worker *)
+  report_cache : Lru_cache.counters option;
+  elim_cache : Lru_cache.counters option;
+}
+
+let runtime_scaling () =
+  let jobs = runtime_jobs () in
+  let render o = Format.asprintf "%a" Job.pp_outcome o in
+  let timed f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* No runtime exists here, so no elimination memo is installed: this is
+     the uncached one-shot pipeline, once per job. *)
+  let reference, t_naive = timed (fun () -> List.map render (List.map Job.run jobs)) in
+  let batch rt =
+    List.map
+      (function Future.Value o -> render o | _ -> "<not a value>")
+      (Runtime.run_batch rt jobs)
+  in
+  let with_workers w =
+    Runtime.with_runtime ~workers:w (fun rt ->
+        let cold, t_cold = timed (fun () -> batch rt) in
+        let warm, t_warm = timed (fun () -> batch rt) in
+        ((cold = reference && warm = reference, t_cold, t_warm),
+         (Runtime.report_cache_counters rt, Runtime.elim_cache_counters rt)))
+  in
+  let (ok1, t1_cold, t1_warm), caches = with_workers 1 in
+  let (ok4, t4_cold, t4_warm), _ = with_workers 4 in
+  let report_cache, elim_cache = caches in
+  let runs =
+    [ { rname = "naive sequential (no cache)"; seconds = t_naive; identical = true };
+      { rname = "runtime, 1 worker, cold"; seconds = t1_cold; identical = ok1 };
+      { rname = "runtime, 1 worker, repeat"; seconds = t1_warm; identical = ok1 };
+      { rname = "runtime, 4 workers, cold"; seconds = t4_cold; identical = ok4 };
+      { rname = "runtime, 4 workers, repeat"; seconds = t4_warm; identical = ok4 };
+    ]
+  in
+  let report =
+    {
+      cores = Domain.recommended_domain_count ();
+      runs;
+      speedup = t_naive /. t1_cold;
+      report_cache;
+      elim_cache;
+    }
+  in
+  Format.printf
+    "@\n-- runtime scaling (8 wsn model-repair jobs, %d core%s) --@\n"
+    report.cores (if report.cores = 1 then "" else "s");
+  List.iter
+    (fun r ->
+       Format.printf "  %-45s %8.3f s  %s@\n" r.rname r.seconds
+         (if r.identical then "" else "(MISMATCH vs sequential)"))
+    runs;
+  Format.printf "  elimination coalescing + report cache: %.2fx vs naive@\n"
+    report.speedup;
+  (match elim_cache with
+   | Some c ->
+     Format.printf "  elimination cache: %d hit(s), %d miss(es)@\n" c.Lru_cache.hits
+       c.Lru_cache.misses
+   | None -> ());
+  Format.print_flush ();
+  report
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                             *)
+(* ------------------------------------------------------------------ *)
+
+type bench_row = {
+  group : string;
+  name : string;
+  samples : int;
+  mean_ns : float;
+  stddev_ns : float;
+}
+
+let row_stats ~group ~name raws =
+  let times =
+    Array.to_list raws
+    |> List.filter_map (fun m ->
+        let run = Measurement_raw.run m in
+        if run <= 0.0 then None
+        else Some (Measurement_raw.get ~label:(Measure.label Instance.monotonic_clock) m /. run))
+  in
+  let n = List.length times in
+  if n = 0 then { group; name; samples = 0; mean_ns = Float.nan; stddev_ns = Float.nan }
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 times /. float_of_int n in
+    let var =
+      List.fold_left (fun acc t -> acc +. ((t -. mean) ** 2.0)) 0.0 times
+      /. float_of_int n
+    in
+    { group; name; samples = n; mean_ns = mean; stddev_ns = sqrt var }
+  end
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results path rows runtime =
+  let b = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"schema\": \"tml-bench/1\",\n";
+  add "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+       add
+         "    {\"group\": \"%s\", \"name\": \"%s\", \"samples\": %d, \
+          \"mean_ns\": %.1f, \"stddev_ns\": %.1f}%s\n"
+         (json_escape r.group) (json_escape r.name) r.samples r.mean_ns
+         r.stddev_ns
+         (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ],\n";
+  add "  \"runtime_scaling\": {\n";
+  add "    \"cores\": %d,\n" runtime.cores;
+  add "    \"workload\": \"8 wsn model-repair jobs, shared parametric model\",\n";
+  add "    \"speedup_cached_vs_naive\": %.3f,\n" runtime.speedup;
+  add "    \"runs\": [\n";
+  List.iteri
+    (fun i r ->
+       add "      {\"name\": \"%s\", \"seconds\": %.6f, \"identical\": %b}%s\n"
+         (json_escape r.rname) r.seconds r.identical
+         (if i = List.length runtime.runs - 1 then "" else ","))
+    runtime.runs;
+  add "    ]";
+  let cache_json label = function
+    | None -> ()
+    | Some c ->
+      add ",\n    \"%s\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d}"
+        label c.Lru_cache.hits c.Lru_cache.misses c.Lru_cache.evictions
+  in
+  cache_json "report_cache" runtime.report_cache;
+  cache_json "elim_cache" runtime.elim_cache;
+  add "\n  }\n}\n";
+  (try Unix.mkdir (Filename.dirname path) 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "@\nresults written to %s@\n" path;
+  Format.print_flush ()
+
+(* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -329,6 +506,7 @@ let run_benchmarks () =
     else if time_ns >= 1e3 then Printf.sprintf "%8.3f us" (time_ns /. 1e3)
     else Printf.sprintf "%8.1f ns" time_ns
   in
+  let rows = ref [] in
   List.iter
     (fun (group, benches) ->
        Format.printf "@\n-- %s ----------------------------------------@\n" group;
@@ -345,13 +523,19 @@ let run_benchmarks () =
                  in
                  Format.printf "  %-45s %s@\n" name (pretty time_ns))
               results;
+            Hashtbl.iter
+              (fun name (b : Benchmark.t) ->
+                 rows := row_stats ~group ~name b.Benchmark.lr :: !rows)
+              raw;
             Format.print_flush ())
          benches;
        if group = "scaling" then begin
          one_shot_n4 ();
          Format.print_flush ()
        end)
-    groups
+    groups;
+  let runtime = runtime_scaling () in
+  write_results "bench/results/latest.json" (List.rev !rows) runtime
 
 let () =
   let args = Array.to_list Sys.argv in

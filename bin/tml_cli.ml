@@ -4,6 +4,7 @@
      check         verify a PCTL property of a DTMC model file
      model-repair  minimally perturb controllable transitions to satisfy it
      simulate      sample paths from a model
+     batch         run a suite of repair jobs on the concurrent runtime
      experiments   reproduce the paper's §V evaluation (E1–E6, F1)
 
    Model files use the textual format of Dtmc_io (see --help of check). *)
@@ -449,6 +450,128 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     Term.(const run_simulate $ model_arg $ steps_arg $ count_arg $ seed_arg)
 
+(* -------------------------------- batch ------------------------------- *)
+
+(* Deterministic job suites over the paper's case studies.  Job j of the
+   WSN suite asks for repair against a different reward bound; job j of
+   the car suite uses a different discount factor.  All jobs in a suite
+   share the same underlying model, so the runtime's elimination cache
+   coalesces their parametric queries. *)
+
+let wsn_bounds = [| 40; 45; 50; 55; 60; 65; 70; 35 |]
+
+let batch_jobs suite count =
+  let params = Wsn.default_params in
+  let chain = Wsn.chain params in
+  let spec = Wsn.repair_spec params in
+  let wsn_job j =
+    Job.Model_repair
+      {
+        model = chain;
+        phi = Wsn.property wsn_bounds.(j mod Array.length wsn_bounds);
+        spec;
+        starts = 4;
+      }
+  in
+  let mdp = Car.mdp () in
+  let car_job j =
+    Job.Reward_repair
+      {
+        mdp;
+        theta = Car.paper_learned_theta;
+        constraints = [ Car.unsafe_q_constraint ];
+        gamma = 0.88 +. (0.005 *. float_of_int (j mod 8));
+        starts = 2;
+      }
+  in
+  let mk =
+    match suite with
+    | `Wsn -> wsn_job
+    | `Car -> car_job
+    | `Mixed -> fun j -> if j mod 2 = 0 then wsn_job (j / 2) else car_job (j / 2)
+  in
+  List.init count mk
+
+let suite_arg =
+  let doc = "Job suite: $(b,wsn) (model repair against varying reward \
+             bounds), $(b,car) (reward repair with varying discount), or \
+             $(b,mixed)." in
+  let suite_conv = Arg.enum [ ("wsn", `Wsn); ("car", `Car); ("mixed", `Mixed) ] in
+  Arg.(value & opt suite_conv `Wsn & info [ "suite" ] ~docv:"SUITE" ~doc)
+
+let jobs_arg =
+  Arg.(value & opt int 8 & info [ "jobs" ] ~docv:"N" ~doc:"Number of jobs.")
+
+let workers_arg =
+  let doc = "Worker domains in the pool." in
+  Arg.(value & opt int 1 & info [ "w"; "workers" ] ~docv:"K" ~doc)
+
+let repeat_arg =
+  let doc = "Run the batch this many times (repeats hit the report cache)." in
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"R" ~doc)
+
+let stats_arg =
+  let doc = "Write the runtime's JSON stats dump to this file ('-' for \
+             stdout) after the last batch." in
+  Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc)
+
+let run_batch_cmd suite jobs workers repeat stats =
+  exit_of_result
+    (if jobs < 1 then Error "need at least one job"
+     else if workers < 1 then Error "need at least one worker"
+     else begin
+       let job_list = batch_jobs suite jobs in
+       try
+         Runtime.with_runtime ~workers (fun rt ->
+           let all_ok = ref true in
+           for round = 1 to max 1 repeat do
+             if repeat > 1 then Printf.printf "-- round %d --\n" round;
+             let outcomes = Runtime.run_batch rt job_list in
+             List.iteri
+               (fun i (job, outcome) ->
+                  Printf.printf "== job %d (%s) ==\n" (i + 1) (Job.kind job);
+                  match outcome with
+                  | Future.Value o -> Format.printf "%a@?" Job.pp_outcome o
+                  | Future.Failed e ->
+                    all_ok := false;
+                    Printf.printf "FAILED: %s\n" (Printexc.to_string e)
+                  | Future.Cancelled ->
+                    all_ok := false;
+                    Printf.printf "CANCELLED\n"
+                  | Future.Timed_out ->
+                    all_ok := false;
+                    Printf.printf "TIMED OUT\n")
+               (List.combine job_list outcomes)
+           done;
+           (match stats with
+            | None -> ()
+            | Some "-" -> print_string (Runtime.stats_json rt); print_newline ()
+            | Some path ->
+              let oc = open_out path in
+              output_string oc (Runtime.stats_json rt);
+              output_char oc '\n';
+              close_out oc);
+           Ok !all_ok)
+       with Sys_error msg -> Error msg
+     end)
+
+let batch_cmd =
+  let doc = "run a batch of repair jobs on the concurrent runtime" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Submits a deterministic suite of repair jobs to the worker-pool \
+          runtime and prints each job's report in submission order. Results \
+          are byte-identical for any worker count; repeated rounds are \
+          served from the report cache.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc ~man)
+    Term.(
+      const run_batch_cmd $ suite_arg $ jobs_arg $ workers_arg $ repeat_arg
+      $ stats_arg)
+
 (* ----------------------------- experiments ---------------------------- *)
 
 let which_arg =
@@ -493,6 +616,7 @@ let main_cmd =
   Cmd.group
     (Cmd.info "tml" ~version:"1.0.0" ~doc)
     [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
-      pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; experiments_cmd ]
+      pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; batch_cmd;
+      experiments_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

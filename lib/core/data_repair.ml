@@ -36,15 +36,21 @@ let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
   if sp.groups = [] then invalid_arg "Data_repair: no trace groups";
   (* Parametric re-learning: model as rational functions of drop vector. *)
   let pmodel =
-    Mle.parametric_mle ~n ~init ~labels ?rewards ~groups:sp.groups ()
+    Instr.time Instr.Learn (fun () ->
+        Mle.parametric_mle ~n ~init ~labels ?rewards ~groups:sp.groups ())
   in
   (* Step 1: the model learned from the unrepaired data (all x_g = 0). *)
   let original_model = Pdtmc.instantiate pmodel (fun _ -> Ratio.zero) in
-  let original = Check_dtmc.check_verbose original_model phi in
+  let original =
+    Instr.time Instr.Check (fun () ->
+        Check_dtmc.check_verbose original_model phi)
+  in
   if original.Check_dtmc.holds && not force then
     Already_satisfied original.Check_dtmc.value
   else begin
-    let query = Pquery.of_formula pmodel phi in
+    let query =
+      Instr.time Instr.Eliminate (fun () -> Pquery.of_formula pmodel phi)
+    in
     (* Only groups whose variable actually appears in f(x) need solving;
        pinned groups are fixed at 0 via their bounds. *)
     let var_names = List.map fst sp.groups in
@@ -73,13 +79,19 @@ let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
         ~inequalities:[ property_constraint ]
         ~lower ~upper ()
     in
-    match Nlp.solve ~method_:solver ~starts ~seed problem with
+    match
+      Instr.time Instr.Solve (fun () ->
+          Nlp.solve ~method_:solver ~starts ~seed problem)
+    with
     | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
     | Nlp.Feasible s ->
       let drop_fractions = List.mapi (fun i g -> (g, s.Nlp.x.(i))) var_names in
       let env v = Ratio.of_float (List.assoc v drop_fractions) in
       let repaired_dtmc = Pdtmc.instantiate pmodel env in
-      let verdict = Check_dtmc.check_verbose repaired_dtmc phi in
+      let verdict =
+        Instr.time Instr.Check (fun () ->
+            Check_dtmc.check_verbose repaired_dtmc phi)
+      in
       let dropped_traces =
         List.fold_left
           (fun acc (g, frac) ->

@@ -1,0 +1,24 @@
+type stage = Learn | Eliminate | Solve | Check
+
+let stage_name = function
+  | Learn -> "learn"
+  | Eliminate -> "eliminate"
+  | Solve -> "solve"
+  | Check -> "check"
+
+let recorder : (stage -> float -> unit) option Atomic.t = Atomic.make None
+let set_recorder r = Atomic.set recorder r
+
+let time stage f =
+  match Atomic.get recorder with
+  | None -> f ()
+  | Some record ->
+    let t0 = Unix.gettimeofday () in
+    let finish () = record stage (Unix.gettimeofday () -. t0) in
+    (match f () with
+     | v ->
+       finish ();
+       v
+     | exception e ->
+       finish ();
+       raise e)

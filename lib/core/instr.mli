@@ -1,0 +1,23 @@
+(** Per-stage instrumentation probes for the repair pipeline.
+
+    The repair stack reports wall-clock timings of its expensive stages —
+    [learn] (MLE / parametric MLE), [eliminate] (parametric model checking),
+    [solve] (the repair NLP) and [check] (numeric PCTL verification) — to an
+    installable recorder.  With no recorder installed the probes are free
+    (a single atomic load per stage).
+
+    The runtime layer ([Runtime.Stats]) installs a thread-safe recorder
+    here; recorders may be called concurrently from several domains. *)
+
+type stage = Learn | Eliminate | Solve | Check
+
+val stage_name : stage -> string
+(** ["learn"], ["eliminate"], ["solve"], ["check"]. *)
+
+val set_recorder : (stage -> float -> unit) option -> unit
+(** Install (or remove) the process-wide recorder.  The recorder receives
+    the stage and its elapsed wall-clock seconds, once per timed section. *)
+
+val time : stage -> (unit -> 'a) -> 'a
+(** [time stage f] runs [f ()], reporting its duration to the recorder (if
+    any).  Exceptions propagate; the duration is still reported. *)

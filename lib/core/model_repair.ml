@@ -67,13 +67,17 @@ let edge_margin = 1e-9
 let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
     ?(force = false) dtmc phi spec =
   (* Step 1: verify the original model (§II pipeline). *)
-  let original = Check_dtmc.check_verbose dtmc phi in
+  let original =
+    Instr.time Instr.Check (fun () -> Check_dtmc.check_verbose dtmc phi)
+  in
   if original.Check_dtmc.holds && not force then
     Already_satisfied original.Check_dtmc.value
   else begin
     (* Step 2: parametric model + symbolic constraint f(v) ~ b. *)
     let pmodel = parametric_model dtmc spec in
-    let query = Pquery.of_formula pmodel phi in
+    let query =
+      Instr.time Instr.Eliminate (fun () -> Pquery.of_formula pmodel phi)
+    in
     let var_names = List.map (fun (n, _, _) -> n) spec.variables in
     let dim = List.length var_names in
     if dim = 0 then invalid_arg "Model_repair: no perturbation variables";
@@ -116,14 +120,20 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
         ~inequalities:(property_constraint :: edge_constraints)
         ~lower ~upper ()
     in
-    match Nlp.solve ~method_:solver ~starts ~seed problem with
+    match
+      Instr.time Instr.Solve (fun () ->
+          Nlp.solve ~method_:solver ~starts ~seed problem)
+    with
     | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
     | Nlp.Feasible s ->
       (* Step 4: instantiate and re-verify numerically. *)
       let assignment = List.mapi (fun i n -> (n, s.Nlp.x.(i))) var_names in
       let env v = Ratio.of_float (List.assoc v assignment) in
       let repaired_dtmc = Pdtmc.instantiate pmodel env in
-      let verdict = Check_dtmc.check_verbose repaired_dtmc phi in
+      let verdict =
+        Instr.time Instr.Check (fun () ->
+            Check_dtmc.check_verbose repaired_dtmc phi)
+      in
       Repaired
         {
           dtmc = repaired_dtmc;

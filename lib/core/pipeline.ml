@@ -17,9 +17,12 @@ let run ~n ~init ?(labels = []) ?rewards ?model_spec ?data_spec ~groups phi =
   let all_traces = List.concat_map snd groups in
   let rewards_float = Option.map (Array.map Ratio.to_float) rewards in
   let model =
-    Mle.learn_dtmc ~n ~init ~labels ?rewards:rewards_float all_traces
+    Instr.time Instr.Learn (fun () ->
+        Mle.learn_dtmc ~n ~init ~labels ?rewards:rewards_float all_traces)
   in
-  let original = Check_dtmc.check_verbose model phi in
+  let original =
+    Instr.time Instr.Check (fun () -> Check_dtmc.check_verbose model phi)
+  in
   if original.Check_dtmc.holds then
     {
       property = phi;

@@ -143,7 +143,7 @@ let repair_q ?(gamma = 0.9) ?(starts = 8) ?(seed = 0) ?(force = false) m
         ~upper:(Array.make k 2.0)
         ()
     in
-    match Nlp.solve ~starts ~seed problem with
+    match Instr.time Instr.Solve (fun () -> Nlp.solve ~starts ~seed problem) with
     | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
     | Nlp.Feasible s ->
       let delta = s.Nlp.x in

@@ -6,6 +6,35 @@ type order = Min_degree | Ascending | Descending
 exception Not_almost_sure of int
 
 (* ------------------------------------------------------------------ *)
+(* Memo hook: an installable cache for whole-query elimination results.  *)
+(* The runtime layer installs a bounded, thread-safe cache here so that   *)
+(* repeated queries on structurally identical chains skip elimination     *)
+(* entirely.  The hook receives a structural key and a thunk computing    *)
+(* the result; with no hook installed the thunk runs directly.            *)
+(* ------------------------------------------------------------------ *)
+
+type memo = key:string -> compute:(unit -> Ratfun.t) -> Ratfun.t
+
+let memo_hook : memo option Atomic.t = Atomic.make None
+let set_memo m = Atomic.set memo_hook m
+
+let order_tag = function
+  | Min_degree -> "m"
+  | Ascending -> "a"
+  | Descending -> "d"
+
+let memoized ~kind ~order pdtmc ~target compute =
+  match Atomic.get memo_hook with
+  | None -> compute ()
+  | Some memo ->
+    let key =
+      Printf.sprintf "%s:%s:%s:%s" kind (order_tag order)
+        (String.concat "," (List.map string_of_int (List.sort compare target)))
+        (Pdtmc.digest pdtmc)
+    in
+    memo ~key ~compute
+
+(* ------------------------------------------------------------------ *)
 (* Structural graph analyses (an edge exists iff its ratfun is not the  *)
 (* zero function)                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -168,6 +197,7 @@ let check_target n target =
 let reachability_probability ?(order = Min_degree) pdtmc ~target =
   let n = Pdtmc.num_states pdtmc in
   check_target n target;
+  memoized ~kind:"prob" ~order pdtmc ~target @@ fun () ->
   let init = Pdtmc.init_state pdtmc in
   let tset = Iset.of_list target in
   if Iset.mem init tset then Ratfun.one
@@ -199,6 +229,7 @@ let reachability_probability ?(order = Min_degree) pdtmc ~target =
 let expected_reward ?(order = Min_degree) pdtmc ~target =
   let n = Pdtmc.num_states pdtmc in
   check_target n target;
+  memoized ~kind:"rew" ~order pdtmc ~target @@ fun () ->
   let init = Pdtmc.init_state pdtmc in
   let tset = Iset.of_list target in
   if Iset.mem init tset then Ratfun.zero

@@ -168,3 +168,36 @@ let pp fmt t =
        Imap.iter (fun d f -> Format.fprintf fmt " ->%d:[%s]" d (Ratfun.to_string f)) row;
        Format.fprintf fmt "@\n")
     t.rows
+
+let digest t =
+  (* Structural MD5 over a canonical textual serialisation: state count,
+     initial state, every edge's exact rational function, labels and
+     rewards.  Two chains with the same digest are structurally identical,
+     so any elimination result computed for one is valid for the other. *)
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "pdtmc:%d:%d;" t.n t.init);
+  Array.iteri
+    (fun s row ->
+       Buffer.add_string buf (Printf.sprintf "s%d{" s);
+       Imap.iter
+         (fun d f ->
+            Buffer.add_string buf (Printf.sprintf "%d=%s," d (Ratfun.to_string f)))
+         row;
+       Buffer.add_char buf '}')
+    t.rows;
+  Buffer.add_string buf "labels{";
+  Smap.iter
+    (fun name states ->
+       Buffer.add_string buf name;
+       Buffer.add_char buf ':';
+       List.iter (fun s -> Buffer.add_string buf (string_of_int s ^ ",")) states;
+       Buffer.add_char buf ';')
+    t.label_map;
+  Buffer.add_string buf "}rewards{";
+  Array.iter
+    (fun f ->
+       Buffer.add_string buf (Ratfun.to_string f);
+       Buffer.add_char buf ';')
+    t.rewards;
+  Buffer.add_char buf '}';
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -36,6 +36,13 @@ val reward : t -> int -> Ratfun.t
 val params : t -> string list
 (** All parameter names appearing in the chain, sorted. *)
 
+val digest : t -> string
+(** Hex MD5 of a canonical structural serialisation (states, edges with
+    their exact rational functions, labels, rewards).  Chains with equal
+    digests are structurally identical, so cached elimination results can
+    be shared between them — this is the cache key used by the runtime's
+    memoizing result cache. *)
+
 val states_with_label : t -> string -> int list
 
 val map_transitions : t -> (int -> int -> Ratfun.t -> Ratfun.t) -> t

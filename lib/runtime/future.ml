@@ -1,0 +1,58 @@
+type 'a outcome =
+  | Value of 'a
+  | Failed of exn
+  | Cancelled
+  | Timed_out
+
+type 'a t = {
+  mutex : Mutex.t;
+  resolved : Condition.t;
+  mutable state : 'a outcome option;
+}
+
+let create () =
+  { mutex = Mutex.create (); resolved = Condition.create (); state = None }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let settle t outcome =
+  locked t (fun () ->
+      match t.state with
+      | Some _ -> false
+      | None ->
+        t.state <- Some outcome;
+        Condition.broadcast t.resolved;
+        true)
+
+let resolve t v = ignore (settle t (Value v))
+let fail t e = ignore (settle t (Failed e))
+let cancel t = settle t Cancelled
+let time_out t = ignore (settle t Timed_out)
+let peek t = locked t (fun () -> t.state)
+let is_pending t = peek t = None
+
+let await ?timeout_s t =
+  match timeout_s with
+  | None ->
+    locked t (fun () ->
+        while t.state = None do
+          Condition.wait t.resolved t.mutex
+        done;
+        Option.get t.state)
+  | Some limit ->
+    (* The stdlib Condition has no timed wait; poll with a short sleep.
+       This path is only taken by explicitly-timed awaits. *)
+    let deadline = Unix.gettimeofday () +. limit in
+    let rec poll () =
+      match peek t with
+      | Some o -> o
+      | None ->
+        if Unix.gettimeofday () >= deadline then Timed_out
+        else begin
+          Unix.sleepf 0.002;
+          poll ()
+        end
+    in
+    poll ()

@@ -1,0 +1,40 @@
+(** Write-once futures — the result handles of jobs submitted to the
+    worker {!Pool}.
+
+    A future starts [Pending] and is resolved exactly once, to a value, a
+    raised exception, [Cancelled] (the job was cancelled before a worker
+    started it) or [Timed_out] (its queue deadline expired before a worker
+    picked it up).  All operations are thread-safe across domains. *)
+
+type 'a outcome =
+  | Value of 'a
+  | Failed of exn
+  | Cancelled
+  | Timed_out
+
+type 'a t
+
+val create : unit -> 'a t
+
+val resolve : 'a t -> 'a -> unit
+(** First resolution wins; later resolutions of any kind are ignored. *)
+
+val fail : 'a t -> exn -> unit
+val cancel : 'a t -> bool
+(** Request cancellation.  Returns [true] when the future was still
+    pending (the job will be skipped when dequeued); [false] when it had
+    already been resolved — a running job is not preempted. *)
+
+val time_out : 'a t -> unit
+(** Resolve as [Timed_out] (used by the pool when a queue deadline
+    expires). *)
+
+val peek : 'a t -> 'a outcome option
+(** [None] while pending. *)
+
+val is_pending : 'a t -> bool
+
+val await : ?timeout_s:float -> 'a t -> 'a outcome
+(** Block until resolved.  With [timeout_s], give up after that many
+    seconds and return [Timed_out] {e without} resolving the future — the
+    job may still complete later; combine with {!cancel} to abandon it. *)

@@ -1,0 +1,127 @@
+type 'a entry = Done of { value : 'a; mutable tick : int } | In_flight
+
+type counters = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  landed : Condition.t;  (** broadcast whenever an in-flight entry settles *)
+  table : (string, 'a entry) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Lru_cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    landed = Condition.create ();
+    table = Hashtbl.create (min capacity 64);
+    capacity;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let completed_size t =
+  Hashtbl.fold
+    (fun _ e acc -> match e with Done _ -> acc + 1 | In_flight -> acc)
+    t.table 0
+
+(* Evict the least-recently-used completed entries until a new one fits.
+   Called with the mutex held. *)
+let make_room t =
+  while completed_size t >= t.capacity do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+           match (e, acc) with
+           | In_flight, _ -> acc
+           | Done d, Some (_, best) when best <= d.tick -> acc
+           | Done d, _ -> Some (k, d.tick))
+        t.table None
+    in
+    match victim with
+    | None -> raise Exit (* unreachable: completed_size > 0 *)
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+  done
+
+let rec find_or_compute t ~key thunk =
+  let action =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some (Done d) ->
+          t.clock <- t.clock + 1;
+          d.tick <- t.clock;
+          t.hits <- t.hits + 1;
+          `Hit d.value
+        | Some In_flight ->
+          Condition.wait t.landed t.mutex;
+          `Retry
+        | None ->
+          Hashtbl.replace t.table key In_flight;
+          t.misses <- t.misses + 1;
+          `Compute)
+  in
+  match action with
+  | `Hit v -> v
+  | `Retry -> find_or_compute t ~key thunk
+  | `Compute -> (
+      match thunk () with
+      | v ->
+        locked t (fun () ->
+            Hashtbl.remove t.table key;
+            make_room t;
+            t.clock <- t.clock + 1;
+            Hashtbl.replace t.table key (Done { value = v; tick = t.clock });
+            Condition.broadcast t.landed);
+        v
+      | exception e ->
+        locked t (fun () ->
+            Hashtbl.remove t.table key;
+            Condition.broadcast t.landed);
+        raise e)
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some (Done d) ->
+        t.clock <- t.clock + 1;
+        d.tick <- t.clock;
+        t.hits <- t.hits + 1;
+        Some d.value
+      | Some In_flight | None -> None)
+
+let counters t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = completed_size t;
+        capacity = t.capacity;
+      })
+
+let clear t =
+  locked t (fun () ->
+      let keys =
+        Hashtbl.fold
+          (fun k e acc -> match e with Done _ -> k :: acc | In_flight -> acc)
+          t.table []
+      in
+      List.iter (Hashtbl.remove t.table) keys)

@@ -1,0 +1,40 @@
+(** A bounded, thread-safe, memoizing LRU cache with request coalescing.
+
+    [find_or_compute] returns the cached value for a key, or runs the
+    supplied thunk and records its result.  Concurrent requests for the
+    same missing key are {e coalesced}: one caller computes, the others
+    block until the value lands (and count as hits) — so a burst of
+    identical expensive queries (e.g. the same state elimination from
+    several worker domains) costs one computation, not N.
+
+    Eviction is least-recently-used with an O(size) scan — capacities here
+    are small (hundreds of entries) and evictions rare, so constant-factor
+    simplicity wins over a linked-list LRU. *)
+
+type 'a t
+
+type counters = {
+  hits : int;  (** served from cache, including coalesced waiters *)
+  misses : int;  (** entries actually computed *)
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
+(** If the thunk raises, the exception propagates to its caller; coalesced
+    waiters retry (one of them becomes the new computer). *)
+
+val find : 'a t -> string -> 'a option
+(** Non-blocking probe of {e completed} entries: a present value counts as
+    a hit; [None] (absent or still in flight) records nothing, so a probe
+    followed by {!find_or_compute} counts the miss exactly once. *)
+
+val counters : 'a t -> counters
+
+val clear : 'a t -> unit
+(** Drop all completed entries (counters are kept; in-flight computations
+    are unaffected and will land in the emptied cache). *)

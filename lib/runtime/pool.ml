@@ -1,0 +1,131 @@
+exception Shutting_down
+
+type task = {
+  deadline : float option;  (* absolute, from submit-time timeout *)
+  skip : [ `Cancelled | `Timed_out ] -> unit;
+  cancelled : unit -> bool;
+  run : unit -> unit;
+}
+
+type t = {
+  mutex : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : task Queue.t;
+  capacity : int;
+  on_queue_depth : int -> unit;
+  mutable stopping : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let worker_loop t () =
+  let rec next () =
+    let job =
+      locked t (fun () ->
+          let rec wait () =
+            if not (Queue.is_empty t.queue) then begin
+              let task = Queue.pop t.queue in
+              Condition.signal t.not_full;
+              Some task
+            end
+            else if t.stopping then None
+            else begin
+              Condition.wait t.not_empty t.mutex;
+              wait ()
+            end
+          in
+          wait ())
+    in
+    match job with
+    | None -> ()
+    | Some task ->
+      (if task.cancelled () then task.skip `Cancelled
+       else
+         match task.deadline with
+         | Some d when Unix.gettimeofday () > d -> task.skip `Timed_out
+         | _ -> task.run ());
+      next ()
+  in
+  next ()
+
+let create ?(queue_capacity = 64) ?(on_queue_depth = ignore) ~workers () =
+  if workers < 1 then invalid_arg "Pool.create: need at least one worker";
+  if queue_capacity < 1 then invalid_arg "Pool.create: queue capacity >= 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      queue = Queue.create ();
+      capacity = queue_capacity;
+      on_queue_depth;
+      stopping = false;
+      domains = [];
+    }
+  in
+  t.domains <- List.init workers (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let workers t = List.length t.domains
+
+let submit t ?timeout_s f =
+  let fut = Future.create () in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let task =
+    {
+      deadline;
+      skip =
+        (fun reason ->
+           match reason with
+           | `Cancelled -> ignore (Future.cancel fut)
+           | `Timed_out -> Future.time_out fut);
+      cancelled =
+        (fun () ->
+           match Future.peek fut with
+           | Some Future.Cancelled -> true
+           | _ -> false);
+      run =
+        (fun () ->
+           match f () with
+           | v -> Future.resolve fut v
+           | exception e -> Future.fail fut e);
+    }
+  in
+  let depth =
+    locked t (fun () ->
+        let rec wait () =
+          if t.stopping then raise Shutting_down
+          else if Queue.length t.queue >= t.capacity then begin
+            Condition.wait t.not_full t.mutex;
+            wait ()
+          end
+          else begin
+            Queue.push task t.queue;
+            Condition.signal t.not_empty;
+            Queue.length t.queue
+          end
+        in
+        wait ())
+  in
+  t.on_queue_depth depth;
+  fut
+
+let shutdown ?(drain = true) t =
+  let to_join =
+    locked t (fun () ->
+        t.stopping <- true;
+        if not drain then begin
+          Queue.iter (fun task -> task.skip `Cancelled) t.queue;
+          Queue.clear t.queue
+        end;
+        Condition.broadcast t.not_empty;
+        Condition.broadcast t.not_full;
+        let ds = t.domains in
+        t.domains <- [];
+        ds)
+  in
+  List.iter Domain.join to_join

@@ -1,0 +1,45 @@
+(** A fixed-size pool of OCaml 5 domains draining a bounded job queue.
+
+    Submissions enqueue a thunk and return a {!Future}; worker domains
+    dequeue and run thunks in FIFO order.  The queue is bounded: when it is
+    full, {!submit} blocks until a worker makes room (back-pressure, not
+    unbounded buffering).
+
+    Cancellation and timeouts are cooperative at dequeue boundaries: a
+    cancelled future's job is skipped when a worker reaches it, and a job
+    whose queue deadline has passed resolves [Timed_out] instead of
+    running.  A job already running on a worker is never preempted.
+
+    {!shutdown} is graceful by default — queued jobs are drained before the
+    workers exit — or immediate with [~drain:false], which cancels every
+    queued job.  Either way all worker domains are joined before the call
+    returns, so shutdown never leaks domains and never deadlocks. *)
+
+type t
+
+exception Shutting_down
+(** Raised by {!submit} after {!shutdown} has begun. *)
+
+val create :
+  ?queue_capacity:int ->
+  ?on_queue_depth:(int -> unit) ->
+  workers:int ->
+  unit ->
+  t
+(** Spawn [workers] domains ([>= 1]).  [queue_capacity] bounds the number
+    of queued (not yet running) jobs, default 64.  [on_queue_depth] is
+    called with the queue length after every enqueue (for stats).
+    @raise Invalid_argument on [workers < 1] or [queue_capacity < 1]. *)
+
+val workers : t -> int
+
+val submit : t -> ?timeout_s:float -> (unit -> 'a) -> 'a Future.t
+(** Enqueue a job; blocks while the queue is full.  With [timeout_s], the
+    job must be {e dequeued} within that many seconds of submission or it
+    resolves [Timed_out] without running.
+    @raise Shutting_down once shutdown has begun. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Stop accepting work and join all workers.  [drain] (default [true])
+    lets queued jobs finish first; with [~drain:false] queued jobs resolve
+    [Cancelled].  Idempotent. *)

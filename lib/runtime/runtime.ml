@@ -1,0 +1,110 @@
+type t = {
+  pool : Pool.t;
+  worker_count : int;
+  stats : Runtime_stats.t;
+  report_cache : Job.outcome Lru_cache.t option;
+  elim_cache : Ratfun.t Lru_cache.t option;
+  mutable shut : bool;
+}
+
+let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
+    ?(elim_cache_capacity = 512) () =
+  let worker_count =
+    match workers with
+    | Some w -> w
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let stats = Runtime_stats.create () in
+  let pool =
+    Pool.create ~queue_capacity
+      ~on_queue_depth:(Runtime_stats.observe_queue_depth stats)
+      ~workers:worker_count ()
+  in
+  let report_cache =
+    if report_cache_capacity <= 0 then None
+    else Some (Lru_cache.create ~capacity:report_cache_capacity ())
+  in
+  let elim_cache =
+    if elim_cache_capacity <= 0 then None
+    else Some (Lru_cache.create ~capacity:elim_cache_capacity ())
+  in
+  (* Process-global hooks: stage timings and the elimination memo.  The
+     runtime owns them until shutdown. *)
+  Instr.set_recorder (Some (Runtime_stats.record_stage stats));
+  Option.iter
+    (fun cache ->
+       Elimination.set_memo
+         (Some (fun ~key ~compute -> Lru_cache.find_or_compute cache ~key compute)))
+    elim_cache;
+  { pool; worker_count; stats; report_cache; elim_cache; shut = false }
+
+let workers t = t.worker_count
+
+let submit t ?timeout_s job =
+  Runtime_stats.incr t.stats `Submitted;
+  match t.report_cache with
+  | None ->
+    let fut =
+      Pool.submit t.pool ?timeout_s (fun () ->
+          let outcome = Job.run job in
+          Runtime_stats.incr t.stats `Completed;
+          outcome)
+    in
+    fut
+  | Some cache -> (
+      let key = Job.digest job in
+      (* Probe without blocking: a completed entry resolves immediately on
+         the calling domain; otherwise the job goes through the pool, and
+         the worker stores (or coalesces on) the digest. *)
+      match Lru_cache.find cache key with
+      | Some outcome ->
+        Runtime_stats.incr t.stats `Report_hit;
+        Runtime_stats.incr t.stats `Completed;
+        let fut = Future.create () in
+        Future.resolve fut outcome;
+        fut
+      | None ->
+        Pool.submit t.pool ?timeout_s (fun () ->
+            let outcome =
+              Lru_cache.find_or_compute cache ~key (fun () -> Job.run job)
+            in
+            Runtime_stats.incr t.stats `Completed;
+            outcome))
+
+let run_batch t ?timeout_s jobs =
+  let futures = List.map (fun job -> submit t ?timeout_s job) jobs in
+  List.map
+    (fun fut ->
+       let outcome = Future.await fut in
+       (match outcome with
+        | Future.Value _ -> ()
+        | Future.Failed _ -> Runtime_stats.incr t.stats `Failed
+        | Future.Cancelled -> Runtime_stats.incr t.stats `Cancelled
+        | Future.Timed_out -> Runtime_stats.incr t.stats `Timed_out);
+       outcome)
+    futures
+
+let stats t = Runtime_stats.snapshot t.stats
+let report_cache_counters t = Option.map Lru_cache.counters t.report_cache
+let elim_cache_counters t = Option.map Lru_cache.counters t.elim_cache
+
+let stats_json t =
+  Runtime_stats.to_json ~workers:t.worker_count
+    ?report_cache:(report_cache_counters t)
+    ?elim_cache:(elim_cache_counters t) t.stats
+
+let shutdown ?drain t =
+  if not t.shut then begin
+    t.shut <- true;
+    Pool.shutdown ?drain t.pool;
+    Elimination.set_memo None;
+    Instr.set_recorder None
+  end
+
+let with_runtime ?workers ?queue_capacity ?report_cache_capacity
+    ?elim_cache_capacity f =
+  let t =
+    create ?workers ?queue_capacity ?report_cache_capacity
+      ?elim_cache_capacity ()
+  in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

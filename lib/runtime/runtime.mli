@@ -1,0 +1,64 @@
+(** The concurrent repair-job engine: queue → worker pool → caches → stats.
+
+    A runtime owns a domain worker {!Pool}, a memoizing report cache keyed
+    by {!Job.digest}, an elimination cache installed into
+    {!Elimination.set_memo} (so repeated parametric queries on structurally
+    identical chains skip state elimination entirely, across {e all} repair
+    entry points), and a {!Runtime_stats} collector fed by the {!Instr}
+    stage probes.
+
+    The elimination memo and stage recorder are process-global hooks; the
+    most recently created runtime owns them, and {!shutdown} uninstalls
+    them.  Create runtimes one at a time (the intended use: one runtime per
+    server process).
+
+    Jobs are deterministic, so a batch run on [k] workers produces results
+    byte-identical to sequential execution — see {!Job.pp_outcome}. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?report_cache_capacity:int ->
+  ?elim_cache_capacity:int ->
+  unit ->
+  t
+(** [workers] defaults to [Domain.recommended_domain_count () - 1], at
+    least 1.  [report_cache_capacity] (default 256) and
+    [elim_cache_capacity] (default 512) bound the two LRU caches; [0]
+    disables the corresponding cache. *)
+
+val workers : t -> int
+
+val submit : t -> ?timeout_s:float -> Job.t -> Job.outcome Future.t
+(** Submit a job.  On a report-cache hit the returned future is already
+    resolved and the pool is never touched; otherwise the job is enqueued
+    ({!Pool.submit} semantics, including back-pressure and [timeout_s]). *)
+
+val run_batch :
+  t -> ?timeout_s:float -> Job.t list -> Job.outcome Future.outcome list
+(** Submit every job, then await them all; results are in submission
+    order regardless of completion order. *)
+
+val stats : t -> Runtime_stats.snapshot
+
+val report_cache_counters : t -> Lru_cache.counters option
+val elim_cache_counters : t -> Lru_cache.counters option
+
+val stats_json : t -> string
+(** The full instrumentation dump: job counters, queue high-water mark,
+    per-stage wall-clock totals, cache hit rates. *)
+
+val shutdown : ?drain:bool -> t -> unit
+(** Shut the pool down ({!Pool.shutdown}) and uninstall the global
+    elimination memo and stage recorder.  Idempotent. *)
+
+val with_runtime :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?report_cache_capacity:int ->
+  ?elim_cache_capacity:int ->
+  (t -> 'a) ->
+  'a
+(** [create], run the function, always [shutdown]. *)

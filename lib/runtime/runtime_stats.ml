@@ -1,0 +1,141 @@
+type stage_totals = { count : int; total_s : float }
+
+type snapshot = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  timed_out : int;
+  report_cache_hits : int;
+  max_queue_depth : int;
+  stages : (string * stage_totals) list;
+}
+
+type counter =
+  [ `Submitted | `Completed | `Failed | `Cancelled | `Timed_out | `Report_hit ]
+
+type t = {
+  mutex : Mutex.t;
+  mutable submitted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable cancelled : int;
+  mutable timed_out : int;
+  mutable report_cache_hits : int;
+  mutable max_queue_depth : int;
+  stage_counts : int array;  (* indexed by stage *)
+  stage_totals : float array;
+}
+
+let stage_index = function
+  | Instr.Learn -> 0
+  | Instr.Eliminate -> 1
+  | Instr.Solve -> 2
+  | Instr.Check -> 3
+
+let all_stages = [ Instr.Learn; Instr.Eliminate; Instr.Solve; Instr.Check ]
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    submitted = 0;
+    completed = 0;
+    failed = 0;
+    cancelled = 0;
+    timed_out = 0;
+    report_cache_hits = 0;
+    max_queue_depth = 0;
+    stage_counts = Array.make 4 0;
+    stage_totals = Array.make 4 0.0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let incr t which =
+  locked t (fun () ->
+      match which with
+      | `Submitted -> t.submitted <- t.submitted + 1
+      | `Completed -> t.completed <- t.completed + 1
+      | `Failed -> t.failed <- t.failed + 1
+      | `Cancelled -> t.cancelled <- t.cancelled + 1
+      | `Timed_out -> t.timed_out <- t.timed_out + 1
+      | `Report_hit -> t.report_cache_hits <- t.report_cache_hits + 1)
+
+let record_stage t stage dt =
+  locked t (fun () ->
+      let i = stage_index stage in
+      t.stage_counts.(i) <- t.stage_counts.(i) + 1;
+      t.stage_totals.(i) <- t.stage_totals.(i) +. dt)
+
+let observe_queue_depth t depth =
+  locked t (fun () ->
+      if depth > t.max_queue_depth then t.max_queue_depth <- depth)
+
+let snapshot t =
+  locked t (fun () ->
+      {
+        submitted = t.submitted;
+        completed = t.completed;
+        failed = t.failed;
+        cancelled = t.cancelled;
+        timed_out = t.timed_out;
+        report_cache_hits = t.report_cache_hits;
+        max_queue_depth = t.max_queue_depth;
+        stages =
+          List.map
+            (fun s ->
+               let i = stage_index s in
+               ( Instr.stage_name s,
+                 { count = t.stage_counts.(i); total_s = t.stage_totals.(i) } ))
+            all_stages;
+      })
+
+(* ------------------------------ JSON ------------------------------ *)
+
+let json_cache name (c : Lru_cache.counters) =
+  let total = c.Lru_cache.hits + c.Lru_cache.misses in
+  let rate =
+    if total = 0 then 0.0
+    else float_of_int c.Lru_cache.hits /. float_of_int total
+  in
+  Printf.sprintf
+    "\"%s\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d, \"size\": %d, \
+     \"capacity\": %d, \"hit_rate\": %.4f}"
+    name c.Lru_cache.hits c.Lru_cache.misses c.Lru_cache.evictions
+    c.Lru_cache.size c.Lru_cache.capacity rate
+
+let to_json ~workers ?report_cache ?elim_cache t =
+  let s = snapshot t in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"jobs\": {\"submitted\": %d, \"completed\": %d, \"failed\": %d, \
+        \"cancelled\": %d, \"timed_out\": %d, \"report_cache_hits\": %d},\n"
+       s.submitted s.completed s.failed s.cancelled s.timed_out
+       s.report_cache_hits);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"queue\": {\"max_depth\": %d},\n" s.max_queue_depth);
+  Buffer.add_string buf (Printf.sprintf "  \"workers\": %d,\n" workers);
+  let caches =
+    List.filter_map
+      (fun x -> x)
+      [ Option.map (json_cache "report") report_cache;
+        Option.map (json_cache "elimination") elim_cache;
+      ]
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"caches\": {%s},\n" (String.concat ", " caches));
+  let stages =
+    List.map
+      (fun (name, st) ->
+         Printf.sprintf "\"%s\": {\"count\": %d, \"total_s\": %.6f}" name
+           st.count st.total_s)
+      s.stages
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "  \"stages\": {%s}\n" (String.concat ", " stages));
+  Buffer.add_string buf "}";
+  Buffer.contents buf

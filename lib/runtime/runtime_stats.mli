@@ -1,0 +1,42 @@
+(** Thread-safe instrumentation counters for the repair runtime.
+
+    Collects job counts, queue-depth high-water mark and per-stage
+    wall-clock totals (fed by {!Instr} recorders installed by
+    {!Runtime.create}), and renders everything — together with the cache
+    counters — as a JSON object. *)
+
+type t
+
+type stage_totals = { count : int; total_s : float }
+
+type snapshot = {
+  submitted : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  timed_out : int;
+  report_cache_hits : int;
+      (** jobs answered from the report cache without touching the pool *)
+  max_queue_depth : int;
+  stages : (string * stage_totals) list;
+      (** keyed by {!Instr.stage_name}: learn / eliminate / solve / check *)
+}
+
+type counter =
+  [ `Submitted | `Completed | `Failed | `Cancelled | `Timed_out | `Report_hit ]
+
+val create : unit -> t
+val incr : t -> counter -> unit
+val record_stage : t -> Instr.stage -> float -> unit
+val observe_queue_depth : t -> int -> unit
+val snapshot : t -> snapshot
+
+val to_json :
+  workers:int ->
+  ?report_cache:Lru_cache.counters ->
+  ?elim_cache:Lru_cache.counters ->
+  t ->
+  string
+(** A self-contained JSON object: job counters, queue high-water mark,
+    per-stage timings, worker count and (when supplied) cache counters
+    with their hit rates. *)

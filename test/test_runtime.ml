@@ -1,0 +1,306 @@
+(* Tests for the concurrent repair-job runtime: the worker pool, futures,
+   the memoizing caches and the Runtime facade.  Repair jobs reuse the
+   small branch DTMC of test_core.ml so the suite stays fast. *)
+
+let parse = Pctl_parser.parse
+
+(* 0 -> goal(1) 0.3 | fail(2) 0.7, absorbing. *)
+let branch () =
+  Dtmc.make ~n:3 ~init:0
+    ~transitions:[ (0, 1, 0.3); (0, 2, 0.7); (1, 1, 1.0); (2, 2, 1.0) ]
+    ~labels:[ ("goal", [ 1 ]); ("fail", [ 2 ]) ]
+    ()
+
+let branch_spec () =
+  {
+    Model_repair.variables = [ ("v", 0.0, 0.5) ];
+    deltas = [ (0, 1, Ratfun.var "v"); (0, 2, Ratfun.neg (Ratfun.var "v")) ];
+  }
+
+(* Model-repair jobs against a sweep of probability bounds; all share the
+   branch model, so they also share one parametric elimination. *)
+let repair_jobs bounds =
+  let model = branch () in
+  let spec = branch_spec () in
+  List.map
+    (fun b ->
+       Job.Model_repair
+         {
+           model;
+           phi = parse (Printf.sprintf "P>=%g [ F goal ]" b);
+           spec;
+           starts = 2;
+         })
+    bounds
+
+let bounds = [ 0.5; 0.25; 0.45; 0.5; 0.35; 0.6; 0.4; 0.55 ]
+let render o = Format.asprintf "%a" Job.pp_outcome o
+
+let value = function
+  | Future.Value v -> v
+  | Future.Failed e -> Alcotest.failf "job failed: %s" (Printexc.to_string e)
+  | Future.Cancelled -> Alcotest.fail "job cancelled"
+  | Future.Timed_out -> Alcotest.fail "job timed out"
+
+(* ------------------------------- pool ---------------------------------- *)
+
+let test_pool_submits_and_collects () =
+  let pool = Pool.create ~workers:2 () in
+  let futures = List.init 20 (fun i -> Pool.submit pool (fun () -> i * i)) in
+  let results = List.map (fun f -> value (Future.await f)) futures in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "all jobs ran, in submission order"
+    (List.init 20 (fun i -> i * i))
+    results
+
+let test_pool_propagates_exceptions () =
+  let pool = Pool.create ~workers:1 () in
+  let fut = Pool.submit pool (fun () -> failwith "boom") in
+  (match Future.await fut with
+   | Future.Failed (Failure msg) -> Alcotest.(check string) "message" "boom" msg
+   | _ -> Alcotest.fail "expected Failed (Failure boom)");
+  Pool.shutdown pool
+
+let test_pool_backpressure () =
+  (* Capacity-1 queue with a blocked worker: the third submit must wait
+     for the queue slot, not crash or drop the job. *)
+  let pool = Pool.create ~workers:1 ~queue_capacity:1 () in
+  let futures =
+    List.init 3 (fun i ->
+        Pool.submit pool (fun () -> Unix.sleepf 0.02; i))
+  in
+  let results = List.map (fun f -> value (Future.await f)) futures in
+  Pool.shutdown pool;
+  Alcotest.(check (list int)) "fifo through a full queue" [ 0; 1; 2 ] results
+
+(* ------------------------- timeout / cancellation ---------------------- *)
+
+let test_job_timeout () =
+  let pool = Pool.create ~workers:1 () in
+  (* Occupy the only worker, then give the next job a deadline it cannot
+     meet while queued. *)
+  let slow = Pool.submit pool (fun () -> Unix.sleepf 0.2; "slow") in
+  let quick = Pool.submit pool ~timeout_s:0.05 (fun () -> "quick") in
+  (match Future.await quick with
+   | Future.Timed_out -> ()
+   | _ -> Alcotest.fail "expected Timed_out");
+  Alcotest.(check string) "slow job unaffected" "slow" (value (Future.await slow));
+  Pool.shutdown pool
+
+let test_await_timeout_leaves_future_pending () =
+  let fut : int Future.t = Future.create () in
+  (match Future.await ~timeout_s:0.05 fut with
+   | Future.Timed_out -> ()
+   | _ -> Alcotest.fail "expected Timed_out from await");
+  Alcotest.(check bool) "still pending" true (Future.is_pending fut);
+  Future.resolve fut 7;
+  Alcotest.(check int) "late resolution lands" 7 (value (Future.await fut))
+
+let test_cancellation () =
+  let pool = Pool.create ~workers:1 () in
+  let slow = Pool.submit pool (fun () -> Unix.sleepf 0.1; "slow") in
+  let doomed = Pool.submit pool (fun () -> "never runs") in
+  Alcotest.(check bool) "cancel pending" true (Future.cancel doomed);
+  (match Future.await doomed with
+   | Future.Cancelled -> ()
+   | _ -> Alcotest.fail "expected Cancelled");
+  Alcotest.(check string) "other job survives" "slow" (value (Future.await slow));
+  Alcotest.(check bool) "cancel resolved is refused" false (Future.cancel slow);
+  Pool.shutdown pool
+
+(* ------------------------------ shutdown ------------------------------- *)
+
+let test_shutdown_drains_queued_jobs () =
+  let pool = Pool.create ~workers:1 () in
+  let futures =
+    List.init 5 (fun i -> Pool.submit pool (fun () -> Unix.sleepf 0.01; i))
+  in
+  Pool.shutdown pool (* drain=true: must not deadlock, must finish all *);
+  let results = List.map (fun f -> value (Future.await f)) futures in
+  Alcotest.(check (list int)) "all queued jobs drained" [ 0; 1; 2; 3; 4 ] results;
+  match Pool.submit pool (fun () -> 0) with
+  | exception Pool.Shutting_down -> ()
+  | _ -> Alcotest.fail "submit after shutdown must raise"
+
+let test_shutdown_no_drain_cancels_queue () =
+  let pool = Pool.create ~workers:1 () in
+  let started = Atomic.make false in
+  let slow =
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        Unix.sleepf 0.05;
+        "slow")
+  in
+  let queued = List.init 4 (fun _ -> Pool.submit pool (fun () -> "queued")) in
+  (* Only shut down once the worker is actually running the slow job, so
+     the queued jobs are the ones cancelled. *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Pool.shutdown ~drain:false pool;
+  (* The running job completes (never preempted); queued jobs resolve
+     Cancelled rather than hanging. *)
+  Alcotest.(check string) "running job finished" "slow" (value (Future.await slow));
+  List.iter
+    (fun f ->
+       match Future.await f with
+       | Future.Cancelled -> ()
+       | _ -> Alcotest.fail "queued job should be Cancelled")
+    queued
+
+(* ------------------------------ lru cache ------------------------------ *)
+
+let test_lru_cache_basics () =
+  let cache = Lru_cache.create ~capacity:2 () in
+  let calls = ref 0 in
+  let get k = Lru_cache.find_or_compute cache ~key:k (fun () -> incr calls; k) in
+  Alcotest.(check string) "computes" "a" (get "a");
+  Alcotest.(check string) "cached" "a" (get "a");
+  Alcotest.(check int) "one computation" 1 !calls;
+  ignore (get "b");
+  ignore (get "a") (* refresh a: b is now the LRU victim *);
+  ignore (get "c") (* evicts b *);
+  ignore (get "a");
+  let c = Lru_cache.counters cache in
+  Alcotest.(check int) "evictions" 1 c.Lru_cache.evictions;
+  Alcotest.(check int) "misses" 3 c.Lru_cache.misses;
+  Alcotest.(check int) "b recomputes after eviction" 3 !calls;
+  ignore (get "b");
+  Alcotest.(check int) "fourth computation" 4 !calls
+
+let test_lru_cache_failure_not_cached () =
+  let cache = Lru_cache.create ~capacity:4 () in
+  (match Lru_cache.find_or_compute cache ~key:"k" (fun () -> failwith "nope") with
+   | exception Failure msg -> Alcotest.(check string) "message" "nope" msg
+   | _ -> Alcotest.fail "expected the computation's exception");
+  Alcotest.(check int) "retry recomputes" 3
+    (Lru_cache.find_or_compute cache ~key:"k" (fun () -> 3))
+
+(* ------------------------------- runtime ------------------------------- *)
+
+let test_batch_matches_sequential () =
+  let jobs = repair_jobs bounds in
+  let sequential = List.map (fun j -> render (Job.run j)) jobs in
+  List.iter
+    (fun workers ->
+       Runtime.with_runtime ~workers (fun rt ->
+           let got =
+             List.map (fun o -> render (value o)) (Runtime.run_batch rt jobs)
+           in
+           Alcotest.(check (list string))
+             (Printf.sprintf "workers=%d matches sequential" workers)
+             sequential got))
+    [ 1; 2; 4 ]
+
+let test_report_cache_hits_on_repeat () =
+  let jobs = repair_jobs bounds in
+  Runtime.with_runtime ~workers:2 (fun rt ->
+      let first = List.map (fun o -> render (value o)) (Runtime.run_batch rt jobs) in
+      let second = List.map (fun o -> render (value o)) (Runtime.run_batch rt jobs) in
+      Alcotest.(check (list string)) "identical reports on repeat" first second;
+      let stats = Runtime.stats rt in
+      Alcotest.(check int) "every repeat is a report-cache hit"
+        (List.length jobs) stats.Runtime_stats.report_cache_hits;
+      (match Runtime.elim_cache_counters rt with
+       | Some c ->
+         Alcotest.(check bool) "elimination coalesced across bounds" true
+           (c.Lru_cache.hits > 0);
+         (* 8 bounds, one shared parametric model: one elimination. *)
+         Alcotest.(check int) "single elimination" 1 c.Lru_cache.misses
+       | None -> Alcotest.fail "elimination cache should be on");
+      Alcotest.(check int) "all jobs accounted"
+        (2 * List.length jobs) stats.Runtime_stats.completed)
+
+let test_runtime_stage_timings () =
+  Runtime.with_runtime ~workers:1 (fun rt ->
+      let _ = Runtime.run_batch rt (repair_jobs [ 0.5 ]) in
+      let stats = Runtime.stats rt in
+      let stage s = List.assoc s stats.Runtime_stats.stages in
+      let elim = stage "eliminate" in
+      let solve = stage "solve" in
+      Alcotest.(check bool) "elimination observed" true
+        (elim.Runtime_stats.count >= 1);
+      Alcotest.(check bool) "elimination time nonnegative" true
+        (elim.Runtime_stats.total_s >= 0.0);
+      Alcotest.(check bool) "solver observed" true (solve.Runtime_stats.count >= 1);
+      let json = Runtime.stats_json rt in
+      let contains needle =
+        let nl = String.length needle and jl = String.length json in
+        let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+           Alcotest.(check bool)
+             (Printf.sprintf "stats json mentions %s" needle)
+             true (contains needle))
+        [ "\"jobs\""; "\"eliminate\""; "\"hit_rate\""; "\"workers\": 1" ])
+
+let test_runtime_cache_disabled () =
+  let jobs = repair_jobs [ 0.5; 0.5 ] in
+  Runtime.with_runtime ~workers:1 ~report_cache_capacity:0
+    ~elim_cache_capacity:0 (fun rt ->
+      let outcomes = Runtime.run_batch rt jobs in
+      Alcotest.(check int) "both ran" 2 (List.length outcomes);
+      Alcotest.(check bool) "no report cache" true
+        (Runtime.report_cache_counters rt = None);
+      Alcotest.(check bool) "no elim cache" true
+        (Runtime.elim_cache_counters rt = None);
+      let stats = Runtime.stats rt in
+      Alcotest.(check int) "no hits counted" 0
+        stats.Runtime_stats.report_cache_hits)
+
+let test_digest_distinguishes_jobs () =
+  let jobs = repair_jobs [ 0.5; 0.25 ] in
+  let again = repair_jobs [ 0.5 ] in
+  match (jobs, again) with
+  | [ a; b ], [ a' ] ->
+    Alcotest.(check bool) "different bounds differ" true
+      (Job.digest a <> Job.digest b);
+    Alcotest.(check string) "structurally equal jobs share a digest"
+      (Job.digest a) (Job.digest a')
+  | _ -> assert false
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "submits and collects" `Quick
+            test_pool_submits_and_collects;
+          Alcotest.test_case "propagates exceptions" `Quick
+            test_pool_propagates_exceptions;
+          Alcotest.test_case "backpressure" `Quick test_pool_backpressure;
+        ] );
+      ( "timeout-cancel",
+        [
+          Alcotest.test_case "queue timeout" `Quick test_job_timeout;
+          Alcotest.test_case "await timeout" `Quick
+            test_await_timeout_leaves_future_pending;
+          Alcotest.test_case "cancellation" `Quick test_cancellation;
+        ] );
+      ( "shutdown",
+        [
+          Alcotest.test_case "drains queued jobs" `Quick
+            test_shutdown_drains_queued_jobs;
+          Alcotest.test_case "no-drain cancels queue" `Quick
+            test_shutdown_no_drain_cancels_queue;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru basics" `Quick test_lru_cache_basics;
+          Alcotest.test_case "failures not cached" `Quick
+            test_lru_cache_failure_not_cached;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "batch matches sequential" `Quick
+            test_batch_matches_sequential;
+          Alcotest.test_case "report cache on repeat" `Quick
+            test_report_cache_hits_on_repeat;
+          Alcotest.test_case "stage timings" `Quick test_runtime_stage_timings;
+          Alcotest.test_case "caches disabled" `Quick
+            test_runtime_cache_disabled;
+          Alcotest.test_case "job digests" `Quick test_digest_distinguishes_jobs;
+        ] );
+    ]
