@@ -1,10 +1,14 @@
-.PHONY: all test bench clean
+.PHONY: all test fault-test bench clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+# Chaos suite only: fault injection, supervision, retries, deadlines.
+fault-test:
+	dune exec -- test/test_faults.exe
 
 bench:
 	dune exec -- bench/main.exe

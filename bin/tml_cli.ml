@@ -515,18 +515,104 @@ let stats_arg =
              stdout) after the last batch." in
   Arg.(value & opt (some string) None & info [ "stats" ] ~docv:"FILE" ~doc)
 
-let run_batch_cmd suite jobs workers repeat stats =
+let retries_arg =
+  let doc = "Retry transiently-failed jobs up to this many times (capped \
+             jittered exponential backoff; 0 disables retries)." in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+
+let retry_backoff_arg =
+  let doc = "Base backoff between retries, in milliseconds (doubles per \
+             attempt, jittered deterministically)." in
+  Arg.(value & opt float 50.0 & info [ "retry-backoff-ms" ] ~docv:"MS" ~doc)
+
+let parse_fault_spec s =
+  let site_of = function
+    | "learn" -> Ok Fault.Learn
+    | "eliminate" -> Ok Fault.Eliminate
+    | "solve" -> Ok Fault.Solve
+    | "check" -> Ok Fault.Check
+    | "cache" -> Ok Fault.Cache
+    | "worker" -> Ok Fault.Worker
+    | site -> Error (Printf.sprintf "unknown fault site %S" site)
+  in
+  let int_field what v =
+    match int_of_string_opt v with
+    | Some i when i >= 0 -> Ok i
+    | _ -> Error (Printf.sprintf "bad fault %s %S" what v)
+  in
+  let parts = String.split_on_char ':' (String.lowercase_ascii s) in
+  let open Result in
+  let ( let* ) = bind in
+  match parts with
+  | [] | [ "" ] -> Error "empty fault spec"
+  | site :: rest ->
+    let* site = site_of site in
+    let* action, rest =
+      match rest with
+      | [] -> Ok (Fault.Raise, [])
+      | "raise" :: r -> Ok (Fault.Raise, r)
+      | "nan" :: r -> Ok (Fault.Nan, r)
+      | "delay" :: ms :: r -> (
+          match float_of_string_opt ms with
+          | Some ms when ms >= 0.0 -> Ok (Fault.Delay (ms /. 1000.0), r)
+          | _ -> Error (Printf.sprintf "bad fault delay %S" ms))
+      | "delay" :: [] -> Error "fault action delay needs DELAY_MS"
+      | a :: _ -> Error (Printf.sprintf "unknown fault action %S" a)
+    in
+    let* fires =
+      match rest with
+      | [] -> Ok 1
+      | [ c ] -> int_field "count" c
+      | _ -> Error (Printf.sprintf "trailing junk in fault spec %S" s)
+    in
+    Ok (Fault.spec ~fires site action)
+
+let inject_fault_arg =
+  let doc =
+    "Inject a deterministic fault, SITE[:ACTION[:ARGS]] (repeatable). \
+     SITE is one of $(b,learn), $(b,eliminate), $(b,solve), $(b,check), \
+     $(b,cache), $(b,worker); ACTION is $(b,raise) (default), $(b,nan), or \
+     $(b,delay):MS. A trailing :COUNT sets how many times the fault fires \
+     (default 1), e.g. --inject-fault solve:nan:2 or \
+     --inject-fault cache:delay:250:3."
+  in
+  Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
+
+let run_batch_cmd suite jobs workers repeat stats retries retry_backoff_ms
+    fault_specs seed =
   exit_of_result
     (if jobs < 1 then Error "need at least one job"
      else if workers < 1 then Error "need at least one worker"
      else begin
        let job_list = batch_jobs suite jobs in
+       let retry =
+         if retries <= 0 then None
+         else
+           Some
+             (Retry.make ~max_retries:retries
+                ~base_backoff_ms:retry_backoff_ms ~seed ())
+       in
+       match
+         List.fold_left
+           (fun acc s ->
+              match (acc, parse_fault_spec s) with
+              | Error _, _ -> acc
+              | _, (Error _ as e) -> e
+              | Ok specs, Ok spec -> Ok (spec :: specs))
+           (Ok []) fault_specs
+       with
+       | Error msg -> Error msg
+       | Ok fault_specs ->
+       (match fault_specs with
+        | [] -> ()
+        | specs -> Fault.install (Some (Fault.plan ~seed (List.rev specs))));
+       Fun.protect ~finally:(fun () -> Fault.install None) @@ fun () ->
        try
          Runtime.with_runtime ~workers (fun rt ->
            let all_ok = ref true in
            for round = 1 to max 1 repeat do
              if repeat > 1 then Printf.printf "-- round %d --\n" round;
-             let outcomes = Runtime.run_batch rt job_list in
+             let outcomes = Runtime.run_batch rt ?retry job_list in
              List.iteri
                (fun i (job, outcome) ->
                   Printf.printf "== job %d (%s) ==\n" (i + 1) (Job.kind job);
@@ -570,7 +656,8 @@ let batch_cmd =
     (Cmd.info "batch" ~doc ~man)
     Term.(
       const run_batch_cmd $ suite_arg $ jobs_arg $ workers_arg $ repeat_arg
-      $ stats_arg)
+      $ stats_arg $ retries_arg $ retry_backoff_arg $ inject_fault_arg
+      $ seed_arg)
 
 (* ----------------------------- experiments ---------------------------- *)
 

@@ -6,10 +6,45 @@ let stage_name = function
   | Solve -> "solve"
   | Check -> "check"
 
+let fault_site = function
+  | Learn -> Fault.Learn
+  | Eliminate -> Fault.Eliminate
+  | Solve -> Fault.Solve
+  | Check -> Fault.Check
+
 let recorder : (stage -> float -> unit) option Atomic.t = Atomic.make None
 let set_recorder r = Atomic.set recorder r
 
+(* ------------------------ cancellation tokens ------------------------ *)
+
+exception Deadline_exceeded
+exception Cancelled_in_flight
+
+type token = { deadline : float option; cancelled : unit -> bool }
+
+let token_key : token option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_token tok f =
+  let slot = Domain.DLS.get token_key in
+  let saved = !slot in
+  slot := tok;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let checkpoint () =
+  match !(Domain.DLS.get token_key) with
+  | None -> ()
+  | Some tok ->
+    if tok.cancelled () then raise Cancelled_in_flight;
+    (match tok.deadline with
+     | Some d when Unix.gettimeofday () > d -> raise Deadline_exceeded
+     | _ -> ())
+
+(* ------------------------------ timing ------------------------------ *)
+
 let time stage f =
+  Fault.with_site (fault_site stage) @@ fun () ->
+  checkpoint ();
   match Atomic.get recorder with
   | None -> f ()
   | Some record ->

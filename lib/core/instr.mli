@@ -6,6 +6,16 @@
     installable recorder.  With no recorder installed the probes are free
     (a single atomic load per stage).
 
+    The probes also serve two fault-tolerance duties:
+
+    - {b fault injection}: every stage entry is a {!Fault} site, so an
+      installed chaos plan can raise, delay or NaN-corrupt a stage;
+    - {b in-flight cancellation}: a worker installs a {!token} around each
+      job, and {!time} polls it at every stage boundary — a job whose
+      deadline expired (or whose future was cancelled) mid-run raises
+      {!Deadline_exceeded} / {!Cancelled_in_flight} at the next stage
+      instead of running to completion.
+
     The runtime layer ([Runtime.Stats]) installs a thread-safe recorder
     here; recorders may be called concurrently from several domains. *)
 
@@ -18,6 +28,28 @@ val set_recorder : (stage -> float -> unit) option -> unit
 (** Install (or remove) the process-wide recorder.  The recorder receives
     the stage and its elapsed wall-clock seconds, once per timed section. *)
 
+exception Deadline_exceeded
+(** Raised by a stage-boundary checkpoint when the current token's
+    deadline has passed. *)
+
+exception Cancelled_in_flight
+(** Raised by a stage-boundary checkpoint when the current token reports
+    cancellation. *)
+
+type token = { deadline : float option; cancelled : unit -> bool }
+(** A cooperative cancellation token: an absolute wall-clock deadline and
+    a cancellation probe, both polled between stages. *)
+
+val with_token : token option -> (unit -> 'a) -> 'a
+(** Install [tok] for the current domain for the duration of [f] (tokens
+    nest; the previous token is restored on exit). *)
+
+val checkpoint : unit -> unit
+(** Poll the current token, raising {!Cancelled_in_flight} or
+    {!Deadline_exceeded}.  No-op without a token.  Called automatically
+    at every {!time} entry; long custom stages may poll it directly. *)
+
 val time : stage -> (unit -> 'a) -> 'a
-(** [time stage f] runs [f ()], reporting its duration to the recorder (if
-    any).  Exceptions propagate; the duration is still reported. *)
+(** [time stage f] probes the stage's {!Fault} site, polls {!checkpoint},
+    then runs [f ()], reporting its duration to the recorder (if any).
+    Exceptions propagate; the duration is still reported. *)

@@ -11,6 +11,7 @@ type repaired = {
   symbolic_constraint : Ratfun.t;
   verified : bool;
   epsilon_bisimilarity : float;
+  solver_rung : string;
 }
 
 type result =
@@ -64,8 +65,12 @@ let default_cost x = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x
 
 let edge_margin = 1e-9
 
+let method_name = function
+  | Nlp.Penalty -> "penalty"
+  | Nlp.Augmented_lagrangian -> "augmented-lagrangian"
+
 let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
-    ?(force = false) dtmc phi spec =
+    ?(force = false) ?(fallback = false) dtmc phi spec =
   (* Step 1: verify the original model (§II pipeline). *)
   let original =
     Instr.time Instr.Check (fun () -> Check_dtmc.check_verbose dtmc phi)
@@ -122,10 +127,12 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
     in
     match
       Instr.time Instr.Solve (fun () ->
-          Nlp.solve ~method_:solver ~starts ~seed problem)
+          if fallback then Nlp.solve_with_fallback ~starts ~seed problem
+          else (Nlp.solve ~method_:solver ~starts ~seed problem,
+                method_name solver))
     with
-    | Nlp.Infeasible s -> Infeasible { min_violation = s.Nlp.max_violation }
-    | Nlp.Feasible s ->
+    | Nlp.Infeasible s, _ -> Infeasible { min_violation = s.Nlp.max_violation }
+    | Nlp.Feasible s, rung ->
       (* Step 4: instantiate and re-verify numerically. *)
       let assignment = List.mapi (fun i n -> (n, s.Nlp.x.(i))) var_names in
       let env v = Ratio.of_float (List.assoc v assignment) in
@@ -143,5 +150,6 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
           symbolic_constraint = query.Pquery.value;
           verified = verdict.Check_dtmc.holds;
           epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;
+          solver_rung = rung;
         }
   end

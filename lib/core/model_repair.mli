@@ -35,6 +35,11 @@ type repaired = {
           largest entry of the realised perturbation matrix [Z]
           (computed as {!Bisimulation.epsilon_bound} between the original
           and repaired chains). *)
+  solver_rung : string;
+      (** which solver rung produced the solution: the method name for a
+          plain [repair], or the {!Nlp.solve_with_fallback} rung label
+          ("augmented-lagrangian", "penalty", "penalty-wide") under
+          [~fallback:true]. *)
 }
 
 type result =
@@ -52,13 +57,17 @@ val repair :
   ?seed:int ->
   ?cost:(float array -> float) ->
   ?force:bool ->
+  ?fallback:bool ->
   Dtmc.t ->
   Pctl.state_formula ->
   spec ->
   result
 (** [repair m φ spec]. With [force] the repair runs even when [m ⊨ φ]
     already. The default [cost] is the squared L2 norm of the perturbation
-    vector (the Frobenius-norm cost of Eq. 1).
+    vector (the Frobenius-norm cost of Eq. 1).  With [fallback] the NLP is
+    solved by {!Nlp.solve_with_fallback} — escalating augmented Lagrangian
+    → penalty → a wider multistart before conceding infeasibility; the
+    successful rung is recorded in [solver_rung].
     @raise Invalid_argument on malformed specs (unknown edges, unbalanced
     rows, duplicate variables).
     @raise Pquery.Unsupported on properties outside the parametric

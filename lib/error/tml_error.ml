@@ -1,0 +1,38 @@
+type severity = Transient | Permanent
+
+type kind =
+  | Solver_nonconvergence of string
+  | Timeout of string
+  | Cache_race of string
+  | Injected_fault of string
+  | Malformed_model of string
+  | Empty_feasible_box of string
+  | Internal of string
+
+exception Error of kind
+
+let severity = function
+  | Solver_nonconvergence _ | Timeout _ | Cache_race _ | Injected_fault _ ->
+    Transient
+  | Malformed_model _ | Empty_feasible_box _ | Internal _ -> Permanent
+
+let classify = function
+  | Error k -> severity k
+  | _ -> Permanent
+
+let to_string = function
+  | Solver_nonconvergence m -> "solver non-convergence: " ^ m
+  | Timeout m -> "timeout: " ^ m
+  | Cache_race m -> "cache race: " ^ m
+  | Injected_fault m -> "injected fault: " ^ m
+  | Malformed_model m -> "malformed model: " ^ m
+  | Empty_feasible_box m -> "empty feasible box: " ^ m
+  | Internal m -> "internal error: " ^ m
+
+let transient msg = Error (Solver_nonconvergence msg)
+let is_transient e = classify e = Transient
+
+let () =
+  Printexc.register_printer (function
+    | Error k -> Some ("Tml_error.Error: " ^ to_string k)
+    | _ -> None)

@@ -1,0 +1,45 @@
+(** Typed failure taxonomy for the repair stack.
+
+    Every failure the runtime can observe is classified as either
+    {e transient} — worth retrying, because a re-run of the same
+    deterministic job can succeed (solver non-convergence, an expired
+    in-flight budget, a cache fill that lost a race, an injected chaos
+    fault) — or {e permanent} — retrying is pointless (malformed model,
+    empty feasible box, programming errors).
+
+    The retry layer ({!Runtime.submit}) re-runs only transient failures;
+    everything else fails the job's future immediately. *)
+
+type severity = Transient | Permanent
+
+type kind =
+  | Solver_nonconvergence of string
+      (** the NLP solver diverged (e.g. every candidate had a non-finite
+          objective) — a different start or method may converge *)
+  | Timeout of string  (** a stage-level budget expired *)
+  | Cache_race of string  (** a coalesced cache fill was lost mid-flight *)
+  | Injected_fault of string  (** raised by {!Fault} during chaos testing *)
+  | Malformed_model of string  (** bad input model or spec *)
+  | Empty_feasible_box of string  (** the repair search space is empty *)
+  | Internal of string  (** invariant violation; never retried *)
+
+exception Error of kind
+
+val severity : kind -> severity
+(** [Solver_nonconvergence], [Timeout], [Cache_race] and [Injected_fault]
+    are transient; the rest are permanent. *)
+
+val classify : exn -> severity
+(** Classify an arbitrary exception: {!Error} by its {!severity}; anything
+    else — [Invalid_argument], [Failure], parser errors, asserts — is
+    conservatively [Permanent] (a deterministic job re-raises the same
+    exception on every retry). *)
+
+val to_string : kind -> string
+
+val transient : string -> exn
+(** [transient msg] = [Error (Solver_nonconvergence msg)] — convenience
+    for solver-side raises. *)
+
+val is_transient : exn -> bool
+(** [classify e = Transient]. *)

@@ -11,10 +11,10 @@ let split_ws s =
 
 type builder = {
   mutable n : int option;
-  mutable init : int option;
-  mutable transitions : (int * int * float) list;
-  mutable labels : (string * int list) list;
-  mutable rewards : (int * float) list;
+  mutable init : (int * int) option;  (* lineno, state *)
+  mutable transitions : (int * int * int * float) list;  (* lineno, src, dst, p *)
+  mutable labels : (int * string * int list) list;
+  mutable rewards : (int * int * float) list;
 }
 
 let parse_int lineno what s =
@@ -31,10 +31,11 @@ let parse_float lineno what s =
 let parse_transition b lineno tokens =
   match tokens with
   | [ src; "->"; dst; ":"; prob ] ->
+    let p = parse_float lineno "probability" prob in
+    if Float.is_nan p || p < 0.0 || p > 1.0 then
+      fail lineno (Printf.sprintf "probability %s outside [0,1]" prob);
     b.transitions <-
-      ( parse_int lineno "source" src,
-        parse_int lineno "target" dst,
-        parse_float lineno "probability" prob )
+      (lineno, parse_int lineno "source" src, parse_int lineno "target" dst, p)
       :: b.transitions
   | _ -> fail lineno "expected \"SRC -> DST : PROB\""
 
@@ -48,16 +49,58 @@ let parse_line b lineno line =
   | [] -> ()
   | [ "dtmc" ] -> ()
   | [ "states"; k ] -> b.n <- Some (parse_int lineno "state count" k)
-  | [ "init"; s ] -> b.init <- Some (parse_int lineno "initial state" s)
+  | [ "init"; s ] -> b.init <- Some (lineno, parse_int lineno "initial state" s)
   | "label" :: name :: "=" :: states when states <> [] ->
     b.labels <-
-      (name, List.map (parse_int lineno "label state") states) :: b.labels
+      (lineno, name, List.map (parse_int lineno "label state") states)
+      :: b.labels
   | [ "reward"; s; "="; r ] ->
     b.rewards <-
-      (parse_int lineno "reward state" s, parse_float lineno "reward" r)
+      (lineno, parse_int lineno "reward state" s, parse_float lineno "reward" r)
       :: b.rewards
   | tokens when List.mem "->" tokens -> parse_transition b lineno tokens
   | tok :: _ -> fail lineno (Printf.sprintf "unrecognised directive %S" tok)
+
+(* Whole-file validation once the state count is known: every state index
+   in range, no duplicate transitions, every populated row stochastic.
+   Errors carry the offending line number so a bad model never reaches
+   [Dtmc.make]. *)
+let validate b n init_line init =
+  let check_state lineno what s =
+    if s < 0 || s >= n then
+      fail lineno (Printf.sprintf "%s state %d out of range [0,%d)" what s n)
+  in
+  check_state init_line "initial" init;
+  let seen = Hashtbl.create 64 in
+  let row_sum = Hashtbl.create 64 in
+  List.iter
+    (fun (lineno, src, dst, p) ->
+       check_state lineno "source" src;
+       check_state lineno "target" dst;
+       (match Hashtbl.find_opt seen (src, dst) with
+        | Some first ->
+          fail lineno
+            (Printf.sprintf "duplicate transition %d -> %d (first on line %d)"
+               src dst first)
+        | None -> Hashtbl.replace seen (src, dst) lineno);
+       let total, first =
+         Option.value ~default:(0.0, lineno) (Hashtbl.find_opt row_sum src)
+       in
+       Hashtbl.replace row_sum src (total +. p, first))
+    (List.rev b.transitions);
+  Hashtbl.iter
+    (fun src (total, first) ->
+       if Float.abs (total -. 1.0) > 1e-9 then
+         fail first
+           (Printf.sprintf
+              "outgoing probabilities of state %d sum to %.12g, expected 1"
+              src total))
+    row_sum;
+  List.iter
+    (fun (lineno, name, states) ->
+       List.iter (check_state lineno ("label " ^ name)) states)
+    b.labels;
+  List.iter (fun (lineno, s, _) -> check_state lineno "reward" s) b.rewards
 
 let parse text =
   let b = { n = None; init = None; transitions = []; labels = []; rewards = [] } in
@@ -65,16 +108,16 @@ let parse text =
     (fun i line -> parse_line b (i + 1) line)
     (String.split_on_char '\n' text);
   let n = match b.n with Some n -> n | None -> raise (Parse_error "missing \"states N\"") in
-  let init = match b.init with Some i -> i | None -> raise (Parse_error "missing \"init S\"") in
+  let init_line, init =
+    match b.init with Some i -> i | None -> raise (Parse_error "missing \"init S\"")
+  in
+  validate b n init_line init;
   let rewards = Array.make (max n 1) 0.0 in
-  List.iter
-    (fun (s, r) ->
-       if s < 0 || s >= n then
-         raise (Parse_error (Printf.sprintf "reward state %d out of range" s));
-       rewards.(s) <- r)
-    b.rewards;
+  List.iter (fun (_, s, r) -> rewards.(s) <- r) b.rewards;
   match
-    Dtmc.make ~n ~init ~transitions:(List.rev b.transitions) ~labels:b.labels
+    Dtmc.make ~n ~init
+      ~transitions:(List.rev_map (fun (_, s, d, p) -> (s, d, p)) b.transitions)
+      ~labels:(List.map (fun (_, name, states) -> (name, states)) b.labels)
       ~rewards ()
   with
   | d -> d

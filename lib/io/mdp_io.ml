@@ -11,12 +11,13 @@ let split_ws s =
 
 type builder = {
   mutable n : int option;
-  mutable init : int option;
-  mutable dists : ((int * string) * (int * float) list) list;
-  mutable labels : (string * int list) list;
-  mutable state_rewards : (int * float) list;
-  mutable action_rewards : ((int * string) * float) list;
-  mutable features : (int * float array) list;
+  mutable init : (int * int) option;  (* lineno, state *)
+  mutable dists : ((int * string) * (int * (int * float * int) list)) list;
+      (* (src, act) -> first lineno, [target, prob, lineno] *)
+  mutable labels : (int * string * int list) list;
+  mutable state_rewards : (int * int * float) list;
+  mutable action_rewards : (int * (int * string) * float) list;
+  mutable features : (int * int * float array) list;
 }
 
 let parse_int lineno what s =
@@ -30,11 +31,16 @@ let parse_float lineno what s =
   | None -> fail lineno (Printf.sprintf "expected a number %s, got %S" what s)
 
 let add_dist b lineno src act dst prob =
+  if Float.is_nan prob || prob < 0.0 || prob > 1.0 then
+    fail lineno (Printf.sprintf "probability %g outside [0,1]" prob);
   let key = (src, act) in
-  let cur = Option.value ~default:[] (List.assoc_opt key b.dists) in
-  if List.mem_assoc dst cur then
+  let first, cur =
+    Option.value ~default:(lineno, []) (List.assoc_opt key b.dists)
+  in
+  if List.exists (fun (d, _, _) -> d = dst) cur then
     fail lineno (Printf.sprintf "duplicate target %d for %d/%s" dst src act);
-  b.dists <- (key, (dst, prob) :: cur) :: List.remove_assoc key b.dists
+  b.dists <-
+    (key, (first, (dst, prob, lineno) :: cur)) :: List.remove_assoc key b.dists
 
 let parse_line b lineno line =
   let line =
@@ -46,22 +52,25 @@ let parse_line b lineno line =
   | [] -> ()
   | [ "mdp" ] -> ()
   | [ "states"; k ] -> b.n <- Some (parse_int lineno "state count" k)
-  | [ "init"; s ] -> b.init <- Some (parse_int lineno "initial state" s)
+  | [ "init"; s ] -> b.init <- Some (lineno, parse_int lineno "initial state" s)
   | "label" :: name :: "=" :: states when states <> [] ->
     b.labels <-
-      (name, List.map (parse_int lineno "label state") states) :: b.labels
+      (lineno, name, List.map (parse_int lineno "label state") states)
+      :: b.labels
   | [ "reward"; s; "="; r ] ->
     b.state_rewards <-
-      (parse_int lineno "reward state" s, parse_float lineno "reward" r)
+      (lineno, parse_int lineno "reward state" s, parse_float lineno "reward" r)
       :: b.state_rewards
   | [ "action-reward"; s; a; "="; r ] ->
     b.action_rewards <-
-      ( (parse_int lineno "reward state" s, a),
+      ( lineno,
+        (parse_int lineno "reward state" s, a),
         parse_float lineno "action reward" r )
       :: b.action_rewards
   | "feature" :: s :: "=" :: values when values <> [] ->
     b.features <-
-      ( parse_int lineno "feature state" s,
+      ( lineno,
+        parse_int lineno "feature state" s,
         Array.of_list (List.map (parse_float lineno "feature value") values) )
       :: b.features
   | [ src; act; "->"; dst; ":"; prob ] ->
@@ -88,31 +97,59 @@ let parse text =
   let n =
     match b.n with Some n -> n | None -> raise (Parse_error "missing \"states N\"")
   in
-  let init =
+  let init_line, init =
     match b.init with Some i -> i | None -> raise (Parse_error "missing \"init S\"")
   in
+  let check_state lineno what s =
+    if s < 0 || s >= n then
+      fail lineno (Printf.sprintf "%s state %d out of range [0,%d)" what s n)
+  in
+  check_state init_line "initial" init;
+  (* Every recorded distribution must target in-range states and sum to 1;
+     errors point at the offending line (or the distribution's first line
+     for row-sum violations). *)
+  List.iter
+    (fun ((src, act), (first, dist)) ->
+       check_state first "source" src;
+       List.iter (fun (dst, _, lineno) -> check_state lineno "target" dst) dist;
+       let total = List.fold_left (fun acc (_, p, _) -> acc +. p) 0.0 dist in
+       if Float.abs (total -. 1.0) > 1e-9 then
+         fail first
+           (Printf.sprintf
+              "distribution %d/%s sums to %.12g, expected 1" src act total))
+    b.dists;
+  List.iter
+    (fun (lineno, name, states) ->
+       List.iter (check_state lineno ("label " ^ name)) states)
+    b.labels;
+  List.iter
+    (fun (lineno, (s, _), _) -> check_state lineno "action-reward" s)
+    b.action_rewards;
   let actions =
-    List.map (fun ((s, a), dist) -> (s, a, List.rev dist)) b.dists
+    List.map
+      (fun ((s, a), (_, dist)) ->
+         (s, a, List.rev_map (fun (d, p, _) -> (d, p)) dist))
+      b.dists
   in
   let state_rewards = Array.make (max n 1) 0.0 in
   List.iter
-    (fun (s, r) ->
-       if s < 0 || s >= n then
-         raise (Parse_error (Printf.sprintf "reward state %d out of range" s));
+    (fun (lineno, s, r) ->
+       check_state lineno "reward" s;
        state_rewards.(s) <- r)
     b.state_rewards;
   let features =
     match b.features with
     | [] -> None
     | entries ->
-      let arity = Array.length (snd (List.hd entries)) in
+      let arity =
+        match List.hd entries with _, _, row -> Array.length row
+      in
       let f = Array.make n [||] in
       List.iter
-        (fun (s, row) ->
-           if s < 0 || s >= n then
-             raise (Parse_error (Printf.sprintf "feature state %d out of range" s));
+        (fun (lineno, s, row) ->
+           check_state lineno "feature" s;
            if Array.length row <> arity then
-             raise (Parse_error "inconsistent feature arity");
+             fail lineno "inconsistent feature arity";
            f.(s) <- row)
         entries;
       Array.iteri
@@ -123,7 +160,9 @@ let parse text =
       Some f
   in
   match
-    Mdp.make ~n ~init ~actions ~action_rewards:b.action_rewards ~labels:b.labels
+    Mdp.make ~n ~init ~actions
+      ~action_rewards:(List.map (fun (_, k, r) -> (k, r)) b.action_rewards)
+      ~labels:(List.map (fun (_, name, states) -> (name, states)) b.labels)
       ~state_rewards ?features ()
   with
   | m -> m

@@ -105,17 +105,24 @@ let start_points ~starts ~seed p =
       else
         Array.init p.dim (fun j -> Prng.uniform rng p.lower.(j) p.upper.(j)))
 
+(* Both the objective and the constraints are routed through [guard]: a
+   NaN anywhere (a genuinely undefined point, or a value corrupted by an
+   installed fault plan) becomes +inf, so it can never win a
+   best-candidate fold — NaN comparisons are all false and would
+   otherwise poison the folds below. *)
 let mk_solution ~feas_tol p x =
-  let vs = violations p x in
+  let vs = List.map (fun (name, v) -> (name, guard v)) (violations p x) in
   {
     x;
-    objective_value = p.objective x;
+    objective_value = guard (p.objective x);
     max_violation = List.fold_left (fun acc (_, v) -> Float.max acc v) 0.0 vs;
     violated = List.filter (fun (_, v) -> v > feas_tol) vs;
   }
 
 let solve ?(method_ = Penalty) ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
     ?(max_iter = 4000) p =
+  if starts < 1 then invalid_arg "Nlp.solve: starts must be >= 1";
+  let p = { p with objective = (fun x -> Fault.corrupt Fault.Solve (p.objective x)) } in
   let run =
     match method_ with
     | Penalty -> solve_penalty ~max_iter p
@@ -124,6 +131,12 @@ let solve ?(method_ = Penalty) ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
   let candidates = List.map run (start_points ~starts ~seed p) in
   let solutions = List.map (mk_solution ~feas_tol p) candidates in
   let feasible = List.filter (fun s -> s.max_violation <= feas_tol) solutions in
+  let diverged best =
+    (* every candidate was NaN-guarded to +inf: the solver saw no finite
+       information at all, which is non-convergence, not an answer *)
+    not (Float.is_finite best.objective_value)
+    && List.for_all (fun s -> not (Float.is_finite s.objective_value)) solutions
+  in
   match feasible with
   | [] ->
     let best =
@@ -131,6 +144,11 @@ let solve ?(method_ = Penalty) ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
         (fun acc s -> if s.max_violation < acc.max_violation then s else acc)
         (List.hd solutions) (List.tl solutions)
     in
+    if not (Float.is_finite best.max_violation) then
+      raise
+        (Tml_error.Error
+           (Tml_error.Solver_nonconvergence
+              "no start produced a finite constraint evaluation"));
     Infeasible best
   | s :: rest ->
     let best =
@@ -139,4 +157,53 @@ let solve ?(method_ = Penalty) ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
            if s.objective_value < acc.objective_value then s else acc)
         s rest
     in
+    if diverged best then
+      raise
+        (Tml_error.Error
+           (Tml_error.Solver_nonconvergence
+              "no start produced a finite objective"));
     Feasible best
+
+(* --------------------------- fallback ladder --------------------------- *)
+
+type rung = { rung_label : string; rung_method : method_; rung_starts : int }
+
+let default_rungs ~starts =
+  [
+    { rung_label = "augmented-lagrangian"; rung_method = Augmented_lagrangian;
+      rung_starts = starts };
+    { rung_label = "penalty"; rung_method = Penalty; rung_starts = starts };
+    { rung_label = "penalty-wide"; rung_method = Penalty;
+      rung_starts = 3 * starts };
+  ]
+
+let solve_with_fallback ?rungs ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
+    ?(max_iter = 4000) p =
+  let rungs = match rungs with Some r -> r | None -> default_rungs ~starts in
+  if rungs = [] then invalid_arg "Nlp.solve_with_fallback: empty ladder";
+  let rec go best_infeasible transient_failure = function
+    | [] -> (
+        (* no rung was feasible: report the least-violating point seen, or
+           re-raise if every rung failed to converge at all *)
+        match (best_infeasible, transient_failure) with
+        | Some (s, label), _ -> (Infeasible s, label)
+        | None, Some e -> raise e
+        | None, None -> assert false)
+    | rung :: rest -> (
+        match
+          solve ~method_:rung.rung_method ~starts:rung.rung_starts ~seed
+            ~feas_tol ~max_iter p
+        with
+        | Feasible s -> (Feasible s, rung.rung_label)
+        | Infeasible s ->
+          let best =
+            match best_infeasible with
+            | Some (b, _) when b.max_violation <= s.max_violation ->
+              best_infeasible
+            | _ -> Some (s, rung.rung_label)
+          in
+          go best transient_failure rest
+        | exception (Tml_error.Error k as e) when Tml_error.severity k = Tml_error.Transient ->
+          go best_infeasible (Some e) rest)
+  in
+  go None None rungs

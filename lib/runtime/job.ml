@@ -51,7 +51,9 @@ let run = function
   | Check { model; phi } ->
     Checked (Instr.time Instr.Check (fun () -> Check_dtmc.check_verbose model phi))
   | Model_repair { model; phi; spec; starts } ->
-    Model_repair_result (Model_repair.repair ~starts model phi spec)
+    (* batch jobs get the graceful-degradation ladder: augmented
+       Lagrangian → penalty → wider multistart before Infeasible *)
+    Model_repair_result (Model_repair.repair ~starts ~fallback:true model phi spec)
   | Data_repair { n; init; labels; rewards; phi; spec; starts } ->
     Data_repair_result
       (Data_repair.repair ~n ~init ~labels ?rewards ~starts phi spec)
@@ -225,9 +227,10 @@ let pp_outcome fmt = function
     Format.fprintf fmt "INFEASIBLE (best constraint violation %.6g)@\n"
       min_violation
   | Model_repair_result (Model_repair.Repaired r) ->
-    Format.fprintf fmt "REPAIRED (cost %.6g, value %.6g, %s)@\n"
+    Format.fprintf fmt "REPAIRED (cost %.6g, value %.6g, %s, via %s)@\n"
       r.Model_repair.cost r.Model_repair.achieved_value
-      (if r.Model_repair.verified then "verified" else "NOT verified");
+      (if r.Model_repair.verified then "verified" else "NOT verified")
+      r.Model_repair.solver_rung;
     List.iter
       (fun (name, v) -> Format.fprintf fmt "  %s = %.6g@\n" name v)
       r.Model_repair.assignment

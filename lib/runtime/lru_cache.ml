@@ -82,7 +82,10 @@ let rec find_or_compute t ~key thunk =
   | `Hit v -> v
   | `Retry -> find_or_compute t ~key thunk
   | `Compute -> (
-      match thunk () with
+      match
+        Fault.at Fault.Cache;
+        thunk ()
+      with
       | v ->
         locked t (fun () ->
             Hashtbl.remove t.table key;

@@ -1,0 +1,51 @@
+type t = {
+  max_retries : int;
+  base_backoff_ms : float;
+  cap_backoff_ms : float;
+  seed : int;
+}
+
+let make ?(max_retries = 2) ?(base_backoff_ms = 50.0)
+    ?(cap_backoff_ms = 2_000.0) ?(seed = 0) () =
+  if max_retries < 0 then invalid_arg "Retry.make: max_retries >= 0";
+  if base_backoff_ms < 0.0 then invalid_arg "Retry.make: base_backoff_ms >= 0";
+  if cap_backoff_ms < base_backoff_ms then
+    invalid_arg "Retry.make: cap_backoff_ms >= base_backoff_ms";
+  { max_retries; base_backoff_ms; cap_backoff_ms; seed }
+
+let default = make ()
+
+(* Jitter comes from the policy seed, the job key and the attempt number —
+   never from the wall clock — so a replayed batch backs off identically. *)
+let backoff_s policy ~key ~attempt =
+  let exp_ms = policy.base_backoff_ms *. (2.0 ** float_of_int attempt) in
+  let capped = Float.min policy.cap_backoff_ms exp_ms in
+  let rng =
+    Prng.create
+      (policy.seed
+       + (31 * Hashtbl.hash key)
+       + (1_000_003 * (attempt + 1)))
+  in
+  let jitter = Prng.uniform rng 0.5 1.5 in
+  capped *. jitter /. 1_000.0
+
+let retryable = function
+  | Instr.Deadline_exceeded | Instr.Cancelled_in_flight ->
+    (* the budget is absolute: re-running cannot beat an expired deadline *)
+    false
+  | e -> Tml_error.is_transient e
+
+(* [run policy ~key ~on_retry f] — run [f], re-running transient failures
+   with capped jittered exponential backoff.  Permanent failures and
+   deadline/cancellation markers propagate immediately. *)
+let run policy ~key ~on_retry f =
+  let rec go attempt =
+    match f () with
+    | v -> v
+    | exception e when attempt < policy.max_retries && retryable e ->
+      on_retry e;
+      let s = backoff_s policy ~key ~attempt in
+      if s > 0.0 then Unix.sleepf s;
+      go (attempt + 1)
+  in
+  go 0

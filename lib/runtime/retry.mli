@@ -1,0 +1,44 @@
+(** Retry policies for transient job failures.
+
+    A policy re-runs a failed job body up to [max_retries] times, but only
+    when the failure is {e transient} per {!Tml_error.classify} — solver
+    non-convergence, cache races, injected chaos faults.  Permanent
+    failures (malformed models, empty feasible boxes, arbitrary
+    exceptions) and in-flight deadline/cancellation markers propagate
+    immediately.
+
+    Backoff between attempts is capped jittered exponential:
+    [min cap (base · 2^attempt)] scaled by a factor in [\[0.5, 1.5)] drawn
+    from a PRNG seeded by [(seed, key, attempt)] — deterministic replay,
+    no wall-clock randomness in reports. *)
+
+type t = {
+  max_retries : int;
+  base_backoff_ms : float;
+  cap_backoff_ms : float;
+  seed : int;
+}
+
+val make :
+  ?max_retries:int ->
+  ?base_backoff_ms:float ->
+  ?cap_backoff_ms:float ->
+  ?seed:int ->
+  unit ->
+  t
+(** Defaults: 2 retries, 50 ms base, 2 s cap, seed 0. *)
+
+val default : t
+
+val backoff_s : t -> key:string -> attempt:int -> float
+(** Deterministic backoff (seconds) before re-running [attempt]
+    (0-based). *)
+
+val retryable : exn -> bool
+(** Transient per {!Tml_error.classify}, and not a deadline/cancellation
+    marker. *)
+
+val run : t -> key:string -> on_retry:(exn -> unit) -> (unit -> 'a) -> 'a
+(** [run policy ~key ~on_retry f]: run [f], re-running retryable failures
+    within the budget, sleeping the backoff in between; [on_retry] is
+    called once per re-run (for stats). *)

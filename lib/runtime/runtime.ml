@@ -18,6 +18,7 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
   let pool =
     Pool.create ~queue_capacity
       ~on_queue_depth:(Runtime_stats.observe_queue_depth stats)
+      ~on_respawn:(fun _e -> Runtime_stats.incr stats `Respawned)
       ~workers:worker_count ()
   in
   let report_cache =
@@ -28,9 +29,10 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
     if elim_cache_capacity <= 0 then None
     else Some (Lru_cache.create ~capacity:elim_cache_capacity ())
   in
-  (* Process-global hooks: stage timings and the elimination memo.  The
-     runtime owns them until shutdown. *)
+  (* Process-global hooks: stage timings, the elimination memo and the
+     fault observer.  The runtime owns them until shutdown. *)
   Instr.set_recorder (Some (Runtime_stats.record_stage stats));
+  Fault.set_observer (Some (fun _site -> Runtime_stats.incr stats `Fault_injected));
   Option.iter
     (fun cache ->
        Elimination.set_memo
@@ -39,18 +41,28 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
   { pool; worker_count; stats; report_cache; elim_cache; shut = false }
 
 let workers t = t.worker_count
+let respawns t = Pool.respawns t.pool
 
-let submit t ?timeout_s job =
+let submit t ?timeout_s ?retry job =
   Runtime_stats.incr t.stats `Submitted;
+  (* The retry loop sits OUTSIDE the cache fill: a transient failure —
+     whether it came from the job body or from a wedged cache fill —
+     cleans up its in-flight entry, backs off, and re-enters the cache. *)
+  let with_retry key body =
+    match retry with
+    | None -> body ()
+    | Some policy ->
+      Retry.run policy ~key
+        ~on_retry:(fun _e -> Runtime_stats.incr t.stats `Retried)
+        body
+  in
   match t.report_cache with
   | None ->
-    let fut =
-      Pool.submit t.pool ?timeout_s (fun () ->
-          let outcome = Job.run job in
-          Runtime_stats.incr t.stats `Completed;
-          outcome)
-    in
-    fut
+    let key = Job.digest job in
+    Pool.submit t.pool ?timeout_s (fun () ->
+        let outcome = with_retry key (fun () -> Job.run job) in
+        Runtime_stats.incr t.stats `Completed;
+        outcome)
   | Some cache -> (
       let key = Job.digest job in
       (* Probe without blocking: a completed entry resolves immediately on
@@ -66,13 +78,14 @@ let submit t ?timeout_s job =
       | None ->
         Pool.submit t.pool ?timeout_s (fun () ->
             let outcome =
-              Lru_cache.find_or_compute cache ~key (fun () -> Job.run job)
+              with_retry key (fun () ->
+                  Lru_cache.find_or_compute cache ~key (fun () -> Job.run job))
             in
             Runtime_stats.incr t.stats `Completed;
             outcome))
 
-let run_batch t ?timeout_s jobs =
-  let futures = List.map (fun job -> submit t ?timeout_s job) jobs in
+let run_batch t ?timeout_s ?retry jobs =
+  let futures = List.map (fun job -> submit t ?timeout_s ?retry job) jobs in
   List.map
     (fun fut ->
        let outcome = Future.await fut in
@@ -98,6 +111,7 @@ let shutdown ?drain t =
     t.shut <- true;
     Pool.shutdown ?drain t.pool;
     Elimination.set_memo None;
+    Fault.set_observer None;
     Instr.set_recorder None
   end
 

@@ -31,15 +31,30 @@ val create :
 
 val workers : t -> int
 
-val submit : t -> ?timeout_s:float -> Job.t -> Job.outcome Future.t
+val respawns : t -> int
+(** Worker domains respawned by the pool's supervisor since [create]. *)
+
+val submit :
+  t -> ?timeout_s:float -> ?retry:Retry.t -> Job.t -> Job.outcome Future.t
 (** Submit a job.  On a report-cache hit the returned future is already
     resolved and the pool is never touched; otherwise the job is enqueued
-    ({!Pool.submit} semantics, including back-pressure and [timeout_s]). *)
+    ({!Pool.submit} semantics, including back-pressure and [timeout_s]).
+
+    With [retry], transient failures ({!Tml_error.classify}) are re-run on
+    the worker with capped, jittered, deterministic exponential backoff;
+    permanent failures and expired deadlines fail the future immediately.
+    Each re-run re-enters the report cache, so a retry that lost a cache
+    race simply coalesces on the winner. *)
 
 val run_batch :
-  t -> ?timeout_s:float -> Job.t list -> Job.outcome Future.outcome list
+  t ->
+  ?timeout_s:float ->
+  ?retry:Retry.t ->
+  Job.t list ->
+  Job.outcome Future.outcome list
 (** Submit every job, then await them all; results are in submission
-    order regardless of completion order. *)
+    order regardless of completion order.  A batch racing {!shutdown}
+    never raises: late submissions resolve [Cancelled]. *)
 
 val stats : t -> Runtime_stats.snapshot
 
@@ -47,8 +62,9 @@ val report_cache_counters : t -> Lru_cache.counters option
 val elim_cache_counters : t -> Lru_cache.counters option
 
 val stats_json : t -> string
-(** The full instrumentation dump: job counters, queue high-water mark,
-    per-stage wall-clock totals, cache hit rates. *)
+(** The full instrumentation dump: job counters, retry/respawn/fault
+    counters, queue high-water mark, per-stage wall-clock totals, cache
+    hit rates. *)
 
 val shutdown : ?drain:bool -> t -> unit
 (** Shut the pool down ({!Pool.shutdown}) and uninstall the global

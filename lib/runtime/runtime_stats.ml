@@ -6,13 +6,24 @@ type snapshot = {
   failed : int;
   cancelled : int;
   timed_out : int;
+  retried : int;
+  respawned : int;
+  faults_injected : int;
   report_cache_hits : int;
   max_queue_depth : int;
   stages : (string * stage_totals) list;
 }
 
 type counter =
-  [ `Submitted | `Completed | `Failed | `Cancelled | `Timed_out | `Report_hit ]
+  [ `Submitted
+  | `Completed
+  | `Failed
+  | `Cancelled
+  | `Timed_out
+  | `Retried
+  | `Respawned
+  | `Fault_injected
+  | `Report_hit ]
 
 type t = {
   mutex : Mutex.t;
@@ -21,6 +32,9 @@ type t = {
   mutable failed : int;
   mutable cancelled : int;
   mutable timed_out : int;
+  mutable retried : int;
+  mutable respawned : int;
+  mutable faults_injected : int;
   mutable report_cache_hits : int;
   mutable max_queue_depth : int;
   stage_counts : int array;  (* indexed by stage *)
@@ -43,6 +57,9 @@ let create () =
     failed = 0;
     cancelled = 0;
     timed_out = 0;
+    retried = 0;
+    respawned = 0;
+    faults_injected = 0;
     report_cache_hits = 0;
     max_queue_depth = 0;
     stage_counts = Array.make 4 0;
@@ -61,6 +78,9 @@ let incr t which =
       | `Failed -> t.failed <- t.failed + 1
       | `Cancelled -> t.cancelled <- t.cancelled + 1
       | `Timed_out -> t.timed_out <- t.timed_out + 1
+      | `Retried -> t.retried <- t.retried + 1
+      | `Respawned -> t.respawned <- t.respawned + 1
+      | `Fault_injected -> t.faults_injected <- t.faults_injected + 1
       | `Report_hit -> t.report_cache_hits <- t.report_cache_hits + 1)
 
 let record_stage t stage dt =
@@ -81,6 +101,9 @@ let snapshot t =
         failed = t.failed;
         cancelled = t.cancelled;
         timed_out = t.timed_out;
+        retried = t.retried;
+        respawned = t.respawned;
+        faults_injected = t.faults_injected;
         report_cache_hits = t.report_cache_hits;
         max_queue_depth = t.max_queue_depth;
         stages =
@@ -116,6 +139,11 @@ let to_json ~workers ?report_cache ?elim_cache t =
         \"cancelled\": %d, \"timed_out\": %d, \"report_cache_hits\": %d},\n"
        s.submitted s.completed s.failed s.cancelled s.timed_out
        s.report_cache_hits);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"resilience\": {\"retried\": %d, \"respawned\": %d, \
+        \"faults_injected\": %d},\n"
+       s.retried s.respawned s.faults_injected);
   Buffer.add_string buf
     (Printf.sprintf "  \"queue\": {\"max_depth\": %d},\n" s.max_queue_depth);
   Buffer.add_string buf (Printf.sprintf "  \"workers\": %d,\n" workers);

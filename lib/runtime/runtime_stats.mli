@@ -15,6 +15,9 @@ type snapshot = {
   failed : int;
   cancelled : int;
   timed_out : int;
+  retried : int;  (** transient-failure re-runs performed by the retry layer *)
+  respawned : int;  (** worker domains respawned after a crash *)
+  faults_injected : int;  (** faults fired by an installed {!Fault} plan *)
   report_cache_hits : int;
       (** jobs answered from the report cache without touching the pool *)
   max_queue_depth : int;
@@ -23,7 +26,15 @@ type snapshot = {
 }
 
 type counter =
-  [ `Submitted | `Completed | `Failed | `Cancelled | `Timed_out | `Report_hit ]
+  [ `Submitted
+  | `Completed
+  | `Failed
+  | `Cancelled
+  | `Timed_out
+  | `Retried
+  | `Respawned
+  | `Fault_injected
+  | `Report_hit ]
 
 val create : unit -> t
 val incr : t -> counter -> unit

@@ -38,6 +38,35 @@ let test_parse_errors () =
   fails "row sum" "states 2\ninit 0\n0 -> 1 : 0.5\n1 -> 1 : 1.0\n";
   fails "reward out of range" "states 1\ninit 0\n0 -> 0 : 1.0\nreward 7 = 1\n"
 
+(* Hardened validation: every structural error is rejected with the line
+   it occurred on. *)
+let test_dtmc_line_numbered_errors () =
+  let fails_at msg lineno text =
+    match Dtmc_io.parse text with
+    | exception Dtmc_io.Parse_error err ->
+      let prefix = Printf.sprintf "line %d:" lineno in
+      if not (String.length err >= String.length prefix
+              && String.sub err 0 (String.length prefix) = prefix)
+      then Alcotest.failf "%s: expected %S prefix, got %S" msg prefix err
+    | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  in
+  fails_at "source out of range" 4
+    "dtmc\nstates 2\ninit 0\n7 -> 0 : 1.0\n0 -> 0 : 1.0\n";
+  fails_at "target out of range" 4
+    "dtmc\nstates 2\ninit 0\n0 -> 9 : 1.0\n1 -> 1 : 1.0\n";
+  fails_at "negative probability" 3 "states 2\ninit 0\n0 -> 1 : -0.25\n";
+  fails_at "probability above one" 3 "states 2\ninit 0\n0 -> 1 : 1.5\n";
+  fails_at "duplicate transition" 5
+    "states 2\ninit 0\n0 -> 0 : 0.5\n0 -> 1 : 0.25\n0 -> 0 : 0.25\n";
+  (* row-sum errors cite the first transition of the offending row *)
+  fails_at "non-stochastic row" 3
+    "states 2\ninit 0\n0 -> 0 : 0.5\n0 -> 1 : 0.4\n1 -> 1 : 1.0\n";
+  fails_at "init out of range" 2 "states 2\ninit 5\n0 -> 0 : 1.0\n1 -> 1 : 1.0\n";
+  fails_at "label state out of range" 4
+    "states 2\ninit 0\n0 -> 0 : 1.0\nlabel goal = 9\n1 -> 1 : 1.0\n";
+  fails_at "reward state out of range" 4
+    "states 2\ninit 0\n0 -> 0 : 1.0\nreward 9 = 1\n1 -> 1 : 1.0\n"
+
 let test_roundtrip () =
   let d = Dtmc_io.parse sample in
   let d2 = Dtmc_io.parse (Dtmc_io.to_string d) in
@@ -136,6 +165,33 @@ let test_mdp_parse () =
   Alcotest.(check int) "feature dim" 2 (Mdp.feature_dim m);
   Alcotest.(check (array (float 0.0))) "features" [| 1.0; 0.5 |] (Mdp.features_of m 0)
 
+let test_mdp_line_numbered_errors () =
+  let fails_at msg lineno text =
+    match Mdp_io.parse text with
+    | exception Mdp_io.Parse_error err ->
+      let prefix = Printf.sprintf "line %d:" lineno in
+      if not (String.length err >= String.length prefix
+              && String.sub err 0 (String.length prefix) = prefix)
+      then Alcotest.failf "%s: expected %S prefix, got %S" msg prefix err
+    | _ -> Alcotest.failf "%s: expected Parse_error" msg
+  in
+  fails_at "source out of range" 3 "states 2\ninit 0\n7 a -> 0 : 1.0\n";
+  fails_at "target out of range" 3
+    "states 2\ninit 0\n0 a -> 9 : 1.0\n1 a -> 1 : 1.0\n";
+  fails_at "negative probability" 3 "states 2\ninit 0\n0 a -> 1 : -0.5\n";
+  fails_at "duplicate target" 4
+    "states 2\ninit 0\n0 a -> 0 : 0.5\n0 a -> 0 : 0.5\n1 a -> 1 : 1.0\n";
+  (* distribution-sum errors cite the distribution's first line *)
+  fails_at "non-stochastic distribution" 3
+    "states 2\ninit 0\n0 a -> 0 : 0.5\n0 a -> 1 : 0.2\n1 a -> 1 : 1.0\n";
+  fails_at "init out of range" 2 "states 2\ninit 9\n0 a -> 0 : 1.0\n1 a -> 1 : 1.0\n";
+  fails_at "label state out of range" 4
+    "states 1\ninit 0\n0 a -> 0 : 1.0\nlabel goal = 4\n";
+  fails_at "action-reward state out of range" 4
+    "states 1\ninit 0\n0 a -> 0 : 1.0\naction-reward 9 a = 1\n";
+  fails_at "feature state out of range" 4
+    "states 1\ninit 0\n0 a -> 0 : 1.0\nfeature 9 = 1 2\n"
+
 let test_mdp_errors () =
   let fails msg text =
     match Mdp_io.parse text with
@@ -220,6 +276,8 @@ let () =
     [ ( "dtmc_io",
         [ Alcotest.test_case "parse" `Quick test_parse;
           Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "line-numbered errors" `Quick
+            test_dtmc_line_numbered_errors;
           Alcotest.test_case "roundtrip" `Quick test_roundtrip;
           Alcotest.test_case "of_file" `Quick test_of_file;
         ] );
@@ -230,6 +288,8 @@ let () =
       ( "mdp_io",
         [ Alcotest.test_case "parse" `Quick test_mdp_parse;
           Alcotest.test_case "errors" `Quick test_mdp_errors;
+          Alcotest.test_case "line-numbered errors" `Quick
+            test_mdp_line_numbered_errors;
           Alcotest.test_case "roundtrip" `Quick test_mdp_roundtrip;
         ] );
       ( "trace_io",

@@ -115,6 +115,65 @@ let test_nlp_bounds_only () =
           (Nlp.problem ~dim:1 ~objective:(fun _ -> 0.0) ~lower:[| 1.0 |]
              ~upper:[| 0.0 |] ()))
 
+let test_nlp_starts_validated () =
+  Alcotest.check_raises "starts = 0"
+    (Invalid_argument "Nlp.solve: starts must be >= 1") (fun () ->
+      ignore (Nlp.solve ~starts:0 (circle_problem ())));
+  Alcotest.check_raises "negative starts"
+    (Invalid_argument "Nlp.solve: starts must be >= 1") (fun () ->
+      ignore (Nlp.solve ~starts:(-3) (circle_problem ())))
+
+let test_nlp_partial_nan_guarded () =
+  (* The objective is NaN on half the box; NaN candidates must lose the
+     best-solution fold instead of poisoning it. *)
+  let p =
+    Nlp.problem ~dim:1
+      ~objective:(fun x ->
+        if x.(0) < 0.0 then Float.nan else (x.(0) -. 1.0) ** 2.0)
+      ~lower:[| -5.0 |] ~upper:[| 5.0 |] ()
+  in
+  match Nlp.solve ~starts:8 p with
+  | Nlp.Feasible s ->
+    Alcotest.(check bool) "finite objective" true
+      (Float.is_finite s.Nlp.objective_value);
+    Alcotest.(check (float 5e-2)) "found the clean minimum" 1.0 s.Nlp.x.(0)
+  | Nlp.Infeasible _ -> Alcotest.fail "expected feasible"
+
+let test_nlp_all_nan_raises_transient () =
+  let p =
+    Nlp.problem ~dim:1 ~objective:(fun _ -> Float.nan) ~lower:[| 0.0 |]
+      ~upper:[| 1.0 |] ()
+  in
+  match Nlp.solve p with
+  | _ -> Alcotest.fail "expected solver non-convergence"
+  | exception Tml_error.Error (Tml_error.Solver_nonconvergence _ as k) ->
+    Alcotest.(check bool) "classified transient" true
+      (Tml_error.severity k = Tml_error.Transient)
+
+let test_nlp_fallback_ladder () =
+  (* A well-behaved problem converges on the first rung... *)
+  (match Nlp.solve_with_fallback (circle_problem ()) with
+   | Nlp.Feasible s, rung ->
+     Alcotest.(check string) "first rung wins" "augmented-lagrangian" rung;
+     Alcotest.(check (float 2e-3)) "x" 0.5 s.Nlp.x.(0)
+   | Nlp.Infeasible _, _ -> Alcotest.fail "expected feasible");
+  (* ... an infeasible one walks the whole ladder and reports the least
+     violation found. *)
+  let p =
+    Nlp.problem ~dim:1 ~objective:(fun x -> x.(0) *. x.(0))
+      ~inequalities:
+        [ ("le_minus1", fun x -> x.(0) +. 1.0); ("ge_1", fun x -> 1.0 -. x.(0)) ]
+      ~lower:[| -10.0 |] ~upper:[| 10.0 |] ()
+  in
+  (match Nlp.solve_with_fallback p with
+   | Nlp.Feasible _, _ -> Alcotest.fail "expected infeasible"
+   | Nlp.Infeasible s, _ ->
+     Alcotest.(check bool) "violation ~ 1" true
+       (s.Nlp.max_violation > 0.5 && s.Nlp.max_violation < 1.5));
+  Alcotest.check_raises "empty ladder"
+    (Invalid_argument "Nlp.solve_with_fallback: empty ladder") (fun () ->
+      ignore (Nlp.solve_with_fallback ~rungs:[] (circle_problem ())))
+
 let test_nlp_determinism () =
   let solve () =
     match Nlp.solve ~seed:3 (circle_problem ()) with
@@ -163,6 +222,12 @@ let () =
           Alcotest.test_case "infeasible" `Quick test_nlp_infeasible;
           Alcotest.test_case "bounds only" `Quick test_nlp_bounds_only;
           Alcotest.test_case "determinism" `Quick test_nlp_determinism;
+          Alcotest.test_case "starts validated" `Quick test_nlp_starts_validated;
+          Alcotest.test_case "partial nan guarded" `Quick
+            test_nlp_partial_nan_guarded;
+          Alcotest.test_case "all-nan raises transient" `Quick
+            test_nlp_all_nan_raises_transient;
+          Alcotest.test_case "fallback ladder" `Quick test_nlp_fallback_ladder;
         ] );
       ("properties", props);
     ]

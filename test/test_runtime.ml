@@ -118,9 +118,11 @@ let test_shutdown_drains_queued_jobs () =
   Pool.shutdown pool (* drain=true: must not deadlock, must finish all *);
   let results = List.map (fun f -> value (Future.await f)) futures in
   Alcotest.(check (list int)) "all queued jobs drained" [ 0; 1; 2; 3; 4 ] results;
-  match Pool.submit pool (fun () -> 0) with
-  | exception Pool.Shutting_down -> ()
-  | _ -> Alcotest.fail "submit after shutdown must raise"
+  (* submit-after-shutdown must not raise mid-batch: it settles the new
+     future as Cancelled so callers never leak an unawaited future *)
+  match Future.await (Pool.submit pool (fun () -> 0)) with
+  | Future.Cancelled -> ()
+  | _ -> Alcotest.fail "submit after shutdown resolves Cancelled"
 
 let test_shutdown_no_drain_cancels_queue () =
   let pool = Pool.create ~workers:1 () in
