@@ -1,4 +1,4 @@
-.PHONY: all test fault-test bench clean
+.PHONY: all test fault-test trace-test bench doc clean
 
 all:
 	dune build @all
@@ -10,8 +10,16 @@ test:
 fault-test:
 	dune exec -- test/test_faults.exe
 
+# Chaos suite with span recording live (tracing hot paths under faults).
+trace-test:
+	TML_TRACE=1 dune exec -- test/test_faults.exe
+
 bench:
 	dune exec -- bench/main.exe
+
+# API docs (requires odoc: `opam install odoc`).
+doc:
+	dune build @doc
 
 clean:
 	dune clean

@@ -9,8 +9,9 @@
       the ablations DESIGN.md calls out (optimizer method, elimination
       order) and a WSN grid-size scaling sweep.
 
-   Pass --table-only to skip the micro-benchmarks, or --bench-only to skip
-   the tables. *)
+   Pass --table-only to skip the micro-benchmarks, --bench-only to skip
+   the tables, or --runtime-only for just the runtime-scaling comparison
+   plus the traced stage breakdown (no results file rewrite). *)
 
 open Bechamel
 open Toolkit
@@ -385,6 +386,54 @@ let runtime_scaling () =
   report
 
 (* ------------------------------------------------------------------ *)
+(* Span-derived stage breakdown                                         *)
+(* ------------------------------------------------------------------ *)
+
+type breakdown_row = { bname : string; bcount : int; btotal_s : float }
+
+(* One traced 1-worker pass over the same batch workload: where does the
+   wall time of a cold batch actually go?  Runs AFTER the untraced
+   [runtime_scaling] measurements so tracing overhead (small, but not
+   zero) cannot leak into them.  Aggregated per span name from the
+   drained trace, not from the stage recorder, so nested work (cache
+   fills inside retries, NLP rungs inside solve) is attributed too. *)
+let stage_breakdown () =
+  Trace_span.enable ();
+  let spans =
+    Fun.protect
+      ~finally:(fun () -> Trace_span.disable ())
+      (fun () ->
+         Runtime.with_runtime ~workers:1 (fun rt ->
+             ignore (Runtime.run_batch rt (runtime_jobs ())));
+         Trace_span.drain ())
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace_span.t) ->
+       let c, t =
+         Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl s.Trace_span.name)
+       in
+       Hashtbl.replace tbl s.Trace_span.name
+         (c + 1, t +. s.Trace_span.dur_s))
+    spans;
+  let rows =
+    Hashtbl.fold
+      (fun bname (bcount, btotal_s) acc -> { bname; bcount; btotal_s } :: acc)
+      tbl []
+    |> List.sort (fun a b ->
+        match compare b.btotal_s a.btotal_s with
+        | 0 -> compare a.bname b.bname
+        | c -> c)
+  in
+  Format.printf "@\n-- stage breakdown (traced 1-worker cold batch) ---------@\n";
+  List.iter
+    (fun r ->
+       Format.printf "  %-45s %5d x %10.3f s@\n" r.bname r.bcount r.btotal_s)
+    rows;
+  Format.print_flush ();
+  rows
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -426,7 +475,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime =
+let write_results path rows runtime breakdown =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -461,7 +510,15 @@ let write_results path rows runtime =
   in
   cache_json "report_cache" runtime.report_cache;
   cache_json "elim_cache" runtime.elim_cache;
-  add "\n  }\n}\n";
+  add "\n  },\n";
+  add "  \"stage_breakdown\": [\n";
+  List.iteri
+    (fun i r ->
+       add "    {\"span\": \"%s\", \"count\": %d, \"total_s\": %.6f}%s\n"
+         (json_escape r.bname) r.bcount r.btotal_s
+         (if i = List.length breakdown - 1 then "" else ","))
+    breakdown;
+  add "  ]\n}\n";
   (try Unix.mkdir (Filename.dirname path) 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let oc = open_out path in
@@ -535,12 +592,22 @@ let run_benchmarks () =
        end)
     groups;
   let runtime = runtime_scaling () in
-  write_results "bench/results/latest.json" (List.rev !rows) runtime
+  let breakdown = stage_breakdown () in
+  write_results "bench/results/latest.json" (List.rev !rows) runtime breakdown
 
 let () =
   let args = Array.to_list Sys.argv in
   let table_only = List.mem "--table-only" args in
   let bench_only = List.mem "--bench-only" args in
+  let runtime_only = List.mem "--runtime-only" args in
+  if runtime_only then begin
+    (* Fast path: just the runtime-scaling comparison and the traced
+       stage breakdown, without the bechamel sweep.  Prints only — does
+       not overwrite bench/results/latest.json. *)
+    ignore (runtime_scaling ());
+    ignore (stage_breakdown ());
+    exit 0
+  end;
   if not bench_only then begin
     Format.printf "=== Paper experiment reproduction (DSN'18 \xc2\xa7V) ===@\n@\n";
     let rows = Experiments.all () in

@@ -6,10 +6,56 @@
      simulate      sample paths from a model
      batch         run a suite of repair jobs on the concurrent runtime
      experiments   reproduce the paper's §V evaluation (E1–E6, F1)
+     trace         render a --trace-out span dump as a tree / summary
 
    Model files use the textual format of Dtmc_io (see --help of check). *)
 
 open Cmdliner
+
+(* --------------------------- observability ---------------------------- *)
+
+let write_text path content =
+  match path with
+  | "-" -> print_string content
+  | path ->
+    let oc = open_out path in
+    output_string oc content;
+    close_out oc
+
+let trace_out_arg =
+  let doc =
+    "Record a hierarchical trace of the run (spans for job \
+     submit/run, pipeline stages, cache fills, NLP rungs, retries, \
+     faults) and write it as JSON lines to this file ('-' for stdout). \
+     Render it with $(b,tml trace)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the process metrics registry (counters, gauges, stage/cache \
+     histograms) in Prometheus text format to this file ('-' for stdout) \
+     after the run."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+(* Tracing wraps a whole command: enable before any job runs (clearing
+   leftovers), dump after the workload finishes — even a failed run dumps
+   what it traced, which is exactly when a trace is most wanted. *)
+let with_observability ~trace_out ~metrics_out f =
+  (match trace_out with Some _ -> Trace_span.enable () | None -> ());
+  (match metrics_out with Some _ -> Metrics.reset () | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace_out with
+       | None -> ()
+       | Some path ->
+         Trace_span.disable ();
+         write_text path (Trace_export.to_jsonl (Trace_span.drain ())));
+      match metrics_out with
+      | None -> ()
+      | Some path -> write_text path (Metrics.to_prometheus ()))
+    f
 
 let load_model path =
   try Ok (Dtmc_io.of_file path) with
@@ -464,14 +510,34 @@ let batch_jobs suite count =
   let params = Wsn.default_params in
   let chain = Wsn.chain params in
   let spec = Wsn.repair_spec params in
-  let wsn_job j =
-    Job.Model_repair
+  (* Every fourth WSN job is a Data Repair on sampled observation traces,
+     so a traced batch exercises all four stages (learn, eliminate, solve,
+     check); the rest are Model Repairs against varying reward bounds. *)
+  let wsn_data_job j =
+    let rng = Prng.create (42 + j) in
+    let groups = Wsn.observation_groups rng params ~count:600 in
+    Job.Data_repair
       {
-        model = chain;
-        phi = Wsn.property wsn_bounds.(j mod Array.length wsn_bounds);
-        spec;
-        starts = 4;
+        n = 9;
+        init = 8;
+        labels = [ ("delivered", [ 0 ]) ];
+        rewards =
+          Some (Array.init 9 (fun s -> if s = 0 then Ratio.zero else Ratio.one));
+        phi = Wsn.property 19;
+        spec = Data_repair.spec ~pinned:[ "success" ] groups;
+        starts = 2;
       }
+  in
+  let wsn_job j =
+    if j mod 4 = 3 then wsn_data_job j
+    else
+      Job.Model_repair
+        {
+          model = chain;
+          phi = Wsn.property wsn_bounds.(j mod Array.length wsn_bounds);
+          spec;
+          starts = 4;
+        }
   in
   let mdp = Car.mdp () in
   let car_job j =
@@ -579,7 +645,7 @@ let inject_fault_arg =
   Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
 
 let run_batch_cmd suite jobs workers repeat stats retries retry_backoff_ms
-    fault_specs seed =
+    fault_specs trace_out metrics_out seed =
   exit_of_result
     (if jobs < 1 then Error "need at least one job"
      else if workers < 1 then Error "need at least one worker"
@@ -607,6 +673,7 @@ let run_batch_cmd suite jobs workers repeat stats retries retry_backoff_ms
         | [] -> ()
         | specs -> Fault.install (Some (Fault.plan ~seed (List.rev specs))));
        Fun.protect ~finally:(fun () -> Fault.install None) @@ fun () ->
+       with_observability ~trace_out ~metrics_out @@ fun () ->
        try
          Runtime.with_runtime ~workers (fun rt ->
            let all_ok = ref true in
@@ -657,7 +724,53 @@ let batch_cmd =
     Term.(
       const run_batch_cmd $ suite_arg $ jobs_arg $ workers_arg $ repeat_arg
       $ stats_arg $ retries_arg $ retry_backoff_arg $ inject_fault_arg
-      $ seed_arg)
+      $ trace_out_arg $ metrics_out_arg $ seed_arg)
+
+(* -------------------------------- trace ------------------------------- *)
+
+let trace_file_arg =
+  let doc = "JSON-lines span dump produced by --trace-out." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let summary_arg =
+  Arg.(
+    value & flag
+    & info [ "summary" ]
+        ~doc:
+          "Append the aggregate per-span-name table (count, total, mean, \
+           max, errors) to the tree view.")
+
+let run_trace file summary =
+  exit_of_result
+    (try
+       let text = In_channel.with_open_text file In_channel.input_all in
+       let spans = Trace_export.of_jsonl text in
+       if spans = [] then Printf.printf "%s: empty trace\n" file
+       else
+         print_string
+           (if summary then Trace_export.summary spans
+            else Trace_export.tree spans);
+       Ok true
+     with
+     | Trace_export.Parse_error msg ->
+       Error (Printf.sprintf "%s: %s" file msg)
+     | Sys_error msg -> Error msg)
+
+let trace_cmd =
+  let doc = "render a recorded trace as a span tree" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Reads a JSON-lines span dump written by $(b,tml batch --trace-out) \
+          (or $(b,tml experiments --trace-out)) and renders the span \
+          forest: every job's submit/run pair with its pipeline stages, \
+          cache fills, NLP fallback rungs, retries and injected faults \
+          nested beneath it, each with its wall-clock duration.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc ~man)
+    Term.(const run_trace $ trace_file_arg $ summary_arg)
 
 (* ----------------------------- experiments ---------------------------- *)
 
@@ -668,7 +781,8 @@ let which_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Smaller workloads for E4/E6.")
 
-let run_experiments which quick =
+let run_experiments which quick trace_out metrics_out =
+  with_observability ~trace_out ~metrics_out @@ fun () ->
   let rows =
     match String.lowercase_ascii which with
     | "all" -> Some (Experiments.all ~quick ())
@@ -694,7 +808,9 @@ let experiments_cmd =
   let doc = "reproduce the paper's evaluation (DSN'18 §V)" in
   Cmd.v
     (Cmd.info "experiments" ~doc)
-    Term.(const run_experiments $ which_arg $ quick_arg)
+    Term.(
+      const run_experiments $ which_arg $ quick_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* ------------------------------- main --------------------------------- *)
 
@@ -704,6 +820,6 @@ let main_cmd =
     (Cmd.info "tml" ~version:"1.0.0" ~doc)
     [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
       pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; batch_cmd;
-      experiments_cmd ]
+      experiments_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

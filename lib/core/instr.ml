@@ -42,18 +42,40 @@ let checkpoint () =
 
 (* ------------------------------ timing ------------------------------ *)
 
+(* One histogram per stage, registered eagerly at module init — on the
+   main domain, before any worker can exist — so the probe itself never
+   touches the registry mutex. *)
+let stage_histogram =
+  let mk stage =
+    Metrics.histogram "tml_stage_seconds"
+      ~help:"Wall-clock seconds spent per pipeline stage"
+      ~label:("stage", stage_name stage)
+      ~buckets:Metrics.default_time_buckets
+  in
+  let learn = mk Learn
+  and eliminate = mk Eliminate
+  and solve = mk Solve
+  and check = mk Check in
+  function
+  | Learn -> learn
+  | Eliminate -> eliminate
+  | Solve -> solve
+  | Check -> check
+
 let time stage f =
   Fault.with_site (fault_site stage) @@ fun () ->
   checkpoint ();
-  match Atomic.get recorder with
-  | None -> f ()
-  | Some record ->
-    let t0 = Unix.gettimeofday () in
-    let finish () = record stage (Unix.gettimeofday () -. t0) in
-    (match f () with
-     | v ->
-       finish ();
-       v
-     | exception e ->
-       finish ();
-       raise e)
+  Trace_span.with_span ("stage:" ^ stage_name stage) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Metrics.observe (stage_histogram stage) dt;
+    match Atomic.get recorder with None -> () | Some record -> record stage dt
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e

@@ -17,7 +17,16 @@
       instead of running to completion.
 
     The runtime layer ([Runtime.Stats]) installs a thread-safe recorder
-    here; recorders may be called concurrently from several domains. *)
+    here; recorders may be called concurrently from several domains, and
+    the recorder slot itself is an [Atomic.t] so concurrent installs and
+    probes never tear.
+
+    Since the observability layer landed, every timed stage additionally
+    emits a {!Trace_span} named [stage:<name>] (free when tracing is
+    disabled) and an observation into the [tml_stage_seconds] {!Metrics}
+    histogram.  The plain-recorder interface below is kept as a shim for
+    existing callers ([Runtime_stats]); new code should read stage
+    timings from the metrics registry or a span dump instead. *)
 
 type stage = Learn | Eliminate | Solve | Check
 
@@ -51,5 +60,7 @@ val checkpoint : unit -> unit
 
 val time : stage -> (unit -> 'a) -> 'a
 (** [time stage f] probes the stage's {!Fault} site, polls {!checkpoint},
-    then runs [f ()], reporting its duration to the recorder (if any).
-    Exceptions propagate; the duration is still reported. *)
+    then runs [f ()] inside a [stage:<name>] trace span, reporting its
+    duration to the [tml_stage_seconds] histogram and to the recorder (if
+    any).  Exceptions propagate; the duration is still reported and the
+    span is marked errored. *)

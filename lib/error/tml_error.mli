@@ -11,6 +11,7 @@
     everything else fails the job's future immediately. *)
 
 type severity = Transient | Permanent
+(** [Transient]: a re-run may succeed.  [Permanent]: it cannot. *)
 
 type kind =
   | Solver_nonconvergence of string
@@ -24,6 +25,7 @@ type kind =
   | Internal of string  (** invariant violation; never retried *)
 
 exception Error of kind
+(** The one exception the repair stack raises for classified failures. *)
 
 val severity : kind -> severity
 (** [Solver_nonconvergence], [Timeout], [Cache_race] and [Injected_fault]
@@ -36,6 +38,7 @@ val classify : exn -> severity
     exception on every retry). *)
 
 val to_string : kind -> string
+(** A stable ["kind: detail"] rendering, for logs and span attributes. *)
 
 val transient : string -> exn
 (** [transient msg] = [Error (Solver_nonconvergence msg)] — convenience

@@ -144,6 +144,21 @@ let with_site site f =
         | Some o -> List.iter (fun _ -> o site) actions
       in
       notify ();
+      List.iter
+        (fun action ->
+           ignore
+             (Trace_span.event "fault:fired"
+                ~attrs:
+                  [
+                    ("site", site_name site);
+                    ( "action",
+                      match action with
+                      | Raise -> "raise"
+                      | Nan -> "nan"
+                      | Delay s -> Printf.sprintf "delay:%.0fms" (s *. 1e3) );
+                  ]
+               : int option))
+        actions;
       (* Delays first, then arming, then raises: a Raise spec wins. *)
       List.iter
         (function Delay s -> Unix.sleepf s | Raise | Nan -> ())

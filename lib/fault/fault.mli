@@ -10,9 +10,13 @@
     Sites are probed by the production code itself: {!Instr.time} probes
     [Learn]/[Eliminate]/[Solve]/[Check] at stage entry, the worker pool
     probes [Worker] per dequeued task, and the LRU cache probes [Cache]
-    at the start of each fill. *)
+    at the start of each fill.  When tracing is enabled, every firing
+    additionally emits a [fault:fired] {!Trace_span} event carrying the
+    site and action, so chaos runs are visible in trace dumps. *)
 
 type site = Learn | Eliminate | Solve | Check | Cache | Worker
+(** Where a fault can fire — the four pipeline stages, cache fills and
+    the worker dequeue loop. *)
 
 type action =
   | Raise  (** raise [Tml_error.Error (Injected_fault _)] at the site *)
@@ -22,6 +26,7 @@ type action =
           of the site's dynamic extent (one armed window per firing) *)
 
 type spec
+(** One fault declaration: a site, an action and its firing schedule. *)
 
 val spec : ?after:int -> ?fires:int -> ?rate:float -> site -> action -> spec
 (** A fault at [site]: skip the first [after] occurrences (default 0),
@@ -30,16 +35,26 @@ val spec : ?after:int -> ?fires:int -> ?rate:float -> site -> action -> spec
     seeded PRNG). *)
 
 type t
+(** A complete plan: a seed plus the specs to arm. *)
 
 val plan : ?seed:int -> spec list -> t
+(** Bundle [specs] under [seed] (default 0) — the seed drives every
+    rate-limited firing decision. *)
 
 val install : t option -> unit
 (** Install (or with [None] remove) the process-wide plan.  Installing
     resets all firing counters. *)
 
 val site_name : site -> string
+(** ["learn"], ["eliminate"], ["solve"], ["check"], ["cache"],
+    ["worker"]. *)
+
 val site_of_string : string -> site option
+(** Inverse of {!site_name}; [None] on unknown names. *)
+
 val action_of_string : ?delay_s:float -> string -> action option
+(** ["raise"], ["nan"] or ["delay"] (a delay of [delay_s] seconds,
+    default 0.1); [None] on unknown names. *)
 
 val with_site : site -> (unit -> 'a) -> 'a
 (** Probe [site], then run the body.  [Raise] specs raise before the body
@@ -58,6 +73,7 @@ val fired_total : unit -> int
 (** Faults fired since the current plan was installed. *)
 
 val fired_at : site -> int
+(** Faults fired at [site] since the current plan was installed. *)
 
 val set_observer : (site -> unit) option -> unit
 (** Called once per fired fault (the runtime wires this to its stats). *)

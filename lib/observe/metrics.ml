@@ -1,0 +1,204 @@
+type counter = int Atomic.t
+type gauge = float Atomic.t
+
+type histogram = {
+  bounds : float array;
+  buckets : int Atomic.t array;  (* one per bound, plus the +inf bucket *)
+  sum : float Atomic.t;
+  count : int Atomic.t;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type entry = {
+  name : string;
+  label : (string * string) option;
+  help : string;
+  metric : metric;
+}
+
+(* Registration is rare and mutex-guarded; updates never touch the
+   registry, only the atomics inside a handle. *)
+let mutex = Mutex.create ()
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let key name label =
+  match label with
+  | None -> name
+  | Some (k, v) -> Printf.sprintf "%s{%s=%S}" name k v
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name label help mk check =
+  locked (fun () ->
+      let k = key name label in
+      match Hashtbl.find_opt registry k with
+      | Some e -> check e
+      | None ->
+        let e = { name; label; help; metric = mk () } in
+        Hashtbl.replace registry k e;
+        e.metric)
+
+let wrong_kind name m =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered as a %s" name
+       (kind_name m))
+
+let counter ?(help = "") ?label name =
+  match
+    register name label help
+      (fun () -> Counter (Atomic.make 0))
+      (fun e -> e.metric)
+  with
+  | Counter c -> c
+  | m -> wrong_kind name m
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c by)
+let counter_value c = Atomic.get c
+
+(* Atomic float update: CAS on the boxed value; each candidate is a fresh
+   box, so physical-equality CAS is exact. *)
+let rec float_update a f =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (f v)) then float_update a f
+
+let gauge ?(help = "") ?label name =
+  match
+    register name label help
+      (fun () -> Gauge (Atomic.make 0.0))
+      (fun e -> e.metric)
+  with
+  | Gauge g -> g
+  | m -> wrong_kind name m
+
+let set_gauge g v = Atomic.set g v
+let max_gauge g v = float_update g (fun cur -> Float.max cur v)
+let gauge_value g = Atomic.get g
+
+let histogram ?(help = "") ?label ~buckets name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Metrics.histogram: need at least one bucket";
+  Array.iteri
+    (fun i b ->
+       if i > 0 && buckets.(i - 1) >= b then
+         invalid_arg "Metrics.histogram: bounds must be strictly increasing")
+    buckets;
+  match
+    register name label help
+      (fun () ->
+         Histogram
+           {
+             bounds = Array.copy buckets;
+             buckets = Array.init (n + 1) (fun _ -> Atomic.make 0);
+             sum = Atomic.make 0.0;
+             count = Atomic.make 0;
+           })
+      (fun e ->
+         (match e.metric with
+          | Histogram h when h.bounds <> buckets ->
+            invalid_arg
+              (Printf.sprintf
+                 "Metrics.histogram: %s re-registered with different bounds"
+                 name)
+          | _ -> ());
+         e.metric)
+  with
+  | Histogram h -> h
+  | m -> wrong_kind name m
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let rec idx i = if i >= n || v <= h.bounds.(i) then i else idx (i + 1) in
+  ignore (Atomic.fetch_and_add h.buckets.(idx 0) 1);
+  ignore (Atomic.fetch_and_add h.count 1);
+  float_update h.sum (fun s -> s +. v)
+
+let histogram_buckets h =
+  (* cumulative counts, Prometheus [le] convention *)
+  let acc = ref 0 in
+  let per_bound =
+    Array.to_list
+      (Array.mapi
+         (fun i b ->
+            acc := !acc + Atomic.get h.buckets.(i);
+            (b, !acc))
+         h.bounds)
+  in
+  per_bound @ [ (infinity, !acc + Atomic.get h.buckets.(Array.length h.bounds)) ]
+
+let histogram_sum h = Atomic.get h.sum
+let histogram_count h = Atomic.get h.count
+
+let default_time_buckets =
+  [| 0.001; 0.003; 0.01; 0.03; 0.1; 0.3; 1.0; 3.0; 10.0; 30.0; 100.0 |]
+
+(* ----------------------------- rendering ----------------------------- *)
+
+let label_str = function
+  | None -> ""
+  | Some (k, v) -> Printf.sprintf "{%s=%S}" k v
+
+let label_with extra = function
+  | None -> Printf.sprintf "{%s}" extra
+  | Some (k, v) -> Printf.sprintf "{%s=%S,%s}" k v extra
+
+let le_str b = if b = infinity then "+Inf" else Printf.sprintf "%g" b
+
+let to_prometheus () =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) registry [])
+  in
+  let entries =
+    List.sort
+      (fun a b ->
+         match compare a.name b.name with
+         | 0 -> compare a.label b.label
+         | c -> c)
+      entries
+  in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let last_header = ref "" in
+  List.iter
+    (fun e ->
+       if e.name <> !last_header then begin
+         last_header := e.name;
+         if e.help <> "" then add "# HELP %s %s\n" e.name e.help;
+         add "# TYPE %s %s\n" e.name (kind_name e.metric)
+       end;
+       match e.metric with
+       | Counter c -> add "%s%s %d\n" e.name (label_str e.label) (Atomic.get c)
+       | Gauge g -> add "%s%s %g\n" e.name (label_str e.label) (Atomic.get g)
+       | Histogram h ->
+         List.iter
+           (fun (b, n) ->
+              add "%s_bucket%s %d\n" e.name
+                (label_with (Printf.sprintf "le=%S" (le_str b)) e.label)
+                n)
+           (histogram_buckets h);
+         add "%s_sum%s %g\n" e.name (label_str e.label) (histogram_sum h);
+         add "%s_count%s %d\n" e.name (label_str e.label) (histogram_count h))
+    entries;
+  Buffer.contents buf
+
+let reset () =
+  let entries =
+    locked (fun () -> Hashtbl.fold (fun _ e acc -> e :: acc) registry [])
+  in
+  List.iter
+    (fun e ->
+       match e.metric with
+       | Counter c -> Atomic.set c 0
+       | Gauge g -> Atomic.set g 0.0
+       | Histogram h ->
+         Array.iter (fun b -> Atomic.set b 0) h.buckets;
+         Atomic.set h.sum 0.0;
+         Atomic.set h.count 0)
+    entries

@@ -1,0 +1,81 @@
+(** Process-wide metrics registry: named counters, gauges and fixed-bucket
+    histograms, safe across domains via atomics.
+
+    Metrics are registered once by name and live for the whole process —
+    unlike [Runtime_stats], whose counters die with their runtime, the
+    registry accumulates across runtime creations, worker respawns and
+    repeated batches.  Registration takes a mutex (it happens a handful
+    of times); every update is purely atomic, so workers never serialise
+    on the hot path.
+
+    Metric names follow Prometheus conventions ([tml_jobs_submitted_total],
+    [tml_stage_seconds]); an optional label pair distinguishes instances
+    of one logical metric (e.g. [("stage", "eliminate")]), and
+    {!to_prometheus} renders the whole registry in the Prometheus text
+    exposition format. *)
+
+type counter
+(** A monotonically increasing integer. *)
+
+type gauge
+(** A float that can move both ways (queue depth, cache size). *)
+
+type histogram
+(** Observations bucketed into fixed upper bounds, plus a running sum and
+    count — enough for rate/mean/percentile-band queries. *)
+
+val counter : ?help:string -> ?label:string * string -> string -> counter
+(** Register (or look up) the counter [name].  Re-registering the same
+    name with the same label returns the existing counter.
+    @raise Invalid_argument if [name] is already a gauge or histogram. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1) atomically. *)
+
+val counter_value : counter -> int
+
+val gauge : ?help:string -> ?label:string * string -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val max_gauge : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] is larger — a high-water mark. *)
+
+val gauge_value : gauge -> float
+
+val histogram :
+  ?help:string ->
+  ?label:string * string ->
+  buckets:float array ->
+  string ->
+  histogram
+(** Register a histogram with the given strictly increasing upper bucket
+    bounds (an implicit [+inf] bucket is added).  Re-registering the same
+    name/label must supply the same bounds.
+    @raise Invalid_argument on empty, unsorted or mismatched bounds. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation: bumps the first bucket whose bound is
+    [>= v], the count and the sum, all atomically. *)
+
+val histogram_buckets : histogram -> (float * int) list
+(** Cumulative per-bucket counts in bound order, ending with
+    [(infinity, total)] — the Prometheus [le] convention. *)
+
+val histogram_sum : histogram -> float
+
+val histogram_count : histogram -> int
+
+val default_time_buckets : float array
+(** Upper bounds (seconds) suited to repair-stage latencies:
+    [1ms … 100s] in roughly 1-3-10 steps. *)
+
+val to_prometheus : unit -> string
+(** The whole registry in the Prometheus text exposition format
+    ([# HELP] / [# TYPE] headers, [_bucket]/[_sum]/[_count] series for
+    histograms), metrics sorted by name for deterministic output. *)
+
+val reset : unit -> unit
+(** Zero every registered metric's value (registrations are kept, so
+    handles held by callers stay valid).  Meant for tests and for the
+    start of a [--metrics-out] capture. *)

@@ -1,0 +1,40 @@
+(** Exporters for {!Trace_span} streams.
+
+    Three formats:
+
+    - {b JSON lines} ({!to_jsonl} / {!of_jsonl}): one span per line, the
+      on-disk format of [tml batch --trace-out] — machine-readable, easy
+      to grep/stream, and parsed back losslessly by this module (the
+      [tml trace] subcommand round-trips through it);
+    - {b summary tree} ({!tree} / {!summary}): the human view — spans
+      nested under their parents with durations, plus an aggregate
+      per-span-name table;
+    - Prometheus text lives in {!Metrics.to_prometheus}, not here: spans
+      and metrics export independently. *)
+
+exception Parse_error of string
+(** Raised by {!of_jsonl} on malformed input, with a line number. *)
+
+val span_to_json : Trace_span.t -> string
+(** One span as a single-line JSON object (no trailing newline).  Fields:
+    [id], [parent] (null at root), [name], [job] (null if unset),
+    [domain], [wall_s], [rel_s], [dur_s], [status] ("ok"/"error"),
+    [error] (only when status is "error") and [attrs] (string map). *)
+
+val to_jsonl : Trace_span.t list -> string
+(** All spans, one JSON object per line, in the given order. *)
+
+val of_jsonl : string -> Trace_span.t list
+(** Parse a JSON-lines dump (blank lines ignored).  Inverse of
+    {!to_jsonl}.  @raise Parse_error on malformed lines. *)
+
+val tree : Trace_span.t list -> string
+(** Render the span forest: every span nested under its parent (spans
+    whose parent is absent from the list are roots), children in
+    timestamp order, one line per span with job id, duration, attributes
+    and an [ERROR] marker on failed spans. *)
+
+val summary : Trace_span.t list -> string
+(** {!tree} followed by an aggregate table — per span name: count, total
+    and mean duration, slowest instance, error count — sorted by total
+    time descending.  This is what [tml trace --summary] prints. *)

@@ -1,0 +1,149 @@
+type status = Ok | Error of string
+
+type t = {
+  id : int;
+  parent : int option;
+  name : string;
+  job : string option;
+  domain : int;
+  wall_s : float;
+  rel_s : float;
+  dur_s : float;
+  attrs : (string * string) list;
+  status : status;
+}
+
+(* All process-global slots are atomics: probes run on every domain, and
+   enable/disable/drain may race a worker mid-span. *)
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0.0
+let next_id = Atomic.make 1
+
+(* One buffer per domain, but owned by the process-wide registry so spans
+   survive the death of the domain that wrote them (pool respawns).  The
+   hot path is an atomic cons onto [spans]; only registration of a brand
+   new buffer touches the registry, also lock-free. *)
+type buffer = { dom : int; spans : t list Atomic.t }
+
+let registry : buffer list Atomic.t = Atomic.make []
+
+let rec atomic_update a f =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (f v)) then atomic_update a f
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int); spans = Atomic.make [] }
+      in
+      atomic_update registry (fun bs -> b :: bs);
+      b)
+
+(* An open (in-progress) span; attrs are mutable until it finishes. *)
+type pending = {
+  pid : int;
+  pparent : int option;
+  pname : string;
+  pjob : string option;
+  pwall : float;
+  prel : float;
+  mutable pattrs : (string * string) list;
+}
+
+let stack_key : pending list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let enabled () = Atomic.get enabled_flag
+
+let enable () =
+  List.iter (fun b -> Atomic.set b.spans []) (Atomic.get registry);
+  Atomic.set next_id 1;
+  Atomic.set epoch (Unix.gettimeofday ());
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let current () =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> None
+  | p :: _ -> Some p.pid
+
+let add_attr key value =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | p :: _ -> p.pattrs <- (key, value) :: p.pattrs
+
+let open_span ?parent ?job ?(attrs = []) name =
+  let stack = Domain.DLS.get stack_key in
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> ( match !stack with [] -> None | p :: _ -> Some p.pid)
+  in
+  let now = Unix.gettimeofday () in
+  let p =
+    {
+      pid = Atomic.fetch_and_add next_id 1;
+      pparent = parent;
+      pname = name;
+      pjob = job;
+      pwall = now;
+      prel = now -. Atomic.get epoch;
+      pattrs = List.rev attrs;
+    }
+  in
+  stack := p :: !stack;
+  p
+
+let close_span ?(instant = false) p status =
+  let stack = Domain.DLS.get stack_key in
+  (match !stack with q :: rest when q == p -> stack := rest | _ -> ());
+  let buf = Domain.DLS.get buffer_key in
+  let span =
+    {
+      id = p.pid;
+      parent = p.pparent;
+      name = p.pname;
+      job = p.pjob;
+      domain = buf.dom;
+      wall_s = p.pwall;
+      rel_s = p.prel;
+      dur_s = (if instant then 0.0 else Unix.gettimeofday () -. p.pwall);
+      attrs = List.rev p.pattrs;
+      status;
+    }
+  in
+  atomic_update buf.spans (fun ss -> span :: ss)
+
+let with_span ?parent ?job ?attrs name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let p = open_span ?parent ?job ?attrs name in
+    match f () with
+    | v ->
+      close_span p Ok;
+      v
+    | exception e ->
+      close_span p (Error (Printexc.to_string e));
+      raise e
+  end
+
+let event ?parent ?job ?attrs name =
+  if not (Atomic.get enabled_flag) then None
+  else begin
+    let p = open_span ?parent ?job ?attrs name in
+    close_span ~instant:true p Ok;
+    Some p.pid
+  end
+
+let drain () =
+  let spans =
+    List.concat_map
+      (fun b -> Atomic.exchange b.spans [])
+      (Atomic.get registry)
+  in
+  List.sort
+    (fun a b ->
+       match compare a.rel_s b.rel_s with 0 -> compare a.id b.id | c -> c)
+    spans

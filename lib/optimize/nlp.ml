@@ -177,6 +177,10 @@ let default_rungs ~starts =
       rung_starts = 3 * starts };
   ]
 
+let rung_counter =
+  Metrics.counter "tml_nlp_rungs_total"
+    ~help:"NLP fallback-ladder rungs attempted"
+
 let solve_with_fallback ?rungs ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
     ?(max_iter = 4000) p =
   let rungs = match rungs with Some r -> r | None -> default_rungs ~starts in
@@ -190,9 +194,17 @@ let solve_with_fallback ?rungs ?(starts = 12) ?(seed = 0) ?(feas_tol = 1e-7)
         | None, Some e -> raise e
         | None, None -> assert false)
     | rung :: rest -> (
+        Metrics.incr rung_counter;
         match
-          solve ~method_:rung.rung_method ~starts:rung.rung_starts ~seed
-            ~feas_tol ~max_iter p
+          Trace_span.with_span "nlp:rung"
+            ~attrs:
+              [
+                ("rung", rung.rung_label);
+                ("starts", string_of_int rung.rung_starts);
+              ]
+            (fun () ->
+               solve ~method_:rung.rung_method ~starts:rung.rung_starts ~seed
+                 ~feas_tol ~max_iter p)
         with
         | Feasible s -> (Feasible s, rung.rung_label)
         | Infeasible s ->

@@ -7,19 +7,23 @@
     picked it up).  All operations are thread-safe across domains. *)
 
 type 'a outcome =
-  | Value of 'a
-  | Failed of exn
-  | Cancelled
-  | Timed_out
+  | Value of 'a  (** the job returned normally *)
+  | Failed of exn  (** the job raised; the exception is preserved *)
+  | Cancelled  (** cancelled before a worker started it *)
+  | Timed_out  (** its queue deadline expired before completion *)
 
 type 'a t
+(** A write-once result cell, safe to resolve and await from any domain. *)
 
 val create : unit -> 'a t
+(** A fresh pending future. *)
 
 val resolve : 'a t -> 'a -> unit
 (** First resolution wins; later resolutions of any kind are ignored. *)
 
 val fail : 'a t -> exn -> unit
+(** Resolve as [Failed] (first resolution wins, as with {!resolve}). *)
+
 val cancel : 'a t -> bool
 (** Request cancellation.  Returns [true] when the future was still
     pending (the job will be skipped when dequeued); [false] when it had
@@ -33,6 +37,7 @@ val peek : 'a t -> 'a outcome option
 (** [None] while pending. *)
 
 val is_pending : 'a t -> bool
+(** [peek fut = None], without the allocation. *)
 
 val await : ?timeout_s:float -> 'a t -> 'a outcome
 (** Block until resolved.  With [timeout_s], give up after that many

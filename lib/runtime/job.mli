@@ -51,6 +51,8 @@ type outcome =
   | Data_repair_result of Data_repair.result
   | Reward_repair_result of Reward_repair.result
   | Pipeline_report of Pipeline.report
+      (** One constructor per job kind, wrapping that entry point's own
+          result type. *)
 
 val run : t -> outcome
 (** Execute the job on the calling domain. *)

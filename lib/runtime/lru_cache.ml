@@ -13,19 +13,34 @@ type 'a t = {
   landed : Condition.t;  (** broadcast whenever an in-flight entry settles *)
   table : (string, 'a entry) Hashtbl.t;
   capacity : int;
+  name : string option;
+  hit_counter : Metrics.counter option;
+  miss_counter : Metrics.counter option;
   mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
 
-let create ~capacity () =
+let create ?name ~capacity () =
   if capacity < 1 then invalid_arg "Lru_cache.create: capacity must be >= 1";
+  let metric which =
+    Option.map
+      (fun n ->
+         Metrics.counter
+           (Printf.sprintf "tml_cache_%s_total" which)
+           ~help:(Printf.sprintf "LRU cache %s" which)
+           ~label:("cache", n))
+      name
+  in
   {
     mutex = Mutex.create ();
     landed = Condition.create ();
     table = Hashtbl.create (min capacity 64);
     capacity;
+    name;
+    hit_counter = metric "hits";
+    miss_counter = metric "misses";
     clock = 0;
     hits = 0;
     misses = 0;
@@ -61,6 +76,10 @@ let make_room t =
       t.evictions <- t.evictions + 1
   done
 
+let key_attr key =
+  (* digests are long; eight hex chars identify a key in a trace *)
+  if String.length key <= 8 then key else String.sub key 0 8
+
 let rec find_or_compute t ~key thunk =
   let action =
     locked t (fun () ->
@@ -79,12 +98,22 @@ let rec find_or_compute t ~key thunk =
           `Compute)
   in
   match action with
-  | `Hit v -> v
+  | `Hit v ->
+    Option.iter Metrics.incr t.hit_counter;
+    v
   | `Retry -> find_or_compute t ~key thunk
   | `Compute -> (
+      Option.iter Metrics.incr t.miss_counter;
       match
-        Fault.at Fault.Cache;
-        thunk ()
+        Trace_span.with_span "cache:fill"
+          ~attrs:
+            (("key", key_attr key)
+             :: (match t.name with
+                 | Some n -> [ ("cache", n) ]
+                 | None -> []))
+          (fun () ->
+             Fault.at Fault.Cache;
+             thunk ())
       with
       | v ->
         locked t (fun () ->
@@ -101,14 +130,18 @@ let rec find_or_compute t ~key thunk =
         raise e)
 
 let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some (Done d) ->
-        t.clock <- t.clock + 1;
-        d.tick <- t.clock;
-        t.hits <- t.hits + 1;
-        Some d.value
-      | Some In_flight | None -> None)
+  let found =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some (Done d) ->
+          t.clock <- t.clock + 1;
+          d.tick <- t.clock;
+          t.hits <- t.hits + 1;
+          Some d.value
+        | Some In_flight | None -> None)
+  in
+  if Option.is_some found then Option.iter Metrics.incr t.hit_counter;
+  found
 
 let counters t =
   locked t (fun () ->

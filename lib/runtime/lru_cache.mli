@@ -21,8 +21,14 @@ type counters = {
   capacity : int;
 }
 
-val create : capacity:int -> unit -> 'a t
-(** @raise Invalid_argument when [capacity < 1]. *)
+val create : ?name:string -> capacity:int -> unit -> 'a t
+(** [name], when given, makes the cache observable: hits and misses are
+    mirrored into the [tml_cache_hits_total] / [tml_cache_misses_total]
+    {!Metrics} counters under a [cache=<name>] label, and every fill runs
+    inside a [cache:fill] trace span carrying the cache name and an
+    8-hex-char key prefix.  Anonymous caches keep only their local
+    {!counters}.
+    @raise Invalid_argument when [capacity < 1]. *)
 
 val find_or_compute : 'a t -> key:string -> (unit -> 'a) -> 'a
 (** If the thunk raises, the exception propagates to its caller; coalesced

@@ -52,6 +52,7 @@ let rec worker_loop t () =
   match job with
   | None -> ()
   | Some task -> (
+      ignore (Trace_span.event "pool:dequeue" : int option);
       match
         Fault.at Fault.Worker;
         if task.cancelled () then task.skip `Cancelled
@@ -81,6 +82,10 @@ and worker_crashed t task e =
           true
         end)
   in
+  ignore
+    (Trace_span.event "pool:respawn"
+       ~attrs:[ ("error", Printexc.to_string e) ]
+      : int option);
   if not respawned then task.crashed e;
   t.on_respawn e
 

@@ -31,6 +31,7 @@
     never leaks an unsettled future. *)
 
 type t
+(** A running pool.  Workers live until {!shutdown}. *)
 
 val create :
   ?queue_capacity:int ->
@@ -46,6 +47,7 @@ val create :
     @raise Invalid_argument on [workers < 1] or [queue_capacity < 1]. *)
 
 val workers : t -> int
+(** The worker-domain count given to {!create}. *)
 
 val respawns : t -> int
 (** Worker domains respawned after a crash since [create]. *)

@@ -35,16 +35,40 @@ let retryable = function
     false
   | e -> Tml_error.is_transient e
 
+let key_attr key =
+  if String.length key <= 8 then key else String.sub key 0 8
+
 (* [run policy ~key ~on_retry f] — run [f], re-running transient failures
    with capped jittered exponential backoff.  Permanent failures and
-   deadline/cancellation markers propagate immediately. *)
+   deadline/cancellation markers propagate immediately.  The first
+   attempt runs bare; each re-run is wrapped in a [retry:attempt] span,
+   preceded by a [retry:backoff] event naming the error that caused it,
+   so a trace answers "where did this job's retries go". *)
 let run policy ~key ~on_retry f =
   let rec go attempt =
-    match f () with
+    let attempt_f () =
+      if attempt = 0 then f ()
+      else
+        Trace_span.with_span "retry:attempt"
+          ~attrs:
+            [ ("attempt", string_of_int attempt); ("key", key_attr key) ]
+          f
+    in
+    match attempt_f () with
     | v -> v
     | exception e when attempt < policy.max_retries && retryable e ->
       on_retry e;
       let s = backoff_s policy ~key ~attempt in
+      ignore
+        (Trace_span.event "retry:backoff"
+           ~attrs:
+             [
+               ("attempt", string_of_int attempt);
+               ("key", key_attr key);
+               ("backoff_ms", Printf.sprintf "%.1f" (s *. 1e3));
+               ("error", Printexc.to_string e);
+             ]
+          : int option);
       if s > 0.0 then Unix.sleepf s;
       go (attempt + 1)
   in

@@ -13,10 +13,10 @@
     no wall-clock randomness in reports. *)
 
 type t = {
-  max_retries : int;
-  base_backoff_ms : float;
-  cap_backoff_ms : float;
-  seed : int;
+  max_retries : int;  (** re-runs allowed after the first attempt *)
+  base_backoff_ms : float;  (** backoff before the first re-run *)
+  cap_backoff_ms : float;  (** upper bound on any single backoff *)
+  seed : int;  (** jitter PRNG seed — same seed, same schedule *)
 }
 
 val make :
@@ -29,6 +29,7 @@ val make :
 (** Defaults: 2 retries, 50 ms base, 2 s cap, seed 0. *)
 
 val default : t
+(** [make ()]. *)
 
 val backoff_s : t -> key:string -> attempt:int -> float
 (** Deterministic backoff (seconds) before re-running [attempt]
@@ -41,4 +42,7 @@ val retryable : exn -> bool
 val run : t -> key:string -> on_retry:(exn -> unit) -> (unit -> 'a) -> 'a
 (** [run policy ~key ~on_retry f]: run [f], re-running retryable failures
     within the budget, sleeping the backoff in between; [on_retry] is
-    called once per re-run (for stats). *)
+    called once per re-run (for stats).  When tracing is enabled each
+    backoff emits a [retry:backoff] {!Trace_span} event and each re-run
+    executes inside a [retry:attempt] span, so retries are visible in
+    trace dumps. *)

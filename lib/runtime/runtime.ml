@@ -23,11 +23,12 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
   in
   let report_cache =
     if report_cache_capacity <= 0 then None
-    else Some (Lru_cache.create ~capacity:report_cache_capacity ())
+    else Some (Lru_cache.create ~name:"report" ~capacity:report_cache_capacity ())
   in
   let elim_cache =
     if elim_cache_capacity <= 0 then None
-    else Some (Lru_cache.create ~capacity:elim_cache_capacity ())
+    else
+      Some (Lru_cache.create ~name:"elimination" ~capacity:elim_cache_capacity ())
   in
   (* Process-global hooks: stage timings, the elimination memo and the
      fault observer.  The runtime owns them until shutdown. *)
@@ -43,12 +44,28 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
 let workers t = t.worker_count
 let respawns t = Pool.respawns t.pool
 
+(* Jobs are correlated across domains by the first 8 hex chars of their
+   digest: the [job:submit] event records it on the submitting domain, and
+   the worker opens its [job:run] span with the event as explicit parent —
+   the cross-domain edge every trace tree hangs on. *)
+let job_id key = if String.length key <= 8 then key else String.sub key 0 8
+
 let submit t ?timeout_s ?retry job =
   Runtime_stats.incr t.stats `Submitted;
+  let key = Job.digest job in
+  let jid = job_id key in
+  let submit_span =
+    Trace_span.event "job:submit" ~job:jid ~attrs:[ ("kind", Job.kind job) ]
+  in
+  let run_traced body =
+    Trace_span.with_span "job:run" ?parent:submit_span ~job:jid
+      ~attrs:[ ("kind", Job.kind job) ]
+      body
+  in
   (* The retry loop sits OUTSIDE the cache fill: a transient failure —
      whether it came from the job body or from a wedged cache fill —
      cleans up its in-flight entry, backs off, and re-enters the cache. *)
-  let with_retry key body =
+  let with_retry body =
     match retry with
     | None -> body ()
     | Some policy ->
@@ -58,13 +75,11 @@ let submit t ?timeout_s ?retry job =
   in
   match t.report_cache with
   | None ->
-    let key = Job.digest job in
     Pool.submit t.pool ?timeout_s (fun () ->
-        let outcome = with_retry key (fun () -> Job.run job) in
+        let outcome = run_traced (fun () -> with_retry (fun () -> Job.run job)) in
         Runtime_stats.incr t.stats `Completed;
         outcome)
   | Some cache -> (
-      let key = Job.digest job in
       (* Probe without blocking: a completed entry resolves immediately on
          the calling domain; otherwise the job goes through the pool, and
          the worker stores (or coalesces on) the digest. *)
@@ -72,14 +87,20 @@ let submit t ?timeout_s ?retry job =
       | Some outcome ->
         Runtime_stats.incr t.stats `Report_hit;
         Runtime_stats.incr t.stats `Completed;
+        ignore
+          (Trace_span.event "job:cache-hit" ?parent:submit_span ~job:jid
+             ~attrs:[ ("kind", Job.kind job) ]
+            : int option);
         let fut = Future.create () in
         Future.resolve fut outcome;
         fut
       | None ->
         Pool.submit t.pool ?timeout_s (fun () ->
             let outcome =
-              with_retry key (fun () ->
-                  Lru_cache.find_or_compute cache ~key (fun () -> Job.run job))
+              run_traced (fun () ->
+                  with_retry (fun () ->
+                      Lru_cache.find_or_compute cache ~key (fun () ->
+                          Job.run job)))
             in
             Runtime_stats.incr t.stats `Completed;
             outcome))

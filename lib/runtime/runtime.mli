@@ -13,9 +13,16 @@
     server process).
 
     Jobs are deterministic, so a batch run on [k] workers produces results
-    byte-identical to sequential execution — see {!Job.pp_outcome}. *)
+    byte-identical to sequential execution — see {!Job.pp_outcome}.
+
+    When {!Trace_span} tracing is enabled, {!submit} emits a [job:submit]
+    event on the calling domain and runs the job body inside a [job:run]
+    span parented to it, so cross-domain traces reconstruct the full
+    submit→dequeue→run tree; report-cache short-circuits emit
+    [job:cache-hit] instead. *)
 
 type t
+(** A live runtime.  Owns its pool and caches until {!shutdown}. *)
 
 val create :
   ?workers:int ->
@@ -30,6 +37,7 @@ val create :
     disables the corresponding cache. *)
 
 val workers : t -> int
+(** The pool's worker-domain count. *)
 
 val respawns : t -> int
 (** Worker domains respawned by the pool's supervisor since [create]. *)
@@ -57,9 +65,14 @@ val run_batch :
     never raises: late submissions resolve [Cancelled]. *)
 
 val stats : t -> Runtime_stats.snapshot
+(** A consistent snapshot of this runtime's counters and stage totals. *)
 
 val report_cache_counters : t -> Lru_cache.counters option
+(** Hit/miss/eviction counters of the report cache; [None] if disabled. *)
+
 val elim_cache_counters : t -> Lru_cache.counters option
+(** Hit/miss/eviction counters of the elimination cache; [None] if
+    disabled. *)
 
 val stats_json : t -> string
 (** The full instrumentation dump: job counters, retry/respawn/fault

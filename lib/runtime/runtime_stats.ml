@@ -41,6 +41,42 @@ type t = {
   stage_totals : float array;
 }
 
+(* Every per-runtime counter is mirrored into the process-wide {!Metrics}
+   registry (which outlives the runtime), under stable Prometheus names.
+   Stage histograms are NOT mirrored here — Instr.time feeds
+   [tml_stage_seconds] directly, so they'd double-count. *)
+let metric =
+  let mk name help = Metrics.counter name ~help in
+  let submitted = mk "tml_jobs_submitted_total" "Jobs submitted"
+  and completed = mk "tml_jobs_completed_total" "Jobs completed"
+  and failed = mk "tml_jobs_failed_total" "Jobs whose future failed"
+  and cancelled = mk "tml_jobs_cancelled_total" "Jobs cancelled"
+  and timed_out = mk "tml_jobs_timed_out_total" "Jobs timed out"
+  and retried = mk "tml_retries_total" "Transient-failure re-runs"
+  and respawned = mk "tml_worker_respawns_total" "Worker domains respawned"
+  and faults = mk "tml_faults_injected_total" "Chaos faults fired"
+  and report_hit =
+    mk "tml_report_cache_short_circuits_total"
+      "Jobs answered from the report cache at submit"
+  in
+  function
+  | `Submitted -> submitted
+  | `Completed -> completed
+  | `Failed -> failed
+  | `Cancelled -> cancelled
+  | `Timed_out -> timed_out
+  | `Retried -> retried
+  | `Respawned -> respawned
+  | `Fault_injected -> faults
+  | `Report_hit -> report_hit
+
+let queue_depth_gauge =
+  Metrics.gauge "tml_queue_depth" ~help:"Pool queue depth at last enqueue"
+
+let queue_depth_max_gauge =
+  Metrics.gauge "tml_queue_depth_max"
+    ~help:"Pool queue depth high-water mark"
+
 let stage_index = function
   | Instr.Learn -> 0
   | Instr.Eliminate -> 1
@@ -71,6 +107,7 @@ let locked t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
 let incr t which =
+  Metrics.incr (metric which);
   locked t (fun () ->
       match which with
       | `Submitted -> t.submitted <- t.submitted + 1
@@ -90,6 +127,9 @@ let record_stage t stage dt =
       t.stage_totals.(i) <- t.stage_totals.(i) +. dt)
 
 let observe_queue_depth t depth =
+  let d = float_of_int depth in
+  Metrics.set_gauge queue_depth_gauge d;
+  Metrics.max_gauge queue_depth_max_gauge d;
   locked t (fun () ->
       if depth > t.max_queue_depth then t.max_queue_depth <- depth)
 

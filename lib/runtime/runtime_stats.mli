@@ -3,9 +3,17 @@
     Collects job counts, queue-depth high-water mark and per-stage
     wall-clock totals (fed by {!Instr} recorders installed by
     {!Runtime.create}), and renders everything — together with the cache
-    counters — as a JSON object. *)
+    counters — as a JSON object.
+
+    Every per-runtime counter is also mirrored into the process-wide
+    {!Metrics} registry under a stable Prometheus name
+    ([tml_jobs_submitted_total], [tml_retries_total], …), so metrics
+    accumulate across runtime lifetimes while snapshots stay scoped to
+    one runtime.  Stage timings are {e not} mirrored here — {!Instr.time}
+    feeds the [tml_stage_seconds] histogram directly. *)
 
 type t
+(** A mutable counter set owned by one runtime. *)
 
 type stage_totals = { count : int; total_s : float }
 
@@ -35,12 +43,25 @@ type counter =
   | `Respawned
   | `Fault_injected
   | `Report_hit ]
+(** The events a runtime counts; one snapshot field each. *)
 
 val create : unit -> t
+(** A zeroed counter set. *)
+
 val incr : t -> counter -> unit
+(** Count one event, in this runtime and in the global {!Metrics}
+    registry.  Thread-safe. *)
+
 val record_stage : t -> Instr.stage -> float -> unit
+(** Add one timed stage run of the given duration (seconds) — the
+    recorder {!Runtime.create} installs into {!Instr.set_recorder}. *)
+
 val observe_queue_depth : t -> int -> unit
+(** Track the queue-depth high-water mark (and the [tml_queue_depth]
+    gauges). *)
+
 val snapshot : t -> snapshot
+(** A consistent copy of every counter and stage total. *)
 
 val to_json :
   workers:int ->

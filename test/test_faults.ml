@@ -357,7 +357,11 @@ let test_stats_json_has_resilience () =
           Alcotest.(check bool) "fault count" true
             (has "\"faults_injected\": 1")))
 
+(* TML_TRACE=1 runs the whole chaos suite with span recording live, so
+   CI exercises the tracing hot paths under injected faults, kills and
+   retries; results must be identical either way. *)
 let () =
+  if Sys.getenv_opt "TML_TRACE" <> None then Trace_span.enable ();
   Alcotest.run "faults"
     [
       ( "retry",
