@@ -1,4 +1,4 @@
-.PHONY: all test fault-test trace-test bench doc clean
+.PHONY: all test fault-test trace-test bench perf-check bench-baseline doc clean
 
 all:
 	dune build @all
@@ -16,6 +16,16 @@ trace-test:
 
 bench:
 	dune exec -- bench/main.exe
+
+# Perf gate: runtime-scaling comparison + the tracked symbolic-kernel and
+# e2/e4 elimination benches; fails if any tracked bench regresses >20%
+# against bench/results/baseline.json.
+perf-check:
+	dune exec -- bench/main.exe --perf-check
+
+# Rewrite the committed perf baseline (run on a quiet machine, then commit).
+bench-baseline:
+	dune exec -- bench/main.exe --update-baseline
 
 # API docs (requires odoc: `opam install odoc`).
 doc:

@@ -11,7 +11,14 @@
 
    Pass --table-only to skip the micro-benchmarks, --bench-only to skip
    the tables, or --runtime-only for just the runtime-scaling comparison
-   plus the traced stage breakdown (no results file rewrite). *)
+   plus the traced stage breakdown (no results file rewrite).
+
+   --perf-check runs the runtime-scaling comparison plus the tracked
+   bench set (the symbolic_kernel section and the e2/e4 elimination /
+   constraint-eval benches) and exits non-zero if any tracked bench's
+   fastest observed per-run time regresses more than 20% against
+   bench/results/baseline.json; --update-baseline reruns the same set
+   and rewrites the baseline. *)
 
 open Bechamel
 open Toolkit
@@ -294,6 +301,73 @@ let substrate_benches =
        Staged.stage (fun () -> Hmm.forward_backward h obs));
   ]
 
+(* Symbolic-kernel section: the exact-arithmetic layers behind state
+   elimination — interned monomials, the small-rational fast path,
+   Karatsuba bigint multiplication and the arena evaluator.  Together
+   with the e2/e4 experiment benches these form the tracked set that
+   `--perf-check` gates against bench/results/baseline.json. *)
+
+let symbolic_kernel_benches =
+  let repeat s k = String.concat "" (List.init k (fun _ -> s)) in
+  (* ~480 digits each: ~52 base-2^31 limbs, well above the Karatsuba
+     threshold *)
+  let big_a = Bigint.of_string (repeat "123456789012345678901234567890" 16) in
+  let big_b = Bigint.of_string (repeat "987654321098765432109876543210" 16) in
+  let p84 = Poly.pow Poly.(var "x" + var "y" + var "z" + one) 6 in
+  let p15 = Poly.pow Poly.(var "x" - (var "y" * var "z") + one) 4 in
+  (* numerator and denominator just under the 2^30 small-path bound, so
+     the product overflows the fast path and promotes to bignums *)
+  let boundary = Ratio.of_ints ((1 lsl 30) - 35) ((1 lsl 30) - 41) in
+  let e4_violation =
+    lazy
+      (let q = Lazy.force data_query in
+       let vars = Ratfun.vars q.Pquery.value in
+       let x =
+         Array.of_list
+           (List.map (fun v -> if v = "fail_other" then 0.3 else 0.1) vars)
+       in
+       (Pquery.compile_violation q ~vars, x))
+  in
+  let e4_grad =
+    lazy
+      (let q = Lazy.force data_query in
+       let a = q.Pquery.arena in
+       let x =
+         Array.map
+           (fun v -> if v = "fail_other" then 0.3 else 0.1)
+           (Arena.vars a)
+       in
+       (a, x))
+  in
+  [ Test.make ~name:"symbolic/ratio small-path sum (harmonic 100)"
+      (Staged.stage (fun () ->
+           let acc = ref Ratio.zero in
+           for k = 1 to 100 do
+             acc := Ratio.add !acc (Ratio.of_ints 1 k)
+           done;
+           !acc));
+    Test.make ~name:"symbolic/ratio promotion-boundary mul"
+      (Staged.stage (fun () -> Ratio.mul boundary boundary));
+    Test.make ~name:"symbolic/ratio pow (3/7)^12"
+      (let r = Ratio.of_ints 3 7 in
+       Staged.stage (fun () -> Ratio.pow r 12));
+    Test.make ~name:"symbolic/bigint karatsuba mul (480x480 digits)"
+      (Staged.stage (fun () -> Bigint.mul big_a big_b));
+    Test.make ~name:"symbolic/poly mul interned (84x15 terms)"
+      (Staged.stage (fun () -> Poly.mul p84 p15));
+    Test.make ~name:"symbolic/poly pow (x+y+1)^8"
+      (let base = Poly.(var "x" + var "y" + one) in
+       Staged.stage (fun () -> Poly.pow base 8));
+    Test.make ~name:"symbolic/arena violation eval (e4)"
+      (Staged.stage (fun () ->
+           let f, x = Lazy.force e4_violation in
+           f x));
+    Test.make ~name:"symbolic/arena gradient (e4)"
+      (Staged.stage (fun () ->
+           let a, x = Lazy.force e4_grad in
+           Arena.eval_grad a x));
+  ]
+
 (* ------------------------------------------------------------------ *)
 (* Runtime scaling: the concurrent job engine vs a naive sequential     *)
 (* loop on the same batch workload.                                     *)
@@ -443,6 +517,9 @@ type bench_row = {
   samples : int;
   mean_ns : float;
   stddev_ns : float;
+  min_ns : float;
+      (** fastest observed per-run time — the noise-floor estimate the
+          perf gate compares, since means drift with machine load *)
 }
 
 let row_stats ~group ~name raws =
@@ -454,14 +531,17 @@ let row_stats ~group ~name raws =
         else Some (Measurement_raw.get ~label:(Measure.label Instance.monotonic_clock) m /. run))
   in
   let n = List.length times in
-  if n = 0 then { group; name; samples = 0; mean_ns = Float.nan; stddev_ns = Float.nan }
+  if n = 0 then
+    { group; name; samples = 0; mean_ns = Float.nan; stddev_ns = Float.nan;
+      min_ns = Float.nan }
   else begin
     let mean = List.fold_left ( +. ) 0.0 times /. float_of_int n in
     let var =
       List.fold_left (fun acc t -> acc +. ((t -. mean) ** 2.0)) 0.0 times
       /. float_of_int n
     in
-    { group; name; samples = n; mean_ns = mean; stddev_ns = sqrt var }
+    let min_ns = List.fold_left Float.min Float.infinity times in
+    { group; name; samples = n; mean_ns = mean; stddev_ns = sqrt var; min_ns }
   end
 
 let json_escape s =
@@ -484,9 +564,9 @@ let write_results path rows runtime breakdown =
     (fun i r ->
        add
          "    {\"group\": \"%s\", \"name\": \"%s\", \"samples\": %d, \
-          \"mean_ns\": %.1f, \"stddev_ns\": %.1f}%s\n"
+          \"mean_ns\": %.1f, \"stddev_ns\": %.1f, \"min_ns\": %.1f}%s\n"
          (json_escape r.group) (json_escape r.name) r.samples r.mean_ns
-         r.stddev_ns
+         r.stddev_ns r.min_ns
          (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ],\n";
@@ -531,17 +611,19 @@ let write_results path rows runtime breakdown =
 (* Runner                                                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_benchmarks () =
+let prewarm () =
   (* pre-warm shared fixtures so one-off construction costs (e.g. the
-     1.8 s data-repair elimination) are not attributed to the first
-     benchmark that touches them *)
+     data-repair elimination) are not attributed to the first benchmark
+     that touches them *)
   ignore (Lazy.force wsn_chain);
   ignore (Lazy.force car_mdp);
   ignore (Lazy.force car_theta);
   ignore (Lazy.force wsn_parametric);
   ignore (Lazy.force data_groups);
   ignore (Lazy.force data_pdtmc);
-  ignore (Lazy.force data_query);
+  ignore (Lazy.force data_query)
+
+let measure_groups groups =
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
       ~stabilize:false ()
@@ -550,13 +632,6 @@ let run_benchmarks () =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let instance = Instance.monotonic_clock in
-  let groups =
-    [ ("experiments", experiment_benches);
-      ("ablations", ablation_benches);
-      ("scaling", scale_benches);
-      ("substrates", substrate_benches);
-    ]
-  in
   let pretty time_ns =
     if time_ns >= 1e9 then Printf.sprintf "%8.3f s " (time_ns /. 1e9)
     else if time_ns >= 1e6 then Printf.sprintf "%8.3f ms" (time_ns /. 1e6)
@@ -582,7 +657,20 @@ let run_benchmarks () =
               results;
             Hashtbl.iter
               (fun name (b : Benchmark.t) ->
-                 rows := row_stats ~group ~name b.Benchmark.lr :: !rows)
+                 let row = row_stats ~group ~name b.Benchmark.lr in
+                 (* prefer the OLS slope over the raw per-run mean: at the
+                    ns scale the raw mean is dominated by scheduler
+                    outliers, which would make the perf gate flaky *)
+                 let row =
+                   match Hashtbl.find_opt results name with
+                   | Some r ->
+                     (match Analyze.OLS.estimates r with
+                      | Some (t :: _) when Float.is_finite t ->
+                        { row with mean_ns = t }
+                      | _ -> row)
+                   | None -> row
+                 in
+                 rows := row :: !rows)
               raw;
             Format.print_flush ())
          benches;
@@ -591,15 +679,176 @@ let run_benchmarks () =
          Format.print_flush ()
        end)
     groups;
+  List.rev !rows
+
+let run_benchmarks () =
+  prewarm ();
+  let groups =
+    [ ("experiments", experiment_benches);
+      ("ablations", ablation_benches);
+      ("scaling", scale_benches);
+      ("substrates", substrate_benches);
+      ("symbolic_kernel", symbolic_kernel_benches);
+    ]
+  in
+  let rows = measure_groups groups in
   let runtime = runtime_scaling () in
   let breakdown = stage_breakdown () in
-  write_results "bench/results/latest.json" (List.rev !rows) runtime breakdown
+  write_results "bench/results/latest.json" rows runtime breakdown
+
+(* ------------------------------------------------------------------ *)
+(* Perf gate: tracked benches vs a committed baseline                   *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_path = "bench/results/baseline.json"
+let regression_threshold = 1.20
+
+(* The tracked set is deliberately cheap: the symbolic-kernel section
+   plus the three elimination/evaluation experiment benches named in the
+   acceptance criteria — no full repairs, no IRL.  A perf-check run
+   finishes in well under a minute. *)
+let tracked_groups () =
+  [ ("experiments",
+     [ bench_e2_elimination; bench_e4_elimination; bench_e4_constraint_eval ]);
+    ("symbolic_kernel", symbolic_kernel_benches);
+  ]
+
+let write_baseline rows =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"schema\": \"tml-bench-baseline/1\",\n";
+  add "  \"threshold\": %.2f,\n" regression_threshold;
+  add "  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+       add
+         "    {\"group\": \"%s\", \"name\": \"%s\", \"samples\": %d, \
+          \"mean_ns\": %.1f, \"stddev_ns\": %.1f, \"min_ns\": %.1f}%s\n"
+         (json_escape r.group) (json_escape r.name) r.samples r.mean_ns
+         r.stddev_ns r.min_ns
+         (if i = List.length rows - 1 then "" else ","))
+    rows;
+  add "  ]\n}\n";
+  (try Unix.mkdir (Filename.dirname baseline_path) 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let oc = open_out baseline_path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.printf "@\nbaseline written to %s@\n" baseline_path;
+  Format.print_flush ()
+
+(* Minimal line-oriented reader for the baseline file above: the writer
+   emits one benchmark object per line, so field extraction by substring
+   is exact for the data we produce (names contain no quotes). *)
+let parse_baseline path =
+  let find_sub line pat =
+    let n = String.length line and m = String.length pat in
+    let rec go i =
+      if i + m > n then None
+      else if String.sub line i m = pat then Some (i + m)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let str_field line key =
+    Option.map
+      (fun start ->
+         let stop = String.index_from line start '"' in
+         String.sub line start (stop - start))
+      (find_sub line (Printf.sprintf "\"%s\": \"" key))
+  in
+  let num_field line key =
+    Option.map
+      (fun start ->
+         let stop = ref start in
+         let len = String.length line in
+         while
+           !stop < len
+           && (match line.[!stop] with
+               | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+               | _ -> false)
+         do
+           incr stop
+         done;
+         float_of_string (String.sub line start (!stop - start)))
+      (find_sub line (Printf.sprintf "\"%s\": " key))
+  in
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         (str_field line "group", str_field line "name",
+          num_field line "min_ns")
+       with
+       | Some g, Some n, Some m -> rows := (g, n, m) :: !rows
+       | _ -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let perf_check ~update () =
+  prewarm ();
+  ignore (runtime_scaling ());
+  let rows = measure_groups (tracked_groups ()) in
+  if update then write_baseline rows
+  else if not (Sys.file_exists baseline_path) then begin
+    Format.printf
+      "@\nno %s — run `bench/main.exe --update-baseline` and commit it@\n"
+      baseline_path;
+    Format.print_flush ();
+    exit 2
+  end
+  else begin
+    let base = parse_baseline baseline_path in
+    let checked = ref 0 and failed = ref 0 in
+    Format.printf "@\n-- perf-check vs %s (fail at >%.0f%% regression) --@\n"
+      baseline_path
+      ((regression_threshold -. 1.0) *. 100.0);
+    List.iter
+      (fun (g, n, base_min) ->
+         match
+           List.find_opt (fun r -> r.group = g && r.name = n) rows
+         with
+         | None -> Format.printf "  %-45s missing from this run@\n" n
+         | Some r when not (Float.is_finite r.min_ns) || base_min <= 0.0 ->
+           Format.printf "  %-45s unmeasurable, skipped@\n" n
+         | Some r ->
+           incr checked;
+           let ratio = r.min_ns /. base_min in
+           let verdict =
+             if ratio > regression_threshold then begin
+               incr failed;
+               "REGRESSED"
+             end
+             else "ok"
+           in
+           Format.printf "  %-45s %12.1f ns vs %12.1f ns  %5.2fx  %s@\n" n
+             r.min_ns base_min ratio verdict)
+      base;
+    Format.printf "@\n%d tracked bench(es), %d regression(s)@\n" !checked
+      !failed;
+    Format.print_flush ();
+    if !failed > 0 then exit 1
+  end
 
 let () =
   let args = Array.to_list Sys.argv in
   let table_only = List.mem "--table-only" args in
   let bench_only = List.mem "--bench-only" args in
   let runtime_only = List.mem "--runtime-only" args in
+  let perf_check_mode = List.mem "--perf-check" args in
+  let update_baseline = List.mem "--update-baseline" args in
+  if perf_check_mode || update_baseline then begin
+    (* Perf gate: runtime-scaling comparison + the tracked bench set,
+       compared against (or, with --update-baseline, written to)
+       bench/results/baseline.json.  Exit 1 on any >threshold regression;
+       does not touch latest.json. *)
+    perf_check ~update:update_baseline ();
+    exit 0
+  end;
   if runtime_only then begin
     (* Fast path: just the runtime-scaling comparison and the traced
        stage breakdown, without the bechamel sweep.  Prints only — does

@@ -61,7 +61,7 @@ let mag_sub a b =
   assert (!borrow = 0);
   mag_normalize r
 
-let mag_mul a b =
+let mag_mul_school a b =
   let la = Array.length a and lb = Array.length b in
   if la = 0 || lb = 0 then [||]
   else begin
@@ -87,6 +87,38 @@ let mag_mul a b =
       end
     done;
     mag_normalize r
+  end
+
+(* Above this many limbs per operand, Karatsuba's three half-size products
+   beat the schoolbook O(n^2) row loop.  The threshold is deliberately
+   conservative: below ~24 limbs (~744 bits) the splitting overhead
+   (copies, adds, normalization) dominates. *)
+let karatsuba_threshold = 24
+
+let rec mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else if la < karatsuba_threshold || lb < karatsuba_threshold then
+    mag_mul_school a b
+  else begin
+    (* Split both operands at m limbs: x = x1*B^m + x0.  Then
+       x*y = z2*B^2m + z1*B^m + z0 with z1 = (x0+x1)(y0+y1) - z0 - z2. *)
+    let m = Stdlib.max la lb / 2 in
+    let lo x =
+      let l = Array.length x in
+      if l <= m then x else mag_normalize (Array.sub x 0 m)
+    and hi x =
+      let l = Array.length x in
+      if l <= m then [||] else Array.sub x m (l - m)
+    in
+    let a0 = lo a and a1 = hi a and b0 = lo b and b1 = hi b in
+    let z0 = mag_mul a0 b0 in
+    let z2 = mag_mul a1 b1 in
+    let z1 = mag_sub (mag_sub (mag_mul (mag_add a0 a1) (mag_add b0 b1)) z0) z2 in
+    let shifted x k =
+      if Array.length x = 0 then [||] else Array.append (Array.make k 0) x
+    in
+    mag_add (mag_add z0 (shifted z1 m)) (shifted z2 (2 * m))
   end
 
 let mag_mul_small a m =

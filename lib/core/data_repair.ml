@@ -55,13 +55,6 @@ let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
        pinned groups are fixed at 0 via their bounds. *)
     let var_names = List.map fst sp.groups in
     let dim = List.length var_names in
-    let env_of x v =
-      let rec go i = function
-        | [] -> 0.0
-        | name :: rest -> if name = v then x.(i) else go (i + 1) rest
-      in
-      go 0 var_names
-    in
     let lower = Array.make dim 0.0 in
     let upper =
       Array.of_list
@@ -71,7 +64,7 @@ let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
     in
     (* interior margin: see Model_repair *)
     let property_constraint =
-      ("property", fun x -> Pquery.constraint_violation ~margin:1e-6 query (env_of x))
+      ("property", Pquery.compile_violation ~margin:1e-6 query ~vars:var_names)
     in
     let problem =
       Nlp.problem ~dim
@@ -104,7 +97,7 @@ let repair ~n ~init ?(labels = []) ?rewards ?(solver = Nlp.Penalty)
           dtmc = repaired_dtmc;
           drop_fractions;
           cost = s.Nlp.objective_value;
-          achieved_value = query.Pquery.eval (env_of s.Nlp.x);
+          achieved_value = Pquery.compile_value query ~vars:var_names s.Nlp.x;
           dropped_traces;
           symbolic_constraint = query.Pquery.value;
           verified = verdict.Check_dtmc.holds;

@@ -24,37 +24,32 @@ let repair ?(tol = 1e-9) ?(rounds = 4) ?(force = false) dtmc phi spec =
       Array.of_list (List.map (fun (_, _, hi) -> hi) spec.Model_repair.variables)
     in
     let dim = Array.length upper in
-    let env_of x v =
-      let rec go i = function
-        | [] -> 0.0
-        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
-      in
-      go 0 var_names
-    in
-    (* feasibility = property constraint + perturbed edges stay in (0,1) *)
+    (* feasibility = property constraint + perturbed edges stay in (0,1);
+       everything arena-compiled against the spec's variable order — the
+       bisection loops below evaluate these thousands of times *)
+    let violation = Pquery.compile_violation ~margin:1e-6 query ~vars:var_names in
+    let raw_violation = Pquery.compile_violation ~margin:0.0 query ~vars:var_names in
     let perturbed_edges =
       List.sort_uniq compare
         (List.map (fun (s, d, _) -> (s, d)) spec.Model_repair.deltas)
     in
     let edge_fns =
       List.map
-        (fun (s, d) -> Ratfun.compile (List.assoc d (Pdtmc.succ pmodel s)))
+        (fun (s, d) ->
+           Arena.compile ~vars:var_names (List.assoc d (Pdtmc.succ pmodel s)))
         perturbed_edges
     in
     let feasible x =
-      Pquery.constraint_violation ~margin:1e-6 query (env_of x) <= 0.0
+      violation x <= 0.0
       && List.for_all
-           (fun f ->
-              let v = f (env_of x) in
+           (fun a ->
+              let v = Arena.eval a x in
               v > edge_margin && v < 1.0 -. edge_margin)
            edge_fns
     in
     let scale t = Array.map (fun hi -> t *. hi) upper in
     if not (feasible (scale 1.0)) then begin
-      let violation =
-        Float.max 0.0
-          (Pquery.constraint_violation ~margin:0.0 query (env_of (scale 1.0)))
-      in
+      let violation = Float.max 0.0 (raw_violation (scale 1.0)) in
       Infeasible { residual_violation = violation }
     end
     else begin
@@ -88,7 +83,7 @@ let repair ?(tol = 1e-9) ?(rounds = 4) ?(force = false) dtmc phi spec =
           Model_repair.dtmc = repaired_dtmc;
           assignment;
           cost = Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 x;
-          achieved_value = query.Pquery.eval (env_of x);
+          achieved_value = Pquery.compile_value query ~vars:var_names x;
           symbolic_constraint = query.Pquery.value;
           verified = verdict.Check_dtmc.holds;
           epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;

@@ -150,21 +150,15 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 8) ?(seed = 0) ?policy_cap
     let var_names = List.map (fun (n, _, _) -> n) spec.variables in
     let dim = List.length var_names in
     if dim = 0 then invalid_arg "Mdp_repair: no perturbation variables";
-    let env_of x v =
-      let rec go i = function
-        | [] -> 0.0
-        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
-      in
-      go 0 var_names
-    in
-    (* one symbolic constraint per policy *)
+    (* one symbolic constraint per policy, arena-compiled against the
+       spec's variable order *)
     let policy_constraints =
       List.mapi
         (fun i pi ->
            let pd = induced_parametric m spec pi in
            let q = Pquery.of_formula pd phi in
            ( Printf.sprintf "policy_%d" i,
-             fun x -> Pquery.constraint_violation ~margin:1e-6 q (env_of x) ))
+             Pquery.compile_violation ~margin:1e-6 q ~vars:var_names ))
         policies
     in
     (* action-level edge bounds, policy independent *)
@@ -186,11 +180,11 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 8) ?(seed = 0) ?policy_cap
                   if s = s' && a = a' && d = d' then Ratfun.add acc f else acc)
                Ratfun.zero spec.deltas
            in
-           let f = Ratfun.compile dsum in
+           let a' = Arena.compile ~vars:var_names dsum in
            [ ( Printf.sprintf "edge_%d_%s_%d_pos" s a d,
-               fun x -> edge_margin -. (base +. f (env_of x)) );
+               fun x -> edge_margin -. (base +. Arena.eval a' x) );
              ( Printf.sprintf "edge_%d_%s_%d_lt1" s a d,
-               fun x -> base +. f (env_of x) -. 1.0 +. edge_margin );
+               fun x -> base +. Arena.eval a' x -. 1.0 +. edge_margin );
            ])
         perturbed
     in

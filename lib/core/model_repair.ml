@@ -86,14 +86,9 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
     let var_names = List.map (fun (n, _, _) -> n) spec.variables in
     let dim = List.length var_names in
     if dim = 0 then invalid_arg "Model_repair: no perturbation variables";
-    let env_of x v =
-      let rec go i = function
-        | [] -> 0.0
-        | n :: rest -> if n = v then x.(i) else go (i + 1) rest
-      in
-      go 0 var_names
-    in
-    (* Step 3: the NLP (Eqs. 4–6). *)
+    (* Step 3: the NLP (Eqs. 4–6).  All constraints are arena-compiled
+       against the spec's variable order, so the optimizer's inner loop
+       evaluates flat float programs indexed by position. *)
     let lower = Array.of_list (List.map (fun (_, lo, _) -> lo) spec.variables) in
     let upper = Array.of_list (List.map (fun (_, _, hi) -> hi) spec.variables) in
     let perturbed_edges =
@@ -105,11 +100,11 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
     let edge_constraints =
       List.concat_map
         (fun (s, d) ->
-           let f = Ratfun.compile (pmodel_edge s d) in
+           let a = Arena.compile ~vars:var_names (pmodel_edge s d) in
            [ ( Printf.sprintf "edge_%d_%d_pos" s d,
-               fun x -> edge_margin -. f (env_of x) );
+               fun x -> edge_margin -. Arena.eval a x );
              ( Printf.sprintf "edge_%d_%d_lt1" s d,
-               fun x -> f (env_of x) -. 1.0 +. edge_margin );
+               fun x -> Arena.eval a x -. 1.0 +. edge_margin );
            ])
         perturbed_edges
     in
@@ -117,7 +112,7 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
        feasible region so the repaired model re-verifies after float
        round-off *)
     let property_constraint =
-      ("property", fun x -> Pquery.constraint_violation ~margin:1e-6 query (env_of x))
+      ("property", Pquery.compile_violation ~margin:1e-6 query ~vars:var_names)
     in
     let problem =
       Nlp.problem ~dim
@@ -146,7 +141,7 @@ let repair ?(solver = Nlp.Penalty) ?(starts = 12) ?(seed = 0) ?cost
           dtmc = repaired_dtmc;
           assignment;
           cost = s.Nlp.objective_value;
-          achieved_value = query.Pquery.eval (env_of s.Nlp.x);
+          achieved_value = Pquery.compile_value query ~vars:var_names s.Nlp.x;
           symbolic_constraint = query.Pquery.value;
           verified = verdict.Check_dtmc.holds;
           epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;

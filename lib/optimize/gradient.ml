@@ -33,13 +33,17 @@ let minimize ?(max_iter = 2000) ?(tol = 1e-10) ?lower ?upper f x0 =
     let gnorm = sqrt (Array.fold_left (fun acc v -> acc +. (v *. v)) 0.0 g) in
     if gnorm < tol then converged := true
     else begin
-      (* backtracking line search with Armijo condition *)
+      (* backtracking line search with Armijo condition; the step and the
+         box projection are fused into one array construction *)
       let step = ref 1.0 in
       let improved = ref false in
       while (not !improved) && !step > 1e-14 do
+        let cur = !x in
         let cand =
-          project ?lower ?upper
-            (Array.mapi (fun i v -> v -. (!step *. g.(i))) !x)
+          Array.init (Array.length cur) (fun i ->
+              let v = cur.(i) -. (!step *. g.(i)) in
+              let v = match lower with Some lo -> Float.max lo.(i) v | None -> v in
+              match upper with Some hi -> Float.min hi.(i) v | None -> v)
         in
         let fc = f cand in
         if fc < !fx -. (1e-4 *. !step *. gnorm *. gnorm) then begin

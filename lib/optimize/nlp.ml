@@ -43,19 +43,30 @@ let is_feasible ?(feas_tol = 1e-7) p x = max_violation p x <= feas_tol
 
 let guard v = if Float.is_nan v then infinity else v
 
+(* Clamp into a reusable scratch buffer: the objective/constraint
+   closures (arena-compiled programs) read the array and never retain
+   it, and each solve owns its own scratch, so the penalty inner loop
+   pays zero allocations per evaluation. *)
+let clamp_into p dst y =
+  for i = 0 to p.dim - 1 do
+    Array.unsafe_set dst i
+      (Float.min p.upper.(i) (Float.max p.lower.(i) (Array.unsafe_get y i)))
+  done
+
 (* One penalty pass: escalate μ, warm-starting each round. *)
 let solve_penalty ~max_iter p x0 =
   let x = ref (clamp p x0) in
   let mus = [ 1.0; 10.0; 100.0; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 ] in
+  let scratch = Array.make p.dim 0.0 in
   List.iter
     (fun mu ->
        let f y =
-         let y = clamp p y in
-         let base = guard (p.objective y) in
+         clamp_into p scratch y;
+         let base = guard (p.objective scratch) in
          let pen =
            List.fold_left
              (fun acc (_, g) ->
-                let v = Float.max 0.0 (guard (g y)) in
+                let v = Float.max 0.0 (guard (g scratch)) in
                 acc +. (v *. v))
              0.0 p.inequalities
          in
@@ -72,14 +83,15 @@ let solve_auglag ~max_iter p x0 =
   let lambda = Array.make k 0.0 in
   let mu = ref 10.0 in
   let x = ref (clamp p x0) in
+  let scratch = Array.make p.dim 0.0 in
   for _ = 1 to 8 do
     let f y =
-      let y = clamp p y in
-      let base = guard (p.objective y) in
+      clamp_into p scratch y;
+      let base = guard (p.objective scratch) in
       let pen = ref 0.0 in
       List.iteri
         (fun i (_, g) ->
-           let gv = guard (g y) in
+           let gv = guard (g scratch) in
            (* max(0, λ + μ g)² − λ² over 2μ (Rockafellar) *)
            let t = Float.max 0.0 (lambda.(i) +. (!mu *. gv)) in
            pen := !pen +. (((t *. t) -. (lambda.(i) *. lambda.(i))) /. (2.0 *. !mu)))

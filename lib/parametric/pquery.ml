@@ -3,6 +3,7 @@ type query = {
   cmp : Pctl.cmp;
   bound : float;
   eval : (string -> float) -> float;
+  arena : Arena.t;
 }
 
 exception Unsupported of string
@@ -107,7 +108,8 @@ let reachability_reward pdtmc f =
   else Elimination.expected_reward pdtmc ~target
 
 let make_query value cmp bound =
-  { value; cmp; bound; eval = Ratfun.compile value }
+  let arena = Arena.compile ~vars:(Ratfun.vars value) value in
+  { value; cmp; bound; eval = Arena.eval_env arena; arena }
 
 let of_formula pdtmc (f : Pctl.state_formula) =
   match f with
@@ -121,10 +123,21 @@ let of_formula pdtmc (f : Pctl.state_formula) =
 
 let strict_margin = 1e-9
 
+let violation_of cmp bound margin v =
+  match cmp with
+  | Pctl.Le -> v -. bound +. margin
+  | Pctl.Lt -> v -. bound +. margin +. strict_margin
+  | Pctl.Ge -> bound -. v +. margin
+  | Pctl.Gt -> bound -. v +. margin +. strict_margin
+
 let constraint_violation ?(margin = 0.0) q env =
-  let v = q.eval env in
-  match q.cmp with
-  | Pctl.Le -> v -. q.bound +. margin
-  | Pctl.Lt -> v -. q.bound +. margin +. strict_margin
-  | Pctl.Ge -> q.bound -. v +. margin
-  | Pctl.Gt -> q.bound -. v +. margin +. strict_margin
+  violation_of q.cmp q.bound margin (q.eval env)
+
+let compile_value q ~vars =
+  let a = Arena.compile ~vars q.value in
+  fun x -> Arena.eval a x
+
+let compile_violation ?(margin = 0.0) q ~vars =
+  let a = Arena.compile ~vars q.value in
+  let cmp = q.cmp and bound = q.bound in
+  fun x -> violation_of cmp bound margin (Arena.eval a x)

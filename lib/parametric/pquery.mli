@@ -11,7 +11,10 @@ type query = {
   cmp : Pctl.cmp;
   bound : float;
   eval : (string -> float) -> float;
-      (** compiled fast evaluation of [value] (see {!Ratfun.compile}) *)
+      (** compiled fast evaluation of [value] (arena-backed, see {!Arena}) *)
+  arena : Arena.t;
+      (** the flat compiled form of [value]; prefer {!compile_value} /
+          {!compile_violation} for index-based inner loops *)
 }
 
 exception Unsupported of string
@@ -41,3 +44,14 @@ val constraint_violation : ?margin:float -> query -> (string -> float) -> float
     handed to the NLP solver. A small positive [margin] keeps solutions in
     the strict interior so that the repaired model still verifies after
     float round-off. Strict comparisons get an additional tiny margin. *)
+
+val compile_value : query -> vars:string list -> float array -> float
+(** Arena-compiled evaluation of the query value with the parameter vector
+    indexed by position in [vars] — the form the NLP inner loop wants
+    (no per-call name resolution).
+    @raise Invalid_argument if the query mentions a variable not in [vars]. *)
+
+val compile_violation :
+  ?margin:float -> query -> vars:string list -> float array -> float
+(** Arena-compiled {!constraint_violation} over a positional parameter
+    vector; same comparison/margin semantics. *)

@@ -1,0 +1,138 @@
+(* Flat arena evaluator for rational functions.
+
+   A polynomial is lowered to a postfix program over a float stack with two
+   instructions: push a constant, or combine the top n+1 values with one
+   variable by Horner's rule.  The lowering is the derivative-slice
+   decomposition  p = Σ_e slice_e(rest) · x^e  with
+   slice_e = ((d/dx)^e p)|_{x=0} / e!, applied recursively over the
+   variable list — a univariate polynomial compiles to one dense Horner
+   chain, a multivariate one to nested chains.  Rational-function division
+   happens once at the end of an evaluation. *)
+
+module P = Poly
+module Q = Ratio
+
+type instr = Push of float | Horner of { vi : int; n : int }
+
+type t = {
+  vars : string array;
+  num : instr array;
+  den : instr array option; (* None: denominator is the constant 1 *)
+  stack : float array; (* scratch, sized to max program depth *)
+  values : float array; (* scratch for eval_env / eval_grad *)
+}
+
+let vars t = t.vars
+
+(* Compile [p] over the ordered (index, name) variable list. *)
+let compile_poly order p =
+  let code = ref [] in
+  let emit i = code := i :: !code in
+  let rec go vars p =
+    match P.to_const_opt p with
+    | Some c -> emit (Push (Q.to_float c))
+    | None -> (
+      match vars with
+      | [] ->
+        (* every variable of p was in [order]; checked by [compile] *)
+        assert false
+      | (vi, v) :: rest ->
+        let d = P.degree_in v p in
+        if d = 0 then go rest p
+        else begin
+          let deriv = ref p in
+          let fact = ref Q.one in
+          for e = 0 to d do
+            if e >= 2 then fact := Q.mul !fact (Q.of_int e);
+            let slice = P.scale (Q.inv !fact) (P.subst v P.zero !deriv) in
+            go rest slice;
+            if e < d then deriv := P.derivative v !deriv
+          done;
+          emit (Horner { vi; n = d })
+        end)
+  in
+  go order p;
+  Array.of_list (List.rev !code)
+
+let max_depth prog =
+  let depth = ref 0 and max = ref 0 in
+  Array.iter
+    (fun i ->
+       (match i with
+        | Push _ -> incr depth
+        | Horner { n; _ } -> depth := !depth - n);
+       if !depth > !max then max := !depth)
+    prog;
+  !max
+
+let compile ~vars f =
+  let vars = Array.of_list vars in
+  let known v = Array.exists (String.equal v) vars in
+  List.iter
+    (fun v ->
+       if not (known v) then
+         invalid_arg
+           (Printf.sprintf "Arena.compile: variable %s not in vars" v))
+    (Ratfun.vars f);
+  let order =
+    Array.to_list (Array.mapi (fun i v -> (i, v)) vars)
+  in
+  let num = compile_poly order (Ratfun.num f) in
+  let den_poly = Ratfun.den f in
+  let den =
+    if P.equal den_poly P.one then None else Some (compile_poly order den_poly)
+  in
+  let depth =
+    Stdlib.max (max_depth num)
+      (match den with None -> 0 | Some d -> max_depth d)
+  in
+  {
+    vars;
+    num;
+    den;
+    stack = Array.make (Stdlib.max 1 depth) 0.0;
+    values = Array.make (Array.length vars) 0.0;
+  }
+
+let run prog (x : float array) (stack : float array) =
+  let sp = ref 0 in
+  for i = 0 to Array.length prog - 1 do
+    match Array.unsafe_get prog i with
+    | Push c ->
+      Array.unsafe_set stack !sp c;
+      incr sp
+    | Horner { vi; n } ->
+      let v = Array.unsafe_get x vi in
+      let base = !sp - n - 1 in
+      let acc = ref (Array.unsafe_get stack (!sp - 1)) in
+      for j = !sp - 2 downto base do
+        acc := (!acc *. v) +. Array.unsafe_get stack j
+      done;
+      Array.unsafe_set stack base !acc;
+      sp := base + 1
+  done;
+  Array.unsafe_get stack 0
+
+let eval t x =
+  let n = run t.num x t.stack in
+  match t.den with None -> n | Some d -> n /. run d x t.stack
+
+let eval_env t env =
+  Array.iteri (fun i v -> t.values.(i) <- env v) t.vars;
+  eval t t.values
+
+let eval_grad ?(h = 1e-6) t x =
+  let v = eval t x in
+  let n = Array.length t.vars in
+  let y = Array.sub x 0 (Array.length x) in
+  let g =
+    Array.init n (fun i ->
+        let xi = y.(i) in
+        y.(i) <- xi +. h;
+        let hi = eval t y in
+        y.(i) <- xi -. h;
+        let lo = eval t y in
+        y.(i) <- xi;
+        (hi -. lo) /. (2.0 *. h))
+  in
+  (v, g)

@@ -137,15 +137,26 @@ let inv t =
   if is_zero t then raise Division_by_zero
   else normalize t.den t.num
 
+(* Inputs are already in normal form, so absorbing/identity elements can be
+   returned as-is without re-running [normalize]. *)
+let is_one t = P.equal t.num P.one && P.equal t.den P.one
+
 let add a b =
-  if P.equal a.den b.den then normalize (P.add a.num b.num) a.den
+  if is_zero a then b
+  else if is_zero b then a
+  else if P.equal a.den b.den then normalize (P.add a.num b.num) a.den
   else
     normalize
       (P.add (P.mul a.num b.den) (P.mul b.num a.den))
       (P.mul a.den b.den)
 
 let sub a b = add a (neg b)
-let mul a b = normalize (P.mul a.num b.num) (P.mul a.den b.den)
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else if is_one a then b
+  else if is_one b then a
+  else normalize (P.mul a.num b.num) (P.mul a.den b.den)
 let div a b = mul a (inv b)
 
 let pow t e =

@@ -1,0 +1,43 @@
+(* Process-wide variable interning.
+
+   Polynomial variables are dense int ids; this table is the single
+   authority mapping names to ids and back.  Ids are assigned in first-
+   intern order and never recycled, so a monomial key built in one domain
+   is meaningful in every other.  All access is under one mutex: interning
+   happens a handful of times per model (parameter names), and id->name
+   lookups only on the printing/eval paths, so the lock is never hot. *)
+
+let mutex = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let names : string array ref = ref (Array.make 16 "")
+let next = ref 0
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let intern v =
+  locked (fun () ->
+      match Hashtbl.find_opt ids v with
+      | Some id -> id
+      | None ->
+        let id = !next in
+        incr next;
+        if id >= Array.length !names then begin
+          let grown = Array.make (2 * Array.length !names) "" in
+          Array.blit !names 0 grown 0 (Array.length !names);
+          names := grown
+        end;
+        !names.(id) <- v;
+        Hashtbl.add ids v id;
+        id)
+
+let find_opt v = locked (fun () -> Hashtbl.find_opt ids v)
+
+let name id =
+  locked (fun () ->
+      if id < 0 || id >= !next then
+        invalid_arg (Printf.sprintf "Symtab.name: unknown id %d" id)
+      else !names.(id))
+
+let size () = locked (fun () -> !next)

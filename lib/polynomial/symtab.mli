@@ -1,0 +1,18 @@
+(** Process-wide interning of polynomial variable names.
+
+    Maps variable names to dense int ids (assigned in first-intern order,
+    never recycled) and back.  Thread-safe across domains; the underlying
+    lock is only touched on intern and id->name lookups, both of which are
+    off the polynomial arithmetic hot path. *)
+
+val intern : string -> int
+(** Id of [v], interning it on first sight. *)
+
+val find_opt : string -> int option
+(** Id of [v] if it has been interned, without interning it. *)
+
+val name : int -> string
+(** Inverse of {!intern}. @raise Invalid_argument on an unknown id. *)
+
+val size : unit -> int
+(** Number of interned names. *)

@@ -1,59 +1,186 @@
-(* Normalised rationals: den > 0, gcd(num, den) = 1, zero is 0/1. *)
+(* Normalised rationals: den > 0, gcd(num, den) = 1, zero is 0/1.
+
+   Hybrid representation: values whose numerator and denominator both fit
+   in 30 bits live in the [S] constructor and are manipulated entirely in
+   native-int arithmetic (a single division-free gcd per op); everything
+   else lives in [N] over Bigint.  The 30-bit bound makes overflow
+   impossible by construction on 63-bit ints: cross products are at most
+   2^60 in magnitude and their sums at most 2^61 < max_int.
+
+   Canonical-form invariant: a value is represented as [S] IFF both its
+   normalised numerator magnitude and denominator fit within [small_max].
+   Every constructor re-establishes this (big results are demoted when
+   they shrink back under the bound), so structural equality of the
+   representation coincides with semantic equality and [equal]/[hash]
+   never need cross-representation comparisons. *)
 
 module B = Bigint
 
-type t = { num : B.t; den : B.t }
+let small_max = (1 lsl 30) - 1
+
+type t =
+  | S of int * int  (* num, den: den > 0, coprime, both within small_max *)
+  | N of { num : B.t; den : B.t }  (* den > 0, coprime, exceeds small_max *)
+
+let promotions =
+  Metrics.counter "tml_ratio_promotions_total"
+    ~help:"Rational operations whose result left the native small-int fast path"
+
+let fits v = v >= -small_max && v <= small_max
+
+let zero = S (0, 1)
+let one = S (1, 1)
+let minus_one = S (-1, 1)
+let half = S (1, 2)
+
+(* gcd of non-negative native ints *)
+let rec igcd a b = if b = 0 then a else igcd b (a mod b)
+
+(* Build from native parts with |n|, |d| < 2^62 (no intermediate can
+   overflow); normalises sign and gcd, demotes/promotes as needed. *)
+let of_small_parts n d =
+  if d = 0 then raise Division_by_zero;
+  if n = 0 then zero
+  else begin
+    let n, d = if d < 0 then (-n, -d) else (n, d) in
+    let g = igcd (abs n) d in
+    let n = n / g and d = d / g in
+    if fits n && d <= small_max then S (n, d)
+    else begin
+      Metrics.incr promotions;
+      N { num = B.of_int n; den = B.of_int d }
+    end
+  end
+
+(* Already coprime native parts with d > 0 (e.g. after cross-reduction). *)
+let of_coprime_parts n d =
+  if n = 0 then zero
+  else if fits n && d <= small_max then S (n, d)
+  else begin
+    Metrics.incr promotions;
+    N { num = B.of_int n; den = B.of_int d }
+  end
+
+(* Demote an already-normalised bignum pair when it fits. *)
+let of_reduced_big num den =
+  if B.is_zero num then zero
+  else
+    match (B.to_int_opt num, B.to_int_opt den) with
+    | Some n, Some d when fits n && d <= small_max -> S (n, d)
+    | _ -> N { num; den }
 
 let normalize num den =
   if B.is_zero den then raise Division_by_zero;
-  if B.is_zero num then { num = B.zero; den = B.one }
+  if B.is_zero num then zero
   else begin
     let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
     let g = B.gcd num den in
-    if B.is_one g then { num; den }
-    else { num = B.div num g; den = B.div den g }
+    let num, den =
+      if B.is_one g then (num, den) else (B.div num g, B.div den g)
+    in
+    of_reduced_big num den
   end
 
 let make num den = normalize num den
-let of_bigint n = { num = n; den = B.one }
-let of_int i = of_bigint (B.of_int i)
-let of_ints n d = normalize (B.of_int n) (B.of_int d)
 
-let zero = of_int 0
-let one = of_int 1
-let minus_one = of_int (-1)
-let half = of_ints 1 2
+let of_bigint n =
+  match B.to_int_opt n with
+  | Some i when fits i -> S (i, 1)
+  | _ -> N { num = n; den = B.one }
 
-let num t = t.num
-let den t = t.den
-let sign t = B.sign t.num
-let is_zero t = B.is_zero t.num
-let is_integer t = B.is_one t.den
+let of_int i = if fits i then S (i, 1) else N { num = B.of_int i; den = B.one }
 
-let neg t = { t with num = B.neg t.num }
-let abs t = { t with num = B.abs t.num }
+let of_ints n d =
+  (* min_int has no native negation/abs; push it through the bignum path *)
+  if n = min_int || d = min_int then normalize (B.of_int n) (B.of_int d)
+  else of_small_parts n d
 
-let inv t =
-  if is_zero t then raise Division_by_zero
-  else if B.sign t.num > 0 then { num = t.den; den = t.num }
-  else { num = B.neg t.den; den = B.neg t.num }
+let num = function S (n, _) -> B.of_int n | N r -> r.num
+let den = function S (_, d) -> B.of_int d | N r -> r.den
+let sign = function S (n, _) -> Stdlib.compare n 0 | N r -> B.sign r.num
+let is_zero = function S (n, _) -> n = 0 | N _ -> false
+let is_integer = function S (_, d) -> d = 1 | N r -> B.is_one r.den
+
+let neg = function
+  | S (n, d) -> S (-n, d)
+  | N r -> N { r with num = B.neg r.num }
+
+let abs = function
+  | S (n, d) -> S (Stdlib.abs n, d)
+  | N r -> N { r with num = B.abs r.num }
+
+let inv = function
+  | S (0, _) -> raise Division_by_zero
+  | S (n, d) -> if n > 0 then S (d, n) else S (-d, -n)
+  | N r ->
+    if B.sign r.num > 0 then N { num = r.den; den = r.num }
+    else N { num = B.neg r.den; den = B.neg r.num }
+
+let big_add a b =
+  normalize
+    (B.add (B.mul (num a) (den b)) (B.mul (num b) (den a)))
+    (B.mul (den a) (den b))
 
 let add a b =
-  normalize
-    (B.add (B.mul a.num b.den) (B.mul b.num a.den))
-    (B.mul a.den b.den)
+  match (a, b) with
+  | S (0, _), x | x, S (0, _) -> x
+  | S (an, ad), S (bn, bd) ->
+    if ad = bd then of_small_parts (an + bn) ad
+    else of_small_parts ((an * bd) + (bn * ad)) (ad * bd)
+  | _ -> big_add a b
 
 let sub a b = add a (neg b)
-let mul a b = normalize (B.mul a.num b.num) (B.mul a.den b.den)
+
+let mul a b =
+  match (a, b) with
+  | S (0, _), _ | _, S (0, _) -> zero
+  | S (1, 1), x | x, S (1, 1) -> x
+  | S (an, ad), S (bn, bd) ->
+    (* Cross-reduce before multiplying: gcd(an,bd) and gcd(bn,ad) carry all
+       common factors (each operand is internally coprime), so the products
+       below are already in lowest terms — no trailing gcd needed. *)
+    let g1 = igcd (Stdlib.abs an) bd and g2 = igcd (Stdlib.abs bn) ad in
+    of_coprime_parts (an / g1 * (bn / g2)) (ad / g2 * (bd / g1))
+  | _ -> normalize (B.mul (num a) (num b)) (B.mul (den a) (den b))
+
 let div a b = mul a (inv b)
 
-let pow t e =
-  if e >= 0 then { num = B.pow t.num e; den = B.pow t.den e }
-  else inv { num = B.pow t.num (-e); den = B.pow t.den (-e) }
+(* Powers of a normalised value are normalised (coprimality is preserved
+   by exponentiation), so [pow] never re-runs the gcd. *)
+let rec pow t e =
+  if e = 0 then one
+  else if e < 0 then inv (pow t (-e))
+  else
+    match t with
+    | S (n, d) ->
+    (* stay native when the result provably fits: bits(x^e) <= bits(x)*e *)
+    let bits v =
+      let rec go b v = if v = 0 then b else go (b + 1) (v lsr 1) in
+      go 0 (Stdlib.abs v)
+    in
+    if Stdlib.max (bits n) (bits d) * e <= 30 then begin
+      let rec ipow acc b e =
+        if e = 0 then acc
+        else ipow (if e land 1 = 1 then acc * b else acc) (b * b) (e lsr 1)
+      in
+      S (ipow 1 n e, ipow 1 d e)
+    end
+    else of_reduced_big (B.pow (B.of_int n) e) (B.pow (B.of_int d) e)
+  | N r -> of_reduced_big (B.pow r.num e) (B.pow r.den e)
 
-let equal a b = B.equal a.num b.num && B.equal a.den b.den
+let equal a b =
+  match (a, b) with
+  | S (an, ad), S (bn, bd) -> an = bn && ad = bd
+  | N x, N y -> B.equal x.num y.num && B.equal x.den y.den
+  | _ -> false (* canonical form: small values are never represented big *)
 
-let compare a b = B.compare (B.mul a.num b.den) (B.mul b.num a.den)
+let compare a b =
+  let sa = sign a and sb = sign b in
+  if sa <> sb then Stdlib.compare sa sb
+  else
+    match (a, b) with
+    | S (an, ad), S (bn, bd) -> Stdlib.compare (an * bd) (bn * ad)
+    | _ -> B.compare (B.mul (num a) (den b)) (B.mul (num b) (den a))
 
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
@@ -69,23 +196,38 @@ let ( * ) = mul
 let ( / ) = div
 let ( ~- ) = neg
 
-let to_float t = B.to_float t.num /. B.to_float t.den
+let to_float = function
+  | S (n, d) -> float_of_int n /. float_of_int d
+  | N r -> B.to_float r.num /. B.to_float r.den
 
-let to_string t =
-  if is_integer t then B.to_string t.num
-  else B.to_string t.num ^ "/" ^ B.to_string t.den
+let to_string = function
+  | S (n, 1) -> string_of_int n
+  | S (n, d) -> Printf.sprintf "%d/%d" n d
+  | N r ->
+    if B.is_one r.den then B.to_string r.num
+    else B.to_string r.num ^ "/" ^ B.to_string r.den
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
-let hash t = Stdlib.( + ) (B.hash t.num) (Stdlib.( * ) 31 (B.hash t.den))
+let hash = function
+  | S (n, d) -> Stdlib.( + ) n (Stdlib.( * ) 31 d)
+  | N r -> Stdlib.( + ) (B.hash r.num) (Stdlib.( * ) 31 (B.hash r.den))
 
-let floor t =
-  let q, r = B.divmod t.num t.den in
-  if Stdlib.( < ) (B.sign r) 0 then B.pred q else q
+let floor = function
+  | S (n, d) ->
+    let q = Stdlib.( / ) n d in
+    B.of_int (if Stdlib.( < ) n 0 && Stdlib.( <> ) (Stdlib.( * ) q d) n then Stdlib.( - ) q 1 else q)
+  | N r ->
+    let q, rm = B.divmod r.num r.den in
+    if Stdlib.( < ) (B.sign rm) 0 then B.pred q else q
 
-let ceil t =
-  let q, r = B.divmod t.num t.den in
-  if Stdlib.( > ) (B.sign r) 0 then B.succ q else q
+let ceil = function
+  | S (n, d) ->
+    let q = Stdlib.( / ) n d in
+    B.of_int (if Stdlib.( > ) n 0 && Stdlib.( <> ) (Stdlib.( * ) q d) n then Stdlib.( + ) q 1 else q)
+  | N r ->
+    let q, rm = B.divmod r.num r.den in
+    if Stdlib.( > ) (B.sign rm) 0 then B.succ q else q
 
 let of_float f =
   if Float.is_nan f || Float.is_integer f && Float.abs f = Float.infinity then
