@@ -1,4 +1,4 @@
-.PHONY: all test fault-test trace-test bench perf-check bench-baseline doc clean
+.PHONY: all test fault-test trace-test server-smoke server-smoke-chaos bench perf-check bench-baseline doc clean
 
 all:
 	dune build @all
@@ -13,6 +13,16 @@ fault-test:
 # Chaos suite with span recording live (tracing hot paths under faults).
 trace-test:
 	TML_TRACE=1 dune exec -- test/test_faults.exe
+
+# Server smoke: `tml serve` on a Unix socket, a 20-request mixed client
+# batch over all four repair kinds, then SIGTERM and a clean-drain check.
+server-smoke:
+	scripts/server_smoke.sh
+
+# Same, with faults injected at the connection read/write sites: requests
+# may fail with typed errors, but the server must survive and drain.
+server-smoke-chaos:
+	scripts/server_smoke.sh --chaos
 
 bench:
 	dune exec -- bench/main.exe

@@ -10,8 +10,10 @@
       order) and a WSN grid-size scaling sweep.
 
    Pass --table-only to skip the micro-benchmarks, --bench-only to skip
-   the tables, or --runtime-only for just the runtime-scaling comparison
-   plus the traced stage breakdown (no results file rewrite).
+   the tables, or --runtime-only for just the runtime-scaling comparison,
+   the traced stage breakdown and the server-throughput run (8 concurrent
+   clients against an in-process `tml serve` on a Unix socket; no results
+   file rewrite).
 
    --perf-check runs the runtime-scaling comparison plus the tracked
    bench set (the symbolic_kernel section and the e2/e4 elimination /
@@ -508,6 +510,85 @@ let stage_breakdown () =
   rows
 
 (* ------------------------------------------------------------------ *)
+(* Server throughput: N concurrent clients against a live `tml serve`   *)
+(* instance (in-process, Unix socket) checking WSN reward bounds.       *)
+(* ------------------------------------------------------------------ *)
+
+type server_report = {
+  sclients : int;
+  srequests : int;
+  sfailures : int;
+  sseconds : float;
+  rps : float;
+  p50_ms : float;
+  p95_ms : float;
+  p99_ms : float;
+}
+
+let server_throughput ?(clients = 8) ?(per_client = 25) () =
+  let model = Dtmc_io.to_string (Lazy.force wsn_chain) in
+  let total = clients * per_client in
+  (* 24 distinct bounds cycled across the clients: repeats of a digest are
+     deduplicated server-side, so the mix exercises both the submit path
+     and the report/LRU cache path, like a real fleet of callers would *)
+  let reqs =
+    Array.init total (fun i ->
+        Wire.Check_req
+          { model; phi = Printf.sprintf "R<=%d [ F delivered ]" (80 + (i mod 24)) })
+  in
+  Runtime.with_runtime ~workers:4 @@ fun rt ->
+  let router = Router.create rt in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tml-bench-%d.sock" (Unix.getpid ()))
+  in
+  let server = Server.start ~router (`Unix path) in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let latencies = Array.make total 0.0 in
+  let failures = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    Client.with_client (`Unix path) @@ fun cl ->
+    for k = 0 to per_client - 1 do
+      let idx = (c * per_client) + k in
+      let s = Unix.gettimeofday () in
+      (match Client.run cl reqs.(idx) with
+       | _, Wire.Job_done _ -> ()
+       | _ -> Atomic.incr failures
+       | exception _ -> Atomic.incr failures);
+      latencies.(idx) <- Unix.gettimeofday () -. s
+    done
+  in
+  let threads = List.init clients (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  let sseconds = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let pct q = latencies.(min (total - 1) (int_of_float (q *. float_of_int (total - 1)))) *. 1e3 in
+  let report =
+    {
+      sclients = clients;
+      srequests = total;
+      sfailures = Atomic.get failures;
+      sseconds;
+      rps = float_of_int total /. sseconds;
+      p50_ms = pct 0.50;
+      p95_ms = pct 0.95;
+      p99_ms = pct 0.99;
+    }
+  in
+  Format.printf
+    "@\n-- server throughput (%d clients x %d reqs, unix socket) --@\n"
+    clients per_client;
+  Format.printf "  %-20s %d requests in %.3f s  (%.1f req/s)@\n" "total"
+    report.srequests report.sseconds report.rps;
+  Format.printf "  %-20s p50 %.2f ms   p95 %.2f ms   p99 %.2f ms@\n" "latency"
+    report.p50_ms report.p95_ms report.p99_ms;
+  Format.printf "  %-20s %d@\n" "dropped responses" report.sfailures;
+  Format.print_flush ();
+  report
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable results                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -555,7 +636,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime breakdown =
+let write_results path rows runtime breakdown server =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -598,7 +679,17 @@ let write_results path rows runtime breakdown =
          (json_escape r.bname) r.bcount r.btotal_s
          (if i = List.length breakdown - 1 then "" else ","))
     breakdown;
-  add "  ]\n}\n";
+  add "  ],\n";
+  add "  \"server_throughput\": {\n";
+  add "    \"clients\": %d,\n" server.sclients;
+  add "    \"requests\": %d,\n" server.srequests;
+  add "    \"dropped\": %d,\n" server.sfailures;
+  add "    \"seconds\": %.6f,\n" server.sseconds;
+  add "    \"requests_per_second\": %.2f,\n" server.rps;
+  add "    \"p50_ms\": %.3f,\n" server.p50_ms;
+  add "    \"p95_ms\": %.3f,\n" server.p95_ms;
+  add "    \"p99_ms\": %.3f\n" server.p99_ms;
+  add "  }\n}\n";
   (try Unix.mkdir (Filename.dirname path) 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let oc = open_out path in
@@ -694,7 +785,8 @@ let run_benchmarks () =
   let rows = measure_groups groups in
   let runtime = runtime_scaling () in
   let breakdown = stage_breakdown () in
-  write_results "bench/results/latest.json" rows runtime breakdown
+  let server = server_throughput () in
+  write_results "bench/results/latest.json" rows runtime breakdown server
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: tracked benches vs a committed baseline                   *)
@@ -850,11 +942,13 @@ let () =
     exit 0
   end;
   if runtime_only then begin
-    (* Fast path: just the runtime-scaling comparison and the traced
-       stage breakdown, without the bechamel sweep.  Prints only — does
-       not overwrite bench/results/latest.json. *)
+    (* Fast path: the runtime-scaling comparison, the traced stage
+       breakdown and the server-throughput run, without the bechamel
+       sweep.  Prints only — does not overwrite
+       bench/results/latest.json. *)
     ignore (runtime_scaling ());
     ignore (stage_breakdown ());
+    ignore (server_throughput ());
     exit 0
   end;
   if not bench_only then begin

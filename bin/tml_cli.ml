@@ -7,6 +7,8 @@
      batch         run a suite of repair jobs on the concurrent runtime
      experiments   reproduce the paper's §V evaluation (E1–E6, F1)
      trace         render a --trace-out span dump as a tree / summary
+     serve         run the repair service on a Unix/TCP socket
+     client        submit jobs to a running server
 
    Model files use the textual format of Dtmc_io (see --help of check). *)
 
@@ -599,6 +601,10 @@ let parse_fault_spec s =
     | "check" -> Ok Fault.Check
     | "cache" -> Ok Fault.Cache
     | "worker" -> Ok Fault.Worker
+    | "accept" -> Ok Fault.Accept
+    | "read" -> Ok Fault.Read
+    | "decode" -> Ok Fault.Decode
+    | "write" -> Ok Fault.Write
     | site -> Error (Printf.sprintf "unknown fault site %S" site)
   in
   let int_field what v =
@@ -637,7 +643,9 @@ let inject_fault_arg =
   let doc =
     "Inject a deterministic fault, SITE[:ACTION[:ARGS]] (repeatable). \
      SITE is one of $(b,learn), $(b,eliminate), $(b,solve), $(b,check), \
-     $(b,cache), $(b,worker); ACTION is $(b,raise) (default), $(b,nan), or \
+     $(b,cache), $(b,worker), or — for $(b,tml serve) — the connection \
+     sites $(b,accept), $(b,read), $(b,decode), $(b,write); ACTION is \
+     $(b,raise) (default), $(b,nan), or \
      $(b,delay):MS. A trailing :COUNT sets how many times the fault fires \
      (default 1), e.g. --inject-fault solve:nan:2 or \
      --inject-fault cache:delay:250:3."
@@ -812,6 +820,398 @@ let experiments_cmd =
       const run_experiments $ which_arg $ quick_arg $ trace_out_arg
       $ metrics_out_arg)
 
+(* ------------------------------- serve -------------------------------- *)
+
+let socket_arg =
+  let doc = "Serve on (or connect to) this Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc =
+    "Serve on (or connect to) HOST:PORT over TCP (numeric host; port 0 \
+     binds an ephemeral port, printed at startup)."
+  in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"HOST:PORT" ~doc)
+
+let parse_addr socket tcp : (Client.addr, string) result =
+  match (socket, tcp) with
+  | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+  | Some path, None -> Ok (`Unix path)
+  | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | None -> Error (Printf.sprintf "bad --tcp %S (want HOST:PORT)" hp)
+      | Some i ->
+        let host = String.sub hp 0 i in
+        let port = String.sub hp (i + 1) (String.length hp - i - 1) in
+        (match int_of_string_opt port with
+         | Some port when port >= 0 && port < 65536 -> Ok (`Tcp (host, port))
+         | _ -> Error (Printf.sprintf "bad --tcp port %S" port)))
+  | None, None -> Error "need --socket PATH or --tcp HOST:PORT"
+
+let faults_of_specs specs =
+  List.fold_left
+    (fun acc s ->
+       match (acc, parse_fault_spec s) with
+       | (Error _ as e), _ | _, (Error _ as e) -> e
+       | Ok specs, Ok spec -> Ok (spec :: specs))
+    (Ok []) specs
+  |> Result.map List.rev
+
+let max_pending_arg =
+  let doc = "Admission limit: requests admitted but not yet settled." in
+  Arg.(value & opt int 64 & info [ "max-pending" ] ~docv:"N" ~doc)
+
+let max_per_client_arg =
+  let doc = "Admission limit: in-flight requests per connection." in
+  Arg.(value & opt int 16 & info [ "max-per-client" ] ~docv:"N" ~doc)
+
+let job_timeout_arg =
+  let doc = "Per-job runtime deadline, in seconds." in
+  Arg.(value & opt (some float) None & info [ "job-timeout" ] ~docv:"S" ~doc)
+
+let read_timeout_arg =
+  let doc = "Per-connection socket read deadline, in seconds." in
+  Arg.(value & opt float 5.0 & info [ "read-timeout" ] ~docv:"S" ~doc)
+
+let write_timeout_arg =
+  let doc = "Per-connection socket write deadline, in seconds." in
+  Arg.(value & opt float 5.0 & info [ "write-timeout" ] ~docv:"S" ~doc)
+
+let drain_timeout_arg =
+  let doc = "Per-job wait bound during the SIGTERM drain, in seconds." in
+  Arg.(value & opt float 30.0 & info [ "drain-timeout" ] ~docv:"S" ~doc)
+
+let run_serve socket tcp workers max_pending max_per_client job_timeout
+    read_timeout write_timeout drain_timeout retries retry_backoff_ms
+    fault_specs trace_out metrics_out seed =
+  exit_of_result
+    (match parse_addr socket tcp with
+     | Error _ as e -> e
+     | Ok addr -> (
+         if workers < 1 then Error "need at least one worker"
+         else
+           match faults_of_specs fault_specs with
+           | Error _ as e -> e
+           | Ok specs ->
+             (match specs with
+              | [] -> ()
+              | specs -> Fault.install (Some (Fault.plan ~seed specs)));
+             Fun.protect ~finally:(fun () -> Fault.install None) @@ fun () ->
+             with_observability ~trace_out ~metrics_out @@ fun () ->
+             try
+               Runtime.with_runtime ~workers @@ fun rt ->
+               let retry =
+                 if retries <= 0 then None
+                 else
+                   Some
+                     (Retry.make ~max_retries:retries
+                        ~base_backoff_ms:retry_backoff_ms ~seed ())
+               in
+               let admission =
+                 Admission.create ~max_pending ~max_per_client ()
+               in
+               let router =
+                 Router.create ~admission ?job_timeout_s:job_timeout ?retry rt
+               in
+               let server =
+                 Server.start ~read_timeout_s:read_timeout
+                   ~write_timeout_s:write_timeout
+                   ~drain_timeout_s:drain_timeout ~router addr
+               in
+               Server.install_signal_handlers server;
+               (match addr with
+                | `Unix path -> Printf.printf "listening on unix:%s\n%!" path
+                | `Tcp (host, _) ->
+                  Printf.printf "listening on tcp:%s:%d\n%!" host
+                    (Option.value ~default:0 (Server.port server)));
+               Server.wait server;
+               Printf.printf "drained (%d job(s) left pending)\n%!"
+                 (Router.pending_jobs router);
+               Ok true
+             with
+             | Unix.Unix_error (e, fn, arg) ->
+               Error
+                 (Printf.sprintf "%s%s: %s" fn
+                    (if arg = "" then "" else " " ^ arg)
+                    (Unix.error_message e))
+             | Invalid_argument msg -> Error msg))
+
+let serve_cmd =
+  let doc = "run the repair service on a Unix or TCP socket" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Starts a long-lived repair server: requests arrive as \
+          length-prefixed JSON frames (see lib/server/wire.mli), are \
+          admission-controlled, and run on the concurrent runtime; \
+          clients poll or wait on the returned job digest. SIGTERM (or \
+          SIGINT) drains gracefully: the listener closes, in-flight \
+          requests finish, every admitted job completes, then the \
+          process exits 0 — and with --trace-out/--metrics-out the \
+          observability dumps are flushed on the way out.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run_serve $ socket_arg $ tcp_arg $ workers_arg $ max_pending_arg
+      $ max_per_client_arg $ job_timeout_arg $ read_timeout_arg
+      $ write_timeout_arg $ drain_timeout_arg $ retries_arg
+      $ retry_backoff_arg $ inject_fault_arg $ trace_out_arg
+      $ metrics_out_arg $ seed_arg)
+
+(* ------------------------------- client ------------------------------- *)
+
+let client_op_arg =
+  let doc =
+    "Operation: $(b,ping), $(b,stats), $(b,check), $(b,model-repair), \
+     $(b,data-repair), $(b,reward-repair), $(b,pipeline), $(b,poll), \
+     $(b,wait) or $(b,cancel)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+
+let client_model_arg =
+  let doc = "Model file (DTMC format; MDP format for reward-repair)." in
+  Arg.(value & opt (some file) None & info [ "m"; "model" ] ~docv:"FILE" ~doc)
+
+let client_prop_arg =
+  let doc = "PCTL property, e.g. \"P>=0.9 [ F goal ]\"." in
+  Arg.(value & opt (some string) None & info [ "p"; "prop" ] ~docv:"PCTL" ~doc)
+
+let client_traces_arg =
+  let doc = "Trace dataset file (lib/io/trace_io.mli format)." in
+  Arg.(value & opt (some file) None & info [ "t"; "traces" ] ~docv:"FILE" ~doc)
+
+let client_states_arg =
+  let doc = "Number of model states (data-repair, pipeline)." in
+  Arg.(value & opt (some int) None & info [ "states" ] ~docv:"N" ~doc)
+
+let client_theta_arg =
+  let doc = "Reward weight vector, colon-separated (reward-repair)." in
+  Arg.(value & opt (some string) None & info [ "theta" ] ~docv:"THETA" ~doc)
+
+let client_constraints_arg =
+  let doc = "Q-value constraint STATE:BETTER:WORSE (repeatable)." in
+  Arg.(value & opt_all string [] & info [ "c"; "constraint" ] ~docv:"QC" ~doc)
+
+let max_drop_arg =
+  let doc = "Upper bound on each trace group's drop fraction." in
+  Arg.(value & opt float 0.999 & info [ "max-drop" ] ~docv:"F" ~doc)
+
+let starts_arg =
+  let doc = "Multi-start count for the repair solvers." in
+  Arg.(value & opt int 4 & info [ "starts" ] ~docv:"N" ~doc)
+
+let client_job_arg =
+  let doc = "Job digest (as printed by submit) for poll/wait/cancel." in
+  Arg.(value & opt (some string) None & info [ "job" ] ~docv:"DIGEST" ~doc)
+
+let client_timeout_arg =
+  let doc = "Bound a wait, in seconds (the job keeps running server-side)." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"S" ~doc)
+
+let async_arg =
+  let doc = "Submit without waiting and print the job digest." in
+  Arg.(value & flag & info [ "async" ] ~doc)
+
+let read_file path = In_channel.with_open_text path In_channel.input_all
+
+let build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states ~init
+    ~labels ~pinned ~max_drop ~theta ~constraints ~gamma ~starts =
+  let ( let* ) = Result.bind in
+  let require what v =
+    match v with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s requires %s" op what)
+  in
+  let* labels =
+    List.fold_left
+      (fun acc s ->
+         let* acc = acc in
+         let* l = parse_label_def s in
+         Ok (l :: acc))
+      (Ok []) labels
+    |> Result.map List.rev
+  in
+  match op with
+  | "check" ->
+    let* m = require "--model" model in
+    let* phi = require "--prop" prop in
+    Ok (Wire.Check_req { model = read_file m; phi })
+  | "model-repair" ->
+    let* m = require "--model" model in
+    let* phi = require "--prop" prop in
+    Ok
+      (Wire.Model_repair_req
+         { model = read_file m; phi; variables = vars; deltas; starts })
+  | "data-repair" ->
+    let* t = require "--traces" traces in
+    let* states = require "--states" states in
+    let* phi = require "--prop" prop in
+    Ok
+      (Wire.Data_repair_req
+         {
+           states;
+           init;
+           labels;
+           rewards = None;
+           phi;
+           traces = read_file t;
+           max_drop;
+           pinned;
+           starts;
+         })
+  | "reward-repair" ->
+    let* m = require "--model" model in
+    let* theta = require "--theta" theta in
+    let* theta =
+      List.fold_left
+        (fun acc s ->
+           let* acc = acc in
+           match float_of_string_opt s with
+           | Some f -> Ok (f :: acc)
+           | None -> Error (Printf.sprintf "bad theta component %S" s))
+        (Ok [])
+        (String.split_on_char ':' theta)
+      |> Result.map List.rev
+    in
+    let* constraints =
+      List.fold_left
+        (fun acc s ->
+           let* acc = acc in
+           match String.split_on_char ':' s with
+           | [ st; better; worse ] -> (
+               match int_of_string_opt st with
+               | Some state -> Ok ((state, better, worse, 1e-4) :: acc)
+               | None -> Error (Printf.sprintf "bad constraint %S" s))
+           | _ ->
+             Error
+               (Printf.sprintf "bad constraint %S (want STATE:BETTER:WORSE)" s))
+        (Ok []) constraints
+      |> Result.map List.rev
+    in
+    Ok (Wire.Reward_repair_req { mdp = read_file m; theta; constraints; gamma; starts })
+  | "pipeline" ->
+    let* t = require "--traces" traces in
+    let* states = require "--states" states in
+    let* phi = require "--prop" prop in
+    let model_spec =
+      if vars = [] && deltas = [] then None else Some (vars, deltas)
+    in
+    Ok
+      (Wire.Pipeline_req
+         {
+           states;
+           init;
+           labels;
+           rewards = None;
+           model_spec;
+           data_spec = Some (max_drop, pinned);
+           traces = read_file t;
+           phi;
+         })
+  | op -> Error (Printf.sprintf "unknown client op %S" op)
+
+let run_client socket tcp op model prop vars deltas traces states init labels
+    pinned max_drop theta constraints gamma starts job timeout async =
+  exit_of_result
+    (match parse_addr socket tcp with
+     | Error _ as e -> e
+     | Ok addr ->
+       let with_conn f =
+         match Client.with_client addr f with
+         | v -> v
+         | exception Unix.Unix_error (e, _, _) ->
+           Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+         | exception Client.Remote_error err ->
+           Error
+             (Printf.sprintf "server error (%s%s): %s" err.Wire.kind
+                (if err.Wire.transient then ", transient" else "")
+                err.Wire.message)
+         | exception Wire.Protocol_error msg -> Error ("protocol error: " ^ msg)
+       in
+       let print_state = function
+         | Wire.Job_done report ->
+           print_string report;
+           Ok true
+         | Wire.Job_failed e ->
+           Error (Printf.sprintf "job failed (%s): %s" e.Wire.kind e.Wire.message)
+         | Wire.Job_pending ->
+           Printf.printf "pending\n";
+           Ok false
+         | Wire.Job_cancelled ->
+           Printf.printf "cancelled\n";
+           Ok false
+         | Wire.Job_timed_out ->
+           Printf.printf "timed out\n";
+           Ok false
+       in
+       match op with
+       | "ping" ->
+         with_conn (fun c ->
+             Client.ping c;
+             Printf.printf "pong\n";
+             Ok true)
+       | "stats" ->
+         with_conn (fun c ->
+             print_endline (Wire.render (Client.stats c));
+             Ok true)
+       | "poll" | "wait" | "cancel" -> (
+           match job with
+           | None -> Error (Printf.sprintf "%s requires --job DIGEST" op)
+           | Some digest ->
+             with_conn (fun c ->
+                 match op with
+                 | "poll" -> print_state (Client.poll c digest)
+                 | "wait" -> print_state (Client.wait c ?timeout_s:timeout digest)
+                 | _ ->
+                   let ok = Client.cancel c digest in
+                   Printf.printf "cancelled: %b\n" ok;
+                   Ok ok))
+       | _ -> (
+           match
+             try
+               build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states
+                 ~init ~labels ~pinned ~max_drop ~theta ~constraints ~gamma
+                 ~starts
+             with Sys_error msg -> Error msg
+           with
+           | Error _ as e -> e
+           | Ok jr ->
+             with_conn (fun c ->
+                 if async then begin
+                   let digest, cached = Client.submit c jr in
+                   Printf.printf "%s%s\n" digest (if cached then " (cached)" else "");
+                   Ok true
+                 end
+                 else begin
+                   let digest, state = Client.run c ?timeout_s:timeout jr in
+                   Printf.printf "job %s\n" digest;
+                   print_state state
+                 end)))
+
+let client_cmd =
+  let doc = "submit repair jobs to a running tml server" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Connects to a $(b,tml serve) instance, submits one job (or \
+          pings, polls, waits, cancels, or dumps server stats) and prints \
+          the job's report. Submitting returns a job digest; identical \
+          jobs share one digest and are served from the server's report \
+          cache.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "client" ~doc ~man)
+    Term.(
+      const run_client $ socket_arg $ tcp_arg $ client_op_arg
+      $ client_model_arg $ client_prop_arg $ vars_arg $ deltas_arg
+      $ client_traces_arg $ client_states_arg $ init_arg $ labels_arg
+      $ pinned_arg $ max_drop_arg $ client_theta_arg $ client_constraints_arg
+      $ gamma_arg $ starts_arg $ client_job_arg $ client_timeout_arg
+      $ async_arg)
+
 (* ------------------------------- main --------------------------------- *)
 
 let main_cmd =
@@ -820,6 +1220,6 @@ let main_cmd =
     (Cmd.info "tml" ~version:"1.0.0" ~doc)
     [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
       pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; batch_cmd;
-      experiments_cmd; trace_cmd ]
+      experiments_cmd; trace_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

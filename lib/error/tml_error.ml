@@ -5,6 +5,7 @@ type kind =
   | Timeout of string
   | Cache_race of string
   | Injected_fault of string
+  | Overloaded of string
   | Malformed_model of string
   | Empty_feasible_box of string
   | Internal of string
@@ -12,7 +13,8 @@ type kind =
 exception Error of kind
 
 let severity = function
-  | Solver_nonconvergence _ | Timeout _ | Cache_race _ | Injected_fault _ ->
+  | Solver_nonconvergence _ | Timeout _ | Cache_race _ | Injected_fault _
+  | Overloaded _ ->
     Transient
   | Malformed_model _ | Empty_feasible_box _ | Internal _ -> Permanent
 
@@ -25,6 +27,7 @@ let to_string = function
   | Timeout m -> "timeout: " ^ m
   | Cache_race m -> "cache race: " ^ m
   | Injected_fault m -> "injected fault: " ^ m
+  | Overloaded m -> "overloaded: " ^ m
   | Malformed_model m -> "malformed model: " ^ m
   | Empty_feasible_box m -> "empty feasible box: " ^ m
   | Internal m -> "internal error: " ^ m

@@ -20,6 +20,10 @@ type kind =
   | Timeout of string  (** a stage-level budget expired *)
   | Cache_race of string  (** a coalesced cache fill was lost mid-flight *)
   | Injected_fault of string  (** raised by {!Fault} during chaos testing *)
+  | Overloaded of string
+      (** a bounded queue (the runtime's job queue, a server's admission
+          queue) shed this request instead of blocking — back off and
+          resubmit *)
   | Malformed_model of string  (** bad input model or spec *)
   | Empty_feasible_box of string  (** the repair search space is empty *)
   | Internal of string  (** invariant violation; never retried *)
@@ -28,8 +32,8 @@ exception Error of kind
 (** The one exception the repair stack raises for classified failures. *)
 
 val severity : kind -> severity
-(** [Solver_nonconvergence], [Timeout], [Cache_race] and [Injected_fault]
-    are transient; the rest are permanent. *)
+(** [Solver_nonconvergence], [Timeout], [Cache_race], [Injected_fault] and
+    [Overloaded] are transient; the rest are permanent. *)
 
 val classify : exn -> severity
 (** Classify an arbitrary exception: {!Error} by its {!severity}; anything

@@ -1,4 +1,14 @@
-type site = Learn | Eliminate | Solve | Check | Cache | Worker
+type site =
+  | Learn
+  | Eliminate
+  | Solve
+  | Check
+  | Cache
+  | Worker
+  | Accept
+  | Read
+  | Decode
+  | Write
 type action = Raise | Delay of float | Nan
 
 type spec = {
@@ -55,6 +65,10 @@ let site_name = function
   | Check -> "check"
   | Cache -> "cache"
   | Worker -> "worker"
+  | Accept -> "accept"
+  | Read -> "read"
+  | Decode -> "decode"
+  | Write -> "write"
 
 let site_of_string = function
   | "learn" -> Some Learn
@@ -63,6 +77,10 @@ let site_of_string = function
   | "check" -> Some Check
   | "cache" -> Some Cache
   | "worker" -> Some Worker
+  | "accept" -> Some Accept
+  | "read" -> Some Read
+  | "decode" -> Some Decode
+  | "write" -> Some Write
   | _ -> None
 
 let action_of_string ?(delay_s = 0.1) = function
@@ -78,6 +96,10 @@ let site_index = function
   | Check -> 3
   | Cache -> 4
   | Worker -> 5
+  | Accept -> 6
+  | Read -> 7
+  | Decode -> 8
+  | Write -> 9
 
 (* SplitMix64 finalizer over (seed, site, occurrence) — deterministic
    per-occurrence coin for rate-limited specs. *)

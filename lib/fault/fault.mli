@@ -14,9 +14,22 @@
     additionally emits a [fault:fired] {!Trace_span} event carrying the
     site and action, so chaos runs are visible in trace dumps. *)
 
-type site = Learn | Eliminate | Solve | Check | Cache | Worker
-(** Where a fault can fire — the four pipeline stages, cache fills and
-    the worker dequeue loop. *)
+type site =
+  | Learn
+  | Eliminate
+  | Solve
+  | Check
+  | Cache
+  | Worker
+  | Accept
+  | Read
+  | Decode
+  | Write
+(** Where a fault can fire — the four pipeline stages, cache fills, the
+    worker dequeue loop, and the four connection-handling points of the
+    repair server ([Accept]/[Read]/[Decode]/[Write], probed by
+    [lib/server] per accepted connection, received frame, decoded request
+    and written response). *)
 
 type action =
   | Raise  (** raise [Tml_error.Error (Injected_fault _)] at the site *)
@@ -46,8 +59,8 @@ val install : t option -> unit
     resets all firing counters. *)
 
 val site_name : site -> string
-(** ["learn"], ["eliminate"], ["solve"], ["check"], ["cache"],
-    ["worker"]. *)
+(** ["learn"], ["eliminate"], ["solve"], ["check"], ["cache"], ["worker"],
+    ["accept"], ["read"], ["decode"], ["write"]. *)
 
 val site_of_string : string -> site option
 (** Inverse of {!site_name}; [None] on unknown names. *)

@@ -259,9 +259,17 @@ let of_jsonl text =
        (fun i line ->
           if String.trim line = "" then []
           else
-            try [ span_of_json (parse_json line) ]
-            with Parse_error msg ->
-              raise (Parse_error (Printf.sprintf "line %d: %s" (i + 1) msg)))
+            try [ span_of_json (parse_json line) ] with
+            | Parse_error msg ->
+              raise (Parse_error (Printf.sprintf "line %d: %s" (i + 1) msg))
+            | e ->
+              (* a corrupt line must never escape as an uncaught exception:
+                 whatever the parser tripped on becomes a positioned
+                 Parse_error the CLI can report and exit non-zero on *)
+              raise
+                (Parse_error
+                   (Printf.sprintf "line %d: corrupt span line (%s)" (i + 1)
+                      (Printexc.to_string e))))
        lines)
 
 (* ------------------------------ render ------------------------------ *)

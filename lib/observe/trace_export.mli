@@ -26,7 +26,10 @@ val to_jsonl : Trace_span.t list -> string
 
 val of_jsonl : string -> Trace_span.t list
 (** Parse a JSON-lines dump (blank lines ignored).  Inverse of
-    {!to_jsonl}.  @raise Parse_error on malformed lines. *)
+    {!to_jsonl}.  @raise Parse_error on malformed lines — {e every}
+    failure mode (truncated JSON, wrong field types, garbage bytes) is
+    wrapped with the 1-based offending line number; no other exception
+    escapes. *)
 
 val tree : Trace_span.t list -> string
 (** Render the span forest: every span nested under its parent (spans

@@ -113,10 +113,7 @@ let create ?(queue_capacity = 64) ?(on_queue_depth = ignore)
 let workers t = List.length t.domains
 let respawns t = locked t (fun () -> t.respawn_count)
 
-let submit t ?timeout_s f =
-  let fut = Future.create () in
-  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
-  let task =
+let make_task fut deadline f =
     {
       deadline;
       skip =
@@ -149,7 +146,11 @@ let submit t ?timeout_s f =
              ignore (Future.cancel fut)
            | exception e -> Future.fail fut e);
     }
-  in
+
+let submit t ?timeout_s f =
+  let fut = Future.create () in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let task = make_task fut deadline f in
   let depth =
     locked t (fun () ->
         let rec wait () =
@@ -173,6 +174,29 @@ let submit t ?timeout_s f =
         a shutdown never leaks an unsettled future *)
      ignore (Future.cancel fut));
   fut
+
+let try_submit t ?timeout_s f =
+  let fut = Future.create () in
+  let deadline = Option.map (fun s -> Unix.gettimeofday () +. s) timeout_s in
+  let task = make_task fut deadline f in
+  let verdict =
+    locked t (fun () ->
+        if t.stopping then `Stopping
+        else if Queue.length t.queue >= t.capacity then `Full
+        else begin
+          Queue.push task t.queue;
+          Condition.signal t.not_empty;
+          `Queued (Queue.length t.queue)
+        end)
+  in
+  match verdict with
+  | `Queued d ->
+    t.on_queue_depth d;
+    Some fut
+  | `Stopping ->
+    ignore (Future.cancel fut);
+    Some fut
+  | `Full -> None
 
 let shutdown ?(drain = true) t =
   let rec join_all () =

@@ -59,6 +59,12 @@ val submit : t -> ?timeout_s:float -> (unit -> 'a) -> 'a Future.t
     boundary while running, resolving [Timed_out] either way.  After
     {!shutdown} has begun, returns an already-[Cancelled] future. *)
 
+val try_submit : t -> ?timeout_s:float -> (unit -> 'a) -> 'a Future.t option
+(** Non-blocking {!submit}: [None] when the queue is full {e right now}
+    (nothing is enqueued — the caller sheds or retries), otherwise exactly
+    {!submit}, including the already-[Cancelled] future after
+    {!shutdown}. *)
+
 val shutdown : ?drain:bool -> t -> unit
 (** Stop accepting work and join all workers.  [drain] (default [true])
     lets queued jobs finish first; with [~drain:false] queued jobs resolve

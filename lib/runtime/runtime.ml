@@ -50,8 +50,25 @@ let respawns t = Pool.respawns t.pool
    the cross-domain edge every trace tree hangs on. *)
 let job_id key = if String.length key <= 8 then key else String.sub key 0 8
 
-let submit t ?timeout_s ?retry job =
+let submit t ?(on_full = `Shed) ?timeout_s ?retry job =
   Runtime_stats.incr t.stats `Submitted;
+  (* [`Shed] surfaces a saturated queue as a typed transient failure
+     instead of blocking the caller — the behaviour a server's request
+     handler needs.  [`Block] keeps classic back-pressure (used by
+     [run_batch], whose batches may legitimately exceed the queue
+     capacity). *)
+  let enqueue body =
+    match on_full with
+    | `Block -> Pool.submit t.pool ?timeout_s body
+    | `Shed -> (
+        match Pool.try_submit t.pool ?timeout_s body with
+        | Some fut -> fut
+        | None ->
+          let fut = Future.create () in
+          Future.fail fut
+            (Tml_error.Error (Tml_error.Overloaded "runtime queue full"));
+          fut)
+  in
   let key = Job.digest job in
   let jid = job_id key in
   let submit_span =
@@ -75,7 +92,7 @@ let submit t ?timeout_s ?retry job =
   in
   match t.report_cache with
   | None ->
-    Pool.submit t.pool ?timeout_s (fun () ->
+    enqueue (fun () ->
         let outcome = run_traced (fun () -> with_retry (fun () -> Job.run job)) in
         Runtime_stats.incr t.stats `Completed;
         outcome)
@@ -95,7 +112,7 @@ let submit t ?timeout_s ?retry job =
         Future.resolve fut outcome;
         fut
       | None ->
-        Pool.submit t.pool ?timeout_s (fun () ->
+        enqueue (fun () ->
             let outcome =
               run_traced (fun () ->
                   with_retry (fun () ->
@@ -106,7 +123,9 @@ let submit t ?timeout_s ?retry job =
             outcome))
 
 let run_batch t ?timeout_s ?retry jobs =
-  let futures = List.map (fun job -> submit t ?timeout_s ?retry job) jobs in
+  let futures =
+    List.map (fun job -> submit t ~on_full:`Block ?timeout_s ?retry job) jobs
+  in
   List.map
     (fun fut ->
        let outcome = Future.await fut in

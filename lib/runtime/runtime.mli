@@ -43,10 +43,22 @@ val respawns : t -> int
 (** Worker domains respawned by the pool's supervisor since [create]. *)
 
 val submit :
-  t -> ?timeout_s:float -> ?retry:Retry.t -> Job.t -> Job.outcome Future.t
+  t ->
+  ?on_full:[ `Block | `Shed ] ->
+  ?timeout_s:float ->
+  ?retry:Retry.t ->
+  Job.t ->
+  Job.outcome Future.t
 (** Submit a job.  On a report-cache hit the returned future is already
     resolved and the pool is never touched; otherwise the job is enqueued
-    ({!Pool.submit} semantics, including back-pressure and [timeout_s]).
+    ({!Pool.submit} semantics, including [timeout_s]).
+
+    [on_full] picks the saturated-queue policy.  The default [`Shed]
+    never blocks: when the bounded queue is full the returned future is
+    already [Failed] with [Tml_error.Error (Overloaded _)] — a
+    {e transient} error, so callers (and the repair server's admission
+    layer) can back off and resubmit.  [`Block] waits for a slot
+    (classic back-pressure), the policy {!run_batch} uses internally.
 
     With [retry], transient failures ({!Tml_error.classify}) are re-run on
     the worker with capped, jittered, deterministic exponential backoff;

@@ -1,0 +1,80 @@
+type t = {
+  mutex : Mutex.t;
+  max_pending : int;
+  max_per_client : int;
+  per_client : (int, int) Hashtbl.t;
+  mutable pending : int;
+  mutable shed : int;
+}
+
+type verdict = Admitted | Shed_queue_full | Shed_client_limit
+
+let create ?(max_pending = 64) ?(max_per_client = 16) () =
+  if max_pending < 1 then invalid_arg "Admission.create: max_pending >= 1";
+  if max_per_client < 1 then invalid_arg "Admission.create: max_per_client >= 1";
+  {
+    mutex = Mutex.create ();
+    max_pending;
+    max_per_client;
+    per_client = Hashtbl.create 16;
+    pending = 0;
+    shed = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let depth_gauge =
+  Metrics.gauge "tml_server_admission_pending"
+    ~help:"Admitted requests not yet settled"
+
+let shed_counter =
+  Metrics.counter "tml_server_shed_total"
+    ~help:"Requests shed by admission control"
+
+let pending t = locked t (fun () -> t.pending)
+
+let admit t ~client =
+  let v =
+    locked t (fun () ->
+        let mine = Option.value ~default:0 (Hashtbl.find_opt t.per_client client) in
+        if t.pending >= t.max_pending then begin
+          t.shed <- t.shed + 1;
+          Shed_queue_full
+        end
+        else if mine >= t.max_per_client then begin
+          t.shed <- t.shed + 1;
+          Shed_client_limit
+        end
+        else begin
+          t.pending <- t.pending + 1;
+          Hashtbl.replace t.per_client client (mine + 1);
+          Admitted
+        end)
+  in
+  (match v with
+   | Admitted -> Metrics.set_gauge depth_gauge (float_of_int (pending t))
+   | Shed_queue_full | Shed_client_limit -> Metrics.incr shed_counter);
+  v
+
+let release t ~client =
+  locked t (fun () ->
+      t.pending <- max 0 (t.pending - 1);
+      match Hashtbl.find_opt t.per_client client with
+      | Some n when n > 1 -> Hashtbl.replace t.per_client client (n - 1)
+      | Some _ -> Hashtbl.remove t.per_client client
+      | None -> ());
+  Metrics.set_gauge depth_gauge (float_of_int (pending t))
+
+let shed_count t = locked t (fun () -> t.shed)
+let in_flight t ~client =
+  locked t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.per_client client))
+
+let overloaded_error = function
+  | Admitted -> invalid_arg "Admission.overloaded_error: request was admitted"
+  | Shed_queue_full ->
+    Tml_error.Error (Tml_error.Overloaded "admission queue full")
+  | Shed_client_limit ->
+    Tml_error.Error (Tml_error.Overloaded "per-client in-flight limit reached")

@@ -1,0 +1,43 @@
+(** Admission control for the repair server: a bounded pool of pending
+    requests plus a per-client in-flight cap.
+
+    The server admits a submit {e before} touching the runtime; a full
+    pool or a client at its limit is shed immediately with a typed
+    {!Tml_error.Overloaded} (transient — clients back off and resubmit)
+    instead of queueing unboundedly or blocking the connection thread.
+    Tickets are released when the underlying job settles (the router
+    sweeps settled futures), not when the response is written — a slow
+    job holds its admission slot for its whole lifetime.
+
+    The current depth and total sheds are mirrored into the process-wide
+    {!Metrics} registry ([tml_server_admission_pending],
+    [tml_server_shed_total]). *)
+
+type t
+
+type verdict = Admitted | Shed_queue_full | Shed_client_limit
+
+val create : ?max_pending:int -> ?max_per_client:int -> unit -> t
+(** [max_pending] (default 64) bounds admitted-but-unsettled requests
+    across all clients; [max_per_client] (default 16) bounds one client's
+    share.  @raise Invalid_argument when either is [< 1]. *)
+
+val admit : t -> client:int -> verdict
+(** Try to take a ticket for [client].  [Admitted] must eventually be
+    paired with exactly one {!release}. *)
+
+val release : t -> client:int -> unit
+(** Return [client]'s oldest ticket. *)
+
+val overloaded_error : verdict -> exn
+(** The {!Tml_error.Overloaded} for a shed verdict.
+    @raise Invalid_argument on [Admitted]. *)
+
+val pending : t -> int
+(** Tickets currently held. *)
+
+val in_flight : t -> client:int -> int
+(** Tickets currently held by [client]. *)
+
+val shed_count : t -> int
+(** Requests shed since [create]. *)

@@ -1,0 +1,93 @@
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+exception Remote_error of Wire.err
+
+type t = {
+  fd : Unix.file_descr;
+  max_frame : int;
+  mutable next_id : int;
+  mutable closed : bool;
+}
+
+let connect ?(max_frame = Wire.default_max_frame) (addr : addr) =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; max_frame; next_id = 0; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client ?max_frame addr f =
+  let t = connect ?max_frame addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+(* One synchronous round-trip.  The client never arms a socket read
+   deadline — a [wait] may legitimately block for the job's whole
+   runtime; bound it with the request's own [timeout_s] instead. *)
+let rpc t req =
+  if t.closed then raise (Wire.Protocol_error "client is closed");
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  Wire.write_frame t.fd (Wire.request_to_json ~id req);
+  match Wire.read_frame ~max_frame:t.max_frame t.fd with
+  | `Eof -> raise (Wire.Protocol_error "server closed the connection")
+  | `Idle -> raise (Wire.Protocol_error "spurious idle read")
+  | `Frame j ->
+    let rid, resp = Wire.response_of_json j in
+    if rid <> id then
+      raise
+        (Wire.Protocol_error
+           (Printf.sprintf "response id %d does not match request id %d" rid id));
+    resp
+
+let checked t req =
+  match rpc t req with
+  | Wire.Error_reply e -> raise (Remote_error e)
+  | resp -> resp
+
+let unexpected what =
+  raise (Wire.Protocol_error ("unexpected response to " ^ what))
+
+let ping t =
+  match checked t Wire.Ping with Wire.Pong -> () | _ -> unexpected "ping"
+
+let submit t jr =
+  match checked t (Wire.Submit jr) with
+  | Wire.Accepted { job; cached } -> (job, cached)
+  | _ -> unexpected "submit"
+
+let poll t digest =
+  match checked t (Wire.Poll digest) with
+  | Wire.Status { state; _ } -> state
+  | _ -> unexpected "poll"
+
+let wait t ?timeout_s digest =
+  match checked t (Wire.Wait (digest, timeout_s)) with
+  | Wire.Status { state; _ } -> state
+  | _ -> unexpected "wait"
+
+let cancel t digest =
+  match checked t (Wire.Cancel digest) with
+  | Wire.Cancelled { cancelled; _ } -> cancelled
+  | _ -> unexpected "cancel"
+
+let stats t =
+  match checked t Wire.Stats with
+  | Wire.Stats_reply j -> j
+  | _ -> unexpected "stats"
+
+let run t ?timeout_s jr =
+  let digest, _cached = submit t jr in
+  (digest, wait t ?timeout_s digest)

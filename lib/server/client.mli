@@ -1,0 +1,49 @@
+(** A synchronous client for the repair service.
+
+    One connection, one request in flight at a time: every call is a
+    blocking round-trip that checks the response's correlation id.
+    Server-reported failures raise {!Remote_error} carrying the typed
+    wire error — match on [err.transient] (e.g. the ["overloaded"] shed
+    signal) to decide whether to back off and resubmit. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+exception Remote_error of Wire.err
+(** The server answered with an [Error_reply]. *)
+
+type t
+
+val connect : ?max_frame:int -> addr -> t
+(** @raise Unix.Unix_error when the connection is refused. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val with_client : ?max_frame:int -> addr -> (t -> 'a) -> 'a
+(** [connect], run, always [close]. *)
+
+val rpc : t -> Wire.request -> Wire.response
+(** Raw round-trip; [Error_reply] is returned, not raised.
+    @raise Wire.Protocol_error on framing/id-correlation failures. *)
+
+val ping : t -> unit
+
+val submit : t -> Wire.job_request -> string * bool
+(** [(digest, cached)] — the job id to poll/wait on, and whether the
+    result was already served from the report cache. *)
+
+val poll : t -> string -> Wire.job_state
+(** Non-blocking status of a submitted job. *)
+
+val wait : t -> ?timeout_s:float -> string -> Wire.job_state
+(** Block (server-side) until the job settles or [timeout_s] expires —
+    a timeout on a still-running job returns [Job_pending]. *)
+
+val cancel : t -> string -> bool
+(** [true] when the job was still pending and is now cancelled. *)
+
+val stats : t -> Wire.json
+(** The server runtime's instrumentation dump. *)
+
+val run : t -> ?timeout_s:float -> Wire.job_request -> string * Wire.job_state
+(** [submit] then [wait] — the one-shot convenience. *)

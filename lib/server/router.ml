@@ -1,0 +1,227 @@
+type entry = {
+  fut : Job.outcome Future.t;
+  client : int;
+  mutable released : bool;
+}
+
+type t = {
+  mutex : Mutex.t;
+  runtime : Runtime.t;
+  admission : Admission.t;
+  jobs : (string, entry) Hashtbl.t;
+  job_timeout_s : float option;
+  retry : Retry.t option;
+  mutable draining : bool;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let create ?admission ?job_timeout_s ?retry runtime =
+  {
+    mutex = Mutex.create ();
+    runtime;
+    admission =
+      (match admission with Some a -> a | None -> Admission.create ());
+    jobs = Hashtbl.create 64;
+    job_timeout_s;
+    retry;
+    draining = false;
+  }
+
+let admission t = t.admission
+
+(* ----------------------------- metrics ----------------------------- *)
+
+let op_counter =
+  let mk op =
+    Metrics.counter "tml_server_requests_total" ~label:("op", op)
+      ~help:"Requests handled, by op"
+  in
+  let submit = mk "submit"
+  and poll = mk "poll"
+  and wait = mk "wait"
+  and cancel = mk "cancel"
+  and stats = mk "stats"
+  and ping = mk "ping" in
+  function
+  | Wire.Submit _ -> submit
+  | Wire.Poll _ -> poll
+  | Wire.Wait _ -> wait
+  | Wire.Cancel _ -> cancel
+  | Wire.Stats -> stats
+  | Wire.Ping -> ping
+
+let kind_counter =
+  let mk kind =
+    Metrics.counter "tml_server_jobs_total" ~label:("kind", kind)
+      ~help:"Jobs submitted over the wire, by kind"
+  in
+  let check = mk "check"
+  and model = mk "model-repair"
+  and data = mk "data-repair"
+  and reward = mk "reward-repair"
+  and pipeline = mk "pipeline" in
+  function
+  | "check" -> check
+  | "model-repair" -> model
+  | "data-repair" -> data
+  | "reward-repair" -> reward
+  | _ -> pipeline
+
+let outcome_counter =
+  let mk o =
+    Metrics.counter "tml_server_responses_total" ~label:("outcome", o)
+      ~help:"Responses sent, by outcome"
+  in
+  let ok = mk "ok" and error = mk "error" and overloaded = mk "overloaded" in
+  function
+  | Wire.Error_reply e when e.Wire.kind = "overloaded" -> overloaded
+  | Wire.Error_reply _ -> error
+  | _ -> ok
+
+(* ------------------------------ sweep ------------------------------ *)
+
+(* Admission tickets are released when the job settles.  Futures have no
+   completion callback, so every [handle] call sweeps the registry —
+   cheap (the table holds at most max_pending unreleased entries plus
+   settled history) and prompt enough, since a busy server is exactly a
+   server that calls [handle] often. *)
+let sweep t =
+  let to_release =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _digest e acc ->
+             if (not e.released) && not (Future.is_pending e.fut) then begin
+               e.released <- true;
+               e.client :: acc
+             end
+             else acc)
+          t.jobs [])
+  in
+  List.iter (fun client -> Admission.release t.admission ~client) to_release
+
+(* ---------------------------- responses ---------------------------- *)
+
+let render_outcome outcome = Format.asprintf "%a" Job.pp_outcome outcome
+
+let state_of = function
+  | Future.Value outcome -> Wire.Job_done (render_outcome outcome)
+  | Future.Failed e -> Wire.Job_failed (Wire.err_of_exn e)
+  | Future.Cancelled -> Wire.Job_cancelled
+  | Future.Timed_out -> Wire.Job_timed_out
+
+let not_found digest =
+  Wire.Error_reply
+    {
+      Wire.kind = "not-found";
+      message = Printf.sprintf "unknown job %s" digest;
+      transient = false;
+    }
+
+let find t digest = locked t (fun () -> Hashtbl.find_opt t.jobs digest)
+
+let do_submit t ~client jr =
+  if t.draining then
+    Wire.Error_reply
+      {
+        Wire.kind = "unavailable";
+        message = "server is draining";
+        transient = true;
+      }
+  else
+    match Admission.admit t.admission ~client with
+    | (Admission.Shed_queue_full | Admission.Shed_client_limit) as v ->
+      Wire.Error_reply (Wire.err_of_exn (Admission.overloaded_error v))
+    | Admission.Admitted -> (
+        let release () = Admission.release t.admission ~client in
+        match Wire.job_of_request jr with
+        | exception e ->
+          release ();
+          Wire.Error_reply (Wire.err_of_exn e)
+        | job -> (
+            Metrics.incr (kind_counter (Job.kind job));
+            let digest = Job.digest job in
+            let existing = find t digest in
+            match existing with
+            | Some e ->
+              (* duplicate submit: the first ticket is still tracking this
+                 job, so the new one is returned immediately *)
+              release ();
+              Wire.Accepted { job = digest; cached = not (Future.is_pending e.fut) }
+            | None -> (
+                let fut =
+                  Runtime.submit t.runtime ?timeout_s:t.job_timeout_s
+                    ?retry:t.retry job
+                in
+                match Future.peek fut with
+                | Some (Future.Failed (Tml_error.Error (Tml_error.Overloaded _) as e)) ->
+                  (* the runtime's own bounded queue shed it *)
+                  release ();
+                  Wire.Error_reply (Wire.err_of_exn e)
+                | peeked ->
+                  locked t (fun () ->
+                      Hashtbl.replace t.jobs digest { fut; client; released = false });
+                  Wire.Accepted
+                    { job = digest; cached = peeked <> None })))
+
+let do_status t digest =
+  match find t digest with
+  | None -> not_found digest
+  | Some e ->
+    (match Future.peek e.fut with
+     | None -> Wire.Status { job = digest; state = Wire.Job_pending }
+     | Some outcome -> Wire.Status { job = digest; state = state_of outcome })
+
+let do_wait t digest timeout_s =
+  match find t digest with
+  | None -> not_found digest
+  | Some e ->
+    (match Future.await ?timeout_s e.fut with
+     | Future.Timed_out when Future.is_pending e.fut ->
+       (* the wait's own deadline expired; the job is still running *)
+       Wire.Status { job = digest; state = Wire.Job_pending }
+     | outcome -> Wire.Status { job = digest; state = state_of outcome })
+
+let do_cancel t digest =
+  match find t digest with
+  | None -> not_found digest
+  | Some e ->
+    let cancelled = Future.cancel e.fut in
+    Wire.Cancelled { job = digest; cancelled }
+
+let handle t ~client req =
+  Metrics.incr (op_counter req);
+  sweep t;
+  let resp =
+    try
+      match req with
+      | Wire.Ping -> Wire.Pong
+      | Wire.Stats -> Wire.Stats_reply (Wire.parse (Runtime.stats_json t.runtime))
+      | Wire.Submit jr -> do_submit t ~client jr
+      | Wire.Poll digest -> do_status t digest
+      | Wire.Wait (digest, timeout_s) -> do_wait t digest timeout_s
+      | Wire.Cancel digest -> do_cancel t digest
+    with e -> Wire.Error_reply (Wire.err_of_exn e)
+  in
+  sweep t;
+  Metrics.incr (outcome_counter resp);
+  resp
+
+(* ------------------------------ drain ------------------------------ *)
+
+let pending_jobs t =
+  locked t (fun () ->
+      Hashtbl.fold
+        (fun _ e n -> if Future.is_pending e.fut then n + 1 else n)
+        t.jobs 0)
+
+let set_draining t = t.draining <- true
+let draining t = t.draining
+
+let drain ?timeout_s t =
+  set_draining t;
+  let futures = locked t (fun () -> Hashtbl.fold (fun _ e acc -> e.fut :: acc) t.jobs []) in
+  List.iter (fun fut -> ignore (Future.await ?timeout_s fut : Job.outcome Future.outcome)) futures;
+  sweep t

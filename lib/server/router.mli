@@ -1,0 +1,52 @@
+(** The request router: decoded {!Wire.request}s onto {!Runtime.submit}.
+
+    A submit is admitted ({!Admission}), decoded with the lib/io parsers,
+    and enqueued; the response is the job's digest, returned immediately
+    — clients poll, wait on, or cancel the digest afterwards.  Identical
+    jobs coalesce: a second submit of the same digest joins the first
+    job's future (and, like any re-submit, is served straight from the
+    runtime's report cache once settled).
+
+    Shedding is typed end to end: admission limits and the runtime's own
+    bounded queue both surface as an ["overloaded"] {e transient} wire
+    error, so a client can back off and resubmit.  Admission tickets are
+    released when the underlying future settles (swept on every
+    {!handle}).
+
+    Per-op and per-kind request counters and response-outcome counters
+    are registered in the process-wide {!Metrics} registry
+    ([tml_server_requests_total], [tml_server_jobs_total],
+    [tml_server_responses_total]). *)
+
+type t
+
+val create :
+  ?admission:Admission.t ->
+  ?job_timeout_s:float ->
+  ?retry:Retry.t ->
+  Runtime.t ->
+  t
+(** Route onto [runtime].  [job_timeout_s] and [retry] are passed to
+    every {!Runtime.submit}.  [admission] defaults to
+    [Admission.create ()]. *)
+
+val admission : t -> Admission.t
+
+val handle : t -> client:int -> Wire.request -> Wire.response
+(** Handle one request on behalf of connection [client].  Never raises:
+    every failure becomes an [Error_reply].  [Wait] blocks the calling
+    (connection) thread until the job settles or its timeout expires —
+    a wait-timeout on a still-running job reports [Job_pending]. *)
+
+val pending_jobs : t -> int
+(** Registered jobs whose future is still pending. *)
+
+val set_draining : t -> unit
+(** Reject new submits with a transient ["unavailable"] error; polls,
+    waits and cancels still work. *)
+
+val draining : t -> bool
+
+val drain : ?timeout_s:float -> t -> unit
+(** {!set_draining}, then await every registered future (each at most
+    [timeout_s]) and release their admission tickets. *)

@@ -1,0 +1,231 @@
+type addr = [ `Unix of string | `Tcp of string * int ]
+
+type t = {
+  router : Router.t;
+  listen_fd : Unix.file_descr;
+  addr : addr;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  max_frame : int;
+  drain_timeout_s : float;
+  stop : bool Atomic.t;
+  stop_mutex : Mutex.t;
+  mutable stopped : bool;
+  mutable accept_thread : Thread.t option;
+  conn_mutex : Mutex.t;
+  mutable conns : (int * Thread.t) list;
+  mutable next_client : int;
+}
+
+let latency_hist =
+  Metrics.histogram "tml_server_request_seconds"
+    ~buckets:Metrics.default_time_buckets
+    ~help:"End-to-end request latency (frame read to response written)"
+
+let conn_gauge =
+  Metrics.gauge "tml_server_connections" ~help:"Open client connections"
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Best-effort correlation id for responses to frames that failed to
+   decode: echo the envelope id if it at least parsed as a number. *)
+let salvage_id j =
+  match Wire.member "id" j with
+  | Some (Wire.Num f) when Float.is_integer f -> int_of_float f
+  | _ -> 0
+
+let send_error fd ~id e =
+  try Wire.write_frame fd (Wire.response_to_json ~id (Wire.Error_reply (Wire.err_of_exn e)))
+  with _ -> ()
+
+(* One request: decode under a [server:decode] span (so the runtime's
+   [job:submit] event nests beneath it), route, respond.  Returns [false]
+   when the connection must close (a write failure). *)
+let serve_frame t ~client ~accept_span fd j =
+  let t0 = Unix.gettimeofday () in
+  let id, resp =
+    Trace_span.with_span "server:decode" ?parent:accept_span
+      ~attrs:[ ("client", string_of_int client) ]
+      (fun () ->
+         match Fault.with_site Fault.Decode (fun () -> Wire.request_of_json j) with
+         | exception e -> (salvage_id j, Wire.Error_reply (Wire.err_of_exn e))
+         | id, req -> (id, Router.handle t.router ~client req))
+  in
+  match
+    Fault.with_site Fault.Write (fun () ->
+        Wire.write_frame fd (Wire.response_to_json ~id resp))
+  with
+  | () ->
+    Metrics.observe latency_hist (Unix.gettimeofday () -. t0);
+    true
+  | exception e ->
+    send_error fd ~id e;
+    false
+
+let handle_conn t client fd =
+  let accept_span =
+    Trace_span.event "server:accept"
+      ~attrs:[ ("client", string_of_int client) ]
+  in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.read_timeout_s;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.write_timeout_s;
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match
+        Fault.with_site Fault.Read (fun () ->
+            Wire.read_frame ~max_frame:t.max_frame fd)
+      with
+      | `Eof -> ()
+      | `Idle -> loop ()
+      | `Frame j -> if serve_frame t ~client ~accept_span fd j then loop ()
+      | exception e ->
+        (* framing errors and injected read faults poison the stream:
+           answer once (the peer may still be listening) and hang up *)
+        send_error fd ~id:0 e
+  in
+  loop ()
+
+let forget_conn t client =
+  locked t.conn_mutex (fun () ->
+      t.conns <- List.filter (fun (c, _) -> c <> client) t.conns;
+      Metrics.set_gauge conn_gauge (float_of_int (List.length t.conns)))
+
+let spawn_conn t fd =
+  let client =
+    locked t.conn_mutex (fun () ->
+        let c = t.next_client in
+        t.next_client <- c + 1;
+        c)
+  in
+  let th =
+    Thread.create
+      (fun () ->
+         Fun.protect
+           ~finally:(fun () ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             forget_conn t client)
+           (fun () -> handle_conn t client fd))
+      ()
+  in
+  locked t.conn_mutex (fun () ->
+      t.conns <- (client, th) :: t.conns;
+      Metrics.set_gauge conn_gauge (float_of_int (List.length t.conns)))
+
+(* The accept loop polls the stop flag every 200ms via select, so a
+   SIGTERM (whose handler only flips the flag) is noticed promptly
+   without any signal-unsafe work in the handler itself. *)
+let accept_loop t () =
+  let rec loop () =
+    if Atomic.get t.stop then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listen_fd with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            loop ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> ()
+          | fd, _peer ->
+            (match Fault.at Fault.Accept with
+             | () -> spawn_conn t fd
+             | exception _ ->
+               (* injected accept fault: drop the connection, keep serving *)
+               (try Unix.close fd with Unix.Unix_error _ -> ()));
+            loop ())
+  in
+  loop ()
+
+let start ?(backlog = 16) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
+    ?(max_frame = Wire.default_max_frame) ?(drain_timeout_s = 30.0) ~router
+    addr =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path ->
+      if Sys.file_exists path then Unix.unlink path;
+      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match addr with
+   | `Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+   | `Unix _ -> ());
+  Unix.bind listen_fd sockaddr;
+  Unix.listen listen_fd backlog;
+  let t =
+    {
+      router;
+      listen_fd;
+      addr;
+      read_timeout_s;
+      write_timeout_s;
+      max_frame;
+      drain_timeout_s;
+      stop = Atomic.make false;
+      stop_mutex = Mutex.create ();
+      stopped = false;
+      accept_thread = None;
+      conn_mutex = Mutex.create ();
+      conns = [];
+      next_client = 1;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  t
+
+let port t =
+  match Unix.getsockname t.listen_fd with
+  | Unix.ADDR_INET (_, p) -> Some p
+  | Unix.ADDR_UNIX _ -> None
+
+let connections t = locked t.conn_mutex (fun () -> List.length t.conns)
+
+let request_stop t =
+  Atomic.set t.stop true;
+  Router.set_draining t.router
+
+(* Drain order: stop accepting, let every connection thread finish its
+   in-flight request (they poll the stop flag at the next read-idle
+   tick), then await every registered job so no admitted work is
+   abandoned.  Trace/metric flushing belongs to whoever enabled them
+   (the CLI's observability wrapper) — by the time [stop] returns, all
+   server spans have been recorded. *)
+let stop t =
+  request_stop t;
+  locked t.stop_mutex (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        Option.iter Thread.join t.accept_thread;
+        t.accept_thread <- None;
+        (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+        let rec join_conns () =
+          match locked t.conn_mutex (fun () -> t.conns) with
+          | [] -> ()
+          | conns ->
+            List.iter (fun (_, th) -> Thread.join th) conns;
+            join_conns ()
+        in
+        join_conns ();
+        Router.drain ~timeout_s:t.drain_timeout_s t.router;
+        match t.addr with
+        | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+        | `Tcp _ -> ()
+      end)
+
+let wait t =
+  while not (Atomic.get t.stop) do
+    Thread.delay 0.05
+  done;
+  stop t
+
+let install_signal_handlers ?(signals = [ Sys.sigterm; Sys.sigint ]) t =
+  List.iter
+    (fun s -> Sys.set_signal s (Sys.Signal_handle (fun _ -> request_stop t)))
+    signals

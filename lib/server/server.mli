@@ -1,0 +1,67 @@
+(** The repair service: an accept loop over a Unix-domain or TCP socket,
+    one handler thread per connection, graceful drain on demand.
+
+    Each connection speaks the {!Wire} protocol with per-socket read and
+    write deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]); requests are routed
+    through a shared {!Router} (and so through one {!Runtime}).  Every
+    connection records a [server:accept] trace event and every request a
+    [server:decode] span beneath it, under which the runtime's own
+    [job:submit] spans nest; request latency feeds the
+    [tml_server_request_seconds] histogram and open connections the
+    [tml_server_connections] gauge.
+
+    {b Chaos.}  The four connection-handling sites probe {!Fault}:
+    [Accept] (a faulted accept drops that connection and keeps serving),
+    [Read] and [Decode] (answered with an error frame; a read fault
+    closes the stream), and [Write] (one error frame is attempted, then
+    the connection closes).  The server survives all of them.
+
+    {b Drain.}  {!request_stop} (also installed as the SIGTERM/SIGINT
+    handler) only flips an atomic flag — the accept loop notices within
+    its 200ms poll, stops accepting, connection threads finish their
+    in-flight request, and {!stop} then awaits every admitted job before
+    returning.  No accepted request is ever dropped by a drain. *)
+
+type addr = [ `Unix of string | `Tcp of string * int ]
+(** A filesystem socket path, or a (numeric) host and port — port [0]
+    binds an ephemeral port, reported by {!port}. *)
+
+type t
+
+val start :
+  ?backlog:int ->
+  ?read_timeout_s:float ->
+  ?write_timeout_s:float ->
+  ?max_frame:int ->
+  ?drain_timeout_s:float ->
+  router:Router.t ->
+  addr ->
+  t
+(** Bind, listen and spawn the accept loop.  [read_timeout_s] (default 5)
+    bounds each blocking read — it is also the stop-flag poll interval of
+    an idle connection; [write_timeout_s] (default 5) bounds each
+    response write; [drain_timeout_s] (default 30) bounds the per-job
+    wait during {!stop}.  An existing Unix socket path is replaced.
+    @raise Unix.Unix_error when binding fails. *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix sockets) — useful with port 0. *)
+
+val connections : t -> int
+(** Currently open client connections. *)
+
+val request_stop : t -> unit
+(** Begin draining: stop accepting and reject new submits.  Async-signal
+    safe in the OCaml sense (flag flips only); returns immediately. *)
+
+val stop : t -> unit
+(** {!request_stop}, then join the accept loop and every connection
+    thread, await all admitted jobs ({!Router.drain}) and remove the
+    Unix socket file.  Blocks until the drain completes.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!request_stop} (e.g. a signal) and then run {!stop} —
+    the serve-forever main loop. *)
+
+val install_signal_handlers : ?signals:int list -> t -> unit
+(** Route [signals] (default SIGTERM and SIGINT) to {!request_stop}. *)

@@ -1,0 +1,775 @@
+let version = 1
+let default_max_frame = 16 * 1024 * 1024
+
+exception Protocol_error of string
+
+let proto fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+
+(* ------------------------------ JSON ------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+let escape_to buf s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s
+
+let rec render_to buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+    else if Float.is_finite f then
+      Buffer.add_string buf (Printf.sprintf "%.17g" f)
+    else Buffer.add_string buf "null"
+  | Str s ->
+    Buffer.add_char buf '"';
+    escape_to buf s;
+    Buffer.add_char buf '"'
+  | Arr xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         render_to buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Buffer.add_char buf '"';
+         escape_to buf k;
+         Buffer.add_string buf "\":";
+         render_to buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let render j =
+  let buf = Buffer.create 256 in
+  render_to buf j;
+  Buffer.contents buf
+
+(* A single-pass recursive-descent parser.  Errors carry the byte offset
+   so a corrupt frame is diagnosable from the error message alone. *)
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = proto "JSON: %s at byte %d" msg !pos in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let utf8_encode buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' ->
+        advance ();
+        Buffer.contents buf
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+         | Some '/' -> Buffer.add_char buf '/'; advance ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance ()
+         | Some 'u' ->
+           advance ();
+           if !pos + 4 > n then fail "truncated \\u escape";
+           let hex = String.sub s !pos 4 in
+           (match int_of_string_opt ("0x" ^ hex) with
+            | Some code ->
+              pos := !pos + 4;
+              utf8_encode buf code
+            | None -> fail "bad \\u escape")
+         | _ -> fail "bad escape");
+        loop ()
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let slice = String.sub s start (!pos - start) in
+    match float_of_string_opt slice with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" slice)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> Str (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Arr (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---------------------------- accessors --------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get key j =
+  match member key j with
+  | Some v -> v
+  | None -> proto "missing field %S" key
+
+let opt key j =
+  match member key j with Some Null | None -> None | some -> some
+
+let to_str field = function
+  | Str s -> s
+  | _ -> proto "field %S: expected a string" field
+
+let to_num field = function
+  | Num f -> f
+  | _ -> proto "field %S: expected a number" field
+
+let to_int field j =
+  let f = to_num field j in
+  if Float.is_integer f then int_of_float f
+  else proto "field %S: expected an integer" field
+
+let to_bool field = function
+  | Bool b -> b
+  | _ -> proto "field %S: expected a bool" field
+
+let to_arr field = function
+  | Arr xs -> xs
+  | _ -> proto "field %S: expected an array" field
+
+let str_list field j = List.map (to_str field) (to_arr field j)
+let num_list field j = List.map (to_num field) (to_arr field j)
+
+(* ----------------------------- framing ---------------------------- *)
+
+(* Frames are a 4-byte big-endian payload length followed by that many
+   bytes of JSON.  Reads distinguish a quiet socket (`Idle]: the read
+   deadline expired with no bytes of the next frame yet — the caller can
+   poll a stop flag and retry) from a mid-frame stall (a peer that went
+   silent halfway through a frame is a protocol error). *)
+
+let rec read_part fd buf off len =
+  if len = 0 then `Done
+  else
+    match Unix.read fd buf off len with
+    | 0 -> `Closed (off > 0)
+    | n -> read_part fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_part fd buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      `Stalled (off > 0)
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Closed (off > 0)
+
+let read_frame ?(max_frame = default_max_frame) fd =
+  let hdr = Bytes.create 4 in
+  match read_part fd hdr 0 4 with
+  | `Closed false -> `Eof
+  | `Closed true -> proto "connection closed mid-frame"
+  | `Stalled false -> `Idle
+  | `Stalled true -> proto "read deadline exceeded mid-frame"
+  | `Done ->
+    let len = Int32.to_int (Bytes.get_int32_be hdr 0) in
+    if len < 0 || len > max_frame then
+      proto "frame of %d bytes exceeds limit %d" len max_frame;
+    let payload = Bytes.create len in
+    (match read_part fd payload 0 len with
+     | `Done -> `Frame (parse (Bytes.unsafe_to_string payload))
+     | `Closed _ -> proto "connection closed mid-frame"
+     | `Stalled _ -> proto "read deadline exceeded mid-frame")
+
+let rec write_part fd buf off len =
+  if len > 0 then
+    match Unix.write fd buf off len with
+    | n -> write_part fd buf (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_part fd buf off len
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      proto "write deadline exceeded"
+    | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
+      proto "peer closed connection"
+
+let write_frame fd j =
+  let body = render j in
+  let len = String.length body in
+  let frame = Bytes.create (4 + len) in
+  Bytes.set_int32_be frame 0 (Int32.of_int len);
+  Bytes.blit_string body 0 frame 4 len;
+  write_part fd frame 0 (4 + len)
+
+(* ----------------------------- errors ----------------------------- *)
+
+type err = { kind : string; message : string; transient : bool }
+
+let err_kind_name = function
+  | Tml_error.Solver_nonconvergence _ -> "solver-nonconvergence"
+  | Tml_error.Timeout _ -> "timeout"
+  | Tml_error.Cache_race _ -> "cache-race"
+  | Tml_error.Injected_fault _ -> "injected-fault"
+  | Tml_error.Overloaded _ -> "overloaded"
+  | Tml_error.Malformed_model _ -> "malformed-model"
+  | Tml_error.Empty_feasible_box _ -> "empty-feasible-box"
+  | Tml_error.Internal _ -> "internal"
+
+let err_of_exn = function
+  | Tml_error.Error k ->
+    {
+      kind = err_kind_name k;
+      message = Tml_error.to_string k;
+      transient = Tml_error.severity k = Tml_error.Transient;
+    }
+  | Protocol_error m -> { kind = "protocol"; message = m; transient = false }
+  | Dtmc_io.Parse_error m | Mdp_io.Parse_error m | Trace_io.Parse_error m
+  | Spec_io.Parse_error m ->
+    { kind = "bad-request"; message = m; transient = false }
+  | e ->
+    { kind = "internal"; message = Printexc.to_string e; transient = false }
+
+let err_to_json e =
+  Obj
+    [
+      ("kind", Str e.kind);
+      ("message", Str e.message);
+      ("transient", Bool e.transient);
+    ]
+
+let err_of_json j =
+  {
+    kind = to_str "kind" (get "kind" j);
+    message = to_str "message" (get "message" j);
+    transient = to_bool "transient" (get "transient" j);
+  }
+
+(* ---------------------------- job codecs --------------------------- *)
+
+type job_request =
+  | Check_req of { model : string; phi : string }
+  | Model_repair_req of {
+      model : string;
+      phi : string;
+      variables : string list;
+      deltas : string list;
+      starts : int;
+    }
+  | Data_repair_req of {
+      states : int;
+      init : int;
+      labels : (string * int list) list;
+      rewards : float list option;
+      phi : string;
+      traces : string;
+      max_drop : float;
+      pinned : string list;
+      starts : int;
+    }
+  | Reward_repair_req of {
+      mdp : string;
+      theta : float list;
+      constraints : (int * string * string * float) list;
+      gamma : float;
+      starts : int;
+    }
+  | Pipeline_req of {
+      states : int;
+      init : int;
+      labels : (string * int list) list;
+      rewards : float list option;
+      model_spec : (string list * string list) option;
+      data_spec : (float * string list) option;
+      traces : string;
+      phi : string;
+    }
+
+let kind_of_job_request = function
+  | Check_req _ -> "check"
+  | Model_repair_req _ -> "model-repair"
+  | Data_repair_req _ -> "data-repair"
+  | Reward_repair_req _ -> "reward-repair"
+  | Pipeline_req _ -> "pipeline"
+
+let labels_to_json labels =
+  Arr
+    (List.map
+       (fun (name, states) ->
+          Arr [ Str name; Arr (List.map (fun s -> Num (float_of_int s)) states) ])
+       labels)
+
+let labels_of_json j =
+  List.map
+    (function
+      | Arr [ Str name; states ] ->
+        (name, List.map (to_int "labels") (to_arr "labels" states))
+      | _ -> proto "field \"labels\": expected [name, [states...]] pairs")
+    (to_arr "labels" j)
+
+let rewards_to_json = function
+  | None -> Null
+  | Some rs -> Arr (List.map (fun r -> Num r) rs)
+
+let rewards_of_json j =
+  Option.map (num_list "rewards") (opt "rewards" j)
+
+let job_request_to_json = function
+  | Check_req { model; phi } ->
+    Obj [ ("kind", Str "check"); ("model", Str model); ("phi", Str phi) ]
+  | Model_repair_req { model; phi; variables; deltas; starts } ->
+    Obj
+      [
+        ("kind", Str "model-repair");
+        ("model", Str model);
+        ("phi", Str phi);
+        ("variables", Arr (List.map (fun v -> Str v) variables));
+        ("deltas", Arr (List.map (fun d -> Str d) deltas));
+        ("starts", Num (float_of_int starts));
+      ]
+  | Data_repair_req
+      { states; init; labels; rewards; phi; traces; max_drop; pinned; starts }
+    ->
+    Obj
+      [
+        ("kind", Str "data-repair");
+        ("states", Num (float_of_int states));
+        ("init", Num (float_of_int init));
+        ("labels", labels_to_json labels);
+        ("rewards", rewards_to_json rewards);
+        ("phi", Str phi);
+        ("traces", Str traces);
+        ("max_drop", Num max_drop);
+        ("pinned", Arr (List.map (fun p -> Str p) pinned));
+        ("starts", Num (float_of_int starts));
+      ]
+  | Reward_repair_req { mdp; theta; constraints; gamma; starts } ->
+    Obj
+      [
+        ("kind", Str "reward-repair");
+        ("mdp", Str mdp);
+        ("theta", Arr (List.map (fun t -> Num t) theta));
+        ( "constraints",
+          Arr
+            (List.map
+               (fun (state, better, worse, margin) ->
+                  Obj
+                    [
+                      ("state", Num (float_of_int state));
+                      ("better", Str better);
+                      ("worse", Str worse);
+                      ("margin", Num margin);
+                    ])
+               constraints) );
+        ("gamma", Num gamma);
+        ("starts", Num (float_of_int starts));
+      ]
+  | Pipeline_req
+      { states; init; labels; rewards; model_spec; data_spec; traces; phi } ->
+    Obj
+      [
+        ("kind", Str "pipeline");
+        ("states", Num (float_of_int states));
+        ("init", Num (float_of_int init));
+        ("labels", labels_to_json labels);
+        ("rewards", rewards_to_json rewards);
+        ( "model",
+          match model_spec with
+          | None -> Null
+          | Some (variables, deltas) ->
+            Obj
+              [
+                ("variables", Arr (List.map (fun v -> Str v) variables));
+                ("deltas", Arr (List.map (fun d -> Str d) deltas));
+              ] );
+        ( "data",
+          match data_spec with
+          | None -> Null
+          | Some (max_drop, pinned) ->
+            Obj
+              [
+                ("max_drop", Num max_drop);
+                ("pinned", Arr (List.map (fun p -> Str p) pinned));
+              ] );
+        ("traces", Str traces);
+        ("phi", Str phi);
+      ]
+
+let job_request_of_json j =
+  let str key = to_str key (get key j) in
+  let int key = to_int key (get key j) in
+  let num key = to_num key (get key j) in
+  match str "kind" with
+  | "check" -> Check_req { model = str "model"; phi = str "phi" }
+  | "model-repair" ->
+    Model_repair_req
+      {
+        model = str "model";
+        phi = str "phi";
+        variables = str_list "variables" (get "variables" j);
+        deltas = str_list "deltas" (get "deltas" j);
+        starts = int "starts";
+      }
+  | "data-repair" ->
+    Data_repair_req
+      {
+        states = int "states";
+        init = int "init";
+        labels = labels_of_json (get "labels" j);
+        rewards = rewards_of_json j;
+        phi = str "phi";
+        traces = str "traces";
+        max_drop = num "max_drop";
+        pinned = str_list "pinned" (get "pinned" j);
+        starts = int "starts";
+      }
+  | "reward-repair" ->
+    Reward_repair_req
+      {
+        mdp = str "mdp";
+        theta = num_list "theta" (get "theta" j);
+        constraints =
+          List.map
+            (fun c ->
+               ( to_int "state" (get "state" c),
+                 to_str "better" (get "better" c),
+                 to_str "worse" (get "worse" c),
+                 to_num "margin" (get "margin" c) ))
+            (to_arr "constraints" (get "constraints" j));
+        gamma = num "gamma";
+        starts = int "starts";
+      }
+  | "pipeline" ->
+    Pipeline_req
+      {
+        states = int "states";
+        init = int "init";
+        labels = labels_of_json (get "labels" j);
+        rewards = rewards_of_json j;
+        model_spec =
+          Option.map
+            (fun m ->
+               ( str_list "variables" (get "variables" m),
+                 str_list "deltas" (get "deltas" m) ))
+            (opt "model" j);
+        data_spec =
+          Option.map
+            (fun d ->
+               ( to_num "max_drop" (get "max_drop" d),
+                 str_list "pinned" (get "pinned" d) ))
+            (opt "data" j);
+        traces = str "traces";
+        phi = str "phi";
+      }
+  | k -> proto "unknown job kind %S" k
+
+(* Decode the textual payload into a real [Job.t] with the lib/io parsers.
+   Any parse failure escapes as that parser's own exception; the router
+   maps it to a non-transient [bad-request] wire error. *)
+let job_of_request = function
+  | Check_req { model; phi } ->
+    Job.Check { model = Dtmc_io.parse model; phi = Pctl_parser.parse phi }
+  | Model_repair_req { model; phi; variables; deltas; starts } ->
+    Job.Model_repair
+      {
+        model = Dtmc_io.parse model;
+        phi = Pctl_parser.parse phi;
+        spec =
+          {
+            Model_repair.variables = List.map Spec_io.parse_variable variables;
+            deltas = List.map Spec_io.parse_delta deltas;
+          };
+        starts;
+      }
+  | Data_repair_req
+      { states; init; labels; rewards; phi; traces; max_drop; pinned; starts }
+    ->
+    Job.Data_repair
+      {
+        n = states;
+        init;
+        labels;
+        rewards =
+          Option.map
+            (fun rs -> Array.of_list (List.map Ratio.of_float rs))
+            rewards;
+        phi = Pctl_parser.parse phi;
+        spec = Data_repair.spec ~max_drop ~pinned (Trace_io.parse traces);
+        starts;
+      }
+  | Reward_repair_req { mdp; theta; constraints; gamma; starts } ->
+    Job.Reward_repair
+      {
+        mdp = Mdp_io.parse mdp;
+        theta = Array.of_list theta;
+        constraints =
+          List.map
+            (fun (state, better, worse, margin) ->
+               { Reward_repair.state; better; worse; margin })
+            constraints;
+        gamma;
+        starts;
+      }
+  | Pipeline_req
+      { states; init; labels; rewards; model_spec; data_spec; traces; phi } ->
+    Job.Pipeline
+      {
+        n = states;
+        init;
+        labels;
+        rewards =
+          Option.map
+            (fun rs -> Array.of_list (List.map Ratio.of_float rs))
+            rewards;
+        model_spec =
+          Option.map
+            (fun (variables, deltas) ->
+               {
+                 Model_repair.variables =
+                   List.map Spec_io.parse_variable variables;
+                 deltas = List.map Spec_io.parse_delta deltas;
+               })
+            model_spec;
+        data_spec =
+          Option.map
+            (fun (max_drop, pinned) ->
+               Data_repair.spec ~max_drop ~pinned (Trace_io.parse traces))
+            data_spec;
+        groups = Trace_io.parse traces;
+        phi = Pctl_parser.parse phi;
+      }
+
+(* ---------------------------- envelopes ---------------------------- *)
+
+type request =
+  | Submit of job_request
+  | Poll of string
+  | Wait of string * float option
+  | Cancel of string
+  | Stats
+  | Ping
+
+type job_state =
+  | Job_pending
+  | Job_done of string
+  | Job_failed of err
+  | Job_cancelled
+  | Job_timed_out
+
+type response =
+  | Accepted of { job : string; cached : bool }
+  | Status of { job : string; state : job_state }
+  | Cancelled of { job : string; cancelled : bool }
+  | Stats_reply of json
+  | Pong
+  | Error_reply of err
+
+let envelope id fields = Obj (("v", Num (float_of_int version)) :: ("id", Num (float_of_int id)) :: fields)
+
+let request_to_json ~id = function
+  | Submit jr ->
+    envelope id [ ("op", Str "submit"); ("job", job_request_to_json jr) ]
+  | Poll job -> envelope id [ ("op", Str "poll"); ("job", Str job) ]
+  | Wait (job, timeout_s) ->
+    envelope id
+      (("op", Str "wait") :: ("job", Str job)
+       ::
+       (match timeout_s with
+        | None -> []
+        | Some t -> [ ("timeout_s", Num t) ]))
+  | Cancel job -> envelope id [ ("op", Str "cancel"); ("job", Str job) ]
+  | Stats -> envelope id [ ("op", Str "stats") ]
+  | Ping -> envelope id [ ("op", Str "ping") ]
+
+let check_version j =
+  match opt "v" j with
+  | Some v ->
+    let v = to_int "v" v in
+    if v <> version then proto "unsupported protocol version %d (want %d)" v version
+  | None -> proto "missing field \"v\""
+
+let request_of_json j =
+  check_version j;
+  let id = to_int "id" (get "id" j) in
+  let req =
+    match to_str "op" (get "op" j) with
+    | "submit" -> Submit (job_request_of_json (get "job" j))
+    | "poll" -> Poll (to_str "job" (get "job" j))
+    | "wait" ->
+      Wait
+        ( to_str "job" (get "job" j),
+          Option.map (to_num "timeout_s") (opt "timeout_s" j) )
+    | "cancel" -> Cancel (to_str "job" (get "job" j))
+    | "stats" -> Stats
+    | "ping" -> Ping
+    | op -> proto "unknown op %S" op
+  in
+  (id, req)
+
+let state_fields = function
+  | Job_pending -> [ ("status", Str "pending") ]
+  | Job_done report -> [ ("status", Str "done"); ("report", Str report) ]
+  | Job_failed e -> [ ("status", Str "failed"); ("error", err_to_json e) ]
+  | Job_cancelled -> [ ("status", Str "cancelled") ]
+  | Job_timed_out -> [ ("status", Str "timed-out") ]
+
+let response_to_json ~id = function
+  | Accepted { job; cached } ->
+    envelope id
+      [
+        ("ok", Bool true);
+        ("job", Str job);
+        ("status", Str (if cached then "cached" else "queued"));
+      ]
+  | Status { job; state } ->
+    envelope id (("ok", Bool true) :: ("job", Str job) :: state_fields state)
+  | Cancelled { job; cancelled } ->
+    envelope id
+      [ ("ok", Bool true); ("job", Str job); ("cancelled", Bool cancelled) ]
+  | Stats_reply stats -> envelope id [ ("ok", Bool true); ("stats", stats) ]
+  | Pong -> envelope id [ ("ok", Bool true); ("pong", Bool true) ]
+  | Error_reply e -> envelope id [ ("ok", Bool false); ("error", err_to_json e) ]
+
+let response_of_json j =
+  check_version j;
+  let id = to_int "id" (get "id" j) in
+  let resp =
+    if not (to_bool "ok" (get "ok" j)) then
+      Error_reply (err_of_json (get "error" j))
+    else if member "pong" j <> None then Pong
+    else if member "stats" j <> None then Stats_reply (get "stats" j)
+    else if member "cancelled" j <> None then
+      Cancelled
+        {
+          job = to_str "job" (get "job" j);
+          cancelled = to_bool "cancelled" (get "cancelled" j);
+        }
+    else
+      let job = to_str "job" (get "job" j) in
+      match to_str "status" (get "status" j) with
+      | "queued" -> Accepted { job; cached = false }
+      | "cached" -> Accepted { job; cached = true }
+      | "pending" -> Status { job; state = Job_pending }
+      | "done" ->
+        Status { job; state = Job_done (to_str "report" (get "report" j)) }
+      | "failed" ->
+        Status { job; state = Job_failed (err_of_json (get "error" j)) }
+      | "cancelled" -> Status { job; state = Job_cancelled }
+      | "timed-out" -> Status { job; state = Job_timed_out }
+      | s -> proto "unknown status %S" s
+  in
+  (id, resp)

@@ -1,0 +1,159 @@
+(** The repair service's wire protocol: length-prefixed JSON frames.
+
+    A frame is a 4-byte big-endian payload length followed by that many
+    bytes of UTF-8 JSON.  Requests and responses are enveloped with the
+    protocol {!version} and a client-chosen correlation [id]; the server
+    echoes the id so a client can pipeline requests on one connection.
+
+    Job payloads travel in {e textual} form — the same model, property,
+    trace and spec syntaxes the CLI accepts ({!Dtmc_io}, {!Mdp_io},
+    {!Trace_io}, {!Spec_io}, {!Pctl_parser}) — and are decoded into a
+    {!Job.t} on the server by {!job_of_request}, so the wire format never
+    duplicates the in-memory model representations.
+
+    Everything malformed — bad framing, oversized frames, invalid JSON,
+    missing fields, unknown ops — raises {!Protocol_error} with a
+    self-diagnosing message. *)
+
+val version : int
+(** Protocol version spoken by this build (currently 1).  Envelopes carry
+    it as ["v"]; a mismatch is a {!Protocol_error}. *)
+
+val default_max_frame : int
+(** Default frame-size cap (16 MiB). *)
+
+exception Protocol_error of string
+
+(** {1 JSON} *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+val render : json -> string
+(** Compact single-line rendering. *)
+
+val parse : string -> json
+(** @raise Protocol_error with a byte offset on malformed input. *)
+
+val member : string -> json -> json option
+(** Field lookup on an [Obj]; [None] on missing fields or non-objects. *)
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> json -> unit
+(** Render and send one frame.
+    @raise Protocol_error when a write deadline ([SO_SNDTIMEO]) expires
+    or the peer has closed the connection. *)
+
+val read_frame :
+  ?max_frame:int ->
+  Unix.file_descr ->
+  [ `Frame of json | `Eof | `Idle ]
+(** Read one frame.  [`Eof] is a clean close {e between} frames; [`Idle]
+    is a read deadline ([SO_RCVTIMEO]) expiring with no bytes of the next
+    frame read yet — the caller polls its stop flag and retries.  A close
+    or stall {e mid}-frame, an oversized frame and malformed JSON all
+    raise {!Protocol_error}. *)
+
+(** {1 Errors} *)
+
+type err = { kind : string; message : string; transient : bool }
+(** A wire-level error: a stable kind slug (["overloaded"],
+    ["bad-request"], ["protocol"], ["internal"], or a {!Tml_error.kind}
+    slug), a human message, and whether retrying may succeed. *)
+
+val err_of_exn : exn -> err
+(** Classify: {!Tml_error.Error} keeps its kind and severity; lib/io
+    parse errors become non-transient ["bad-request"]; everything else is
+    ["internal"]. *)
+
+(** {1 Job payloads} *)
+
+type job_request =
+  | Check_req of { model : string; phi : string }
+  | Model_repair_req of {
+      model : string;
+      phi : string;
+      variables : string list;  (** {!Spec_io.parse_variable} syntax *)
+      deltas : string list;  (** {!Spec_io.parse_delta} syntax *)
+      starts : int;
+    }
+  | Data_repair_req of {
+      states : int;
+      init : int;
+      labels : (string * int list) list;
+      rewards : float list option;
+      phi : string;
+      traces : string;  (** {!Trace_io} text *)
+      max_drop : float;
+      pinned : string list;
+      starts : int;
+    }
+  | Reward_repair_req of {
+      mdp : string;  (** {!Mdp_io} text *)
+      theta : float list;
+      constraints : (int * string * string * float) list;
+          (** (state, better, worse, margin) *)
+      gamma : float;
+      starts : int;
+    }
+  | Pipeline_req of {
+      states : int;
+      init : int;
+      labels : (string * int list) list;
+      rewards : float list option;
+      model_spec : (string list * string list) option;
+          (** (variables, deltas) *)
+      data_spec : (float * string list) option;  (** (max_drop, pinned) *)
+      traces : string;
+      phi : string;
+    }  (** One repair job in wire (textual) form. *)
+
+val kind_of_job_request : job_request -> string
+(** The {!Job.kind} string of the decoded job, without decoding. *)
+
+val job_of_request : job_request -> Job.t
+(** Decode with the lib/io parsers.  Raises the underlying parser's
+    exception on malformed payloads (the router maps it to a
+    ["bad-request"] wire error). *)
+
+(** {1 Envelopes} *)
+
+type request =
+  | Submit of job_request
+  | Poll of string  (** job digest *)
+  | Wait of string * float option  (** digest, optional timeout *)
+  | Cancel of string
+  | Stats
+  | Ping
+
+type job_state =
+  | Job_pending
+  | Job_done of string  (** the {!Job.pp_outcome} report text *)
+  | Job_failed of err
+  | Job_cancelled
+  | Job_timed_out
+
+type response =
+  | Accepted of { job : string; cached : bool }
+      (** submit acknowledged; [cached] when served straight from the
+          report cache *)
+  | Status of { job : string; state : job_state }
+  | Cancelled of { job : string; cancelled : bool }
+  | Stats_reply of json
+  | Pong
+  | Error_reply of err
+
+val request_to_json : id:int -> request -> json
+val request_of_json : json -> int * request
+(** @raise Protocol_error on bad envelopes (wrong version, unknown op,
+    missing fields). *)
+
+val response_to_json : id:int -> response -> json
+val response_of_json : json -> int * response
+(** @raise Protocol_error on bad envelopes. *)

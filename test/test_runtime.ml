@@ -73,6 +73,40 @@ let test_pool_backpressure () =
   Pool.shutdown pool;
   Alcotest.(check (list int)) "fifo through a full queue" [ 0; 1; 2 ] results
 
+let test_pool_try_submit_sheds () =
+  let pool = Pool.create ~workers:1 ~queue_capacity:1 () in
+  let started = Atomic.make false in
+  let slow =
+    Pool.submit pool (fun () ->
+        Atomic.set started true;
+        Unix.sleepf 0.2;
+        "slow")
+  in
+  (* only fill the queue once the worker is actually busy, so the
+     capacity-1 queue is deterministically full for the third submit *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let queued = Pool.try_submit pool (fun () -> "queued") in
+  Alcotest.(check bool) "fits in the queue" true (queued <> None);
+  (match Pool.try_submit pool (fun () -> "shed") with
+   | None -> ()
+   | Some _ -> Alcotest.fail "expected None from a full queue");
+  Alcotest.(check string) "running job unaffected" "slow"
+    (value (Future.await slow));
+  (match queued with
+   | Some f -> Alcotest.(check string) "queued job ran" "queued" (value (Future.await f))
+   | None -> ());
+  Pool.shutdown pool;
+  (* after shutdown, try_submit mirrors submit: a Cancelled future, not a
+     shed — the queue is not "full", it is gone *)
+  match Pool.try_submit pool (fun () -> "late") with
+  | Some f -> (
+      match Future.await f with
+      | Future.Cancelled -> ()
+      | _ -> Alcotest.fail "post-shutdown try_submit resolves Cancelled")
+  | None -> Alcotest.fail "post-shutdown try_submit returns a settled future"
+
 (* ------------------------- timeout / cancellation ---------------------- *)
 
 let test_job_timeout () =
@@ -178,6 +212,39 @@ let test_lru_cache_failure_not_cached () =
   Alcotest.(check int) "retry recomputes" 3
     (Lru_cache.find_or_compute cache ~key:"k" (fun () -> 3))
 
+(* Four domains race find_or_compute on the same key: the in-flight entry
+   must coalesce them onto ONE computation, and nobody may observe a
+   partially built value (the compute only assembles its result after a
+   deliberate delay, so a non-coalescing cache would double-compute and a
+   broken one could expose an incomplete intermediate). *)
+let test_lru_parallel_fill_coalesces () =
+  let cache = Lru_cache.create ~capacity:8 () in
+  let computes = Atomic.make 0 in
+  for round = 0 to 2 do
+    let key = Printf.sprintf "k%d" round in
+    let expected = key ^ "-built-completely" in
+    let barrier = Atomic.make 0 in
+    let domains =
+      List.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              Atomic.incr barrier;
+              while Atomic.get barrier < 4 do
+                Domain.cpu_relax ()
+              done;
+              Lru_cache.find_or_compute cache ~key (fun () ->
+                  Atomic.incr computes;
+                  Unix.sleepf 0.02;
+                  String.concat "-" [ key; "built"; "completely" ])))
+    in
+    let results = List.map Domain.join domains in
+    List.iter
+      (fun r ->
+         Alcotest.(check string) "every domain sees the complete value"
+           expected r)
+      results
+  done;
+  Alcotest.(check int) "exactly one compute per key" 3 (Atomic.get computes)
+
 (* ------------------------------- runtime ------------------------------- *)
 
 let test_batch_matches_sequential () =
@@ -252,6 +319,63 @@ let test_runtime_cache_disabled () =
       Alcotest.(check int) "no hits counted" 0
         stats.Runtime_stats.report_cache_hits)
 
+(* Satellite of the server PR: a saturated queue sheds with a typed,
+   transient Overloaded instead of blocking the submitting thread. *)
+let test_submit_sheds_overloaded () =
+  (* delay every Check stage so the single worker stays busy while the
+     capacity-1 queue fills behind it *)
+  Fault.install
+    (Some (Fault.plan [ Fault.spec ~fires:8 Fault.Check (Fault.Delay 0.3) ]));
+  Fun.protect ~finally:(fun () -> Fault.install None) @@ fun () ->
+  Runtime.with_runtime ~workers:1 ~queue_capacity:1 ~report_cache_capacity:0
+    ~elim_cache_capacity:0 (fun rt ->
+      let model = branch () in
+      let job b =
+        Job.Check { model; phi = parse (Printf.sprintf "P>=%g [ F goal ]" b) }
+      in
+      let first = Runtime.submit rt (job 0.05) in
+      Unix.sleepf 0.05 (* let the worker dequeue it before flooding *);
+      let rest = List.init 3 (fun i -> Runtime.submit rt (job (0.1 +. (0.05 *. float_of_int i)))) in
+      let outcomes = List.map Future.await (first :: rest) in
+      let shed, kept =
+        List.partition
+          (function
+            | Future.Failed (Tml_error.Error (Tml_error.Overloaded _)) -> true
+            | _ -> false)
+          outcomes
+      in
+      Alcotest.(check bool) "at least one submit shed" true
+        (List.length shed >= 1);
+      Alcotest.(check bool) "admitted submits completed" true
+        (List.length kept >= 1
+         && List.for_all (function Future.Value _ -> true | _ -> false) kept);
+      List.iter
+        (function
+          | Future.Failed e ->
+            Alcotest.(check bool) "shed error is transient" true
+              (Tml_error.is_transient e)
+          | _ -> ())
+        shed)
+
+(* run_batch keeps the classic blocking back-pressure: a batch larger
+   than the queue never sheds, it just waits for slots. *)
+let test_run_batch_blocks_through_full_queue () =
+  Runtime.with_runtime ~workers:1 ~queue_capacity:1 ~report_cache_capacity:0
+    ~elim_cache_capacity:0 (fun rt ->
+      let model = branch () in
+      let jobs =
+        List.init 6 (fun i ->
+            Job.Check
+              { model; phi = parse (Printf.sprintf "P>=0.%d [ F goal ]" (i + 1)) })
+      in
+      let outcomes = Runtime.run_batch rt jobs in
+      Alcotest.(check int) "all ran" 6 (List.length outcomes);
+      List.iter
+        (function
+          | Future.Value _ -> ()
+          | _ -> Alcotest.fail "batch job did not complete")
+        outcomes)
+
 let test_digest_distinguishes_jobs () =
   let jobs = repair_jobs [ 0.5; 0.25 ] in
   let again = repair_jobs [ 0.5 ] in
@@ -273,6 +397,8 @@ let () =
           Alcotest.test_case "propagates exceptions" `Quick
             test_pool_propagates_exceptions;
           Alcotest.test_case "backpressure" `Quick test_pool_backpressure;
+          Alcotest.test_case "try_submit sheds when full" `Quick
+            test_pool_try_submit_sheds;
         ] );
       ( "timeout-cancel",
         [
@@ -293,6 +419,8 @@ let () =
           Alcotest.test_case "lru basics" `Quick test_lru_cache_basics;
           Alcotest.test_case "failures not cached" `Quick
             test_lru_cache_failure_not_cached;
+          Alcotest.test_case "parallel fills coalesce" `Quick
+            test_lru_parallel_fill_coalesces;
         ] );
       ( "runtime",
         [
@@ -303,6 +431,10 @@ let () =
           Alcotest.test_case "stage timings" `Quick test_runtime_stage_timings;
           Alcotest.test_case "caches disabled" `Quick
             test_runtime_cache_disabled;
+          Alcotest.test_case "full queue sheds Overloaded" `Quick
+            test_submit_sheds_overloaded;
+          Alcotest.test_case "run_batch blocks, never sheds" `Quick
+            test_run_batch_blocks_through_full_queue;
           Alcotest.test_case "job digests" `Quick test_digest_distinguishes_jobs;
         ] );
     ]
