@@ -1,10 +1,15 @@
-.PHONY: all test fault-test trace-test server-smoke server-smoke-chaos bench perf-check bench-baseline doc clean
+.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos bench perf-check bench-baseline doc clean
 
 all:
 	dune build @all
 
 test:
 	dune runtest
+
+# Region backend only: interval edge cases, certified repair, and the
+# differential verdict-soundness suite against the exact checker.
+region-test:
+	dune exec -- test/test_region.exe
 
 # Chaos suite only: fault injection, supervision, retries, deadlines.
 fault-test:
@@ -27,9 +32,9 @@ server-smoke-chaos:
 bench:
 	dune exec -- bench/main.exe
 
-# Perf gate: runtime-scaling comparison + the tracked symbolic-kernel and
-# e2/e4 elimination benches; fails if any tracked bench regresses >20%
-# against bench/results/baseline.json.
+# Perf gate: runtime-scaling comparison + the tracked symbolic-kernel,
+# e2/e4 elimination and region-lifting benches; fails if any tracked
+# bench regresses >20% against bench/results/baseline.json.
 perf-check:
 	dune exec -- bench/main.exe --perf-check
 

@@ -68,13 +68,13 @@ let bench_e2_elimination =
          Pquery.of_formula (Lazy.force wsn_parametric) (Wsn.property 40)))
 
 let bench_e2_repair =
-  Test.make ~name:"e2/full model repair (X=40)"
+  Test.make ~name:"e2/full model repair (X=40) backend=nlp"
     (Staged.stage (fun () ->
          Model_repair.repair ~starts:4 (Lazy.force wsn_chain) (Wsn.property 40)
            (Wsn.repair_spec wsn_params)))
 
 let bench_e3_repair =
-  Test.make ~name:"e3/full model repair, infeasible (X=19)"
+  Test.make ~name:"e3/full repair, infeasible (X=19) backend=nlp"
     (Staged.stage (fun () ->
          Model_repair.repair ~starts:4 (Lazy.force wsn_chain) (Wsn.property 19)
            (Wsn.repair_spec wsn_params)))
@@ -103,7 +103,7 @@ let bench_e5_irl =
            (Lazy.force car_mdp) (Car.expert_traces 5)))
 
 let bench_e5_repair =
-  Test.make ~name:"e5/reward repair (Q-constraint)"
+  Test.make ~name:"e5/reward repair (Q-constraint) backend=nlp"
     (Staged.stage (fun () ->
          Reward_repair.repair_q ~gamma:0.9 ~starts:2 (Lazy.force car_mdp)
            ~theta:(Lazy.force car_theta)
@@ -143,13 +143,13 @@ let e2_nlp_with method_ =
     (Wsn.property 40) (Wsn.repair_spec wsn_params)
 
 let ablation_benches =
-  [ Test.make ~name:"ablation/optimizer=penalty"
+  [ Test.make ~name:"ablation/optimizer=penalty backend=nlp"
       (Staged.stage (fun () -> e2_nlp_with Nlp.Penalty));
-    Test.make ~name:"ablation/repair=localized (X=40)"
+    Test.make ~name:"ablation/repair=localized (X=40) backend=local"
       (Staged.stage (fun () ->
            Local_repair.repair (Lazy.force wsn_chain) (Wsn.property 40)
              (Wsn.repair_spec wsn_params)));
-    Test.make ~name:"ablation/optimizer=auglag"
+    Test.make ~name:"ablation/optimizer=auglag backend=nlp"
       (Staged.stage (fun () -> e2_nlp_with Nlp.Augmented_lagrangian));
     Test.make ~name:"ablation/elim-order=min-degree"
       (Staged.stage (fun () ->
@@ -303,6 +303,39 @@ let substrate_benches =
        Staged.stage (fun () -> Hmm.forward_backward h obs));
   ]
 
+(* Region-lifting section (lib/region): the bound propagator, the
+   verify loop and a full certified repair, all on the 2x2 WSN grid so
+   the tracked perf gate stays cheap.  The repair bench carries its
+   backend in the name, like every repair row. *)
+
+let region_n2 =
+  lazy
+    (let params = { wsn_params with Wsn.n = 2 } in
+     let chain = Wsn.chain params in
+     let spec = Wsn.repair_spec params in
+     let vars = List.map (fun (v, _, _) -> v) spec.Model_repair.variables in
+     let pm = Model_repair.parametric_model chain spec in
+     let query = Pquery.of_formula pm (Wsn.property 16) in
+     let c = Region_verify.of_query ~vars query in
+     let box = Box.make spec.Model_repair.variables in
+     (chain, spec, c, box))
+
+let region_benches =
+  [ Test.make ~name:"region/bounder bounds f(p,q) wsn n=2"
+      (Staged.stage (fun () ->
+           let _, _, c, box = Lazy.force region_n2 in
+           Bounder.bounds c.Region_verify.bounder box));
+    Test.make ~name:"region/analyze wsn n=2 (X=16)"
+      (Staged.stage (fun () ->
+           let _, _, c, box = Lazy.force region_n2 in
+           Region_verify.analyze [ c ] box));
+    Test.make ~name:"region/model repair wsn n=2 (X=19) backend=region"
+      (Staged.stage (fun () ->
+           let chain, spec, _, _ = Lazy.force region_n2 in
+           Model_repair.repair ~backend:Repair_backend.Region chain
+             (Wsn.property 19) spec));
+  ]
+
 (* Symbolic-kernel section: the exact-arithmetic layers behind state
    elimination — interned monomials, the small-rational fast path,
    Karatsuba bigint multiplication and the arena evaluator.  Together
@@ -383,7 +416,14 @@ let runtime_jobs () =
   let chain = Lazy.force wsn_chain in
   let spec = Wsn.repair_spec wsn_params in
   List.map
-    (fun b -> Job.Model_repair { model = chain; phi = Wsn.property b; spec; starts = 4 })
+    (fun b -> Job.Model_repair
+       {
+         model = chain;
+         phi = Wsn.property b;
+         spec;
+         starts = 4;
+         backend = Repair_backend.Nlp_solver;
+       })
     [ 35; 36; 37; 38; 39; 40; 41; 42 ]
 
 type runtime_run = {
@@ -460,6 +500,70 @@ let runtime_scaling () =
    | None -> ());
   Format.print_flush ();
   report
+
+(* ------------------------------------------------------------------ *)
+(* Region lifting: certificates per grid side                           *)
+(* ------------------------------------------------------------------ *)
+
+type region_row = {
+  zname : string;
+  zbackend : string;
+  zregions : int;
+  zdecided : float;  (** decided-volume fraction of the certificate *)
+  zgap : float;  (** certified relative optimality gap (0 for verify rows) *)
+  zseconds : float;  (** wall time to the certificate *)
+}
+
+(* One shot per row, like [one_shot_n4]: a certificate is a terminal
+   artefact, so time-to-certificate is the honest measure (bechamel
+   sampling would amortise the elimination that dominates larger grids). *)
+let region_lifting_report () =
+  let timed name backend f =
+    let t0 = Unix.gettimeofday () in
+    let zregions, zdecided, zgap = f () in
+    { zname = name; zbackend = backend; zregions; zdecided; zgap;
+      zseconds = Unix.gettimeofday () -. t0 }
+  in
+  let verify_row n bound =
+    timed (Printf.sprintf "wsn n=%d verify (X=%d)" n bound) "region"
+      (fun () ->
+         let params = { wsn_params with Wsn.n } in
+         let spec = Wsn.repair_spec params in
+         let vars = List.map (fun (v, _, _) -> v) spec.Model_repair.variables in
+         let pm = Model_repair.parametric_model (Wsn.chain params) spec in
+         let query = Pquery.of_formula pm (Wsn.property bound) in
+         let c = Region_verify.of_query ~vars query in
+         let a = Region_verify.analyze [ c ] (Box.make spec.Model_repair.variables) in
+         let cert = a.Region_verify.certificate in
+         (cert.Region_verify.regions_explored,
+          cert.Region_verify.decided_fraction, 0.0))
+  in
+  let repair_row n bound =
+    timed (Printf.sprintf "wsn n=%d model repair (X=%d)" n bound) "region"
+      (fun () ->
+         let params = { wsn_params with Wsn.n } in
+         match
+           Model_repair.repair ~backend:Repair_backend.Region
+             (Wsn.chain params) (Wsn.property bound) (Wsn.repair_spec params)
+         with
+         | Model_repair.Repaired { certificate = Some c; _ } ->
+           (c.Region_repair.regions_explored, c.Region_repair.decided_fraction,
+            c.Region_repair.optimality_gap)
+         | _ -> (0, 0.0, 0.0))
+  in
+  let rows =
+    [ verify_row 2 16; repair_row 2 19; verify_row 3 40; repair_row 3 40 ]
+  in
+  Format.printf "@\n-- region lifting (certificates, one shot) -------------@\n";
+  Format.printf "  %-38s %8s %9s %7s %9s@\n" "" "regions" "decided" "gap"
+    "time";
+  List.iter
+    (fun r ->
+       Format.printf "  %-38s %8d %8.1f%% %6.2f%% %8.3f s@\n" r.zname
+         r.zregions (100.0 *. r.zdecided) (100.0 *. r.zgap) r.zseconds)
+    rows;
+  Format.print_flush ();
+  rows
 
 (* ------------------------------------------------------------------ *)
 (* Span-derived stage breakdown                                         *)
@@ -636,7 +740,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime breakdown server =
+let write_results path rows runtime breakdown server region =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -679,6 +783,18 @@ let write_results path rows runtime breakdown server =
          (json_escape r.bname) r.bcount r.btotal_s
          (if i = List.length breakdown - 1 then "" else ","))
     breakdown;
+  add "  ],\n";
+  add "  \"region_lifting\": [\n";
+  List.iteri
+    (fun i r ->
+       add
+         "    {\"name\": \"%s\", \"backend\": \"%s\", \"regions\": %d, \
+          \"decided_volume_pct\": %.2f, \"certified_gap_pct\": %.2f, \
+          \"time_to_certificate_s\": %.6f}%s\n"
+         (json_escape r.zname) (json_escape r.zbackend) r.zregions
+         (100.0 *. r.zdecided) (100.0 *. r.zgap) r.zseconds
+         (if i = List.length region - 1 then "" else ","))
+    region;
   add "  ],\n";
   add "  \"server_throughput\": {\n";
   add "    \"clients\": %d,\n" server.sclients;
@@ -780,13 +896,15 @@ let run_benchmarks () =
       ("scaling", scale_benches);
       ("substrates", substrate_benches);
       ("symbolic_kernel", symbolic_kernel_benches);
+      ("region_lifting", region_benches);
     ]
   in
   let rows = measure_groups groups in
   let runtime = runtime_scaling () in
+  let region = region_lifting_report () in
   let breakdown = stage_breakdown () in
   let server = server_throughput () in
-  write_results "bench/results/latest.json" rows runtime breakdown server
+  write_results "bench/results/latest.json" rows runtime breakdown server region
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: tracked benches vs a committed baseline                   *)
@@ -795,14 +913,16 @@ let run_benchmarks () =
 let baseline_path = "bench/results/baseline.json"
 let regression_threshold = 1.20
 
-(* The tracked set is deliberately cheap: the symbolic-kernel section
-   plus the three elimination/evaluation experiment benches named in the
-   acceptance criteria — no full repairs, no IRL.  A perf-check run
-   finishes in well under a minute. *)
+(* The tracked set is deliberately cheap: the symbolic-kernel section,
+   the three elimination/evaluation experiment benches named in the
+   acceptance criteria, and the region-lifting section (whose only full
+   repair is the millisecond-scale 2x2 grid) — no n=3 repairs, no IRL.
+   A perf-check run finishes in well under a minute. *)
 let tracked_groups () =
   [ ("experiments",
      [ bench_e2_elimination; bench_e4_elimination; bench_e4_constraint_eval ]);
     ("symbolic_kernel", symbolic_kernel_benches);
+    ("region_lifting", region_benches);
   ]
 
 let write_baseline rows =

@@ -150,7 +150,23 @@ let output_arg =
   let doc = "Write the repaired model to this file." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
-let run_model_repair model prop vars deltas output =
+let backend_arg =
+  let doc =
+    "Repair backend: $(b,nlp) (the paper's multistart NLP), $(b,region) \
+     (certified branch-and-bound over accept-regions, reports a global \
+     optimality gap), or $(b,smc-prefilter) (SPRT statistical pre-check \
+     before the NLP path)."
+  in
+  Arg.(
+    value
+    & opt (enum Repair_backend.all) Repair_backend.Nlp_solver
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let print_certificate = function
+  | None -> ()
+  | Some c -> Format.printf "  certificate: %a@." Region_repair.pp_certificate c
+
+let run_model_repair model prop vars deltas output backend =
   exit_of_result
     (match (load_model model, load_property prop) with
      | Error e, _ | _, Error e -> Error e
@@ -162,7 +178,7 @@ let run_model_repair model prop vars deltas output =
                deltas = List.map Spec_io.parse_delta deltas;
              }
            in
-           Model_repair.repair d phi spec
+           Model_repair.repair ~backend d phi spec
          with
          | exception Spec_io.Parse_error msg -> Error msg
          | exception Invalid_argument msg -> Error msg
@@ -181,6 +197,7 @@ let run_model_repair model prop vars deltas output =
            Printf.printf "REPAIRED (cost %.6g, achieved value %.6g, verified %b)\n"
              r.Model_repair.cost r.Model_repair.achieved_value
              r.Model_repair.verified;
+           print_certificate r.Model_repair.certificate;
            List.iter
              (fun (name, v) -> Printf.printf "  %s = %.6g\n" name v)
              r.Model_repair.assignment;
@@ -199,7 +216,7 @@ let model_repair_cmd =
     (Cmd.info "model-repair" ~doc)
     Term.(
       const run_model_repair $ model_arg $ property_arg $ vars_arg $ deltas_arg
-      $ output_arg)
+      $ output_arg $ backend_arg)
 
 (* ----------------------------- data-repair ---------------------------- *)
 
@@ -232,7 +249,7 @@ let parse_label_def s =
       | _ -> Error (Printf.sprintf "bad label definition %S" s))
   | _ -> Error (Printf.sprintf "bad label definition %S (want NAME:S1:S2...)" s)
 
-let run_data_repair traces_file states init labels pinned prop =
+let run_data_repair traces_file states init labels pinned prop backend =
   exit_of_result
     (match load_property prop with
      | Error e -> Error e
@@ -248,7 +265,7 @@ let run_data_repair traces_file states init labels pinned prop =
                labels
            in
            match
-             Data_repair.repair ~n:states ~init ~labels phi
+             Data_repair.repair ~n:states ~init ~labels ~backend phi
                (Data_repair.spec ~pinned groups)
            with
            | Data_repair.Already_satisfied v ->
@@ -267,6 +284,7 @@ let run_data_repair traces_file states init labels pinned prop =
                 dropped, verified %b)\n"
                r.Data_repair.cost r.Data_repair.achieved_value
                r.Data_repair.dropped_traces r.Data_repair.verified;
+             print_certificate r.Data_repair.certificate;
              List.iter
                (fun (g, frac) -> Printf.printf "  drop(%s) = %.6g\n" g frac)
                r.Data_repair.drop_fractions;
@@ -283,7 +301,7 @@ let data_repair_cmd =
     (Cmd.info "data-repair" ~doc)
     Term.(
       const run_data_repair $ traces_arg $ states_arg $ init_arg $ labels_arg
-      $ pinned_arg $ property_arg)
+      $ pinned_arg $ property_arg $ backend_arg)
 
 (* ---------------------------- reward-repair --------------------------- *)
 
@@ -432,10 +450,7 @@ let run_smc model prop samples seed =
                est.Smc.probability est.Smc.ci_low est.Smc.ci_high est.Smc.samples;
              let verdict, n = Smc.sprt ~max_samples:samples rng d phi in
              Printf.printf "SPRT: %s after %d samples\n"
-               (match verdict with
-                | Smc.Accept -> "ACCEPT"
-                | Smc.Reject -> "REJECT"
-                | Smc.Undecided -> "UNDECIDED")
+               (String.uppercase_ascii (Smc.verdict_to_string verdict))
                n;
              Ok (verdict = Smc.Accept)
            | _ -> Error "smc needs a top-level P property"
@@ -508,10 +523,24 @@ let simulate_cmd =
 
 let wsn_bounds = [| 40; 45; 50; 55; 60; 65; 70; 35 |]
 
-let batch_jobs suite count =
-  let params = Wsn.default_params in
+let batch_jobs ~backend ~grid suite count =
+  let params = { Wsn.default_params with Wsn.n = grid } in
   let chain = Wsn.chain params in
   let spec = Wsn.repair_spec params in
+  let states = grid * grid in
+  (* The stock reward bounds are calibrated for the paper's 3×3 grid; for
+     other grid sides derive them from the chain's actual expected attempts
+     so job 0 always needs (and admits) a repair and later bounds relax. *)
+  let bounds =
+    if grid = 3 then wsn_bounds
+    else
+      let base = int_of_float (Float.floor (Wsn.expected_attempts params)) in
+      Array.init (Array.length wsn_bounds) (fun i -> base + i)
+  in
+  let data_bound =
+    if grid = 3 then 19
+    else max 1 (int_of_float (Float.floor (Wsn.expected_attempts params /. 2.0)))
+  in
   (* Every fourth WSN job is a Data Repair on sampled observation traces,
      so a traced batch exercises all four stages (learn, eliminate, solve,
      check); the rest are Model Repairs against varying reward bounds. *)
@@ -520,14 +549,17 @@ let batch_jobs suite count =
     let groups = Wsn.observation_groups rng params ~count:600 in
     Job.Data_repair
       {
-        n = 9;
-        init = 8;
+        n = states;
+        init = states - 1;
         labels = [ ("delivered", [ 0 ]) ];
         rewards =
-          Some (Array.init 9 (fun s -> if s = 0 then Ratio.zero else Ratio.one));
-        phi = Wsn.property 19;
+          Some
+            (Array.init states (fun s ->
+                 if s = 0 then Ratio.zero else Ratio.one));
+        phi = Wsn.property data_bound;
         spec = Data_repair.spec ~pinned:[ "success" ] groups;
         starts = 2;
+        backend;
       }
   in
   let wsn_job j =
@@ -536,9 +568,10 @@ let batch_jobs suite count =
       Job.Model_repair
         {
           model = chain;
-          phi = Wsn.property wsn_bounds.(j mod Array.length wsn_bounds);
+          phi = Wsn.property bounds.(j mod Array.length bounds);
           spec;
           starts = 4;
+          backend;
         }
   in
   let mdp = Car.mdp () in
@@ -569,6 +602,13 @@ let suite_arg =
 
 let jobs_arg =
   Arg.(value & opt int 8 & info [ "jobs" ] ~docv:"N" ~doc:"Number of jobs.")
+
+let grid_arg =
+  let doc =
+    "WSN grid side n (the suite runs on an n×n sensor grid; reward bounds \
+     are recalibrated automatically for n ≠ 3)."
+  in
+  Arg.(value & opt int 3 & info [ "grid" ] ~docv:"N" ~doc)
 
 let workers_arg =
   let doc = "Worker domains in the pool." in
@@ -653,12 +693,13 @@ let inject_fault_arg =
   Arg.(value & opt_all string [] & info [ "inject-fault" ] ~docv:"SPEC" ~doc)
 
 let run_batch_cmd suite jobs workers repeat stats retries retry_backoff_ms
-    fault_specs trace_out metrics_out seed =
+    fault_specs trace_out metrics_out seed backend grid =
   exit_of_result
     (if jobs < 1 then Error "need at least one job"
      else if workers < 1 then Error "need at least one worker"
+     else if grid < 2 then Error "grid side must be at least 2"
      else begin
-       let job_list = batch_jobs suite jobs in
+       let job_list = batch_jobs ~backend ~grid suite jobs in
        let retry =
          if retries <= 0 then None
          else
@@ -732,7 +773,7 @@ let batch_cmd =
     Term.(
       const run_batch_cmd $ suite_arg $ jobs_arg $ workers_arg $ repeat_arg
       $ stats_arg $ retries_arg $ retry_backoff_arg $ inject_fault_arg
-      $ trace_out_arg $ metrics_out_arg $ seed_arg)
+      $ trace_out_arg $ metrics_out_arg $ seed_arg $ backend_arg $ grid_arg)
 
 (* -------------------------------- trace ------------------------------- *)
 
@@ -1017,7 +1058,7 @@ let async_arg =
 let read_file path = In_channel.with_open_text path In_channel.input_all
 
 let build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states ~init
-    ~labels ~pinned ~max_drop ~theta ~constraints ~gamma ~starts =
+    ~labels ~pinned ~max_drop ~theta ~constraints ~gamma ~starts ~backend =
   let ( let* ) = Result.bind in
   let require what v =
     match v with
@@ -1043,7 +1084,14 @@ let build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states ~init
     let* phi = require "--prop" prop in
     Ok
       (Wire.Model_repair_req
-         { model = read_file m; phi; variables = vars; deltas; starts })
+         {
+           model = read_file m;
+           phi;
+           variables = vars;
+           deltas;
+           starts;
+           backend = Repair_backend.to_string backend;
+         })
   | "data-repair" ->
     let* t = require "--traces" traces in
     let* states = require "--states" states in
@@ -1060,6 +1108,7 @@ let build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states ~init
            max_drop;
            pinned;
            starts;
+           backend = Repair_backend.to_string backend;
          })
   | "reward-repair" ->
     let* m = require "--model" model in
@@ -1113,7 +1162,7 @@ let build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states ~init
   | op -> Error (Printf.sprintf "unknown client op %S" op)
 
 let run_client socket tcp op model prop vars deltas traces states init labels
-    pinned max_drop theta constraints gamma starts job timeout async =
+    pinned max_drop theta constraints gamma starts backend job timeout async =
   exit_of_result
     (match parse_addr socket tcp with
      | Error _ as e -> e
@@ -1173,7 +1222,7 @@ let run_client socket tcp op model prop vars deltas traces states init labels
              try
                build_job_request ~op ~model ~prop ~vars ~deltas ~traces ~states
                  ~init ~labels ~pinned ~max_drop ~theta ~constraints ~gamma
-                 ~starts
+                 ~starts ~backend
              with Sys_error msg -> Error msg
            with
            | Error _ as e -> e
@@ -1209,8 +1258,8 @@ let client_cmd =
       $ client_model_arg $ client_prop_arg $ vars_arg $ deltas_arg
       $ client_traces_arg $ client_states_arg $ init_arg $ labels_arg
       $ pinned_arg $ max_drop_arg $ client_theta_arg $ client_constraints_arg
-      $ gamma_arg $ starts_arg $ client_job_arg $ client_timeout_arg
-      $ async_arg)
+      $ gamma_arg $ starts_arg $ backend_arg $ client_job_arg
+      $ client_timeout_arg $ async_arg)
 
 (* ------------------------------- main --------------------------------- *)
 

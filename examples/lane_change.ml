@@ -68,10 +68,7 @@ let () =
      (* bound 0.99 with default half-width 0.01 would touch 1.0 *)
      let verdict, n = Smc.sprt ~delta:0.004 rng r.Model_repair.dtmc property in
      Format.printf "SPRT: %s after %d samples@\n"
-       (match verdict with
-        | Smc.Accept -> "ACCEPT"
-        | Smc.Reject -> "REJECT"
-        | Smc.Undecided -> "UNDECIDED")
+       (String.uppercase_ascii (Smc.verdict_to_string verdict))
        n;
 
      section "Cross-check 2: robustness to estimation error";

@@ -31,6 +31,8 @@ type repaired = {
   dropped_traces : float;  (** expected number of dropped traces *)
   symbolic_constraint : Ratfun.t;
   verified : bool;
+  certificate : Region_repair.certificate option;
+      (** present exactly when the region backend produced the repair *)
 }
 
 type result =
@@ -43,16 +45,23 @@ val repair :
   init:int ->
   ?labels:(string * int list) list ->
   ?rewards:Ratio.t array ->
+  ?backend:Repair_backend.t ->
   ?solver:Nlp.method_ ->
   ?starts:int ->
   ?seed:int ->
   ?cost:(float array -> float) ->
   ?force:bool ->
+  ?gap:float ->
   Pctl.state_formula ->
   spec ->
   result
 (** The default cost is [Σ x_g²] (the squared perturbation magnitude of
-    Eq. 11).
+    Eq. 11).  [backend] has the same semantics as in {!Model_repair.repair}:
+    [Region] solves by certified branch-and-bound over the drop-fraction
+    box (pinned groups become zero-width dimensions) to the relative
+    optimality [gap] (default 0.05); [Smc_prefilter] runs a seeded SPRT on
+    the model learned from the unrepaired data before the exact initial
+    check, then solves on the NLP path.
     @raise Invalid_argument on malformed specs.
     @raise Pquery.Unsupported on properties outside the parametric
     fragment. *)

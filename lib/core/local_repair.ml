@@ -88,6 +88,7 @@ let repair ?(tol = 1e-9) ?(rounds = 4) ?(force = false) dtmc phi spec =
           verified = verdict.Check_dtmc.holds;
           epsilon_bisimilarity = Bisimulation.epsilon_bound dtmc repaired_dtmc;
           solver_rung = "local-bisection";
+          certificate = None;
         }
     end
   end

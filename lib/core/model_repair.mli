@@ -37,9 +37,13 @@ type repaired = {
           and repaired chains). *)
   solver_rung : string;
       (** which solver rung produced the solution: the method name for a
-          plain [repair], or the {!Nlp.solve_with_fallback} rung label
+          plain [repair], the {!Nlp.solve_with_fallback} rung label
           ("augmented-lagrangian", "penalty", "penalty-wide") under
-          [~fallback:true]. *)
+          [~fallback:true], or ["region-bnb"] under the region backend. *)
+  certificate : Region_repair.certificate option;
+      (** the global-optimality certificate, present exactly when the
+          region backend produced the repair ([None] for NLP solutions,
+          which certify nothing beyond local feasibility). *)
 }
 
 type result =
@@ -52,12 +56,14 @@ type result =
           solution" case) *)
 
 val repair :
+  ?backend:Repair_backend.t ->
   ?solver:Nlp.method_ ->
   ?starts:int ->
   ?seed:int ->
   ?cost:(float array -> float) ->
   ?force:bool ->
   ?fallback:bool ->
+  ?gap:float ->
   Dtmc.t ->
   Pctl.state_formula ->
   spec ->
@@ -68,6 +74,17 @@ val repair :
     solved by {!Nlp.solve_with_fallback} — escalating augmented Lagrangian
     → penalty → a wider multistart before conceding infeasibility; the
     successful rung is recorded in [solver_rung].
+
+    [backend] selects the solving substrate (default {!Repair_backend.t}
+    [Nlp_solver]).  Under [Region] the same constraint system is solved by
+    {!Region_repair.minimize} to the relative optimality [gap] (default
+    0.05) and the result carries a certificate; a custom [cost] degrades
+    the certificate to a trivial lower bound (only the default quadratic
+    cost has a sound box bound).  Under [Smc_prefilter] a seeded
+    {!Smc.sprt} pre-check runs before the exact initial verification —
+    see {!Repair_backend.smc_precheck} — and solving proceeds on the NLP
+    path.  [solver]/[starts]/[fallback] are NLP-path knobs; [gap] is a
+    region-path knob; both paths honour [seed], [cost] and [force].
     @raise Invalid_argument on malformed specs (unknown edges, unbalanced
     rows, duplicate variables).
     @raise Pquery.Unsupported on properties outside the parametric

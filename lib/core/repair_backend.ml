@@ -1,0 +1,52 @@
+type t = Nlp_solver | Region | Smc_prefilter
+
+let to_string = function
+  | Nlp_solver -> "nlp"
+  | Region -> "region"
+  | Smc_prefilter -> "smc-prefilter"
+
+let all =
+  [ ("nlp", Nlp_solver); ("region", Region); ("smc-prefilter", Smc_prefilter) ]
+
+let of_string s =
+  match List.assoc_opt s all with
+  | Some b -> Ok b
+  | None ->
+    Error
+      (Printf.sprintf "unknown backend %S (expected nlp, region or \
+                       smc-prefilter)" s)
+
+type precheck =
+  | Sprt_accept of int
+  | Sprt_reject of int
+  | Fallthrough of string
+
+let prefilter_counter outcome =
+  Metrics.counter ~help:"SMC pre-filter outcomes" ~label:("outcome", outcome)
+    "tml_smc_prefilter_total"
+
+let smc_precheck ?(seed = 0) dtmc phi =
+  let rng = Prng.create seed in
+  let result =
+    match Smc.sprt rng dtmc phi with
+    | Smc.Accept, n -> Sprt_accept n
+    | Smc.Reject, n -> Sprt_reject n
+    | (Smc.Undecided _ as v), _ -> Fallthrough (Smc.verdict_to_string v)
+    | exception Smc.Unsupported msg -> Fallthrough ("unsupported: " ^ msg)
+  in
+  let outcome =
+    match result with
+    | Sprt_accept _ -> "accept"
+    | Sprt_reject _ -> "reject"
+    | Fallthrough _ -> "fallthrough"
+  in
+  Metrics.incr (prefilter_counter outcome);
+  ignore
+    (Trace_span.event "region:smc-prefilter"
+       ~attrs:
+         [ ("outcome", outcome);
+           (match result with
+            | Sprt_accept n | Sprt_reject n -> ("samples", string_of_int n)
+            | Fallthrough why -> ("why", why));
+         ]);
+  result

@@ -1,0 +1,48 @@
+(** Which solving substrate a repair runs on.
+
+    The paper's pipeline solves one NLP; this enum selects between that,
+    the region-lifting backend ({!Region_repair} — globally certified,
+    slower per query), and the NLP preceded by a cheap statistical
+    pre-check ({!Smc} SPRT) that can dismiss the expensive exact
+    verification step when the original model obviously satisfies or
+    obviously violates the property.
+
+    The slug strings are the wire/CLI vocabulary ([--backend nlp],
+    [--backend region], [--backend smc-prefilter]) and must stay stable:
+    they travel in [Wire] requests and are recorded in bench rows. *)
+
+type t =
+  | Nlp_solver  (** the paper's penalty/augmented-Lagrangian NLP *)
+  | Region  (** certified branch-and-bound over accept-regions *)
+  | Smc_prefilter
+      (** SPRT pre-check on the original model, then the NLP path *)
+
+val to_string : t -> string
+(** ["nlp"], ["region"], ["smc-prefilter"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] names the unknown slug and the
+    accepted values. *)
+
+val all : (string * t) list
+(** Slug/value pairs, for CLI enums. *)
+
+(** {1 The SMC pre-check} *)
+
+type precheck =
+  | Sprt_accept of int  (** statistically satisfied, [n] samples *)
+  | Sprt_reject of int  (** statistically violated, [n] samples *)
+  | Fallthrough of string
+      (** the fast path could not run or could not decide — the payload
+          says why (non-[P] formula, bound too extreme, or
+          ["undecided after N samples"]) *)
+
+val smc_precheck : ?seed:int -> Dtmc.t -> Pctl.state_formula -> precheck
+(** Wald's SPRT at its default error levels, as a pre-filter: a
+    deterministic, seeded sampling pass that costs microseconds per
+    sample and no elimination.  [Sprt_accept] still needs an exact
+    confirmation before reporting "already satisfied" (the SPRT has
+    nonzero error probability); [Sprt_reject] just skips the exact check
+    and goes straight to repair, where an unnecessary repair would come
+    back with cost 0 anyway.  Emits a [region:smc-prefilter] trace event
+    with the outcome. *)

@@ -1,0 +1,64 @@
+type t = { lo : float; hi : float }
+
+let whole = { lo = neg_infinity; hi = infinity }
+
+(* NaN endpoints widen to the whole line: sound, and it means no interval
+   ever carries NaN, so ordinary float comparisons downstream behave. *)
+let norm lo hi =
+  if Float.is_nan lo || Float.is_nan hi then whole
+  else if lo <= hi then { lo; hi }
+  else { lo = hi; hi = lo }
+
+let make a b = norm a b
+let point x = norm x x
+let zero = { lo = 0.0; hi = 0.0 }
+let one = { lo = 1.0; hi = 1.0 }
+
+let width v = v.hi -. v.lo
+
+let midpoint v =
+  let clamp x = Float.max (-1e308) (Float.min 1e308 x) in
+  let m = 0.5 *. (clamp v.lo +. clamp v.hi) in
+  if m < v.lo then v.lo else if m > v.hi then v.hi else m
+
+let contains v x = v.lo <= x && x <= v.hi
+let is_point v = v.lo = v.hi
+let is_finite v = Float.is_finite v.lo && Float.is_finite v.hi
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let intersect a b =
+  let lo = Float.max a.lo b.lo and hi = Float.min a.hi b.hi in
+  if lo <= hi then { lo; hi } else hull a b
+
+let neg v = { lo = -.v.hi; hi = -.v.lo }
+let add a b = norm (a.lo +. b.lo) (a.hi +. b.hi)
+let sub a b = norm (a.lo -. b.hi) (a.hi -. b.lo)
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi in
+  let p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  (* 0 * inf = NaN; [norm] widens that case to the whole line. *)
+  norm
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let div a b =
+  if b.lo <= 0.0 && b.hi >= 0.0 then whole
+  else mul a { lo = 1.0 /. b.hi; hi = 1.0 /. b.lo }
+
+let rec pow_int v n =
+  if n < 0 then invalid_arg "Interval.pow_int: negative exponent"
+  else if n = 0 then one
+  else if n = 1 then v
+  else if n mod 2 = 0 then
+    (* sharp even power: v^n = (|v|)^n with min 0 when v straddles 0 *)
+    let m = Float.max (Float.abs v.lo) (Float.abs v.hi) in
+    let lo =
+      if v.lo <= 0.0 && v.hi >= 0.0 then 0.0
+      else Float.min (Float.abs v.lo) (Float.abs v.hi)
+    in
+    norm (lo ** float_of_int n) (m ** float_of_int n)
+  else mul v (pow_int v (n - 1))
+
+let to_string v = Printf.sprintf "[%g, %g]" v.lo v.hi

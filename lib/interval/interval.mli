@@ -1,0 +1,67 @@
+(** Scalar interval arithmetic over floats.
+
+    The numeric substrate of the region backend ({!Box}, {!Bounder}): every
+    operation returns an interval that contains the exact real result for
+    all points of its operands — outward-directed where float rounding
+    matters, and widening to infinite endpoints instead of raising on
+    division by an interval containing zero.  NaN never escapes: any
+    operation whose float computation produces NaN yields the whole real
+    line [(-inf, +inf)], which is sound (it contains everything) and keeps
+    downstream verdicts conservative.
+
+    Intervals are closed and non-empty; [make] normalises operand order, so
+    the [lo <= hi] invariant always holds (with [lo = hi] for points). *)
+
+type t = private { lo : float; hi : float }
+
+val make : float -> float -> t
+(** [make a b] is the closed interval from [min a b] to [max a b]; NaN
+    endpoints widen to the whole line. *)
+
+val point : float -> t
+(** Degenerate interval [\[x, x\]]; NaN widens to the whole line. *)
+
+val zero : t
+val one : t
+
+val whole : t
+(** The whole real line [(-inf, +inf)]. *)
+
+(** {1 Queries} *)
+
+val width : t -> float
+(** [hi -. lo]; [infinity] when either endpoint is infinite. *)
+
+val midpoint : t -> float
+(** A finite point inside the interval whenever one exists (infinite
+    endpoints are clamped before averaging). *)
+
+val contains : t -> float -> bool
+val is_point : t -> bool
+val is_finite : t -> bool
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val intersect : t -> t -> t
+(** Intersection of two overlapping intervals — the sharpest sound
+    combination of two enclosures of the same quantity.  Disjoint inputs
+    (only possible when one enclosure is wrong) fall back to {!hull}
+    rather than fabricating an empty interval. *)
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Division; a denominator interval containing zero yields {!whole}
+    (the quotient set is unbounded around the pole). *)
+
+val pow_int : t -> int -> t
+(** [pow_int v n] for [n >= 0]; even powers use the sharp form
+    (min 0 when the base straddles zero). *)
+
+val to_string : t -> string

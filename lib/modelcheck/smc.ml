@@ -84,7 +84,12 @@ let estimate ?(samples = 10_000) ?(max_steps = 10_000) rng d psi =
   let lo, hi = wilson ~successes:!successes ~samples in
   { probability = p; samples; ci_low = lo; ci_high = hi }
 
-type sprt_verdict = Accept | Reject | Undecided
+type sprt_verdict = Accept | Reject | Undecided of int
+
+let verdict_to_string = function
+  | Accept -> "accept"
+  | Reject -> "reject"
+  | Undecided n -> Printf.sprintf "undecided after %d samples" n
 
 let sprt ?(alpha = 0.01) ?(beta = 0.01) ?(delta = 0.01) ?(max_samples = 1_000_000)
     ?(max_steps = 10_000) rng d phi =
@@ -102,24 +107,27 @@ let sprt ?(alpha = 0.01) ?(beta = 0.01) ?(delta = 0.01) ?(max_samples = 1_000_00
   let log_b = log (beta /. (1.0 -. alpha)) in
   let llr = ref 0.0 in
   let samples = ref 0 in
-  let verdict = ref Undecided in
-  while !verdict = Undecided && !samples < max_samples do
+  let decided = ref None in
+  while Option.is_none !decided && !samples < max_samples do
     incr samples;
     let path = Dtmc.simulate rng d ~max_steps () in
     let x = holds_on_path d path psi in
     (* log-likelihood ratio of H1 (p = p1) vs H0 (p = p0) *)
     llr :=
       !llr +. (if x then log (p1 /. p0) else log ((1.0 -. p1) /. (1.0 -. p0)));
-    if !llr >= log_a then verdict := Accept (* evidence for p >= p1 *)
-    else if !llr <= log_b then verdict := Reject (* evidence for p <= p0 *)
+    if !llr >= log_a then decided := Some Accept (* evidence for p >= p1 *)
+    else if !llr <= log_b then decided := Some Reject (* evidence for p <= p0 *)
   done;
   (* [Accept] above means "the path probability is high"; align with the
      comparison direction of the formula. *)
+  let raw =
+    match !decided with Some v -> v | None -> Undecided !samples
+  in
   let aligned =
-    match (cmp, !verdict) with
+    match (cmp, raw) with
     | (Pctl.Ge | Pctl.Gt), v -> v
     | (Pctl.Le | Pctl.Lt), Accept -> Reject
     | (Pctl.Le | Pctl.Lt), Reject -> Accept
-    | (Pctl.Le | Pctl.Lt), Undecided -> Undecided
+    | (Pctl.Le | Pctl.Lt), (Undecided _ as u) -> u
   in
   (aligned, !samples)

@@ -37,7 +37,13 @@ val estimate :
 type sprt_verdict =
   | Accept  (** the bound holds at the requested error levels *)
   | Reject
-  | Undecided  (** sample budget exhausted inside the indifference region *)
+  | Undecided of int
+      (** sample budget exhausted inside the indifference region; the
+          payload is the samples consumed, so callers can log why the
+          fast path fell through *)
+
+val verdict_to_string : sprt_verdict -> string
+(** ["accept"], ["reject"], ["undecided after N samples"]. *)
 
 val sprt :
   ?alpha:float ->

@@ -20,6 +20,8 @@ type t = {
   den : instr array option; (* None: denominator is the constant 1 *)
   stack : float array; (* scratch, sized to max program depth *)
   values : float array; (* scratch for eval_env / eval_grad *)
+  ilo : float array; (* scratch lower-bound stack for eval_interval *)
+  ihi : float array; (* scratch upper-bound stack for eval_interval *)
 }
 
 let vars t = t.vars
@@ -92,6 +94,8 @@ let compile ~vars f =
     den;
     stack = Array.make (Stdlib.max 1 depth) 0.0;
     values = Array.make (Array.length vars) 0.0;
+    ilo = Array.make (Stdlib.max 1 depth) 0.0;
+    ihi = Array.make (Stdlib.max 1 depth) 0.0;
   }
 
 let run prog (x : float array) (stack : float array) =
@@ -120,6 +124,58 @@ let eval t x =
 let eval_env t env =
   Array.iteri (fun i v -> t.values.(i) <- env v) t.vars;
   eval t t.values
+
+(* ------------------------- interval semantics ------------------------- *)
+
+(* The Horner program is run unchanged, but over closed float intervals:
+   each stack slot holds a lower and an upper bound.  NaN (0 * inf in the
+   interval product, or inf - inf in a sum) is widened to the whole real
+   line, which is sound — the enclosure only ever gets larger. *)
+
+let inorm lo hi =
+  if Float.is_nan lo || Float.is_nan hi then (neg_infinity, infinity)
+  else if lo <= hi then (lo, hi)
+  else (hi, lo)
+
+let imul al ah bl bh =
+  let p1 = al *. bl and p2 = al *. bh and p3 = ah *. bl and p4 = ah *. bh in
+  inorm
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+
+let run_interval prog (xl : float array) (xh : float array) (sl : float array)
+    (sh : float array) =
+  let sp = ref 0 in
+  for i = 0 to Array.length prog - 1 do
+    match Array.unsafe_get prog i with
+    | Push c ->
+      sl.(!sp) <- c;
+      sh.(!sp) <- c;
+      incr sp
+    | Horner { vi; n } ->
+      let vl, vh = inorm xl.(vi) xh.(vi) in
+      let base = !sp - n - 1 in
+      let al = ref sl.(!sp - 1) and ah = ref sh.(!sp - 1) in
+      for j = !sp - 2 downto base do
+        let ml, mh = imul !al !ah vl vh in
+        let l, h = inorm (ml +. sl.(j)) (mh +. sh.(j)) in
+        al := l;
+        ah := h
+      done;
+      sl.(base) <- !al;
+      sh.(base) <- !ah;
+      sp := base + 1
+  done;
+  (sl.(0), sh.(0))
+
+let eval_interval t lo hi =
+  let nl, nh = run_interval t.num lo hi t.ilo t.ihi in
+  match t.den with
+  | None -> (nl, nh)
+  | Some d ->
+    let dl, dh = run_interval d lo hi t.ilo t.ihi in
+    if dl <= 0.0 && dh >= 0.0 then (neg_infinity, infinity)
+    else imul nl nh (1.0 /. dh) (1.0 /. dl)
 
 let eval_grad ?(h = 1e-6) t x =
   let v = eval t x in

@@ -28,6 +28,16 @@ val eval_env : t -> (string -> float) -> float
 (** Name-based evaluation for callers that still hold an environment;
     resolves each variable once per call. *)
 
+val eval_interval : t -> float array -> float array -> float * float
+(** [eval_interval t lo hi] runs the compiled Horner program over closed
+    float intervals: parameter [i] ranges over [\[lo.(i), hi.(i)\]] and the
+    result [(l, u)] is a sound enclosure of the rational function over the
+    whole box — every point value lies in [\[l, u\]].  Division by a
+    denominator interval containing zero (a potential pole inside the box)
+    widens to [(neg_infinity, infinity)] rather than raising; NaN inputs
+    are treated as the whole real line.  Uses dedicated scratch stacks, so
+    the same single-domain contract as {!eval} applies. *)
+
 val eval_grad : ?h:float -> t -> float array -> float * float array
 (** Value and central-difference gradient at a point, sharing the compiled
     program across all [2n+1] stencil evaluations.  [h] is the step

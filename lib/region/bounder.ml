@@ -1,0 +1,90 @@
+(* A compiled bound propagator: one value arena plus lazily compiled
+   partial-derivative arenas.  The derivative of a quotient squares term
+   counts, so past a size threshold tightening is skipped — interval
+   evaluation plus bisection stays sound, just slower to converge. *)
+
+type deriv = Too_big | Compiled of Arena.t
+
+type t = {
+  dim : int;
+  value : Arena.t;
+  derivs : deriv Lazy.t array; (* one per positional parameter *)
+}
+
+(* Beyond this many terms (num + den), derivative compilation is more
+   expensive than the bisection steps it would save. *)
+let size_guard = 4_000
+
+let fn_size f = Poly.num_terms (Ratfun.num f) + Poly.num_terms (Ratfun.den f)
+
+let compile ~vars f =
+  let value = Arena.compile ~vars f in
+  let var_arr = Array.of_list vars in
+  let derivs =
+    Array.map
+      (fun v ->
+         lazy
+           (if fn_size f > size_guard then Too_big
+            else
+              let d = Ratfun.derivative v f in
+              if fn_size d > size_guard then Too_big
+              else Compiled (Arena.compile ~vars d)))
+      var_arr
+  in
+  { dim = Array.length var_arr; value; derivs }
+
+let eval t x = Arena.eval t.value x
+
+let plain_bounds t box =
+  let l, h = Arena.eval_interval t.value (Box.lower box) (Box.upper box) in
+  Interval.make l h
+
+type sign = Inc | Dec | Mixed
+
+let deriv_sign t box i =
+  if Box.width box i <= 0.0 then Inc (* degenerate: pinning is a no-op *)
+  else
+    match Lazy.force t.derivs.(i) with
+    | Too_big -> Mixed
+    | Compiled d ->
+      let l, h = Arena.eval_interval d (Box.lower box) (Box.upper box) in
+      if l >= 0.0 then Inc else if h <= 0.0 then Dec else Mixed
+
+let monotone_dims t box =
+  let n = ref 0 in
+  for i = 0 to t.dim - 1 do
+    if deriv_sign t box i <> Mixed then incr n
+  done;
+  !n
+
+(* Pin every sign-constant dimension at the endpoint that extremises the
+   function: with ∂f/∂x_i >= 0 on the box the minimum over x_i sits at its
+   lower endpoint, so bounding f over the pinned sub-box bounds the
+   minimum over the whole box — and when every dimension pins, the
+   interval pass degenerates to an exact corner evaluation. *)
+let tightened t box signs =
+  let blo = Box.lower box and bhi = Box.upper box in
+  let lo1 = Array.copy blo and hi1 = Array.copy bhi in
+  let lo2 = Array.copy blo and hi2 = Array.copy bhi in
+  for i = 0 to t.dim - 1 do
+    match signs.(i) with
+    | Inc ->
+      hi1.(i) <- blo.(i);
+      lo2.(i) <- bhi.(i)
+    | Dec ->
+      lo1.(i) <- bhi.(i);
+      hi2.(i) <- blo.(i)
+    | Mixed -> ()
+  done;
+  let l, _ = Arena.eval_interval t.value lo1 hi1 in
+  let _, h = Arena.eval_interval t.value lo2 hi2 in
+  Interval.make l h
+
+let bounds t box =
+  let plain = plain_bounds t box in
+  if Interval.is_point plain then plain
+  else begin
+    let signs = Array.init t.dim (deriv_sign t box) in
+    if Array.for_all (fun s -> s = Mixed) signs then plain
+    else Interval.intersect plain (tightened t box signs)
+  end

@@ -1,0 +1,39 @@
+(** Sound lower/upper bounds on a rational function over a {!Box}.
+
+    The bound propagator behind the region backend: a {!Ratfun.t} is
+    arena-compiled once ({!Arena.compile}) and then bounded over boxes by
+    running the compiled Horner program in interval semantics
+    ({!Arena.eval_interval}), tightened by monotonicity where it can be
+    established — each partial derivative is itself compiled (lazily, via
+    {!Ratfun.derivative}) and interval-evaluated over the box; every
+    dimension whose derivative sign is constant is pinned to the endpoint
+    that extremises the function, so a fully monotone factor is bounded by
+    two exact corner evaluations instead of a width-inflated interval pass.
+
+    Derivative tightening is skipped for functions past a term-count
+    threshold (the quotient rule squares term counts; plain interval
+    evaluation plus bisection remains sound without it). *)
+
+type t
+
+val compile : vars:string list -> Ratfun.t -> t
+(** Fix the positional parameter order, exactly as {!Arena.compile}.
+    @raise Invalid_argument if the function mentions a variable outside
+    [vars]. *)
+
+val eval : t -> float array -> float
+(** Point evaluation through the compiled arena. *)
+
+val bounds : t -> Box.t -> Interval.t
+(** Sound enclosure of the function over the box (the intersection of the
+    plain interval pass and the monotonicity-tightened pass).  The box
+    must have the same dimension as [vars]; a potential pole inside the
+    box yields infinite endpoints rather than raising. *)
+
+val plain_bounds : t -> Box.t -> Interval.t
+(** The untightened interval pass alone — exposed for tests and for the
+    bench that measures what monotone tightening buys. *)
+
+val monotone_dims : t -> Box.t -> int
+(** How many dimensions have a provably constant derivative sign on the
+    box (diagnostics; drives the bench's tightening ratio). *)

@@ -1,0 +1,85 @@
+type t = {
+  names : string array;
+  ids : int array; (* Symtab ids, aligned with names *)
+  lo : float array;
+  hi : float array;
+}
+
+let make vars =
+  let n = List.length vars in
+  if n = 0 then invalid_arg "Box.make: empty variable list";
+  let names = Array.of_list (List.map (fun (v, _, _) -> v) vars) in
+  let sorted = List.sort_uniq String.compare (Array.to_list names) in
+  if List.length sorted <> n then invalid_arg "Box.make: duplicate names";
+  List.iter
+    (fun (v, l, h) ->
+       if not (Float.is_finite l && Float.is_finite h) then
+         invalid_arg (Printf.sprintf "Box.make: non-finite bounds for %s" v);
+       if l > h then
+         invalid_arg (Printf.sprintf "Box.make: empty bounds for %s" v))
+    vars;
+  {
+    names;
+    ids = Array.map Symtab.intern names;
+    lo = Array.of_list (List.map (fun (_, l, _) -> l) vars);
+    hi = Array.of_list (List.map (fun (_, _, h) -> h) vars);
+  }
+
+let dim b = Array.length b.names
+let names b = b.names
+let ids b = b.ids
+let lo b i = b.lo.(i)
+let hi b i = b.hi.(i)
+let lower b = b.lo
+let upper b = b.hi
+let interval b i = Interval.make b.lo.(i) b.hi.(i)
+let width b i = b.hi.(i) -. b.lo.(i)
+let widths b = Array.init (dim b) (width b)
+
+let volume b =
+  let v = ref 1.0 in
+  for i = 0 to dim b - 1 do
+    let w = width b i in
+    if w > 0.0 then v := !v *. w
+  done;
+  !v
+
+let longest_edge b =
+  let best = ref 0 and best_w = ref (width b 0) in
+  for i = 1 to dim b - 1 do
+    let w = width b i in
+    if w > !best_w then begin
+      best := i;
+      best_w := w
+    end
+  done;
+  !best
+
+let bisect b i =
+  let w = width b i in
+  if w <= 0.0 then invalid_arg "Box.bisect: zero-width dimension";
+  let mid = b.lo.(i) +. (0.5 *. w) in
+  let left = { b with hi = Array.copy b.hi } in
+  let right = { b with lo = Array.copy b.lo } in
+  left.hi.(i) <- mid;
+  right.lo.(i) <- mid;
+  (left, right)
+
+let center b = Array.init (dim b) (fun i -> b.lo.(i) +. (0.5 *. width b i))
+
+let contains b x =
+  Array.length x = dim b
+  && Array.for_all Fun.id
+       (Array.init (dim b) (fun i -> b.lo.(i) <= x.(i) && x.(i) <= b.hi.(i)))
+
+let is_point b = Array.for_all2 ( = ) b.lo b.hi
+
+let clamp b x =
+  Array.init (dim b) (fun i -> Float.max b.lo.(i) (Float.min b.hi.(i) x.(i)))
+
+let to_string b =
+  String.concat " x "
+    (Array.to_list
+       (Array.mapi
+          (fun i v -> Printf.sprintf "%s:[%g,%g]" v b.lo.(i) b.hi.(i))
+          b.names))

@@ -1,0 +1,61 @@
+(** Axis-aligned parameter boxes for region-based lifting.
+
+    A box is the region backend's unit of state space: a closed product of
+    per-parameter intervals over the spec's perturbation variables, with
+    each variable name interned once through {!Symtab} so that refinement
+    loops compare and hash parameters by integer id, never by string.
+
+    Boxes are immutable; {!bisect} allocates the two halves.  Degenerate
+    (zero-width) dimensions are legal — a pinned data-repair group is
+    exactly that — and are never selected by {!longest_edge}. *)
+
+type t
+
+val make : (string * float * float) list -> t
+(** [make \[(name, lo, hi); ...\]] with one triple per parameter, in spec
+    order.  Each name is interned in the global {!Symtab}.
+    @raise Invalid_argument on duplicate names, [lo > hi], or non-finite
+    bounds. *)
+
+val dim : t -> int
+val names : t -> string array
+
+val ids : t -> int array
+(** Interned {!Symtab} ids, positionally aligned with [names]. *)
+
+val lo : t -> int -> float
+val hi : t -> int -> float
+
+val lower : t -> float array
+(** The lower-corner array itself (positional, compile order).  Treat as
+    read-only: it is handed directly to {!Arena.eval_interval}. *)
+
+val upper : t -> float array
+
+val interval : t -> int -> Interval.t
+(** Dimension [i] as a scalar {!Interval.t}. *)
+
+val width : t -> int -> float
+val widths : t -> float array
+
+val volume : t -> float
+(** Product of widths over the {e non-degenerate} dimensions (1.0 when
+    every dimension is a point), so that pinned parameters do not collapse
+    the measure every coverage certificate is stated in. *)
+
+val longest_edge : t -> int
+(** Index of the widest dimension (first of ties). *)
+
+val bisect : t -> int -> t * t
+(** Split dimension [i] at its midpoint.
+    @raise Invalid_argument when the dimension has zero width. *)
+
+val center : t -> float array
+val contains : t -> float array -> bool
+val is_point : t -> bool
+
+val clamp : t -> float array -> float array
+(** Componentwise projection of a point onto the box — the quadratic-cost
+    argmin helper. *)
+
+val to_string : t -> string

@@ -1,0 +1,73 @@
+(* Array-backed binary min-heap keyed by float — the work queue of the
+   refinement loops.  Region_verify pushes negated volumes (largest box
+   first); Region_repair pushes cost lower bounds (most promising first,
+   which is also what makes the remaining-queue minimum a global bound). *)
+
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0.0; vals = Array.make 16 None; size = 0 }
+
+let size h = h.size
+
+let grow h =
+  if h.size = Array.length h.keys then begin
+    let n = 2 * h.size in
+    let keys = Array.make n 0.0 and vals = Array.make n None in
+    Array.blit h.keys 0 keys 0 h.size;
+    Array.blit h.vals 0 vals 0 h.size;
+    h.keys <- keys;
+    h.vals <- vals
+  end
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let push h key v =
+  grow h;
+  h.keys.(h.size) <- key;
+  h.vals.(h.size) <- Some v;
+  let i = ref h.size in
+  h.size <- h.size + 1;
+  while !i > 0 && h.keys.((!i - 1) / 2) > h.keys.(!i) do
+    swap h !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let key = h.keys.(0) and v = Option.get h.vals.(0) in
+    h.size <- h.size - 1;
+    h.keys.(0) <- h.keys.(h.size);
+    h.vals.(0) <- h.vals.(h.size);
+    h.vals.(h.size) <- None;
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < h.size && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+      if r < h.size && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+      if !smallest = !i then continue := false
+      else begin
+        swap h !i !smallest;
+        i := !smallest
+      end
+    done;
+    Some (key, v)
+  end
+
+let min_key h = if h.size = 0 then None else Some h.keys.(0)
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.keys.(i) (Option.get h.vals.(i))
+  done

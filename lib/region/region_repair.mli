@@ -1,0 +1,74 @@
+(** Certified repair: global minimisation of a perturbation cost over the
+    accept-region of a parameter box, to a user-set optimality gap.
+
+    Where the NLP backend returns a local optimum with no guarantee, this
+    loop runs best-first branch-and-bound on the cost's box lower bound:
+    an accepted box yields a feasible incumbent at its cost-minimising
+    point, a rejected box is discarded, and an unknown box is bisected —
+    until every remaining box provably contains no point better than the
+    incumbent by more than the gap.  The result carries a machine-checkable
+    certificate: the incumbent cost, a sound lower bound on the true
+    feasible optimum, the relative gap between them, and the volume
+    fraction decided (accepted + rejected + pruned within the gap). *)
+
+type cost = {
+  point : float array -> float;
+  box_lower : Box.t -> float;
+      (** sound lower bound of the cost over a box — the search key and
+          the certificate's foundation *)
+  box_argmin : Box.t -> float array;
+      (** the box's cost-minimising point (may be heuristic for custom
+          costs; must lie inside the box) *)
+}
+
+val quadratic : cost
+(** The paper's squared-L2 perturbation cost.  [box_lower] and
+    [box_argmin] are exact (per-dimension clamp of 0 into the box), so the
+    certificate gap is tight for this cost. *)
+
+type settings = {
+  gap : float;  (** relative optimality gap to certify (default 0.05) *)
+  max_regions : int;
+  min_width : float;
+}
+
+val default_settings : settings
+(** gap 0.05, 20_000 regions, 1e-6 minimum width. *)
+
+type certificate = {
+  best_cost : float;
+  cost_lower_bound : float;
+      (** sound lower bound on the cost of {e any} feasible point *)
+  optimality_gap : float;
+      (** [(best_cost - cost_lower_bound) / best_cost], 0 when
+          [best_cost = 0] *)
+  decided_fraction : float;
+      (** volume fraction carrying a proof: accepted, rejected, or pruned
+          because its cost lower bound already exceeds the incumbent's
+          gap-adjusted cost *)
+  feasible_fraction : float;  (** volume proven accept (informational) *)
+  regions_explored : int;
+}
+
+type repaired = {
+  point : float array;  (** the certified repair, in box variable order *)
+  cost : float;
+  certificate : certificate;
+}
+
+val minimize :
+  ?settings:settings ->
+  ?cost:cost ->
+  constraints:Region_verify.constr list ->
+  Box.t ->
+  repaired
+(** [minimize ~constraints box] — the returned point satisfies every
+    constraint with its interior margin, and no feasible point in [box]
+    beats it by more than the certified gap.
+    @raise Tml_error.Error with [Empty_feasible_box] when the accept set
+    is proven empty (the whole box rejects) or no feasible point was found
+    within the region budget — the typed permanent error for "Model Repair
+    gives infeasible solution". *)
+
+val pp_certificate : Format.formatter -> certificate -> unit
+(** One line: cost, lower bound, gap %, decided-volume %, regions. *)

@@ -1,0 +1,169 @@
+type verdict = Accept | Reject | Unknown
+
+let verdict_to_string = function
+  | Accept -> "accept"
+  | Reject -> "reject"
+  | Unknown -> "unknown"
+
+type constr = {
+  cname : string;
+  bounder : Bounder.t;
+  cmp : Pctl.cmp;
+  cbound : float;
+  margin : float;
+}
+
+let constr ?(margin = 1e-6) ~name ~vars cmp cbound f =
+  { cname = name; bounder = Bounder.compile ~vars f; cmp; cbound; margin }
+
+let of_query ?margin ~vars (q : Pquery.query) =
+  constr ?margin ~name:"property" ~vars q.Pquery.cmp q.Pquery.bound
+    q.Pquery.value
+
+(* NaN-safe by construction: Interval endpoints are never NaN (widened to
+   ±inf), and an infinite endpoint fails both certainty tests below, so a
+   numerically degenerate bound can only produce Unknown. *)
+let holds_everywhere c (iv : Interval.t) =
+  match c.cmp with
+  | Pctl.Le -> iv.Interval.hi <= c.cbound -. c.margin
+  | Pctl.Lt -> iv.Interval.hi < c.cbound -. c.margin
+  | Pctl.Ge -> iv.Interval.lo >= c.cbound +. c.margin
+  | Pctl.Gt -> iv.Interval.lo > c.cbound +. c.margin
+
+let fails_everywhere c (iv : Interval.t) =
+  match c.cmp with
+  | Pctl.Le -> iv.Interval.lo > c.cbound +. c.margin
+  | Pctl.Lt -> iv.Interval.lo >= c.cbound +. c.margin
+  | Pctl.Ge -> iv.Interval.hi < c.cbound -. c.margin
+  | Pctl.Gt -> iv.Interval.hi <= c.cbound -. c.margin
+
+let classify constrs box =
+  let rec go all_hold = function
+    | [] -> if all_hold then Accept else Unknown
+    | c :: rest ->
+      let iv = Bounder.bounds c.bounder box in
+      if fails_everywhere c iv then Reject
+      else go (all_hold && holds_everywhere c iv) rest
+  in
+  go true constrs
+
+let point_feasible constrs x =
+  List.for_all
+    (fun c ->
+       let v = Bounder.eval c.bounder x in
+       Float.is_finite v
+       &&
+       match c.cmp with
+       | Pctl.Le -> v <= c.cbound -. c.margin
+       | Pctl.Lt -> v < c.cbound -. c.margin
+       | Pctl.Ge -> v >= c.cbound +. c.margin
+       | Pctl.Gt -> v > c.cbound +. c.margin)
+    constrs
+
+type settings = {
+  max_regions : int;
+  target_coverage : float;
+  min_width : float;
+}
+
+let default_settings =
+  { max_regions = 4096; target_coverage = 0.99; min_width = 1e-5 }
+
+type region = { box : Box.t; verdict : verdict }
+
+type certificate = {
+  total_volume : float;
+  accept_fraction : float;
+  reject_fraction : float;
+  decided_fraction : float;
+  regions_explored : int;
+  bisections : int;
+}
+
+type analysis = { regions : region list; certificate : certificate }
+
+(* Fractions are measured over the root's non-degenerate dimensions, so a
+   pinned (zero-width) parameter does not collapse every volume to 0. *)
+let measure_fn root =
+  let rw = Box.widths root in
+  fun box ->
+    let m = ref 1.0 in
+    Array.iteri
+      (fun i w -> if w > 0.0 then m := !m *. Box.width box i /. w)
+      rw;
+    !m
+
+let boxes_counter v =
+  Metrics.counter
+    ~help:"Boxes classified by the region refinement loop"
+    ~label:("verdict", verdict_to_string v)
+    "tml_region_boxes_total"
+
+let bisections_counter =
+  lazy
+    (Metrics.counter ~help:"Longest-edge bisections performed"
+       "tml_region_bisections_total")
+
+let analyze ?(settings = default_settings) constrs root =
+  Trace_span.with_span "region.analyze"
+    ~attrs:[ ("box", Box.to_string root) ]
+  @@ fun () ->
+  let measure = measure_fn root in
+  let queue = Region_heap.create () in
+  Region_heap.push queue (-1.0) (root, 1.0);
+  let regions = ref [] in
+  let accept = ref 0.0 and reject = ref 0.0 in
+  let explored = ref 0 and bisections = ref 0 in
+  let decided () = !accept +. !reject in
+  let budget_left () = !explored < settings.max_regions in
+  let finished = ref false in
+  while (not !finished) && Region_heap.size queue > 0 do
+    if decided () >= settings.target_coverage then finished := true
+    else
+      match Region_heap.pop queue with
+      | None -> finished := true
+      | Some (_, (box, m)) ->
+        incr explored;
+        let verdict = classify constrs box in
+        Metrics.incr (boxes_counter verdict);
+        (match verdict with
+         | Accept ->
+           accept := !accept +. m;
+           regions := { box; verdict } :: !regions
+         | Reject ->
+           reject := !reject +. m;
+           regions := { box; verdict } :: !regions
+         | Unknown ->
+           let i = Box.longest_edge box in
+           if Box.width box i <= settings.min_width || not (budget_left ())
+           then regions := { box; verdict } :: !regions
+           else begin
+             incr bisections;
+             Metrics.incr (Lazy.force bisections_counter);
+             let a, b = Box.bisect box i in
+             let ma = measure a and mb = measure b in
+             Region_heap.push queue (-.ma) (a, ma);
+             Region_heap.push queue (-.mb) (b, mb)
+           end)
+  done;
+  (* anything still queued stays Unknown in the partition *)
+  Region_heap.iter
+    (fun _ (box, _) -> regions := { box; verdict = Unknown } :: !regions)
+    queue;
+  let certificate =
+    {
+      total_volume = Box.volume root;
+      accept_fraction = !accept;
+      reject_fraction = !reject;
+      decided_fraction = decided ();
+      regions_explored = !explored;
+      bisections = !bisections;
+    }
+  in
+  Trace_span.add_attr "regions" (string_of_int !explored);
+  Trace_span.add_attr "decided"
+    (Printf.sprintf "%.4f" certificate.decided_fraction);
+  { regions = List.rev !regions; certificate }
+
+let find_region analysis x =
+  List.find_opt (fun r -> Box.contains r.box x) analysis.regions

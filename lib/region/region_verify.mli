@@ -1,0 +1,97 @@
+(** Region-based verification: branch-and-bound classification of a
+    parameter box into [Accept] / [Reject] / [Unknown] regions, with a
+    coverage certificate.
+
+    The backend of Češka et al.'s parameter lifting, built on {!Bounder}:
+    a region is {e accepted} when the sound upper/lower bounds prove every
+    constraint at every point of the region, {e rejected} when some single
+    constraint is proved violated everywhere, and left {e unknown}
+    otherwise — in which case it is bisected along its longest edge and
+    re-queued, largest volume first, until the target coverage is reached
+    or the region budget runs out.
+
+    Soundness is one-directional by construction: [Accept] and [Reject]
+    are proofs (an interval enclosure can only be too wide, never too
+    narrow, and NaN widens to the whole line, so a bound that went wrong
+    numerically always lands in [Unknown]); [Unknown] is merely "not
+    decided at this resolution". *)
+
+type verdict = Accept | Reject | Unknown
+
+val verdict_to_string : verdict -> string
+
+(** {1 Constraints} *)
+
+type constr = {
+  cname : string;
+  bounder : Bounder.t;
+  cmp : Pctl.cmp;
+  cbound : float;
+  margin : float;
+      (** interior slack: Accept needs the comparison to hold by at least
+          [margin] everywhere, Reject needs it violated by more than
+          [margin] everywhere — same role as the NLP's interior margin,
+          and it keeps both verdicts robust to the float round-off gap
+          between the arena value and the exact checker. *)
+}
+
+val constr :
+  ?margin:float ->
+  name:string ->
+  vars:string list ->
+  Pctl.cmp ->
+  float ->
+  Ratfun.t ->
+  constr
+(** Compile [f cmp bound] as a region constraint over the positional
+    parameter order [vars] (default [margin] 1e-6). *)
+
+val of_query : ?margin:float -> vars:string list -> Pquery.query -> constr
+(** The property constraint of a parametric query, via its symbolic
+    value. *)
+
+val classify : constr list -> Box.t -> verdict
+(** One box, no refinement: [Accept] iff every constraint provably holds
+    everywhere on the box, [Reject] iff some constraint provably fails
+    everywhere, else [Unknown]. *)
+
+val point_feasible : constr list -> float array -> bool
+(** Margin-interior feasibility of a single point under the compiled
+    constraints — the incumbent test of the repair loop.  Non-finite
+    constraint values are infeasible. *)
+
+(** {1 Refinement} *)
+
+type settings = {
+  max_regions : int;  (** budget: boxes classified before giving up *)
+  target_coverage : float;  (** stop once this decided-volume fraction is reached *)
+  min_width : float;  (** boxes are not bisected below this edge length *)
+}
+
+val default_settings : settings
+(** 4096 regions, 0.99 coverage, 1e-5 minimum width. *)
+
+type region = { box : Box.t; verdict : verdict }
+
+type certificate = {
+  total_volume : float;  (** geometric volume of the root box *)
+  accept_fraction : float;
+  reject_fraction : float;
+  decided_fraction : float;  (** accept + reject, the coverage certificate *)
+  regions_explored : int;
+  bisections : int;
+}
+
+type analysis = { regions : region list; certificate : certificate }
+
+val analyze : ?settings:settings -> constr list -> Box.t -> analysis
+(** Branch-and-bound over the root box.  The returned regions partition
+    the root exactly (every point is in some region; fractions are
+    measured over the root's non-degenerate dimensions).  Progress is
+    observable: spans ([region.analyze]) and counters
+    ([tml_region_boxes_total], [tml_region_bisections_total]) are emitted
+    through {!Trace_span} / {!Metrics}. *)
+
+val find_region : analysis -> float array -> region option
+(** The first returned region containing the point (boundary points may
+    lie in two; the choice is deterministic). *)

@@ -5,6 +5,7 @@ type t =
       phi : Pctl.state_formula;
       spec : Model_repair.spec;
       starts : int;
+      backend : Repair_backend.t;
     }
   | Data_repair of {
       n : int;
@@ -14,6 +15,7 @@ type t =
       phi : Pctl.state_formula;
       spec : Data_repair.spec;
       starts : int;
+      backend : Repair_backend.t;
     }
   | Reward_repair of {
       mdp : Mdp.t;
@@ -50,13 +52,14 @@ let kind = function
 let run = function
   | Check { model; phi } ->
     Checked (Instr.time Instr.Check (fun () -> Check_dtmc.check_verbose model phi))
-  | Model_repair { model; phi; spec; starts } ->
+  | Model_repair { model; phi; spec; starts; backend } ->
     (* batch jobs get the graceful-degradation ladder: augmented
        Lagrangian → penalty → wider multistart before Infeasible *)
-    Model_repair_result (Model_repair.repair ~starts ~fallback:true model phi spec)
-  | Data_repair { n; init; labels; rewards; phi; spec; starts } ->
+    Model_repair_result
+      (Model_repair.repair ~backend ~starts ~fallback:true model phi spec)
+  | Data_repair { n; init; labels; rewards; phi; spec; starts; backend } ->
     Data_repair_result
-      (Data_repair.repair ~n ~init ~labels ?rewards ~starts phi spec)
+      (Data_repair.repair ~n ~init ~labels ?rewards ~backend ~starts phi spec)
   | Reward_repair { mdp; theta; constraints; gamma; starts } ->
     Reward_repair_result
       (Reward_repair.repair_q ~gamma ~starts mdp ~theta ~constraints)
@@ -173,13 +176,16 @@ let digest job =
      Buffer.add_string buf "check|";
      add_dtmc buf model;
      Buffer.add_string buf (Pctl.to_string phi)
-   | Model_repair { model; phi; spec; starts } ->
-     Buffer.add_string buf (Printf.sprintf "mrepair:%d|" starts);
+   | Model_repair { model; phi; spec; starts; backend } ->
+     Buffer.add_string buf
+       (Printf.sprintf "mrepair:%d:%s|" starts (Repair_backend.to_string backend));
      add_dtmc buf model;
      add_model_spec buf spec;
      Buffer.add_string buf (Pctl.to_string phi)
-   | Data_repair { n; init; labels; rewards; phi; spec; starts } ->
-     Buffer.add_string buf (Printf.sprintf "drepair:%d:%d:%d|" starts n init);
+   | Data_repair { n; init; labels; rewards; phi; spec; starts; backend } ->
+     Buffer.add_string buf
+       (Printf.sprintf "drepair:%d:%d:%d:%s|" starts n init
+          (Repair_backend.to_string backend));
      add_labels buf labels;
      add_rewards_opt buf rewards;
      add_data_spec buf spec;
@@ -231,6 +237,9 @@ let pp_outcome fmt = function
       r.Model_repair.cost r.Model_repair.achieved_value
       (if r.Model_repair.verified then "verified" else "NOT verified")
       r.Model_repair.solver_rung;
+    (match r.Model_repair.certificate with
+     | Some c -> Format.fprintf fmt "  certificate: %a@\n" Region_repair.pp_certificate c
+     | None -> ());
     List.iter
       (fun (name, v) -> Format.fprintf fmt "  %s = %.6g@\n" name v)
       r.Model_repair.assignment
@@ -244,6 +253,9 @@ let pp_outcome fmt = function
       "REPAIRED (cost %.6g, value %.6g, ~%.1f traces dropped, %s)@\n"
       r.Data_repair.cost r.Data_repair.achieved_value r.Data_repair.dropped_traces
       (if r.Data_repair.verified then "verified" else "NOT verified");
+    (match r.Data_repair.certificate with
+     | Some c -> Format.fprintf fmt "  certificate: %a@\n" Region_repair.pp_certificate c
+     | None -> ());
     List.iter
       (fun (name, v) -> Format.fprintf fmt "  drop(%s) = %.6g@\n" name v)
       r.Data_repair.drop_fractions

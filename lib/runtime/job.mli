@@ -17,6 +17,7 @@ type t =
       phi : Pctl.state_formula;
       spec : Model_repair.spec;
       starts : int;
+      backend : Repair_backend.t;
     }
   | Data_repair of {
       n : int;
@@ -26,6 +27,7 @@ type t =
       phi : Pctl.state_formula;
       spec : Data_repair.spec;
       starts : int;
+      backend : Repair_backend.t;
     }
   | Reward_repair of {
       mdp : Mdp.t;
@@ -63,8 +65,9 @@ val kind : t -> string
 
 val digest : t -> string
 (** Hex MD5 of a canonical serialisation of the job's inputs (models,
-    property, spec, traces, solver arity).  Equal digests mean equal
-    inputs, so a cached outcome can be replayed. *)
+    property, spec, traces, solver arity, repair backend).  Equal digests
+    mean equal inputs, so a cached outcome can be replayed — two runs of
+    the same repair on different backends are distinct jobs. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 (** Deterministic, human-readable report — the batch CLI prints exactly

@@ -369,6 +369,7 @@ type job_request =
       variables : string list;
       deltas : string list;
       starts : int;
+      backend : string;
     }
   | Data_repair_req of {
       states : int;
@@ -380,6 +381,7 @@ type job_request =
       max_drop : float;
       pinned : string list;
       starts : int;
+      backend : string;
     }
   | Reward_repair_req of {
       mdp : string;
@@ -431,7 +433,7 @@ let rewards_of_json j =
 let job_request_to_json = function
   | Check_req { model; phi } ->
     Obj [ ("kind", Str "check"); ("model", Str model); ("phi", Str phi) ]
-  | Model_repair_req { model; phi; variables; deltas; starts } ->
+  | Model_repair_req { model; phi; variables; deltas; starts; backend } ->
     Obj
       [
         ("kind", Str "model-repair");
@@ -440,10 +442,21 @@ let job_request_to_json = function
         ("variables", Arr (List.map (fun v -> Str v) variables));
         ("deltas", Arr (List.map (fun d -> Str d) deltas));
         ("starts", Num (float_of_int starts));
+        ("backend", Str backend);
       ]
   | Data_repair_req
-      { states; init; labels; rewards; phi; traces; max_drop; pinned; starts }
-    ->
+      {
+        states;
+        init;
+        labels;
+        rewards;
+        phi;
+        traces;
+        max_drop;
+        pinned;
+        starts;
+        backend;
+      } ->
     Obj
       [
         ("kind", Str "data-repair");
@@ -456,6 +469,7 @@ let job_request_to_json = function
         ("max_drop", Num max_drop);
         ("pinned", Arr (List.map (fun p -> Str p) pinned));
         ("starts", Num (float_of_int starts));
+        ("backend", Str backend);
       ]
   | Reward_repair_req { mdp; theta; constraints; gamma; starts } ->
     Obj
@@ -513,6 +527,11 @@ let job_request_of_json j =
   let str key = to_str key (get key j) in
   let int key = to_int key (get key j) in
   let num key = to_num key (get key j) in
+  (* optional on the wire so protocol-1 clients that predate the region
+     backend keep working; absent means the NLP path *)
+  let backend () =
+    match opt "backend" j with Some b -> to_str "backend" b | None -> "nlp"
+  in
   match str "kind" with
   | "check" -> Check_req { model = str "model"; phi = str "phi" }
   | "model-repair" ->
@@ -523,6 +542,7 @@ let job_request_of_json j =
         variables = str_list "variables" (get "variables" j);
         deltas = str_list "deltas" (get "deltas" j);
         starts = int "starts";
+        backend = backend ();
       }
   | "data-repair" ->
     Data_repair_req
@@ -536,6 +556,7 @@ let job_request_of_json j =
         max_drop = num "max_drop";
         pinned = str_list "pinned" (get "pinned" j);
         starts = int "starts";
+        backend = backend ();
       }
   | "reward-repair" ->
     Reward_repair_req
@@ -580,10 +601,15 @@ let job_request_of_json j =
 (* Decode the textual payload into a real [Job.t] with the lib/io parsers.
    Any parse failure escapes as that parser's own exception; the router
    maps it to a non-transient [bad-request] wire error. *)
+let parse_backend b =
+  match Repair_backend.of_string b with
+  | Ok backend -> backend
+  | Error msg -> proto "field \"backend\": %s" msg
+
 let job_of_request = function
   | Check_req { model; phi } ->
     Job.Check { model = Dtmc_io.parse model; phi = Pctl_parser.parse phi }
-  | Model_repair_req { model; phi; variables; deltas; starts } ->
+  | Model_repair_req { model; phi; variables; deltas; starts; backend } ->
     Job.Model_repair
       {
         model = Dtmc_io.parse model;
@@ -594,10 +620,21 @@ let job_of_request = function
             deltas = List.map Spec_io.parse_delta deltas;
           };
         starts;
+        backend = parse_backend backend;
       }
   | Data_repair_req
-      { states; init; labels; rewards; phi; traces; max_drop; pinned; starts }
-    ->
+      {
+        states;
+        init;
+        labels;
+        rewards;
+        phi;
+        traces;
+        max_drop;
+        pinned;
+        starts;
+        backend;
+      } ->
     Job.Data_repair
       {
         n = states;
@@ -610,6 +647,7 @@ let job_of_request = function
         phi = Pctl_parser.parse phi;
         spec = Data_repair.spec ~max_drop ~pinned (Trace_io.parse traces);
         starts;
+        backend = parse_backend backend;
       }
   | Reward_repair_req { mdp; theta; constraints; gamma; starts } ->
     Job.Reward_repair

@@ -82,6 +82,9 @@ type job_request =
       variables : string list;  (** {!Spec_io.parse_variable} syntax *)
       deltas : string list;  (** {!Spec_io.parse_delta} syntax *)
       starts : int;
+      backend : string;
+          (** {!Repair_backend} slug; optional on the wire (absent means
+              ["nlp"], keeping protocol-1 clients valid) *)
     }
   | Data_repair_req of {
       states : int;
@@ -93,6 +96,7 @@ type job_request =
       max_drop : float;
       pinned : string list;
       starts : int;
+      backend : string;  (** same contract as in [Model_repair_req] *)
     }
   | Reward_repair_req of {
       mdp : string;  (** {!Mdp_io} text *)
@@ -120,7 +124,8 @@ val kind_of_job_request : job_request -> string
 val job_of_request : job_request -> Job.t
 (** Decode with the lib/io parsers.  Raises the underlying parser's
     exception on malformed payloads (the router maps it to a
-    ["bad-request"] wire error). *)
+    ["bad-request"] wire error); an unknown [backend] slug is a
+    {!Protocol_error}. *)
 
 (** {1 Envelopes} *)
 

@@ -16,7 +16,13 @@ let wsn_jobs n =
   let spec = Wsn.repair_spec params in
   List.init n (fun j ->
       Job.Model_repair
-        { model = chain; phi = Wsn.property (40 + (5 * j)); spec; starts = 2 })
+        {
+          model = chain;
+          phi = Wsn.property (40 + (5 * j));
+          spec;
+          starts = 2;
+          backend = Repair_backend.Nlp_solver;
+        })
 
 let contains haystack needle =
   let nh = String.length haystack and nn = String.length needle in
@@ -294,6 +300,7 @@ let test_batch_after_shutdown_cancelled () =
             phi = Wsn.property bound;
             spec = Wsn.repair_spec params;
             starts = 2;
+            backend = Repair_backend.Nlp_solver;
           })
       [ 70; 75 ]
   in

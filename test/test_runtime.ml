@@ -30,6 +30,7 @@ let repair_jobs bounds =
            phi = parse (Printf.sprintf "P>=%g [ F goal ]" b);
            spec;
            starts = 2;
+           backend = Repair_backend.Nlp_solver;
          })
     bounds
 

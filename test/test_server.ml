@@ -170,6 +170,7 @@ let test_envelope_roundtrip () =
              variables = [ "v:0:0.4" ];
              deltas = [ "0,1,+v"; "0,2,-v" ];
              starts = 2;
+             backend = "region";
            });
       Wire.Submit
         (Wire.Data_repair_req
@@ -183,6 +184,7 @@ let test_envelope_roundtrip () =
              max_drop = 0.9;
              pinned = [ "a" ];
              starts = 2;
+             backend = "nlp";
            });
       Wire.Submit
         (Wire.Reward_repair_req

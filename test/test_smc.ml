@@ -68,7 +68,15 @@ let test_sprt () =
       (Pctl_parser.parse "P>=0.3 [ F goal ]")
   in
   Alcotest.(check bool) "tight bound, capped samples" true
-    (n <= 200 && (verdict = Smc.Undecided || verdict = Smc.Accept || verdict = Smc.Reject));
+    (n <= 200
+     &&
+     match verdict with
+     | Smc.Undecided consumed -> consumed = n
+     | Smc.Accept | Smc.Reject -> true);
+  Alcotest.(check bool) "verdict_to_string covers all shapes" true
+    (Smc.verdict_to_string Smc.Accept = "accept"
+    && Smc.verdict_to_string Smc.Reject = "reject"
+    && Smc.verdict_to_string (Smc.Undecided 42) = "undecided after 42 samples");
   (match Smc.sprt rng d (Pctl_parser.parse "true") with
    | exception Smc.Unsupported _ -> ()
    | _ -> Alcotest.fail "non-P formula should be unsupported");
