@@ -1,4 +1,4 @@
-.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos bench perf-check bench-baseline doc clean
+.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench perf-check bench-baseline doc clean
 
 all:
 	dune build @all
@@ -28,6 +28,18 @@ server-smoke:
 # may fail with typed errors, but the server must survive and drain.
 server-smoke-chaos:
 	scripts/server_smoke.sh --chaos
+
+# Fleet smoke: 4 backend nodes behind a consistent-hashing coordinator,
+# a 24-job batch byte-compared against a single-node reference server,
+# then a ring drain and a clean coordinator SIGTERM drain.
+fleet-smoke:
+	scripts/fleet_smoke.sh
+
+# Same, with one backend SIGKILLed mid-batch: every job must still
+# complete with the identical report (re-route + replica + resubmit),
+# and the ejection must be visible in `tml fleet status`.
+fleet-smoke-chaos:
+	scripts/fleet_smoke.sh --chaos
 
 bench:
 	dune exec -- bench/main.exe

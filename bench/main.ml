@@ -647,7 +647,7 @@ let server_throughput ?(clients = 8) ?(per_client = 25) () =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "tml-bench-%d.sock" (Unix.getpid ()))
   in
-  let server = Server.start ~router (`Unix path) in
+  let server = Server.start ~handler:(Server.handler_of_router router) (`Unix path) in
   Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
   let latencies = Array.make total 0.0 in
   let failures = Atomic.make 0 in
@@ -691,6 +691,150 @@ let server_throughput ?(clients = 8) ?(per_client = 25) () =
   Format.printf "  %-20s %d@\n" "dropped responses" report.sfailures;
   Format.print_flush ();
   report
+
+(* ------------------------------------------------------------------ *)
+(* Fleet throughput: coordinator over N in-process backends             *)
+(* ------------------------------------------------------------------ *)
+
+type fleet_run = {
+  f_nodes : int;
+  f_requests : int;
+  f_failures : int;
+  f_seconds : float;
+  f_rps : float;
+  f_p99_ms : float;
+}
+
+type fleet_report = {
+  f_single : fleet_run;
+  f_four : fleet_run;
+  f_chaos : fleet_run;
+  f_chaos_reroutes : int;  (** re-routes during the chaos run *)
+}
+
+(* One coordinator-mediated batch over [nodes] freshly started backend
+   servers.  With [chaos] set, one backend is stopped (socket removed,
+   runtime gone) a quarter of the way through the batch — the
+   coordinator must re-route and resubmit so every request still
+   completes. *)
+let fleet_batch ?(clients = 8) ?(per_client = 15) ~nodes ~chaos () =
+  let model = Dtmc_io.to_string (Lazy.force wsn_chain) in
+  let total = clients * per_client in
+  let reqs =
+    Array.init total (fun i ->
+        Wire.Check_req
+          { model; phi = Printf.sprintf "R<=%d [ F delivered ]" (80 + (i mod 24)) })
+  in
+  let sock i =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tml-fleet-bench-%d-%d.sock" (Unix.getpid ()) i)
+  in
+  let backends =
+    List.init nodes (fun i ->
+        let rt = Runtime.create ~workers:2 () in
+        let router = Router.create rt in
+        let server =
+          Server.start ~handler:(Server.handler_of_router router)
+            (`Unix (sock i))
+        in
+        (rt, server))
+  in
+  let addrs = List.init nodes (fun i -> `Unix (sock i)) in
+  let coord = Coordinator.create ~rpc_timeout_s:30.0 addrs in
+  let coord_sock = sock 999 in
+  let front =
+    Server.start ~handler:(Coordinator.handler coord) (`Unix coord_sock)
+  in
+  let stopped = ref [] in
+  let stop_backend (rt, server) =
+    if not (List.memq server !stopped) then begin
+      stopped := server :: !stopped;
+      Server.stop server;
+      Runtime.shutdown rt
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop front;
+      Coordinator.shutdown coord;
+      List.iter stop_backend backends)
+  @@ fun () ->
+  let reroutes_before =
+    Metrics.counter_value (Metrics.counter "tml_fleet_reroutes_total")
+  in
+  let latencies = Array.make total 0.0 in
+  let failures = Atomic.make 0 in
+  let completed = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let worker c =
+    Client.with_client (`Unix coord_sock) @@ fun cl ->
+    for k = 0 to per_client - 1 do
+      let idx = (c * per_client) + k in
+      let s = Unix.gettimeofday () in
+      (match Client.run cl reqs.(idx) with
+       | _, Wire.Job_done _ -> ()
+       | _ -> Atomic.incr failures
+       | exception _ -> Atomic.incr failures);
+      latencies.(idx) <- Unix.gettimeofday () -. s;
+      Atomic.incr completed
+    done
+  in
+  let killer =
+    if not chaos then None
+    else
+      Some
+        (Thread.create
+           (fun () ->
+              while Atomic.get completed < total / 4 do
+                Thread.delay 0.005
+              done;
+              stop_backend (List.hd backends))
+           ())
+  in
+  let threads = List.init clients (fun c -> Thread.create worker c) in
+  List.iter Thread.join threads;
+  Option.iter Thread.join killer;
+  let f_seconds = Unix.gettimeofday () -. t0 in
+  Array.sort compare latencies;
+  let p99 =
+    latencies.(min (total - 1) (int_of_float (0.99 *. float_of_int (total - 1))))
+    *. 1e3
+  in
+  let reroutes =
+    Metrics.counter_value (Metrics.counter "tml_fleet_reroutes_total")
+    - reroutes_before
+  in
+  ( {
+      f_nodes = nodes;
+      f_requests = total;
+      f_failures = Atomic.get failures;
+      f_seconds;
+      f_rps = float_of_int total /. f_seconds;
+      f_p99_ms = p99;
+    },
+    reroutes )
+
+let fleet_throughput () =
+  Format.printf "@\n-- fleet throughput (coordinator over in-process nodes) --@\n";
+  Format.print_flush ();
+  let print_run label r =
+    Format.printf "  %-22s %d reqs in %.3f s  (%.1f req/s, p99 %.2f ms, %d dropped)@\n"
+      label r.f_requests r.f_seconds r.f_rps r.f_p99_ms r.f_failures;
+    Format.print_flush ()
+  in
+  let f_single, _ = fleet_batch ~nodes:1 ~chaos:false () in
+  print_run "1 node" f_single;
+  let f_four, _ = fleet_batch ~nodes:4 ~chaos:false () in
+  print_run "4 nodes" f_four;
+  let f_chaos, f_chaos_reroutes = fleet_batch ~nodes:4 ~chaos:true () in
+  print_run "4 nodes + node kill" f_chaos;
+  Format.printf "  %-22s %d re-route(s), %d/%d completed@\n" "chaos"
+    f_chaos_reroutes
+    (f_chaos.f_requests - f_chaos.f_failures)
+    f_chaos.f_requests;
+  Format.print_flush ();
+  { f_single; f_four; f_chaos; f_chaos_reroutes }
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results                                             *)
@@ -740,7 +884,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime breakdown server region =
+let write_results path rows runtime breakdown server fleet region =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -805,6 +949,20 @@ let write_results path rows runtime breakdown server region =
   add "    \"p50_ms\": %.3f,\n" server.p50_ms;
   add "    \"p95_ms\": %.3f,\n" server.p95_ms;
   add "    \"p99_ms\": %.3f\n" server.p99_ms;
+  add "  },\n";
+  add "  \"fleet_throughput\": {\n";
+  let fleet_run_json label r last =
+    add
+      "    \"%s\": {\"nodes\": %d, \"requests\": %d, \"dropped\": %d, \
+       \"seconds\": %.6f, \"requests_per_second\": %.2f, \"p99_ms\": %.3f}%s\n"
+      label r.f_nodes r.f_requests r.f_failures r.f_seconds r.f_rps r.f_p99_ms
+      (if last then "" else ",")
+  in
+  fleet_run_json "single_node" fleet.f_single false;
+  fleet_run_json "four_nodes" fleet.f_four false;
+  fleet_run_json "four_nodes_chaos" fleet.f_chaos false;
+  add "    \"chaos_reroutes\": %d,\n" fleet.f_chaos_reroutes;
+  add "    \"speedup_4v1\": %.3f\n" (fleet.f_four.f_rps /. fleet.f_single.f_rps);
   add "  }\n}\n";
   (try Unix.mkdir (Filename.dirname path) 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
@@ -904,7 +1062,9 @@ let run_benchmarks () =
   let region = region_lifting_report () in
   let breakdown = stage_breakdown () in
   let server = server_throughput () in
-  write_results "bench/results/latest.json" rows runtime breakdown server region
+  let fleet = fleet_throughput () in
+  write_results "bench/results/latest.json" rows runtime breakdown server fleet
+    region
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: tracked benches vs a committed baseline                   *)
@@ -1069,6 +1229,7 @@ let () =
     ignore (runtime_scaling ());
     ignore (stage_breakdown ());
     ignore (server_throughput ());
+    ignore (fleet_throughput ());
     exit 0
   end;
   if not bench_only then begin

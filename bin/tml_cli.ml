@@ -8,7 +8,9 @@
      experiments   reproduce the paper's §V evaluation (E1–E6, F1)
      trace         render a --trace-out span dump as a tree / summary
      serve         run the repair service on a Unix/TCP socket
+                   (--coordinator shards jobs over a backend fleet)
      client        submit jobs to a running server
+     fleet         inspect/drain a coordinator's backend ring
 
    Model files use the textual format of Dtmc_io (see --help of check). *)
 
@@ -922,14 +924,70 @@ let drain_timeout_arg =
   let doc = "Per-job wait bound during the SIGTERM drain, in seconds." in
   Arg.(value & opt float 30.0 & info [ "drain-timeout" ] ~docv:"S" ~doc)
 
+let coordinator_arg =
+  let doc =
+    "Run as a fleet coordinator: own no runtime, shard jobs by digest \
+     over the --node backends on a consistent-hash ring, re-route \
+     around dead nodes and replicate finished reports."
+  in
+  Arg.(value & flag & info [ "coordinator" ] ~doc)
+
+let node_arg =
+  let doc =
+    "Backend node address, $(b,unix:PATH) or $(b,HOST:PORT) \
+     (repeatable; coordinator mode only)."
+  in
+  Arg.(value & opt_all string [] & info [ "node" ] ~docv:"ADDR" ~doc)
+
+let vnodes_arg =
+  let doc = "Virtual nodes per backend on the hash ring." in
+  Arg.(value & opt int 64 & info [ "vnodes" ] ~docv:"N" ~doc)
+
+let probe_interval_arg =
+  let doc = "Seconds between backend health probes." in
+  Arg.(value & opt float 2.0 & info [ "probe-interval" ] ~docv:"S" ~doc)
+
+let eject_threshold_arg =
+  let doc = "Consecutive failures before a backend is ejected." in
+  Arg.(value & opt int 3 & info [ "eject-threshold" ] ~docv:"N" ~doc)
+
+let rpc_timeout_arg =
+  let doc = "Socket deadline for each backend RPC, in seconds." in
+  Arg.(value & opt float 10.0 & info [ "rpc-timeout" ] ~docv:"S" ~doc)
+
+let parse_nodes nodes =
+  List.fold_left
+    (fun acc s ->
+       match acc with
+       | Error _ as e -> e
+       | Ok addrs -> (
+           match Client.addr_of_string s with
+           | addr -> Ok (addr :: addrs)
+           | exception Wire.Protocol_error msg -> Error msg))
+    (Ok []) nodes
+  |> Result.map List.rev
+
+let announce server addr =
+  match addr with
+  | `Unix path -> Printf.printf "listening on unix:%s\n%!" path
+  | `Tcp (host, _) ->
+    Printf.printf "listening on tcp:%s:%d\n%!" host
+      (Option.value ~default:0 (Server.port server))
+
 let run_serve socket tcp workers max_pending max_per_client job_timeout
     read_timeout write_timeout drain_timeout retries retry_backoff_ms
-    fault_specs trace_out metrics_out seed =
+    fault_specs coordinator nodes vnodes probe_interval eject_threshold
+    rpc_timeout trace_out metrics_out seed =
   exit_of_result
     (match parse_addr socket tcp with
      | Error _ as e -> e
      | Ok addr -> (
-         if workers < 1 then Error "need at least one worker"
+         if (not coordinator) && workers < 1 then
+           Error "need at least one worker"
+         else if coordinator && nodes = [] then
+           Error "--coordinator requires at least one --node ADDR"
+         else if (not coordinator) && nodes <> [] then
+           Error "--node only makes sense with --coordinator"
          else
            match faults_of_specs fault_specs with
            | Error _ as e -> e
@@ -940,41 +998,65 @@ let run_serve socket tcp workers max_pending max_per_client job_timeout
              Fun.protect ~finally:(fun () -> Fault.install None) @@ fun () ->
              with_observability ~trace_out ~metrics_out @@ fun () ->
              try
-               Runtime.with_runtime ~workers @@ fun rt ->
-               let retry =
-                 if retries <= 0 then None
-                 else
-                   Some
-                     (Retry.make ~max_retries:retries
-                        ~base_backoff_ms:retry_backoff_ms ~seed ())
-               in
-               let admission =
-                 Admission.create ~max_pending ~max_per_client ()
-               in
-               let router =
-                 Router.create ~admission ?job_timeout_s:job_timeout ?retry rt
-               in
-               let server =
-                 Server.start ~read_timeout_s:read_timeout
-                   ~write_timeout_s:write_timeout
-                   ~drain_timeout_s:drain_timeout ~router addr
-               in
-               Server.install_signal_handlers server;
-               (match addr with
-                | `Unix path -> Printf.printf "listening on unix:%s\n%!" path
-                | `Tcp (host, _) ->
-                  Printf.printf "listening on tcp:%s:%d\n%!" host
-                    (Option.value ~default:0 (Server.port server)));
-               Server.wait server;
-               Printf.printf "drained (%d job(s) left pending)\n%!"
-                 (Router.pending_jobs router);
-               Ok true
+               if coordinator then (
+                 match parse_nodes nodes with
+                 | Error _ as e -> e
+                 | Ok addrs ->
+                   let coord =
+                     Coordinator.create ~vnodes ~rpc_timeout_s:rpc_timeout
+                       ~probe_interval_s:probe_interval ~eject_threshold
+                       ~drain_timeout_s:drain_timeout addrs
+                   in
+                   Fun.protect ~finally:(fun () -> Coordinator.shutdown coord)
+                   @@ fun () ->
+                   let server =
+                     Server.start ~read_timeout_s:read_timeout
+                       ~write_timeout_s:write_timeout
+                       ~drain_timeout_s:drain_timeout
+                       ~handler:(Coordinator.handler coord) addr
+                   in
+                   Server.install_signal_handlers server;
+                   Printf.printf "coordinating %d node(s)\n%!"
+                     (List.length addrs);
+                   announce server addr;
+                   Server.wait server;
+                   Printf.printf "drained (%d job(s) left pending)\n%!"
+                     (Coordinator.pending coord);
+                   Ok true)
+               else
+                 Runtime.with_runtime ~workers @@ fun rt ->
+                 let retry =
+                   if retries <= 0 then None
+                   else
+                     Some
+                       (Retry.make ~max_retries:retries
+                          ~base_backoff_ms:retry_backoff_ms ~seed ())
+                 in
+                 let admission =
+                   Admission.create ~max_pending ~max_per_client ()
+                 in
+                 let router =
+                   Router.create ~admission ?job_timeout_s:job_timeout ?retry rt
+                 in
+                 let server =
+                   Server.start ~read_timeout_s:read_timeout
+                     ~write_timeout_s:write_timeout
+                     ~drain_timeout_s:drain_timeout
+                     ~handler:(Server.handler_of_router router) addr
+                 in
+                 Server.install_signal_handlers server;
+                 announce server addr;
+                 Server.wait server;
+                 Printf.printf "drained (%d job(s) left pending)\n%!"
+                   (Router.pending_jobs router);
+                 Ok true
              with
              | Unix.Unix_error (e, fn, arg) ->
                Error
                  (Printf.sprintf "%s%s: %s" fn
                     (if arg = "" then "" else " " ^ arg)
                     (Unix.error_message e))
+             | Tml_error.Error kind -> Error (Tml_error.to_string kind)
              | Invalid_argument msg -> Error msg))
 
 let serve_cmd =
@@ -990,6 +1072,13 @@ let serve_cmd =
           requests finish, every admitted job completes, then the \
           process exits 0 — and with --trace-out/--metrics-out the \
           observability dumps are flushed on the way out.";
+      `P "With $(b,--coordinator), the process owns no runtime: it \
+          shards each job by digest over the $(b,--node) backends on a \
+          consistent-hash ring, re-routes around dead nodes (with \
+          resubmission, so no accepted job is ever lost), replicates \
+          finished reports to the digest's ring successor, and ejects / \
+          re-admits nodes from periodic health probes. Inspect and \
+          administer the ring with $(b,tml fleet).";
     ]
   in
   Cmd.v
@@ -998,8 +1087,9 @@ let serve_cmd =
       const run_serve $ socket_arg $ tcp_arg $ workers_arg $ max_pending_arg
       $ max_per_client_arg $ job_timeout_arg $ read_timeout_arg
       $ write_timeout_arg $ drain_timeout_arg $ retries_arg
-      $ retry_backoff_arg $ inject_fault_arg $ trace_out_arg
-      $ metrics_out_arg $ seed_arg)
+      $ retry_backoff_arg $ inject_fault_arg $ coordinator_arg $ node_arg
+      $ vnodes_arg $ probe_interval_arg $ eject_threshold_arg
+      $ rpc_timeout_arg $ trace_out_arg $ metrics_out_arg $ seed_arg)
 
 (* ------------------------------- client ------------------------------- *)
 
@@ -1172,6 +1262,7 @@ let run_client socket tcp op model prop vars deltas traces states init labels
          | v -> v
          | exception Unix.Unix_error (e, _, _) ->
            Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+         | exception Tml_error.Error kind -> Error (Tml_error.to_string kind)
          | exception Client.Remote_error err ->
            Error
              (Printf.sprintf "server error (%s%s): %s" err.Wire.kind
@@ -1261,6 +1352,67 @@ let client_cmd =
       $ gamma_arg $ starts_arg $ backend_arg $ client_job_arg
       $ client_timeout_arg $ async_arg)
 
+(* ------------------------------- fleet -------------------------------- *)
+
+let fleet_op_arg =
+  let doc = "Operation: $(b,status) or $(b,drain)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+
+let fleet_node_arg =
+  let doc = "Node address to drain (as listed by $(b,status))." in
+  Arg.(value & pos 1 (some string) None & info [] ~docv:"NODE" ~doc)
+
+let run_fleet socket tcp op node =
+  exit_of_result
+    (match parse_addr socket tcp with
+     | Error _ as e -> e
+     | Ok addr ->
+       let with_conn f =
+         match Client.with_client addr f with
+         | v -> v
+         | exception Unix.Unix_error (e, _, _) ->
+           Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+         | exception Tml_error.Error kind -> Error (Tml_error.to_string kind)
+         | exception Client.Remote_error err ->
+           Error
+             (Printf.sprintf "coordinator error (%s): %s" err.Wire.kind
+                err.Wire.message)
+         | exception Wire.Protocol_error msg -> Error ("protocol error: " ^ msg)
+       in
+       match op with
+       | "status" ->
+         with_conn (fun c ->
+             print_endline (Wire.render (Client.fleet_status c));
+             Ok true)
+       | "drain" -> (
+           match node with
+           | None -> Error "drain requires a NODE address argument"
+           | Some node ->
+             with_conn (fun c ->
+                 let pending = Client.drain_node c node in
+                 Printf.printf "drained %s (%d job(s) left pending)\n" node
+                   pending;
+                 Ok (pending = 0)))
+       | op -> Error (Printf.sprintf "unknown fleet op %S" op))
+
+let fleet_cmd =
+  let doc = "inspect or administer a tml coordinator's backend ring" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Talks to a $(b,tml serve --coordinator) instance. $(b,status) \
+          dumps the ring membership, per-node health state and in-flight \
+          counts, and the re-route/ejection/replication counters as \
+          JSON. $(b,drain NODE) takes a backend out of the ring \
+          gracefully: new digests stop routing to it, its in-flight \
+          jobs are awaited (and their reports replicated), then it is \
+          removed — zero job loss.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fleet" ~doc ~man)
+    Term.(const run_fleet $ socket_arg $ tcp_arg $ fleet_op_arg $ fleet_node_arg)
+
 (* ------------------------------- main --------------------------------- *)
 
 let main_cmd =
@@ -1269,6 +1421,6 @@ let main_cmd =
     (Cmd.info "tml" ~version:"1.0.0" ~doc)
     [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
       pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; batch_cmd;
-      experiments_cmd; trace_cmd; serve_cmd; client_cmd ]
+      experiments_cmd; trace_cmd; serve_cmd; client_cmd; fleet_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

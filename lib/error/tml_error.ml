@@ -6,6 +6,7 @@ type kind =
   | Cache_race of string
   | Injected_fault of string
   | Overloaded of string
+  | Unreachable of string
   | Malformed_model of string
   | Empty_feasible_box of string
   | Internal of string
@@ -14,7 +15,7 @@ exception Error of kind
 
 let severity = function
   | Solver_nonconvergence _ | Timeout _ | Cache_race _ | Injected_fault _
-  | Overloaded _ ->
+  | Overloaded _ | Unreachable _ ->
     Transient
   | Malformed_model _ | Empty_feasible_box _ | Internal _ -> Permanent
 
@@ -28,6 +29,7 @@ let to_string = function
   | Cache_race m -> "cache race: " ^ m
   | Injected_fault m -> "injected fault: " ^ m
   | Overloaded m -> "overloaded: " ^ m
+  | Unreachable m -> "unreachable: " ^ m
   | Malformed_model m -> "malformed model: " ^ m
   | Empty_feasible_box m -> "empty feasible box: " ^ m
   | Internal m -> "internal error: " ^ m

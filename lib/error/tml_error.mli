@@ -24,6 +24,10 @@ type kind =
       (** a bounded queue (the runtime's job queue, a server's admission
           queue) shed this request instead of blocking — back off and
           resubmit *)
+  | Unreachable of string
+      (** a network peer died mid-exchange (connection refused, broken
+          pipe, reset, or closed mid-frame) — the request itself is fine
+          and can be retried against the same or another node *)
   | Malformed_model of string  (** bad input model or spec *)
   | Empty_feasible_box of string  (** the repair search space is empty *)
   | Internal of string  (** invariant violation; never retried *)
@@ -32,8 +36,9 @@ exception Error of kind
 (** The one exception the repair stack raises for classified failures. *)
 
 val severity : kind -> severity
-(** [Solver_nonconvergence], [Timeout], [Cache_race], [Injected_fault] and
-    [Overloaded] are transient; the rest are permanent. *)
+(** [Solver_nonconvergence], [Timeout], [Cache_race], [Injected_fault],
+    [Overloaded] and [Unreachable] are transient; the rest are
+    permanent. *)
 
 val classify : exn -> severity
 (** Classify an arbitrary exception: {!Error} by its {!severity}; anything

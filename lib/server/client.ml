@@ -9,7 +9,34 @@ type t = {
   mutable closed : bool;
 }
 
-let connect ?(max_frame = Wire.default_max_frame) (addr : addr) =
+let addr_to_string : addr -> string = function
+  | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let addr_of_string s : addr =
+  match String.index_opt s ':' with
+  | None ->
+    raise
+      (Wire.Protocol_error
+         (Printf.sprintf "bad address %S (want unix:PATH or HOST:PORT)" s))
+  | Some i ->
+    let head = String.sub s 0 i
+    and tail = String.sub s (i + 1) (String.length s - i - 1) in
+    if head = "unix" then `Unix tail
+    else (
+      match int_of_string_opt tail with
+      | Some port when port > 0 && port < 65536 -> `Tcp (head, port)
+      | _ ->
+        raise
+          (Wire.Protocol_error
+             (Printf.sprintf "bad port in address %S" s)))
+
+let unreachable fmt =
+  Printf.ksprintf
+    (fun m -> raise (Tml_error.Error (Tml_error.Unreachable m)))
+    fmt
+
+let connect ?(max_frame = Wire.default_max_frame) ?timeout_s (addr : addr) =
   let domain, sockaddr =
     match addr with
     | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
@@ -17,10 +44,26 @@ let connect ?(max_frame = Wire.default_max_frame) (addr : addr) =
       (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
   in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd sockaddr
+  (try
+     (match timeout_s with
+      | Some s ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+        Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+      | None -> ());
+     Unix.connect fd sockaddr
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
+     (match e with
+      | Unix.Unix_error
+          ( ( ECONNREFUSED | ECONNRESET | ENOENT | ENETUNREACH | EHOSTUNREACH
+            | ETIMEDOUT | EAGAIN | EWOULDBLOCK | EINPROGRESS ),
+            _,
+            _ ) ->
+        unreachable "cannot connect to %s: %s" (addr_to_string addr)
+          (match e with
+           | Unix.Unix_error (err, _, _) -> Unix.error_message err
+           | _ -> Printexc.to_string e)
+      | e -> raise e));
   { fd; max_frame; next_id = 0; closed = false }
 
 let close t =
@@ -29,21 +72,45 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let with_client ?max_frame addr f =
-  let t = connect ?max_frame addr in
+let with_client ?max_frame ?timeout_s addr f =
+  let t = connect ?max_frame ?timeout_s addr in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
-(* One synchronous round-trip.  The client never arms a socket read
-   deadline — a [wait] may legitimately block for the job's whole
-   runtime; bound it with the request's own [timeout_s] instead. *)
+let connect_any ?max_frame ?timeout_s addrs =
+  let rec go last = function
+    | [] ->
+      (match last with
+       | Some e -> raise e
+       | None -> invalid_arg "Client.connect_any: empty address list")
+    | addr :: rest -> (
+        match connect ?max_frame ?timeout_s addr with
+        | t -> (addr, t)
+        | exception (Tml_error.Error _ as e) -> go (Some e) rest)
+  in
+  go None addrs
+
+let with_any ?max_frame ?timeout_s addrs f =
+  let addr, t = connect_any ?max_frame ?timeout_s addrs in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f addr t)
+
+(* One synchronous round-trip.  Without a [connect ~timeout_s] deadline
+   the client never arms a socket read timeout — a [wait] may
+   legitimately block for the job's whole runtime; bound it with the
+   request's own [timeout_s] instead.  Peer death mid-RPC (broken pipe,
+   reset, close mid-frame, clean close instead of a reply) surfaces as a
+   typed {e transient} [Tml_error.Unreachable], so callers can retry —
+   against the same node or, in a fleet, the next ring owner. *)
 let rpc t req =
   if t.closed then raise (Wire.Protocol_error "client is closed");
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
-  Wire.write_frame t.fd (Wire.request_to_json ~id req);
-  match Wire.read_frame ~max_frame:t.max_frame t.fd with
-  | `Eof -> raise (Wire.Protocol_error "server closed the connection")
-  | `Idle -> raise (Wire.Protocol_error "spurious idle read")
+  match
+    Wire.write_frame t.fd (Wire.request_to_json ~id req);
+    Wire.read_frame ~max_frame:t.max_frame t.fd
+  with
+  | exception Wire.Peer_closed m -> unreachable "%s" m
+  | `Eof -> unreachable "server closed the connection before replying"
+  | `Idle -> unreachable "rpc deadline expired with no reply"
   | `Frame j ->
     let rid, resp = Wire.response_of_json j in
     if rid <> id then
@@ -87,6 +154,21 @@ let stats t =
   match checked t Wire.Stats with
   | Wire.Stats_reply j -> j
   | _ -> unexpected "stats"
+
+let put_report t ~digest ~report =
+  match checked t (Wire.Put_report { job = digest; report }) with
+  | Wire.Stored _ -> ()
+  | _ -> unexpected "put-report"
+
+let fleet_status t =
+  match checked t Wire.Fleet_status with
+  | Wire.Fleet_reply j -> j
+  | _ -> unexpected "fleet"
+
+let drain_node t name =
+  match checked t (Wire.Drain_node name) with
+  | Wire.Drained { pending; _ } -> pending
+  | _ -> unexpected "drain"
 
 let run t ?timeout_s jr =
   let digest, _cached = submit t jr in

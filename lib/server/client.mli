@@ -4,26 +4,52 @@
     blocking round-trip that checks the response's correlation id.
     Server-reported failures raise {!Remote_error} carrying the typed
     wire error — match on [err.transient] (e.g. the ["overloaded"] shed
-    signal) to decide whether to back off and resubmit. *)
+    signal) to decide whether to back off and resubmit.
+
+    Peer death — connection refused, reset, broken pipe, a close
+    mid-frame or before the reply — raises a typed {e transient}
+    [Tml_error.Error (Unreachable _)] rather than a raw [Unix_error] or
+    [Protocol_error], so fleet callers can re-route without string
+    matching. *)
 
 type addr = [ `Unix of string | `Tcp of string * int ]
+
+val addr_of_string : string -> addr
+(** Parse ["unix:PATH"] or ["HOST:PORT"].
+    @raise Wire.Protocol_error on anything else. *)
+
+val addr_to_string : addr -> string
 
 exception Remote_error of Wire.err
 (** The server answered with an [Error_reply]. *)
 
 type t
 
-val connect : ?max_frame:int -> addr -> t
-(** @raise Unix.Unix_error when the connection is refused. *)
+val connect : ?max_frame:int -> ?timeout_s:float -> addr -> t
+(** [timeout_s] arms [SO_RCVTIMEO]/[SO_SNDTIMEO] on the socket — with it
+    set, a stalled peer surfaces as a transient [Unreachable] instead of
+    blocking forever (the coordinator's probe/RPC deadline).
+    @raise Tml_error.Error
+      ([Unreachable]) when the peer cannot be reached. *)
 
 val close : t -> unit
 (** Idempotent. *)
 
-val with_client : ?max_frame:int -> addr -> (t -> 'a) -> 'a
+val with_client : ?max_frame:int -> ?timeout_s:float -> addr -> (t -> 'a) -> 'a
 (** [connect], run, always [close]. *)
+
+val connect_any : ?max_frame:int -> ?timeout_s:float -> addr list -> addr * t
+(** First address that accepts a connection, tried in order.
+    @raise Tml_error.Error when every address is unreachable (the last
+    failure). *)
+
+val with_any :
+  ?max_frame:int -> ?timeout_s:float -> addr list -> (addr -> t -> 'a) -> 'a
 
 val rpc : t -> Wire.request -> Wire.response
 (** Raw round-trip; [Error_reply] is returned, not raised.
+    @raise Tml_error.Error
+      ([Unreachable], transient) when the peer dies mid-RPC.
     @raise Wire.Protocol_error on framing/id-correlation failures. *)
 
 val ping : t -> unit
@@ -44,6 +70,18 @@ val cancel : t -> string -> bool
 
 val stats : t -> Wire.json
 (** The server runtime's instrumentation dump. *)
+
+val put_report : t -> digest:string -> report:string -> unit
+(** Fleet replication: store a finished job's rendered report on the
+    peer (servable there by poll/wait/submit on [digest]). *)
+
+val fleet_status : t -> Wire.json
+(** Coordinator-only: the per-node fleet snapshot. *)
+
+val drain_node : t -> string -> int
+(** Coordinator-only: drain the named node out of the ring; returns the
+    number of its jobs still unfinished at the drain deadline (0 on a
+    clean drain). *)
 
 val run : t -> ?timeout_s:float -> Wire.job_request -> string * Wire.job_state
 (** [submit] then [wait] — the one-shot convenience. *)

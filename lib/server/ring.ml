@@ -1,0 +1,90 @@
+(* Consistent hashing of job digests over a set of named nodes.
+
+   Every node contributes [vnodes] points on a 64-bit circle, placed by
+   hashing "name#i" — point positions depend only on the node's own name,
+   so adding or removing a node never moves any other node's points.
+   That is the deterministic-rendezvous property the coordinator relies
+   on: when a node dies, exactly the keys it owned slide to their ring
+   successors, and every other key keeps its owner. *)
+
+type t = {
+  vnodes : int;
+  names : string list;  (* member nodes, in insertion order *)
+  points : (int64 * string) array;  (* sorted by (hash, name) *)
+}
+
+(* FNV-1a, 64-bit, finished with the splitmix64 avalanche.  Raw FNV of
+   near-identical strings ("n2#17" vs "n3#17") differs by a constant
+   offset, which correlates the nodes' point positions and can starve a
+   node of arc length entirely; the finalizer decorrelates them. *)
+let fnv1a64 s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  let mix shift prime z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z shift)) prime in
+  let z = !h |> mix 30 0xbf58476d1ce4e5b9L |> mix 27 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let make ?(vnodes = 64) names =
+  if vnodes < 1 then invalid_arg "Ring.make: vnodes >= 1";
+  let names = List.sort_uniq compare names in
+  let points =
+    List.concat_map
+      (fun name ->
+         List.init vnodes (fun i ->
+             (fnv1a64 (Printf.sprintf "%s#%d" name i), name)))
+      names
+    |> Array.of_list
+  in
+  Array.sort
+    (fun (h1, n1) (h2, n2) ->
+       match Int64.unsigned_compare h1 h2 with
+       | 0 -> compare n1 n2
+       | c -> c)
+    points;
+  { vnodes; names; points }
+
+let nodes t = t.names
+let is_empty t = t.names = []
+let mem t name = List.mem name t.names
+
+let without t name = make ~vnodes:t.vnodes (List.filter (( <> ) name) t.names)
+let with_node t name = make ~vnodes:t.vnodes (name :: t.names)
+
+(* Index of the first point whose hash is >= [h] (clockwise owner),
+   wrapping to 0 past the last point. *)
+let point_index t h =
+  let n = Array.length t.points in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then
+        search (mid + 1) hi
+      else search lo mid
+  in
+  let i = search 0 n in
+  if i = n then 0 else i
+
+let successors t ?n key =
+  let want = match n with Some n -> n | None -> List.length t.names in
+  if t.names = [] || want <= 0 then []
+  else begin
+    let len = Array.length t.points in
+    let start = point_index t (fnv1a64 key) in
+    let acc = ref [] and count = ref 0 and i = ref 0 in
+    while !count < want && !i < len do
+      let _, name = t.points.((start + !i) mod len) in
+      if not (List.mem name !acc) then begin
+        acc := name :: !acc;
+        incr count
+      end;
+      incr i
+    done;
+    List.rev !acc
+  end
+
+let owner t key =
+  match successors t ~n:1 key with [ n ] -> Some n | _ -> None

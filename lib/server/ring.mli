@@ -1,0 +1,40 @@
+(** Consistent hashing of job digests over named fleet nodes.
+
+    Each member node contributes [vnodes] virtual points on a 64-bit
+    circle (FNV-1a of ["name#i"]); a key is owned by the first point
+    clockwise from its own hash.  Because point positions depend only on
+    the owning node's name, membership changes have {e deterministic
+    rendezvous}: removing a node moves exactly the keys it owned (each to
+    its ring successor) and no others, and re-adding the same name
+    restores exactly the original ownership.  The coordinator leans on
+    this to re-route around dead nodes without a reshuffle, and to know
+    ahead of time where a digest's replica lives (its successor). *)
+
+type t
+
+val make : ?vnodes:int -> string list -> t
+(** Build a ring over the given node names (deduplicated; order
+    irrelevant).  [vnodes] (default 64) trades lookup-table size for
+    ownership smoothness.
+    @raise Invalid_argument when [vnodes < 1]. *)
+
+val nodes : t -> string list
+(** Member names, sorted. *)
+
+val is_empty : t -> bool
+val mem : t -> string -> bool
+
+val without : t -> string -> t
+(** The ring minus one node.  All other nodes' points are unchanged. *)
+
+val with_node : t -> string -> t
+(** The ring plus one node (idempotent). *)
+
+val owner : t -> string -> string option
+(** The node owning [key] ([None] on an empty ring). *)
+
+val successors : t -> ?n:int -> string -> string list
+(** The first [n] (default: all) {e distinct} nodes clockwise from
+    [key]'s point — element 0 is the owner, element 1 the replica
+    holder / failover target, and so on.  This is the coordinator's
+    re-route candidate order. *)

@@ -9,6 +9,12 @@ type t = {
   runtime : Runtime.t;
   admission : Admission.t;
   jobs : (string, entry) Hashtbl.t;
+  (* replicated reports pushed by a fleet coordinator (Put_report): a
+     bounded FIFO of digest -> rendered report, servable by poll/wait
+     even though this node never ran the job *)
+  replicas : (string, string) Hashtbl.t;
+  replica_fifo : string Queue.t;
+  replica_cap : int;
   job_timeout_s : float option;
   retry : Retry.t option;
   mutable draining : bool;
@@ -18,13 +24,16 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let create ?admission ?job_timeout_s ?retry runtime =
+let create ?admission ?job_timeout_s ?retry ?(replica_cap = 256) runtime =
   {
     mutex = Mutex.create ();
     runtime;
     admission =
       (match admission with Some a -> a | None -> Admission.create ());
     jobs = Hashtbl.create 64;
+    replicas = Hashtbl.create 64;
+    replica_fifo = Queue.create ();
+    replica_cap;
     job_timeout_s;
     retry;
     draining = false;
@@ -44,7 +53,10 @@ let op_counter =
   and wait = mk "wait"
   and cancel = mk "cancel"
   and stats = mk "stats"
-  and ping = mk "ping" in
+  and ping = mk "ping"
+  and put_report = mk "put-report"
+  and fleet = mk "fleet"
+  and drain = mk "drain" in
   function
   | Wire.Submit _ -> submit
   | Wire.Poll _ -> poll
@@ -52,6 +64,9 @@ let op_counter =
   | Wire.Cancel _ -> cancel
   | Wire.Stats -> stats
   | Wire.Ping -> ping
+  | Wire.Put_report _ -> put_report
+  | Wire.Fleet_status -> fleet
+  | Wire.Drain_node _ -> drain
 
 let kind_counter =
   let mk kind =
@@ -122,6 +137,30 @@ let not_found digest =
 
 let find t digest = locked t (fun () -> Hashtbl.find_opt t.jobs digest)
 
+let find_replica t digest =
+  locked t (fun () -> Hashtbl.find_opt t.replicas digest)
+
+let put_report t ~digest ~report =
+  locked t (fun () ->
+      if not (Hashtbl.mem t.replicas digest) then begin
+        Hashtbl.replace t.replicas digest report;
+        Queue.push digest t.replica_fifo;
+        while Queue.length t.replica_fifo > t.replica_cap do
+          Hashtbl.remove t.replicas (Queue.pop t.replica_fifo)
+        done
+      end);
+  Wire.Stored { job = digest }
+
+let replica_count t = locked t (fun () -> Hashtbl.length t.replicas)
+
+let not_a_coordinator () =
+  Wire.Error_reply
+    {
+      Wire.kind = "bad-request";
+      message = "fleet ops require a coordinator (`tml serve --coordinator`)";
+      transient = false;
+    }
+
 let do_submit t ~client jr =
   if t.draining then
     Wire.Error_reply
@@ -143,8 +182,14 @@ let do_submit t ~client jr =
         | job -> (
             Metrics.incr (kind_counter (Job.kind job));
             let digest = Job.digest job in
-            let existing = find t digest in
-            match existing with
+            match find_replica t digest with
+            | Some _ ->
+              (* a coordinator replicated this digest's finished report to
+                 us — no need to recompute *)
+              release ();
+              Wire.Accepted { job = digest; cached = true }
+            | None ->
+            match find t digest with
             | Some e ->
               (* duplicate submit: the first ticket is still tracking this
                  job, so the new one is returned immediately *)
@@ -168,7 +213,10 @@ let do_submit t ~client jr =
 
 let do_status t digest =
   match find t digest with
-  | None -> not_found digest
+  | None ->
+    (match find_replica t digest with
+     | Some report -> Wire.Status { job = digest; state = Wire.Job_done report }
+     | None -> not_found digest)
   | Some e ->
     (match Future.peek e.fut with
      | None -> Wire.Status { job = digest; state = Wire.Job_pending }
@@ -176,7 +224,10 @@ let do_status t digest =
 
 let do_wait t digest timeout_s =
   match find t digest with
-  | None -> not_found digest
+  | None ->
+    (match find_replica t digest with
+     | Some report -> Wire.Status { job = digest; state = Wire.Job_done report }
+     | None -> not_found digest)
   | Some e ->
     (match Future.await ?timeout_s e.fut with
      | Future.Timed_out when Future.is_pending e.fut ->
@@ -186,7 +237,12 @@ let do_wait t digest timeout_s =
 
 let do_cancel t digest =
   match find t digest with
-  | None -> not_found digest
+  | None ->
+    (match find_replica t digest with
+     | Some _ ->
+       (* a replicated report is already final — nothing to cancel *)
+       Wire.Cancelled { job = digest; cancelled = false }
+     | None -> not_found digest)
   | Some e ->
     let cancelled = Future.cancel e.fut in
     Wire.Cancelled { job = digest; cancelled }
@@ -203,6 +259,8 @@ let handle t ~client req =
       | Wire.Poll digest -> do_status t digest
       | Wire.Wait (digest, timeout_s) -> do_wait t digest timeout_s
       | Wire.Cancel digest -> do_cancel t digest
+      | Wire.Put_report { job; report } -> put_report t ~digest:job ~report
+      | Wire.Fleet_status | Wire.Drain_node _ -> not_a_coordinator ()
     with e -> Wire.Error_reply (Wire.err_of_exn e)
   in
   sweep t;

@@ -24,19 +24,28 @@ val create :
   ?admission:Admission.t ->
   ?job_timeout_s:float ->
   ?retry:Retry.t ->
+  ?replica_cap:int ->
   Runtime.t ->
   t
 (** Route onto [runtime].  [job_timeout_s] and [retry] are passed to
     every {!Runtime.submit}.  [admission] defaults to
-    [Admission.create ()]. *)
+    [Admission.create ()].  [replica_cap] (default 256) bounds the store
+    of reports replicated to this node by a fleet coordinator
+    ({!Wire.Put_report}); the oldest entries are evicted FIFO. *)
 
 val admission : t -> Admission.t
+
+val replica_count : t -> int
+(** Reports currently held in the replica store. *)
 
 val handle : t -> client:int -> Wire.request -> Wire.response
 (** Handle one request on behalf of connection [client].  Never raises:
     every failure becomes an [Error_reply].  [Wait] blocks the calling
     (connection) thread until the job settles or its timeout expires —
-    a wait-timeout on a still-running job reports [Job_pending]. *)
+    a wait-timeout on a still-running job reports [Job_pending].
+    [Put_report] stores a replicated report (servable by poll/wait/submit
+    on its digest); [Fleet_status] and [Drain_node] are coordinator ops
+    and answer a ["bad-request"] error here. *)
 
 val pending_jobs : t -> int
 (** Registered jobs whose future is still pending. *)

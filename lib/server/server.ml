@@ -1,7 +1,25 @@
 type addr = [ `Unix of string | `Tcp of string * int ]
 
+(* What the accept loop serves: a router over a local runtime, or a
+   fleet coordinator fanning out to backends — the server itself only
+   moves frames. *)
+type handler = {
+  on_request : client:int -> Wire.request -> Wire.response;
+  on_stop : unit -> unit;  (* begin refusing new work (non-blocking) *)
+  on_drain : timeout_s:float -> unit;  (* await in-flight work *)
+  pending : unit -> int;
+}
+
+let handler_of_router router =
+  {
+    on_request = (fun ~client req -> Router.handle router ~client req);
+    on_stop = (fun () -> Router.set_draining router);
+    on_drain = (fun ~timeout_s -> Router.drain ~timeout_s router);
+    pending = (fun () -> Router.pending_jobs router);
+  }
+
 type t = {
-  router : Router.t;
+  handler : handler;
   listen_fd : Unix.file_descr;
   addr : addr;
   read_timeout_s : float;
@@ -51,7 +69,7 @@ let serve_frame t ~client ~accept_span fd j =
       (fun () ->
          match Fault.with_site Fault.Decode (fun () -> Wire.request_of_json j) with
          | exception e -> (salvage_id j, Wire.Error_reply (Wire.err_of_exn e))
-         | id, req -> (id, Router.handle t.router ~client req))
+         | id, req -> (id, t.handler.on_request ~client req))
   in
   match
     Fault.with_site Fault.Write (fun () ->
@@ -143,7 +161,7 @@ let accept_loop t () =
   loop ()
 
 let start ?(backlog = 16) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
-    ?(max_frame = Wire.default_max_frame) ?(drain_timeout_s = 30.0) ~router
+    ?(max_frame = Wire.default_max_frame) ?(drain_timeout_s = 30.0) ~handler
     addr =
   let domain, sockaddr =
     match addr with
@@ -161,7 +179,7 @@ let start ?(backlog = 16) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
   Unix.listen listen_fd backlog;
   let t =
     {
-      router;
+      handler;
       listen_fd;
       addr;
       read_timeout_s;
@@ -189,7 +207,7 @@ let connections t = locked t.conn_mutex (fun () -> List.length t.conns)
 
 let request_stop t =
   Atomic.set t.stop true;
-  Router.set_draining t.router
+  t.handler.on_stop ()
 
 (* Drain order: stop accepting, let every connection thread finish its
    in-flight request (they poll the stop flag at the next read-idle
@@ -213,7 +231,7 @@ let stop t =
             join_conns ()
         in
         join_conns ();
-        Router.drain ~timeout_s:t.drain_timeout_s t.router;
+        t.handler.on_drain ~timeout_s:t.drain_timeout_s;
         match t.addr with
         | `Unix path -> (try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
         | `Tcp _ -> ()

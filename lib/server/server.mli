@@ -3,7 +3,8 @@
 
     Each connection speaks the {!Wire} protocol with per-socket read and
     write deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]); requests are routed
-    through a shared {!Router} (and so through one {!Runtime}).  Every
+    through a {!handler} — a {!Router} over a local {!Runtime}
+    ({!handler_of_router}), or a fleet {!Coordinator}.  Every
     connection records a [server:accept] trace event and every request a
     [server:decode] span beneath it, under which the runtime's own
     [job:submit] spans nest; request latency feeds the
@@ -26,6 +27,22 @@ type addr = [ `Unix of string | `Tcp of string * int ]
 (** A filesystem socket path, or a (numeric) host and port — port [0]
     binds an ephemeral port, reported by {!port}. *)
 
+type handler = {
+  on_request : client:int -> Wire.request -> Wire.response;
+      (** serve one request (must never raise) *)
+  on_stop : unit -> unit;
+      (** begin refusing new work; non-blocking, called from
+          {!request_stop} (and so from signal context) *)
+  on_drain : timeout_s:float -> unit;
+      (** await in-flight work, bounding each wait by [timeout_s] *)
+  pending : unit -> int;  (** in-flight work items *)
+}
+(** What the accept loop serves — the server itself only moves frames. *)
+
+val handler_of_router : Router.t -> handler
+(** The classic single-node server: {!Router.handle} /
+    {!Router.set_draining} / {!Router.drain} / {!Router.pending_jobs}. *)
+
 type t
 
 val start :
@@ -34,7 +51,7 @@ val start :
   ?write_timeout_s:float ->
   ?max_frame:int ->
   ?drain_timeout_s:float ->
-  router:Router.t ->
+  handler:handler ->
   addr ->
   t
 (** Bind, listen and spawn the accept loop.  [read_timeout_s] (default 5)

@@ -2,8 +2,10 @@ let version = 1
 let default_max_frame = 16 * 1024 * 1024
 
 exception Protocol_error of string
+exception Peer_closed of string
 
 let proto fmt = Printf.ksprintf (fun m -> raise (Protocol_error m)) fmt
+let peer fmt = Printf.ksprintf (fun m -> raise (Peer_closed m)) fmt
 
 (* ------------------------------ JSON ------------------------------ *)
 
@@ -285,7 +287,7 @@ let read_frame ?(max_frame = default_max_frame) fd =
   let hdr = Bytes.create 4 in
   match read_part fd hdr 0 4 with
   | `Closed false -> `Eof
-  | `Closed true -> proto "connection closed mid-frame"
+  | `Closed true -> peer "connection closed mid-frame"
   | `Stalled false -> `Idle
   | `Stalled true -> proto "read deadline exceeded mid-frame"
   | `Done ->
@@ -295,7 +297,7 @@ let read_frame ?(max_frame = default_max_frame) fd =
     let payload = Bytes.create len in
     (match read_part fd payload 0 len with
      | `Done -> `Frame (parse (Bytes.unsafe_to_string payload))
-     | `Closed _ -> proto "connection closed mid-frame"
+     | `Closed _ -> peer "connection closed mid-frame"
      | `Stalled _ -> proto "read deadline exceeded mid-frame")
 
 let rec write_part fd buf off len =
@@ -306,7 +308,9 @@ let rec write_part fd buf off len =
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       proto "write deadline exceeded"
     | exception Unix.Unix_error (Unix.EPIPE, _, _) ->
-      proto "peer closed connection"
+      peer "peer closed connection"
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+      peer "connection reset by peer"
 
 let write_frame fd j =
   let body = render j in
@@ -326,6 +330,7 @@ let err_kind_name = function
   | Tml_error.Cache_race _ -> "cache-race"
   | Tml_error.Injected_fault _ -> "injected-fault"
   | Tml_error.Overloaded _ -> "overloaded"
+  | Tml_error.Unreachable _ -> "unreachable"
   | Tml_error.Malformed_model _ -> "malformed-model"
   | Tml_error.Empty_feasible_box _ -> "empty-feasible-box"
   | Tml_error.Internal _ -> "internal"
@@ -338,6 +343,7 @@ let err_of_exn = function
       transient = Tml_error.severity k = Tml_error.Transient;
     }
   | Protocol_error m -> { kind = "protocol"; message = m; transient = false }
+  | Peer_closed m -> { kind = "unreachable"; message = m; transient = true }
   | Dtmc_io.Parse_error m | Mdp_io.Parse_error m | Trace_io.Parse_error m
   | Spec_io.Parse_error m ->
     { kind = "bad-request"; message = m; transient = false }
@@ -700,6 +706,9 @@ type request =
   | Cancel of string
   | Stats
   | Ping
+  | Put_report of { job : string; report : string }
+  | Fleet_status
+  | Drain_node of string
 
 type job_state =
   | Job_pending
@@ -715,6 +724,10 @@ type response =
   | Stats_reply of json
   | Pong
   | Error_reply of err
+  | Stored of { job : string }
+  | Fleet_reply of json
+  | Drained of { node : string; pending : int }
+  | Annotated of (string * json) list * response
 
 let envelope id fields = Obj (("v", Num (float_of_int version)) :: ("id", Num (float_of_int id)) :: fields)
 
@@ -732,6 +745,12 @@ let request_to_json ~id = function
   | Cancel job -> envelope id [ ("op", Str "cancel"); ("job", Str job) ]
   | Stats -> envelope id [ ("op", Str "stats") ]
   | Ping -> envelope id [ ("op", Str "ping") ]
+  | Put_report { job; report } ->
+    envelope id
+      [ ("op", Str "put-report"); ("job", Str job); ("report", Str report) ]
+  | Fleet_status -> envelope id [ ("op", Str "fleet") ]
+  | Drain_node node ->
+    envelope id [ ("op", Str "drain"); ("node", Str node) ]
 
 let check_version j =
   match opt "v" j with
@@ -754,6 +773,12 @@ let request_of_json j =
     | "cancel" -> Cancel (to_str "job" (get "job" j))
     | "stats" -> Stats
     | "ping" -> Ping
+    | "put-report" ->
+      Put_report
+        { job = to_str "job" (get "job" j);
+          report = to_str "report" (get "report" j) }
+    | "fleet" -> Fleet_status
+    | "drain" -> Drain_node (to_str "node" (get "node" j))
     | op -> proto "unknown op %S" op
   in
   (id, req)
@@ -765,7 +790,27 @@ let state_fields = function
   | Job_cancelled -> [ ("status", Str "cancelled") ]
   | Job_timed_out -> [ ("status", Str "timed-out") ]
 
-let response_to_json ~id = function
+let rec response_to_json ~id = function
+  | Annotated (extra, resp) ->
+    (* extra fields are purely informational (e.g. the coordinator's
+       serving-node annotation): appended after the base envelope so
+       protocol-1 decoders, which ignore unknown fields, are unaffected *)
+    (match response_to_json ~id resp with
+     | Obj fields ->
+       let keys = List.map fst fields in
+       Obj (fields @ List.filter (fun (k, _) -> not (List.mem k keys)) extra)
+     | j -> j)
+  | Stored { job } ->
+    envelope id [ ("ok", Bool true); ("job", Str job); ("stored", Bool true) ]
+  | Fleet_reply fleet -> envelope id [ ("ok", Bool true); ("fleet", fleet) ]
+  | Drained { node; pending } ->
+    envelope id
+      [
+        ("ok", Bool true);
+        ("node", Str node);
+        ("drained", Bool true);
+        ("pending", Num (float_of_int pending));
+      ]
   | Accepted { job; cached } ->
     envelope id
       [
@@ -790,6 +835,15 @@ let response_of_json j =
       Error_reply (err_of_json (get "error" j))
     else if member "pong" j <> None then Pong
     else if member "stats" j <> None then Stats_reply (get "stats" j)
+    else if member "fleet" j <> None then Fleet_reply (get "fleet" j)
+    else if member "stored" j <> None then
+      Stored { job = to_str "job" (get "job" j) }
+    else if member "drained" j <> None then
+      Drained
+        {
+          node = to_str "node" (get "node" j);
+          pending = to_int "pending" (get "pending" j);
+        }
     else if member "cancelled" j <> None then
       Cancelled
         {

@@ -24,6 +24,13 @@ val default_max_frame : int
 
 exception Protocol_error of string
 
+exception Peer_closed of string
+(** The peer vanished mid-exchange: a connection closed {e mid}-frame on
+    read, or a broken pipe / reset on write.  Distinct from
+    {!Protocol_error} so callers (the {!Client}, the coordinator's
+    re-route logic) can classify peer death as transient without string
+    matching; {!err_of_exn} maps it to a transient ["unreachable"]. *)
+
 (** {1 JSON} *)
 
 type json =
@@ -47,8 +54,9 @@ val member : string -> json -> json option
 
 val write_frame : Unix.file_descr -> json -> unit
 (** Render and send one frame.
-    @raise Protocol_error when a write deadline ([SO_SNDTIMEO]) expires
-    or the peer has closed the connection. *)
+    @raise Protocol_error when a write deadline ([SO_SNDTIMEO]) expires.
+    @raise Peer_closed when the peer has closed or reset the
+    connection. *)
 
 val read_frame :
   ?max_frame:int ->
@@ -56,9 +64,9 @@ val read_frame :
   [ `Frame of json | `Eof | `Idle ]
 (** Read one frame.  [`Eof] is a clean close {e between} frames; [`Idle]
     is a read deadline ([SO_RCVTIMEO]) expiring with no bytes of the next
-    frame read yet — the caller polls its stop flag and retries.  A close
-    or stall {e mid}-frame, an oversized frame and malformed JSON all
-    raise {!Protocol_error}. *)
+    frame read yet — the caller polls its stop flag and retries.  A stall
+    {e mid}-frame, an oversized frame and malformed JSON raise
+    {!Protocol_error}; a close {e mid}-frame raises {!Peer_closed}. *)
 
 (** {1 Errors} *)
 
@@ -136,6 +144,16 @@ type request =
   | Cancel of string
   | Stats
   | Ping
+  | Put_report of { job : string; report : string }
+      (** fleet replication: store a completed job's rendered report under
+          [job]'s digest so polls/waits on this node can serve it (sent by
+          the coordinator to the digest's ring successor) *)
+  | Fleet_status
+      (** coordinator only: per-node health/in-flight snapshot (a plain
+          backend answers a ["bad-request"] error) *)
+  | Drain_node of string
+      (** coordinator only: drain the named node out of the ring — stop
+          routing new digests to it, await its in-flight jobs, remove *)
 
 type job_state =
   | Job_pending
@@ -153,6 +171,17 @@ type response =
   | Stats_reply of json
   | Pong
   | Error_reply of err
+  | Stored of { job : string }  (** {!Put_report} acknowledged *)
+  | Fleet_reply of json  (** {!Fleet_status} snapshot *)
+  | Drained of { node : string; pending : int }
+      (** {!Drain_node} finished; [pending] jobs were still unfinished
+          when the drain deadline expired (0 on a clean drain) *)
+  | Annotated of (string * json) list * response
+      (** [response] plus extra informational envelope fields (e.g. the
+          coordinator's [("node", Str name)] serving-node annotation).
+          Encode-only: decoding returns the base response and drops the
+          extras, which is exactly the protocol-1 forward-compatibility
+          contract — unknown fields are ignored. *)
 
 val request_to_json : id:int -> request -> json
 val request_of_json : json -> int * request

@@ -1,0 +1,172 @@
+#!/usr/bin/env bash
+# Smoke test for the sharded repair fleet: start 4 backend `tml serve`
+# nodes plus one coordinator (`tml serve --coordinator`), plus a
+# single-node reference server, and drive a 24-job check batch through
+# the coordinator.  Every report fetched through the fleet must be
+# byte-identical to the same job's report from the reference server,
+# and a ring drain must remove a node with zero job loss.
+#
+# With --chaos one backend is SIGKILLed mid-batch: every job — including
+# those first submitted to the dead node — must still complete with the
+# identical report (re-routing + replication + registry resubmission),
+# `tml fleet status` must show the ejection and a non-zero re-route
+# counter, and the coordinator must still drain cleanly.
+#
+# Usage: scripts/fleet_smoke.sh [--chaos]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CHAOS=0
+[ "${1:-}" = "--chaos" ] && CHAOS=1
+
+dune build bin/tml_cli.exe
+TML=_build/default/bin/tml_cli.exe
+
+WORK=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill -9 "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+cat > "$WORK/model.dtmc" <<'EOF'
+dtmc
+states 3
+init 0
+0 -> 1 : 0.3
+0 -> 2 : 0.7
+1 -> 1 : 1.0
+2 -> 2 : 1.0
+label goal = 1
+EOF
+
+# ----------------------------------------------------------------------
+# Start 4 backend nodes, a single-node reference server, and the
+# coordinator over the 4 backends.
+# ----------------------------------------------------------------------
+
+wait_up() { # log-file
+  for _ in $(seq 1 50); do
+    grep -q "listening on unix:" "$1" 2>/dev/null && return 0
+    sleep 0.1
+  done
+  echo "server never came up:"; cat "$1"; exit 1
+}
+
+NODE_ADDRS=()
+declare -A NODE_PID
+for i in 0 1 2 3; do
+  SOCK="$WORK/node$i.sock"
+  "$TML" serve --socket "$SOCK" --workers 2 > "$WORK/node$i.log" 2>&1 &
+  NODE_PID[$i]=$!
+  PIDS+=($!)
+  NODE_ADDRS+=(--node "unix:$SOCK")
+done
+for i in 0 1 2 3; do wait_up "$WORK/node$i.log"; done
+echo "4 backend nodes up"
+
+"$TML" serve --socket "$WORK/ref.sock" --workers 2 > "$WORK/ref.log" 2>&1 &
+REF_PID=$!
+PIDS+=("$REF_PID")
+wait_up "$WORK/ref.log"
+
+COORD_SOCK="$WORK/coord.sock"
+"$TML" serve --coordinator --socket "$COORD_SOCK" "${NODE_ADDRS[@]}" \
+  --probe-interval 0.3 --eject-threshold 2 --rpc-timeout 5 \
+  > "$WORK/coord.log" 2>&1 &
+COORD_PID=$!
+PIDS+=("$COORD_PID")
+wait_up "$WORK/coord.log"
+echo "coordinator up (pid $COORD_PID)"
+
+# ----------------------------------------------------------------------
+# 24 distinct check jobs (varying bound => varying digest), submitted
+# through the coordinator and byte-compared against the reference
+# server.  Phase 1: jobs 0-11.  Chaos: SIGKILL one backend.  Phase 2:
+# jobs 12-23, then re-fetch jobs 0-11 through the fleet again.
+# ----------------------------------------------------------------------
+
+coord() { "$TML" client --socket "$COORD_SOCK" "$@"; }
+ref()   { "$TML" client --socket "$WORK/ref.sock" "$@"; }
+
+prop() { printf 'P>=0.%02d [ F goal ]' "$((10 + $1))"; }
+
+run_job() { # i out-file via
+  case "$2" in
+    coord) coord check -m "$WORK/model.dtmc" -p "$(prop "$1")" > "$3" ;;
+    ref)   ref   check -m "$WORK/model.dtmc" -p "$(prop "$1")" > "$3" ;;
+  esac
+}
+
+check_job() { # i
+  local i=$1
+  run_job "$i" coord "$WORK/out.fleet.$i"
+  if [ ! -s "$WORK/ref.$i" ]; then run_job "$i" ref "$WORK/ref.$i"; fi
+  # strip the leading "job <digest>" line before comparing report bodies
+  if ! cmp -s <(tail -n +2 "$WORK/out.fleet.$i") <(tail -n +2 "$WORK/ref.$i"); then
+    echo "FAIL: job $i report differs from the single-node reference"
+    diff "$WORK/out.fleet.$i" "$WORK/ref.$i" || true
+    exit 1
+  fi
+}
+
+for i in $(seq 0 11); do check_job "$i"; done
+echo "phase 1: 12/12 jobs identical to reference"
+
+if [ "$CHAOS" = 1 ]; then
+  VICTIM=1
+  kill -9 "${NODE_PID[$VICTIM]}"
+  echo "chaos: SIGKILLed node $VICTIM (pid ${NODE_PID[$VICTIM]})"
+fi
+
+for i in $(seq 12 23); do check_job "$i"; done
+# every phase-1 job must still be servable through the fleet (replica or
+# resubmission) with the identical report
+for i in $(seq 0 11); do check_job "$i"; done
+echo "phase 2: 24/24 jobs identical to reference, zero lost jobs"
+
+# ----------------------------------------------------------------------
+# Fleet observability: status must show the ejection and re-routes.
+# ----------------------------------------------------------------------
+
+STATUS=$("$TML" fleet status --socket "$COORD_SOCK")
+echo "fleet status: $STATUS"
+if [ "$CHAOS" = 1 ]; then
+  echo "$STATUS" | grep -q '"state":"ejected"' \
+    || { echo "FAIL: killed node not ejected"; exit 1; }
+  echo "$STATUS" | grep -q '"reroutes":0' \
+    && { echo "FAIL: no re-routes counted during chaos"; exit 1; }
+  echo "chaos: ejection visible, reroutes > 0"
+fi
+
+# ----------------------------------------------------------------------
+# Ring drain: take a live node out gracefully — zero job loss, and the
+# fleet keeps serving without it.
+# ----------------------------------------------------------------------
+
+DRAIN_NODE="unix:$WORK/node2.sock"
+DRAIN_OUT=$("$TML" fleet drain --socket "$COORD_SOCK" "$DRAIN_NODE")
+echo "$DRAIN_OUT"
+echo "$DRAIN_OUT" | grep -q "(0 job(s) left pending)" \
+  || { echo "FAIL: drain lost jobs"; exit 1; }
+"$TML" fleet status --socket "$COORD_SOCK" | grep -q '"state":"drained"' \
+  || { echo "FAIL: drained node not marked drained"; exit 1; }
+check_job 5
+check_job 17
+echo "ring drain: node removed, fleet still serving, zero job loss"
+
+# ----------------------------------------------------------------------
+# Coordinator graceful drain: SIGTERM => exit 0 with the drained line.
+# ----------------------------------------------------------------------
+
+kill -TERM "$COORD_PID"
+RC=0
+wait "$COORD_PID" || RC=$?
+[ "$RC" -eq 0 ] || { echo "FAIL: coordinator exited $RC"; cat "$WORK/coord.log"; exit 1; }
+grep -q "drained" "$WORK/coord.log" \
+  || { echo "FAIL: no drain line in coordinator log"; cat "$WORK/coord.log"; exit 1; }
+echo "clean coordinator drain: exit 0, $(grep drained "$WORK/coord.log")"
+echo "PASS"

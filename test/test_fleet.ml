@@ -1,0 +1,381 @@
+(* Tests for the sharded repair fleet: the consistent-hash Ring, the
+   Coordinator's routing / failover / replication / resubmission paths,
+   node health ejection and re-admission, ring-aware drain, and raw
+   protocol-1 frames against a live coordinator socket. *)
+
+(* ------------------------------ fixtures ------------------------------ *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tml-fleet-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let model_text =
+  "dtmc\n\
+   states 3\n\
+   init 0\n\
+   0 -> 1 : 0.3\n\
+   0 -> 2 : 0.7\n\
+   1 -> 1 : 1.0\n\
+   2 -> 2 : 1.0\n\
+   label goal = 1\n"
+
+let check_req b =
+  Wire.Check_req
+    { model = model_text; phi = Printf.sprintf "P>=%g [ F goal ]" b }
+
+let digest_of jr = Job.digest (Wire.job_of_request jr)
+
+(* A backend node: runtime + router + server on a fresh Unix socket,
+   individually stoppable (and SIGKILL-equivalently "killable" by
+   stopping server and runtime — the socket path vanishes, so the
+   coordinator sees connection-refused). *)
+type backend = {
+  b_path : string;
+  mutable b_rt : Runtime.t option;
+  mutable b_server : Server.t option;
+}
+
+let start_backend ?(workers = 2) path =
+  let rt = Runtime.create ~workers () in
+  let router = Router.create rt in
+  let server =
+    Server.start ~read_timeout_s:0.2 ~write_timeout_s:2.0 ~drain_timeout_s:10.0
+      ~handler:(Server.handler_of_router router) (`Unix path)
+  in
+  { b_path = path; b_rt = Some rt; b_server = Some server }
+
+let stop_backend b =
+  Option.iter Server.stop b.b_server;
+  b.b_server <- None;
+  Option.iter (fun rt -> Runtime.shutdown rt) b.b_rt;
+  b.b_rt <- None
+
+let restart_backend b =
+  stop_backend b;
+  let fresh = start_backend b.b_path in
+  b.b_rt <- fresh.b_rt;
+  b.b_server <- fresh.b_server
+
+let with_fleet ?(nodes = 3) ?(probe_interval_s = 10.0) ?(eject_threshold = 2)
+    ?(rpc_timeout_s = 5.0) f =
+  let backends = List.init nodes (fun _ -> start_backend (fresh_sock ())) in
+  let addrs = List.map (fun b -> `Unix b.b_path) backends in
+  let coord =
+    Coordinator.create ~probe_interval_s ~eject_threshold ~rpc_timeout_s
+      ~drain_timeout_s:10.0 addrs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Coordinator.shutdown coord;
+      List.iter stop_backend backends)
+    (fun () -> f backends coord)
+
+(* Drive the coordinator directly through its handler — the Server layer
+   on top is exercised by [test_live_coordinator_socket]. *)
+let submit_ok coord jr =
+  match Coordinator.handle coord ~client:0 (Wire.Submit jr) with
+  | Wire.Annotated (_, Wire.Accepted { job; _ }) | Wire.Accepted { job; _ } ->
+    job
+  | resp ->
+    Alcotest.failf "submit: unexpected response %s"
+      (Wire.render (Wire.response_to_json ~id:0 resp))
+
+let wait_ok coord digest =
+  match Coordinator.handle coord ~client:0 (Wire.Wait (digest, Some 30.0)) with
+  | Wire.Annotated (_, Wire.Status { state = Wire.Job_done report; _ })
+  | Wire.Status { state = Wire.Job_done report; _ } ->
+    report
+  | resp ->
+    Alcotest.failf "wait: unexpected response %s"
+      (Wire.render (Wire.response_to_json ~id:0 resp))
+
+(* A check_req whose digest lands on the given ring member, found by
+   scanning thresholds — deterministic for a fixed ring. *)
+let req_owned_by coord name =
+  let rec scan i =
+    if i > 400 then Alcotest.fail "no digest found for node"
+    else
+      let jr = check_req (0.001 *. float_of_int i) in
+      if Ring.owner (Coordinator.ring coord) (digest_of jr) = Some name then jr
+      else scan (i + 1)
+  in
+  scan 1
+
+let node_state coord name =
+  match Coordinator.handle coord ~client:0 Wire.Fleet_status with
+  | Wire.Fleet_reply json ->
+    let nodes =
+      match Wire.member "nodes" json with Some (Wire.Arr l) -> l | _ -> []
+    in
+    List.find_map
+      (fun n ->
+         match (Wire.member "name" n, Wire.member "state" n) with
+         | Some (Wire.Str n'), Some (Wire.Str s) when n' = name -> Some s
+         | _ -> None)
+      nodes
+  | _ -> None
+
+(* -------------------------------- ring -------------------------------- *)
+
+let keys = List.init 300 (fun i -> Printf.sprintf "digest-%d" i)
+
+let test_ring_deterministic () =
+  let names = [ "n0"; "n1"; "n2"; "n3" ] in
+  let r1 = Ring.make names and r2 = Ring.make (List.rev names) in
+  List.iter
+    (fun k ->
+       Alcotest.(check (option string))
+         "owner independent of insertion order" (Ring.owner r1 k)
+         (Ring.owner r2 k))
+    keys;
+  Alcotest.(check (list string)) "members sorted" names (Ring.nodes r1)
+
+let test_ring_coverage () =
+  let r = Ring.make [ "n0"; "n1"; "n2"; "n3" ] in
+  let owned name = List.exists (fun k -> Ring.owner r k = Some name) keys in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " owns some keys") true (owned n))
+    (Ring.nodes r);
+  List.iter
+    (fun k ->
+       let succ = Ring.successors r k in
+       Alcotest.(check int) "successors are all distinct members" 4
+         (List.length (List.sort_uniq compare succ));
+       Alcotest.(check (option string))
+         "successors head is the owner" (Ring.owner r k)
+         (match succ with s :: _ -> Some s | [] -> None))
+    keys
+
+(* The deterministic-rendezvous property the failover logic leans on:
+   removing a node moves exactly the keys it owned, each to its ring
+   successor; every other key keeps its owner. *)
+let test_ring_minimal_disruption () =
+  let r = Ring.make [ "n0"; "n1"; "n2"; "n3" ] in
+  let r' = Ring.without r "n2" in
+  List.iter
+    (fun k ->
+       match Ring.owner r k with
+       | Some "n2" ->
+         let expected =
+           match Ring.successors r k with
+           | _owner :: next :: _ -> Some next
+           | _ -> None
+         in
+         Alcotest.(check (option string))
+           "orphaned key moves to its successor" expected (Ring.owner r' k)
+       | owner ->
+         Alcotest.(check (option string)) "other keys keep their owner" owner
+           (Ring.owner r' k))
+    keys;
+  (* re-adding restores the original ownership exactly *)
+  let r'' = Ring.with_node r' "n2" in
+  List.iter
+    (fun k ->
+       Alcotest.(check (option string))
+         "re-add restores ownership" (Ring.owner r k) (Ring.owner r'' k))
+    keys
+
+(* ---------------------------- coordinator ----------------------------- *)
+
+let test_fleet_basic () =
+  with_fleet ~nodes:3 @@ fun _backends coord ->
+  (* jobs complete through the ring, identical jobs share a digest *)
+  let d1 = submit_ok coord (check_req 0.25) in
+  let report = wait_ok coord d1 in
+  Alcotest.(check bool) "report non-empty" true (String.length report > 0);
+  let d1' = submit_ok coord (check_req 0.25) in
+  Alcotest.(check string) "same job, same digest" d1 d1';
+  (* fleet status lists every node healthy *)
+  match Coordinator.handle coord ~client:0 Wire.Fleet_status with
+  | Wire.Fleet_reply json ->
+    (match Wire.member "ring" json with
+     | Some (Wire.Arr members) ->
+       Alcotest.(check int) "all nodes in the ring" 3 (List.length members)
+     | _ -> Alcotest.fail "fleet status must list the ring")
+  | _ -> Alcotest.fail "expected Fleet_reply"
+
+let test_reroute_on_dead_node () =
+  with_fleet ~nodes:3 @@ fun backends coord ->
+  let victim = List.nth backends 0 in
+  let victim_name = "unix:" ^ victim.b_path in
+  let jr = req_owned_by coord victim_name in
+  let reroutes_before =
+    Metrics.counter_value
+      (Metrics.counter "tml_fleet_reroutes_total")
+  in
+  stop_backend victim;
+  (* the digest's owner is dead: the submit must transparently land on
+     the next ring successor, and the job must still complete *)
+  let digest = submit_ok coord jr in
+  let report = wait_ok coord digest in
+  Alcotest.(check bool) "job completed despite dead owner" true
+    (String.length report > 0);
+  let reroutes_after =
+    Metrics.counter_value (Metrics.counter "tml_fleet_reroutes_total")
+  in
+  Alcotest.(check bool) "reroutes counted" true
+    (reroutes_after > reroutes_before)
+
+(* Kill a job's owner after completion: the coordinator must still
+   produce the byte-identical report, from the successor's replica or by
+   resubmitting from its registry. *)
+let test_zero_loss_after_owner_death () =
+  with_fleet ~nodes:3 @@ fun backends coord ->
+  let victim = List.nth backends 1 in
+  let victim_name = "unix:" ^ victim.b_path in
+  let jr = req_owned_by coord victim_name in
+  let digest = submit_ok coord jr in
+  let report1 = wait_ok coord digest in
+  stop_backend victim;
+  let report2 = wait_ok coord digest in
+  Alcotest.(check string) "byte-identical report after owner death" report1
+    report2
+
+let test_eject_and_readmit () =
+  with_fleet ~nodes:3 ~probe_interval_s:0.1 ~eject_threshold:2
+    ~rpc_timeout_s:1.0
+  @@ fun backends coord ->
+  let victim = List.nth backends 2 in
+  let victim_name = "unix:" ^ victim.b_path in
+  stop_backend victim;
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec await_state want =
+    if Unix.gettimeofday () > deadline then
+      Alcotest.failf "node never became %s (stuck at %s)" want
+        (Option.value ~default:"?" (node_state coord victim_name))
+    else if node_state coord victim_name <> Some want then begin
+      Thread.delay 0.05;
+      await_state want
+    end
+  in
+  await_state "ejected";
+  Alcotest.(check bool) "ejected node left the ring" false
+    (Ring.mem (Coordinator.ring coord) victim_name);
+  (* the fleet still serves while a node is down *)
+  let d = submit_ok coord (check_req 0.33) in
+  ignore (wait_ok coord d : string);
+  (* bring it back: probation on the first successful probe, healthy and
+     re-admitted on the second *)
+  restart_backend victim;
+  await_state "healthy";
+  Alcotest.(check bool) "re-admitted to the ring" true
+    (Ring.mem (Coordinator.ring coord) victim_name)
+
+let test_drain_node () =
+  with_fleet ~nodes:3 @@ fun backends coord ->
+  let victim = List.nth backends 0 in
+  let victim_name = "unix:" ^ victim.b_path in
+  (* park some completed work on the victim so the drain has something
+     to account for *)
+  let jr = req_owned_by coord victim_name in
+  let digest = submit_ok coord jr in
+  let report1 = wait_ok coord digest in
+  (match Coordinator.handle coord ~client:0 (Wire.Drain_node victim_name) with
+   | Wire.Drained { node; pending } ->
+     Alcotest.(check string) "drained the right node" victim_name node;
+     Alcotest.(check int) "zero jobs lost to the drain" 0 pending
+   | resp ->
+     Alcotest.failf "drain: unexpected response %s"
+       (Wire.render (Wire.response_to_json ~id:0 resp)));
+  Alcotest.(check bool) "drained node left the ring" false
+    (Ring.mem (Coordinator.ring coord) victim_name);
+  Alcotest.(check (option string)) "state is drained" (Some "drained")
+    (node_state coord victim_name);
+  (* the drained node's report is still reachable through the ring *)
+  stop_backend victim;
+  let report2 = wait_ok coord digest in
+  Alcotest.(check string) "report survives the drain" report1 report2;
+  (* and new work routes around it *)
+  let d = submit_ok coord (check_req 0.41) in
+  ignore (wait_ok coord d : string);
+  match Coordinator.handle coord ~client:0 (Wire.Drain_node "unix:/nope") with
+  | Wire.Error_reply e ->
+    Alcotest.(check string) "unknown node is not-found" "not-found" e.Wire.kind
+  | _ -> Alcotest.fail "draining an unknown node must fail"
+
+(* ------------------------- live coordinator --------------------------- *)
+
+(* Raw protocol-1 frames — no fleet-aware code at all on the client side
+   — against a full coordinator: Server + Coordinator.handler.  Proves an
+   unmodified v1 client works unchanged against a fleet. *)
+let test_live_coordinator_socket () =
+  with_fleet ~nodes:2 @@ fun _backends coord ->
+  let path = fresh_sock () in
+  let server =
+    Server.start ~read_timeout_s:0.2 ~write_timeout_s:2.0
+      ~handler:(Coordinator.handler coord) (`Unix path)
+  in
+  Fun.protect ~finally:(fun () -> Server.stop server) @@ fun () ->
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* a hand-built v1 ping envelope *)
+  Wire.write_frame fd
+    (Wire.Obj
+       [ ("v", Wire.Num 1.0); ("id", Wire.Num 1.0); ("op", Wire.Str "ping") ]);
+  (match Wire.read_frame fd with
+   | `Frame j ->
+     (match Wire.response_of_json j with
+      | 1, Wire.Pong -> ()
+      | _ -> Alcotest.fail "v1 ping must get a pong")
+   | _ -> Alcotest.fail "expected a pong frame");
+  (* a v1 submit + wait: the coordinator's extra "node" annotation must
+     not confuse the v1 decoder *)
+  Wire.write_frame fd (Wire.request_to_json ~id:2 (Wire.Submit (check_req 0.25)));
+  let digest =
+    match Wire.read_frame fd with
+    | `Frame j -> (
+        match Wire.response_of_json j with
+        | 2, Wire.Accepted { job; _ } ->
+          (match Wire.member "node" j with
+           | Some (Wire.Str _) -> job
+           | _ -> Alcotest.fail "coordinator responses carry a node field")
+        | _ -> Alcotest.fail "v1 submit must be accepted")
+    | _ -> Alcotest.fail "expected an accept frame"
+  in
+  Wire.write_frame fd (Wire.request_to_json ~id:3 (Wire.Wait (digest, Some 30.0)));
+  (* the per-socket read deadline is short; drain idle ticks manually *)
+  let rec read_reply () =
+    match Wire.read_frame fd with
+    | `Frame j -> j
+    | `Idle -> read_reply ()
+    | `Eof -> Alcotest.fail "server closed before replying"
+  in
+  match Wire.response_of_json (read_reply ()) with
+  | 3, Wire.Status { state = Wire.Job_done report; _ } ->
+    Alcotest.(check bool) "v1 wait returns the report" true
+      (String.length report > 0)
+  | _ -> Alcotest.fail "v1 wait must settle Job_done"
+
+(* -------------------------------- main -------------------------------- *)
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "deterministic" `Quick test_ring_deterministic;
+          Alcotest.test_case "coverage" `Quick test_ring_coverage;
+          Alcotest.test_case "minimal disruption" `Quick
+            test_ring_minimal_disruption;
+        ] );
+      ( "coordinator",
+        [
+          Alcotest.test_case "basic routing" `Quick test_fleet_basic;
+          Alcotest.test_case "reroute on dead node" `Quick
+            test_reroute_on_dead_node;
+          Alcotest.test_case "zero loss after owner death" `Quick
+            test_zero_loss_after_owner_death;
+          Alcotest.test_case "eject and readmit" `Quick test_eject_and_readmit;
+          Alcotest.test_case "drain node" `Quick test_drain_node;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "v1 client vs live coordinator" `Quick
+            test_live_coordinator_socket;
+        ] );
+    ]

@@ -34,7 +34,7 @@ let with_server ?admission ?(workers = 2) f =
   let path = fresh_sock () in
   let server =
     Server.start ~read_timeout_s:0.25 ~write_timeout_s:2.0
-      ~drain_timeout_s:10.0 ~router (`Unix path)
+      ~drain_timeout_s:10.0 ~handler:(Server.handler_of_router router) (`Unix path)
   in
   Fun.protect
     ~finally:(fun () -> Server.stop server)
@@ -155,8 +155,8 @@ let test_frame_oversized_and_garbage () =
        ignore (Unix.write_substring a "short" 0 5 : int);
        Unix.close a;
        match Wire.read_frame b with
-       | exception Wire.Protocol_error _ -> ()
-       | _ -> Alcotest.fail "truncated frame must be rejected")
+       | exception Wire.Peer_closed _ -> ()
+       | _ -> Alcotest.fail "truncated frame must raise Peer_closed")
 
 let test_envelope_roundtrip () =
   let reqs =
@@ -213,6 +213,9 @@ let test_envelope_roundtrip () =
       Wire.Cancel "abc123";
       Wire.Stats;
       Wire.Ping;
+      Wire.Put_report { job = "abc123"; report = "report text\n" };
+      Wire.Fleet_status;
+      Wire.Drain_node "unix:/tmp/node-2.sock";
     ]
   in
   List.iteri
@@ -244,6 +247,10 @@ let test_envelope_roundtrip () =
       Wire.Pong;
       Wire.Error_reply
         { Wire.kind = "protocol"; message = "bad"; transient = false };
+      Wire.Stored { job = "d1" };
+      Wire.Fleet_reply (Wire.Obj [ ("ring", Wire.Arr [ Wire.Str "n1" ]) ]);
+      Wire.Drained { node = "unix:/tmp/node-2.sock"; pending = 0 };
+      Wire.Drained { node = "127.0.0.1:7001"; pending = 3 };
     ]
   in
   List.iteri
@@ -263,6 +270,46 @@ let test_envelope_roundtrip () =
   with
   | exception Wire.Protocol_error _ -> ()
   | _ -> Alcotest.fail "version 99 must be rejected"
+
+(* Protocol-1 forward compatibility: unknown envelope fields are ignored
+   on decode.  This is exactly what lets an unmodified v1 client talk to
+   a fleet coordinator, whose responses carry an extra "node"
+   serving-node annotation. *)
+let test_unknown_fields_ignored () =
+  let id, req =
+    Wire.request_of_json
+      (Wire.Obj
+         [
+           ("v", Wire.Num 1.0);
+           ("id", Wire.Num 4.0);
+           ("op", Wire.Str "ping");
+           ("shard", Wire.Str "a");
+           ("hop", Wire.Num 2.0);
+         ])
+  in
+  Alcotest.(check int) "id survives stray fields" 4 id;
+  Alcotest.(check bool) "request decodes past stray fields" true
+    (req = Wire.Ping);
+  let resp = Wire.Accepted { job = "d1"; cached = false } in
+  let annotated =
+    Wire.Annotated ([ ("node", Wire.Str "unix:/tmp/n0.sock") ], resp)
+  in
+  let json = Wire.response_to_json ~id:9 annotated in
+  (match Wire.member "node" json with
+   | Some (Wire.Str "unix:/tmp/n0.sock") -> ()
+   | _ -> Alcotest.fail "the annotation must appear on the wire");
+  let id', resp' = Wire.response_of_json (Wire.parse (Wire.render json)) in
+  Alcotest.(check int) "annotated response id" 9 id';
+  Alcotest.(check bool) "a v1 decoder sees the base response" true
+    (resp' = resp);
+  (* an annotation may not shadow a base envelope field *)
+  let clash =
+    Wire.response_to_json ~id:1
+      (Wire.Annotated ([ ("job", Wire.Str "evil") ], resp))
+  in
+  match Wire.member "job" clash with
+  | Some (Wire.Str "d1") -> ()
+  | _ -> Alcotest.fail "base fields must win over annotations"
 
 let test_job_decoding () =
   (match Wire.job_of_request (check_req 0.25) with
@@ -364,7 +411,7 @@ let test_graceful_drain () =
   let router = Router.create rt in
   let path = fresh_sock () in
   let server =
-    Server.start ~read_timeout_s:0.25 ~write_timeout_s:2.0 ~router (`Unix path)
+    Server.start ~read_timeout_s:0.25 ~write_timeout_s:2.0 ~handler:(Server.handler_of_router router) (`Unix path)
   in
   let c = Client.connect (`Unix path) in
   let digest, _ = Client.submit c (check_req 0.41) in
@@ -388,6 +435,30 @@ let test_graceful_drain () =
    | _ -> Alcotest.fail "submit during drain must be rejected");
   (* the socket file is gone and the listener no longer accepts *)
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists path)
+
+(* The drain-mode edge PR 5 left untested: a wait (or poll) on a ticket
+   that already completed must keep serving the report during a drain —
+   only new submits are refused. *)
+let test_drain_serves_completed_ticket () =
+  with_server @@ fun addr _server router ->
+  Client.with_client addr @@ fun c ->
+  let digest, _ = Client.submit c (check_req 0.27) in
+  (match Client.wait c digest with
+   | Wire.Job_done _ -> ()
+   | _ -> Alcotest.fail "expected Job_done before the drain");
+  Router.set_draining router;
+  (match Client.wait c digest with
+   | Wire.Job_done report ->
+     Alcotest.(check bool) "report still served during drain" true
+       (String.length report > 0)
+   | _ -> Alcotest.fail "wait on a completed ticket during drain must \
+                         return the report, not Unavailable");
+  (match Client.poll c digest with
+   | Wire.Job_done _ -> ()
+   | _ -> Alcotest.fail "poll on a completed ticket during drain");
+  expect_remote_error ~kind:"unavailable" ~transient:true
+    "drain refuses new submits" (fun () ->
+        Client.submit c (check_req 0.31))
 
 let test_protocol_error_over_live_server () =
   with_server @@ fun addr _server _router ->
@@ -466,7 +537,8 @@ let test_chaos_accept_fault () =
      Client.ping c
    with
    | () -> Alcotest.fail "expected the faulted accept to drop the connection"
-   | exception (Wire.Protocol_error _ | Unix.Unix_error _) -> ());
+   | exception (Tml_error.Error _ | Wire.Protocol_error _ | Unix.Unix_error _)
+     -> ());
   Client.with_client addr @@ fun c -> Client.ping c
 
 (* -------------------------------- tcp --------------------------------- *)
@@ -475,7 +547,7 @@ let test_tcp_ephemeral_port () =
   Runtime.with_runtime ~workers:2 @@ fun rt ->
   let router = Router.create rt in
   let server =
-    Server.start ~read_timeout_s:0.25 ~write_timeout_s:2.0 ~router
+    Server.start ~read_timeout_s:0.25 ~write_timeout_s:2.0 ~handler:(Server.handler_of_router router)
       (`Tcp ("127.0.0.1", 0))
   in
   Fun.protect
@@ -504,6 +576,8 @@ let () =
           Alcotest.test_case "oversized and garbage frames" `Quick
             test_frame_oversized_and_garbage;
           Alcotest.test_case "envelope round-trip" `Quick test_envelope_roundtrip;
+          Alcotest.test_case "unknown fields ignored" `Quick
+            test_unknown_fields_ignored;
           Alcotest.test_case "job decoding" `Quick test_job_decoding;
         ] );
       ( "service",
@@ -518,6 +592,8 @@ let () =
             test_admission_sheds_overloaded;
           Alcotest.test_case "per-client limit" `Quick test_per_client_limit;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "drain serves completed ticket" `Quick
+            test_drain_serves_completed_ticket;
           Alcotest.test_case "protocol errors answered" `Quick
             test_protocol_error_over_live_server;
         ] );
