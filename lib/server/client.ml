@@ -11,25 +11,33 @@ type t = {
 
 let addr_to_string : addr -> string = function
   | `Unix path -> "unix:" ^ path
+  | `Tcp (host, port) when String.contains host ':' ->
+    Printf.sprintf "[%s]:%d" host port  (* IPv6 literal: round-trippable *)
   | `Tcp (host, port) -> Printf.sprintf "%s:%d" host port
 
+(* "unix:PATH", "HOST:PORT" or "[HOST]:PORT".  HOST:PORT splits on the
+   {e last} colon so bare IPv6 literals ("::1:7000") parse; the
+   bracketed form disambiguates any host containing ':' — including a
+   host literally named "unix", which the unix: prefix would otherwise
+   shadow. *)
 let addr_of_string s : addr =
-  match String.index_opt s ':' with
-  | None ->
-    raise
-      (Wire.Protocol_error
-         (Printf.sprintf "bad address %S (want unix:PATH or HOST:PORT)" s))
-  | Some i ->
-    let head = String.sub s 0 i
-    and tail = String.sub s (i + 1) (String.length s - i - 1) in
-    if head = "unix" then `Unix tail
-    else (
-      match int_of_string_opt tail with
-      | Some port when port > 0 && port < 65536 -> `Tcp (head, port)
-      | _ ->
-        raise
-          (Wire.Protocol_error
-             (Printf.sprintf "bad port in address %S" s)))
+  let bad fmt = Printf.ksprintf (fun m -> raise (Wire.Protocol_error m)) fmt in
+  let tcp host port_s =
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && port < 65536 -> `Tcp (host, port)
+    | _ -> bad "bad port in address %S" s
+  in
+  let len = String.length s in
+  if len >= 5 && String.sub s 0 5 = "unix:" then `Unix (String.sub s 5 (len - 5))
+  else if len > 0 && s.[0] = '[' then (
+    match String.index_opt s ']' with
+    | Some i when i + 1 < len && s.[i + 1] = ':' ->
+      tcp (String.sub s 1 (i - 1)) (String.sub s (i + 2) (len - i - 2))
+    | _ -> bad "bad address %S (want [HOST]:PORT)" s)
+  else (
+    match String.rindex_opt s ':' with
+    | None -> bad "bad address %S (want unix:PATH or HOST:PORT)" s
+    | Some i -> tcp (String.sub s 0 i) (String.sub s (i + 1) (len - i - 1)))
 
 let unreachable fmt =
   Printf.ksprintf
@@ -37,12 +45,15 @@ let unreachable fmt =
     fmt
 
 let connect ?(max_frame = Wire.default_max_frame) ?timeout_s (addr : addr) =
-  let domain, sockaddr =
+  let sockaddr =
     match addr with
-    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Unix path -> Unix.ADDR_UNIX path
     | `Tcp (host, port) ->
-      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
   in
+  (* derive the protocol family from the parsed address, so IPv6
+     literals get a PF_INET6 socket *)
+  let domain = Unix.domain_of_sockaddr sockaddr in
   let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
   (try
      (match timeout_s with

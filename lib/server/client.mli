@@ -15,10 +15,15 @@
 type addr = [ `Unix of string | `Tcp of string * int ]
 
 val addr_of_string : string -> addr
-(** Parse ["unix:PATH"] or ["HOST:PORT"].
+(** Parse ["unix:PATH"], ["HOST:PORT"] or ["[HOST]:PORT"].  [HOST:PORT]
+    splits on the {e last} colon, so bare IPv6 literals (["::1:7000"])
+    work; the bracketed form disambiguates any host containing [':'] —
+    or a TCP host literally named ["unix"].
     @raise Wire.Protocol_error on anything else. *)
 
 val addr_to_string : addr -> string
+(** Inverse of {!addr_of_string}; hosts containing [':'] render
+    bracketed. *)
 
 exception Remote_error of Wire.err
 (** The server answered with an [Error_reply]. *)

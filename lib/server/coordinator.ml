@@ -27,12 +27,15 @@ type node = {
   gauge : Metrics.gauge;
 }
 
-(* Every digest the coordinator has ever accepted.  [req] is the wire
-   payload kept for resubmission after a node death; poll/wait/cancel on
-   digests submitted elsewhere still route, they just cannot be
-   recovered if the owner dies before completing. *)
+(* Every digest the coordinator currently tracks.  [req] is the wire
+   payload kept for resubmission after a node death, dropped once the
+   job is observed complete (it can never need re-running again);
+   poll/wait/cancel on digests submitted elsewhere still route, they
+   just cannot be recovered if the owner dies before completing.
+   Completed entries are evicted FIFO past [max_completed], so the
+   registry stays bounded on a long-lived coordinator. *)
 type entry = {
-  req : Wire.job_request option;
+  mutable req : Wire.job_request option;
   mutable owner : string option;  (* node last known to hold the job *)
   mutable completed : bool;
   mutable replicated : bool;
@@ -43,6 +46,8 @@ type t = {
   mutable ring : Ring.t;  (* Healthy + Draining members *)
   nodes : (string, node) Hashtbl.t;
   jobs : (string, entry) Hashtbl.t;
+  completed_q : string Queue.t;  (* completion order, for FIFO eviction *)
+  max_completed : int;
   rpc_timeout_s : float;
   probe_interval_s : float;
   eject_threshold : int;
@@ -178,6 +183,38 @@ let rpc_once t node f =
 let no_node_error =
   Tml_error.Error (Tml_error.Unreachable "no fleet node available")
 
+(* Proxy a [Wait] as a loop of short waits on the same connection, each
+   kept well inside the [rpc_timeout_s] socket deadline.  A single
+   proxied wait bounded only by the socket deadline would turn any job
+   running longer than [rpc_timeout_s] into a spurious `Idle` →
+   [Unreachable]: a health strike against a perfectly alive node plus a
+   re-route that duplicates the job elsewhere.  Chunking means the
+   socket deadline only fires when the backend truly stops answering —
+   a genuine failure — while the wait's own deadline is enforced here,
+   returning the backend's [Job_pending] exactly as a single node
+   would. *)
+let chunked_wait t ~digest timeout_s c =
+  let chunk = Float.max 0.05 (t.rpc_timeout_s /. 2.) in
+  let deadline =
+    Option.map (fun s -> Unix.gettimeofday () +. Float.max 0. s) timeout_s
+  in
+  let rec go () =
+    let step =
+      match deadline with
+      | None -> chunk
+      | Some d -> Float.min chunk (d -. Unix.gettimeofday ())
+    in
+    if step <= 0. then Client.rpc c (Wire.Poll digest)
+    else
+      match Client.rpc c (Wire.Wait (digest, Some step)) with
+      | Wire.Status { state = Wire.Job_pending; _ } as resp ->
+        (match deadline with
+         | Some d when Unix.gettimeofday () >= d -> resp
+         | _ -> go ())
+      | resp -> resp
+  in
+  go ()
+
 (* Walk the candidate list until one node answers.  Transient failures
    (peer death, timeouts, [Overloaded]/[Unavailable] error replies)
    re-route to the next candidate after a capped jittered backoff;
@@ -224,7 +261,12 @@ let find_entry t digest = locked t (fun () -> Hashtbl.find_opt t.jobs digest)
 let register t digest jr =
   locked t (fun () ->
       match Hashtbl.find_opt t.jobs digest with
-      | Some e -> e
+      | Some e ->
+        (* the digest may have been seen first via poll/wait/cancel
+           ([req = None]): attach the payload so this submit gets the
+           resubmission guarantee too *)
+        if e.req = None && not e.completed then e.req <- Some jr;
+        e
       | None ->
         let e =
           { req = Some jr; owner = None; completed = false; replicated = false }
@@ -242,6 +284,26 @@ let register_foreign t digest =
         in
         Hashtbl.replace t.jobs digest e;
         e)
+
+(* First completed observation of a digest: the payload kept for
+   resubmission can never be needed again, so drop it, and enqueue the
+   digest for FIFO eviction past [max_completed] — the registry stays
+   bounded instead of growing with every job the coordinator has ever
+   accepted.  Evicted digests that come back (a late poll) just take the
+   [register_foreign] path and route by ring order. *)
+let mark_completed t ~digest entry =
+  locked t (fun () ->
+      if not entry.completed then begin
+        entry.completed <- true;
+        entry.req <- None;
+        Queue.push digest t.completed_q;
+        while Queue.length t.completed_q > t.max_completed do
+          let evicted = Queue.pop t.completed_q in
+          match Hashtbl.find_opt t.jobs evicted with
+          | Some e when e.completed -> Hashtbl.remove t.jobs evicted
+          | _ -> ()
+        done
+      end)
 
 (* Replicate a finished report to the digest's ring successor (the node
    that would inherit the digest if its owner vanished), best-effort:
@@ -274,10 +336,10 @@ let replicate t entry ~digest ~served_by report =
 
 let note_state t entry ~digest ~served_by = function
   | Wire.Job_done report ->
-    entry.completed <- true;
+    mark_completed t ~digest entry;
     replicate t entry ~digest ~served_by report
   | Wire.Job_failed _ | Wire.Job_cancelled | Wire.Job_timed_out ->
-    entry.completed <- true
+    mark_completed t ~digest entry
   | Wire.Job_pending -> ()
 
 (* ------------------------------- ops ------------------------------- *)
@@ -304,19 +366,18 @@ let do_submit t jr =
    same report. *)
 let with_resubmit entry ~digest op c =
   match op c with
-  | Wire.Error_reply err
-    when err.Wire.kind = "not-found" && entry.req <> None ->
-    (match entry.req with
-     | Some jr ->
-       (match Client.rpc c (Wire.Submit jr) with
-        | Wire.Accepted _ ->
-          Metrics.incr resubmits_c;
-          ignore
-            (Trace_span.event "fleet:resubmit" ~attrs:[ ("job", digest) ]
-             : int option);
-          op c
-        | other -> other)
-     | None -> assert false)
+  | Wire.Error_reply err when err.Wire.kind = "not-found" -> (
+      match entry.req with
+      | Some jr ->
+        (match Client.rpc c (Wire.Submit jr) with
+         | Wire.Accepted _ ->
+           Metrics.incr resubmits_c;
+           ignore
+             (Trace_span.event "fleet:resubmit" ~attrs:[ ("job", digest) ]
+              : int option);
+           op c
+         | other -> other)
+      | None -> Wire.Error_reply err)
   | resp -> resp
 
 let do_fetch t digest op =
@@ -333,7 +394,7 @@ let do_fetch t digest op =
      | Wire.Status { state; _ } ->
        entry.owner <- Some name;
        note_state t entry ~digest ~served_by:name state
-     | Wire.Cancelled { cancelled = true; _ } -> entry.completed <- true
+     | Wire.Cancelled { cancelled = true; _ } -> mark_completed t ~digest entry
      | _ -> ());
     annotate name resp
 
@@ -435,9 +496,10 @@ let do_drain_node t name =
     let pending = ref 0 in
     List.iter
       (fun (digest, entry) ->
+         (* chunked, so the configured drain bound is actually reachable
+            even when it exceeds the per-RPC socket deadline *)
          match
-           rpc_once t node (fun c ->
-               Client.rpc c (Wire.Wait (digest, Some t.drain_timeout_s)))
+           rpc_once t node (chunked_wait t ~digest (Some t.drain_timeout_s))
          with
          | Wire.Status { state; _ } ->
            note_state t entry ~digest ~served_by:name state;
@@ -482,7 +544,8 @@ let probe_loop t () =
 (* ------------------------------ public ----------------------------- *)
 
 let create ?(vnodes = 64) ?(rpc_timeout_s = 10.0) ?(probe_interval_s = 2.0)
-    ?(eject_threshold = 3) ?(drain_timeout_s = 30.0) ?retry addrs =
+    ?(eject_threshold = 3) ?(drain_timeout_s = 30.0) ?(max_completed = 1024)
+    ?retry addrs =
   if addrs = [] then invalid_arg "Coordinator.create: no backend nodes";
   let nodes = Hashtbl.create 8 in
   List.iter
@@ -506,6 +569,8 @@ let create ?(vnodes = 64) ?(rpc_timeout_s = 10.0) ?(probe_interval_s = 2.0)
       ring = Ring.make ~vnodes names;
       nodes;
       jobs = Hashtbl.create 64;
+      completed_q = Queue.create ();
+      max_completed = max 0 max_completed;
       rpc_timeout_s;
       probe_interval_s;
       eject_threshold;
@@ -549,7 +614,7 @@ let handle t ~client:_ req =
     | Wire.Poll digest ->
       do_fetch t digest (fun c -> Client.rpc c (Wire.Poll digest))
     | Wire.Wait (digest, timeout_s) ->
-      do_fetch t digest (fun c -> Client.rpc c (Wire.Wait (digest, timeout_s)))
+      do_fetch t digest (chunked_wait t ~digest timeout_s)
     | Wire.Cancel digest ->
       do_fetch t digest (fun c -> Client.rpc c (Wire.Cancel digest))
     | Wire.Put_report _ ->
@@ -578,8 +643,7 @@ let drain ?timeout_s t =
   List.iter
     (fun digest ->
        ignore
-         (do_fetch t digest (fun c ->
-              Client.rpc c (Wire.Wait (digest, Some timeout_s)))
+         (do_fetch t digest (chunked_wait t ~digest (Some timeout_s))
           : Wire.response))
     incomplete
 

@@ -14,10 +14,18 @@
     ({!Retry.backoff_s}), bumping [tml_fleet_reroutes_total].  Finished
     reports are replicated ({!Wire.Put_report}) to the digest's
     successor, and every accepted submit's wire payload is kept in a
-    registry: when a failover node answers ["not-found"], the job is
-    resubmitted there and re-asked.  Jobs are deterministic, so the
-    recovered report is byte-identical — an accepted job is never lost
-    to a node death.
+    registry until the job is observed complete: when a failover node
+    answers ["not-found"], the job is resubmitted there and re-asked.
+    Jobs are deterministic, so the recovered report is byte-identical —
+    an accepted job is never lost to a node death.  Completed registry
+    entries are evicted FIFO past [max_completed], so coordinator memory
+    does not grow with lifetime job count.
+
+    {b Waits.}  Proxied [Wait]s are re-issued to the backend in chunks
+    shorter than [rpc_timeout_s], with the wait's own deadline enforced
+    at the coordinator — a job running longer than the per-RPC socket
+    deadline is {e not} a node failure, and never triggers a health
+    strike, a re-route, or duplicated work.
 
     {b Health.}  A prober thread pings every node each
     [probe_interval_s]; [eject_threshold] consecutive failures eject a
@@ -41,17 +49,21 @@ val create :
   ?probe_interval_s:float ->
   ?eject_threshold:int ->
   ?drain_timeout_s:float ->
+  ?max_completed:int ->
   ?retry:Retry.t ->
   Client.addr list ->
   t
 (** Build the ring over the given backends (all initially healthy) and
     start the prober thread.  [vnodes] (default 64) is the ring's
     virtual-node count; [rpc_timeout_s] (default 10) arms each backend
-    socket's deadlines; [probe_interval_s] (default 2) paces the health
-    prober; [eject_threshold] (default 3) is the consecutive-failure
-    ejection bar; [drain_timeout_s] (default 30) bounds per-job waits
-    during drains; [retry] shapes the failover backoff schedule
-    (default: 25 ms base, 500 ms cap).
+    socket's deadlines (waits are chunked below it, so it bounds
+    node-silence detection, not job runtime); [probe_interval_s]
+    (default 2) paces the health prober; [eject_threshold] (default 3)
+    is the consecutive-failure ejection bar; [drain_timeout_s]
+    (default 30) bounds per-job waits during drains; [max_completed]
+    (default 1024) caps retained completed registry entries;
+    [retry] shapes the failover backoff schedule (default: 25 ms base,
+    500 ms cap).
     @raise Invalid_argument on an empty node list. *)
 
 val handle : t -> client:int -> Wire.request -> Wire.response

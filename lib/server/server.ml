@@ -163,15 +163,19 @@ let accept_loop t () =
 let start ?(backlog = 16) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
     ?(max_frame = Wire.default_max_frame) ?(drain_timeout_s = 30.0) ~handler
     addr =
-  let domain, sockaddr =
+  let sockaddr =
     match addr with
     | `Unix path ->
       if Sys.file_exists path then Unix.unlink path;
-      (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+      Unix.ADDR_UNIX path
     | `Tcp (host, port) ->
-      (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+      Unix.ADDR_INET (Unix.inet_addr_of_string host, port)
   in
-  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  let listen_fd =
+    Unix.socket ~cloexec:true
+      (Unix.domain_of_sockaddr sockaddr)
+      Unix.SOCK_STREAM 0
+  in
   (match addr with
    | `Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
    | `Unix _ -> ());

@@ -119,6 +119,94 @@ let node_state coord name =
       nodes
   | _ -> None
 
+(* A scripted backend: a Server whose handler emulates a job taking a
+   fixed wall-clock [duration_s], honouring each wait's own timeout —
+   the controllable slow job the real runtime cannot produce.  Used to
+   pin down the coordinator's handling of jobs that outlive the per-RPC
+   socket deadline. *)
+type scripted = { sc_path : string; mutable sc_server : Server.t option }
+
+let start_scripted ?(duration_s = 1.0) path =
+  let jobs : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  let m = Mutex.create () in
+  let locked f =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+  in
+  let not_found digest =
+    Wire.Error_reply
+      { Wire.kind = "not-found"; message = digest; transient = false }
+  in
+  let status digest t_done =
+    if Unix.gettimeofday () >= t_done then
+      Wire.Status { job = digest; state = Wire.Job_done ("slow:" ^ digest) }
+    else Wire.Status { job = digest; state = Wire.Job_pending }
+  in
+  let on_request ~client:_ = function
+    | Wire.Ping -> Wire.Pong
+    | Wire.Submit jr ->
+      let digest = digest_of jr in
+      locked (fun () ->
+          if not (Hashtbl.mem jobs digest) then
+            Hashtbl.replace jobs digest (Unix.gettimeofday () +. duration_s));
+      Wire.Accepted { job = digest; cached = false }
+    | Wire.Poll digest -> (
+        match locked (fun () -> Hashtbl.find_opt jobs digest) with
+        | None -> not_found digest
+        | Some t_done -> status digest t_done)
+    | Wire.Wait (digest, timeout_s) -> (
+        match locked (fun () -> Hashtbl.find_opt jobs digest) with
+        | None -> not_found digest
+        | Some t_done ->
+          let until =
+            match timeout_s with
+            | None -> t_done
+            | Some s -> Float.min t_done (Unix.gettimeofday () +. s)
+          in
+          let dt = until -. Unix.gettimeofday () in
+          if dt > 0. then Thread.delay dt;
+          status digest t_done)
+    | Wire.Cancel digest -> Wire.Cancelled { job = digest; cancelled = false }
+    | Wire.Put_report { job; _ } -> Wire.Stored { job }
+    | _ ->
+      Wire.Error_reply
+        { Wire.kind = "bad-request"; message = "scripted"; transient = false }
+  in
+  let handler =
+    {
+      Server.on_request;
+      on_stop = (fun () -> ());
+      on_drain = (fun ~timeout_s:_ -> ());
+      pending = (fun () -> 0);
+    }
+  in
+  let server =
+    Server.start ~read_timeout_s:0.2 ~write_timeout_s:2.0 ~handler (`Unix path)
+  in
+  { sc_path = path; sc_server = Some server }
+
+let stop_scripted b =
+  Option.iter Server.stop b.sc_server;
+  b.sc_server <- None
+
+let with_scripted_fleet ?(nodes = 1) ?(duration_s = 1.0) ?(rpc_timeout_s = 0.3)
+    ?(drain_timeout_s = 5.0) f =
+  let backends =
+    List.init nodes (fun _ -> start_scripted ~duration_s (fresh_sock ()))
+  in
+  let addrs = List.map (fun b -> `Unix b.sc_path) backends in
+  let coord =
+    Coordinator.create ~probe_interval_s:10.0 ~eject_threshold:2 ~rpc_timeout_s
+      ~drain_timeout_s addrs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Coordinator.shutdown coord;
+      List.iter stop_scripted backends)
+    (fun () -> f backends coord)
+
+let counter name = Metrics.counter_value (Metrics.counter name)
+
 (* -------------------------------- ring -------------------------------- *)
 
 let keys = List.init 300 (fun i -> Printf.sprintf "digest-%d" i)
@@ -297,6 +385,145 @@ let test_drain_node () =
     Alcotest.(check string) "unknown node is not-found" "not-found" e.Wire.kind
   | _ -> Alcotest.fail "draining an unknown node must fail"
 
+(* A job running longer than the per-RPC socket deadline must not read
+   as a node failure: the proxied wait chunks below the deadline instead
+   of striking the (alive) node's health, re-routing, or failing the
+   wait with "no fleet node available". *)
+let test_long_wait_not_a_node_failure () =
+  with_scripted_fleet ~nodes:1 ~duration_s:1.0 ~rpc_timeout_s:0.3
+  @@ fun backends coord ->
+  let node_name = "unix:" ^ (List.hd backends).sc_path in
+  let reroutes = counter "tml_fleet_reroutes_total" in
+  let ejections = counter "tml_fleet_ejections_total" in
+  let digest = submit_ok coord (check_req 0.25) in
+  (* a wait whose own timeout expires mid-job returns pending, exactly
+     like a single node would *)
+  (match Coordinator.handle coord ~client:0 (Wire.Wait (digest, Some 0.2)) with
+   | Wire.Annotated (_, Wire.Status { state = Wire.Job_pending; _ })
+   | Wire.Status { state = Wire.Job_pending; _ } -> ()
+   | resp ->
+     Alcotest.failf "short wait: unexpected response %s"
+       (Wire.render (Wire.response_to_json ~id:0 resp)));
+  (* a wait outliving rpc_timeout_s settles Job_done *)
+  (match Coordinator.handle coord ~client:0 (Wire.Wait (digest, Some 10.0)) with
+   | Wire.Annotated (_, Wire.Status { state = Wire.Job_done _; _ })
+   | Wire.Status { state = Wire.Job_done _; _ } -> ()
+   | resp ->
+     Alcotest.failf "long wait: unexpected response %s"
+       (Wire.render (Wire.response_to_json ~id:0 resp)));
+  Alcotest.(check bool) "no reroute for a long-running job" true
+    (counter "tml_fleet_reroutes_total" = reroutes);
+  Alcotest.(check bool) "no ejection for a long-running job" true
+    (counter "tml_fleet_ejections_total" = ejections);
+  Alcotest.(check (option string)) "node stays healthy" (Some "healthy")
+    (node_state coord node_name)
+
+(* The configured drain bound must be reachable even when it exceeds the
+   per-RPC socket deadline: an in-flight job taking longer than
+   rpc_timeout_s (but within drain_timeout_s) drains with zero pending. *)
+let test_drain_waits_past_rpc_deadline () =
+  with_scripted_fleet ~nodes:1 ~duration_s:1.0 ~rpc_timeout_s:0.3
+    ~drain_timeout_s:5.0
+  @@ fun backends coord ->
+  let node_name = "unix:" ^ (List.hd backends).sc_path in
+  ignore (submit_ok coord (check_req 0.3) : string);
+  match Coordinator.handle coord ~client:0 (Wire.Drain_node node_name) with
+  | Wire.Drained { pending; _ } ->
+    Alcotest.(check int) "slow in-flight job drains clean" 0 pending
+  | resp ->
+    Alcotest.failf "drain: unexpected response %s"
+      (Wire.render (Wire.response_to_json ~id:0 resp))
+
+(* A digest first seen via poll (registered with no payload) and then
+   genuinely submitted: the submit must attach the payload, so the job
+   is still recoverable by resubmission when its owner dies before
+   completing. *)
+let test_submit_upgrades_foreign_entry () =
+  with_scripted_fleet ~nodes:2 ~duration_s:1.0 ~rpc_timeout_s:0.5
+  @@ fun backends coord ->
+  let jr = check_req 0.25 in
+  let digest = digest_of jr in
+  (match Coordinator.handle coord ~client:0 (Wire.Poll digest) with
+   | Wire.Annotated (_, Wire.Error_reply e) | Wire.Error_reply e ->
+     Alcotest.(check string) "unsubmitted digest polls not-found" "not-found"
+       e.Wire.kind
+   | _ -> Alcotest.fail "poll of an unknown digest must be not-found");
+  let d = submit_ok coord jr in
+  Alcotest.(check string) "submit digest" digest d;
+  (* kill the owner before the job can complete *)
+  let owner =
+    match Ring.owner (Coordinator.ring coord) digest with
+    | Some n -> n
+    | None -> Alcotest.fail "digest has no ring owner"
+  in
+  let victim = List.find (fun b -> "unix:" ^ b.sc_path = owner) backends in
+  stop_scripted victim;
+  let resubmits = counter "tml_fleet_resubmits_total" in
+  let report = wait_ok coord digest in
+  Alcotest.(check bool) "report recovered on the survivor" true
+    (String.length report > 0);
+  Alcotest.(check bool) "recovered by resubmission" true
+    (counter "tml_fleet_resubmits_total" > resubmits)
+
+(* The registry must not grow with every job ever accepted: completed
+   entries are evicted FIFO past max_completed. *)
+let test_completed_registry_bounded () =
+  let backends = List.init 2 (fun _ -> start_backend (fresh_sock ())) in
+  let addrs = List.map (fun b -> `Unix b.b_path) backends in
+  let coord =
+    Coordinator.create ~probe_interval_s:10.0 ~rpc_timeout_s:5.0
+      ~drain_timeout_s:10.0 ~max_completed:2 addrs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Coordinator.shutdown coord;
+      List.iter stop_backend backends)
+  @@ fun () ->
+  List.iter
+    (fun b ->
+       let d = submit_ok coord (check_req b) in
+       ignore (wait_ok coord d : string))
+    [ 0.11; 0.22; 0.33; 0.44 ];
+  match Coordinator.handle coord ~client:0 Wire.Fleet_status with
+  | Wire.Fleet_reply json ->
+    (match
+       Option.bind (Wire.member "jobs" json) (fun j -> Wire.member "tracked" j)
+     with
+     | Some (Wire.Num n) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "tracked (%g) bounded by max_completed" n)
+         true (n <= 2.)
+     | _ -> Alcotest.fail "fleet status must report tracked jobs")
+  | _ -> Alcotest.fail "expected Fleet_reply"
+
+(* --------------------------- address parsing --------------------------- *)
+
+let test_addr_parsing () =
+  let check_addr s expected =
+    Alcotest.(check bool) s true (Client.addr_of_string s = expected)
+  in
+  check_addr "unix:/tmp/x.sock" (`Unix "/tmp/x.sock");
+  check_addr "127.0.0.1:7000" (`Tcp ("127.0.0.1", 7000));
+  check_addr "::1:7000" (`Tcp ("::1", 7000));
+  check_addr "[::1]:7000" (`Tcp ("::1", 7000));
+  check_addr "[2001:db8::1]:8080" (`Tcp ("2001:db8::1", 8080));
+  check_addr "[unix]:7000" (`Tcp ("unix", 7000));
+  Alcotest.(check string) "v6 renders bracketed" "[::1]:7000"
+    (Client.addr_to_string (`Tcp ("::1", 7000)));
+  Alcotest.(check string) "v6 round-trips" "[::1]:7000"
+    (Client.addr_to_string (Client.addr_of_string "[::1]:7000"));
+  Alcotest.(check string) "unix round-trips" "unix:/tmp/x.sock"
+    (Client.addr_to_string (`Unix "/tmp/x.sock"));
+  (match Client.addr_of_string "nonsense" with
+   | _ -> Alcotest.fail "bare host must be rejected"
+   | exception Wire.Protocol_error _ -> ());
+  (match Client.addr_of_string "host:99999" with
+   | _ -> Alcotest.fail "bad port must be rejected"
+   | exception Wire.Protocol_error _ -> ());
+  match Client.addr_of_string "[::1]7000" with
+  | _ -> Alcotest.fail "missing colon after bracket must be rejected"
+  | exception Wire.Protocol_error _ -> ()
+
 (* ------------------------- live coordinator --------------------------- *)
 
 (* Raw protocol-1 frames — no fleet-aware code at all on the client side
@@ -372,7 +599,17 @@ let () =
             test_zero_loss_after_owner_death;
           Alcotest.test_case "eject and readmit" `Quick test_eject_and_readmit;
           Alcotest.test_case "drain node" `Quick test_drain_node;
+          Alcotest.test_case "long wait is not a node failure" `Quick
+            test_long_wait_not_a_node_failure;
+          Alcotest.test_case "drain waits past the rpc deadline" `Quick
+            test_drain_waits_past_rpc_deadline;
+          Alcotest.test_case "submit upgrades a foreign entry" `Quick
+            test_submit_upgrades_foreign_entry;
+          Alcotest.test_case "completed registry is bounded" `Quick
+            test_completed_registry_bounded;
         ] );
+      ( "address",
+        [ Alcotest.test_case "parsing" `Quick test_addr_parsing ] );
       ( "protocol",
         [
           Alcotest.test_case "v1 client vs live coordinator" `Quick
