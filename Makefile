@@ -1,4 +1,4 @@
-.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench perf-check bench-baseline doc clean
+.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench perf-check bench-baseline doc docs-check clean
 
 all:
 	dune build @all
@@ -57,6 +57,11 @@ bench-baseline:
 # API docs (requires odoc: `opam install odoc`).
 doc:
 	dune build @doc
+
+# Documentation freshness gate: odoc with warnings fatal, dead relative
+# links in docs/*.md + README.md, and docs flag names vs `tml --help`.
+docs-check:
+	scripts/docs_check.sh
 
 clean:
 	dune clean

@@ -955,6 +955,29 @@ let rpc_timeout_arg =
   let doc = "Socket deadline for each backend RPC, in seconds." in
   Arg.(value & opt float 10.0 & info [ "rpc-timeout" ] ~docv:"S" ~doc)
 
+let loops_arg =
+  let doc =
+    "Event loops (one per domain). Defaults to half the recommended \
+     domain count, clamped to 1..4."
+  in
+  Arg.(value & opt (some int) None & info [ "loops" ] ~docv:"N" ~doc)
+
+let handler_threads_arg =
+  let doc =
+    "Executor threads for requests that block (waits on running jobs, \
+     coordinator fan-out)."
+  in
+  Arg.(value & opt int 16 & info [ "handler-threads" ] ~docv:"N" ~doc)
+
+let max_write_buffer_arg =
+  let doc =
+    "Per-connection write-queue cap in bytes: past it the connection \
+     stops being read, and responses that would still land on it are \
+     shed with an overloaded error."
+  in
+  Arg.(
+    value & opt int (1 lsl 20) & info [ "max-write-buffer" ] ~docv:"BYTES" ~doc)
+
 let parse_nodes nodes =
   List.fold_left
     (fun acc s ->
@@ -975,9 +998,10 @@ let announce server addr =
       (Option.value ~default:0 (Server.port server))
 
 let run_serve socket tcp workers max_pending max_per_client job_timeout
-    read_timeout write_timeout drain_timeout retries retry_backoff_ms
-    fault_specs coordinator nodes vnodes probe_interval eject_threshold
-    rpc_timeout trace_out metrics_out seed =
+    read_timeout write_timeout drain_timeout loops handler_threads
+    max_write_buffer retries retry_backoff_ms fault_specs coordinator nodes
+    vnodes probe_interval eject_threshold rpc_timeout trace_out metrics_out
+    seed =
   exit_of_result
     (match parse_addr socket tcp with
      | Error _ as e -> e
@@ -1012,7 +1036,8 @@ let run_serve socket tcp workers max_pending max_per_client job_timeout
                    let server =
                      Server.start ~read_timeout_s:read_timeout
                        ~write_timeout_s:write_timeout
-                       ~drain_timeout_s:drain_timeout
+                       ~drain_timeout_s:drain_timeout ?loops ~handler_threads
+                       ~max_write_buffer
                        ~handler:(Coordinator.handler coord) addr
                    in
                    Server.install_signal_handlers server;
@@ -1041,7 +1066,8 @@ let run_serve socket tcp workers max_pending max_per_client job_timeout
                  let server =
                    Server.start ~read_timeout_s:read_timeout
                      ~write_timeout_s:write_timeout
-                     ~drain_timeout_s:drain_timeout
+                     ~drain_timeout_s:drain_timeout ?loops ~handler_threads
+                     ~max_write_buffer
                      ~handler:(Server.handler_of_router router) addr
                  in
                  Server.install_signal_handlers server;
@@ -1086,7 +1112,8 @@ let serve_cmd =
     Term.(
       const run_serve $ socket_arg $ tcp_arg $ workers_arg $ max_pending_arg
       $ max_per_client_arg $ job_timeout_arg $ read_timeout_arg
-      $ write_timeout_arg $ drain_timeout_arg $ retries_arg
+      $ write_timeout_arg $ drain_timeout_arg $ loops_arg
+      $ handler_threads_arg $ max_write_buffer_arg $ retries_arg
       $ retry_backoff_arg $ inject_fault_arg $ coordinator_arg $ node_arg
       $ vnodes_arg $ probe_interval_arg $ eject_threshold_arg
       $ rpc_timeout_arg $ trace_out_arg $ metrics_out_arg $ seed_arg)

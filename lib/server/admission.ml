@@ -68,6 +68,11 @@ let release t ~client =
   Metrics.set_gauge depth_gauge (float_of_int (pending t))
 
 let shed_count t = locked t (fun () -> t.shed)
+
+(* A shed decided outside the admission gate (the server's write-queue
+   backpressure) still lands in the same tml_server_shed_total series, so
+   operators watch one counter for "requests refused under load". *)
+let note_shed () = Metrics.incr shed_counter
 let in_flight t ~client =
   locked t (fun () ->
       Option.value ~default:0 (Hashtbl.find_opt t.per_client client))

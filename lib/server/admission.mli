@@ -41,3 +41,9 @@ val in_flight : t -> client:int -> int
 
 val shed_count : t -> int
 (** Requests shed since [create]. *)
+
+val note_shed : unit -> unit
+(** Count a shed decided outside the admission gate — the event loop
+    sheds a response when a connection's write queue is over its cap —
+    into the shared [tml_server_shed_total] counter, so every
+    refused-under-load request lands in one metric series. *)

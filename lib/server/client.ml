@@ -130,6 +130,68 @@ let rpc t req =
            (Printf.sprintf "response id %d does not match request id %d" rid id));
     resp
 
+(* Pipelined round-trips.  The server handles one request per connection
+   at a time and queues pipelined frames in its decoder, so replies come
+   back in request order — which is what lets us fire the whole window in
+   one write burst and then just read replies in sequence.  Throughput
+   over latency: syscalls and context switches amortise across the
+   window instead of costing a round-trip per request. *)
+let pipeline t ?on_reply reqs =
+  if t.closed then raise (Wire.Protocol_error "client is closed");
+  match reqs with
+  | [] -> []
+  | reqs ->
+    let first_id = t.next_id + 1 in
+    let frames =
+      List.mapi (fun i req -> Wire.request_to_json ~id:(first_id + i) req) reqs
+    in
+    let n = List.length reqs in
+    t.next_id <- t.next_id + n;
+    let dec = Wire.Decoder.create ~max_frame:t.max_frame () in
+    let rbuf = Bytes.create 65536 in
+    let replies = ref [] in
+    let got = ref 0 in
+    (try
+       Wire.write_frames t.fd frames;
+       while !got < n do
+         (match Unix.read t.fd rbuf 0 (Bytes.length rbuf) with
+          | 0 ->
+            Wire.Decoder.finish dec;
+            unreachable "server closed the connection before replying"
+          | k -> Wire.Decoder.feed dec rbuf 0 k
+          | exception Unix.Unix_error (EINTR, _, _) -> ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            unreachable "rpc deadline expired with no reply"
+          | exception Unix.Unix_error (ECONNRESET, _, _) ->
+            unreachable "connection reset by peer");
+         let rec drain () =
+           if !got < n then
+             match Wire.Decoder.next dec with
+             | `Await -> ()
+             | `Oversized len ->
+               raise
+                 (Wire.Protocol_error
+                    (Printf.sprintf "frame of %d bytes exceeds limit %d" len
+                       t.max_frame))
+             | `Frame j ->
+               let rid, resp = Wire.response_of_json j in
+               let expect = first_id + !got in
+               if rid <> expect then
+                 raise
+                   (Wire.Protocol_error
+                      (Printf.sprintf
+                         "response id %d does not match request id %d" rid
+                         expect));
+               (match on_reply with Some f -> f !got resp | None -> ());
+               replies := resp :: !replies;
+               incr got;
+               drain ()
+         in
+         drain ()
+       done
+     with Wire.Peer_closed m -> unreachable "%s" m);
+    List.rev !replies
+
 let checked t req =
   match rpc t req with
   | Wire.Error_reply e -> raise (Remote_error e)

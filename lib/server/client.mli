@@ -57,6 +57,21 @@ val rpc : t -> Wire.request -> Wire.response
       ([Unreachable], transient) when the peer dies mid-RPC.
     @raise Wire.Protocol_error on framing/id-correlation failures. *)
 
+val pipeline :
+  t ->
+  ?on_reply:(int -> Wire.response -> unit) ->
+  Wire.request list ->
+  Wire.response list
+(** Fire the whole request window in one write burst, then collect the
+    replies, which the server sends back {e in request order} (it serves
+    one request per connection at a time; pipelined frames queue in its
+    decoder).  Returns responses in request order; [Error_reply]s are
+    returned in place, not raised.  [on_reply i resp] fires as reply [i]
+    is decoded — e.g. to timestamp completions.  Trades per-request
+    latency for throughput: syscalls amortise across the window, so
+    prefer this for bulk submit/wait traffic and {!rpc} for interactive
+    calls.  Failure contract is {!rpc}'s. *)
+
 val ping : t -> unit
 
 val submit : t -> Wire.job_request -> string * bool

@@ -655,6 +655,9 @@ let shutdown t =
 let handler t =
   {
     Server.on_request = (fun ~client req -> handle t ~client req);
+    (* every coordinator op except ping fans out RPCs to backends, so
+       none of them may run on an event loop *)
+    classify = (function Wire.Ping -> `Fast | _ -> `Slow);
     on_stop = (fun () -> set_draining t);
     on_drain = (fun ~timeout_s -> drain ~timeout_s t);
     pending = (fun () -> pending t);

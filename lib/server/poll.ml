@@ -1,0 +1,116 @@
+external epoll_create : unit -> int = "tml_epoll_create"
+
+external epoll_ctl : int -> int -> int -> bool -> bool -> int
+  = "tml_epoll_ctl"
+
+external epoll_wait_stub : int -> int -> int array -> int = "tml_epoll_wait"
+external epoll_close : int -> unit = "tml_epoll_close"
+external raise_nofile : int -> int = "tml_raise_nofile"
+
+(* On every Unix OCaml port a file_descr is the int it wraps. *)
+external fd_int : Unix.file_descr -> int = "%identity"
+external int_fd : int -> Unix.file_descr = "%identity"
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;
+  writable : bool;
+}
+
+type backend =
+  | Epoll of { ep : int; buf : int array }
+  | Select of { interest : (Unix.file_descr, bool * bool) Hashtbl.t }
+
+type t = { mutable be : backend; mutable closed : bool }
+
+let max_events = 1024
+
+let create () =
+  match epoll_create () with
+  | ep when ep >= 0 ->
+    { be = Epoll { ep; buf = Array.make (2 * max_events) 0 }; closed = false }
+  | _ -> { be = Select { interest = Hashtbl.create 64 }; closed = false }
+
+let backend t = match t.be with Epoll _ -> "epoll" | Select _ -> "select"
+
+let ctl_fail op fd rc =
+  if rc < 0 then
+    raise
+      (Unix.Unix_error
+         (Unix.EINVAL, "Poll." ^ op, Printf.sprintf "fd %d" (fd_int fd)))
+
+let add t fd ~read ~write =
+  match t.be with
+  | Epoll { ep; _ } ->
+    let rc = epoll_ctl ep 0 (fd_int fd) read write in
+    (* an fd that is somehow still registered: fall back to modify *)
+    let rc = if rc < 0 then epoll_ctl ep 1 (fd_int fd) read write else rc in
+    ctl_fail "add" fd rc
+  | Select { interest } -> Hashtbl.replace interest fd (read, write)
+
+let modify t fd ~read ~write =
+  match t.be with
+  | Epoll { ep; _ } ->
+    let rc = epoll_ctl ep 1 (fd_int fd) read write in
+    let rc = if rc < 0 then epoll_ctl ep 0 (fd_int fd) read write else rc in
+    ctl_fail "modify" fd rc
+  | Select { interest } -> Hashtbl.replace interest fd (read, write)
+
+let remove t fd =
+  match t.be with
+  | Epoll { ep; _ } -> ignore (epoll_ctl ep 2 (fd_int fd) false false : int)
+  | Select { interest } -> Hashtbl.remove interest fd
+
+let wait t ~timeout_ms =
+  match t.be with
+  | Epoll { ep; buf } -> (
+      match epoll_wait_stub ep timeout_ms buf with
+      | n when n <= 0 -> []
+      | n ->
+        let rec build i acc =
+          if i < 0 then acc
+          else
+            let flags = buf.((2 * i) + 1) in
+            build (i - 1)
+              ({
+                 fd = int_fd buf.(2 * i);
+                 readable = flags land 1 <> 0;
+                 writable = flags land 2 <> 0;
+               }
+               :: acc)
+        in
+        build (n - 1) [])
+  | Select { interest } ->
+    let rd, wr =
+      Hashtbl.fold
+        (fun fd (r, w) (rd, wr) ->
+           ((if r then fd :: rd else rd), if w then fd :: wr else wr))
+        interest ([], [])
+    in
+    let timeout =
+      if timeout_ms < 0 then -1.0 else float_of_int timeout_ms /. 1000.0
+    in
+    (match Unix.select rd wr [] timeout with
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+     | rready, wready, _ ->
+       let tbl = Hashtbl.create 16 in
+       List.iter
+         (fun fd -> Hashtbl.replace tbl fd (true, false))
+         rready;
+       List.iter
+         (fun fd ->
+            match Hashtbl.find_opt tbl fd with
+            | Some (r, _) -> Hashtbl.replace tbl fd (r, true)
+            | None -> Hashtbl.replace tbl fd (false, true))
+         wready;
+       Hashtbl.fold
+         (fun fd (readable, writable) acc -> { fd; readable; writable } :: acc)
+         tbl [])
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.be with
+    | Epoll { ep; _ } -> epoll_close ep
+    | Select { interest } -> Hashtbl.reset interest
+  end

@@ -1,0 +1,54 @@
+(** Readiness polling for the event-driven server: a thin, allocation-light
+    abstraction over [epoll] (Linux) with a portable {!Unix.select}
+    fallback, feature-detected at first use.
+
+    One {!t} belongs to one event loop (one thread/domain): registration
+    and {!wait} are {e not} synchronised — cross-loop communication goes
+    through the loop's mailbox and wake pipe, never through a shared
+    poller.  Interest is level-triggered on both backends: a readable fd
+    keeps reporting readable until drained, a writable one until the
+    write buffer fills.
+
+    The select fallback caps out at [FD_SETSIZE] (typically 1024)
+    descriptors per poller — one reason the 10k-connection benchmark
+    reports which {!backend} it ran on. *)
+
+type t
+
+type event = {
+  fd : Unix.file_descr;
+  readable : bool;  (** includes peer hang-up and socket errors *)
+  writable : bool;
+}
+
+val create : unit -> t
+(** A fresh poller: epoll-backed when the kernel supports it, otherwise
+    select-backed. *)
+
+val backend : t -> string
+(** ["epoll"] or ["select"]. *)
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Register [fd] with the given interest.  Re-adding a registered fd is
+    treated as {!modify}. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> unit
+(** Change a registered fd's interest.  Modifying an unknown fd adds it. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Deregister [fd]; unknown fds are ignored.  Must be called {e before}
+    the fd is closed. *)
+
+val wait : t -> timeout_ms:int -> event list
+(** Block until at least one registered fd is ready or [timeout_ms]
+    elapses (0 polls, negative blocks indefinitely); returns ready fds,
+    [[]] on timeout or interruption ([EINTR]). *)
+
+val close : t -> unit
+(** Release the poller's kernel resources.  Idempotent. *)
+
+val raise_nofile : int -> int
+(** [raise_nofile n] best-effort raises [RLIMIT_NOFILE] to at least [n]
+    (benchmarks holding tens of thousands of sockets need this) and
+    returns the soft limit now in effect, or [-1] when the limit could
+    not be read. *)

@@ -1,0 +1,132 @@
+/* epoll bindings for the event-driven server, plus an RLIMIT_NOFILE
+   helper for the high-connection-count benchmarks.
+
+   On non-Linux platforms every epoll stub returns -1, which Poll takes
+   as "backend unavailable" and falls back to Unix.select.  File
+   descriptors cross the boundary as plain ints (true on every Unix
+   OCaml port). */
+
+#include <caml/mlvalues.h>
+#include <caml/memory.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <string.h>
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+CAMLprim value tml_epoll_create(value vunit)
+{
+  (void)vunit;
+  return Val_int(epoll_create1(EPOLL_CLOEXEC));
+}
+
+/* op: 0 = add, 1 = modify, 2 = delete */
+CAMLprim value tml_epoll_ctl(value vep, value vop, value vfd, value vread,
+                             value vwrite)
+{
+  struct epoll_event ev;
+  int op;
+  memset(&ev, 0, sizeof ev);
+  ev.events = (Bool_val(vread) ? EPOLLIN : 0) |
+              (Bool_val(vwrite) ? EPOLLOUT : 0) | EPOLLRDHUP;
+  ev.data.fd = Int_val(vfd);
+  op = Int_val(vop) == 0   ? EPOLL_CTL_ADD
+       : Int_val(vop) == 1 ? EPOLL_CTL_MOD
+                           : EPOLL_CTL_DEL;
+  return Val_int(epoll_ctl(Int_val(vep), op, Int_val(vfd), &ev));
+}
+
+#define TML_EPOLL_MAXEVENTS 1024
+
+/* Fills varr (an int array laid out as fd,flags pairs) and returns the
+   number of ready descriptors; flags bit 0 = readable, bit 1 =
+   writable.  HUP/ERR are reported as readable (and writable) so the
+   caller's read path observes the close/error.  The OCaml runtime lock
+   is released for the duration of the wait. */
+CAMLprim value tml_epoll_wait(value vep, value vtimeout_ms, value varr)
+{
+  struct epoll_event evs[TML_EPOLL_MAXEVENTS];
+  int ep = Int_val(vep);
+  int timeout = Int_val(vtimeout_ms);
+  int max = Wosize_val(varr) / 2;
+  int n, i;
+  if (max > TML_EPOLL_MAXEVENTS) max = TML_EPOLL_MAXEVENTS;
+  caml_release_runtime_system();
+  n = epoll_wait(ep, evs, max, timeout);
+  caml_acquire_runtime_system();
+  if (n < 0) return Val_int(errno == EINTR ? 0 : -1);
+  for (i = 0; i < n; i++) {
+    int fl = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP)) fl |= 1;
+    if (evs[i].events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) fl |= 2;
+    Field(varr, 2 * i) = Val_int(evs[i].data.fd);
+    Field(varr, 2 * i + 1) = Val_int(fl);
+  }
+  return Val_int(n);
+}
+
+CAMLprim value tml_epoll_close(value vep)
+{
+  close(Int_val(vep));
+  return Val_unit;
+}
+
+#else /* !__linux__ */
+
+CAMLprim value tml_epoll_create(value vunit)
+{
+  (void)vunit;
+  return Val_int(-1);
+}
+
+CAMLprim value tml_epoll_ctl(value vep, value vop, value vfd, value vread,
+                             value vwrite)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vread; (void)vwrite;
+  return Val_int(-1);
+}
+
+CAMLprim value tml_epoll_wait(value vep, value vtimeout_ms, value varr)
+{
+  (void)vep; (void)vtimeout_ms; (void)varr;
+  return Val_int(-1);
+}
+
+CAMLprim value tml_epoll_close(value vep)
+{
+  (void)vep;
+  return Val_unit;
+}
+
+#endif /* __linux__ */
+
+#include <sys/resource.h>
+
+/* Best-effort: raise RLIMIT_NOFILE to at least [want] (trying the hard
+   limit too, which succeeds when running as root), returning the soft
+   limit actually in effect. */
+CAMLprim value tml_raise_nofile(value vwant)
+{
+  struct rlimit rl;
+  rlim_t want = (rlim_t)Long_val(vwant);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  if (rl.rlim_cur < want) {
+    struct rlimit try_rl = rl;
+    try_rl.rlim_cur = want;
+    if (try_rl.rlim_max != RLIM_INFINITY && try_rl.rlim_max < want)
+      try_rl.rlim_max = want;
+    if (setrlimit(RLIMIT_NOFILE, &try_rl) != 0) {
+      /* could not touch the hard limit: settle for soft = hard */
+      try_rl = rl;
+      try_rl.rlim_cur = rl.rlim_max;
+      setrlimit(RLIMIT_NOFILE, &try_rl);
+    }
+    if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return Val_long(-1);
+  }
+  if (rl.rlim_cur == RLIM_INFINITY) return Val_long(1 << 24);
+  return Val_long((long)rl.rlim_cur);
+}

@@ -2,6 +2,11 @@ type entry = {
   fut : Job.outcome Future.t;
   client : int;
   mutable released : bool;
+  (* the [Job_done] report text, rendered once on first read — settled
+     jobs are polled/waited repeatedly (fan-in clients, fleet probes) and
+     re-rendering through [Format] on every read dominates the settled
+     fast path *)
+  mutable report : string option;
 }
 
 type t = {
@@ -9,6 +14,15 @@ type t = {
   runtime : Runtime.t;
   admission : Admission.t;
   jobs : (string, entry) Hashtbl.t;
+  (* entries still holding an admission ticket ([released = false]) — the
+     only ones [sweep] must look at, so a sweep per request costs a nil
+     check rather than a walk of the whole settled history *)
+  mutable live : entry list;
+  (* memo of wire payload -> decoded job: resubmits of an identical
+     request (retries, fan-in clients) skip the textual model parse and
+     the digest hash — the dominant per-request cost once the job itself
+     is deduplicated *)
+  decode_memo : (Wire.job_request, Job.t * string) Hashtbl.t;
   (* replicated reports pushed by a fleet coordinator (Put_report): a
      bounded FIFO of digest -> rendered report, servable by poll/wait
      even though this node never ran the job *)
@@ -31,6 +45,8 @@ let create ?admission ?job_timeout_s ?retry ?(replica_cap = 256) runtime =
     admission =
       (match admission with Some a -> a | None -> Admission.create ());
     jobs = Hashtbl.create 64;
+    live = [];
+    decode_memo = Hashtbl.create 64;
     replicas = Hashtbl.create 64;
     replica_fifo = Queue.create ();
     replica_cap;
@@ -106,14 +122,15 @@ let outcome_counter =
 let sweep t =
   let to_release =
     locked t (fun () ->
-        Hashtbl.fold
-          (fun _digest e acc ->
-             if (not e.released) && not (Future.is_pending e.fut) then begin
-               e.released <- true;
-               e.client :: acc
-             end
-             else acc)
-          t.jobs [])
+        match t.live with
+        | [] -> []
+        | live ->
+          let pending, settled =
+            List.partition (fun e -> Future.is_pending e.fut) live
+          in
+          List.iter (fun e -> e.released <- true) settled;
+          t.live <- pending;
+          List.map (fun e -> e.client) settled)
   in
   List.iter (fun client -> Admission.release t.admission ~client) to_release
 
@@ -126,6 +143,18 @@ let state_of = function
   | Future.Failed e -> Wire.Job_failed (Wire.err_of_exn e)
   | Future.Cancelled -> Wire.Job_cancelled
   | Future.Timed_out -> Wire.Job_timed_out
+
+(* [state_of] via the entry's report cache. *)
+let state_of_entry e outcome =
+  match outcome with
+  | Future.Value o -> (
+      match e.report with
+      | Some r -> Wire.Job_done r
+      | None ->
+        let r = render_outcome o in
+        e.report <- Some r;
+        Wire.Job_done r)
+  | o -> state_of o
 
 let not_found digest =
   Wire.Error_reply
@@ -161,6 +190,22 @@ let not_a_coordinator () =
       transient = false;
     }
 
+let decode_memo_cap = 512
+
+let decode_job t jr =
+  match locked t (fun () -> Hashtbl.find_opt t.decode_memo jr) with
+  | Some (job, digest) -> Ok (job, digest)
+  | None -> (
+      match Wire.job_of_request jr with
+      | exception e -> Error e
+      | job ->
+        let digest = Job.digest job in
+        locked t (fun () ->
+            if Hashtbl.length t.decode_memo >= decode_memo_cap then
+              Hashtbl.reset t.decode_memo;
+            Hashtbl.replace t.decode_memo jr (job, digest));
+        Ok (job, digest))
+
 let do_submit t ~client jr =
   if t.draining then
     Wire.Error_reply
@@ -175,13 +220,12 @@ let do_submit t ~client jr =
       Wire.Error_reply (Wire.err_of_exn (Admission.overloaded_error v))
     | Admission.Admitted -> (
         let release () = Admission.release t.admission ~client in
-        match Wire.job_of_request jr with
-        | exception e ->
+        match decode_job t jr with
+        | Error e ->
           release ();
           Wire.Error_reply (Wire.err_of_exn e)
-        | job -> (
+        | Ok (job, digest) -> (
             Metrics.incr (kind_counter (Job.kind job));
-            let digest = Job.digest job in
             match find_replica t digest with
             | Some _ ->
               (* a coordinator replicated this digest's finished report to
@@ -207,7 +251,9 @@ let do_submit t ~client jr =
                   Wire.Error_reply (Wire.err_of_exn e)
                 | peeked ->
                   locked t (fun () ->
-                      Hashtbl.replace t.jobs digest { fut; client; released = false });
+                      let e = { fut; client; released = false; report = None } in
+                      Hashtbl.replace t.jobs digest e;
+                      t.live <- e :: t.live);
                   Wire.Accepted
                     { job = digest; cached = peeked <> None })))
 
@@ -220,7 +266,8 @@ let do_status t digest =
   | Some e ->
     (match Future.peek e.fut with
      | None -> Wire.Status { job = digest; state = Wire.Job_pending }
-     | Some outcome -> Wire.Status { job = digest; state = state_of outcome })
+     | Some outcome ->
+       Wire.Status { job = digest; state = state_of_entry e outcome })
 
 let do_wait t digest timeout_s =
   match find t digest with
@@ -233,7 +280,7 @@ let do_wait t digest timeout_s =
      | Future.Timed_out when Future.is_pending e.fut ->
        (* the wait's own deadline expired; the job is still running *)
        Wire.Status { job = digest; state = Wire.Job_pending }
-     | outcome -> Wire.Status { job = digest; state = state_of outcome })
+     | outcome -> Wire.Status { job = digest; state = state_of_entry e outcome })
 
 let do_cancel t digest =
   match find t digest with
@@ -246,6 +293,18 @@ let do_cancel t digest =
   | Some e ->
     let cancelled = Future.cancel e.fut in
     Wire.Cancelled { job = digest; cancelled }
+
+(* Which requests may block the caller.  Only a wait on a job that is
+   still running parks a thread (in [Future.await]); everything else —
+   including a wait whose future has already settled, the common case for
+   poll-after-completion clients — answers from memory and can run inline
+   on an event loop. *)
+let classify t = function
+  | Wire.Wait (digest, _) -> (
+      match find t digest with
+      | Some e -> if Future.is_pending e.fut then `Slow else `Fast
+      | None -> `Fast (* not-found or replica: answered immediately *))
+  | _ -> `Fast
 
 let handle t ~client req =
   Metrics.incr (op_counter req);

@@ -47,6 +47,15 @@ val handle : t -> client:int -> Wire.request -> Wire.response
     on its digest); [Fleet_status] and [Drain_node] are coordinator ops
     and answer a ["bad-request"] error here. *)
 
+val classify : t -> Wire.request -> [ `Fast | `Slow ]
+(** Whether {!handle} may block the calling thread for this request.
+    Everything is [`Fast] (answered from memory or by a non-blocking
+    enqueue) except a [Wait] on a job that is still running, which parks
+    the caller in [Future.await] — the event-driven server routes
+    [`Slow] requests to its executor pool instead of its loops.
+    Advisory: a job may settle (never un-settle) between [classify] and
+    [handle], which only makes a [`Slow] call return immediately. *)
+
 val pending_jobs : t -> int
 (** Registered jobs whose future is still pending. *)
 

@@ -1,15 +1,29 @@
-(** The repair service: an accept loop over a Unix-domain or TCP socket,
-    one handler thread per connection, graceful drain on demand.
+(** The repair service: an event-driven serving core.  Readiness loops
+    ({!Poll}: epoll on Linux, [select] elsewhere) own non-blocking
+    sockets, decode the {!Wire} protocol incrementally
+    ({!Wire.Decoder}: partial frames resume across reads, oversized
+    frames are rejected without buffering their bodies), and buffer
+    writes with backpressure; the few request kinds that genuinely block
+    (see {!handler.classify}) run on a fixed executor pool instead of
+    the loops.  The wire contract is byte-compatible with the
+    thread-per-connection server this replaced — see
+    [docs/ARCHITECTURE.md] for both request lifecycles and
+    [docs/WIRE_PROTOCOL.md] for the framing grammar.
 
-    Each connection speaks the {!Wire} protocol with per-socket read and
-    write deadlines ([SO_RCVTIMEO]/[SO_SNDTIMEO]); requests are routed
-    through a {!handler} — a {!Router} over a local {!Runtime}
-    ({!handler_of_router}), or a fleet {!Coordinator}.  Every
-    connection records a [server:accept] trace event and every request a
-    [server:decode] span beneath it, under which the runtime's own
-    [job:submit] spans nest; request latency feeds the
-    [tml_server_request_seconds] histogram and open connections the
-    [tml_server_connections] gauge.
+    {b Sharding.}  [loops] event loops each run in their own domain.
+    TCP accepts shard in the kernel ([SO_REUSEPORT], one listener per
+    loop); Unix-domain sockets have a single listener on loop 0, which
+    adopts or hands accepted sockets round-robin to the other loops over
+    their wake pipes.
+
+    {b Observability.}  Every connection records a [server:accept] trace
+    event; every request a [server:decode] span beneath it (fast
+    requests run their handler inside it, so the runtime's [job:submit]
+    span nests there; slow requests get a [server:handle] span on the
+    executor).  Metrics: [tml_server_request_seconds],
+    [tml_server_connections], [tml_server_loop_iterations_total],
+    [tml_server_write_queue_bytes], and write-queue sheds folded into
+    [tml_server_shed_total].
 
     {b Chaos.}  The four connection-handling sites probe {!Fault}:
     [Accept] (a faulted accept drops that connection and keeps serving),
@@ -18,10 +32,11 @@
     the connection closes).  The server survives all of them.
 
     {b Drain.}  {!request_stop} (also installed as the SIGTERM/SIGINT
-    handler) only flips an atomic flag — the accept loop notices within
-    its 200ms poll, stops accepting, connection threads finish their
-    in-flight request, and {!stop} then awaits every admitted job before
-    returning.  No accepted request is ever dropped by a drain. *)
+    handler) only flips an atomic flag — the loops notice within one
+    poll tick (at most 200ms), close their listeners, let every
+    connection finish its in-flight request and flush its write queue,
+    and {!stop} then awaits every admitted job before returning.  No
+    accepted request is ever dropped by a drain. *)
 
 type addr = [ `Unix of string | `Tcp of string * int ]
 (** A filesystem socket path, or a (numeric) host and port — port [0]
@@ -30,6 +45,12 @@ type addr = [ `Unix of string | `Tcp of string * int ]
 type handler = {
   on_request : client:int -> Wire.request -> Wire.response;
       (** serve one request (must never raise) *)
+  classify : Wire.request -> [ `Fast | `Slow ];
+      (** [`Fast] requests run inline on the event loop and must never
+          block; [`Slow] ones (waits on running jobs, coordinator fan-out
+          RPCs) run on the executor pool.  At most one request per
+          connection is in flight at a time, so pipelined responses stay
+          in request order. *)
   on_stop : unit -> unit;
       (** begin refusing new work; non-blocking, called from
           {!request_stop} (and so from signal context) *)
@@ -37,11 +58,12 @@ type handler = {
       (** await in-flight work, bounding each wait by [timeout_s] *)
   pending : unit -> int;  (** in-flight work items *)
 }
-(** What the accept loop serves — the server itself only moves frames. *)
+(** What the loops serve — the server itself only moves frames. *)
 
 val handler_of_router : Router.t -> handler
 (** The classic single-node server: {!Router.handle} /
-    {!Router.set_draining} / {!Router.drain} / {!Router.pending_jobs}. *)
+    {!Router.classify} / {!Router.set_draining} / {!Router.drain} /
+    {!Router.pending_jobs}. *)
 
 type t
 
@@ -51,30 +73,52 @@ val start :
   ?write_timeout_s:float ->
   ?max_frame:int ->
   ?drain_timeout_s:float ->
+  ?loops:int ->
+  ?handler_threads:int ->
+  ?max_write_buffer:int ->
   handler:handler ->
   addr ->
   t
-(** Bind, listen and spawn the accept loop.  [read_timeout_s] (default 5)
-    bounds each blocking read — it is also the stop-flag poll interval of
-    an idle connection; [write_timeout_s] (default 5) bounds each
-    response write; [drain_timeout_s] (default 30) bounds the per-job
-    wait during {!stop}.  An existing Unix socket path is replaced.
+(** Bind, listen and spawn the event loops and executor pool.
+
+    [read_timeout_s] (default 5) bounds a peer's silence {e mid}-frame
+    (an idle connection between frames lives forever); it also scales
+    the loops' poll tick, which bounds stop-flag latency.
+    [write_timeout_s] (default 5) bounds how long a peer may refuse to
+    drain buffered responses.  [drain_timeout_s] (default 30) bounds the
+    per-job wait during {!stop}.  [loops] (default: half the recommended
+    domain count, clamped to 1..4) is the number of event loops;
+    [handler_threads] (default 16) sizes the executor pool for [`Slow]
+    requests.  [max_write_buffer] (default 1 MiB) is the per-connection
+    write-queue cap: past it the connection stops being read
+    (backpressure), and responses that would still land on it are shed
+    with an ["overloaded"] error counted in [tml_server_shed_total].
+    An existing Unix socket path is replaced.  [SIGPIPE] is set to
+    ignore (socket writes need [EPIPE], not a fatal signal).
     @raise Unix.Unix_error when binding fails. *)
 
 val port : t -> int option
 (** The bound TCP port ([None] for Unix sockets) — useful with port 0. *)
 
 val connections : t -> int
-(** Currently open client connections. *)
+(** Currently open client connections, across all loops. *)
+
+val backend : t -> string
+(** The readiness backend the loops run on: ["epoll"] or ["select"]. *)
+
+val loop_count : t -> int
+(** Number of event loops actually running. *)
 
 val request_stop : t -> unit
 (** Begin draining: stop accepting and reject new submits.  Async-signal
     safe in the OCaml sense (flag flips only); returns immediately. *)
 
 val stop : t -> unit
-(** {!request_stop}, then join the accept loop and every connection
-    thread, await all admitted jobs ({!Router.drain}) and remove the
-    Unix socket file.  Blocks until the drain completes.  Idempotent. *)
+(** {!request_stop}, then join every event loop (each closes its
+    listener, finishes in-flight requests, flushes and closes its
+    connections) and the executor pool, await all admitted jobs
+    ({!Router.drain}) and remove the Unix socket file.  Blocks until the
+    drain completes.  Idempotent. *)
 
 val wait : t -> unit
 (** Block until {!request_stop} (e.g. a signal) and then run {!stop} —

@@ -17,26 +17,39 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
+(* Escape by blitting runs of clean characters rather than appending one
+   char at a time — frames carry multi-KB model texts, and the serving
+   core renders one on every submit round-trip. *)
 let escape_to buf s =
-  String.iter
-    (fun c ->
-       match c with
+  let n = String.length s in
+  (* unsafe_get: [i] is always < [n] here, and this loop visits every
+     byte of every model text on the wire *)
+  let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20 in
+  let rec go start i =
+    if i >= n then (if i > start then Buffer.add_substring buf s start (i - start))
+    else if not (needs_escape (String.unsafe_get s i)) then go start (i + 1)
+    else begin
+      if i > start then Buffer.add_substring buf s start (i - start);
+      (match s.[i] with
        | '"' -> Buffer.add_string buf "\\\""
        | '\\' -> Buffer.add_string buf "\\\\"
        | '\n' -> Buffer.add_string buf "\\n"
        | '\r' -> Buffer.add_string buf "\\r"
        | '\t' -> Buffer.add_string buf "\\t"
-       | c when Char.code c < 0x20 ->
-         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-       | c -> Buffer.add_char buf c)
-    s
+       | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+      go (i + 1) (i + 1)
+    end
+  in
+  go 0 0
 
 let rec render_to buf = function
   | Null -> Buffer.add_string buf "null"
   | Bool b -> Buffer.add_string buf (if b then "true" else "false")
   | Num f ->
     if Float.is_integer f && Float.abs f < 1e15 then
-      Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      (* string_of_int, not sprintf "%.0f": ids and sizes render on every
+         frame, and format-string interpretation costs ~1us a call *)
+      Buffer.add_string buf (string_of_int (int_of_float f))
     else if Float.is_finite f then
       Buffer.add_string buf (Printf.sprintf "%.17g" f)
     else Buffer.add_string buf "null"
@@ -109,44 +122,75 @@ let parse (s : string) : json =
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
     end
   in
+  (* Runs of plain characters are scanned and blitted in one go; a
+     string with no escapes at all is a single [String.sub].  Model
+     texts arrive as one multi-KB string per submit, so this is the
+     decoder's hottest path. *)
+  let scan_plain () =
+    (* unsafe_get under the [i < n] guard; a local recursion on an
+       unboxed int, not a ref, so the scan is a few instructions per
+       byte of model text *)
+    let rec scan i =
+      if i >= n then i
+      else
+        let c = String.unsafe_get s i in
+        if c <> '"' && c <> '\\' && Char.code c >= 0x20 then scan (i + 1)
+        else i
+    in
+    scan !pos
+  in
   let parse_string () =
     expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' ->
-        advance ();
-        Buffer.contents buf
-      | Some '\\' ->
-        advance ();
-        (match peek () with
-         | Some '"' -> Buffer.add_char buf '"'; advance ()
-         | Some '\\' -> Buffer.add_char buf '\\'; advance ()
-         | Some '/' -> Buffer.add_char buf '/'; advance ()
-         | Some 'b' -> Buffer.add_char buf '\b'; advance ()
-         | Some 'f' -> Buffer.add_char buf '\012'; advance ()
-         | Some 'n' -> Buffer.add_char buf '\n'; advance ()
-         | Some 'r' -> Buffer.add_char buf '\r'; advance ()
-         | Some 't' -> Buffer.add_char buf '\t'; advance ()
-         | Some 'u' ->
-           advance ();
-           if !pos + 4 > n then fail "truncated \\u escape";
-           let hex = String.sub s !pos 4 in
-           (match int_of_string_opt ("0x" ^ hex) with
-            | Some code ->
-              pos := !pos + 4;
-              utf8_encode buf code
-            | None -> fail "bad \\u escape")
-         | _ -> fail "bad escape");
-        loop ()
-      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        loop ()
-    in
-    loop ()
+    let start = !pos in
+    let stop = scan_plain () in
+    if stop < n && s.[stop] = '"' then begin
+      pos := stop + 1;
+      String.sub s start (stop - start)
+    end
+    else begin
+      (* sized to the rest of the input, not the first clean run: an
+         escaped model text fills it in one pass with no regrows *)
+      let buf = Buffer.create (n - start + 16) in
+      Buffer.add_substring buf s start (stop - start);
+      pos := stop;
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' ->
+          advance ();
+          Buffer.contents buf
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+           | Some '"' -> Buffer.add_char buf '"'; advance ()
+           | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+           | Some '/' -> Buffer.add_char buf '/'; advance ()
+           | Some 'b' -> Buffer.add_char buf '\b'; advance ()
+           | Some 'f' -> Buffer.add_char buf '\012'; advance ()
+           | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+           | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+           | Some 't' -> Buffer.add_char buf '\t'; advance ()
+           | Some 'u' ->
+             advance ();
+             if !pos + 4 > n then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             (match int_of_string_opt ("0x" ^ hex) with
+              | Some code ->
+                pos := !pos + 4;
+                utf8_encode buf code
+              | None -> fail "bad \\u escape")
+           | _ -> fail "bad escape");
+          loop ()
+        | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+        | Some _ ->
+          let st = !pos in
+          let stop = scan_plain () in
+          Buffer.add_substring buf s st (stop - st);
+          pos := stop;
+          loop ()
+      in
+      loop ()
+    end
   in
   let parse_number () =
     let start = !pos in
@@ -300,6 +344,121 @@ let read_frame ?(max_frame = default_max_frame) fd =
      | `Closed _ -> peer "connection closed mid-frame"
      | `Stalled _ -> proto "read deadline exceeded mid-frame")
 
+(* ----------------------- incremental decoding ---------------------- *)
+
+module Decoder = struct
+  type state =
+    | Header  (* accumulating the 4-byte length prefix *)
+    | Body of int  (* expecting this many payload bytes *)
+    | Skip of int  (* discarding the body of an oversized frame *)
+
+  type t = {
+    max_frame : int;
+    mutable buf : Bytes.t;  (* live window is buf.[head .. head+len) *)
+    mutable head : int;
+    mutable len : int;
+    mutable state : state;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Bytes.create 4096; head = 0; len = 0; state = Header }
+
+  let buffered t = t.len
+
+  let mid_frame t = t.len > 0 || t.state <> Header
+
+  let ensure_space t n =
+    if t.head > 0 && t.head + t.len + n > Bytes.length t.buf then begin
+      (* compact: slide the window to the front before considering growth *)
+      Bytes.blit t.buf t.head t.buf 0 t.len;
+      t.head <- 0
+    end;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf t.head nb 0 t.len;
+      t.buf <- nb;
+      t.head <- 0
+    end
+
+  let feed t src off n =
+    if off < 0 || n < 0 || off + n > Bytes.length src then
+      invalid_arg "Wire.Decoder.feed";
+    (* an oversized body is discarded as it arrives, never buffered; the
+       skip counter is consumed here when the buffer is already drained
+       (the common case) and in [next] otherwise *)
+    let off, n =
+      match t.state with
+      | Skip k when t.len = 0 ->
+        let eat = min k n in
+        t.state <- (if eat = k then Header else Skip (k - eat));
+        (off + eat, n - eat)
+      | _ -> (off, n)
+    in
+    if n > 0 then begin
+      ensure_space t n;
+      Bytes.blit src off t.buf (t.head + t.len) n;
+      t.len <- t.len + n
+    end
+
+  (* One step of the frame state machine.  [`Oversized] is returned once
+     per oversized frame, when its header is decoded; the connection can
+     keep going — the body is skipped without being buffered and the
+     stream resumes at the next frame boundary.  Malformed JSON inside a
+     well-delimited frame raises {!Protocol_error} with the decoder
+     already advanced past the frame, so the caller may likewise answer
+     an error and continue.  A negative length prefix also raises, but
+     leaves the stream position meaningless — the caller must close. *)
+  let rec next t =
+    match t.state with
+    | Skip k ->
+      let eat = min k t.len in
+      t.head <- t.head + eat;
+      t.len <- t.len - eat;
+      if eat = k then begin
+        t.state <- Header;
+        next t
+      end
+      else begin
+        t.state <- Skip (k - eat);
+        `Await
+      end
+    | Header ->
+      if t.len < 4 then `Await
+      else begin
+        let flen = Int32.to_int (Bytes.get_int32_be t.buf t.head) in
+        t.head <- t.head + 4;
+        t.len <- t.len - 4;
+        if flen < 0 then proto "negative frame length %d" flen
+        else if flen > t.max_frame then begin
+          t.state <- Skip flen;
+          `Oversized flen
+        end
+        else begin
+          t.state <- Body flen;
+          next t
+        end
+      end
+    | Body flen ->
+      if t.len < flen then `Await
+      else begin
+        let payload = Bytes.sub_string t.buf t.head flen in
+        t.head <- t.head + flen;
+        t.len <- t.len - flen;
+        t.state <- Header;
+        `Frame (parse payload)
+      end
+
+  (* Peer closed the stream: truncation at {e any} offset — inside the
+     length prefix, mid-body, or mid-skip — is uniformly {!Peer_closed}.
+     Only a close exactly on a frame boundary is clean. *)
+  let finish t =
+    if mid_frame t then peer "connection closed mid-frame"
+end
+
 let rec write_part fd buf off len =
   if len > 0 then
     match Unix.write fd buf off len with
@@ -319,6 +478,19 @@ let write_frame fd j =
   Bytes.set_int32_be frame 0 (Int32.of_int len);
   Bytes.blit_string body 0 frame 4 len;
   write_part fd frame 0 (4 + len)
+
+let write_frames fd js =
+  let buf = Buffer.create 4096 in
+  let hdr = Bytes.create 4 in
+  List.iter
+    (fun j ->
+       let body = render j in
+       Bytes.set_int32_be hdr 0 (Int32.of_int (String.length body));
+       Buffer.add_bytes buf hdr;
+       Buffer.add_string buf body)
+    js;
+  let b = Buffer.to_bytes buf in
+  write_part fd b 0 (Bytes.length b)
 
 (* ----------------------------- errors ----------------------------- *)
 

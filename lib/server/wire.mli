@@ -58,6 +58,11 @@ val write_frame : Unix.file_descr -> json -> unit
     @raise Peer_closed when the peer has closed or reset the
     connection. *)
 
+val write_frames : Unix.file_descr -> json list -> unit
+(** Render and send a batch of frames in a single write burst — the
+    pipelining fast path: one syscall for the whole window instead of
+    one per frame.  Same failure contract as {!write_frame}. *)
+
 val read_frame :
   ?max_frame:int ->
   Unix.file_descr ->
@@ -67,6 +72,57 @@ val read_frame :
     frame read yet — the caller polls its stop flag and retries.  A stall
     {e mid}-frame, an oversized frame and malformed JSON raise
     {!Protocol_error}; a close {e mid}-frame raises {!Peer_closed}. *)
+
+(** {1 Incremental decoding}
+
+    The event-driven server never blocks on a partial frame: whatever
+    bytes a readiness notification delivers are {!Decoder.feed}ed into a
+    per-connection decoder, and {!Decoder.next} yields zero or more
+    complete frames.  Partial frames resume on the next feed; oversized
+    frames are rejected up front and their bodies discarded {e without
+    ever being buffered}. *)
+
+module Decoder : sig
+  type t
+
+  val create : ?max_frame:int -> unit -> t
+  (** A fresh decoder positioned at a frame boundary.  [max_frame]
+      defaults to {!default_max_frame}. *)
+
+  val feed : t -> Bytes.t -> int -> int -> unit
+  (** [feed t buf off n] appends [n] bytes read from the socket.  The
+      bytes are copied (or, inside an oversized frame, discarded), so the
+      caller may reuse [buf] immediately. *)
+
+  val next : t -> [ `Frame of json | `Await | `Oversized of int ]
+  (** Advance the frame state machine: [`Frame] is one complete decoded
+      payload (call again — a single read may carry several pipelined
+      frames); [`Await] means more bytes are needed; [`Oversized n] is
+      reported once per frame whose declared length [n] exceeds
+      [max_frame] — the decoder then skips the body as it streams in and
+      resumes cleanly at the next frame boundary, so the caller can
+      answer an error and keep the connection.
+
+      @raise Protocol_error on malformed JSON inside a well-delimited
+      frame ({e recoverable}: the decoder has already advanced past the
+      frame) and on a negative length prefix ({e unrecoverable}: framing
+      is lost, close the connection). *)
+
+  val finish : t -> unit
+  (** The peer closed its write side.  Returns normally only when the
+      stream ended exactly on a frame boundary.
+      @raise Peer_closed on truncation at {e any} offset — inside the
+      4-byte length prefix, mid-body, or mid-skip of an oversized
+      frame. *)
+
+  val buffered : t -> int
+  (** Bytes currently buffered (diagnostics; oversized bodies never
+      count, they are discarded on arrival). *)
+
+  val mid_frame : t -> bool
+  (** [true] when the stream position is inside a frame — i.e. when
+      {!finish} would raise. *)
+end
 
 (** {1 Errors} *)
 

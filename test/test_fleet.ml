@@ -175,6 +175,8 @@ let start_scripted ?(duration_s = 1.0) path =
   let handler =
     {
       Server.on_request;
+      (* scripted backends may simulate slowness: keep them off the loop *)
+      classify = (fun _ -> `Slow);
       on_stop = (fun () -> ());
       on_drain = (fun ~timeout_s:_ -> ());
       pending = (fun () -> 0);

@@ -541,6 +541,205 @@ let test_chaos_accept_fault () =
      -> ());
   Client.with_client addr @@ fun c -> Client.ping c
 
+(* ------------------------ incremental decoder ------------------------- *)
+
+(* A frame as it appears on the wire: 4-byte big-endian length prefix
+   followed by the rendered JSON payload. *)
+let encode_frame j =
+  let payload = Wire.render j in
+  let b = Bytes.create (4 + String.length payload) in
+  Bytes.set_int32_be b 0 (Int32.of_int (String.length payload));
+  Bytes.blit_string payload 0 b 4 (String.length payload);
+  b
+
+let drain_decoder d =
+  let rec go acc =
+    match Wire.Decoder.next d with
+    | `Frame j -> go (j :: acc)
+    | `Await -> List.rev acc
+    | `Oversized _ -> Alcotest.fail "unexpected oversized frame"
+  in
+  go []
+
+let sample_frames =
+  [
+    Wire.Obj [ ("op", Wire.Str "ping"); ("id", Wire.Num 1.0) ];
+    Wire.Str "with \"quotes\" and \\ and \ncontrol bytes";
+    Wire.Arr [ Wire.Num 0.125; Wire.Null; Wire.Obj [] ];
+    Wire.request_to_json ~id:42 (Wire.Submit (check_req 0.5));
+  ]
+
+let test_decoder_byte_at_a_time () =
+  let d = Wire.Decoder.create () in
+  List.iter
+    (fun j ->
+       let raw = encode_frame j in
+       let n = Bytes.length raw in
+       for i = 0 to n - 1 do
+         (* every prefix strictly inside the frame must yield Await *)
+         (match Wire.Decoder.next d with
+          | `Await -> ()
+          | _ -> Alcotest.fail "partial frame must await");
+         Wire.Decoder.feed d raw i 1
+       done;
+       match Wire.Decoder.next d with
+       | `Frame got ->
+         Alcotest.(check bool) "byte-fed frame decodes" true (got = j)
+       | _ -> Alcotest.fail "complete frame must decode")
+    sample_frames;
+  Alcotest.(check bool) "decoder back at a boundary" false
+    (Wire.Decoder.mid_frame d)
+
+let test_decoder_split_every_offset () =
+  let j = List.nth sample_frames 1 in
+  let raw = encode_frame j in
+  let n = Bytes.length raw in
+  for split = 1 to n - 1 do
+    let d = Wire.Decoder.create () in
+    Wire.Decoder.feed d raw 0 split;
+    (match Wire.Decoder.next d with
+     | `Await -> ()
+     | `Frame _ -> Alcotest.failf "split at %d: frame before final bytes" split
+     | `Oversized _ -> Alcotest.failf "split at %d: spurious oversized" split);
+    Alcotest.(check bool)
+      (Printf.sprintf "mid_frame after %d bytes" split)
+      (split > 0) (Wire.Decoder.mid_frame d);
+    Wire.Decoder.feed d raw split (n - split);
+    match drain_decoder d with
+    | [ got ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "frame split at byte %d round-trips" split)
+        true (got = j)
+    | l -> Alcotest.failf "split at %d: %d frames" split (List.length l)
+  done
+
+let test_decoder_pipelined_single_read () =
+  let raw = Buffer.create 256 in
+  List.iter (fun j -> Buffer.add_bytes raw (encode_frame j)) sample_frames;
+  let bytes = Buffer.to_bytes raw in
+  let d = Wire.Decoder.create () in
+  Wire.Decoder.feed d bytes 0 (Bytes.length bytes);
+  let got = drain_decoder d in
+  Alcotest.(check int) "all pipelined frames decode" (List.length sample_frames)
+    (List.length got);
+  List.iter2
+    (fun expected g ->
+       Alcotest.(check bool) "pipelined frame round-trips" true (expected = g))
+    sample_frames got;
+  Alcotest.(check int) "no residue buffered" 0 (Wire.Decoder.buffered d)
+
+let test_decoder_oversized_midstream () =
+  (* good frame · oversized frame · good frame, all in one feed: the
+     oversized body must be skipped without tearing the decoder down *)
+  let ok1 = List.nth sample_frames 0 and ok2 = List.nth sample_frames 2 in
+  let big = Wire.Str (String.make 4096 'z') in
+  let raw = Buffer.create 8192 in
+  Buffer.add_bytes raw (encode_frame ok1);
+  Buffer.add_bytes raw (encode_frame big);
+  Buffer.add_bytes raw (encode_frame ok2);
+  let bytes = Buffer.to_bytes raw in
+  let d = Wire.Decoder.create ~max_frame:256 () in
+  Wire.Decoder.feed d bytes 0 (Bytes.length bytes);
+  (match Wire.Decoder.next d with
+   | `Frame got -> Alcotest.(check bool) "frame before oversized" true (got = ok1)
+   | _ -> Alcotest.fail "expected first frame");
+  (match Wire.Decoder.next d with
+   | `Oversized n ->
+     Alcotest.(check bool) "oversized reports declared length" true (n > 256)
+   | _ -> Alcotest.fail "expected oversized report");
+  (match Wire.Decoder.next d with
+   | `Frame got -> Alcotest.(check bool) "frame after oversized" true (got = ok2)
+   | _ -> Alcotest.fail "decoder must resume after an oversized frame");
+  (match Wire.Decoder.next d with
+   | `Await -> ()
+   | _ -> Alcotest.fail "expected a clean boundary");
+  (* the skipped body is discarded as it streams, never buffered *)
+  Alcotest.(check int) "oversized body not buffered" 0 (Wire.Decoder.buffered d);
+  (* same, with the oversized body dribbling in one byte at a time *)
+  let d = Wire.Decoder.create ~max_frame:16 () in
+  let raw2 = encode_frame (Wire.Str (String.make 64 'q')) in
+  let seen = ref false in
+  Bytes.iteri
+    (fun i _ ->
+       Wire.Decoder.feed d raw2 i 1;
+       match Wire.Decoder.next d with
+       | `Oversized _ when not !seen -> seen := true
+       | `Oversized _ -> Alcotest.fail "oversized must be reported once"
+       | `Await -> ()
+       | `Frame _ -> Alcotest.fail "oversized frame must not decode")
+    raw2;
+  Alcotest.(check bool) "oversized reported on dribble" true !seen;
+  (* the follow-up frame must itself fit under the 16-byte cap *)
+  let tiny = Wire.Null in
+  Wire.Decoder.feed d (encode_frame tiny) 0 (Bytes.length (encode_frame tiny));
+  match Wire.Decoder.next d with
+  | `Frame got -> Alcotest.(check bool) "next frame decodes" true (got = tiny)
+  | _ -> Alcotest.fail "decoder must survive a dribbled oversized frame"
+
+(* Regression: truncation must surface as [Peer_closed] wherever the
+   stream is cut — inside the length prefix, mid-body, or mid-skip of an
+   oversized frame — never as [Protocol_error]. *)
+let test_decoder_truncation_every_offset () =
+  let j = List.nth sample_frames 3 in
+  let raw = encode_frame j in
+  let n = Bytes.length raw in
+  for cut = 1 to n - 1 do
+    let d = Wire.Decoder.create () in
+    Wire.Decoder.feed d raw 0 cut;
+    (match Wire.Decoder.next d with `Await -> () | _ -> ());
+    match Wire.Decoder.finish d with
+    | () -> Alcotest.failf "cut at %d: truncation not detected" cut
+    | exception Wire.Peer_closed _ -> ()
+    | exception e ->
+      Alcotest.failf "cut at %d: expected Peer_closed, got %s" cut
+        (Printexc.to_string e)
+  done;
+  (* the full frame followed by a clean close is not a truncation *)
+  let d = Wire.Decoder.create () in
+  Wire.Decoder.feed d raw 0 n;
+  ignore (drain_decoder d);
+  (match Wire.Decoder.finish d with
+   | () -> ()
+   | exception _ -> Alcotest.fail "close on a frame boundary is clean");
+  (* truncation mid-skip of an oversized frame is Peer_closed too *)
+  let d = Wire.Decoder.create ~max_frame:8 () in
+  let big = encode_frame (Wire.Str (String.make 100 'z')) in
+  Wire.Decoder.feed d big 0 20;
+  (match Wire.Decoder.next d with
+   | `Oversized _ -> ()
+   | _ -> Alcotest.fail "expected oversized");
+  match Wire.Decoder.finish d with
+  | () -> Alcotest.fail "mid-skip truncation must raise"
+  | exception Wire.Peer_closed _ -> ()
+  | exception e ->
+    Alcotest.failf "mid-skip: expected Peer_closed, got %s" (Printexc.to_string e)
+
+(* The live server answers pipelined frames in request order. *)
+let test_live_pipelining () =
+  with_server @@ fun addr _server _router ->
+  Client.with_client addr @@ fun c ->
+  let reqs =
+    [
+      Wire.Ping;
+      Wire.Submit (check_req 0.25);
+      Wire.Ping;
+      Wire.Submit (check_req 0.25);
+      Wire.Stats;
+    ]
+  in
+  let replies = Client.pipeline c reqs in
+  Alcotest.(check int) "one reply per request" (List.length reqs)
+    (List.length replies);
+  (match replies with
+   | [ Wire.Pong; Wire.Accepted { job = j1; _ }; Wire.Pong;
+       Wire.Accepted { job = j2; _ }; Wire.Stats_reply _ ] ->
+     Alcotest.(check string) "duplicate submit dedups" j1 j2;
+     (match Client.wait c j1 with
+      | Wire.Job_done _ -> ()
+      | _ -> Alcotest.fail "pipelined submit completes")
+   | _ -> Alcotest.fail "replies must arrive in request order");
+  ()
+
 (* -------------------------------- tcp --------------------------------- *)
 
 let test_tcp_ephemeral_port () =
@@ -579,6 +778,20 @@ let () =
           Alcotest.test_case "unknown fields ignored" `Quick
             test_unknown_fields_ignored;
           Alcotest.test_case "job decoding" `Quick test_job_decoding;
+        ] );
+      ( "decoder",
+        [
+          Alcotest.test_case "one byte at a time" `Quick
+            test_decoder_byte_at_a_time;
+          Alcotest.test_case "split at every offset" `Quick
+            test_decoder_split_every_offset;
+          Alcotest.test_case "pipelined frames in one read" `Quick
+            test_decoder_pipelined_single_read;
+          Alcotest.test_case "oversized mid-stream" `Quick
+            test_decoder_oversized_midstream;
+          Alcotest.test_case "truncation at every offset" `Quick
+            test_decoder_truncation_every_offset;
+          Alcotest.test_case "live pipelining" `Quick test_live_pipelining;
         ] );
       ( "service",
         [
