@@ -1,4 +1,4 @@
-.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench perf-check bench-baseline doc docs-check clean
+.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench kernel-bench perf-check bench-baseline doc docs-check clean
 
 all:
 	dune build @all
@@ -44,9 +44,16 @@ fleet-smoke-chaos:
 bench:
 	dune exec -- bench/main.exe
 
+# Per-primitive kernel scaling ladder (mono mul, ratio add, eliminate,
+# arena eval) at 1/2/4/8 domains; rungs above this machine's core count
+# are reported as skipped, never fabricated.
+kernel-bench:
+	dune exec -- bench/main.exe --kernel-scaling
+
 # Perf gate: runtime-scaling comparison + the tracked symbolic-kernel,
-# e2/e4 elimination and region-lifting benches; fails if any tracked
-# bench regresses >20% against bench/results/baseline.json.
+# e2/e4 elimination, kernel-scaling (1-domain rungs) and region-lifting
+# benches; fails if any tracked bench regresses >20% against
+# bench/results/baseline.json.
 perf-check:
 	dune exec -- bench/main.exe --perf-check
 

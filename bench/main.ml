@@ -429,6 +429,7 @@ let runtime_jobs () =
 
 type runtime_run = {
   rname : string;
+  workers : int;  (** domain count the row actually ran with *)
   seconds : float;
   identical : bool;  (** results byte-identical to the sequential loop *)
 }
@@ -468,11 +469,16 @@ let runtime_scaling () =
   let (ok4, t4_cold, t4_warm), _ = with_workers 4 in
   let report_cache, elim_cache = caches in
   let runs =
-    [ { rname = "naive sequential (no cache)"; seconds = t_naive; identical = true };
-      { rname = "runtime, 1 worker, cold"; seconds = t1_cold; identical = ok1 };
-      { rname = "runtime, 1 worker, repeat"; seconds = t1_warm; identical = ok1 };
-      { rname = "runtime, 4 workers, cold"; seconds = t4_cold; identical = ok4 };
-      { rname = "runtime, 4 workers, repeat"; seconds = t4_warm; identical = ok4 };
+    [ { rname = "naive sequential (no cache)"; workers = 1; seconds = t_naive;
+        identical = true };
+      { rname = "runtime, 1 worker, cold"; workers = 1; seconds = t1_cold;
+        identical = ok1 };
+      { rname = "runtime, 1 worker, repeat"; workers = 1; seconds = t1_warm;
+        identical = ok1 };
+      { rname = "runtime, 4 workers, cold"; workers = 4; seconds = t4_cold;
+        identical = ok4 };
+      { rname = "runtime, 4 workers, repeat"; workers = 4; seconds = t4_warm;
+        identical = ok4 };
     ]
   in
   let report =
@@ -565,6 +571,147 @@ let region_lifting_report () =
     rows;
   Format.print_flush ();
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Kernel scaling ladder: one microbench per symbolic-kernel primitive  *)
+(* at 1/2/4/8 domains.                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_rung = {
+  k_domains : int;
+  k_skipped : bool;  (** rung above [Domain.recommended_domain_count] *)
+  k_ns_per_op : float;  (** wall time per op as seen by one domain *)
+  k_ops_per_s : float;  (** aggregate throughput across the domains *)
+  k_scaling_x : float;  (** throughput relative to this bench's 1-domain rung *)
+}
+
+type kernel_bench = {
+  k_name : string;
+  k_iters : int;  (** calibrated per-domain iterations per measurement *)
+  k_rungs : kernel_rung list;
+}
+
+(* The primitives behind parallel state elimination, chosen so each rung
+   hammers one shared-kernel layer: interned-monomial products (the
+   sharded global cons cache), small-rational arithmetic, a whole
+   min-degree elimination (every layer at once), and the compiled arena
+   evaluator (the NLP multistart inner loop).  Everything is built
+   eagerly here — the ops run in freshly spawned domains, and forcing a
+   shared lazy from several domains at once is not safe. *)
+let kernel_primitives () =
+  let p84 = Poly.pow Poly.(var "x" + var "y" + var "z" + one) 6 in
+  let p15 = Poly.pow Poly.(var "x" - (var "y" * var "z") + one) 4 in
+  let n2_pm =
+    let params = { wsn_params with Wsn.n = 2 } in
+    Model_repair.parametric_model (Wsn.chain params) (Wsn.repair_spec params)
+  in
+  let e4_violation, e4_x =
+    let q = Lazy.force data_query in
+    let vars = Ratfun.vars q.Pquery.value in
+    let x =
+      Array.of_list
+        (List.map (fun v -> if v = "fail_other" then 0.3 else 0.1) vars)
+    in
+    (Pquery.compile_violation q ~vars, x)
+  in
+  [ ( "mono mul (84x15-term product)",
+      fun () -> ignore (Poly.mul p84 p15 : Poly.t) );
+    ( "ratio add (harmonic 100)",
+      fun () ->
+        let acc = ref Ratio.zero in
+        for k = 1 to 100 do
+          acc := Ratio.add !acc (Ratio.of_ints 1 k)
+        done;
+        ignore (!acc : Ratio.t) );
+    ( "eliminate (wsn n=2, min-degree)",
+      fun () ->
+        ignore
+          (Elimination.reachability_probability ~order:Elimination.Min_degree
+             n2_pm ~target:[ 0 ]
+            : Ratfun.t) );
+    ( "arena eval (e4 violation)",
+      fun () -> ignore (e4_violation e4_x : float) );
+  ]
+
+let kernel_rung_targets = [ 1; 2; 4; 8 ]
+
+let kernel_scaling_ladder () =
+  let cores = Domain.recommended_domain_count () in
+  (* d domains, each completing [iters] ops; the measurement is the wall
+     time from first spawn to last join *)
+  let time_batch d op iters =
+    let loop () =
+      for _ = 1 to iters do
+        op ()
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    if d = 1 then loop ()
+    else begin
+      let doms = List.init d (fun _ -> Domain.spawn loop) in
+      List.iter Domain.join doms
+    end;
+    Unix.gettimeofday () -. t0
+  in
+  let bench (name, op) =
+    op ();  (* warm the cons caches and any one-time setup *)
+    let t1 =
+      let t0 = Unix.gettimeofday () in
+      op ();
+      Unix.gettimeofday () -. t0
+    in
+    (* aim for ~0.2 s per measurement *)
+    let iters =
+      max 10 (min 2_000_000 (int_of_float (0.2 /. Float.max 1e-9 t1)))
+    in
+    let base = ref Float.nan in
+    let rungs =
+      List.map
+        (fun d ->
+           if d > cores then
+             (* never fabricate a rung the machine cannot run: record it
+                as skipped so the JSON stays honest on small hosts *)
+             { k_domains = d; k_skipped = true; k_ns_per_op = Float.nan;
+               k_ops_per_s = Float.nan; k_scaling_x = Float.nan }
+           else begin
+             (* best of three: one descheduled domain would otherwise
+                read as a kernel regression *)
+             let wall =
+               List.fold_left Float.min Float.infinity
+                 (List.init 3 (fun _ -> time_batch d op iters))
+             in
+             let ops_per_s = float_of_int (d * iters) /. wall in
+             if d = 1 then base := ops_per_s;
+             { k_domains = d; k_skipped = false;
+               k_ns_per_op = wall *. 1e9 /. float_of_int iters;
+               k_ops_per_s = ops_per_s;
+               k_scaling_x = ops_per_s /. !base }
+           end)
+        kernel_rung_targets
+    in
+    { k_name = name; k_iters = iters; k_rungs = rungs }
+  in
+  let report = List.map bench (kernel_primitives ()) in
+  Format.printf
+    "@\n-- kernel scaling ladder (%d core%s available) -----------@\n" cores
+    (if cores = 1 then "" else "s");
+  List.iter
+    (fun kb ->
+       Format.printf "  %s (%d iters/domain)@\n" kb.k_name kb.k_iters;
+       List.iter
+         (fun r ->
+            if r.k_skipped then
+              Format.printf "    %d domain(s): skipped (only %d core%s)@\n"
+                r.k_domains cores
+                (if cores = 1 then "" else "s")
+            else
+              Format.printf
+                "    %d domain(s): %10.1f ns/op  %12.0f ops/s  %5.2fx@\n"
+                r.k_domains r.k_ns_per_op r.k_ops_per_s r.k_scaling_x)
+         kb.k_rungs)
+    report;
+  Format.print_flush ();
+  report
 
 (* ------------------------------------------------------------------ *)
 (* Span-derived stage breakdown                                         *)
@@ -1294,7 +1441,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime breakdown server el fleet region =
+let write_results path rows runtime kernel breakdown server el fleet region =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -1316,8 +1463,10 @@ let write_results path rows runtime breakdown server el fleet region =
   add "    \"runs\": [\n";
   List.iteri
     (fun i r ->
-       add "      {\"name\": \"%s\", \"seconds\": %.6f, \"identical\": %b}%s\n"
-         (json_escape r.rname) r.seconds r.identical
+       add
+         "      {\"name\": \"%s\", \"workers\": %d, \"seconds\": %.6f, \
+          \"identical\": %b}%s\n"
+         (json_escape r.rname) r.workers r.seconds r.identical
          (if i = List.length runtime.runs - 1 then "" else ","))
     runtime.runs;
   add "    ]";
@@ -1330,6 +1479,32 @@ let write_results path rows runtime breakdown server el fleet region =
   cache_json "report_cache" runtime.report_cache;
   cache_json "elim_cache" runtime.elim_cache;
   add "\n  },\n";
+  add "  \"kernel_scaling\": {\n";
+  add "    \"cores\": %d,\n" (Domain.recommended_domain_count ());
+  add "    \"benches\": [\n";
+  List.iteri
+    (fun i kb ->
+       add "      {\"name\": \"%s\", \"iters_per_domain\": %d, \"rungs\": [\n"
+         (json_escape kb.k_name) kb.k_iters;
+       List.iteri
+         (fun j r ->
+            let sep = if j = List.length kb.k_rungs - 1 then "" else "," in
+            if r.k_skipped then
+              (* honest marker: this host cannot run the rung, so no
+                 numbers are fabricated for it *)
+              add "        {\"domains\": %d, \"skipped\": true}%s\n" r.k_domains
+                sep
+            else
+              add
+                "        {\"domains\": %d, \"skipped\": false, \
+                 \"ns_per_op\": %.1f, \"ops_per_s\": %.1f, \
+                 \"scaling_x\": %.3f}%s\n"
+                r.k_domains r.k_ns_per_op r.k_ops_per_s r.k_scaling_x sep)
+         kb.k_rungs;
+       add "      ]}%s\n" (if i = List.length kernel - 1 then "" else ","))
+    kernel;
+  add "    ]\n";
+  add "  },\n";
   add "  \"stage_breakdown\": [\n";
   List.iteri
     (fun i r ->
@@ -1495,13 +1670,14 @@ let run_benchmarks () =
   in
   let rows = measure_groups groups in
   let runtime = runtime_scaling () in
+  let kernel = kernel_scaling_ladder () in
   let region = region_lifting_report () in
   let breakdown = stage_breakdown () in
   let server = server_throughput () in
   let el = server_event_loop () in
   let fleet = fleet_throughput () in
-  write_results "bench/results/latest.json" rows runtime breakdown server el
-    fleet region
+  write_results "bench/results/latest.json" rows runtime kernel breakdown
+    server el fleet region
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: tracked benches vs a committed baseline                   *)
@@ -1615,10 +1791,34 @@ let event_loop_rows el =
   [ row "lockstep rpc request (8 clients, unix)" el.el_throughput;
     row "pipelined request (8 clients, unix)" el.el_pipelined ]
 
+(* One synthetic row per kernel-scaling primitive at the 1-domain rung:
+   the gate tracks single-domain cost so the parallel kernel cannot buy
+   multicore scaling by slowing the sequential path down.  Skipped rungs
+   (and hence higher domain counts) are never gated — they depend on the
+   host's core count, not on the code. *)
+let kernel_rows kernel =
+  List.filter_map
+    (fun kb ->
+       match
+         List.find_opt (fun r -> r.k_domains = 1 && not r.k_skipped) kb.k_rungs
+       with
+       | Some r when Float.is_finite r.k_ns_per_op ->
+         Some
+           { group = "kernel_scaling";
+             name = kb.k_name ^ " @1 domain";
+             samples = kb.k_iters;
+             mean_ns = r.k_ns_per_op;
+             stddev_ns = 0.0;
+             min_ns = r.k_ns_per_op;
+           }
+       | _ -> None)
+    kernel
+
 let perf_check ~update () =
   prewarm ();
   ignore (runtime_scaling ());
   let rows = measure_groups (tracked_groups ()) in
+  let rows = rows @ kernel_rows (kernel_scaling_ladder ()) in
   (* held-connection rungs are skipped under the gate: they measure
      capacity, not a regression-sensitive latency *)
   let rows = rows @ event_loop_rows (server_event_loop ~held_targets:[] ()) in
@@ -1683,6 +1883,13 @@ let () =
        bench/results/baseline.json.  Exit 1 on any >threshold regression;
        does not touch latest.json. *)
     perf_check ~update:update_baseline ();
+    exit 0
+  end;
+  if List.mem "--kernel-scaling" args then begin
+    (* just the per-primitive scaling ladder (the `make kernel-bench`
+       entry point); prints the table, touches no result files *)
+    prewarm ();
+    ignore (kernel_scaling_ladder ());
     exit 0
   end;
   if List.mem "--serve-only" args then begin

@@ -5,6 +5,7 @@ type site =
   | Check
   | Cache
   | Worker
+  | Subtask
   | Accept
   | Read
   | Decode
@@ -65,6 +66,7 @@ let site_name = function
   | Check -> "check"
   | Cache -> "cache"
   | Worker -> "worker"
+  | Subtask -> "subtask"
   | Accept -> "accept"
   | Read -> "read"
   | Decode -> "decode"
@@ -77,6 +79,7 @@ let site_of_string = function
   | "check" -> Some Check
   | "cache" -> Some Cache
   | "worker" -> Some Worker
+  | "subtask" -> Some Subtask
   | "accept" -> Some Accept
   | "read" -> Some Read
   | "decode" -> Some Decode
@@ -100,6 +103,9 @@ let site_index = function
   | Read -> 7
   | Decode -> 8
   | Write -> 9
+  (* appended, not inserted: keeps the seeded coin of every older site
+     stable so recorded chaos runs replay identically *)
+  | Subtask -> 10
 
 (* SplitMix64 finalizer over (seed, site, occurrence) — deterministic
    per-occurrence coin for rate-limited specs. *)
@@ -201,6 +207,8 @@ let with_site site f =
     end
 
 let at site = with_site site (fun () -> ())
+
+let active () = Atomic.get current <> None
 
 let corrupt site v =
   match Atomic.get current with

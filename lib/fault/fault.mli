@@ -21,12 +21,16 @@ type site =
   | Check
   | Cache
   | Worker
+  | Subtask
   | Accept
   | Read
   | Decode
   | Write
 (** Where a fault can fire — the four pipeline stages, cache fills, the
-    worker dequeue loop, and the four connection-handling points of the
+    worker dequeue loop, the intra-job subtask drain ([Subtask], probed
+    by pool workers before claiming a parallel-elimination or multistart
+    subtask — distinct from [Worker] so older occurrence-counted plans
+    replay unchanged), and the four connection-handling points of the
     repair server ([Accept]/[Read]/[Decode]/[Write], probed by
     [lib/server] per accepted connection, received frame, decoded request
     and written response). *)
@@ -60,7 +64,7 @@ val install : t option -> unit
 
 val site_name : site -> string
 (** ["learn"], ["eliminate"], ["solve"], ["check"], ["cache"], ["worker"],
-    ["accept"], ["read"], ["decode"], ["write"]. *)
+    ["subtask"], ["accept"], ["read"], ["decode"], ["write"]. *)
 
 val site_of_string : string -> site option
 (** Inverse of {!site_name}; [None] on unknown names. *)
@@ -77,6 +81,12 @@ val with_site : site -> (unit -> 'a) -> 'a
 val at : site -> unit
 (** [with_site site (fun () -> ())] — probe-only form for sites with no
     meaningful body ([Cache] fills, [Worker] dequeues). *)
+
+val active : unit -> bool
+(** A plan is currently installed.  Parallel code paths whose fault
+    probes are occurrence-ordered (the NLP multistart) consult this to
+    fall back to their sequential schedule under chaos, keeping firing
+    decisions deterministic. *)
 
 val corrupt : site -> float -> float
 (** Identity, unless a [Nan] fault armed [site] on this domain, in which

@@ -451,9 +451,278 @@ let solve_factored ~order ~rows ~rew ~active ~init =
   if fr_is_zero one_minus then Ratfun.zero
   else fr_to_ratfun (fr_mul (fr_inv one_minus) r.(init))
 
+(* ------------------------------------------------------------------ *)
+(* Batched parallel elimination.                                        *)
+(*                                                                      *)
+(* The sequential schedule is a sequence of dynamic picks; the final    *)
+(* rational function's REPRESENTATION depends on that exact sequence    *)
+(* (without multivariate gcd, different orders leave different common   *)
+(* factors unreduced).  So the parallel path does not invent a new      *)
+(* schedule: it proves, batch by batch, that a prefix of the sequential *)
+(* schedule consists of states whose neighborhoods                      *)
+(*   N(s) = {s} ∪ preds(s) ∪ succs(s)                                   *)
+(* are pairwise disjoint.  Disjoint-N eliminations read and write       *)
+(* disjoint array cells (rows of preds(s), pred-sets of succs(s), s's   *)
+(* own row), so running them concurrently is cell-for-cell identical to *)
+(* running them in sequence — byte-identical output, any interleaving.  *)
+(*                                                                      *)
+(* Replicating the DYNAMIC Min_degree pick without executing anything   *)
+(* needs one more argument.  States outside the batch's touched region  *)
+(* ⋃N(b) keep their exact degree (no cell of theirs is written), so     *)
+(* their post-batch pick keys are the frozen ones.  States inside it    *)
+(* have uncertain degrees — but elimination only REMOVES an edge u→v    *)
+(* when v is a batch member or a fill-in target (succs(b)), and only    *)
+(* removes w→u when w is a batch member or fill-in source (preds(b)):   *)
+(* everything else can at most gain edges.  Counting only the edges     *)
+(* that provably survive gives a degree lower bound; if every touched   *)
+(* survivor's bound exceeds the best frozen degree, the frozen argmin   *)
+(* IS the next sequential pick.  Any doubt — a touched state whose      *)
+(* bound could win or tie (ties would invoke the sym_size tie-break on  *)
+(* a row we cannot know) — closes the batch instead of guessing.        *)
+(* ------------------------------------------------------------------ *)
+
+(* Read per solve, like TML_ELIM_FACTORED, so differential tests can
+   flip the escape hatch with [Unix.putenv] mid-process. *)
+let use_parallel () =
+  match Sys.getenv_opt "TML_ELIM_PARALLEL" with Some "0" -> false | _ -> true
+
+let solve_factored_parallel ~order ~rows ~rew ~active ~init =
+  let n = Array.length rows in
+  let p = Array.make n Imap.empty in
+  Array.iteri
+    (fun s row ->
+       if active.(s) then
+         p.(s) <-
+           Imap.filter_map
+             (fun d f -> if active.(d) then Some (fr_of_ratfun f) else None)
+             row)
+    rows;
+  let r = Array.map fr_of_ratfun rew in
+  let preds = Array.make n Iset.empty in
+  Array.iteri
+    (fun s row -> Imap.iter (fun d _ -> preds.(d) <- Iset.add s preds.(d)) row)
+    p;
+  let alive = Array.copy active in
+  let to_eliminate =
+    List.filter (fun s -> alive.(s) && s <> init) (List.init n Fun.id)
+  in
+  let degree s = Iset.cardinal preds.(s) * Imap.cardinal p.(s) in
+  let fr_size t =
+    Pmap.fold
+      (fun f e acc -> acc + (e * P.num_terms f))
+      t.df (P.num_terms t.c)
+  in
+  let sym_size s = Imap.fold (fun _ f acc -> acc + fr_size f) p.(s) 0 in
+  (* identical to [solve_factored]'s pick — the first member of every
+     batch is the true dynamic pick *)
+  let pick remaining =
+    match order with
+    | Ascending -> List.hd remaining
+    | Descending -> List.hd (List.rev remaining)
+    | Min_degree ->
+      let best = ref (List.hd remaining) in
+      let best_deg = ref (degree !best) in
+      let best_size = ref (-1) in
+      List.iter
+        (fun s ->
+           let d = degree s in
+           if d < !best_deg then begin
+             best := s;
+             best_deg := d;
+             best_size := -1
+           end
+           else if d = !best_deg && s <> !best then begin
+             if !best_size < 0 then best_size := sym_size !best;
+             let sz = sym_size s in
+             if sz < !best_size then begin
+               best := s;
+               best_size := sz
+             end
+           end)
+        (List.tl remaining);
+      !best
+  in
+  let saved_total = Atomic.make 0 in
+  (* [solve_factored]'s eliminate with the normalize-saved tally as a
+     parameter: each parallel task owns a private counter (summed into
+     [saved_total] at task end), so concurrent eliminations never share
+     a mutable cell *)
+  let eliminate ~saved s =
+    let self = Option.value ~default:fr_zero (Imap.find_opt s p.(s)) in
+    let one_minus = fr_add fr_one (fr_neg self) in
+    if fr_is_zero one_minus then begin
+      (* p(s,s) ≡ 1: a trap; cut s out (see solve_ratfun) *)
+      Iset.iter
+        (fun u -> if u <> s then p.(u) <- Imap.remove s p.(u))
+        preds.(s);
+      Imap.iter (fun d _ -> preds.(d) <- Iset.remove s preds.(d)) p.(s);
+      p.(s) <- Imap.empty;
+      alive.(s) <- false
+    end
+    else begin
+      let factor = fr_inv one_minus in
+      let out = Imap.remove s p.(s) in
+      let r_s = fr_mul factor r.(s) in
+      let r_s_zero = fr_is_zero r_s in
+      let scaled_out = Imap.map (fun f -> fr_mul factor f) out in
+      saved := !saved + Imap.cardinal out + 2;
+      Iset.iter
+        (fun u ->
+           if u <> s then begin
+             match Imap.find_opt s p.(u) with
+             | None -> ()
+             | Some p_us ->
+               if not r_s_zero then begin
+                 r.(u) <- fr_add r.(u) (fr_mul p_us r_s);
+                 saved := !saved + 2
+               end;
+               Imap.iter
+                 (fun v sf ->
+                    let contrib = fr_mul p_us sf in
+                    p.(u) <-
+                      Imap.update v
+                        (function
+                          | None ->
+                            saved := !saved + 1;
+                            if fr_is_zero contrib then None else Some contrib
+                          | Some g ->
+                            saved := !saved + 2;
+                            let sum = fr_add g contrib in
+                            if fr_is_zero sum then None else Some sum)
+                        p.(u);
+                    preds.(v) <- Iset.add u preds.(v))
+                 scaled_out;
+               p.(u) <- Imap.remove s p.(u)
+           end)
+        preds.(s);
+      Imap.iter (fun d _ -> preds.(d) <- Iset.remove s preds.(d)) p.(s);
+      preds.(s) <- Iset.empty;
+      p.(s) <- Imap.empty;
+      alive.(s) <- false
+    end
+  in
+  let succs s = Imap.fold (fun d _ acc -> Iset.add d acc) p.(s) Iset.empty in
+  let nbhd s = Iset.add s (Iset.union preds.(s) (succs s)) in
+  (* A maximal provably-safe prefix of the sequential schedule, built
+     against the CURRENT (pre-batch) arrays.  [touched] = ⋃N(b) over the
+     batch; [kill_src]/[kill_dst] collect the only edge endpoints batch
+     eliminations can delete (batch members, fill-in sources, fill-in
+     targets), for the degree lower bounds. *)
+  let build_batch remaining =
+    let b1 = pick remaining in
+    let batch = ref [ b1 ] in
+    let bset = ref (Iset.singleton b1) in
+    let touched = ref (nbhd b1) in
+    let kill_src = ref (Iset.add b1 preds.(b1)) in
+    let kill_dst = ref (Iset.add b1 (succs b1)) in
+    let min_deg s =
+      let pl =
+        Iset.fold
+          (fun w acc -> if Iset.mem w !kill_src then acc else acc + 1)
+          preds.(s) 0
+      in
+      let ol =
+        Imap.fold
+          (fun v _ acc -> if Iset.mem v !kill_dst then acc else acc + 1)
+          p.(s) 0
+      in
+      pl * ol
+    in
+    let add c =
+      batch := c :: !batch;
+      bset := Iset.add c !bset;
+      touched := Iset.union !touched (nbhd c);
+      kill_src := Iset.add c (Iset.union !kill_src preds.(c));
+      kill_dst := Iset.add c (Iset.union !kill_dst (succs c))
+    in
+    let stop = ref false in
+    while not !stop do
+      let rest = List.filter (fun s -> not (Iset.mem s !bset)) remaining in
+      let candidate =
+        match order with
+        (* fixed-order schedules: the next pick is positional; only the
+           disjointness of its neighborhood needs proving *)
+        | Ascending -> (match rest with [] -> None | c :: _ -> Some c)
+        | Descending -> (
+            match rest with [] -> None | _ -> Some (List.hd (List.rev rest)))
+        | Min_degree -> (
+            match List.filter (fun s -> not (Iset.mem s !touched)) rest with
+            | [] -> None  (* no state with a provably exact degree left *)
+            | u0 :: us ->
+              (* frozen argmin over untouched survivors — their rows and
+                 pred-sets are exactly the post-batch ones *)
+              let best = ref u0 in
+              let best_deg = ref (degree u0) in
+              let best_size = ref (-1) in
+              List.iter
+                (fun s ->
+                   let d = degree s in
+                   if d < !best_deg then begin
+                     best := s;
+                     best_deg := d;
+                     best_size := -1
+                   end
+                   else if d = !best_deg then begin
+                     if !best_size < 0 then best_size := sym_size !best;
+                     let sz = sym_size s in
+                     if sz < !best_size then begin
+                       best := s;
+                       best_size := sz
+                     end
+                   end)
+                us;
+              (* sound only if no touched survivor could beat OR tie it *)
+              let doubtful =
+                List.exists
+                  (fun s -> Iset.mem s !touched && min_deg s <= !best_deg)
+                  rest
+              in
+              if doubtful then None else Some !best)
+      in
+      match candidate with
+      | Some c when Iset.disjoint (nbhd c) !touched -> add c
+      | _ -> stop := true
+    done;
+    List.rev !batch
+  in
+  let run_batch = function
+    | [ s ] ->
+      let saved = ref 0 in
+      eliminate ~saved s;
+      if !saved > 0 then ignore (Atomic.fetch_and_add saved_total !saved : int)
+    | batch ->
+      Parallel.run
+        (Array.of_list
+           (List.map
+              (fun s () ->
+                 let saved = ref 0 in
+                 eliminate ~saved s;
+                 if !saved > 0 then
+                   ignore (Atomic.fetch_and_add saved_total !saved : int))
+              batch))
+  in
+  let rec loop remaining =
+    match remaining with
+    | [] -> ()
+    | _ ->
+      let batch = build_batch remaining in
+      run_batch batch;
+      let bs = Iset.of_list batch in
+      loop (List.filter (fun x -> not (Iset.mem x bs)) remaining)
+  in
+  loop to_eliminate;
+  if Atomic.get saved_total > 0 then
+    Metrics.incr ~by:(Atomic.get saved_total) normalize_saved;
+  (* E(init) = r(init) / (1 - p(init,init)) *)
+  let self = Option.value ~default:fr_zero (Imap.find_opt init p.(init)) in
+  let one_minus = fr_add fr_one (fr_neg self) in
+  if fr_is_zero one_minus then Ratfun.zero
+  else fr_to_ratfun (fr_mul (fr_inv one_minus) r.(init))
+
 let solve ~order ~rows ~rew ~active ~init =
-  if use_factored () then solve_factored ~order ~rows ~rew ~active ~init
-  else solve_ratfun ~order ~rows ~rew ~active ~init
+  if not (use_factored ()) then solve_ratfun ~order ~rows ~rew ~active ~init
+  else if use_parallel () then solve_factored_parallel ~order ~rows ~rew ~active ~init
+  else solve_factored ~order ~rows ~rew ~active ~init
 
 (* ------------------------------------------------------------------ *)
 

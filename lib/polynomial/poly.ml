@@ -40,11 +40,21 @@ module Mono = struct
     done;
     !d
 
-  (* Per-domain hash-consing: structurally equal monomials built in the
-     same domain are physically equal, giving compare/equal an O(1) fast
-     path.  The table is domain-local so the arithmetic hot path never
-     takes a lock; the hash is a pure function of the key, so monomials
-     that cross domains still compare correctly (content-wise). *)
+  (* Hash-consing is two-level.  The authority is a GLOBAL table sharded
+     on the monomial hash — not on the domain — so a structurally equal
+     key interned from any domain resolves to the SAME physical monomial,
+     keeping the [==] fast paths in [compare]/[Mtbl.equal] valid even
+     when polynomials cross domains (which parallel elimination does on
+     every batch).  Sharding the lock spreads concurrent interning from
+     different domains over [shard_count] mutexes instead of serializing
+     it on one intern table; each shard's critical section is a single
+     hashtable probe.
+
+     In front of the authority sits a per-domain, lock-free L1 memo of
+     pointers INTO the global table: repeat lookups (the arithmetic hot
+     path — products regenerate the same monomials constantly) cost a
+     domain-local probe and no lock, exactly what the old per-domain
+     cache cost, while first sights pay one shard lock. *)
   module H = Hashtbl.Make (struct
       type t = int array
 
@@ -52,15 +62,25 @@ module Mono = struct
       let hash = key_hash
     end)
 
+  type shard = { lock : Mutex.t; stbl : t H.t }
+
+  let shard_count = 64  (* power of two: shard = hash land (count - 1) *)
+
+  let shards =
+    Array.init shard_count (fun _ ->
+        { lock = Mutex.create (); stbl = H.create 512 })
+
   type cache = { tbl : t H.t; mutable hits : int; mutable misses : int }
 
   let hits_total =
     Metrics.counter "tml_mono_cache_hits_total"
-      ~help:"Monomial hash-cons lookups served from the per-domain cache"
+      ~help:"Monomial hash-cons lookups served from the per-domain L1 memo"
 
   let misses_total =
     Metrics.counter "tml_mono_cache_misses_total"
-      ~help:"Monomial hash-cons lookups that allocated a fresh monomial"
+      ~help:
+        "Monomial hash-cons lookups that went to the sharded global table \
+         (interning the monomial on first sight process-wide)"
 
   let cache_key =
     Domain.DLS.new_key (fun () ->
@@ -69,6 +89,22 @@ module Mono = struct
   (* Flush domain-local tallies to the shared atomic counters only every
      [flush_mask + 1] events, keeping atomics off the per-product path. *)
   let flush_mask = 0xFFF
+
+  (* Resolve [key] in the global sharded table.  The returned monomial is
+     the unique physical representative for this key, process-wide. *)
+  let intern_global (key : int array) (h : int) : t =
+    let s = Array.unsafe_get shards (h land (shard_count - 1)) in
+    Mutex.lock s.lock;
+    let m =
+      match H.find_opt s.stbl key with
+      | Some m -> m
+      | None ->
+        let m = { key; h; deg = key_degree key } in
+        H.add s.stbl key m;
+        m
+    in
+    Mutex.unlock s.lock;
+    m
 
   let cons (key : int array) : t =
     if Array.length key = 0 then unit
@@ -84,8 +120,10 @@ module Mono = struct
         c.misses <- c.misses + 1;
         if c.misses land flush_mask = 0 then
           Metrics.incr ~by:(flush_mask + 1) misses_total;
-        let m = { key; h = key_hash key; deg = key_degree key } in
-        H.add c.tbl key m;
+        let m = intern_global key (key_hash key) in
+        (* memoize the global representative (possibly allocated by
+           another domain); the L1 never holds a private duplicate *)
+        H.add c.tbl m.key m;
         m
     end
 

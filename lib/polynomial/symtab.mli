@@ -1,9 +1,11 @@
 (** Process-wide interning of polynomial variable names.
 
     Maps variable names to dense int ids (assigned in first-intern order,
-    never recycled) and back.  Thread-safe across domains; the underlying
-    lock is only touched on intern and id->name lookups, both of which are
-    off the polynomial arithmetic hot path. *)
+    never recycled) and back.  Thread-safe across domains and built for
+    concurrent kernels: id->name lookups are lock-free reads of an
+    immutable published snapshot, name->id lookups go through a table
+    sharded on the string hash, and only the first intern of a new name
+    serializes on a writer lock. *)
 
 val intern : string -> int
 (** Id of [v], interning it on first sight. *)

@@ -30,9 +30,11 @@ let create ?workers ?(queue_capacity = 64) ?(report_cache_capacity = 256)
     else
       Some (Lru_cache.create ~name:"elimination" ~capacity:elim_cache_capacity ())
   in
-  (* Process-global hooks: stage timings, the elimination memo and the
-     fault observer.  The runtime owns them until shutdown. *)
+  (* Process-global hooks: stage timings, the elimination memo, the fault
+     observer and the intra-job parallel runner.  The runtime owns them
+     until shutdown. *)
   Instr.set_recorder (Some (Runtime_stats.record_stage stats));
+  Parallel.set_runner (Some (Pool.run_subtasks pool));
   Fault.set_observer (Some (fun _site -> Runtime_stats.incr stats `Fault_injected));
   Option.iter
     (fun cache ->
@@ -149,6 +151,7 @@ let stats_json t =
 let shutdown ?drain t =
   if not t.shut then begin
     t.shut <- true;
+    Parallel.set_runner None;
     Pool.shutdown ?drain t.pool;
     Elimination.set_memo None;
     Fault.set_observer None;

@@ -48,14 +48,19 @@ let wq_gauge =
   Metrics.gauge "tml_server_write_queue_bytes"
     ~help:"Response bytes buffered for write, summed over all connections"
 
+let zero_copy_saved =
+  Metrics.counter "tml_server_zero_copy_bytes_saved_total"
+    ~help:
+      "Reply bytes rendered directly into connection write buffers \
+       (bytes that previously took an intermediate frame-string copy)"
+
 (* ------------------------------ types ------------------------------ *)
 
 type conn = {
   client : int;
   fd : Unix.file_descr;
   dec : Wire.Decoder.t;
-  out : (string * int ref) Queue.t;  (* rendered frames, next-byte offset *)
-  mutable out_bytes : int;
+  out : Wire.Obuf.t;  (* frames render straight in, writes drain the front *)
   mutable reading : bool;  (* current poller interest *)
   mutable writing : bool;
   mutable busy : bool;  (* a [`Slow] request is on the executor *)
@@ -139,13 +144,6 @@ let salvage_id j =
   | Some (Wire.Num f) when Float.is_integer f -> int_of_float f
   | _ -> 0
 
-let render_frame ~id resp =
-  let body = Wire.render (Wire.response_to_json ~id resp) in
-  let len = String.length body in
-  let hdr = Bytes.create 4 in
-  Bytes.set_int32_be hdr 0 (Int32.of_int len);
-  Bytes.unsafe_to_string hdr ^ body
-
 let wake loop =
   match Unix.write_substring loop.wake_w "!" 0 1 with
   | _ -> ()
@@ -165,9 +163,9 @@ let update_interest t loop conn =
   if not conn.closed then begin
     let read =
       (not conn.busy) && (not conn.closing)
-      && conn.out_bytes < t.max_write_buffer
+      && Wire.Obuf.length conn.out < t.max_write_buffer
     in
-    let write = conn.out_bytes > 0 in
+    let write = Wire.Obuf.length conn.out > 0 in
     if read <> conn.reading || write <> conn.writing then begin
       conn.reading <- read;
       conn.writing <- write;
@@ -182,39 +180,27 @@ let close_conn t loop conn =
     Poll.remove loop.poll conn.fd;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove loop.conns (fd_int conn.fd);
-    if conn.out_bytes > 0 then wq_add t (-conn.out_bytes);
-    conn.out_bytes <- 0;
-    Queue.clear conn.out;
+    let buffered = Wire.Obuf.length conn.out in
+    if buffered > 0 then wq_add t (-buffered);
+    Wire.Obuf.clear conn.out;
     let n = Atomic.fetch_and_add t.conn_count (-1) - 1 in
     Metrics.set_gauge conn_gauge (float_of_int n)
   end
 
-(* Drain the write queue as far as the socket accepts; a closing
-   connection whose queue empties is closed here. *)
+(* Drain the write buffer as far as the socket accepts; a closing
+   connection whose buffer empties is closed here.  A burst of pipelined
+   replies is already contiguous in the [Obuf] — one write syscall (and
+   one client wakeup) per batch, with no coalescing copy. *)
 let flush t loop conn =
   if not conn.closed then begin
-    (* coalesce a burst of pipelined replies into one buffer first: one
-       write syscall (and one client wakeup) per batch instead of one per
-       frame.  The copy is bounded by [max_write_buffer]. *)
-    if Queue.length conn.out > 1 then begin
-      let b = Buffer.create conn.out_bytes in
-      Queue.iter
-        (fun (s, off) -> Buffer.add_substring b s !off (String.length s - !off))
-        conn.out;
-      Queue.clear conn.out;
-      Queue.push (Buffer.contents b, ref 0) conn.out
-    end;
     let err = ref false and blocked = ref false and progressed = ref false in
-    while (not (!err || !blocked)) && not (Queue.is_empty conn.out) do
-      let s, off = Queue.peek conn.out in
-      let len = String.length s - !off in
-      match Unix.write_substring conn.fd s !off len with
+    while (not (!err || !blocked)) && Wire.Obuf.length conn.out > 0 do
+      let buf, off, len = Wire.Obuf.peek conn.out in
+      match Unix.write conn.fd buf off len with
       | n ->
         progressed := true;
-        conn.out_bytes <- conn.out_bytes - n;
-        wq_add t (-n);
-        if n = len then ignore (Queue.pop conn.out : string * int ref)
-        else off := !off + n
+        Wire.Obuf.consume conn.out n;
+        wq_add t (-n)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         blocked := true
@@ -222,7 +208,8 @@ let flush t loop conn =
     done;
     if !progressed then conn.last_tx <- now ();
     if !err then close_conn t loop conn
-    else if Queue.is_empty conn.out && conn.closing then close_conn t loop conn
+    else if Wire.Obuf.length conn.out = 0 && conn.closing then
+      close_conn t loop conn
     else update_interest t loop conn
   end
 
@@ -239,7 +226,7 @@ let enqueue_reply ?(immediate = true) t loop conn ~id ~t0 resp =
     let resp =
       match Fault.at Fault.Write with
       | () ->
-        if conn.out_bytes > t.max_write_buffer then begin
+        if Wire.Obuf.length conn.out > t.max_write_buffer then begin
           Admission.note_shed ();
           Wire.Error_reply
             (Wire.err_of_exn
@@ -250,10 +237,11 @@ let enqueue_reply ?(immediate = true) t loop conn ~id ~t0 resp =
         conn.closing <- true;
         Wire.Error_reply (Wire.err_of_exn e)
     in
-    let frame = render_frame ~id resp in
-    Queue.push (frame, ref 0) conn.out;
-    conn.out_bytes <- conn.out_bytes + String.length frame;
-    wq_add t (String.length frame);
+    (* zero-copy: the frame is rendered straight into the connection's
+       write buffer — no intermediate frame string *)
+    let frame_len = Wire.frame_into conn.out (Wire.response_to_json ~id resp) in
+    wq_add t frame_len;
+    Metrics.incr ~by:frame_len zero_copy_saved;
     Metrics.observe latency_hist (now () -. t0);
     if immediate then flush t loop conn
   end
@@ -295,7 +283,7 @@ let exec_submit t task =
 let rec drain_frames t loop conn =
   if
     conn.closed || conn.closing || conn.busy
-    || conn.out_bytes >= t.max_write_buffer
+    || Wire.Obuf.length conn.out >= t.max_write_buffer
     || Atomic.get t.stop
   then flush t loop conn  (* batch boundary: push buffered replies out *)
   else
@@ -379,7 +367,7 @@ let on_readable t loop conn =
         if
           n < Bytes.length loop.rbuf
           || conn.busy || conn.closing
-          || conn.out_bytes >= t.max_write_buffer
+          || Wire.Obuf.length conn.out >= t.max_write_buffer
         then continue := false
       | exception
           Unix.Unix_error
@@ -418,8 +406,7 @@ let register_conn t loop fd =
         client;
         fd;
         dec = Wire.Decoder.create ~max_frame:t.max_frame ();
-        out = Queue.create ();
-        out_bytes = 0;
+        out = Wire.Obuf.create ();
         reading = true;
         writing = false;
         busy = false;
@@ -495,7 +482,7 @@ let process_msg t loop = function
       if not conn.closed then
         if Atomic.get t.stop then begin
           conn.closing <- true;
-          if conn.out_bytes = 0 then close_conn t loop conn
+          if Wire.Obuf.length conn.out = 0 then close_conn t loop conn
           else update_interest t loop conn
         end
         else drain_frames t loop conn
@@ -526,7 +513,7 @@ let sweep_deadlines t loop tnow =
             && Wire.Decoder.mid_frame c.dec
             && tnow -. c.last_rx > t.read_timeout_s
           then stalled := c :: !stalled
-          else if c.out_bytes > 0 && tnow -. c.last_tx > t.write_timeout_s
+          else if Wire.Obuf.length c.out > 0 && tnow -. c.last_tx > t.write_timeout_s
           then dead := c :: !dead)
       loop.conns;
     List.iter
@@ -555,7 +542,7 @@ let begin_stop t loop =
     (fun c ->
       if not (c.closed || c.busy) then begin
         c.closing <- true;
-        if c.out_bytes = 0 then close_conn t loop c else flush t loop c
+        if Wire.Obuf.length c.out = 0 then close_conn t loop c else flush t loop c
       end)
     all
 
@@ -568,7 +555,7 @@ let run_loop t loop () =
       let idle =
         Hashtbl.fold
           (fun _ c acc ->
-            if (not c.busy) && c.out_bytes = 0 then c :: acc else acc)
+            if (not c.busy) && Wire.Obuf.length c.out = 0 then c :: acc else acc)
           loop.conns []
       in
       List.iter (fun c -> close_conn t loop c) idle

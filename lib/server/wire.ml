@@ -17,70 +17,159 @@ type json =
   | Arr of json list
   | Obj of (string * json) list
 
+(* ---------------------------- output buffer ------------------------ *)
+
+(* A growable byte window with a consumable front — the server's
+   per-connection write queue.  Frames are rendered straight into it
+   ([frame_into] below) and [Unix.write] reads straight out of it via
+   [peek]/[consume], so a reply body is never materialised as an
+   intermediate frame string.  The live window is buf.[head..head+len);
+   appends go through [ensure], which compacts (slides the window to the
+   front) before growing, same as {!Decoder.ensure_space}. *)
+module Obuf = struct
+  type t = { mutable buf : Bytes.t; mutable head : int; mutable len : int }
+
+  let create ?(initial = 4096) () =
+    { buf = Bytes.create (max 16 initial); head = 0; len = 0 }
+
+  let length t = t.len
+
+  let clear t =
+    t.head <- 0;
+    t.len <- 0
+
+  let ensure t n =
+    if t.head > 0 && t.head + t.len + n > Bytes.length t.buf then begin
+      Bytes.blit t.buf t.head t.buf 0 t.len;
+      t.head <- 0
+    end;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit t.buf t.head nb 0 t.len;
+      t.buf <- nb;
+      t.head <- 0
+    end
+
+  let add_char t c =
+    ensure t 1;
+    Bytes.unsafe_set t.buf (t.head + t.len) c;
+    t.len <- t.len + 1
+
+  let add_string t s =
+    let n = String.length s in
+    ensure t n;
+    Bytes.blit_string s 0 t.buf (t.head + t.len) n;
+    t.len <- t.len + n
+
+  let add_substring t s off n =
+    ensure t n;
+    Bytes.blit_string s off t.buf (t.head + t.len) n;
+    t.len <- t.len + n
+
+  (* Marks are window-relative offsets, not raw positions: [ensure] may
+     compact or regrow (moving [head]) between reserve and patch.  A mark
+     is only valid until the next [consume]/[clear]. *)
+  let reserve_u32 t =
+    let mark = t.len in
+    ensure t 4;
+    Bytes.set_int32_be t.buf (t.head + t.len) 0l;
+    t.len <- t.len + 4;
+    mark
+
+  let patch_u32 t mark v =
+    if mark < 0 || mark + 4 > t.len then invalid_arg "Wire.Obuf.patch_u32";
+    Bytes.set_int32_be t.buf (t.head + mark) (Int32.of_int v)
+
+  let contents t = Bytes.sub_string t.buf t.head t.len
+
+  let peek t = (t.buf, t.head, t.len)
+
+  let consume t n =
+    if n < 0 || n > t.len then invalid_arg "Wire.Obuf.consume";
+    t.head <- t.head + n;
+    t.len <- t.len - n;
+    if t.len = 0 then t.head <- 0
+end
+
 (* Escape by blitting runs of clean characters rather than appending one
    char at a time — frames carry multi-KB model texts, and the serving
    core renders one on every submit round-trip. *)
-let escape_to buf s =
+let escape_into ob s =
   let n = String.length s in
   (* unsafe_get: [i] is always < [n] here, and this loop visits every
      byte of every model text on the wire *)
   let needs_escape c = c = '"' || c = '\\' || Char.code c < 0x20 in
   let rec go start i =
-    if i >= n then (if i > start then Buffer.add_substring buf s start (i - start))
+    if i >= n then (if i > start then Obuf.add_substring ob s start (i - start))
     else if not (needs_escape (String.unsafe_get s i)) then go start (i + 1)
     else begin
-      if i > start then Buffer.add_substring buf s start (i - start);
+      if i > start then Obuf.add_substring ob s start (i - start);
       (match s.[i] with
-       | '"' -> Buffer.add_string buf "\\\""
-       | '\\' -> Buffer.add_string buf "\\\\"
-       | '\n' -> Buffer.add_string buf "\\n"
-       | '\r' -> Buffer.add_string buf "\\r"
-       | '\t' -> Buffer.add_string buf "\\t"
-       | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)));
+       | '"' -> Obuf.add_string ob "\\\""
+       | '\\' -> Obuf.add_string ob "\\\\"
+       | '\n' -> Obuf.add_string ob "\\n"
+       | '\r' -> Obuf.add_string ob "\\r"
+       | '\t' -> Obuf.add_string ob "\\t"
+       | c -> Obuf.add_string ob (Printf.sprintf "\\u%04x" (Char.code c)));
       go (i + 1) (i + 1)
     end
   in
   go 0 0
 
-let rec render_to buf = function
-  | Null -> Buffer.add_string buf "null"
-  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+let rec render_into ob = function
+  | Null -> Obuf.add_string ob "null"
+  | Bool b -> Obuf.add_string ob (if b then "true" else "false")
   | Num f ->
     if Float.is_integer f && Float.abs f < 1e15 then
       (* string_of_int, not sprintf "%.0f": ids and sizes render on every
          frame, and format-string interpretation costs ~1us a call *)
-      Buffer.add_string buf (string_of_int (int_of_float f))
+      Obuf.add_string ob (string_of_int (int_of_float f))
     else if Float.is_finite f then
-      Buffer.add_string buf (Printf.sprintf "%.17g" f)
-    else Buffer.add_string buf "null"
+      Obuf.add_string ob (Printf.sprintf "%.17g" f)
+    else Obuf.add_string ob "null"
   | Str s ->
-    Buffer.add_char buf '"';
-    escape_to buf s;
-    Buffer.add_char buf '"'
+    Obuf.add_char ob '"';
+    escape_into ob s;
+    Obuf.add_char ob '"'
   | Arr xs ->
-    Buffer.add_char buf '[';
+    Obuf.add_char ob '[';
     List.iteri
       (fun i x ->
-         if i > 0 then Buffer.add_char buf ',';
-         render_to buf x)
+         if i > 0 then Obuf.add_char ob ',';
+         render_into ob x)
       xs;
-    Buffer.add_char buf ']'
+    Obuf.add_char ob ']'
   | Obj fields ->
-    Buffer.add_char buf '{';
+    Obuf.add_char ob '{';
     List.iteri
       (fun i (k, v) ->
-         if i > 0 then Buffer.add_char buf ',';
-         Buffer.add_char buf '"';
-         escape_to buf k;
-         Buffer.add_string buf "\":";
-         render_to buf v)
+         if i > 0 then Obuf.add_char ob ',';
+         Obuf.add_char ob '"';
+         escape_into ob k;
+         Obuf.add_string ob "\":";
+         render_into ob v)
       fields;
-    Buffer.add_char buf '}'
+    Obuf.add_char ob '}'
 
 let render j =
-  let buf = Buffer.create 256 in
-  render_to buf j;
-  Buffer.contents buf
+  let ob = Obuf.create ~initial:256 () in
+  render_into ob j;
+  Obuf.contents ob
+
+(* Render one length-prefixed frame directly into [ob]: reserve the
+   4-byte header, render the body behind it, patch the length in.
+   Returns the whole frame's size (header included). *)
+let frame_into ob j =
+  let mark = Obuf.reserve_u32 ob in
+  let before = Obuf.length ob in
+  render_into ob j;
+  let body_len = Obuf.length ob - before in
+  Obuf.patch_u32 ob mark body_len;
+  4 + body_len
 
 (* A single-pass recursive-descent parser.  Errors carry the byte offset
    so a corrupt frame is diagnosable from the error message alone. *)

@@ -324,13 +324,23 @@ let test_job_decoding () =
 
 (* ----------------------------- live server ---------------------------- *)
 
+let zero_copy_saved =
+  (* same name → same registered counter as the server's *)
+  Metrics.counter "tml_server_zero_copy_bytes_saved_total"
+
 let test_ping_stats_over_unix_socket () =
-  with_server @@ fun addr _server _router ->
-  Client.with_client addr @@ fun c ->
-  Client.ping c;
-  match Wire.member "jobs" (Client.stats c) with
-  | Some _ -> ()
-  | None -> Alcotest.fail "stats dump should contain a jobs section"
+  let saved0 = Metrics.counter_value zero_copy_saved in
+  (with_server @@ fun addr _server _router ->
+   Client.with_client addr @@ fun c ->
+   Client.ping c;
+   match Wire.member "jobs" (Client.stats c) with
+   | Some _ -> ()
+   | None -> Alcotest.fail "stats dump should contain a jobs section");
+  (* both replies were rendered straight into the connection's write
+     buffer: the zero-copy counter grows by at least the two frames'
+     bytes (4-byte header + body each) *)
+  Alcotest.(check bool) "zero-copy bytes counted" true
+    (Metrics.counter_value zero_copy_saved - saved0 > 8)
 
 let test_submit_wait_poll_cancel () =
   with_server @@ fun addr _server _router ->
