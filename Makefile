@@ -1,4 +1,4 @@
-.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos bench kernel-bench perf-check bench-baseline doc docs-check clean
+.PHONY: all test region-test fault-test trace-test server-smoke server-smoke-chaos fleet-smoke fleet-smoke-chaos watch-smoke watch-smoke-chaos bench kernel-bench perf-check bench-baseline doc docs-check clean
 
 all:
 	dune build @all
@@ -40,6 +40,18 @@ fleet-smoke:
 # and the ejection must be visible in `tml fleet status`.
 fleet-smoke-chaos:
 	scripts/fleet_smoke.sh --chaos
+
+# Watch smoke: register a watch, stream a violating trace in chunks, and
+# assert the follower receives violation + repair pushes, the stats
+# section counts the subscription, and --from-seq replays the history.
+watch-smoke:
+	scripts/watch_smoke.sh
+
+# Same, plus two failure drills: a SIGKILLed follower reconnecting with
+# --from-seq must miss no violation, and a SIGKILLed fleet backend must
+# leave watch state intact with repairs re-routed to the survivor.
+watch-smoke-chaos:
+	scripts/watch_smoke.sh --chaos
 
 bench:
 	dune exec -- bench/main.exe

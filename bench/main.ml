@@ -1441,7 +1441,185 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results path rows runtime kernel breakdown server el fleet region =
+(* ------------------------------------------------------------------ *)
+(* Latency-to-detection: the `tml watch` hot path                       *)
+(* ------------------------------------------------------------------ *)
+
+(* What a subscriber actually waits for after an append: while the count
+   support is unchanged the checker re-evaluates the cached rational
+   function at the new parameter point (microseconds); on a support
+   change it re-runs state elimination.  Measured on the WSN n=3 chain
+   (9 states, R<=19) against a from-scratch check — the figure the
+   acceptance gate holds at >=100x.
+
+   Must run with no runtime alive: the process-global elimination memo
+   is installed by a live runtime and would turn the from-scratch column
+   into a cache hit. *)
+type detect_report = {
+  d_iters : int;
+  d_cached_p50_us : float;
+  d_cached_p95_us : float;
+  d_reelim_p50_us : float;
+  d_scratch_p50_us : float;
+  d_speedup : float;  (** from-scratch p50 / cached p50 *)
+}
+
+let percentile p sorted =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let latency_to_detection () =
+  let n = 9 and init = 8 in
+  let labels = [ ("delivered", [ 0 ]) ] in
+  let rewards =
+    Array.init n (fun s -> if s = 0 then Ratio.zero else Ratio.one)
+  in
+  let prop = Wsn.property 19 in
+  (* stream the observations in as one chunk: dense enough (count:600)
+     that every forwarding edge is observed and the reward query is
+     almost-surely reaching — the steady state a live watch sits in *)
+  let rng = Prng.create 42 in
+  let text =
+    Trace_io.to_string (Wsn.observation_groups rng wsn_params ~count:600)
+  in
+  let learner = Inc_learn.create ~n in
+  ignore (Inc_learn.append learner text : Inc_learn.append_result);
+  ignore (Inc_learn.flush learner : Inc_learn.append_result);
+  let counts = Inc_learn.counts learner in
+  let checker = Inc_check.create ~n ~init ~labels ~rewards prop in
+  ignore (Inc_check.check checker counts : Inc_check.verdict);
+  (* cached path is sub-gettimeofday-resolution, so time batches and
+     report per-check figures *)
+  let batch = 64 and samples = 200 in
+  let time_batch f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int batch
+  in
+  let cached =
+    Array.init samples (fun _ ->
+        time_batch (fun () ->
+            ignore (Inc_check.check checker counts : Inc_check.verdict)))
+  in
+  let time_one f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1e6
+  in
+  let reelim =
+    Array.init 20 (fun _ ->
+        time_one (fun () ->
+            ignore
+              (Inc_check.check checker ~support_changed:true counts
+                : Inc_check.verdict)))
+  in
+  let scratch =
+    Array.init 20 (fun _ ->
+        time_one (fun () ->
+            let c = Inc_check.create ~n ~init ~labels ~rewards prop in
+            ignore (Inc_check.check c counts : Inc_check.verdict)))
+  in
+  Array.sort compare cached;
+  Array.sort compare reelim;
+  Array.sort compare scratch;
+  let cached_p50 = percentile 0.50 cached in
+  let r =
+    { d_iters = batch * samples;
+      d_cached_p50_us = cached_p50;
+      d_cached_p95_us = percentile 0.95 cached;
+      d_reelim_p50_us = percentile 0.50 reelim;
+      d_scratch_p50_us = percentile 0.50 scratch;
+      d_speedup = percentile 0.50 scratch /. cached_p50;
+    }
+  in
+  Format.printf
+    "@\n-- latency to detection (wsn n=3, R<=19, %d cached re-checks) --@\n"
+    r.d_iters;
+  Format.printf "  %-38s %10.2f us  (p95 %8.2f us)@\n"
+    "cached re-check (support unchanged)" r.d_cached_p50_us r.d_cached_p95_us;
+  Format.printf "  %-38s %10.2f us@\n" "re-elimination (support changed) p50"
+    r.d_reelim_p50_us;
+  Format.printf "  %-38s %10.2f us@\n" "from-scratch check p50"
+    r.d_scratch_p50_us;
+  Format.printf "  %-38s %10.1fx@\n" "cached speedup vs from-scratch"
+    r.d_speedup;
+  Format.print_flush ();
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Results history                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Every result-writing workload also appends a timestamped snapshot
+   under the results directory (`<workload>-<utc stamp>.json`), so a
+   perf investigation can diff against any past run, not only the one
+   `latest.json` happens to hold.  Oldest snapshots beyond the retention
+   cap are pruned per workload.  `--results-dir DIR` points everything
+   (latest, baseline, history) somewhere else — CI uses a scratch dir. *)
+let results_dir = ref "bench/results"
+let history_retention = 20
+
+let utc_stamp () =
+  let tm = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d%02d%02dT%02d%02d%02dZ" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+    tm.Unix.tm_sec
+
+let ensure_results_dir () =
+  try Unix.mkdir !results_dir 0o755
+  with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let prune_history workload =
+  let prefix = workload ^ "-" in
+  let plen = String.length prefix in
+  let old =
+    Sys.readdir !results_dir |> Array.to_list
+    |> List.filter (fun f ->
+        String.length f > plen
+        && String.sub f 0 plen = prefix
+        && Filename.check_suffix f ".json")
+    |> List.sort compare  (* UTC stamps sort lexicographically *)
+  in
+  let excess = List.length old - history_retention in
+  if excess > 0 then
+    List.iteri
+      (fun i f ->
+         if i < excess then
+           try Sys.remove (Filename.concat !results_dir f) with Sys_error _ -> ())
+      old
+
+let write_history ~workload content =
+  ensure_results_dir ();
+  let path =
+    Filename.concat !results_dir
+      (Printf.sprintf "%s-%s.json" workload (utc_stamp ()))
+  in
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  prune_history workload;
+  Format.printf "history snapshot written to %s@\n" path;
+  Format.print_flush ()
+
+let detect_json (d : detect_report) =
+  Printf.sprintf
+    "  \"latency_to_detection\": {\n\
+    \    \"workload\": \"wsn n=3, R<=19, streamed counts\",\n\
+    \    \"cached_rechecks\": %d,\n\
+    \    \"cached_p50_us\": %.3f,\n\
+    \    \"cached_p95_us\": %.3f,\n\
+    \    \"reelimination_p50_us\": %.3f,\n\
+    \    \"from_scratch_p50_us\": %.3f,\n\
+    \    \"cached_speedup\": %.1f\n\
+    \  }"
+    d.d_iters d.d_cached_p50_us d.d_cached_p95_us d.d_reelim_p50_us
+    d.d_scratch_p50_us d.d_speedup
+
+let write_results path rows runtime kernel breakdown server el fleet region
+    detect =
   let b = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "{\n  \"schema\": \"tml-bench/1\",\n";
@@ -1574,14 +1752,17 @@ let write_results path rows runtime kernel breakdown server el fleet region =
   fleet_run_json "four_nodes_chaos" fleet.f_chaos false;
   add "    \"chaos_reroutes\": %d,\n" fleet.f_chaos_reroutes;
   add "    \"speedup_4v1\": %.3f\n" (fleet.f_four.f_rps /. fleet.f_single.f_rps);
-  add "  }\n}\n";
+  add "  },\n";
+  add "%s\n" (detect_json detect);
+  add "}\n";
   (try Unix.mkdir (Filename.dirname path) 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
   Format.printf "@\nresults written to %s@\n" path;
-  Format.print_flush ()
+  Format.print_flush ();
+  write_history ~workload:"full" (Buffer.contents b)
 
 (* ------------------------------------------------------------------ *)
 (* Runner                                                               *)
@@ -1669,6 +1850,9 @@ let run_benchmarks () =
     ]
   in
   let rows = measure_groups groups in
+  (* before runtime_scaling: no runtime may be alive while the
+     from-scratch column runs, or the elimination memo absorbs it *)
+  let detect = latency_to_detection () in
   let runtime = runtime_scaling () in
   let kernel = kernel_scaling_ladder () in
   let region = region_lifting_report () in
@@ -1676,15 +1860,21 @@ let run_benchmarks () =
   let server = server_throughput () in
   let el = server_event_loop () in
   let fleet = fleet_throughput () in
-  write_results "bench/results/latest.json" rows runtime kernel breakdown
-    server el fleet region
+  write_results
+    (Filename.concat !results_dir "latest.json")
+    rows runtime kernel breakdown server el fleet region detect
 
 (* ------------------------------------------------------------------ *)
 (* Perf gate: tracked benches vs a committed baseline                   *)
 (* ------------------------------------------------------------------ *)
 
-let baseline_path = "bench/results/baseline.json"
+let baseline_path () = Filename.concat !results_dir "baseline.json"
 let regression_threshold = 1.20
+
+(* absolute floor, not baseline-relative: the cached re-check path must
+   stay >=100x faster than a from-scratch check (acceptance criterion),
+   whatever machine the gate runs on *)
+let detection_speedup_floor = 100.0
 
 (* The tracked set is deliberately cheap: the symbolic-kernel section,
    the three elimination/evaluation experiment benches named in the
@@ -1714,12 +1904,13 @@ let write_baseline rows =
          (if i = List.length rows - 1 then "" else ","))
     rows;
   add "  ]\n}\n";
-  (try Unix.mkdir (Filename.dirname baseline_path) 0o755
+  let path = baseline_path () in
+  (try Unix.mkdir (Filename.dirname path) 0o755
    with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-  let oc = open_out baseline_path in
+  let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
-  Format.printf "@\nbaseline written to %s@\n" baseline_path;
+  Format.printf "@\nbaseline written to %s@\n" path;
   Format.print_flush ()
 
 (* Minimal line-oriented reader for the baseline file above: the writer
@@ -1815,6 +2006,16 @@ let kernel_rows kernel =
     kernel
 
 let perf_check ~update () =
+  (* detection latency first: needs a quiet process and no live runtime
+     (the elimination memo would absorb the from-scratch column) *)
+  let detect = latency_to_detection () in
+  let detect_ok = detect.d_speedup >= detection_speedup_floor in
+  if not detect_ok then
+    Format.printf
+      "  cached re-check only %.1fx faster than from-scratch (floor %.0fx)  \
+       REGRESSED@\n"
+      detect.d_speedup detection_speedup_floor;
+  Format.print_flush ();
   prewarm ();
   ignore (runtime_scaling ());
   let rows = measure_groups (tracked_groups ()) in
@@ -1822,20 +2023,26 @@ let perf_check ~update () =
   (* held-connection rungs are skipped under the gate: they measure
      capacity, not a regression-sensitive latency *)
   let rows = rows @ event_loop_rows (server_event_loop ~held_targets:[] ()) in
-  if update then write_baseline rows
-  else if not (Sys.file_exists baseline_path) then begin
+  if update then begin
+    write_baseline rows;
+    if not detect_ok then exit 1
+  end
+  else if not (Sys.file_exists (baseline_path ())) then begin
     Format.printf
       "@\nno %s — run `bench/main.exe --update-baseline` and commit it@\n"
-      baseline_path;
+      (baseline_path ());
     Format.print_flush ();
     exit 2
   end
   else begin
-    let base = parse_baseline baseline_path in
-    let checked = ref 0 and failed = ref 0 in
+    let base = parse_baseline (baseline_path ()) in
+    let checked = ref 1 and failed = ref (if detect_ok then 0 else 1) in
     Format.printf "@\n-- perf-check vs %s (fail at >%.0f%% regression) --@\n"
-      baseline_path
+      (baseline_path ())
       ((regression_threshold -. 1.0) *. 100.0);
+    Format.printf "  %-45s %12.1fx vs %10.0fx floor  %s@\n"
+      "watch cached re-check speedup" detect.d_speedup detection_speedup_floor
+      (if detect_ok then "ok" else "REGRESSED");
     List.iter
       (fun (g, n, base_min) ->
          match
@@ -1872,6 +2079,12 @@ let () =
    | _ :: "--serve-child" :: sock :: _ -> serve_child sock
    | _ -> ());
   let args = Array.to_list Sys.argv in
+  (let rec scan = function
+     | "--results-dir" :: dir :: _ -> results_dir := dir
+     | _ :: rest -> scan rest
+     | [] -> ()
+   in
+   scan args);
   let table_only = List.mem "--table-only" args in
   let bench_only = List.mem "--bench-only" args in
   let runtime_only = List.mem "--runtime-only" args in
@@ -1901,15 +2114,20 @@ let () =
     exit 0
   end;
   if runtime_only then begin
-    (* Fast path: the runtime-scaling comparison, the traced stage
-       breakdown and the server-throughput run, without the bechamel
-       sweep.  Prints only — does not overwrite
-       bench/results/latest.json. *)
+    (* Fast path: the latency-to-detection figures, the runtime-scaling
+       comparison, the traced stage breakdown and the server-throughput
+       run, without the bechamel sweep.  Does not overwrite latest.json,
+       but the detection figures land in a `runtime-*` history
+       snapshot. *)
+    let detect = latency_to_detection () in
     ignore (runtime_scaling ());
     ignore (stage_breakdown ());
     ignore (server_throughput ());
     ignore (server_event_loop ());
     ignore (fleet_throughput ());
+    write_history ~workload:"runtime"
+      (Printf.sprintf "{\n  \"schema\": \"tml-bench-runtime/1\",\n%s\n}\n"
+         (detect_json detect));
     exit 0
   end;
   if not bench_only then begin

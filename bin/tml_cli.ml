@@ -1033,13 +1033,17 @@ let run_serve socket tcp workers max_pending max_per_client job_timeout
                    in
                    Fun.protect ~finally:(fun () -> Coordinator.shutdown coord)
                    @@ fun () ->
+                   let hub = Stream_hub.create (Coordinator.handler coord) in
                    let server =
                      Server.start ~read_timeout_s:read_timeout
                        ~write_timeout_s:write_timeout
                        ~drain_timeout_s:drain_timeout ?loops ~handler_threads
                        ~max_write_buffer
-                       ~handler:(Coordinator.handler coord) addr
+                       ~stats_extra:(Stream_hub.stats_fields hub)
+                       ~handler:(Stream_hub.handler hub) addr
                    in
+                   Stream_hub.set_push hub (fun ~client j ->
+                       Server.push server ~client j);
                    Server.install_signal_handlers server;
                    Printf.printf "coordinating %d node(s)\n%!"
                      (List.length addrs);
@@ -1063,13 +1067,19 @@ let run_serve socket tcp workers max_pending max_per_client job_timeout
                  let router =
                    Router.create ~admission ?job_timeout_s:job_timeout ?retry rt
                  in
+                 let hub =
+                   Stream_hub.create (Server.handler_of_router router)
+                 in
                  let server =
                    Server.start ~read_timeout_s:read_timeout
                      ~write_timeout_s:write_timeout
                      ~drain_timeout_s:drain_timeout ?loops ~handler_threads
                      ~max_write_buffer
-                     ~handler:(Server.handler_of_router router) addr
+                     ~stats_extra:(Stream_hub.stats_fields hub)
+                     ~handler:(Stream_hub.handler hub) addr
                  in
+                 Stream_hub.set_push hub (fun ~client j ->
+                     Server.push server ~client j);
                  Server.install_signal_handlers server;
                  announce server addr;
                  Server.wait server;
@@ -1321,7 +1331,24 @@ let run_client socket tcp op model prop vars deltas traces states init labels
              Ok true)
        | "stats" ->
          with_conn (fun c ->
-             print_endline (Wire.render (Client.stats c));
+             let j = Client.stats c in
+             print_endline (Wire.render j);
+             (* the serving layer's own section, rendered readably:
+                connection counts, write-queue depth and — with a watch
+                hub — subscription count and notification-queue bytes *)
+             (match Wire.member "server" j with
+              | Some (Wire.Obj fields) ->
+                let part (k, v) =
+                  match v with
+                  | Wire.Num f when Float.is_integer f ->
+                    Printf.sprintf "%s=%.0f" k f
+                  | Wire.Num f -> Printf.sprintf "%s=%g" k f
+                  | Wire.Str s -> Printf.sprintf "%s=%s" k s
+                  | v -> Printf.sprintf "%s=%s" k (Wire.render v)
+                in
+                Printf.printf "server: %s\n"
+                  (String.concat " " (List.map part fields))
+              | _ -> ());
              Ok true)
        | "poll" | "wait" | "cancel" -> (
            match job with
@@ -1378,6 +1405,216 @@ let client_cmd =
       $ pinned_arg $ max_drop_arg $ client_theta_arg $ client_constraints_arg
       $ gamma_arg $ starts_arg $ backend_arg $ client_job_arg
       $ client_timeout_arg $ async_arg)
+
+(* ------------------------------- watch -------------------------------- *)
+
+let watch_op_arg =
+  let doc =
+    "Operation: $(b,register) (create the watch and subscribe), \
+     $(b,append) (stream a trace file in chunks), $(b,follow) (attach \
+     and print notifications) or $(b,unwatch)."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"OP" ~doc)
+
+let watch_name_arg =
+  let doc = "Watch name, shared by every subscriber and appender." in
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"WATCH" ~doc)
+
+let watch_file_arg =
+  let doc = "Trace file to stream ($(b,-) for stdin; append only)." in
+  Arg.(value & opt string "-" & info [ "file" ] ~docv:"FILE" ~doc)
+
+let chunk_bytes_arg =
+  let doc =
+    "Chunk size for streaming appends, in bytes (chunks may split \
+     lines — the server buffers the partial tail)."
+  in
+  Arg.(value & opt int 65536 & info [ "chunk-bytes" ] ~docv:"BYTES" ~doc)
+
+let from_seq_arg =
+  let doc =
+    "Replay logged notifications with a larger sequence number on \
+     subscribe — reconnect catch-up (pass the last seq you saw)."
+  in
+  Arg.(value & opt (some int) None & info [ "from-seq" ] ~docv:"SEQ" ~doc)
+
+let follow_flag_arg =
+  let doc = "After registering, stay subscribed and print notifications." in
+  Arg.(value & flag & info [ "follow" ] ~doc)
+
+let max_events_arg =
+  let doc = "Stop following after this many notifications." in
+  Arg.(value & opt (some int) None & info [ "max-events" ] ~docv:"N" ~doc)
+
+let idle_exit_arg =
+  let doc = "While following, exit after this many seconds of silence." in
+  Arg.(value & opt (some float) None & info [ "idle-exit" ] ~docv:"S" ~doc)
+
+let run_watch socket tcp op name prop states init labels pinned max_drop
+    starts backend file chunk_bytes from_seq follow_f max_events idle_exit =
+  exit_of_result
+    (match parse_addr socket tcp with
+     | Error _ as e -> e
+     | Ok addr ->
+       let ( let* ) = Result.bind in
+       let with_conn f =
+         match Client.with_client ?timeout_s:idle_exit addr f with
+         | v -> v
+         | exception Unix.Unix_error (e, _, _) ->
+           Error (Printf.sprintf "connect: %s" (Unix.error_message e))
+         | exception Tml_error.Error kind -> Error (Tml_error.to_string kind)
+         | exception Client.Remote_error err ->
+           Error
+             (Printf.sprintf "server error (%s%s): %s" err.Wire.kind
+                (if err.Wire.transient then ", transient" else "")
+                err.Wire.message)
+         | exception Wire.Protocol_error msg -> Error ("protocol error: " ^ msg)
+       in
+       let do_follow c =
+         let seen = ref 0 in
+         Client.follow c
+           ?on_idle:(Option.map (fun _ () -> `Stop) idle_exit)
+           (fun n ->
+             print_endline (Wire.render (Wire.notification_to_json n));
+             incr seen;
+             match max_events with
+             | Some k when !seen >= k -> `Stop
+             | _ -> `Continue);
+         Ok true
+       in
+       let build_spec () =
+         let* states =
+           match states with
+           | Some s -> Ok s
+           | None -> Error "register requires --states"
+         in
+         let* phi =
+           match prop with
+           | Some p -> Ok p
+           | None -> Error "register requires --prop"
+         in
+         let* labels =
+           List.fold_left
+             (fun acc s ->
+                let* acc = acc in
+                let* l = parse_label_def s in
+                Ok (l :: acc))
+             (Ok []) labels
+           |> Result.map List.rev
+         in
+         Ok
+           {
+             Wire.states;
+             init;
+             labels;
+             rewards = None;
+             phi;
+             max_drop;
+             pinned;
+             starts;
+             backend = Repair_backend.to_string backend;
+           }
+       in
+       match op with
+       | "register" ->
+         let* spec = build_spec () in
+         with_conn (fun c ->
+             let seq, created = Client.watch c ~spec ?from_seq name in
+             Printf.printf "watch %s %s (seq %d)\n%!" name
+               (if created then "created" else "joined")
+               seq;
+             if follow_f then do_follow c else Ok true)
+       | "follow" ->
+         with_conn (fun c ->
+             let seq, _created = Client.watch c ?from_seq name in
+             Printf.printf "following %s (seq %d)\n%!" name seq;
+             do_follow c)
+       | "append" ->
+         let* text =
+           try
+             Ok
+               (if file = "-" then In_channel.input_all stdin
+                else read_file file)
+           with Sys_error msg -> Error msg
+         in
+         if chunk_bytes < 1 then Error "--chunk-bytes must be >= 1"
+         else
+           with_conn (fun c ->
+               (* a spec on the command line registers the watch first,
+                  so one invocation can create-and-stream *)
+               (match prop with
+                | None -> ()
+                | Some _ -> (
+                    match build_spec () with
+                    | Ok spec -> ignore (Client.watch c ~spec name : int * bool)
+                    | Error _ -> ()));
+               let len = String.length text in
+               let violations = ref 0 in
+               let rec go off =
+                 if off >= len then Ok true
+                 else begin
+                   let k = min chunk_bytes (len - off) in
+                   let r =
+                     Client.append_chunk c ~watch:name (String.sub text off k)
+                   in
+                   if r.Client.violated then incr violations;
+                   Printf.printf
+                     "chunk @%d: lines=%d support_changed=%b value=%s \
+                      violated=%b%s [%s]\n\
+                      %!"
+                     off r.Client.lines r.Client.support_changed
+                     (match r.Client.value with
+                      | Some v -> Printf.sprintf "%.6g" v
+                      | None -> "-")
+                     r.Client.violated
+                     (match r.Client.job with
+                      | Some d -> " job=" ^ d
+                      | None -> "")
+                     r.Client.recheck;
+                   go (off + k)
+                 end
+               in
+               let* ok = go 0 in
+               Printf.printf "streamed %d byte(s), %d violation(s)\n%!" len
+                 !violations;
+               Ok ok)
+       | "unwatch" ->
+         with_conn (fun c ->
+             let existed = Client.unwatch c name in
+             Printf.printf "unwatched %s (was subscribed: %b)\n" name existed;
+             Ok true)
+       | op -> Error (Printf.sprintf "unknown watch op %S" op))
+
+let watch_cmd =
+  let doc = "stream traces to a tml server and follow repair notifications" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "The online-repair client. $(b,register) creates a named watch \
+          on the server (model skeleton, PCTL property and repair \
+          configuration) and subscribes this connection; $(b,append) \
+          streams a trace file to it in chunks — the server folds each \
+          chunk into its incremental learner and re-checks the property \
+          in microseconds while the count support is unchanged; \
+          $(b,follow) attaches and prints each server-push notification \
+          (violation, completed repair report, or error) as one JSON \
+          line. A violated check submits a data-repair job on the \
+          accumulated traces, identical digest-for-digest to a batch \
+          submit of the same dataset.";
+      `P "Reconnect catch-up: every notification carries a per-watch \
+          sequence number and is kept in a bounded server-side replay \
+          log; $(b,--from-seq N) on register/follow replays everything \
+          after N, so a killed follower misses nothing.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "watch" ~doc ~man)
+    Term.(
+      const run_watch $ socket_arg $ tcp_arg $ watch_op_arg $ watch_name_arg
+      $ client_prop_arg $ client_states_arg $ init_arg $ labels_arg
+      $ pinned_arg $ max_drop_arg $ starts_arg $ backend_arg $ watch_file_arg
+      $ chunk_bytes_arg $ from_seq_arg $ follow_flag_arg $ max_events_arg
+      $ idle_exit_arg)
 
 (* ------------------------------- fleet -------------------------------- *)
 
@@ -1448,6 +1685,7 @@ let main_cmd =
     (Cmd.info "tml" ~version:"1.0.0" ~doc)
     [ check_cmd; model_repair_cmd; data_repair_cmd; reward_repair_cmd;
       pipeline_cmd; smc_cmd; quotient_cmd; simulate_cmd; batch_cmd;
-      experiments_cmd; trace_cmd; serve_cmd; client_cmd; fleet_cmd ]
+      experiments_cmd; trace_cmd; serve_cmd; client_cmd; watch_cmd;
+      fleet_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

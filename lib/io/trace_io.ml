@@ -24,33 +24,40 @@ let parse_trace lineno tokens =
       fail lineno "the final state must not carry an action";
     Trace.make (List.rev rev_steps) final
 
-let parse text =
+type line = Blank | Group of string | Trace_line of Trace.t
+
+let parse_line ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some j -> String.sub line 0 j
+    | None -> line
+  in
+  let tokens =
+    String.split_on_char ' ' line
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun t -> t <> "")
+  in
+  match tokens with
+  | [] -> Blank
+  | [ "group"; name ] -> Group name
+  | "group" :: _ -> fail lineno "group takes exactly one name"
+  | tokens -> Trace_line (parse_trace lineno tokens)
+
+let parse ?(first_line = 1) text =
   let groups : (string * Trace.t list ref) list ref = ref [ ("", ref []) ] in
   let current = ref (List.assoc "" !groups) in
   List.iteri
     (fun i line ->
-       let lineno = i + 1 in
-       let line =
-         match String.index_opt line '#' with
-         | Some j -> String.sub line 0 j
-         | None -> line
-       in
-       let tokens =
-         String.split_on_char ' ' line
-         |> List.concat_map (String.split_on_char '\t')
-         |> List.filter (fun t -> t <> "")
-       in
-       match tokens with
-       | [] -> ()
-       | [ "group"; name ] ->
+       match parse_line ~lineno:(first_line + i) line with
+       | Blank -> ()
+       | Group name ->
          (match List.assoc_opt name !groups with
           | Some r -> current := r
           | None ->
             let r = ref [] in
             groups := !groups @ [ (name, r) ];
             current := r)
-       | "group" :: _ -> fail lineno "group takes exactly one name"
-       | tokens -> !current := parse_trace lineno tokens :: !(!current))
+       | Trace_line tr -> !current := tr :: !(!current))
     (String.split_on_char '\n' text);
   !groups
   |> List.filter_map (fun (name, r) ->

@@ -17,9 +17,30 @@
 
 exception Parse_error of string
 
-val parse : string -> (string * Trace.t list) list
+(** {1 Line-level parsing}
+
+    The streaming subsystem ({!Inc_learn}) folds appended chunks one
+    complete line at a time, carrying its own cross-chunk group state and
+    {e absolute} line numbers — so an error in chunk 3 reports the true
+    line number of the stream.  {!parse} is a fold over {!parse_line},
+    which keeps the two paths byte-identical by construction. *)
+
+type line =
+  | Blank  (** empty, or only whitespace/comment *)
+  | Group of string  (** a [group NAME] directive *)
+  | Trace_line of Trace.t
+
+val parse_line : lineno:int -> string -> line
+(** Classify one physical line (no trailing newline).
+    @raise Parse_error labelled with [lineno] on malformed input. *)
+
+(** {1 Whole-text parsing} *)
+
+val parse : ?first_line:int -> string -> (string * Trace.t list) list
 (** Groups in order of first appearance; each group's traces in file
-    order. @raise Parse_error on malformed lines. *)
+    order.  [first_line] (default 1) offsets reported line numbers — the
+    streaming path passes the absolute line number of the chunk's first
+    line.  @raise Parse_error on malformed lines. *)
 
 val of_file : string -> (string * Trace.t list) list
 

@@ -15,11 +15,12 @@ let iter_steps n trace f =
   in
   go states
 
+let count_trace ~n counts tr =
+  iter_steps n tr (fun a b -> counts.(a).(b) <- counts.(a).(b) +. 1.0)
+
 let transition_counts ~n traces =
   let counts = Array.make_matrix n n 0.0 in
-  List.iter
-    (fun tr -> iter_steps n tr (fun a b -> counts.(a).(b) <- counts.(a).(b) +. 1.0))
-    traces;
+  List.iter (count_trace ~n counts) traces;
   counts
 
 let observed_support counts =

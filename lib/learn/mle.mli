@@ -16,6 +16,15 @@ val transition_counts : n:int -> Trace.t list -> float array array
     @raise Invalid_argument when a trace mentions a state outside
     [0 .. n-1]. *)
 
+val count_trace : n:int -> float array array -> Trace.t -> unit
+(** Fold one trace's steps into an existing count matrix ([+1.0] per
+    observed step, actions ignored) — the incremental form
+    {!transition_counts} is built on, used by the streaming learner to
+    absorb appended chunks without re-reading history.
+    @raise Invalid_argument on out-of-range states (the matrix is then
+    partially updated; streaming callers fold into a scratch copy
+    first). *)
+
 val learn_dtmc :
   n:int ->
   init:int ->

@@ -7,6 +7,9 @@ type t = {
   max_frame : int;
   mutable next_id : int;
   mutable closed : bool;
+  mutable on_push : (Wire.json -> unit) option;
+      (* server-push frames observed between replies; [None] drops them
+         (the protocol-1 ignore-unknown contract) *)
 }
 
 let addr_to_string : addr -> string = function
@@ -75,7 +78,7 @@ let connect ?(max_frame = Wire.default_max_frame) ?timeout_s (addr : addr) =
            | Unix.Unix_error (err, _, _) -> Unix.error_message err
            | _ -> Printexc.to_string e)
       | e -> raise e));
-  { fd; max_frame; next_id = 0; closed = false }
+  { fd; max_frame; next_id = 0; closed = false; on_push = None }
 
 let close t =
   if not t.closed then begin
@@ -111,13 +114,31 @@ let with_any ?max_frame ?timeout_s addrs f =
    reset, close mid-frame, clean close instead of a reply) surfaces as a
    typed {e transient} [Tml_error.Unreachable], so callers can retry —
    against the same node or, in a fleet, the next ring owner. *)
+let set_push_handler t f = t.on_push <- Some f
+
+let dispatch_push t j =
+  match t.on_push with
+  | Some f -> ( try f j with _ -> ())
+  | None -> ()
+
+(* Read the next non-push frame: unsolicited server pushes (subscription
+   notifications) may arrive interleaved with replies at any frame
+   boundary and must be skipped before id correlation — the same
+   ignore-what-you-don't-understand contract as unknown fields. *)
+let rec read_reply t =
+  match Wire.read_frame ~max_frame:t.max_frame t.fd with
+  | `Frame j when Wire.is_push j ->
+    dispatch_push t j;
+    read_reply t
+  | r -> r
+
 let rpc t req =
   if t.closed then raise (Wire.Protocol_error "client is closed");
   t.next_id <- t.next_id + 1;
   let id = t.next_id in
   match
     Wire.write_frame t.fd (Wire.request_to_json ~id req);
-    Wire.read_frame ~max_frame:t.max_frame t.fd
+    read_reply t
   with
   | exception Wire.Peer_closed m -> unreachable "%s" m
   | `Eof -> unreachable "server closed the connection before replying"
@@ -173,6 +194,9 @@ let pipeline t ?on_reply reqs =
                  (Wire.Protocol_error
                     (Printf.sprintf "frame of %d bytes exceeds limit %d" len
                        t.max_frame))
+             | `Frame j when Wire.is_push j ->
+               dispatch_push t j;
+               drain ()
              | `Frame j ->
                let rid, resp = Wire.response_of_json j in
                let expect = first_id + !got in
@@ -246,3 +270,51 @@ let drain_node t name =
 let run t ?timeout_s jr =
   let digest, _cached = submit t jr in
   (digest, wait t ?timeout_s digest)
+
+(* ------------------------------ watches ----------------------------- *)
+
+type appended = {
+  lines : int;
+  support_changed : bool;
+  value : float option;
+  violated : bool;
+  job : string option;
+  recheck : string;
+}
+
+let watch t ?spec ?from_seq id =
+  match checked t (Wire.Watch_op { watch = id; spec; from_seq }) with
+  | Wire.Watched { seq; created; _ } -> (seq, created)
+  | _ -> unexpected "watch"
+
+let append_chunk t ~watch chunk =
+  match checked t (Wire.Append_chunk { watch; chunk }) with
+  | Wire.Appended { lines; support_changed; value; violated; job; recheck; _ }
+    ->
+    { lines; support_changed; value; violated; job; recheck }
+  | _ -> unexpected "append-chunk"
+
+let unwatch t id =
+  match checked t (Wire.Unwatch id) with
+  | Wire.Unwatched { existed; _ } -> existed
+  | _ -> unexpected "unwatch"
+
+(* Follow mode: block reading server pushes.  [`Idle] fires on the
+   socket's [SO_RCVTIMEO] deadline (set via [connect ~timeout_s]) so the
+   caller can poll a stop condition; push frames that are not
+   notifications — some future push kind — are skipped, per the
+   forward-compatibility contract. *)
+let follow t ?(on_idle = fun () -> `Continue) on_notification =
+  if t.closed then raise (Wire.Protocol_error "client is closed");
+  let rec go () =
+    match Wire.read_frame ~max_frame:t.max_frame t.fd with
+    | `Eof -> ()
+    | `Idle -> ( match on_idle () with `Continue -> go () | `Stop -> ())
+    | `Frame j when Wire.is_push j -> (
+        match Wire.notification_of_json j with
+        | n -> ( match on_notification n with `Continue -> go () | `Stop -> ())
+        | exception _ -> go ())
+    | `Frame _ -> go ()  (* stray non-push frame: not ours, skip *)
+    | exception Wire.Peer_closed _ -> ()
+  in
+  go ()

@@ -105,3 +105,49 @@ val drain_node : t -> string -> int
 
 val run : t -> ?timeout_s:float -> Wire.job_request -> string * Wire.job_state
 (** [submit] then [wait] — the one-shot convenience. *)
+
+(** {1 Watches}
+
+    Streaming subscriptions ([tml watch]).  A subscribed connection
+    receives unsolicited server-push frames; {!rpc} and {!pipeline}
+    skip them transparently before id correlation (routing them to the
+    {!set_push_handler} callback when one is installed), so a plain
+    protocol-1 client on a subscribed connection keeps working — the
+    ignore-what-you-don't-understand contract. *)
+
+type appended = {
+  lines : int;  (** complete lines consumed from the chunk *)
+  support_changed : bool;
+  value : float option;
+      (** the re-checked value; [None] when not yet checkable *)
+  violated : bool;
+  job : string option;  (** repair job digest, when a violation fired *)
+  recheck : string;  (** ["cached"], ["eliminated"] or ["unavailable"] *)
+}
+(** The [Appended] reply payload. *)
+
+val set_push_handler : t -> (Wire.json -> unit) -> unit
+(** Observe server-push frames skipped by {!rpc}/{!pipeline} (decode
+    with {!Wire.notification_of_json}).  Exceptions it raises are
+    swallowed. *)
+
+val watch : t -> ?spec:Wire.watch_spec -> ?from_seq:int -> string -> int * bool
+(** Subscribe this connection to the named watch: [(seq, created)].
+    [spec] creates the watch (or must match the existing one);
+    [from_seq] replays the logged notifications with a larger seq —
+    reconnect catch-up. *)
+
+val append_chunk : t -> watch:string -> string -> appended
+(** Fold one trace chunk into the watch and re-check the property. *)
+
+val unwatch : t -> string -> bool
+(** Unsubscribe; [true] when this connection was subscribed. *)
+
+val follow :
+  t ->
+  ?on_idle:(unit -> [ `Continue | `Stop ]) ->
+  (Wire.notification -> [ `Continue | `Stop ]) ->
+  unit
+(** Block reading notifications until the callback says [`Stop], the
+    server closes, or [on_idle] (fired on the [connect ~timeout_s] read
+    deadline) says stop.  Unknown push kinds are skipped. *)

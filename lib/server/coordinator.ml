@@ -624,6 +624,16 @@ let handle t ~client:_ req =
           message = "put-report targets a backend node, not the coordinator";
           transient = false;
         }
+    | Wire.Watch_op _ | Wire.Append_chunk _ | Wire.Unwatch _ ->
+      (* the Stream_hub handler wrapper intercepts watch ops before
+         they reach the coordinator (`tml serve --coordinator` wraps
+         this handler); seeing one here means no hub was installed *)
+      Wire.Error_reply
+        {
+          Wire.kind = "bad-request";
+          message = "this coordinator has no watch hub";
+          transient = false;
+        }
   with e -> Wire.Error_reply (Wire.err_of_exn e)
 
 let set_draining t = t.draining <- true
@@ -661,4 +671,5 @@ let handler t =
     on_stop = (fun () -> set_draining t);
     on_drain = (fun ~timeout_s -> drain ~timeout_s t);
     pending = (fun () -> pending t);
+    on_disconnect = (fun ~client:_ -> ());
   }

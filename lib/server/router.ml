@@ -72,7 +72,10 @@ let op_counter =
   and ping = mk "ping"
   and put_report = mk "put-report"
   and fleet = mk "fleet"
-  and drain = mk "drain" in
+  and drain = mk "drain"
+  and watch = mk "watch"
+  and append_chunk = mk "append-chunk"
+  and unwatch = mk "unwatch" in
   function
   | Wire.Submit _ -> submit
   | Wire.Poll _ -> poll
@@ -83,6 +86,9 @@ let op_counter =
   | Wire.Put_report _ -> put_report
   | Wire.Fleet_status -> fleet
   | Wire.Drain_node _ -> drain
+  | Wire.Watch_op _ -> watch
+  | Wire.Append_chunk _ -> append_chunk
+  | Wire.Unwatch _ -> unwatch
 
 let kind_counter =
   let mk kind =
@@ -320,6 +326,15 @@ let handle t ~client req =
       | Wire.Cancel digest -> do_cancel t digest
       | Wire.Put_report { job; report } -> put_report t ~digest:job ~report
       | Wire.Fleet_status | Wire.Drain_node _ -> not_a_coordinator ()
+      | Wire.Watch_op _ | Wire.Append_chunk _ | Wire.Unwatch _ ->
+        (* watch ops are served by the Stream_hub handler wrapper; a
+           bare router means this node was started without one *)
+        Wire.Error_reply
+          {
+            kind = "bad-request";
+            message = "this server has no watch hub";
+            transient = false;
+          }
     with e -> Wire.Error_reply (Wire.err_of_exn e)
   in
   sweep t;

@@ -16,6 +16,8 @@ type handler = {
   on_stop : unit -> unit;  (* begin refusing new work (non-blocking) *)
   on_drain : timeout_s:float -> unit;  (* await in-flight work *)
   pending : unit -> int;
+  on_disconnect : client:int -> unit;
+      (* connection closed (any reason); watch hubs drop subscriptions *)
 }
 
 let handler_of_router router =
@@ -25,6 +27,7 @@ let handler_of_router router =
     on_stop = (fun () -> Router.set_draining router);
     on_drain = (fun ~timeout_s -> Router.drain ~timeout_s router);
     pending = (fun () -> Router.pending_jobs router);
+    on_disconnect = (fun ~client:_ -> ());
   }
 
 (* On every Unix OCaml port a file_descr is the int it wraps. *)
@@ -54,6 +57,16 @@ let zero_copy_saved =
       "Reply bytes rendered directly into connection write buffers \
        (bytes that previously took an intermediate frame-string copy)"
 
+let push_counter =
+  Metrics.counter "tml_server_push_frames_total"
+    ~help:"Server-push notification frames rendered to subscribers"
+
+let push_shed_counter =
+  Metrics.counter "tml_server_push_shed_total"
+    ~help:
+      "Push frames dropped because the subscriber's write queue was at \
+       its cap (the watch replay log covers the gap)"
+
 (* ------------------------------ types ------------------------------ *)
 
 type conn = {
@@ -74,6 +87,11 @@ type conn = {
 type msg =
   | Add_conn of Unix.file_descr  (* dispatcher -> loop: adopt this socket *)
   | Reply of conn * int * Wire.response * float  (* executor -> loop *)
+  | Push of conn * Wire.json
+      (* hub -> loop: render a server-push frame into this connection's
+         write buffer.  Always applied on the owning loop, so push
+         frames interleave with pipelined replies only at frame
+         boundaries — never inside one. *)
 
 type loop = {
   idx : int;
@@ -127,6 +145,9 @@ type t = {
   conn_count : int Atomic.t;
   wq_bytes : int Atomic.t;
   rr : int Atomic.t;  (* round-robin cursor for dispatched accepts *)
+  clients_mutex : Mutex.t;
+  clients : (int, loop * conn) Hashtbl.t;  (* client id -> owning loop *)
+  stats_extra : unit -> (string * Wire.json) list;
 }
 
 let locked m f =
@@ -180,11 +201,13 @@ let close_conn t loop conn =
     Poll.remove loop.poll conn.fd;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     Hashtbl.remove loop.conns (fd_int conn.fd);
+    locked t.clients_mutex (fun () -> Hashtbl.remove t.clients conn.client);
     let buffered = Wire.Obuf.length conn.out in
     if buffered > 0 then wq_add t (-buffered);
     Wire.Obuf.clear conn.out;
     let n = Atomic.fetch_and_add t.conn_count (-1) - 1 in
-    Metrics.set_gauge conn_gauge (float_of_int n)
+    Metrics.set_gauge conn_gauge (float_of_int n);
+    try t.handler.on_disconnect ~client:conn.client with _ -> ()
   end
 
 (* Drain the write buffer as far as the socket accepts; a closing
@@ -260,14 +283,15 @@ let augment_stats t resp =
          @ [
              ( "server",
                Wire.Obj
-                 [
-                   ("backend", Wire.Str (Poll.backend t.loops.(0).poll));
-                   ("loops", Wire.Num (float_of_int (Array.length t.loops)));
-                   ( "connections",
-                     Wire.Num (float_of_int (Atomic.get t.conn_count)) );
-                   ( "write_queue_bytes",
-                     Wire.Num (float_of_int (Atomic.get t.wq_bytes)) );
-                 ] );
+                 ([
+                    ("backend", Wire.Str (Poll.backend t.loops.(0).poll));
+                    ("loops", Wire.Num (float_of_int (Array.length t.loops)));
+                    ( "connections",
+                      Wire.Num (float_of_int (Atomic.get t.conn_count)) );
+                    ( "write_queue_bytes",
+                      Wire.Num (float_of_int (Atomic.get t.wq_bytes)) );
+                  ]
+                 @ (try t.stats_extra () with _ -> [])) );
            ]))
   | resp -> resp
 
@@ -420,6 +444,8 @@ let register_conn t loop fd =
     Hashtbl.replace loop.conns (fd_int fd) conn;
     (match Poll.add loop.poll fd ~read:true ~write:false with
      | () ->
+       locked t.clients_mutex (fun () ->
+           Hashtbl.replace t.clients client (loop, conn));
        let n = Atomic.fetch_and_add t.conn_count 1 + 1 in
        Metrics.set_gauge conn_gauge (float_of_int n)
      | exception Unix.Unix_error _ ->
@@ -487,6 +513,19 @@ let process_msg t loop = function
         end
         else drain_frames t loop conn
     end
+  | Push (conn, j) ->
+    if not (conn.closed || conn.closing) then
+      if Wire.Obuf.length conn.out > t.max_write_buffer then
+        (* slow subscriber at the cap: shed the push rather than grow the
+           queue without bound — the watch replay log covers the gap *)
+        Metrics.incr push_shed_counter
+      else begin
+        let frame_len = Wire.frame_into conn.out j in
+        wq_add t frame_len;
+        Metrics.incr ~by:frame_len zero_copy_saved;
+        Metrics.incr push_counter;
+        flush t loop conn
+      end
 
 let process_mailbox t loop =
   match
@@ -687,7 +726,8 @@ let make_loop idx listen =
 
 let start ?(backlog = 128) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
     ?(max_frame = Wire.default_max_frame) ?(drain_timeout_s = 30.0) ?loops
-    ?(handler_threads = 16) ?(max_write_buffer = 1 lsl 20) ~handler addr =
+    ?(handler_threads = 16) ?(max_write_buffer = 1 lsl 20)
+    ?(stats_extra = fun () -> []) ~handler addr =
   let nloops =
     match loops with
     | None -> default_loops ()
@@ -760,6 +800,9 @@ let start ?(backlog = 128) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
       conn_count = Atomic.make 0;
       wq_bytes = Atomic.make 0;
       rr = Atomic.make 0;
+      clients_mutex = Mutex.create ();
+      clients = Hashtbl.create 64;
+      stats_extra;
     }
   in
   t.exec.threads <-
@@ -771,6 +814,22 @@ let start ?(backlog = 128) ?(read_timeout_s = 5.0) ?(write_timeout_s = 5.0)
 let port t = t.bound_port
 
 let connections t = Atomic.get t.conn_count
+
+(* Deliver a server-push frame to a client's connection.  The JSON is
+   posted to the owning loop and rendered there, so a push never lands
+   inside a half-written reply.  [false] means the client is unknown or
+   already gone — subscription bookkeeping should drop it. *)
+let push t ~client j =
+  match
+    locked t.clients_mutex (fun () -> Hashtbl.find_opt t.clients client)
+  with
+  | None -> false
+  | Some (loop, conn) ->
+    if conn.closed then false
+    else begin
+      post loop (Push (conn, j));
+      true
+    end
 
 let backend t = Poll.backend t.loops.(0).poll
 

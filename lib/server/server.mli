@@ -57,6 +57,11 @@ type handler = {
   on_drain : timeout_s:float -> unit;
       (** await in-flight work, bounding each wait by [timeout_s] *)
   pending : unit -> int;  (** in-flight work items *)
+  on_disconnect : client:int -> unit;
+      (** a connection closed, for any reason (clean close, error,
+          deadline, drain).  Called on the owning event loop — must not
+          block.  Watch hubs use it to drop the client's
+          subscriptions. *)
 }
 (** What the loops serve — the server itself only moves frames. *)
 
@@ -76,6 +81,7 @@ val start :
   ?loops:int ->
   ?handler_threads:int ->
   ?max_write_buffer:int ->
+  ?stats_extra:(unit -> (string * Wire.json) list) ->
   handler:handler ->
   addr ->
   t
@@ -95,6 +101,9 @@ val start :
     with an ["overloaded"] error counted in [tml_server_shed_total].
     An existing Unix socket path is replaced.  [SIGPIPE] is set to
     ignore (socket writes need [EPIPE], not a fatal signal).
+    [stats_extra] (default: none) supplies extra fields appended to the
+    ["server"] section of every [Stats_reply] — watch hubs report
+    subscription counts there; must not block or raise.
     @raise Unix.Unix_error when binding fails. *)
 
 val port : t -> int option
@@ -102,6 +111,16 @@ val port : t -> int option
 
 val connections : t -> int
 (** Currently open client connections, across all loops. *)
+
+val push : t -> client:int -> Wire.json -> bool
+(** Queue a server-push frame (see {!Wire.notification_to_json}) for
+    [client]'s connection.  Thread-safe: the frame is rendered on the
+    connection's owning event loop, so it interleaves with pipelined
+    replies only at frame boundaries — never inside one.  A subscriber
+    whose write queue is at [max_write_buffer] has the push shed
+    (counted in [tml_server_push_shed_total]); the watch replay log
+    covers the gap.  Returns [false] when the client is unknown or its
+    connection already closed. *)
 
 val backend : t -> string
 (** The readiness backend the loops run on: ["epoll"] or ["select"]. *)

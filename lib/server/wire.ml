@@ -958,6 +958,69 @@ let job_of_request = function
         phi = Pctl_parser.parse phi;
       }
 
+(* ---------------------------- watch codecs ------------------------- *)
+
+type watch_spec = {
+  states : int;
+  init : int;
+  labels : (string * int list) list;
+  rewards : float list option;
+  phi : string;
+  max_drop : float;
+  pinned : string list;
+  starts : int;
+  backend : string;
+}
+
+let watch_spec_to_json (s : watch_spec) =
+  Obj
+    [
+      ("states", Num (float_of_int s.states));
+      ("init", Num (float_of_int s.init));
+      ("labels", labels_to_json s.labels);
+      ("rewards", rewards_to_json s.rewards);
+      ("phi", Str s.phi);
+      ("max_drop", Num s.max_drop);
+      ("pinned", Arr (List.map (fun p -> Str p) s.pinned));
+      ("starts", Num (float_of_int s.starts));
+      ("backend", Str s.backend);
+    ]
+
+let watch_spec_of_json j =
+  {
+    states = to_int "states" (get "states" j);
+    init = to_int "init" (get "init" j);
+    labels = labels_of_json (get "labels" j);
+    rewards = rewards_of_json j;
+    phi = to_str "phi" (get "phi" j);
+    max_drop = to_num "max_drop" (get "max_drop" j);
+    pinned = str_list "pinned" (get "pinned" j);
+    starts = to_int "starts" (get "starts" j);
+    backend =
+      (match opt "backend" j with
+       | Some b -> to_str "backend" b
+       | None -> "nlp");
+  }
+
+(* The Data Repair job a violated watch submits: the accumulated traces
+   in canonical textual form, under the watch's registered spec.  A
+   batch submit of the concatenated trace text under the same spec
+   decodes to the same [Job.t] — equal digests, byte-identical report. *)
+let job_request_of_watch (s : watch_spec) ~traces =
+  Data_repair_req
+    {
+      states = s.states;
+      init = s.init;
+      labels = s.labels;
+      rewards = s.rewards;
+      phi = s.phi;
+      traces;
+      max_drop = s.max_drop;
+      pinned = s.pinned;
+      starts = s.starts;
+      backend = s.backend;
+    }
+
 (* ---------------------------- envelopes ---------------------------- *)
 
 type request =
@@ -970,6 +1033,9 @@ type request =
   | Put_report of { job : string; report : string }
   | Fleet_status
   | Drain_node of string
+  | Watch_op of { watch : string; spec : watch_spec option; from_seq : int option }
+  | Append_chunk of { watch : string; chunk : string }
+  | Unwatch of string
 
 type job_state =
   | Job_pending
@@ -988,6 +1054,17 @@ type response =
   | Stored of { job : string }
   | Fleet_reply of json
   | Drained of { node : string; pending : int }
+  | Watched of { watch : string; seq : int; created : bool }
+  | Appended of {
+      watch : string;
+      lines : int;
+      support_changed : bool;
+      value : float option;
+      violated : bool;
+      job : string option;
+      recheck : string;
+    }
+  | Unwatched of { watch : string; existed : bool }
   | Annotated of (string * json) list * response
 
 let envelope id fields = Obj (("v", Num (float_of_int version)) :: ("id", Num (float_of_int id)) :: fields)
@@ -1012,6 +1089,20 @@ let request_to_json ~id = function
   | Fleet_status -> envelope id [ ("op", Str "fleet") ]
   | Drain_node node ->
     envelope id [ ("op", Str "drain"); ("node", Str node) ]
+  | Watch_op { watch; spec; from_seq } ->
+    envelope id
+      (("op", Str "watch") :: ("watch", Str watch)
+       :: ((match spec with
+            | None -> []
+            | Some s -> [ ("spec", watch_spec_to_json s) ])
+           @ (match from_seq with
+              | None -> []
+              | Some s -> [ ("from_seq", Num (float_of_int s)) ])))
+  | Append_chunk { watch; chunk } ->
+    envelope id
+      [ ("op", Str "append-chunk"); ("watch", Str watch); ("chunk", Str chunk) ]
+  | Unwatch watch ->
+    envelope id [ ("op", Str "unwatch"); ("watch", Str watch) ]
 
 let check_version j =
   match opt "v" j with
@@ -1040,6 +1131,20 @@ let request_of_json j =
           report = to_str "report" (get "report" j) }
     | "fleet" -> Fleet_status
     | "drain" -> Drain_node (to_str "node" (get "node" j))
+    | "watch" ->
+      Watch_op
+        {
+          watch = to_str "watch" (get "watch" j);
+          spec = Option.map watch_spec_of_json (opt "spec" j);
+          from_seq = Option.map (to_int "from_seq") (opt "from_seq" j);
+        }
+    | "append-chunk" ->
+      Append_chunk
+        {
+          watch = to_str "watch" (get "watch" j);
+          chunk = to_str "chunk" (get "chunk" j);
+        }
+    | "unwatch" -> Unwatch (to_str "watch" (get "watch" j))
     | op -> proto "unknown op %S" op
   in
   (id, req)
@@ -1087,6 +1192,29 @@ let rec response_to_json ~id = function
   | Stats_reply stats -> envelope id [ ("ok", Bool true); ("stats", stats) ]
   | Pong -> envelope id [ ("ok", Bool true); ("pong", Bool true) ]
   | Error_reply e -> envelope id [ ("ok", Bool false); ("error", err_to_json e) ]
+  | Watched { watch; seq; created } ->
+    envelope id
+      [
+        ("ok", Bool true);
+        ("watch", Str watch);
+        ("seq", Num (float_of_int seq));
+        ("created", Bool created);
+      ]
+  | Appended { watch; lines; support_changed; value; violated; job; recheck } ->
+    envelope id
+      ([
+        ("ok", Bool true);
+        ("watch", Str watch);
+        ("lines", Num (float_of_int lines));
+        ("support_changed", Bool support_changed);
+        ("violated", Bool violated);
+        ("recheck", Str recheck);
+      ]
+        @ (match value with None -> [] | Some v -> [ ("value", Num v) ])
+        @ (match job with None -> [] | Some d -> [ ("job", Str d) ]))
+  | Unwatched { watch; existed } ->
+    envelope id
+      [ ("ok", Bool true); ("watch", Str watch); ("existed", Bool existed) ]
 
 let response_of_json j =
   check_version j;
@@ -1104,6 +1232,30 @@ let response_of_json j =
         {
           node = to_str "node" (get "node" j);
           pending = to_int "pending" (get "pending" j);
+        }
+    else if member "created" j <> None then
+      Watched
+        {
+          watch = to_str "watch" (get "watch" j);
+          seq = to_int "seq" (get "seq" j);
+          created = to_bool "created" (get "created" j);
+        }
+    else if member "lines" j <> None then
+      Appended
+        {
+          watch = to_str "watch" (get "watch" j);
+          lines = to_int "lines" (get "lines" j);
+          support_changed = to_bool "support_changed" (get "support_changed" j);
+          value = Option.map (to_num "value") (opt "value" j);
+          violated = to_bool "violated" (get "violated" j);
+          job = Option.map (to_str "job") (opt "job" j);
+          recheck = to_str "recheck" (get "recheck" j);
+        }
+    else if member "existed" j <> None then
+      Unwatched
+        {
+          watch = to_str "watch" (get "watch" j);
+          existed = to_bool "existed" (get "existed" j);
         }
     else if member "cancelled" j <> None then
       Cancelled
@@ -1126,3 +1278,55 @@ let response_of_json j =
       | s -> proto "unknown status %S" s
   in
   (id, resp)
+
+(* --------------------------- server push --------------------------- *)
+
+(* Push frames are server-initiated: they carry correlation id 0 (which
+   request ids never use — clients start at 1) and a ["push"] marker
+   member, so a pre-watch protocol-1 client that checks ids before
+   anything else can also detect and skip them via [is_push].  New push
+   kinds extend the ["push"] member's value; unknown kinds must be
+   skipped, same contract as unknown fields. *)
+
+type notification = {
+  watch : string;
+  seq : int;
+  event : string;
+  value : float option;
+  job : string option;
+  report : string option;
+  error : err option;
+}
+
+let push_id = 0
+
+let is_push j =
+  match member "push" j with Some (Str _) -> true | _ -> false
+
+let notification_to_json (n : notification) =
+  envelope push_id
+    ([
+      ("push", Str "notification");
+      ("watch", Str n.watch);
+      ("seq", Num (float_of_int n.seq));
+      ("event", Str n.event);
+    ]
+      @ (match n.value with None -> [] | Some v -> [ ("value", Num v) ])
+      @ (match n.job with None -> [] | Some d -> [ ("job", Str d) ])
+      @ (match n.report with None -> [] | Some r -> [ ("report", Str r) ])
+      @ (match n.error with None -> [] | Some e -> [ ("error", err_to_json e) ]))
+
+let notification_of_json j =
+  check_version j;
+  (match member "push" j with
+   | Some (Str "notification") -> ()
+   | _ -> proto "not a notification push frame");
+  {
+    watch = to_str "watch" (get "watch" j);
+    seq = to_int "seq" (get "seq" j);
+    event = to_str "event" (get "event" j);
+    value = Option.map (to_num "value") (opt "value" j);
+    job = Option.map (to_str "job") (opt "job" j);
+    report = Option.map (to_str "report") (opt "report" j);
+    error = Option.map err_of_json (opt "error" j);
+  }

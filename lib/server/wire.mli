@@ -245,6 +245,35 @@ val job_of_request : job_request -> Job.t
     ["bad-request"] wire error); an unknown [backend] slug is a
     {!Protocol_error}. *)
 
+(** {1 Watch specs}
+
+    The registration payload of a streaming watch: the model skeleton,
+    property and repair configuration a [watch] op carries — everything
+    a {!Data_repair_req} needs except the traces, which arrive
+    incrementally as appended chunks. *)
+
+type watch_spec = {
+  states : int;
+  init : int;
+  labels : (string * int list) list;
+  rewards : float list option;
+  phi : string;
+  max_drop : float;
+  pinned : string list;
+  starts : int;
+  backend : string;  (** {!Repair_backend} slug; ["nlp"] when absent *)
+}
+
+val watch_spec_to_json : watch_spec -> json
+val watch_spec_of_json : json -> watch_spec
+
+val job_request_of_watch : watch_spec -> traces:string -> job_request
+(** The Data Repair job a violated watch submits: the accumulated
+    traces in canonical textual form under the watch's spec.  A batch
+    submit of the concatenated trace text with the same spec decodes to
+    the same {!Job.t} — equal digests, byte-identical report (the
+    differential-correctness contract of the streaming subsystem). *)
+
 (** {1 Envelopes} *)
 
 type request =
@@ -264,6 +293,19 @@ type request =
   | Drain_node of string
       (** coordinator only: drain the named node out of the ring — stop
           routing new digests to it, await its in-flight jobs, remove *)
+  | Watch_op of {
+      watch : string;
+      spec : watch_spec option;
+          (** present: create the watch (or verify it matches an
+              existing one); absent: attach to an existing watch *)
+      from_seq : int option;
+          (** replay logged notifications with [seq > from_seq] to this
+              connection (reconnect catch-up); [None] = only new ones *)
+    }  (** subscribe this connection to the named watch *)
+  | Append_chunk of { watch : string; chunk : string }
+      (** fold a trace chunk into the watch's incremental learner and
+          re-check φ *)
+  | Unwatch of string  (** unsubscribe this connection from the watch *)
 
 type job_state =
   | Job_pending
@@ -286,6 +328,22 @@ type response =
   | Drained of { node : string; pending : int }
       (** {!Drain_node} finished; [pending] jobs were still unfinished
           when the drain deadline expired (0 on a clean drain) *)
+  | Watched of { watch : string; seq : int; created : bool }
+      (** subscribed; [seq] is the watch's latest notification sequence
+          number (pass it back as [from_seq] after a reconnect) *)
+  | Appended of {
+      watch : string;
+      lines : int;  (** complete lines consumed from this chunk *)
+      support_changed : bool;
+      value : float option;
+          (** the re-checked value; [None] when the check is not yet
+              possible (e.g. a reward target still unreachable) *)
+      violated : bool;
+      job : string option;
+          (** digest of the repair job a violation kicked off *)
+      recheck : string;  (** ["cached"] (µs path) or ["eliminated"] *)
+    }
+  | Unwatched of { watch : string; existed : bool }
   | Annotated of (string * json) list * response
       (** [response] plus extra informational envelope fields (e.g. the
           coordinator's [("node", Str name)] serving-node annotation).
@@ -301,3 +359,33 @@ val request_of_json : json -> int * request
 val response_to_json : id:int -> response -> json
 val response_of_json : json -> int * response
 (** @raise Protocol_error on bad envelopes. *)
+
+(** {1 Server push}
+
+    Push frames are server-initiated notifications: same length-prefixed
+    framing, correlation id 0 (request ids start at 1) and a ["push"]
+    marker member.  A client that does not understand a push frame must
+    skip it — the same forward-compatibility contract as unknown fields
+    — which {!is_push} makes checkable before id correlation. *)
+
+type notification = {
+  watch : string;
+  seq : int;  (** per-watch, monotonically increasing from 1 *)
+  event : string;  (** ["violation"], ["repair"] or ["error"] *)
+  value : float option;  (** checked value at detection *)
+  job : string option;  (** repair job digest *)
+  report : string option;  (** the {!Job.pp_outcome} report (["repair"]) *)
+  error : err option;  (** why the repair failed (["error"]) *)
+}
+
+val push_id : int
+(** The correlation id every push frame carries (0). *)
+
+val is_push : json -> bool
+(** Whether a decoded frame is a server push (carries a ["push"]
+    marker) — check before id correlation and skip if unhandled. *)
+
+val notification_to_json : notification -> json
+
+val notification_of_json : json -> notification
+(** @raise Protocol_error when the frame is not a notification push. *)

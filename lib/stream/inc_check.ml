@@ -1,0 +1,128 @@
+type verdict = {
+  value : float;
+  violated : bool;
+  path : [ `Cached | `Eliminated ];
+}
+
+type row = {
+  src : int;
+  dests : int array;  (** ascending; length >= 2 *)
+  names : string array;  (** parameter names for dests.(0 .. k-2) *)
+}
+
+type compiled = {
+  query : Pquery.query;
+  rows : row list;  (** only sources with >= 2 observed edges carry params *)
+}
+
+type t = {
+  n : int;
+  init : int;
+  labels : (string * int list) list;
+  rewards : Ratio.t array option;
+  phi : Pctl.state_formula;
+  mutable compiled : compiled option;
+  mutable eliminations : int;
+  mutable cached_rechecks : int;
+}
+
+let create ~n ~init ?(labels = []) ?rewards phi =
+  { n; init; labels; rewards; phi; compiled = None; eliminations = 0;
+    cached_rechecks = 0 }
+
+let var s d = Printf.sprintf "p%d_%d" s d
+
+(* Build the per-support parametric chain: each source with k >= 2
+   observed edges gets k-1 free parameters and a closing
+   [1 - sum] edge (rows must sum to 1 symbolically); single-edge
+   sources are deterministic and unobserved sources absorb, exactly
+   mirroring [Mle.learn_dtmc]'s shape at any parameter point. *)
+let build t counts =
+  let dests_of = Array.make t.n [] in
+  for s = t.n - 1 downto 0 do
+    for d = t.n - 1 downto 0 do
+      if counts.(s).(d) > 0.0 then dests_of.(s) <- d :: dests_of.(s)
+    done
+  done;
+  let transitions = ref [] in
+  let rows = ref [] in
+  for s = 0 to t.n - 1 do
+    match dests_of.(s) with
+    | [] -> transitions := (s, s, Ratfun.one) :: !transitions
+    | [ d ] -> transitions := (s, d, Ratfun.one) :: !transitions
+    | dests ->
+      let dests = Array.of_list dests in
+      let k = Array.length dests in
+      let names = Array.init (k - 1) (fun i -> var s dests.(i)) in
+      let sum = ref Ratfun.zero in
+      Array.iteri
+        (fun i name ->
+           let f = Ratfun.var name in
+           sum := Ratfun.add !sum f;
+           transitions := (s, dests.(i), f) :: !transitions)
+        names;
+      transitions :=
+        (s, dests.(k - 1), Ratfun.sub Ratfun.one !sum) :: !transitions;
+      rows := { src = s; dests; names } :: !rows
+  done;
+  let rewards = Option.map (Array.map Ratfun.const) t.rewards in
+  let pdtmc =
+    Pdtmc.make ~n:t.n ~init:t.init ~transitions:!transitions ~labels:t.labels
+      ?rewards ()
+  in
+  { query = Pquery.of_formula pdtmc t.phi; rows = List.rev !rows }
+
+(* The parameter point: normalised counts for every free edge. *)
+let env_of rows counts =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun { src; dests; names } ->
+       let total = Array.fold_left (fun acc d -> acc +. counts.(src).(d)) 0.0 dests in
+       Array.iteri
+         (fun i name -> Hashtbl.replace tbl name (counts.(src).(dests.(i)) /. total))
+         names)
+    rows;
+  fun name ->
+    match Hashtbl.find_opt tbl name with
+    | Some v -> v
+    | None -> invalid_arg ("Inc_check: unbound parameter " ^ name)
+
+let satisfied cmp bound v =
+  match (cmp : Pctl.cmp) with
+  | Le -> v <= bound
+  | Lt -> v < bound
+  | Ge -> v >= bound
+  | Gt -> v > bound
+
+let check t ?(support_changed = false) counts =
+  let compiled, path =
+    match t.compiled with
+    | Some c when not support_changed ->
+      t.cached_rechecks <- t.cached_rechecks + 1;
+      (c, `Cached)
+    | _ ->
+      let c = build t counts in
+      t.compiled <- Some c;
+      t.eliminations <- t.eliminations + 1;
+      (c, `Eliminated)
+  in
+  let q = compiled.query in
+  let value = q.Pquery.eval (env_of compiled.rows counts) in
+  { value; violated = not (satisfied q.Pquery.cmp q.Pquery.bound value); path }
+
+let param_point t counts =
+  match t.compiled with
+  | None -> []
+  | Some c ->
+    List.concat_map
+      (fun { src; dests; names } ->
+         let total =
+           Array.fold_left (fun acc d -> acc +. counts.(src).(d)) 0.0 dests
+         in
+         Array.to_list
+           (Array.mapi (fun i name -> (name, counts.(src).(dests.(i)) /. total)) names))
+      c.rows
+
+let eliminations t = t.eliminations
+let cached_rechecks t = t.cached_rechecks
+let invalidate t = t.compiled <- None

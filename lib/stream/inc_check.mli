@@ -1,0 +1,55 @@
+(** The incremental checker: µs-scale φ re-checks on a cached rational
+    function, re-running state elimination only when the count support
+    changes.
+
+    The checker compiles the watched property once per {e support}: it
+    builds a parametric chain whose free parameters are the normalised
+    transition counts (each source with [k >= 2] observed edges gets
+    [k-1] parameters and a closing [1 - Σ] edge), runs parametric model
+    checking ({!Pquery.of_formula} — state elimination, cached in the
+    runtime's elimination LRU by structural digest), and keeps the
+    compiled arena.  While the support is unchanged, a re-check is just
+    an arena evaluation at the new parameter point — microseconds —
+    which is what makes per-chunk latency-to-detection viable. *)
+
+type verdict = {
+  value : float;  (** the checked probability / expected reward *)
+  violated : bool;
+  path : [ `Cached | `Eliminated ];
+      (** [`Cached]: arena re-evaluation only; [`Eliminated]: the
+          support changed (or first check) and elimination re-ran *)
+}
+
+type t
+
+val create :
+  n:int ->
+  init:int ->
+  ?labels:(string * int list) list ->
+  ?rewards:Ratio.t array ->
+  Pctl.state_formula ->
+  t
+(** A checker for one watched property over state space [0..n-1].  The
+    formula must be a single top-level [P ~ b] / [R ~ r] operator
+    ({!Pquery.of_formula}'s fragment). *)
+
+val check : t -> ?support_changed:bool -> float array array -> verdict
+(** Re-check against the given count matrix.  [support_changed]
+    (default [false]) forces recompilation; the first check always
+    compiles.  @raise Pquery.Unsupported on out-of-fragment formulas
+    and {!Elimination.Not_almost_sure} on reward queries whose target
+    the current support cannot reach (e.g. too few traces yet). *)
+
+val param_point : t -> float array array -> (string * float) list
+(** The current parameter valuation [(name, normalised count)] under
+    the compiled support — the deterministic witness the differential
+    tests compare across chunkings.  Empty before the first check. *)
+
+val eliminations : t -> int
+(** Times elimination ran (first check + support changes). *)
+
+val cached_rechecks : t -> int
+(** Times the µs cached path served a re-check. *)
+
+val invalidate : t -> unit
+(** Drop the compiled support (the next check re-eliminates). *)

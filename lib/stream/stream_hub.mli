@@ -1,0 +1,64 @@
+(** The watch hub: subscription state and push notifications for the
+    streaming subsystem ([tml watch]).
+
+    A hub wraps any {!Server.handler} — a single-node router's or a
+    fleet coordinator's — and intercepts the three watch ops
+    ([Watch_op], [Append_chunk], [Unwatch]); every other request is
+    delegated unchanged.  Each watch owns an {!Inc_learn} learner and an
+    {!Inc_check} checker: an appended chunk folds into the counts, the
+    property is re-checked (µs cached path while the support is
+    unchanged), and a violation submits a Data Repair job {e through the
+    wrapped handler} — on a coordinator the repair fans out to backends
+    while all watch state stays local, which is what lets a backend die
+    mid-stream without losing a single subscription.
+
+    {b Notifications.}  Violations, completed repairs and repair errors
+    are broadcast to every subscriber as server-push frames (rendered on
+    each connection's event loop via the function given to {!set_push}).
+    Every notification is also appended to a bounded per-watch replay
+    log; a subscriber that reconnects with [from_seq] (the last seq it
+    saw) is replayed everything it missed, so a killed-and-restarted
+    follower observes every violation exactly once.
+
+    {b Observability.}  [watch:register] / [watch:append] /
+    [watch:notify] trace spans; [tml_watch_subscriptions],
+    [tml_watch_watches], [tml_watch_appends_total],
+    [tml_watch_violations_total], [tml_watch_notifications_total],
+    [tml_watch_replayed_total] and the latency-to-detection histogram
+    [tml_watch_detect_seconds]. *)
+
+type t
+
+val create : ?replay_cap:int -> ?repair_wait_s:float -> Server.handler -> t
+(** Wrap [handler].  [replay_cap] (default 256) bounds each watch's
+    replay log (oldest entries are dropped past it — a subscriber away
+    longer than the cap re-syncs by re-reading state, which the
+    operations runbook covers).  [repair_wait_s] (default 120) bounds
+    the notifier's wait on each repair job before broadcasting a
+    transient timeout error instead.  Spawns the notifier thread. *)
+
+val handler : t -> Server.handler
+(** The wrapped handler to serve: watch ops intercepted ([Watch_op] and
+    [Unwatch] are [`Fast]; [Append_chunk] is [`Slow] — it parses,
+    re-checks and may re-run elimination), the rest delegated.  Its
+    [on_drain] first lets queued repair notifications broadcast, then
+    joins the notifier thread, then drains the wrapped handler. *)
+
+val set_push : t -> (client:int -> Wire.json -> bool) -> unit
+(** Install the push delivery function — normally
+    [fun ~client j -> Server.push srv ~client j], once the server is
+    started.  Until installed, every push is refused and subscribers
+    are dropped on first notification (they can re-attach). *)
+
+val subscriptions : t -> int
+(** Active (client, watch) subscription pairs. *)
+
+val watch_count : t -> int
+
+val notification_queue_bytes : t -> int
+(** Total rendered bytes held in the per-watch replay logs. *)
+
+val stats_fields : t -> unit -> (string * Wire.json) list
+(** Extra ["server"]-section stats fields — pass as [?stats_extra] to
+    {!Server.start} so [tml client stats] can render subscription count
+    and notification-queue bytes. *)

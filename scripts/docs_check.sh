@@ -70,7 +70,7 @@ tml=_build/default/bin/tml_cli.exe
 help=/tmp/docs-check-help.txt
 {
   "$tml" --help=plain
-  for sub in serve client fleet batch check model-repair data-repair \
+  for sub in serve client watch fleet batch check model-repair data-repair \
              reward-repair pipeline smc quotient simulate experiments trace; do
     "$tml" "$sub" --help=plain
   done
@@ -81,8 +81,9 @@ stale=$(grep -ohE '(^|[^-[:alnum:]])--[a-z][a-z-]+' docs/*.md \
         | while IFS= read -r flag; do
             # a flag is current if tml --help knows it, or if it belongs
             # to one of the repo's own scripts (e.g. `--chaos` on the
-            # smoke scripts)
+            # smoke scripts) or to the bench harness's argv dispatch
             grep -q -- "$flag" "$help" || grep -q -- "$flag" scripts/*.sh \
+              || grep -q -- "\"$flag\"" bench/main.ml \
               || echo "$flag"
           done)
 if [ -n "$stale" ]; then

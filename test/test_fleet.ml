@@ -180,6 +180,7 @@ let start_scripted ?(duration_s = 1.0) path =
       on_stop = (fun () -> ());
       on_drain = (fun ~timeout_s:_ -> ());
       pending = (fun () -> 0);
+      on_disconnect = (fun ~client:_ -> ());
     }
   in
   let server =

@@ -775,6 +775,116 @@ let test_tcp_ephemeral_port () =
        | Wire.Job_done _ -> ()
        | _ -> Alcotest.fail "job over tcp completes")
 
+(* ------------------------- push-frame traffic ------------------------- *)
+
+let sample_notification =
+  {
+    Wire.watch = "w";
+    seq = 3;
+    event = "violation";
+    value = Some 0.75;
+    job = Some "abc123";
+    report = None;
+    error = None;
+  }
+
+(* An unsolicited push frame may land between (or interleaved with)
+   pipelined replies at ANY byte boundary; the decoder must hand all
+   three frames back in order at every split offset, with the push
+   recognisable before id correlation. *)
+let test_push_interleaved_every_offset () =
+  let frames =
+    [
+      Wire.response_to_json ~id:1 Wire.Pong;
+      Wire.notification_to_json sample_notification;
+      Wire.response_to_json ~id:2 Wire.Pong;
+    ]
+  in
+  let raw = Buffer.create 256 in
+  List.iter (fun j -> Buffer.add_bytes raw (encode_frame j)) frames;
+  let bytes = Buffer.to_bytes raw in
+  let n = Bytes.length bytes in
+  for split = 0 to n do
+    let d = Wire.Decoder.create () in
+    if split > 0 then Wire.Decoder.feed d bytes 0 split;
+    let first = drain_decoder d in
+    if split < n then Wire.Decoder.feed d bytes split (n - split);
+    match first @ drain_decoder d with
+    | [ a; b; c ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "split %d: replies are not pushes" split)
+        false
+        (Wire.is_push a || Wire.is_push c);
+      Alcotest.(check bool)
+        (Printf.sprintf "split %d: middle frame is a push" split)
+        true (Wire.is_push b);
+      let id1, r1 = Wire.response_of_json a in
+      let id2, r2 = Wire.response_of_json c in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "split %d: reply ids correlate" split)
+        (1, 2) (id1, id2);
+      (match (r1, r2) with
+       | Wire.Pong, Wire.Pong -> ()
+       | _ -> Alcotest.failf "split %d: replies decoded wrong" split);
+      let nf = Wire.notification_of_json b in
+      Alcotest.(check bool)
+        (Printf.sprintf "split %d: notification round-trips" split)
+        true
+        (nf = sample_notification)
+    | l -> Alcotest.failf "split %d: got %d frames" split (List.length l)
+  done
+
+(* A client that predates watches must skip push kinds it does not
+   understand — [is_push] fires on the marker alone. *)
+let test_unknown_push_kind_ignored () =
+  let mystery =
+    Wire.Obj
+      [
+        ("v", Wire.Num 1.0);
+        ("id", Wire.Num 0.0);
+        ("push", Wire.Str "mystery-future-kind");
+        ("data", Wire.Arr [ Wire.Num 1.0 ]);
+      ]
+  in
+  Alcotest.(check bool) "marker detected" true (Wire.is_push mystery);
+  (match Wire.notification_of_json mystery with
+   | _ -> Alcotest.fail "mystery push decoded as a notification"
+   | exception Wire.Protocol_error _ -> ());
+  (* a reply is never mistaken for a push *)
+  Alcotest.(check bool) "reply is not a push" false
+    (Wire.is_push (Wire.response_to_json ~id:5 Wire.Pong))
+
+(* Push frames render into the connection's [Obuf] behind a partially
+   written reply: the buffer's head has advanced, so the render path
+   (reserve length word, add body, patch the word) must survive a
+   compact-then-grow between the reserve and the patch. *)
+let test_obuf_compaction_across_reserve_patch () =
+  let ob = Wire.Obuf.create ~initial:32 () in
+  let first = Wire.Str "0123456789-first-frame" in
+  ignore (Wire.frame_into ob first : int);
+  (* partial socket write: 7 bytes of frame 1 left the buffer *)
+  let b, o, _len = Wire.Obuf.peek ob in
+  let sent = Bytes.sub_string b o 7 in
+  Wire.Obuf.consume ob 7;
+  (* now render a frame large enough to force a grow — with the head
+     advanced, [ensure] compacts first, moving the reserved mark's
+     bytes; the patch must still land on the length word *)
+  let mark = Wire.Obuf.reserve_u32 ob in
+  let body = Wire.render (Wire.Str (String.make 200 'x')) in
+  Wire.Obuf.add_string ob body;
+  Wire.Obuf.patch_u32 ob mark (String.length body);
+  let stream = sent ^ Wire.Obuf.contents ob in
+  let d = Wire.Decoder.create () in
+  let bytes = Bytes.of_string stream in
+  Wire.Decoder.feed d bytes 0 (Bytes.length bytes);
+  (match drain_decoder d with
+   | [ a; b ] ->
+     Alcotest.(check bool) "first frame intact" true (a = first);
+     Alcotest.(check bool) "patched frame intact" true
+       (b = Wire.Str (String.make 200 'x'))
+   | l -> Alcotest.failf "expected 2 frames, got %d" (List.length l));
+  Alcotest.(check bool) "decoder at a boundary" false (Wire.Decoder.mid_frame d)
+
 let () =
   Alcotest.run "server"
     [
@@ -802,6 +912,15 @@ let () =
           Alcotest.test_case "truncation at every offset" `Quick
             test_decoder_truncation_every_offset;
           Alcotest.test_case "live pipelining" `Quick test_live_pipelining;
+        ] );
+      ( "push",
+        [
+          Alcotest.test_case "push interleaved at every offset" `Quick
+            test_push_interleaved_every_offset;
+          Alcotest.test_case "unknown push kind ignored" `Quick
+            test_unknown_push_kind_ignored;
+          Alcotest.test_case "obuf compaction across reserve/patch" `Quick
+            test_obuf_compaction_across_reserve_patch;
         ] );
       ( "service",
         [
